@@ -1,0 +1,457 @@
+// Benchmarks regenerating every figure of the paper's evaluation, plus
+// ablations of the design choices DESIGN.md calls out and performance
+// micro-benchmarks of the hot paths.
+//
+// Figure benches run reduced workloads (a few words instead of the paper's
+// 150) so `go test -bench=.` finishes in minutes; cmd/rfidraw runs the
+// full-scale versions. Each figure bench reports the headline quantity of
+// its figure as a custom metric, so the benchmark output doubles as a
+// compact reproduction table.
+package rfidraw
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rfidraw/internal/antenna"
+	"rfidraw/internal/core"
+	"rfidraw/internal/corpus"
+	"rfidraw/internal/deploy"
+	"rfidraw/internal/experiments"
+	"rfidraw/internal/geom"
+	"rfidraw/internal/handwriting"
+	"rfidraw/internal/phys"
+	"rfidraw/internal/readerwire"
+	"rfidraw/internal/recognition"
+	"rfidraw/internal/rfid"
+	"rfidraw/internal/sim"
+	"rfidraw/internal/traj"
+	"rfidraw/internal/vote"
+)
+
+// —— Figure benches ————————————————————————————————————————————————————————
+
+func BenchmarkFig2BeamPatterns(b *testing.B) {
+	var widthRatio float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		widthRatio = r.Width2 / r.Width4
+	}
+	b.ReportMetric(widthRatio, "beamwidth-ratio-2v4ant")
+}
+
+func BenchmarkFig3GratingLobes(b *testing.B) {
+	var lobes float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		lobes = float64(r.LobeCounts[len(r.LobeCounts)-1])
+	}
+	b.ReportMetric(lobes, "lobes-at-8lambda")
+}
+
+func BenchmarkFig4MultiResolution(b *testing.B) {
+	var filtered float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		filtered = float64(r.LobesFiltered)
+	}
+	b.ReportMetric(filtered, "lobes-after-filter")
+}
+
+func BenchmarkFig6Positioning(b *testing.B) {
+	var peakErr float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		peakErr = r.PeakErr * 100
+	}
+	b.ReportMetric(peakErr, "peak-err-cm")
+}
+
+func BenchmarkFig7WrongLobes(b *testing.B) {
+	var far float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		far = r.Far.ShapeErr * 100
+	}
+	b.ReportMetric(far, "far-lobe-shape-err-cm")
+}
+
+func BenchmarkFig10Microbenchmark(b *testing.B) {
+	var shape float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig10(40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		shape = r.ShapeErr * 100
+	}
+	b.ReportMetric(shape, "clear-shape-err-cm")
+}
+
+// benchBatch runs (and caches per size) a reduced word batch.
+var benchBatches = map[string]*experiments.BatchResult{}
+
+func batchFor(b *testing.B, prop sim.Propagation) *experiments.BatchResult {
+	b.Helper()
+	key := prop.String()
+	if r, ok := benchBatches[key]; ok {
+		return r
+	}
+	r, err := experiments.RunBatch(experiments.BatchConfig{Prop: prop, Words: 6, Users: 2, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBatches[key] = r
+	return r
+}
+
+func BenchmarkFig11TrajectoryCDF(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		batch := batchFor(b, sim.LOS)
+		ratio = experiments.RunFig11(batch).Improvement()
+	}
+	b.ReportMetric(ratio, "improvement-x")
+}
+
+func BenchmarkFig11TrajectoryCDFNLOS(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		batch := batchFor(b, sim.NLOS)
+		ratio = experiments.RunFig11(batch).Improvement()
+	}
+	b.ReportMetric(ratio, "improvement-x")
+}
+
+func BenchmarkFig12InitialPositionCDF(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		batch := batchFor(b, sim.LOS)
+		ratio = experiments.RunFig12(batch).Improvement()
+	}
+	b.ReportMetric(ratio, "improvement-x")
+}
+
+func BenchmarkFig13ErrorCoupling(b *testing.B) {
+	var buckets float64
+	for i := 0; i < b.N; i++ {
+		batch := batchFor(b, sim.LOS)
+		buckets = float64(len(experiments.RunFig13(batch).Buckets))
+	}
+	b.ReportMetric(buckets, "buckets")
+}
+
+func BenchmarkFig14CharRecognition(b *testing.B) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		batch := batchFor(b, sim.LOS)
+		var ok, total int
+		for _, o := range batch.Outcomes {
+			ok += o.CharsOKRF
+			total += o.CharsTotal
+		}
+		if total > 0 {
+			rate = 100 * float64(ok) / float64(total)
+		}
+	}
+	b.ReportMetric(rate, "char-rate-%")
+}
+
+func BenchmarkFig15WordRecognition(b *testing.B) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		batch := batchFor(b, sim.LOS)
+		var ok, total int
+		for _, o := range batch.Outcomes {
+			total++
+			if o.WordOKRF {
+				ok++
+			}
+		}
+		if total > 0 {
+			rate = 100 * float64(ok) / float64(total)
+		}
+	}
+	b.ReportMetric(rate, "word-rate-%")
+}
+
+func BenchmarkFig16Play5m(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig16(60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = r.BLErr / r.RFErr
+	}
+	b.ReportMetric(ratio, "improvement-x")
+}
+
+// —— Ablation benches ——————————————————————————————————————————————————————
+
+// benchScenario builds a static-tag observation for ablations.
+func benchObservation(b *testing.B, seed int64) (vote.Observations, geom.Vec2, *deploy.RFIDraw) {
+	b.Helper()
+	sc, err := sim.New(sim.Config{Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := geom.Vec2{X: 1.3, Z: 1.0}
+	rf, _, err := sc.StaticRun(src, 400*time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rf[len(rf)-1].Phase, src, sc.RFIDraw
+}
+
+// BenchmarkAblationNoCoarseFilter shows why the coarse pairs exist: wide
+// pairs alone localize ambiguously (candidate far from truth scores as
+// well as the truth).
+func BenchmarkAblationNoCoarseFilter(b *testing.B) {
+	obs, src, dep := benchObservation(b, 101)
+	cfg := vote.Config{Plane: geom.Plane{Y: 2}, Region: deploy.DefaultRegion(), CandidateCount: 6}
+	full, err := vote.NewPositioner(dep.Stage1Pairs(), dep.WidePairs, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wideOnly, err := vote.NewPositioner(dep.WidePairs, dep.WidePairs, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var errFull, errWide float64
+	for i := 0; i < b.N; i++ {
+		cf, err := full.Candidates(obs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cw, err := wideOnly.Candidates(obs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		errFull = cf[0].Pos.Dist(src) * 100
+		errWide = cw[0].Pos.Dist(src) * 100
+	}
+	b.ReportMetric(errFull, "with-filter-err-cm")
+	b.ReportMetric(errWide, "wide-only-err-cm")
+}
+
+// BenchmarkAblationNoLobeLocking compares tracing with locked lobes (§5.2)
+// against re-localizing every sample from scratch: without locking, shape
+// coherence is lost.
+func BenchmarkAblationNoLobeLocking(b *testing.B) {
+	sc, err := sim.New(sim.Config{Seed: 102})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wr, err := sc.RunWord("on", geom.Vec2{X: 0.9, Z: 1.0}, handwriting.DefaultStyle())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := core.NewSystem(sc.RFIDraw, core.Config{Plane: sc.Plane, Region: sc.Region})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var lockedErr, unlockedErr float64
+	for i := 0; i < b.N; i++ {
+		res, err := sys.Trace(wr.SamplesRF)
+		if err != nil {
+			b.Fatal(err)
+		}
+		le, err := traj.MedianError(wr.Truth, res.Best.Trajectory, traj.AlignInitial, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lockedErr = le * 100
+
+		// Unlocked: localize each sample independently (best candidate),
+		// the re-vote-per-sample alternative to lobe locking.
+		var pts []traj.Point
+		for _, s := range wr.SamplesRF {
+			cands, err := sys.Localize(s.Phase)
+			if err != nil {
+				continue
+			}
+			pts = append(pts, traj.Point{T: s.T, Pos: cands[0].Pos})
+		}
+		if len(pts) == 0 {
+			b.Fatal("no per-sample localizations")
+		}
+		ue, err := traj.MedianError(wr.Truth, traj.Trajectory{Points: pts}, traj.AlignInitial, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		unlockedErr = ue * 100
+	}
+	b.ReportMetric(lockedErr, "locked-err-cm")
+	b.ReportMetric(unlockedErr, "per-sample-err-cm")
+}
+
+// BenchmarkAblationSeparationSweep quantifies §3.3: larger separations give
+// finer angle quantization (more lobes) — the resolution/ambiguity dial.
+func BenchmarkAblationSeparationSweep(b *testing.B) {
+	carrier := phys.DefaultCarrier()
+	lambda := carrier.WavelengthM
+	var lobes [4]float64
+	for i := 0; i < b.N; i++ {
+		for si, sep := range []float64{2, 4, 8, 16} {
+			a1 := antenna.Antenna{ID: 1, Pos: geom.Vec3{}}
+			a2 := antenna.Antenna{ID: 2, Pos: geom.Vec3{X: sep * lambda}}
+			p, err := antenna.NewPair(a1, a2, carrier, phys.Backscatter)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lobes[si] = float64(p.LobeCount())
+		}
+	}
+	b.ReportMetric(lobes[0], "lobes-2lambda")
+	b.ReportMetric(lobes[1], "lobes-4lambda")
+	b.ReportMetric(lobes[2], "lobes-8lambda")
+	b.ReportMetric(lobes[3], "lobes-16lambda")
+}
+
+// BenchmarkAblationCandidateCount measures how many candidate initial
+// positions tracing needs before the vote-selection finds the true start.
+func BenchmarkAblationCandidateCount(b *testing.B) {
+	sc, err := sim.New(sim.Config{Seed: 103, Distance: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wr, err := sc.RunWord("go", geom.Vec2{X: 0.9, Z: 1.0}, handwriting.DefaultStyle())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var err1, err5 float64
+	for i := 0; i < b.N; i++ {
+		for _, count := range []int{1, 5} {
+			sys, err := core.NewSystem(sc.RFIDraw, core.Config{
+				Plane: sc.Plane, Region: sc.Region, CandidateCount: count,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := sys.Trace(wr.SamplesRF)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := res.InitialPosition().Dist(wr.Truth.Start()) * 100
+			if count == 1 {
+				err1 = e
+			} else {
+				err5 = e
+			}
+		}
+	}
+	b.ReportMetric(err1, "init-err-1cand-cm")
+	b.ReportMetric(err5, "init-err-5cand-cm")
+}
+
+// —— Performance micro-benches ————————————————————————————————————————————
+
+func BenchmarkLocalizeSingleSample(b *testing.B) {
+	obs, _, dep := benchObservation(b, 104)
+	sys, err := core.NewSystem(dep, core.Config{Plane: geom.Plane{Y: 2}, Region: deploy.DefaultRegion()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Localize(obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceStep(b *testing.B) {
+	sc, err := sim.New(sim.Config{Seed: 105})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wr, err := sc.RunWord("go", geom.Vec2{X: 0.9, Z: 1.0}, handwriting.DefaultStyle())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := core.NewSystem(sc.RFIDraw, core.Config{Plane: sc.Plane, Region: sc.Region})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream, err := sys.Tracer().NewStream(wr.Truth.Start(), wr.SamplesRF[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stream.Push(wr.SamplesRF[1+i%(len(wr.SamplesRF)-1)])
+	}
+}
+
+func BenchmarkDTWClassify(b *testing.B) {
+	rec, err := recognition.New(corpus.All())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := handwriting.Write("q", geom.Vec2{}, handwriting.DefaultStyle(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := w.Traj.Positions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rec.Classify(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rep := rfid.Report{
+		Time: time.Second, ReaderID: 1, AntennaID: 3,
+		EPC: rfid.RandomEPC(rng), PhaseRad: 1.234, PowerDB: -20,
+	}
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		w := readerwire.NewWriter(&buf)
+		if err := w.WriteReport(rep); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := readerwire.NewReader(&buf).Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChannelMeasure(b *testing.B) {
+	sc, err := sim.New(sim.Config{Seed: 106})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	ant := sc.RFIDraw.Antennas[0].Pos
+	tag := geom.Vec3{X: 1.3, Y: 2, Z: 1.0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Env.Measure(ant, tag, 0, rng)
+	}
+}

@@ -1,0 +1,17 @@
+package rfidraw
+
+import "rfidraw/internal/phys"
+
+// backscatter is the link type of passive RFID: the carrier traverses the
+// reader→tag path twice, doubling phase accumulation per metre.
+const backscatter = phys.Backscatter
+
+// newCarrier wraps the internal carrier constructor so the public package
+// can offer a frequency override without exposing internal types.
+func newCarrier(freqHz float64) phys.Carrier { return phys.NewCarrier(freqHz) }
+
+// DefaultCarrierHz is the prototype's query frequency (§6 of the paper).
+const DefaultCarrierHz = 922e6
+
+// WavelengthM returns the wavelength in metres for a carrier frequency.
+func WavelengthM(carrierHz float64) float64 { return phys.NewCarrier(carrierHz).WavelengthM }

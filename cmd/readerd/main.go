@@ -1,0 +1,110 @@
+// Command readerd runs a simulated RFID reader daemon: it generates a
+// user's in-air handwriting, runs one reader's inventory against it, and
+// streams the phase reports to TCP clients over the readerwire protocol —
+// the simulated stand-in for a ThingMagic M6e streaming to the host.
+//
+// Usage:
+//
+//	readerd -listen 127.0.0.1:7011 -reader A -word hello -seed 1 -pace 1
+//
+// Run two daemons (reader A and reader B) with the same word/seed so their
+// streams describe the same writing session; cmd/tracker consumes both.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rfidraw/internal/geom"
+	"rfidraw/internal/handwriting"
+	"rfidraw/internal/readerwire"
+	"rfidraw/internal/rfid"
+	"rfidraw/internal/sim"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7011", "TCP listen address")
+		reader = flag.String("reader", "A", "which reader to serve: A (wide pairs) or B (coarse pairs)")
+		word   = flag.String("word", "clear", "word the simulated user writes")
+		seed   = flag.Int64("seed", 1, "scenario seed (must match the other reader's)")
+		dist   = flag.Float64("dist", 2, "user distance from the wall in metres")
+		pace   = flag.Float64("pace", 1, "replay speed (1 = real time, 0 = unpaced)")
+		nlos   = flag.Bool("nlos", false, "use the non-line-of-sight environment")
+	)
+	flag.Parse()
+	if err := run(*listen, *reader, *word, *seed, *dist, *pace, *nlos); err != nil {
+		fmt.Fprintln(os.Stderr, "readerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, reader, word string, seed int64, dist, pace float64, nlos bool) error {
+	prop := sim.LOS
+	if nlos {
+		prop = sim.NLOS
+	}
+	sc, err := sim.New(sim.Config{Prop: prop, Distance: dist, Seed: seed})
+	if err != nil {
+		return err
+	}
+	wr, err := sc.RunWord(word, geom.Vec2{X: 0.6, Z: 1.0}, handwriting.DefaultStyle())
+	if err != nil {
+		return err
+	}
+
+	// Rebuild this reader's report stream from the merged samples: each
+	// sample carries the phases of both readers; filter to ours.
+	var readerID int
+	switch strings.ToUpper(reader) {
+	case "A":
+		readerID = 0
+	case "B":
+		readerID = 1
+	default:
+		return fmt.Errorf("unknown reader %q (want A or B)", reader)
+	}
+	var reports []rfid.Report
+	for _, s := range wr.SamplesRF {
+		for id, ph := range s.Phase {
+			if (id-1)/4 != readerID {
+				continue
+			}
+			reports = append(reports, rfid.Report{
+				Time:      s.T,
+				ReaderID:  readerID,
+				AntennaID: id,
+				EPC:       sc.Tag.EPC,
+				PhaseRad:  ph,
+			})
+		}
+	}
+	dur := wr.Word.Traj.Duration() + 100*time.Millisecond
+
+	src := &readerwire.InventorySource{
+		Announce: readerwire.Hello{
+			Proto:         readerwire.ProtoVersion,
+			ReaderID:      uint8(readerID),
+			AntennaCount:  4,
+			SweepInterval: 25 * time.Millisecond,
+		},
+		AllReports: reports,
+	}
+	srv, err := readerwire.NewServer(listen, src, pace)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("readerd: reader %s serving %d reports of %q on %s (EPC %s)\n",
+		reader, len(reports), word, srv.Addr(), sc.Tag.EPC)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return srv.Serve(ctx, dur)
+}

@@ -1,0 +1,231 @@
+// Command rfidraw regenerates the paper's evaluation figures against the
+// simulated testbed and writes text reports plus CSV data series.
+//
+// Usage:
+//
+//	rfidraw -out results [-words 150] [-users 5] [-seed 1] [fig...]
+//
+// With no figure arguments it runs everything (fig2 fig3 fig4 fig6 fig7
+// fig10 fig11 fig12 fig13 fig14 fig15 fig16). Figures 11–15 share two word
+// batches (LOS and NLOS), run once.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"rfidraw/internal/experiments"
+	"rfidraw/internal/plot"
+	"rfidraw/internal/sim"
+	"rfidraw/internal/stats"
+)
+
+func main() {
+	var (
+		outDir = flag.String("out", "results", "output directory")
+		words  = flag.Int("words", 60, "words per batch (paper: 150)")
+		users  = flag.Int("users", 5, "user styles per batch")
+		seed   = flag.Int64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+	if err := run(*outDir, *words, *users, *seed, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "rfidraw:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outDir string, words, users int, seed int64, figs []string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	for _, f := range figs {
+		want[strings.ToLower(f)] = true
+	}
+	all := len(want) == 0
+	sel := func(name string) bool { return all || want[name] }
+
+	report := func(name, text string) error {
+		path := filepath.Join(outDir, name+".txt")
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("── %s ──\n%s\n", name, text)
+		return nil
+	}
+
+	if sel("fig2") {
+		r, err := experiments.RunFig2()
+		if err != nil {
+			return fmt.Errorf("fig2: %w", err)
+		}
+		if err := report("fig2", r.Render()); err != nil {
+			return err
+		}
+	}
+	if sel("fig3") {
+		r, err := experiments.RunFig3()
+		if err != nil {
+			return fmt.Errorf("fig3: %w", err)
+		}
+		if err := report("fig3", r.Render()); err != nil {
+			return err
+		}
+	}
+	if sel("fig4") {
+		r, err := experiments.RunFig4()
+		if err != nil {
+			return fmt.Errorf("fig4: %w", err)
+		}
+		if err := report("fig4", r.Render()); err != nil {
+			return err
+		}
+	}
+	if sel("fig6") {
+		r, err := experiments.RunFig6()
+		if err != nil {
+			return fmt.Errorf("fig6: %w", err)
+		}
+		if err := report("fig6", r.Render()); err != nil {
+			return err
+		}
+	}
+	if sel("fig7") {
+		r, err := experiments.RunFig7()
+		if err != nil {
+			return fmt.Errorf("fig7: %w", err)
+		}
+		if err := report("fig7", r.Render()); err != nil {
+			return err
+		}
+	}
+	if sel("fig10") {
+		r, err := experiments.RunFig10(seed)
+		if err != nil {
+			return fmt.Errorf("fig10: %w", err)
+		}
+		if err := report("fig10", r.Render()); err != nil {
+			return err
+		}
+		if err := writeVoteCSV(filepath.Join(outDir, "fig10_votes.csv"), r.VoteSeries); err != nil {
+			return err
+		}
+	}
+
+	needBatch := sel("fig11") || sel("fig12") || sel("fig13") || sel("fig14") || sel("fig15")
+	if needBatch {
+		for _, prop := range []sim.Propagation{sim.LOS, sim.NLOS} {
+			start := time.Now()
+			batch, err := experiments.RunBatch(experiments.BatchConfig{
+				Prop: prop, Words: words, Users: users, Seed: seed,
+			})
+			if err != nil {
+				return fmt.Errorf("batch %v: %w", prop, err)
+			}
+			fmt.Printf("batch %v: %d words in %v\n", prop, len(batch.Outcomes), time.Since(start).Round(time.Millisecond))
+			tag := strings.ToLower(prop.String())
+			if sel("fig11") {
+				r := experiments.RunFig11(batch)
+				if err := report("fig11_"+tag, r.Render()); err != nil {
+					return err
+				}
+				if err := writeCDFCSV(filepath.Join(outDir, "fig11_"+tag+".csv"), r); err != nil {
+					return err
+				}
+			}
+			if sel("fig12") {
+				r := experiments.RunFig12(batch)
+				if err := report("fig12_"+tag, r.Render()); err != nil {
+					return err
+				}
+				if err := writeCDFCSV(filepath.Join(outDir, "fig12_"+tag+".csv"), r); err != nil {
+					return err
+				}
+			}
+			if prop == sim.LOS {
+				if sel("fig13") {
+					if err := report("fig13", experiments.RunFig13(batch).Render()); err != nil {
+						return err
+					}
+				}
+				if sel("fig14") {
+					if err := report("fig14", experiments.RunFig14(batch).Render()); err != nil {
+						return err
+					}
+				}
+				if sel("fig15") {
+					if err := report("fig15", experiments.RunFig15(batch).Render()); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+
+	if sel("fig16") {
+		r, err := experiments.RunFig16(seed)
+		if err != nil {
+			return fmt.Errorf("fig16: %w", err)
+		}
+		if err := report("fig16", r.Render()); err != nil {
+			return err
+		}
+	}
+	if sel("ablations") {
+		r, err := experiments.RunAblations(9, seed)
+		if err != nil {
+			return fmt.Errorf("ablations: %w", err)
+		}
+		if err := report("ablations", r.Render()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeCDFCSV(path string, r *experiments.CDFReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	headers, rows := r.CDFPoints(64)
+	return plot.CSV(f, headers, rows)
+}
+
+func writeVoteCSV(path string, series [][]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n := 0
+	for _, s := range series {
+		if len(s) > n {
+			n = len(s)
+		}
+	}
+	headers := make([]string, len(series)+1)
+	headers[0] = "position_index"
+	for i := range series {
+		headers[i+1] = fmt.Sprintf("candidate_%d_vote", i)
+	}
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, len(series)+1)
+		row[0] = float64(i)
+		for j, s := range series {
+			if i < len(s) {
+				row[j+1] = s[i]
+			} else {
+				row[j+1] = stats.Median(s) // pad short series
+			}
+		}
+		rows[i] = row
+	}
+	return plot.CSV(f, headers, rows)
+}

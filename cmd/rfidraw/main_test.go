@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 4, 2, 1, []string{"fig2"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig2.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "beam") {
+		t.Fatalf("fig2 report content: %q", string(data)[:60])
+	}
+	// Unselected figures must not be produced.
+	if _, err := os.Stat(filepath.Join(dir, "fig3.txt")); !os.IsNotExist(err) {
+		t.Fatal("fig3 should not have been generated")
+	}
+}
+
+func TestRunBatchFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batch run is slow")
+	}
+	dir := t.TempDir()
+	if err := run(dir, 4, 2, 1, []string{"fig11", "fig14"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig11_los.txt", "fig11_nlos.txt", "fig11_los.csv", "fig14.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+	// CSV has a header and data rows.
+	data, err := os.ReadFile(filepath.Join(dir, "fig11_los.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 10 || !strings.HasPrefix(lines[0], "rf_err_cm") {
+		t.Fatalf("csv malformed: %d lines", len(lines))
+	}
+}
+
+func TestRunRejectsBadOutputDir(t *testing.T) {
+	if err := run("/proc/definitely/not/writable", 1, 1, 1, []string{"fig2"}); err == nil {
+		t.Fatal("unwritable output dir should error")
+	}
+}

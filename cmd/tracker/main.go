@@ -1,0 +1,103 @@
+// Command tracker connects to two readerd daemons, merges their phase
+// report streams, and traces the tag's trajectory live, printing each
+// position as it is estimated — the host side of the virtual touch screen.
+//
+// Usage:
+//
+//	tracker -readers 127.0.0.1:7011,127.0.0.1:7012 -dist 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"rfidraw/internal/core"
+	"rfidraw/internal/deploy"
+	"rfidraw/internal/geom"
+	"rfidraw/internal/readerwire"
+	"rfidraw/internal/realtime"
+	"rfidraw/internal/rfid"
+)
+
+func main() {
+	var (
+		readers = flag.String("readers", "127.0.0.1:7011,127.0.0.1:7012", "comma-separated readerd addresses")
+		dist    = flag.Float64("dist", 2, "writing plane distance in metres")
+	)
+	flag.Parse()
+	if err := run(strings.Split(*readers, ","), *dist); err != nil {
+		fmt.Fprintln(os.Stderr, "tracker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addrs []string, dist float64) error {
+	sys, err := core.NewSystem(nil, core.Config{
+		Plane:  geom.Plane{Y: dist},
+		Region: deploy.DefaultRegion(),
+	})
+	if err != nil {
+		return err
+	}
+
+	type streamResult struct {
+		hello   readerwire.Hello
+		reports []rfid.Report
+		err     error
+	}
+	results := make(chan streamResult, len(addrs))
+	for _, addr := range addrs {
+		go func(addr string) {
+			conn, err := net.DialTimeout("tcp", strings.TrimSpace(addr), 5*time.Second)
+			if err != nil {
+				results <- streamResult{err: fmt.Errorf("dial %s: %w", addr, err)}
+				return
+			}
+			defer conn.Close()
+			hello, reports, err := readerwire.Collect(conn)
+			results <- streamResult{hello: hello, reports: reports, err: err}
+		}(addr)
+	}
+	var streams [][]rfid.Report
+	var sweep time.Duration
+	for range addrs {
+		r := <-results
+		if r.err != nil {
+			return r.err
+		}
+		fmt.Printf("tracker: reader %d delivered %d reports\n", r.hello.ReaderID, len(r.reports))
+		streams = append(streams, r.reports)
+		sweep = r.hello.SweepInterval
+	}
+
+	tr, err := realtime.NewTracker(realtime.Config{System: sys, SweepInterval: sweep})
+	if err != nil {
+		return err
+	}
+	merged := realtime.MergeStreams(streams...)
+	count := 0
+	emit := func(ps []realtime.Position) {
+		for _, p := range ps {
+			fmt.Printf("t=%8v  x=%7.3f m  z=%7.3f m\n", p.Time.Round(time.Millisecond), p.Pos.X, p.Pos.Z)
+			count++
+		}
+	}
+	for _, rep := range merged {
+		ps, err := tr.Offer(rep)
+		if err != nil {
+			return err
+		}
+		emit(ps)
+	}
+	ps, err := tr.Flush()
+	if err != nil {
+		return err
+	}
+	emit(ps)
+	fmt.Printf("tracker: %d positions, mean vote %.4f\n", count, tr.MeanVote())
+	return nil
+}

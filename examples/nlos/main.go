@@ -1,0 +1,62 @@
+// NLOS: compare RF-IDraw with the antenna-array baseline through the
+// office-lounge cubicle separators (§8.1's non-line-of-sight evaluation).
+// The baseline's accuracy collapses; RF-IDraw's shape holds because the
+// dominant path still carries the grating-lobe rotation.
+//
+//	go run ./examples/nlos
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rfidraw/internal/baseline"
+	"rfidraw/internal/core"
+	"rfidraw/internal/geom"
+	"rfidraw/internal/handwriting"
+	"rfidraw/internal/sim"
+	"rfidraw/internal/traj"
+)
+
+func main() {
+	for _, prop := range []sim.Propagation{sim.LOS, sim.NLOS} {
+		scenario, err := sim.New(sim.Config{Prop: prop, Seed: 21, Distance: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := scenario.RunWord("house", geom.Vec2{X: 0.6, Z: 1.0}, handwriting.DefaultStyle())
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		sys, err := core.NewSystem(scenario.RFIDraw, core.Config{Plane: scenario.Plane, Region: scenario.Region})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rf, err := sys.Trace(run.SamplesRF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rfErr, err := traj.MedianError(run.Truth, rf.Best.Trajectory, traj.AlignInitial, 128)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		bl, err := baseline.New(scenario.Baseline, baseline.Config{Plane: scenario.Plane, Region: scenario.Region})
+		if err != nil {
+			log.Fatal(err)
+		}
+		blTraj, err := bl.Trace(run.SamplesBL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		blErr, err := traj.MedianError(run.Truth, blTraj, traj.AlignMean, 128)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-4v  RF-IDraw shape error: %5.1f cm   baseline: %5.1f cm   (%.0f× better)\n",
+			prop, rfErr*100, blErr*100, blErr/rfErr)
+	}
+	fmt.Println("\npaper: 3.7 vs 40.8 cm in LOS (11×), 4.9 vs 76.9 cm in NLOS (16×)")
+}

@@ -1,0 +1,94 @@
+package antenna
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rfidraw/internal/geom"
+	"rfidraw/internal/phys"
+)
+
+// TestNoiseRobustnessScalesWithSeparation verifies §3.3's Eq. 5: the same
+// phase noise produces a cos θ error that shrinks linearly with the pair
+// separation D. The paper's worked example: φn = π/5 gives 0.2 error in
+// cos θ at D = λ/2 but only 0.0125 at D = 8λ (one-way).
+func TestNoiseRobustnessScalesWithSeparation(t *testing.T) {
+	phaseNoise := math.Pi / 5
+	// cosθ error = (λ/D)·(φn/2π) for a one-way link (Eq. 5).
+	cases := []struct {
+		sepWavelengths float64
+		wantErr        float64
+	}{
+		{0.5, 0.2},
+		{8, 0.0125},
+	}
+	for _, tc := range cases {
+		d := tc.sepWavelengths * lambda
+		got := (lambda / d) * (phaseNoise / phys.TwoPi)
+		if math.Abs(got-tc.wantErr) > 1e-9 {
+			t.Errorf("D=%vλ: cosθ error %v, want %v (paper §3.3)", tc.sepWavelengths, got, tc.wantErr)
+		}
+	}
+}
+
+// TestWidePairAngleEstimateMoreNoiseRobust checks the same property
+// empirically end-to-end: estimate the source's Δd-turns from noisy phase
+// differences through a narrow and a wide pair and compare the induced
+// *position-equivalent* error along the measurement axis.
+func TestWidePairAngleEstimateMoreNoiseRobust(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	src := geom.Vec3{X: 1.3, Y: 2, Z: 1.0}
+	mk := func(sep float64) Pair {
+		p, err := NewPair(
+			Antenna{ID: 1, Pos: geom.Vec3{X: 1.3 - sep/2}},
+			Antenna{ID: 2, Pos: geom.Vec3{X: 1.3 + sep/2}},
+			carrier, phys.Backscatter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	narrow := mk(lambda / 4)
+	wide := mk(8 * lambda)
+	// For each pair: perturb the phase difference by noise, then find
+	// the x-displacement of the source that would explain the residual.
+	residualX := func(p Pair) float64 {
+		trueTurns := p.DeltaDistTurns(src)
+		var sum float64
+		const trials = 300
+		for i := 0; i < trials; i++ {
+			noisy := trueTurns + rng.NormFloat64()*0.05 // turns
+			// Invert numerically: how far along x must the source move
+			// for DeltaDistTurns to change by the noise amount?
+			slope := (p.DeltaDistTurns(src.Add(geom.Vec3{X: 0.001})) - trueTurns) / 0.001
+			if slope == 0 {
+				t.Fatal("degenerate geometry")
+			}
+			dx := (noisy - trueTurns) / slope
+			sum += math.Abs(dx)
+		}
+		return sum / trials
+	}
+	nErr := residualX(narrow)
+	wErr := residualX(wide)
+	if wErr >= nErr/10 {
+		t.Fatalf("wide pair position noise %v should be ≫10× below narrow pair %v", wErr, nErr)
+	}
+}
+
+// TestResolutionQuantization verifies §3.3's resolution claim: with phase
+// quantization δ, the finest cos θ step is (λ/D)·(δ/2π), so the wide pair
+// resolves finer angles.
+func TestResolutionQuantization(t *testing.T) {
+	delta := 2 * math.Pi / 4096 // a 12-bit phase readout
+	q := func(sepWavelengths float64) float64 {
+		return (1 / sepWavelengths) * (delta / phys.TwoPi)
+	}
+	if q(8) >= q(0.5) {
+		t.Fatal("wider separation must quantize cosθ finer")
+	}
+	if ratio := q(0.5) / q(8); math.Abs(ratio-16) > 1e-9 {
+		t.Fatalf("quantization ratio = %v, want 16 (linear in D)", ratio)
+	}
+}

@@ -1,0 +1,185 @@
+// Package channel models the wireless channel between reader antennas and a
+// tag as a coherent sum of rays: the direct path plus specular reflections
+// off scatterers, with optional wall penetration loss for non-line-of-sight
+// (NLOS) deployments and Gaussian receiver phase noise.
+//
+// The paper's prototype measures, for every tag reply, the phase of the
+// backscattered signal at one reader port. That phase is the argument of
+// the round-trip complex channel. This package reproduces that quantity:
+// the one-way channel h is a coherent ray sum, and backscatter links square
+// it (reader→tag→reader over the reciprocal path), so the measured phase is
+// arg(h²) plus tag/reader offsets and noise. Multipath therefore perturbs
+// the phase exactly as in the paper's §8 discussion: mildly when the direct
+// path dominates (LOS), strongly when it is attenuated (NLOS).
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"rfidraw/internal/geom"
+	"rfidraw/internal/phys"
+)
+
+// Scatterer is a point reflector. A ray reader→scatterer→tag (and back)
+// adds a delayed, attenuated component to the channel.
+type Scatterer struct {
+	// Pos is the scatterer position in room coordinates.
+	Pos geom.Vec3
+	// Reflectivity is the amplitude reflection coefficient in (0, 1].
+	Reflectivity float64
+}
+
+// Environment describes the propagation environment of one deployment.
+type Environment struct {
+	// Carrier sets the wavelength all path phases are computed with.
+	Carrier phys.Carrier
+	// Link selects one-way or backscatter phase accumulation.
+	Link phys.Link
+	// Scatterers are the multipath sources in the room.
+	Scatterers []Scatterer
+	// DirectGain attenuates the direct path's amplitude; 1 for LOS, <1
+	// when the direct path penetrates an obstruction (NLOS). Setting it
+	// to 0 removes the direct path entirely.
+	DirectGain float64
+	// PhaseNoiseStdDev is the standard deviation, in radians, of the
+	// additive Gaussian noise on every measured phase.
+	PhaseNoiseStdDev float64
+}
+
+// Validate reports configuration errors.
+func (e *Environment) Validate() error {
+	if e.Carrier.WavelengthM <= 0 {
+		return fmt.Errorf("channel: carrier wavelength %v must be positive", e.Carrier.WavelengthM)
+	}
+	if e.Link != phys.OneWay && e.Link != phys.Backscatter {
+		return fmt.Errorf("channel: unknown link type %d", e.Link)
+	}
+	if e.DirectGain < 0 {
+		return fmt.Errorf("channel: direct gain %v must be non-negative", e.DirectGain)
+	}
+	if e.PhaseNoiseStdDev < 0 {
+		return fmt.Errorf("channel: phase noise stddev %v must be non-negative", e.PhaseNoiseStdDev)
+	}
+	for i, s := range e.Scatterers {
+		if s.Reflectivity <= 0 || s.Reflectivity > 1 {
+			return fmt.Errorf("channel: scatterer %d reflectivity %v out of (0, 1]", i, s.Reflectivity)
+		}
+	}
+	return nil
+}
+
+// LOS returns a line-of-sight environment at the default carrier with the
+// given phase noise and scatterers.
+func LOS(phaseNoise float64, scatterers ...Scatterer) *Environment {
+	return &Environment{
+		Carrier:          phys.DefaultCarrier(),
+		Link:             phys.Backscatter,
+		Scatterers:       scatterers,
+		DirectGain:       1,
+		PhaseNoiseStdDev: phaseNoise,
+	}
+}
+
+// NLOS returns a non-line-of-sight environment: the direct path is
+// attenuated by directGain (amplitude), standing in for the two-layer wood
+// cubicle separators of the paper's office-lounge deployment (§8.1).
+func NLOS(phaseNoise, directGain float64, scatterers ...Scatterer) *Environment {
+	e := LOS(phaseNoise, scatterers...)
+	e.DirectGain = directGain
+	return e
+}
+
+// OneWayChannel returns the complex one-way channel between an antenna and
+// the tag: the coherent sum of the direct ray and every scatterer ray, with
+// 1/d amplitude spreading per ray.
+func (e *Environment) OneWayChannel(antenna, tag geom.Vec3) complex128 {
+	lambda := e.Carrier.WavelengthM
+	h := complex(0, 0)
+	d0 := antenna.Dist(tag)
+	if d0 > 0 && e.DirectGain > 0 {
+		amp := e.DirectGain / d0
+		h += cmplx.Rect(amp, -phys.TwoPi*d0/lambda)
+	}
+	for _, s := range e.Scatterers {
+		d := antenna.Dist(s.Pos) + s.Pos.Dist(tag)
+		if d <= 0 {
+			continue
+		}
+		amp := s.Reflectivity / d
+		h += cmplx.Rect(amp, -phys.TwoPi*d/lambda)
+	}
+	return h
+}
+
+// Measurement is one phase observation at a single antenna.
+type Measurement struct {
+	// Phase is the measured wrapped phase in [0, 2π).
+	Phase float64
+	// Power is the received power (|h|² for the round trip), a stand-in
+	// for RSSI used by the reply-loss model.
+	Power float64
+}
+
+// Measure returns the phase a reader would report for a tag at tagPos heard
+// on the given antenna. extraOffset carries tag- and reader-specific phase
+// offsets (they cancel within a reader's antenna pairs, as on real
+// hardware). rng supplies the phase noise; it may be nil for a noiseless
+// measurement.
+func (e *Environment) Measure(antenna, tagPos geom.Vec3, extraOffset float64, rng *rand.Rand) Measurement {
+	h := e.OneWayChannel(antenna, tagPos)
+	var phase float64
+	var power float64
+	switch e.Link {
+	case phys.Backscatter:
+		// Round trip over the reciprocal channel: h² in amplitude and
+		// phase, so received power goes as |h|⁴ (1/d⁴ free space).
+		rt := h * h
+		phase = cmplx.Phase(rt)
+		a := cmplx.Abs(rt)
+		power = a * a
+	default:
+		phase = cmplx.Phase(h)
+		power = cmplx.Abs(h) * cmplx.Abs(h)
+	}
+	if rng != nil && e.PhaseNoiseStdDev > 0 {
+		phase += rng.NormFloat64() * e.PhaseNoiseStdDev
+	}
+	return Measurement{Phase: phys.Wrap(phase + extraOffset), Power: power}
+}
+
+// IdealPhase returns the noiseless, multipath-free phase for the direct
+// path only — the quantity Eq. 1 of the paper describes. It is what Measure
+// degrades into once multipath and noise are added.
+func (e *Environment) IdealPhase(antenna, tagPos geom.Vec3) float64 {
+	return phys.PathPhase(e.Carrier, e.Link, antenna.Dist(tagPos))
+}
+
+// DominantPathExcess quantifies how much the multipath perturbs the phase
+// at a point: the absolute wrapped difference between the measured
+// (noiseless) phase and the ideal direct-path phase, in radians. The
+// evaluation uses it to sanity-check LOS vs NLOS setups.
+func (e *Environment) DominantPathExcess(antenna, tagPos geom.Vec3) float64 {
+	m := e.Measure(antenna, tagPos, 0, nil)
+	return math.Abs(phys.WrapSigned(m.Phase - e.IdealPhase(antenna, tagPos)))
+}
+
+// RandomScatterers places n scatterers uniformly in the box, with
+// reflectivity drawn uniformly from [minRefl, maxRefl]. The box is given by
+// two opposite corners in room coordinates.
+func RandomScatterers(rng *rand.Rand, n int, lo, hi geom.Vec3, minRefl, maxRefl float64) []Scatterer {
+	out := make([]Scatterer, n)
+	for i := range out {
+		out[i] = Scatterer{
+			Pos: geom.Vec3{
+				X: lo.X + rng.Float64()*(hi.X-lo.X),
+				Y: lo.Y + rng.Float64()*(hi.Y-lo.Y),
+				Z: lo.Z + rng.Float64()*(hi.Z-lo.Z),
+			},
+			Reflectivity: minRefl + rng.Float64()*(maxRefl-minRefl),
+		}
+	}
+	return out
+}

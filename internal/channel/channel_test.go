@@ -1,0 +1,228 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rfidraw/internal/geom"
+	"rfidraw/internal/phys"
+)
+
+func TestValidate(t *testing.T) {
+	ok := LOS(0.1)
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Environment{
+		{Carrier: phys.Carrier{}, Link: phys.Backscatter, DirectGain: 1},
+		{Carrier: phys.DefaultCarrier(), Link: phys.Link(3), DirectGain: 1},
+		{Carrier: phys.DefaultCarrier(), Link: phys.OneWay, DirectGain: -1},
+		{Carrier: phys.DefaultCarrier(), Link: phys.OneWay, DirectGain: 1, PhaseNoiseStdDev: -0.1},
+		{Carrier: phys.DefaultCarrier(), Link: phys.OneWay, DirectGain: 1,
+			Scatterers: []Scatterer{{Reflectivity: 0}}},
+		{Carrier: phys.DefaultCarrier(), Link: phys.OneWay, DirectGain: 1,
+			Scatterers: []Scatterer{{Reflectivity: 1.5}}},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestCleanChannelMatchesIdealPhase(t *testing.T) {
+	// Without scatterers or noise, Measure must return the Eq. 1 phase.
+	e := LOS(0)
+	ant := geom.Vec3{X: 0, Y: 0, Z: 0}
+	tag := geom.Vec3{X: 1, Y: 2, Z: 0.5}
+	m := e.Measure(ant, tag, 0, nil)
+	want := e.IdealPhase(ant, tag)
+	if math.Abs(phys.WrapSigned(m.Phase-want)) > 1e-9 {
+		t.Fatalf("phase = %v, want %v", m.Phase, want)
+	}
+}
+
+func TestBackscatterDoublesPhaseSensitivity(t *testing.T) {
+	// Moving the tag by λ/4 flips the backscatter phase by π but the
+	// one-way phase only by π/2.
+	bs := LOS(0)
+	ow := LOS(0)
+	ow.Link = phys.OneWay
+	lambda := bs.Carrier.WavelengthM
+	ant := geom.Vec3{}
+	tag1 := geom.Vec3{Y: 2}
+	tag2 := geom.Vec3{Y: 2 + lambda/4}
+	dbs := phys.WrapSigned(bs.Measure(ant, tag2, 0, nil).Phase - bs.Measure(ant, tag1, 0, nil).Phase)
+	dow := phys.WrapSigned(ow.Measure(ant, tag2, 0, nil).Phase - ow.Measure(ant, tag1, 0, nil).Phase)
+	if math.Abs(math.Abs(dbs)-math.Pi) > 1e-6 {
+		t.Fatalf("backscatter λ/4 shift = %v, want ±π", dbs)
+	}
+	if math.Abs(math.Abs(dow)-math.Pi/2) > 1e-6 {
+		t.Fatalf("one-way λ/4 shift = %v, want ±π/2", dow)
+	}
+}
+
+func TestExtraOffsetAddsCleanly(t *testing.T) {
+	e := LOS(0)
+	ant := geom.Vec3{}
+	tag := geom.Vec3{Y: 3}
+	base := e.Measure(ant, tag, 0, nil).Phase
+	shifted := e.Measure(ant, tag, 1.234, nil).Phase
+	if math.Abs(phys.WrapSigned(shifted-base-1.234)) > 1e-9 {
+		t.Fatalf("offset not additive: base=%v shifted=%v", base, shifted)
+	}
+}
+
+func TestOffsetCancelsInPairDifference(t *testing.T) {
+	// A tag/reader offset common to both antennas must cancel in the
+	// phase difference — the property that lets a reader compare its own
+	// ports (§3 footnote 2).
+	e := LOS(0)
+	a1 := geom.Vec3{X: 0}
+	a2 := geom.Vec3{X: 2.6}
+	tag := geom.Vec3{X: 1, Y: 2, Z: 0.3}
+	offset := 2.5
+	d0 := phys.WrapSigned(e.Measure(a2, tag, 0, nil).Phase - e.Measure(a1, tag, 0, nil).Phase)
+	d1 := phys.WrapSigned(e.Measure(a2, tag, offset, nil).Phase - e.Measure(a1, tag, offset, nil).Phase)
+	if math.Abs(phys.WrapSigned(d1-d0)) > 1e-9 {
+		t.Fatalf("common offset leaked into pair difference: %v vs %v", d0, d1)
+	}
+}
+
+func TestScatterersPerturbPhase(t *testing.T) {
+	ant := geom.Vec3{}
+	tag := geom.Vec3{Y: 2.5}
+	clean := LOS(0)
+	dirty := LOS(0, Scatterer{Pos: geom.Vec3{X: 1.5, Y: 1.5, Z: 0.5}, Reflectivity: 0.6})
+	excess := dirty.DominantPathExcess(ant, tag)
+	if excess <= 1e-6 {
+		t.Fatal("scatterer should perturb the phase")
+	}
+	if clean.DominantPathExcess(ant, tag) > 1e-9 {
+		t.Fatal("clean channel should have no excess")
+	}
+	// With a dominant direct path the perturbation stays small-ish.
+	if excess > math.Pi/2 {
+		t.Fatalf("LOS excess %v too large for a weak scatterer", excess)
+	}
+}
+
+func TestNLOSAttenuationRaisesMultipathImpact(t *testing.T) {
+	ant := geom.Vec3{}
+	tag := geom.Vec3{Y: 3}
+	sc := Scatterer{Pos: geom.Vec3{X: 2, Y: 2, Z: 1}, Reflectivity: 0.5}
+	los := LOS(0, sc)
+	nlos := NLOS(0, 0.25, sc)
+	if nlos.DominantPathExcess(ant, tag) <= los.DominantPathExcess(ant, tag) {
+		t.Fatal("NLOS attenuation should increase multipath phase excess")
+	}
+}
+
+func TestPowerFallsWithDistance(t *testing.T) {
+	e := LOS(0)
+	ant := geom.Vec3{}
+	p2 := e.Measure(ant, geom.Vec3{Y: 2}, 0, nil).Power
+	p5 := e.Measure(ant, geom.Vec3{Y: 5}, 0, nil).Power
+	if p5 >= p2 {
+		t.Fatalf("power at 5 m (%v) should be below power at 2 m (%v)", p5, p2)
+	}
+	// Backscatter power goes as 1/d⁴ → ratio (5/2)⁴ ≈ 39.
+	ratio := p2 / p5
+	if ratio < 30 || ratio > 50 {
+		t.Fatalf("backscatter power ratio = %v, want ≈39", ratio)
+	}
+}
+
+func TestPhaseNoiseApplied(t *testing.T) {
+	e := LOS(0.2)
+	rng := rand.New(rand.NewSource(1))
+	ant := geom.Vec3{}
+	tag := geom.Vec3{Y: 2}
+	want := e.Measure(ant, tag, 0, nil).Phase
+	var devs []float64
+	for i := 0; i < 500; i++ {
+		m := e.Measure(ant, tag, 0, rng)
+		devs = append(devs, phys.WrapSigned(m.Phase-want))
+	}
+	var mean, ss float64
+	for _, d := range devs {
+		mean += d
+	}
+	mean /= float64(len(devs))
+	for _, d := range devs {
+		ss += (d - mean) * (d - mean)
+	}
+	sd := math.Sqrt(ss / float64(len(devs)))
+	if sd < 0.15 || sd > 0.25 {
+		t.Fatalf("observed phase noise stddev %v, want ≈0.2", sd)
+	}
+}
+
+func TestZeroDistanceDirectPathSkipped(t *testing.T) {
+	e := LOS(0)
+	p := geom.Vec3{X: 1, Y: 1, Z: 1}
+	// Tag exactly at the antenna: the direct term is skipped and the
+	// channel is zero without scatterers; Measure must not panic or NaN.
+	m := e.Measure(p, p, 0, nil)
+	if math.IsNaN(m.Phase) || math.IsNaN(m.Power) {
+		t.Fatalf("degenerate measurement produced NaN: %+v", m)
+	}
+}
+
+func TestRandomScatterersInBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lo := geom.Vec3{X: -1, Y: 0, Z: 0}
+	hi := geom.Vec3{X: 4, Y: 6, Z: 3}
+	ss := RandomScatterers(rng, 25, lo, hi, 0.1, 0.4)
+	if len(ss) != 25 {
+		t.Fatal("count")
+	}
+	for i, s := range ss {
+		if s.Pos.X < lo.X || s.Pos.X > hi.X || s.Pos.Y < lo.Y || s.Pos.Y > hi.Y || s.Pos.Z < lo.Z || s.Pos.Z > hi.Z {
+			t.Fatalf("scatterer %d out of box: %v", i, s.Pos)
+		}
+		if s.Reflectivity < 0.1 || s.Reflectivity > 0.4 {
+			t.Fatalf("scatterer %d reflectivity %v out of range", i, s.Reflectivity)
+		}
+	}
+}
+
+// Property: the measured phase is always in [0, 2π) and power non-negative.
+func TestQuickMeasureRanges(t *testing.T) {
+	e := LOS(0.3, Scatterer{Pos: geom.Vec3{X: 1, Y: 1, Z: 1}, Reflectivity: 0.4})
+	rng := rand.New(rand.NewSource(99))
+	f := func(x, y, z, off float64) bool {
+		tag := geom.Vec3{X: math.Mod(x, 5), Y: 1 + math.Abs(math.Mod(y, 5)), Z: math.Mod(z, 3)}
+		if math.IsNaN(tag.X) || math.IsNaN(tag.Y) || math.IsNaN(tag.Z) || math.IsNaN(off) {
+			return true
+		}
+		m := e.Measure(geom.Vec3{}, tag, off, rng)
+		return m.Phase >= 0 && m.Phase < phys.TwoPi && m.Power >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: OneWayChannel is reciprocal in antenna/tag exchange.
+func TestQuickChannelReciprocity(t *testing.T) {
+	e := LOS(0, Scatterer{Pos: geom.Vec3{X: 0.5, Y: 2, Z: 1}, Reflectivity: 0.3})
+	f := func(ax, ay, tx, ty float64) bool {
+		a := geom.Vec3{X: math.Mod(ax, 3), Y: math.Abs(math.Mod(ay, 3)), Z: 0.5}
+		b := geom.Vec3{X: math.Mod(tx, 3), Y: 2 + math.Abs(math.Mod(ty, 3)), Z: 1}
+		for _, v := range []float64{a.X, a.Y, b.X, b.Y} {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		h1 := e.OneWayChannel(a, b)
+		h2 := e.OneWayChannel(b, a)
+		return cmplx.Abs(h1-h2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

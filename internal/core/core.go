@@ -1,0 +1,210 @@
+// Package core wires RF-IDraw's pieces into one system: the Fig. 6d
+// deployment, the two-stage multi-resolution positioner (§5.1) and the
+// grating-lobe trajectory tracer (§5.2). It is the engine behind the public
+// rfidraw package and the experiment harness.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/cmplx"
+
+	"rfidraw/internal/deploy"
+	"rfidraw/internal/geom"
+	"rfidraw/internal/phys"
+	"rfidraw/internal/tracing"
+	"rfidraw/internal/vote"
+)
+
+// Config assembles a System.
+type Config struct {
+	// Plane is the writing plane (its Y is the user's distance from the
+	// antenna wall).
+	Plane geom.Plane
+	// Region bounds the search in the writing plane.
+	Region geom.Rect
+	// CandidateCount is how many candidate initial positions the
+	// positioner keeps (§5.2 traces each). Default 5.
+	CandidateCount int
+	// InitialAverage is how many leading samples are coherently averaged
+	// before candidate voting; averaging e^{jφ} across a few sweeps
+	// (~tens of ms, during which the hand moves a few centimetres at
+	// most) suppresses per-reply phase noise. Default 3.
+	InitialAverage int
+	// Vote and Trace allow overriding algorithm tunables; zero values
+	// take the package defaults.
+	Vote  vote.Config
+	Trace tracing.Config
+}
+
+// System is a configured RF-IDraw instance.
+type System struct {
+	dep        *deploy.RFIDraw
+	positioner *vote.Positioner
+	tracer     *tracing.Tracer
+	cfg        Config
+}
+
+// NewSystem builds a System for a deployment. A nil deployment uses the
+// standard one.
+func NewSystem(dep *deploy.RFIDraw, cfg Config) (*System, error) {
+	var err error
+	if dep == nil {
+		dep, err = deploy.DefaultRFIDraw()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Region.Width() <= 0 || cfg.Region.Height() <= 0 {
+		return nil, fmt.Errorf("core: degenerate region %+v", cfg.Region)
+	}
+	if cfg.Plane.Y <= 0 {
+		return nil, fmt.Errorf("core: writing plane distance %v must be positive", cfg.Plane.Y)
+	}
+	if cfg.CandidateCount <= 0 {
+		cfg.CandidateCount = 5
+	}
+	if cfg.InitialAverage <= 0 {
+		cfg.InitialAverage = 3
+	}
+	vc := cfg.Vote
+	vc.Plane = cfg.Plane
+	vc.Region = cfg.Region
+	vc.CandidateCount = cfg.CandidateCount
+	positioner, err := vote.NewPositioner(dep.Stage1Pairs(), dep.WidePairs, vc)
+	if err != nil {
+		return nil, err
+	}
+	tc := cfg.Trace
+	tc.Plane = cfg.Plane
+	tc.Region = cfg.Region
+	tracer, err := tracing.NewTracer(dep.AllPairs(), tc)
+	if err != nil {
+		return nil, err
+	}
+	return &System{dep: dep, positioner: positioner, tracer: tracer, cfg: cfg}, nil
+}
+
+// Deployment returns the system's antenna deployment.
+func (s *System) Deployment() *deploy.RFIDraw { return s.dep }
+
+// Positioner exposes the multi-resolution positioner.
+func (s *System) Positioner() *vote.Positioner { return s.positioner }
+
+// Tracer exposes the trajectory tracer.
+func (s *System) Tracer() *tracing.Tracer { return s.tracer }
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Localize runs multi-resolution positioning on one observation set.
+func (s *System) Localize(obs vote.Observations) ([]vote.Candidate, error) {
+	return s.positioner.Candidates(obs)
+}
+
+// TraceResult is a full tracing outcome: the chosen trajectory plus every
+// candidate's trace for diagnostics (Fig. 10 shows both).
+type TraceResult struct {
+	// Best is the chosen reconstruction (highest mean trajectory vote).
+	Best tracing.Result
+	// BestIndex indexes Candidates/All for the chosen one.
+	BestIndex int
+	// Candidates are the initial positions the positioner proposed, in
+	// the order their traces appear in All.
+	Candidates []vote.Candidate
+	// All are the traces from every candidate, aligned with Candidates.
+	All []tracing.Result
+}
+
+// InitialPosition returns the chosen candidate's initial position — the
+// system's absolute position estimate (§8.2 evaluates its accuracy).
+func (r *TraceResult) InitialPosition() geom.Vec2 {
+	return r.Candidates[r.BestIndex].Pos
+}
+
+// Trace reconstructs the tag's trajectory from an observation stream: it
+// localizes candidate initial positions from the earliest usable sample,
+// traces each candidate, and keeps the trajectory with the best vote
+// record (§5.2's selection rule).
+func (s *System) Trace(samples []tracing.Sample) (*TraceResult, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("core: no samples")
+	}
+	// Find the earliest window the positioner can work with: the first
+	// few sweeps may miss ports before every antenna has been heard.
+	// Phases are averaged coherently over InitialAverage samples to
+	// suppress reply noise before the initial vote.
+	var cands []vote.Candidate
+	start := -1
+	var lastErr error
+	for i := range samples {
+		obs := averagePhases(samples[i:], s.cfg.InitialAverage)
+		c, err := s.positioner.Candidates(obs)
+		if err == nil {
+			cands, start = c, i
+			break
+		}
+		lastErr = err
+		if i >= 8 {
+			break
+		}
+	}
+	if start < 0 {
+		return nil, fmt.Errorf("core: no usable initial sample: %w", lastErr)
+	}
+	// Trace each candidate, keeping the candidate list aligned with the
+	// successful traces.
+	var (
+		all      []tracing.Result
+		kept     []vote.Candidate
+		bestIdx  = -1
+		traceErr error
+	)
+	for _, c := range cands {
+		res, err := s.tracer.Trace(c.Pos, samples[start:])
+		if err != nil {
+			traceErr = err
+			continue
+		}
+		all = append(all, res)
+		kept = append(kept, c)
+		if bestIdx == -1 || meanVote(res) > meanVote(all[bestIdx]) {
+			bestIdx = len(all) - 1
+		}
+	}
+	if bestIdx == -1 {
+		return nil, fmt.Errorf("core: every candidate trace failed: %w", traceErr)
+	}
+	return &TraceResult{Best: all[bestIdx], BestIndex: bestIdx, Candidates: kept, All: all}, nil
+}
+
+func meanVote(r tracing.Result) float64 {
+	if len(r.Votes) == 0 {
+		return 0
+	}
+	return r.TotalVote / float64(len(r.Votes))
+}
+
+// averagePhases coherently averages each antenna's wrapped phase over up to
+// k leading samples: the circular mean of e^{jφ}. Antennas absent from all
+// samples stay absent.
+func averagePhases(samples []tracing.Sample, k int) vote.Observations {
+	if k > len(samples) {
+		k = len(samples)
+	}
+	acc := map[int]complex128{}
+	for i := 0; i < k; i++ {
+		for id, ph := range samples[i].Phase {
+			acc[id] += cmplx.Rect(1, ph)
+		}
+	}
+	obs := vote.Observations{}
+	for id, c := range acc {
+		// A near-zero phasor sum means the samples disagreed completely;
+		// its phase is meaningless, so drop the antenna for this window.
+		if cmplx.Abs(c) > 1e-6 {
+			obs[id] = phys.Wrap(cmplx.Phase(c))
+		}
+	}
+	return obs
+}

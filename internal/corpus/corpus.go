@@ -1,0 +1,284 @@
+// Package corpus provides the word workload for the evaluation. The paper
+// samples 150 words from the 5000 most frequent words of a large English
+// corpus (§6); since that exact list is external data we do not ship, this
+// package embeds an original selection of common English words with a
+// similar length distribution (2–9 letters), which is what matters to the
+// experiments: word length drives recognition difficulty (Fig. 15).
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// words is an original compilation of common English words, lowercase
+// a–z only (the supported glyph set).
+var words = []string{
+	// 2 letters
+	"an", "as", "at", "be", "by", "do", "go", "he", "if", "in",
+	"is", "it", "me", "my", "no", "of", "on", "or", "so", "to",
+	"up", "us", "we",
+	// 3 letters
+	"act", "add", "age", "air", "all", "and", "any", "arm", "art", "ask",
+	"bad", "bag", "bar", "bed", "big", "bit", "box", "boy", "bus", "but",
+	"buy", "can", "car", "cat", "cup", "cut", "day", "dog", "dry", "ear",
+	"eat", "end", "eye", "far", "few", "fit", "fly", "for", "fun", "get",
+	"god", "gun", "guy", "hand", "hat", "her", "him", "his", "hit", "hot",
+	"how", "ice", "its", "job", "key", "kid", "law", "lay", "leg", "let",
+	"lie", "lot", "low", "man", "map", "may", "mix", "mom", "new", "nor",
+	"not", "now", "odd", "off", "oil", "old", "one", "our", "out", "own",
+	"pay", "pen", "per", "pet", "put", "raw", "red", "rim", "row", "run",
+	"sad", "say", "sea", "see", "set", "she", "sit", "six", "sky", "son",
+	"sun", "tax", "tea", "ten", "the", "tie", "tip", "too", "top", "try",
+	"two", "use", "van", "war", "way", "web", "who", "why", "win", "yes",
+	"yet", "you",
+	// 4 letters
+	"able", "also", "area", "away", "baby", "back", "ball", "bank", "base",
+	"bear", "beat", "best", "bill", "bird", "blue", "body", "book", "born",
+	"both", "call", "card", "care", "case", "cell", "city", "club", "cold",
+	"come", "cost", "dark", "data", "dead", "deal", "deep", "door", "down",
+	"draw", "drop", "drug", "each", "east", "easy", "edge", "else", "even",
+	"ever", "face", "fact", "fall", "farm", "fast", "fear", "feel", "fill",
+	"film", "find", "fine", "fire", "firm", "fish", "five", "food", "foot",
+	"form", "four", "free", "from", "full", "fund", "game", "girl", "give",
+	"goal", "gold", "good", "grow", "hair", "half", "hall", "hang", "hard",
+	"have", "head", "hear", "heat", "help", "here", "high", "hold", "home",
+	"hope", "hour", "huge", "idea", "into", "item", "join", "jump", "just",
+	"keep", "kill", "kind", "know", "land", "last", "late", "lead", "left",
+	"less", "life", "like", "line", "list", "live", "long", "look", "lose",
+	"loss", "lost", "love", "main", "make", "many", "mean", "meet", "mind",
+	"miss", "more", "most", "move", "much", "music", "must", "name", "near",
+	"need", "news", "next", "nice", "nine", "none", "note", "once", "only",
+	"onto", "open", "over", "page", "pain", "part", "pass", "past", "path",
+	"pick", "plan", "play", "pull", "push", "race", "rain", "rate", "read",
+	"real", "rest", "rich", "ride", "ring", "rise", "risk", "road", "rock",
+	"role", "room", "rule", "safe", "sale", "same", "save", "seat", "seek",
+	"seem", "sell", "send", "ship", "shop", "shot", "show", "side", "sign",
+	"site", "size", "skin", "slow", "snow", "some", "song", "soon", "sort",
+	"stay", "step", "stop", "such", "sure", "take", "talk", "team", "tell",
+	"term", "test", "than", "that", "them", "then", "they", "this", "thus",
+	"time", "town", "tree", "trip", "true", "turn", "type", "unit", "upon",
+	"very", "view", "vote", "wait", "walk", "wall", "want", "warm", "wash",
+	"wear", "week", "well", "west", "what", "when", "whom", "wide", "wife",
+	"wind", "wine", "wish", "with", "word", "work", "year", "your",
+	// 5 letters
+	"about", "above", "agree", "ahead", "allow", "alone", "along", "among",
+	"apply", "argue", "avoid", "award", "basic", "beach", "begin", "black",
+	"blood", "board", "brain", "break", "bring", "brown", "build", "carry",
+	"catch", "cause", "chair", "check", "child", "civil", "claim", "class",
+	"clean", "clear", "close", "coach", "color", "could", "count", "court",
+	"cover", "crime", "cross", "crowd", "dance", "death", "doubt", "dream",
+	"dress", "drink", "drive", "early", "earth", "eight", "enemy", "enjoy",
+	"enter", "event", "every", "exist", "faith", "field", "fight", "final",
+	"floor", "focus", "force", "frame", "front", "fruit", "glass", "grant",
+	"great", "green", "group", "guard", "guess", "happy", "heart", "heavy",
+	"horse", "hotel", "house", "human", "image", "issue", "judge", "knife",
+	"large", "laugh", "layer", "learn", "leave", "legal", "level", "light",
+	"limit", "local", "major", "maybe", "meant", "media", "metal", "might",
+	"model", "money", "month", "moral", "mouth", "movie", "music", "never",
+	"night", "noise", "north", "novel", "nurse", "occur", "ocean", "offer",
+	"often", "order", "other", "owner", "paint", "panel", "paper", "party",
+	"peace", "phase", "phone", "photo", "piece", "pilot", "pitch", "place",
+	"plane", "plant", "plate", "point", "pound", "power", "press", "price",
+	"pride", "prime", "print", "prove", "quick", "quiet", "quite", "radio",
+	"raise", "range", "rapid", "ratio", "reach", "ready", "refer", "relax",
+	"reply", "right", "river", "round", "route", "scale", "scene", "scope",
+	"score", "sense", "serve", "seven", "shake", "shape", "share", "sharp",
+	"shift", "shoot", "short", "since", "skill", "sleep", "small", "smart",
+	"smile", "solid", "solve", "sound", "south", "space", "speak", "speed",
+	"spend", "sport", "staff", "stage", "stand", "start", "state", "steal",
+	"stick", "still", "stock", "stone", "store", "storm", "story", "study",
+	"stuff", "style", "sugar", "table", "teach", "thank", "theme", "there",
+	"these", "thing", "think", "third", "those", "three", "throw", "tight",
+	"tired", "title", "total", "touch", "tough", "trade", "train", "treat",
+	"trend", "trial", "trust", "truth", "twice", "under", "union", "until",
+	"upper", "usual", "value", "video", "visit", "voice", "watch", "water",
+	"wheel", "where", "which", "while", "white", "whole", "whose", "woman",
+	"world", "worry", "would", "write", "wrong", "young",
+	// 6 letters
+	"accept", "access", "across", "action", "active", "actual", "advice",
+	"afford", "agency", "agenda", "almost", "always", "amount", "animal",
+	"annual", "answer", "anyone", "appear", "around", "arrive", "artist",
+	"assume", "attack", "attend", "august", "author", "battle", "beauty",
+	"become", "before", "behind", "belief", "belong", "better", "beyond",
+	"border", "bottle", "bottom", "branch", "bridge", "bright", "brother",
+	"budget", "button", "camera", "campus", "cancer", "cannot", "carbon",
+	"career", "center", "chance", "change", "charge", "choice", "choose",
+	"church", "circle", "client", "closer", "coffee", "column", "common",
+	"copper", "corner", "county", "couple", "course", "create", "credit",
+	"crisis", "custom", "damage", "danger", "debate", "decade", "decide",
+	"defeat", "defend", "define", "degree", "demand", "depend", "design",
+	"desire", "detail", "device", "dinner", "direct", "doctor", "dollar",
+	"double", "driver", "during", "easily", "eating", "effect", "effort",
+	"either", "eleven", "emerge", "energy", "engine", "enough", "entire",
+	"escape", "ethnic", "expand", "expect", "expert", "extend", "extent",
+	"fabric", "factor", "fairly", "family", "famous", "father", "fellow",
+	"female", "figure", "finger", "finish", "flight", "flower", "follow",
+	"forest", "forget", "formal", "former", "freeze", "friend", "future",
+	"garden", "gather", "gender", "global", "ground", "growth", "guilty",
+	"handle", "happen", "hardly", "health", "heaven", "height", "hidden",
+	"holiday", "honest", "impact", "import", "income", "indeed", "injury",
+	"inside", "intend", "invest", "island", "itself", "jacket", "junior",
+	"killer", "kitchen", "labour", "latter", "lawyer", "leader", "league",
+	"legacy", "length", "lesson", "letter", "likely", "listen", "little",
+	"living", "losing", "luxury", "mainly", "manage", "manner", "margin",
+	"market", "master", "matter", "medium", "member", "memory", "mental",
+	"method", "middle", "minute", "mirror", "mobile", "modern", "moment",
+	"mostly", "mother", "motion", "murder", "muscle", "museum", "mutual",
+	"myself", "narrow", "nation", "native", "nature", "nearby", "nearly",
+	"nobody", "normal", "notice", "notion", "number", "object", "obtain",
+	"office", "online", "option", "orange", "origin", "output", "oxygen",
+	"palace", "parent", "partly", "people", "period", "permit", "person",
+	"phrase", "planet", "player", "please", "plenty", "pocket", "policy",
+	"prefer", "pretty", "prince", "prison", "profit", "proper", "public",
+	"purple", "pursue", "random", "rather", "reason", "recall", "recent",
+	"record", "reduce", "reform", "refuse", "regard", "region", "relate",
+	"remain", "remote", "remove", "repeat", "report", "rescue", "result",
+	"retain", "return", "reveal", "review", "reward", "rhythm", "saving",
+	"scheme", "school", "screen", "search", "season", "second", "secret",
+	"sector", "secure", "select", "senior", "series", "settle", "severe",
+	"shadow", "should", "silver", "simple", "simply", "singer", "single",
+	"sister", "slight", "smooth", "soccer", "social", "source", "speech",
+	"spirit", "spread", "spring", "square", "stable", "statue", "status",
+	"steady", "stream", "street", "stress", "strike", "string", "strong",
+	"studio", "submit", "sudden", "suffer", "summer", "supply", "survey",
+	"switch", "symbol", "system", "talent", "target", "tennis", "theory",
+	"thirty", "though", "threat", "ticket", "tissue", "toward", "travel",
+	"treaty", "trying", "twelve", "twenty", "unable", "unique", "united",
+	"unless", "unlike", "update", "useful", "valley", "vendor", "vision",
+	"visual", "volume", "wealth", "weekly", "weight", "window", "winner",
+	"winter", "within", "wonder", "worker", "writer", "yellow",
+	// 7+ letters
+	"ability", "account", "achieve", "address", "advance", "airline",
+	"already", "analyst", "ancient", "another", "anxiety", "anybody",
+	"applied", "arrange", "article", "attempt", "attract", "average",
+	"balance", "barrier", "battery", "because", "bedroom", "benefit",
+	"between", "billion", "brother", "cabinet", "capable", "capital",
+	"captain", "capture", "careful", "ceiling", "century", "certain",
+	"chamber", "channel", "chapter", "charity", "chicken", "citizen",
+	"classic", "climate", "clothes", "collect", "college", "combine",
+	"comfort", "command", "comment", "company", "compare", "compete",
+	"complex", "concept", "concern", "conduct", "confirm", "connect",
+	"consist", "contact", "contain", "content", "contest", "context",
+	"control", "convert", "correct", "council", "counter", "country",
+	"courage", "crucial", "culture", "curious", "current", "dealing",
+	"decline", "deliver", "density", "deposit", "desktop", "despite",
+	"destroy", "develop", "digital", "discuss", "disease", "display",
+	"distant", "diverse", "drawing", "driving", "dynamic", "eastern",
+	"economy", "edition", "element", "engage", "enhance", "evening",
+	"exactly", "examine", "example", "excited", "exhibit", "expense",
+	"explain", "explore", "express", "extreme", "factory", "failure",
+	"fashion", "feature", "federal", "feeling", "fiction", "fifteen",
+	"finance", "finding", "fitness", "foreign", "forever", "formula",
+	"fortune", "forward", "freedom", "gallery", "general", "genetic",
+	"genuine", "gravity", "greater", "habitat", "healthy", "hearing",
+	"heavily", "helpful", "herself", "highway", "himself", "history",
+	"housing", "however", "hundred", "husband", "illegal", "illness",
+	"imagine", "improve", "include", "initial", "inquiry", "insight",
+	"install", "instead", "intense", "interest", "involve", "journal",
+	"journey", "justice", "justify", "kitchen", "landing", "largely",
+	"lasting", "leading", "learning", "leather", "lecture", "liberal",
+	"library", "licence", "limited", "machine", "manager", "married",
+	"massive", "maximum", "meaning", "measure", "medical", "meeting",
+	"mention", "message", "million", "mineral", "minimum", "missing",
+	"mission", "mistake", "mixture", "monitor", "monthly", "morning",
+	"musical", "mystery", "natural", "neither", "nervous", "network",
+	"nothing", "nuclear", "obvious", "officer", "ongoing", "opening",
+	"operate", "opinion", "organic", "outcome", "outside", "overall",
+	"package", "painting", "partner", "passage", "passion", "patient",
+	"pattern", "payment", "penalty", "pension", "perfect", "perform",
+	"perhaps", "picture", "plastic", "pointed", "popular", "portion",
+	"poverty", "precise", "predict", "premise", "prepare", "present",
+	"prevent", "primary", "privacy", "private", "problem", "process",
+	"produce", "product", "profile", "program", "project", "promise",
+	"promote", "protect", "protein", "protest", "provide", "publish",
+	"purpose", "pushing", "quality", "quarter", "radical", "railway",
+	"readily", "reality", "realize", "receive", "recover", "reflect",
+	"regular", "related", "release", "remind", "replace", "request",
+	"require", "reserve", "resident", "resolve", "respect", "respond",
+	"restore", "retreat", "revenue", "reverse", "routine", "running",
+	"satisfy", "science", "section", "segment", "serious", "service",
+	"session", "setting", "seventy", "several", "shortly", "silence",
+	"similar", "society", "soldier", "somehow", "speaker", "special",
+	"species", "sponsor", "stadium", "station", "storage", "strange",
+	"stretch", "student", "subject", "succeed", "success", "suggest",
+	"summary", "support", "suppose", "supreme", "surface", "surgery",
+	"survive", "suspect", "sustain", "teacher", "telecom", "theatre",
+	"therapy", "thirteen", "thought", "through", "tonight", "totally",
+	"tourism", "traffic", "trouble", "typical", "uniform", "unknown",
+	"unusual", "upgrade", "usually", "variety", "various", "vehicle",
+	"venture", "version", "veteran", "victory", "village", "violent",
+	"virtual", "visible", "waiting", "warning", "weather", "website",
+	"wedding", "weekend", "welcome", "welfare", "western", "whereas",
+	"whether", "willing", "without", "witness", "writing", "written",
+}
+
+// All returns the full word list (deduplicated, sorted). The returned
+// slice is freshly allocated.
+func All() []string {
+	seen := make(map[string]bool, len(words))
+	out := make([]string, 0, len(words))
+	for _, w := range words {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Contains reports whether w is in the corpus.
+func Contains(w string) bool {
+	all := All()
+	i := sort.SearchStrings(all, w)
+	return i < len(all) && all[i] == w
+}
+
+// Sample draws n words uniformly without replacement. It returns an error
+// if n exceeds the corpus size.
+func Sample(rng *rand.Rand, n int) ([]string, error) {
+	all := All()
+	if n < 0 || n > len(all) {
+		return nil, fmt.Errorf("corpus: cannot sample %d of %d words", n, len(all))
+	}
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	out := all[:n]
+	sort.Strings(out)
+	return out, nil
+}
+
+// ByLength buckets the corpus by word length; lengths ≥ maxLen collapse
+// into the final bucket, matching Fig. 15's "≥6" grouping when maxLen=6.
+func ByLength(maxLen int) map[int][]string {
+	out := make(map[int][]string)
+	for _, w := range All() {
+		l := len(w)
+		if l > maxLen {
+			l = maxLen
+		}
+		out[l] = append(out[l], w)
+	}
+	return out
+}
+
+// Validate checks every corpus word is non-empty lowercase a–z; the glyph
+// font only covers that set.
+func Validate() error {
+	for _, w := range All() {
+		if w == "" {
+			return fmt.Errorf("corpus: empty word")
+		}
+		if strings.ToLower(w) != w {
+			return fmt.Errorf("corpus: %q not lowercase", w)
+		}
+		for _, r := range w {
+			if r < 'a' || r > 'z' {
+				return fmt.Errorf("corpus: %q contains unsupported rune %q", w, r)
+			}
+		}
+	}
+	return nil
+}

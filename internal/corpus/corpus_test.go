@@ -1,0 +1,107 @@
+package corpus
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestAllDeduplicatedAndSorted(t *testing.T) {
+	all := All()
+	if len(all) < 500 {
+		t.Fatalf("corpus too small: %d words", len(all))
+	}
+	if !sort.StringsAreSorted(all) {
+		t.Fatal("not sorted")
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i] == all[i-1] {
+			t.Fatalf("duplicate word %q", all[i])
+		}
+	}
+	// Returned slice is a copy.
+	all[0] = "mutated"
+	if All()[0] == "mutated" {
+		t.Fatal("All must return a fresh slice")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	for _, w := range []string{"clear", "play", "import"} {
+		if !Contains(w) {
+			t.Errorf("corpus should contain %q (paper's example words)", w)
+		}
+	}
+	if Contains("zzzzq") {
+		t.Fatal("nonsense word reported present")
+	}
+}
+
+func TestSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s, err := Sample(rng, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 150 {
+		t.Fatalf("sample size = %d", len(s))
+	}
+	seen := map[string]bool{}
+	for _, w := range s {
+		if seen[w] {
+			t.Fatalf("duplicate %q in sample", w)
+		}
+		seen[w] = true
+		if !Contains(w) {
+			t.Fatalf("sampled word %q not in corpus", w)
+		}
+	}
+	// Deterministic under the same seed.
+	s2, _ := Sample(rand.New(rand.NewSource(1)), 150)
+	for i := range s {
+		if s[i] != s2[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+	if _, err := Sample(rng, -1); err == nil {
+		t.Fatal("negative n should error")
+	}
+	if _, err := Sample(rng, 1<<20); err == nil {
+		t.Fatal("oversized n should error")
+	}
+}
+
+func TestByLength(t *testing.T) {
+	buckets := ByLength(6)
+	for _, l := range []int{2, 3, 4, 5, 6} {
+		if len(buckets[l]) == 0 {
+			t.Errorf("no words of length %d", l)
+		}
+	}
+	// Words of length > 6 collapse into bucket 6 (Fig. 15's "≥6").
+	for _, w := range buckets[6] {
+		if len(w) < 6 {
+			t.Fatalf("short word %q in ≥6 bucket", w)
+		}
+	}
+	if len(buckets[7]) != 0 {
+		t.Fatal("lengths beyond maxLen should collapse")
+	}
+}
+
+func TestWordLengthSpread(t *testing.T) {
+	// Fig. 15 needs words of 2,3,4,5,≥6 letters; the corpus should have
+	// a healthy number in each bucket.
+	buckets := ByLength(6)
+	for l := 2; l <= 6; l++ {
+		if len(buckets[l]) < 20 {
+			t.Errorf("bucket %d has only %d words", l, len(buckets[l]))
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package deploy constructs the antenna deployments of the paper's
+// evaluation (§6): RF-IDraw's Fig. 6d layout — four widely-spaced antennas
+// on one reader plus four tightly-spaced antennas on a second reader — and
+// the compared baseline's two 4-element uniform linear arrays using the
+// same total of eight antennas.
+package deploy
+
+import (
+	"fmt"
+
+	"rfidraw/internal/antenna"
+	"rfidraw/internal/geom"
+	"rfidraw/internal/phys"
+)
+
+// Reader IDs of the two-reader prototype.
+const (
+	ReaderA = 0 // widely-spaced pairs (antennas 1–4)
+	ReaderB = 1 // tightly-spaced pairs (antennas 5–8)
+)
+
+// RFIDraw is the Fig. 6d deployment: the paper's antenna arrangement with
+// the pair structure the algorithms consume.
+type RFIDraw struct {
+	Carrier phys.Carrier
+	Link    phys.Link
+	// Antennas holds all eight antennas, indexed by the paper's IDs
+	// (1–8) in Antennas[ID-1] order.
+	Antennas []antenna.Antenna
+	// WidePairs are reader A's six pairs (square edges + diagonals),
+	// each 8λ or more apart: the high-resolution grating-lobe pairs.
+	WidePairs []antenna.Pair
+	// CoarsePairs are reader B's two λ/4 pairs <5,6> and <7,8>: a single
+	// unambiguous beam each (λ/4 because backscatter doubles phase
+	// accumulation, §6).
+	CoarsePairs []antenna.Pair
+	// CrossPairs are reader B's remaining pairs <5,7>,<5,8>,<6,7>,<6,8>,
+	// used to sharpen the coarse filter (Fig. 6c).
+	CrossPairs []antenna.Pair
+}
+
+// Stage1Pairs returns the pairs used to build the stage-1 spatial filter:
+// the coarse pairs plus the cross pairs.
+func (d *RFIDraw) Stage1Pairs() []antenna.Pair {
+	out := make([]antenna.Pair, 0, len(d.CoarsePairs)+len(d.CrossPairs))
+	out = append(out, d.CoarsePairs...)
+	out = append(out, d.CrossPairs...)
+	return out
+}
+
+// AllPairs returns every pair the system votes with.
+func (d *RFIDraw) AllPairs() []antenna.Pair {
+	out := d.Stage1Pairs()
+	return append(out, d.WidePairs...)
+}
+
+// AntennaByID returns the antenna with the paper's 1-based ID.
+func (d *RFIDraw) AntennaByID(id int) (antenna.Antenna, error) {
+	if id < 1 || id > len(d.Antennas) {
+		return antenna.Antenna{}, fmt.Errorf("deploy: no antenna %d", id)
+	}
+	return d.Antennas[id-1], nil
+}
+
+// SideWavelengths is the wide square's side in wavelengths (8λ ≈ 2.6 m).
+const SideWavelengths = 8
+
+// NewRFIDraw builds the standard deployment on the wall plane y = 0:
+//
+//	2 ───────── 3        antennas 1–4: reader A corners, 8λ apart
+//	│           │        antennas 5,6: reader B vertical λ/4 pair, mid-left
+//	5                    antennas 7,8: reader B horizontal λ/4 pair, mid-bottom
+//	6
+//	│           │
+//	1 ──7 8──── 4
+//
+// The origin sits at antenna 1; x runs right, z runs up.
+func NewRFIDraw(carrier phys.Carrier, link phys.Link) (*RFIDraw, error) {
+	lambda := carrier.WavelengthM
+	L := SideWavelengths * lambda
+	q := lambda / 4
+	mk := func(id, reader int, x, z float64) antenna.Antenna {
+		return antenna.Antenna{ID: id, ReaderID: reader, Pos: geom.Vec3{X: x, Z: z}}
+	}
+	ants := []antenna.Antenna{
+		mk(1, ReaderA, 0, 0),
+		mk(2, ReaderA, 0, L),
+		mk(3, ReaderA, L, L),
+		mk(4, ReaderA, L, 0),
+		// Reader B: vertical pair on the left edge at mid-height and a
+		// horizontal pair on the bottom edge at mid-width, slightly
+		// outside the square so no element collides with reader A's.
+		mk(5, ReaderB, -0.30, L/2),
+		mk(6, ReaderB, -0.30, L/2+q),
+		mk(7, ReaderB, L/2, -0.30),
+		mk(8, ReaderB, L/2+q, -0.30),
+	}
+	pair := func(i, j int) (antenna.Pair, error) {
+		return antenna.NewPair(ants[i-1], ants[j-1], carrier, link)
+	}
+	mustPairs := func(ids [][2]int) ([]antenna.Pair, error) {
+		out := make([]antenna.Pair, 0, len(ids))
+		for _, ij := range ids {
+			p, err := pair(ij[0], ij[1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+		return out, nil
+	}
+	wide, err := mustPairs([][2]int{{1, 2}, {2, 3}, {3, 4}, {4, 1}, {1, 3}, {2, 4}})
+	if err != nil {
+		return nil, err
+	}
+	coarse, err := mustPairs([][2]int{{5, 6}, {7, 8}})
+	if err != nil {
+		return nil, err
+	}
+	cross, err := mustPairs([][2]int{{5, 7}, {5, 8}, {6, 7}, {6, 8}})
+	if err != nil {
+		return nil, err
+	}
+	return &RFIDraw{
+		Carrier:     carrier,
+		Link:        link,
+		Antennas:    ants,
+		WidePairs:   wide,
+		CoarsePairs: coarse,
+		CrossPairs:  cross,
+	}, nil
+}
+
+// DefaultRFIDraw builds the deployment at the prototype's 922 MHz carrier
+// with backscatter links.
+func DefaultRFIDraw() (*RFIDraw, error) {
+	return NewRFIDraw(phys.DefaultCarrier(), phys.Backscatter)
+}
+
+// Baseline is the compared scheme's deployment (§6): two 4-element λ/4
+// uniform linear arrays with the same total number of antennas, one along
+// the left edge of the square and one along the bottom edge.
+type Baseline struct {
+	Carrier phys.Carrier
+	Link    phys.Link
+	// Left is the vertical array along the square's left edge.
+	Left antenna.Array
+	// Bottom is the horizontal array along the square's bottom edge.
+	Bottom antenna.Array
+}
+
+// NewBaseline builds the baseline deployment matched to the RF-IDraw
+// square: array phase centres at the middle of the left and bottom edges.
+func NewBaseline(carrier phys.Carrier, link phys.Link) (*Baseline, error) {
+	lambda := carrier.WavelengthM
+	L := SideWavelengths * lambda
+	q := lambda / 4
+	// Centre each 4-element array (span 3·λ/4) on its edge midpoint.
+	left, err := antenna.NewULA(ReaderA, 1, 4,
+		geom.Vec3{X: 0, Z: L/2 - 1.5*q}, geom.Vec3{Z: q}, carrier, link)
+	if err != nil {
+		return nil, err
+	}
+	bottom, err := antenna.NewULA(ReaderB, 5, 4,
+		geom.Vec3{X: L/2 - 1.5*q, Z: 0}, geom.Vec3{X: q}, carrier, link)
+	if err != nil {
+		return nil, err
+	}
+	return &Baseline{Carrier: carrier, Link: link, Left: left, Bottom: bottom}, nil
+}
+
+// DefaultBaseline builds the baseline at the prototype's carrier.
+func DefaultBaseline() (*Baseline, error) {
+	return NewBaseline(phys.DefaultCarrier(), phys.Backscatter)
+}
+
+// AllAntennas returns the eight baseline antennas.
+func (b *Baseline) AllAntennas() []antenna.Antenna {
+	out := make([]antenna.Antenna, 0, len(b.Left.Elements)+len(b.Bottom.Elements))
+	out = append(out, b.Left.Elements...)
+	out = append(out, b.Bottom.Elements...)
+	return out
+}
+
+// DefaultRegion is the writing-plane search region used throughout the
+// evaluation: the area in front of the antenna square.
+func DefaultRegion() geom.Rect {
+	lambda := phys.DefaultCarrier().WavelengthM
+	L := SideWavelengths * lambda
+	return geom.Rect{Min: geom.Vec2{X: -0.2, Z: -0.2}, Max: geom.Vec2{X: L + 0.2, Z: L * 0.8}}
+}

@@ -1,0 +1,149 @@
+package deploy
+
+import (
+	"math"
+	"testing"
+
+	"rfidraw/internal/phys"
+)
+
+func TestNewRFIDrawStructure(t *testing.T) {
+	d, err := DefaultRFIDraw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Antennas) != 8 {
+		t.Fatalf("antennas = %d", len(d.Antennas))
+	}
+	if len(d.WidePairs) != 6 {
+		t.Fatalf("wide pairs = %d, want 6 (§3.4)", len(d.WidePairs))
+	}
+	if len(d.CoarsePairs) != 2 || len(d.CrossPairs) != 4 {
+		t.Fatalf("coarse/cross = %d/%d", len(d.CoarsePairs), len(d.CrossPairs))
+	}
+	if len(d.Stage1Pairs()) != 6 || len(d.AllPairs()) != 12 {
+		t.Fatal("pair aggregation wrong")
+	}
+	lambda := d.Carrier.WavelengthM
+	// Square edges are 8λ ≈ 2.6 m (§6).
+	for _, i := range []int{0, 1, 2, 3} {
+		sep := d.WidePairs[i].Separation()
+		if math.Abs(sep-8*lambda) > 1e-9 {
+			t.Errorf("wide pair %d separation = %v, want 8λ", i, sep)
+		}
+	}
+	// Diagonals are 8√2 λ.
+	for _, i := range []int{4, 5} {
+		sep := d.WidePairs[i].Separation()
+		if math.Abs(sep-8*math.Sqrt2*lambda) > 1e-9 {
+			t.Errorf("diagonal pair %d separation = %v", i, sep)
+		}
+	}
+	// Coarse pairs are λ/4 (backscatter-unambiguous, §6) and single-beam.
+	for i, p := range d.CoarsePairs {
+		if math.Abs(p.Separation()-lambda/4) > 1e-9 {
+			t.Errorf("coarse pair %d separation = %v, want λ/4", i, p.Separation())
+		}
+		if p.LobeCount() != 1 {
+			t.Errorf("coarse pair %d has %d lobes, want 1", i, p.LobeCount())
+		}
+	}
+	// Wide pairs have many lobes.
+	if d.WidePairs[0].LobeCount() < 16 {
+		t.Errorf("wide pair lobes = %d, want ≥16", d.WidePairs[0].LobeCount())
+	}
+}
+
+func TestReaderAssignment(t *testing.T) {
+	d, err := DefaultRFIDraw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{1, 2, 3, 4} {
+		a, err := d.AntennaByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.ReaderID != ReaderA {
+			t.Errorf("antenna %d on reader %d, want A", id, a.ReaderID)
+		}
+	}
+	for _, id := range []int{5, 6, 7, 8} {
+		a, err := d.AntennaByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.ReaderID != ReaderB {
+			t.Errorf("antenna %d on reader %d, want B", id, a.ReaderID)
+		}
+	}
+	if _, err := d.AntennaByID(0); err == nil {
+		t.Fatal("ID 0 should error")
+	}
+	if _, err := d.AntennaByID(9); err == nil {
+		t.Fatal("ID 9 should error")
+	}
+	// No pair spans readers (§3.5).
+	for _, p := range d.AllPairs() {
+		if p.I.ReaderID != p.J.ReaderID {
+			t.Fatalf("pair <%d,%d> spans readers", p.I.ID, p.J.ID)
+		}
+	}
+}
+
+func TestNewBaselineStructure(t *testing.T) {
+	b, err := DefaultBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.AllAntennas()) != 8 {
+		t.Fatalf("baseline antennas = %d, want 8 (same as RF-IDraw)", len(b.AllAntennas()))
+	}
+	lambda := b.Carrier.WavelengthM
+	// λ/4 element spacing (§6).
+	gotL := b.Left.Elements[1].Pos.Dist(b.Left.Elements[0].Pos)
+	gotB := b.Bottom.Elements[1].Pos.Dist(b.Bottom.Elements[0].Pos)
+	if math.Abs(gotL-lambda/4) > 1e-9 || math.Abs(gotB-lambda/4) > 1e-9 {
+		t.Fatalf("element spacing = %v / %v, want λ/4", gotL, gotB)
+	}
+	// Left array is vertical, bottom horizontal.
+	if b.Left.Axis().Z < 0.99 {
+		t.Fatalf("left axis = %v", b.Left.Axis())
+	}
+	if b.Bottom.Axis().X < 0.99 {
+		t.Fatalf("bottom axis = %v", b.Bottom.Axis())
+	}
+	// Phase centres on the edge midpoints.
+	L := SideWavelengths * lambda
+	if math.Abs(b.Left.Center().Z-L/2) > 1e-9 || math.Abs(b.Left.Center().X) > 1e-9 {
+		t.Fatalf("left center = %v", b.Left.Center())
+	}
+	if math.Abs(b.Bottom.Center().X-L/2) > 1e-9 || math.Abs(b.Bottom.Center().Z) > 1e-9 {
+		t.Fatalf("bottom center = %v", b.Bottom.Center())
+	}
+}
+
+func TestDefaultRegionCoversSquare(t *testing.T) {
+	r := DefaultRegion()
+	if r.Width() <= 0 || r.Height() <= 0 {
+		t.Fatal("degenerate region")
+	}
+	d, _ := DefaultRFIDraw()
+	lambda := d.Carrier.WavelengthM
+	if r.Max.X < 8*lambda {
+		t.Fatal("region should span the antenna square")
+	}
+}
+
+func TestNewRFIDrawOneWayLink(t *testing.T) {
+	// The deployment also supports one-way links (the §9.3 WiFi
+	// discussion); lobe counts halve relative to backscatter.
+	d, err := NewRFIDraw(phys.DefaultCarrier(), phys.OneWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, _ := DefaultRFIDraw()
+	if d.WidePairs[0].LobeCount() >= bs.WidePairs[0].LobeCount() {
+		t.Fatal("one-way link should have fewer lobes than backscatter")
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAblations(t *testing.T) {
+	rep, err := RunAblations(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials != 3 {
+		t.Fatalf("trials = %d", rep.Trials)
+	}
+	// The coarse filter must help one-shot localization.
+	if rep.CoarseFilterErr >= rep.WideOnlyErr {
+		t.Fatalf("coarse filter should help: %.3f vs %.3f", rep.CoarseFilterErr, rep.WideOnlyErr)
+	}
+	// Lobe locking must beat per-sample re-voting on shape.
+	if rep.LockedErr >= rep.PerSampleErr {
+		t.Fatalf("lobe locking should help: %.3f vs %.3f", rep.LockedErr, rep.PerSampleErr)
+	}
+	// The vote-refined initial position is at least as good as the raw
+	// best-stage-vote candidate.
+	if rep.VoteSelectErr > rep.FirstCandErr+1e-9 {
+		t.Fatalf("vote selection should not hurt: %.3f vs %.3f", rep.VoteSelectErr, rep.FirstCandErr)
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "coarse filter") || !strings.Contains(out, "lobe locking") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+	// Defaulted trials.
+	if rep2, err := RunAblations(0, 7); err != nil || rep2.Trials <= 0 {
+		t.Fatalf("default trials: %+v err=%v", rep2, err)
+	}
+}

@@ -1,0 +1,300 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§7–§9) against the simulated testbed: trajectory-error CDFs, initial
+// position CDFs, error coupling, character/word recognition rates, beam
+// pattern illustrations and the microbenchmark. Each figure has a Run
+// function returning a report that renders to text and CSV.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rfidraw/internal/baseline"
+	"rfidraw/internal/core"
+	"rfidraw/internal/corpus"
+	"rfidraw/internal/geom"
+	"rfidraw/internal/handwriting"
+	"rfidraw/internal/recognition"
+	"rfidraw/internal/sim"
+	"rfidraw/internal/stats"
+	"rfidraw/internal/traj"
+)
+
+// BatchConfig drives the shared word-writing experiment behind Figs.
+// 11–15: users write words sampled from the corpus at several distances,
+// and both systems reconstruct every trace.
+type BatchConfig struct {
+	// Prop is the propagation condition (LOS or NLOS).
+	Prop sim.Propagation
+	// Words is the number of words to write (the paper uses 150).
+	Words int
+	// Users is the number of distinct user styles (the paper uses 5).
+	Users int
+	// Distances are the user-to-wall distances cycled through (§8 uses
+	// 2–5 m). Defaults to {2, 3, 5}.
+	Distances []float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c BatchConfig) withDefaults() BatchConfig {
+	if c.Words <= 0 {
+		c.Words = 30
+	}
+	if c.Users <= 0 {
+		c.Users = 5
+	}
+	if len(c.Distances) == 0 {
+		c.Distances = []float64{2, 3, 5}
+	}
+	return c
+}
+
+// WordOutcome is everything measured for one written word.
+type WordOutcome struct {
+	Text     string
+	User     int
+	Distance float64
+
+	// TrajErrRF is RF-IDraw's median point error after removing the
+	// initial-position offset (§8.1's metric), in metres.
+	TrajErrRF float64
+	// TrajErrBL is the baseline's median point error after removing the
+	// mean offset (the metric favourable to it), in metres.
+	TrajErrBL float64
+	// InitErrRF / InitErrBL are the absolute initial-position errors.
+	InitErrRF float64
+	InitErrBL float64
+
+	// Character recognition tallies (per letter).
+	CharsTotal int
+	CharsOKRF  int
+	CharsOKBL  int
+	// Word recognition outcomes (after dictionary correction).
+	WordOKRF bool
+	WordOKBL bool
+
+	// FailedRF / FailedBL record reconstruction failures (excluded from
+	// error statistics but reported).
+	FailedRF bool
+	FailedBL bool
+}
+
+// BatchResult aggregates a full word batch.
+type BatchResult struct {
+	Config   BatchConfig
+	Outcomes []WordOutcome
+}
+
+// RunBatch executes the shared word-writing experiment.
+func RunBatch(cfg BatchConfig) (*BatchResult, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	words, err := corpus.Sample(rng, cfg.Words)
+	if err != nil {
+		return nil, err
+	}
+	rng.Shuffle(len(words), func(i, j int) { words[i], words[j] = words[j], words[i] })
+
+	styles := make([]handwriting.Style, cfg.Users)
+	for i := range styles {
+		styles[i] = handwriting.RandomStyle(rng)
+	}
+	rec, err := recognition.New(corpus.All())
+	if err != nil {
+		return nil, err
+	}
+
+	res := &BatchResult{Config: cfg}
+	for wi, text := range words {
+		user := wi % cfg.Users
+		dist := cfg.Distances[wi%len(cfg.Distances)]
+		out, err := runOneWord(text, user, dist, cfg.Prop, cfg.Seed+int64(wi)*7919, styles[user], rec)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: word %q: %w", text, err)
+		}
+		res.Outcomes = append(res.Outcomes, out)
+	}
+	return res, nil
+}
+
+// runOneWord simulates one written word and evaluates both systems on it.
+func runOneWord(text string, user int, dist float64, prop sim.Propagation, seed int64, style handwriting.Style, rec *recognition.Recognizer) (WordOutcome, error) {
+	out := WordOutcome{Text: text, User: user, Distance: dist}
+	sc, err := sim.New(sim.Config{Prop: prop, Distance: dist, Seed: seed})
+	if err != nil {
+		return out, err
+	}
+	// Place the word so it fits inside the region with margin.
+	width := float64(len(text)) * style.LetterHeightM * 1.1
+	maxX := sc.Region.Max.X - width - 0.3
+	if maxX < sc.Region.Min.X+0.3 {
+		maxX = sc.Region.Min.X + 0.3
+	}
+	start := geom.Vec2{
+		X: sc.Region.Min.X + 0.3 + sc.RNG().Float64()*(maxX-sc.Region.Min.X-0.3),
+		Z: 0.8 + sc.RNG().Float64()*0.5,
+	}
+	wr, err := sc.RunWord(text, start, style)
+	if err != nil {
+		return out, err
+	}
+	truthStart := wr.Truth.Start()
+
+	// RF-IDraw reconstruction.
+	sys, err := core.NewSystem(sc.RFIDraw, core.Config{Plane: sc.Plane, Region: sc.Region})
+	if err != nil {
+		return out, err
+	}
+	rfRes, err := sys.Trace(wr.SamplesRF)
+	if err != nil {
+		out.FailedRF = true
+	} else {
+		rep, err := traj.Compare(wr.Truth, rfRes.Best.Trajectory, traj.AlignInitial, 128)
+		if err != nil {
+			out.FailedRF = true
+		} else {
+			out.TrajErrRF = stats.Median(rep.PointErrors)
+			out.InitErrRF = rfRes.InitialPosition().Dist(truthStart)
+			// Recognition on the shape-corrected reconstruction: shift
+			// by the initial offset like Fig. 10e, then classify.
+			shifted := rfRes.Best.Trajectory.Shift(rep.Offset.Scale(-1))
+			scoreRecognition(rec, shifted, wr, &out.CharsTotal, &out.CharsOKRF, &out.WordOKRF)
+		}
+	}
+
+	// Baseline reconstruction.
+	bl, err := baseline.New(sc.Baseline, baseline.Config{Plane: sc.Plane, Region: sc.Region})
+	if err != nil {
+		return out, err
+	}
+	blTraj, err := bl.Trace(wr.SamplesBL)
+	if err != nil {
+		out.FailedBL = true
+	} else {
+		rep, err := traj.Compare(wr.Truth, blTraj, traj.AlignMean, 128)
+		if err != nil {
+			out.FailedBL = true
+		} else {
+			out.TrajErrBL = stats.Median(rep.PointErrors)
+			out.InitErrBL = blTraj.Start().Dist(truthStart)
+			shifted := blTraj.Shift(rep.Offset.Scale(-1))
+			var blTotal int
+			scoreRecognition(rec, shifted, wr, &blTotal, &out.CharsOKBL, &out.WordOKBL)
+			if out.CharsTotal == 0 {
+				out.CharsTotal = blTotal
+			}
+		}
+	}
+	return out, nil
+}
+
+// scoreRecognition classifies each letter of a reconstructed trajectory
+// and the whole word. The trajectory is smoothed first, as the prototype's
+// pipeline does before emitting touch events.
+func scoreRecognition(rec *recognition.Recognizer, t traj.Trajectory, wr *sim.WordRun, total, okChars *int, okWord *bool) {
+	t = t.Smooth(3)
+	*total = 0
+	*okChars = 0
+	for _, span := range wr.Word.Letters {
+		pts, err := handwriting.LetterPositions(t, span, recognition.TemplatePoints)
+		if err != nil {
+			continue
+		}
+		c, err := rec.Classify(pts)
+		if err != nil {
+			continue
+		}
+		*total++
+		if c.Rune == span.Rune {
+			*okChars++
+		}
+	}
+	_, ok, err := rec.RecognizeWord(t, wr.Word.Letters, wr.Word.Text)
+	*okWord = err == nil && ok
+}
+
+// TrajErrors returns both systems' per-word trajectory errors (metres),
+// excluding failures.
+func (r *BatchResult) TrajErrors() (rf, bl []float64) {
+	for _, o := range r.Outcomes {
+		if !o.FailedRF {
+			rf = append(rf, o.TrajErrRF)
+		}
+		if !o.FailedBL {
+			bl = append(bl, o.TrajErrBL)
+		}
+	}
+	return rf, bl
+}
+
+// InitErrors returns both systems' initial-position errors (metres).
+func (r *BatchResult) InitErrors() (rf, bl []float64) {
+	for _, o := range r.Outcomes {
+		if !o.FailedRF {
+			rf = append(rf, o.InitErrRF)
+		}
+		if !o.FailedBL {
+			bl = append(bl, o.InitErrBL)
+		}
+	}
+	return rf, bl
+}
+
+// CharRates returns character recognition rates per distance for both
+// systems.
+func (r *BatchResult) CharRates() map[float64]*DistanceRates {
+	out := map[float64]*DistanceRates{}
+	for _, o := range r.Outcomes {
+		dr, ok := out[o.Distance]
+		if !ok {
+			dr = &DistanceRates{Distance: o.Distance}
+			out[o.Distance] = dr
+		}
+		if !o.FailedRF {
+			dr.RF.Success += o.CharsOKRF
+			dr.RF.Total += o.CharsTotal
+		}
+		if !o.FailedBL {
+			dr.BL.Success += o.CharsOKBL
+			dr.BL.Total += o.CharsTotal
+		}
+	}
+	return out
+}
+
+// DistanceRates carries per-distance character recognition tallies.
+type DistanceRates struct {
+	Distance float64
+	RF, BL   stats.Rate
+}
+
+// WordRatesByLength returns word recognition rates bucketed by word length
+// (lengths ≥ maxLen collapse, as Fig. 15 groups "≥6").
+func (r *BatchResult) WordRatesByLength(maxLen int) map[int]*LengthRates {
+	out := map[int]*LengthRates{}
+	for _, o := range r.Outcomes {
+		l := len(o.Text)
+		if l > maxLen {
+			l = maxLen
+		}
+		lr, ok := out[l]
+		if !ok {
+			lr = &LengthRates{Length: l}
+			out[l] = lr
+		}
+		if !o.FailedRF {
+			lr.RF.Add(o.WordOKRF)
+		}
+		if !o.FailedBL {
+			lr.BL.Add(o.WordOKBL)
+		}
+	}
+	return out
+}
+
+// LengthRates carries per-word-length recognition tallies.
+type LengthRates struct {
+	Length int
+	RF, BL stats.Rate
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"rfidraw/internal/sim"
+	"rfidraw/internal/stats"
+)
+
+// TestCalibration prints headline numbers for a small batch in both
+// propagation conditions; it is a diagnostic aid while tuning the channel
+// model and only asserts coarse sanity.
+func TestCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe is slow")
+	}
+	for _, prop := range []sim.Propagation{sim.LOS, sim.NLOS} {
+		res, err := RunBatch(BatchConfig{Prop: prop, Words: 12, Users: 3, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, bl := res.TrajErrors()
+		irf, ibl := res.InitErrors()
+		fmt.Printf("%v traj RF median=%.3f p90=%.3f | BL median=%.3f p90=%.3f\n",
+			prop, stats.Median(rf), stats.Percentile(rf, 90), stats.Median(bl), stats.Percentile(bl, 90))
+		fmt.Printf("%v init RF median=%.3f | BL median=%.3f\n", prop, stats.Median(irf), stats.Median(ibl))
+		var cr, ct, cb int
+		var wr, wt, wb int
+		for _, o := range res.Outcomes {
+			cr += o.CharsOKRF
+			cb += o.CharsOKBL
+			ct += o.CharsTotal
+			wt++
+			if o.WordOKRF {
+				wr++
+			}
+			if o.WordOKBL {
+				wb++
+			}
+		}
+		fmt.Printf("%v char RF=%d/%d BL=%d/%d word RF=%d/%d BL=%d/%d\n", prop, cr, ct, cb, ct, wr, wt, wb, wt)
+		if stats.Median(rf) >= stats.Median(bl) {
+			t.Errorf("%v: RF-IDraw median %.3f should beat baseline %.3f", prop, stats.Median(rf), stats.Median(bl))
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"rfidraw/internal/sim"
+)
+
+func TestDiagPerDistance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	res, err := RunBatch(BatchConfig{Prop: sim.LOS, Words: 18, Users: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range res.Outcomes {
+		fmt.Printf("%-9s d=%.0f trajRF=%.3f initRF=%.3f charsRF=%d/%d wordRF=%v trajBL=%.3f failRF=%v\n",
+			o.Text, o.Distance, o.TrajErrRF, o.InitErrRF, o.CharsOKRF, o.CharsTotal, o.WordOKRF, o.TrajErrBL, o.FailedRF)
+	}
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"rfidraw/internal/geom"
+	"rfidraw/internal/sim"
+	"rfidraw/internal/stats"
+	"rfidraw/internal/vote"
+)
+
+func TestBatchConfigDefaults(t *testing.T) {
+	cfg := BatchConfig{}.withDefaults()
+	if cfg.Words <= 0 || cfg.Users <= 0 || len(cfg.Distances) == 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestBatchOutcomeCoverage(t *testing.T) {
+	res, err := RunBatch(BatchConfig{Prop: sim.LOS, Words: 6, Users: 2, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 6 {
+		t.Fatalf("outcomes = %d", len(res.Outcomes))
+	}
+	users := map[int]bool{}
+	dists := map[float64]bool{}
+	for _, o := range res.Outcomes {
+		users[o.User] = true
+		dists[o.Distance] = true
+		if o.Text == "" {
+			t.Fatal("empty word")
+		}
+		if !o.FailedRF && o.TrajErrRF < 0 {
+			t.Fatal("negative error")
+		}
+		if !o.FailedRF && o.CharsTotal == 0 {
+			t.Fatalf("word %q has no character tallies", o.Text)
+		}
+	}
+	if len(users) != 2 {
+		t.Fatalf("users covered = %v", users)
+	}
+	if len(dists) != 3 {
+		t.Fatalf("distances covered = %v", dists)
+	}
+}
+
+func TestBatchAccessorsExcludeFailures(t *testing.T) {
+	res := &BatchResult{Outcomes: []WordOutcome{
+		{TrajErrRF: 0.01, TrajErrBL: 0.1, InitErrRF: 0.02, InitErrBL: 0.3},
+		{FailedRF: true, TrajErrBL: 0.2, InitErrBL: 0.4},
+		{FailedBL: true, TrajErrRF: 0.03, InitErrRF: 0.04},
+	}}
+	rf, bl := res.TrajErrors()
+	if len(rf) != 2 || len(bl) != 2 {
+		t.Fatalf("traj errors = %d/%d", len(rf), len(bl))
+	}
+	irf, ibl := res.InitErrors()
+	if len(irf) != 2 || len(ibl) != 2 {
+		t.Fatalf("init errors = %d/%d", len(irf), len(ibl))
+	}
+}
+
+func TestCharRatesGrouping(t *testing.T) {
+	res := &BatchResult{Outcomes: []WordOutcome{
+		{Distance: 2, CharsTotal: 5, CharsOKRF: 5, CharsOKBL: 1},
+		{Distance: 2, CharsTotal: 5, CharsOKRF: 4, CharsOKBL: 0},
+		{Distance: 5, CharsTotal: 3, CharsOKRF: 2, CharsOKBL: 0},
+		{Distance: 5, FailedRF: true, FailedBL: true, CharsTotal: 4},
+	}}
+	rates := res.CharRates()
+	if len(rates) != 2 {
+		t.Fatalf("distance groups = %d", len(rates))
+	}
+	d2 := rates[2.0]
+	if d2.RF.Success != 9 || d2.RF.Total != 10 {
+		t.Fatalf("d2 RF = %+v", d2.RF)
+	}
+	if d2.BL.Success != 1 {
+		t.Fatalf("d2 BL = %+v", d2.BL)
+	}
+	d5 := rates[5.0]
+	// The failed word contributes nothing.
+	if d5.RF.Total != 3 {
+		t.Fatalf("d5 RF total = %d", d5.RF.Total)
+	}
+}
+
+func TestWordRatesByLength(t *testing.T) {
+	res := &BatchResult{Outcomes: []WordOutcome{
+		{Text: "go", WordOKRF: true},
+		{Text: "play", WordOKRF: true, WordOKBL: false},
+		{Text: "playing", WordOKRF: false},
+		{Text: "station", WordOKRF: true},
+	}}
+	rates := res.WordRatesByLength(6)
+	if rates[2].RF.Success != 1 || rates[2].RF.Total != 1 {
+		t.Fatalf("len2 = %+v", rates[2].RF)
+	}
+	if rates[4].RF.Total != 1 {
+		t.Fatalf("len4 = %+v", rates[4].RF)
+	}
+	// 7-letter words collapse into the ≥6 bucket.
+	if rates[6].RF.Total != 2 || rates[6].RF.Success != 1 {
+		t.Fatalf("len6 = %+v", rates[6].RF)
+	}
+}
+
+func TestCDFReportMath(t *testing.T) {
+	r := &CDFReport{
+		Title: "test", Prop: sim.LOS,
+		RF: []float64{0.01, 0.02, 0.03},
+		BL: []float64{0.1, 0.2, 0.3},
+	}
+	rf, bl := r.Summary()
+	if rf.Median != 0.02 || bl.Median != 0.2 {
+		t.Fatalf("medians = %v / %v", rf.Median, bl.Median)
+	}
+	if got := r.Improvement(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("improvement = %v", got)
+	}
+	headers, rows := r.CDFPoints(8)
+	if len(headers) != 4 || len(rows) != 8 {
+		t.Fatalf("points = %d×%d", len(rows), len(headers))
+	}
+	// Probabilities are monotone.
+	for i := 1; i < len(rows); i++ {
+		if rows[i][1] < rows[i-1][1] || rows[i][3] < rows[i-1][3] {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if r.Render() == "" {
+		t.Fatal("render")
+	}
+	// Degenerate improvement.
+	zero := &CDFReport{RF: []float64{0}, BL: []float64{1}}
+	if zero.Improvement() != 0 {
+		t.Fatal("zero median should yield 0 improvement")
+	}
+}
+
+func TestFWHMWidthOnSyntheticPeak(t *testing.T) {
+	grid, err := vote.NewGrid(geom.Rect{Min: geom.Vec2{}, Max: geom.Vec2{X: 1, Z: 0.2}}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := make([]float64, grid.Len())
+	src := geom.Vec2{X: 0.5, Z: 0.1}
+	sigma := 0.05
+	for i := range pattern {
+		d := grid.At(i).Dist(src)
+		pattern[i] = math.Exp(-d * d / (2 * sigma * sigma))
+	}
+	w := FWHMWidth(pattern, grid, src)
+	// FWHM of a Gaussian is 2.355σ ≈ 0.118; grid quantization ±0.02.
+	if w < 0.08 || w > 0.16 {
+		t.Fatalf("FWHM = %v, want ≈0.118", w)
+	}
+}
+
+func TestCountRowClusters(t *testing.T) {
+	grid, err := vote.NewGrid(geom.Rect{Min: geom.Vec2{}, Max: geom.Vec2{X: 1, Z: 0.1}}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row of 11 cells with two separated high runs.
+	pattern := make([]float64, grid.Len())
+	for _, ix := range []int{1, 2, 7, 8} {
+		pattern[ix] = 1 // iz = 0 row
+	}
+	if got := countRowClusters(pattern, grid, geom.Vec2{X: 0.5, Z: 0}, 0.5); got != 2 {
+		t.Fatalf("clusters = %d, want 2", got)
+	}
+	// Out-of-range source z yields 0.
+	if got := countRowClusters(pattern, grid, geom.Vec2{X: 0.5, Z: 9}, 0.5); got != 0 {
+		t.Fatalf("out-of-range clusters = %d", got)
+	}
+}
+
+func TestRatesHelpersOnEmptyBatch(t *testing.T) {
+	res := &BatchResult{}
+	if rf, bl := res.TrajErrors(); rf != nil || bl != nil {
+		t.Fatal("empty batch should have no errors")
+	}
+	if got := res.CharRates(); len(got) != 0 {
+		t.Fatal("empty char rates")
+	}
+	if got := res.WordRatesByLength(6); len(got) != 0 {
+		t.Fatal("empty word rates")
+	}
+	f13 := RunFig13(res)
+	for _, b := range f13.Buckets {
+		if len(b.Values) != 0 {
+			t.Fatal("empty batch buckets should be empty")
+		}
+	}
+	_ = stats.Median(nil)
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rfidraw/internal/baseline"
+	"rfidraw/internal/core"
+	"rfidraw/internal/geom"
+	"rfidraw/internal/handwriting"
+	"rfidraw/internal/plot"
+	"rfidraw/internal/sim"
+	"rfidraw/internal/traj"
+)
+
+// Fig16Report is the qualitative comparison of Fig. 16: the word "play"
+// written 5 m from the reader antennas, reconstructed by both systems.
+// RF-IDraw reproduces the writing; the baseline scatters.
+type Fig16Report struct {
+	// RFErr and BLErr are the median shape errors (m) of the two
+	// reconstructions.
+	RFErr, BLErr float64
+	// TruthPlot, RFPlot and BLPlot are ASCII renderings.
+	TruthPlot, RFPlot, BLPlot string
+}
+
+// RunFig16 regenerates Fig. 16.
+func RunFig16(seed int64) (*Fig16Report, error) {
+	sc, err := sim.New(sim.Config{Prop: sim.LOS, Distance: 5, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	wr, err := sc.RunWord("play", geom.Vec2{X: 0.9, Z: 1.0}, handwriting.DefaultStyle())
+	if err != nil {
+		return nil, err
+	}
+	rep := &Fig16Report{}
+
+	sys, err := core.NewSystem(sc.RFIDraw, core.Config{Plane: sc.Plane, Region: sc.Region})
+	if err != nil {
+		return nil, err
+	}
+	rf, err := sys.Trace(wr.SamplesRF)
+	if err != nil {
+		return nil, err
+	}
+	if rep.RFErr, err = traj.MedianError(wr.Truth, rf.Best.Trajectory, traj.AlignInitial, 128); err != nil {
+		return nil, err
+	}
+
+	bl, err := baseline.New(sc.Baseline, baseline.Config{Plane: sc.Plane, Region: sc.Region})
+	if err != nil {
+		return nil, err
+	}
+	blTraj, err := bl.Trace(wr.SamplesBL)
+	if err != nil {
+		return nil, err
+	}
+	if rep.BLErr, err = traj.MedianError(wr.Truth, blTraj, traj.AlignMean, 128); err != nil {
+		return nil, err
+	}
+
+	if rep.TruthPlot, err = plot.Trajectories(72, 18, wr.Truth.Positions()); err != nil {
+		return nil, err
+	}
+	if rep.RFPlot, err = plot.Trajectories(72, 18, rf.Best.Trajectory.Positions()); err != nil {
+		return nil, err
+	}
+	if rep.BLPlot, err = plot.Trajectories(72, 18, blTraj.Positions()); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// Render formats the report.
+func (r *Fig16Report) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 16 — \"play\" written 5 m away\n")
+	fmt.Fprintf(&b, "RF-IDraw shape error: %.1f cm   baseline shape error: %.1f cm\n", r.RFErr*100, r.BLErr*100)
+	b.WriteString("\nground truth:\n")
+	b.WriteString(r.TruthPlot)
+	b.WriteString("\nRF-IDraw reconstruction:\n")
+	b.WriteString(r.RFPlot)
+	b.WriteString("\nantenna-array baseline reconstruction:\n")
+	b.WriteString(r.BLPlot)
+	return b.String()
+}

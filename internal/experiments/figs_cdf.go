@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"rfidraw/internal/sim"
+	"rfidraw/internal/stats"
+)
+
+// CDFReport carries one error-CDF comparison (the paper's Figs. 11 and
+// 12): RF-IDraw vs the antenna-array baseline under one propagation
+// condition.
+type CDFReport struct {
+	Title string
+	Prop  sim.Propagation
+	// RF and BL are the per-word error samples (metres).
+	RF, BL []float64
+}
+
+// Summary returns both systems' order statistics.
+func (r *CDFReport) Summary() (rf, bl stats.Summary) {
+	return stats.Summarize(r.RF), stats.Summarize(r.BL)
+}
+
+// Improvement is the baseline-to-RF-IDraw median ratio (the paper's
+// headline 11×/16× for trajectories, 2.2×/2.3× for initial positions).
+func (r *CDFReport) Improvement() float64 {
+	rf, bl := r.Summary()
+	if rf.Median == 0 {
+		return 0
+	}
+	return bl.Median / rf.Median
+}
+
+// Render formats the report.
+func (r *CDFReport) Render() string {
+	rf, bl := r.Summary()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%v)\n", r.Title, r.Prop)
+	fmt.Fprintf(&b, "RF-IDraw: median %.1f cm, 90th %.1f cm (n=%d)\n", rf.Median*100, rf.P90*100, rf.N)
+	fmt.Fprintf(&b, "Baseline: median %.1f cm, 90th %.1f cm (n=%d)\n", bl.Median*100, bl.P90*100, bl.N)
+	fmt.Fprintf(&b, "improvement: %.1f×\n", r.Improvement())
+	return b.String()
+}
+
+// CDFPoints renders n (error_cm, probability) rows per system for CSV.
+func (r *CDFReport) CDFPoints(n int) (headers []string, rows [][]float64) {
+	rfCDF := stats.NewCDF(r.RF)
+	blCDF := stats.NewCDF(r.BL)
+	rx, rp := rfCDF.Points(n)
+	bx, bp := blCDF.Points(n)
+	headers = []string{"rf_err_cm", "rf_p", "bl_err_cm", "bl_p"}
+	for i := 0; i < n && i < len(rx) && i < len(bx); i++ {
+		rows = append(rows, []float64{rx[i] * 100, rp[i], bx[i] * 100, bp[i]})
+	}
+	return headers, rows
+}
+
+// RunFig11 regenerates the trajectory-error CDF (Fig. 11) for one
+// propagation condition from a word batch.
+func RunFig11(batch *BatchResult) *CDFReport {
+	rf, bl := batch.TrajErrors()
+	return &CDFReport{Title: "Fig 11 — trajectory error CDF", Prop: batch.Config.Prop, RF: rf, BL: bl}
+}
+
+// RunFig12 regenerates the initial-position-error CDF (Fig. 12).
+func RunFig12(batch *BatchResult) *CDFReport {
+	rf, bl := batch.InitErrors()
+	return &CDFReport{Title: "Fig 12 — initial position error CDF", Prop: batch.Config.Prop, RF: rf, BL: bl}
+}
+
+// Fig13Report buckets RF-IDraw's trajectory error by its initial-position
+// error (the paper's Fig. 13): below ≈0.4 m offset the shape error stays
+// ≈3 cm; above it grows to 7–8 cm but remains a coherent enlargement.
+type Fig13Report struct {
+	Buckets []stats.Bucket
+}
+
+// RunFig13 regenerates Fig. 13 from a word batch.
+func RunFig13(batch *BatchResult) *Fig13Report {
+	var keys, vals []float64
+	for _, o := range batch.Outcomes {
+		if o.FailedRF {
+			continue
+		}
+		keys = append(keys, o.InitErrRF)
+		vals = append(vals, o.TrajErrRF)
+	}
+	edges := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	return &Fig13Report{Buckets: stats.BucketBy(keys, vals, edges, true)}
+}
+
+// Render formats the report.
+func (r *Fig13Report) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 13 — trajectory error vs initial position error (RF-IDraw)\n")
+	rows := make([][]string, 0, len(r.Buckets))
+	for _, bk := range r.Buckets {
+		med := stats.Median(bk.Values)
+		rows = append(rows, []string{
+			bk.Label(),
+			fmt.Sprintf("%d", len(bk.Values)),
+			fmt.Sprintf("%.2f", med*100),
+		})
+	}
+	b.WriteString(stats.Table([]string{"init err (m)", "n", "median traj err (cm)"}, rows))
+	return b.String()
+}
+
+// Fig14Report is the character recognition success rate by distance
+// (Fig. 14): ≈97–98% for RF-IDraw at 2/3/5 m, chance level for the
+// baseline.
+type Fig14Report struct {
+	Rates []*DistanceRates
+}
+
+// RunFig14 regenerates Fig. 14 from a word batch.
+func RunFig14(batch *BatchResult) *Fig14Report {
+	m := batch.CharRates()
+	var out []*DistanceRates
+	for _, d := range batch.Config.Distances {
+		if r, ok := m[d]; ok {
+			out = append(out, r)
+		}
+	}
+	return &Fig14Report{Rates: out}
+}
+
+// Render formats the report.
+func (r *Fig14Report) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 14 — character recognition success rate by distance\n")
+	rows := make([][]string, 0, len(r.Rates))
+	for _, dr := range r.Rates {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f m", dr.Distance),
+			fmt.Sprintf("%.1f%% (%d/%d)", dr.RF.Percent(), dr.RF.Success, dr.RF.Total),
+			fmt.Sprintf("%.1f%% (%d/%d)", dr.BL.Percent(), dr.BL.Success, dr.BL.Total),
+		})
+	}
+	b.WriteString(stats.Table([]string{"distance", "RF-IDraw", "antenna arrays"}, rows))
+	return b.String()
+}
+
+// Fig15Report is the word recognition success rate by word length
+// (Fig. 15): ≥88% for RF-IDraw even at 6+ letters, 0% for the baseline.
+type Fig15Report struct {
+	Rates []*LengthRates
+}
+
+// RunFig15 regenerates Fig. 15 from a word batch.
+func RunFig15(batch *BatchResult) *Fig15Report {
+	m := batch.WordRatesByLength(6)
+	var out []*LengthRates
+	for l := 2; l <= 6; l++ {
+		if r, ok := m[l]; ok {
+			out = append(out, r)
+		}
+	}
+	return &Fig15Report{Rates: out}
+}
+
+// Render formats the report.
+func (r *Fig15Report) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 15 — word recognition success rate by word length\n")
+	rows := make([][]string, 0, len(r.Rates))
+	for _, lr := range r.Rates {
+		label := fmt.Sprintf("%d", lr.Length)
+		if lr.Length == 6 {
+			label = "≥6"
+		}
+		rows = append(rows, []string{
+			label,
+			fmt.Sprintf("%.0f%% (%d/%d)", lr.RF.Percent(), lr.RF.Success, lr.RF.Total),
+			fmt.Sprintf("%.0f%% (%d/%d)", lr.BL.Percent(), lr.BL.Success, lr.BL.Total),
+		})
+	}
+	b.WriteString(stats.Table([]string{"letters", "RF-IDraw", "antenna arrays"}, rows))
+	return b.String()
+}

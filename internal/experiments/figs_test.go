@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rfidraw/internal/sim"
+)
+
+func TestRunFig2(t *testing.T) {
+	r, err := RunFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More antennas → narrower beam (the paper's Fig. 2 point).
+	if r.Width4 >= r.Width2 {
+		t.Fatalf("4-antenna width %.2f should be below 2-antenna width %.2f", r.Width4, r.Width2)
+	}
+	if !strings.Contains(r.Render(), "Fig 2") {
+		t.Fatal("render")
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	r, err := RunFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.LobeCounts) != 3 {
+		t.Fatal("want 3 separations")
+	}
+	// Lobe count grows with separation; main lobe narrows (§3.2/§3.3).
+	if r.LobeCounts[0] != 1 {
+		t.Fatalf("λ/2 lobes = %d, want 1", r.LobeCounts[0])
+	}
+	if !(r.LobeCounts[0] < r.LobeCounts[1] && r.LobeCounts[1] < r.LobeCounts[2]) {
+		t.Fatalf("lobe counts not increasing: %v", r.LobeCounts)
+	}
+	if !(r.MainWidths[2] < r.MainWidths[0]) {
+		t.Fatalf("8λ width %.2f should be below λ/2 width %.2f", r.MainWidths[2], r.MainWidths[0])
+	}
+	if r.Render() == "" {
+		t.Fatal("render")
+	}
+}
+
+func TestRunFig4(t *testing.T) {
+	r, err := RunFig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LobesFiltered >= r.LobesWide {
+		t.Fatalf("filtering should remove lobes: %d → %d", r.LobesWide, r.LobesFiltered)
+	}
+	if r.LobesFiltered > 2 {
+		t.Fatalf("filtered lobes = %d, want ≈1", r.LobesFiltered)
+	}
+	if r.Render() == "" {
+		t.Fatal("render")
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	r, err := RunFig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PeakErr > 0.05 {
+		t.Fatalf("combined peak error = %.3f m, want ≈0 noiseless", r.PeakErr)
+	}
+	if r.Render() == "" {
+		t.Fatal("render")
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	r, err := RunFig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Correct.ShapeErr > 0.01 || r.Correct.AbsOffset > 0.02 {
+		t.Fatalf("correct start: %+v", r.Correct)
+	}
+	worst := 0.0
+	for i, v := range r.Adjacent {
+		if v.ShapeErr > 0.03 {
+			t.Fatalf("adjacent start %d shape error = %.3f m, shape should be preserved", i, v.ShapeErr)
+		}
+		// The reconstruction is genuinely displaced (tracking wrong lobes).
+		if v.AbsOffset < 0.03 {
+			t.Fatalf("adjacent start %d abs offset = %.3f m, should be displaced", i, v.AbsOffset)
+		}
+		if v.ShapeErr > worst {
+			worst = v.ShapeErr
+		}
+	}
+	// The far start distorts more than any adjacent one.
+	if r.Far.ShapeErr <= worst {
+		t.Fatalf("far-start shape error %.4f should exceed adjacent max %.4f", r.Far.ShapeErr, worst)
+	}
+	if r.Render() == "" {
+		t.Fatal("render")
+	}
+}
+
+func TestRunFig10(t *testing.T) {
+	r, err := RunFig10(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ShapeErr > 0.05 {
+		t.Fatalf("microbenchmark shape error = %.3f m", r.ShapeErr)
+	}
+	if r.ChosenIdx < 0 || r.ChosenIdx >= len(r.MeanVotes) {
+		t.Fatal("chosen index out of range")
+	}
+	// The chosen candidate has the best mean vote.
+	for i, v := range r.MeanVotes {
+		if v > r.MeanVotes[r.ChosenIdx]+1e-12 {
+			t.Fatalf("candidate %d vote %.4f beats chosen %.4f", i, v, r.MeanVotes[r.ChosenIdx])
+		}
+	}
+	if r.Render() == "" {
+		t.Fatal("render")
+	}
+}
+
+func TestFigs11Through15(t *testing.T) {
+	batch, err := RunBatch(BatchConfig{Prop: sim.LOS, Words: 9, Users: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f11 := RunFig11(batch)
+	rf, bl := f11.Summary()
+	if !(rf.Median < bl.Median) {
+		t.Fatalf("Fig11: RF median %.3f should beat baseline %.3f", rf.Median, bl.Median)
+	}
+	if f11.Improvement() <= 1 {
+		t.Fatal("Fig11 improvement should exceed 1×")
+	}
+	h, rows := f11.CDFPoints(16)
+	if len(h) != 4 || len(rows) == 0 {
+		t.Fatal("CDF points")
+	}
+	f12 := RunFig12(batch)
+	if f12.Render() == "" || f11.Render() == "" {
+		t.Fatal("render")
+	}
+	f13 := RunFig13(batch)
+	if len(f13.Buckets) != 6 {
+		t.Fatalf("Fig13 buckets = %d", len(f13.Buckets))
+	}
+	if f13.Render() == "" {
+		t.Fatal("render")
+	}
+	f14 := RunFig14(batch)
+	if len(f14.Rates) == 0 {
+		t.Fatal("Fig14 empty")
+	}
+	var rfC, blC float64
+	for _, dr := range f14.Rates {
+		rfC += dr.RF.Value()
+		blC += dr.BL.Value()
+	}
+	if rfC <= blC {
+		t.Fatal("Fig14: RF char recognition should beat baseline")
+	}
+	if f14.Render() == "" {
+		t.Fatal("render")
+	}
+	f15 := RunFig15(batch)
+	if len(f15.Rates) == 0 || f15.Render() == "" {
+		t.Fatal("Fig15 empty")
+	}
+}
+
+func TestRunFig16(t *testing.T) {
+	r, err := RunFig16(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RFErr >= r.BLErr {
+		t.Fatalf("RF error %.3f should beat baseline %.3f at 5 m", r.RFErr, r.BLErr)
+	}
+	if r.Render() == "" {
+		t.Fatal("render")
+	}
+}

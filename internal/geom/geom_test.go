@@ -1,0 +1,241 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestVec2Arithmetic(t *testing.T) {
+	a := Vec2{1, 2}
+	b := Vec2{3, -4}
+	if got := a.Add(b); got != (Vec2{4, -2}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec2{-2, 6}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec2{2, 4}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 1*3+2*(-4) {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := b.Norm(); got != 5 {
+		t.Fatalf("Norm = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != (Vec2{2, -1}) {
+		t.Fatalf("Lerp = %v", got)
+	}
+}
+
+func TestVec3Arithmetic(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{-1, 0, 1}
+	if got := a.Add(b); got != (Vec3{0, 2, 4}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec3{2, 2, 2}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Dot(b); got != -1+0+3 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := (Vec3{3, 4, 12}).Norm(); got != 13 {
+		t.Fatalf("Norm = %v", got)
+	}
+	if got := a.Scale(-1); got != (Vec3{-1, -2, -3}) {
+		t.Fatalf("Scale = %v", got)
+	}
+}
+
+func TestPlaneRoundTrip(t *testing.T) {
+	p := Plane{Y: 2.5}
+	v := Vec2{0.7, 1.3}
+	v3 := p.To3D(v)
+	if v3.Y != 2.5 {
+		t.Fatalf("lifted Y = %v", v3.Y)
+	}
+	if got := p.To2D(v3); got != v {
+		t.Fatalf("round trip = %v, want %v", got, v)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := Rect{Vec2{0, 0}, Vec2{2, 1}}
+	if !r.Contains(Vec2{1, 0.5}) || r.Contains(Vec2{3, 0.5}) || r.Contains(Vec2{1, -0.1}) {
+		t.Fatal("Contains wrong")
+	}
+	if r.Width() != 2 || r.Height() != 1 {
+		t.Fatal("extent wrong")
+	}
+	if r.Center() != (Vec2{1, 0.5}) {
+		t.Fatal("center wrong")
+	}
+	e := r.Expand(0.5)
+	if e.Min != (Vec2{-0.5, -0.5}) || e.Max != (Vec2{2.5, 1.5}) {
+		t.Fatalf("Expand = %v", e)
+	}
+	if got := r.Clip(Vec2{-1, 5}); got != (Vec2{0, 1}) {
+		t.Fatalf("Clip = %v", got)
+	}
+	if got := r.Clip(Vec2{1, 0.25}); got != (Vec2{1, 0.25}) {
+		t.Fatalf("Clip of interior point moved: %v", got)
+	}
+}
+
+func TestIntersectRays(t *testing.T) {
+	a := Ray{Vec2{0, 0}, Vec2{1, 1}}
+	b := Ray{Vec2{2, 0}, Vec2{-1, 1}}
+	p, ok := IntersectRays(a, b)
+	if !ok {
+		t.Fatal("expected intersection")
+	}
+	if !approx(p.X, 1, 1e-9) || !approx(p.Z, 1, 1e-9) {
+		t.Fatalf("intersection = %v, want (1,1)", p)
+	}
+	// Parallel rays must fail.
+	if _, ok := IntersectRays(a, Ray{Vec2{5, 0}, Vec2{2, 2}}); ok {
+		t.Fatal("parallel rays should not intersect")
+	}
+	// Degenerate direction must fail.
+	if _, ok := IntersectRays(Ray{Vec2{0, 0}, Vec2{}}, b); ok {
+		t.Fatal("degenerate ray should not intersect")
+	}
+}
+
+func TestPolylineLength(t *testing.T) {
+	pts := []Vec2{{0, 0}, {3, 4}, {3, 5}}
+	if got := PolylineLength(pts); got != 6 {
+		t.Fatalf("length = %v", got)
+	}
+	if PolylineLength(nil) != 0 || PolylineLength(pts[:1]) != 0 {
+		t.Fatal("empty/single polyline should have length 0")
+	}
+}
+
+func TestResamplePolyline(t *testing.T) {
+	pts := []Vec2{{0, 0}, {10, 0}}
+	got := ResamplePolyline(pts, 11)
+	if len(got) != 11 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, p := range got {
+		if !approx(p.X, float64(i), 1e-9) || !approx(p.Z, 0, 1e-9) {
+			t.Fatalf("point %d = %v", i, p)
+		}
+	}
+	// Endpoints are preserved on a bent polyline.
+	bent := []Vec2{{0, 0}, {1, 0}, {1, 1}}
+	rs := ResamplePolyline(bent, 5)
+	if rs[0] != bent[0] {
+		t.Fatalf("first point %v", rs[0])
+	}
+	if !approx(rs[4].X, 1, 1e-9) || !approx(rs[4].Z, 1, 1e-9) {
+		t.Fatalf("last point %v", rs[4])
+	}
+	// Degenerate inputs.
+	if ResamplePolyline(nil, 5) != nil {
+		t.Fatal("nil input should resample to nil")
+	}
+	if got := ResamplePolyline(bent, 0); got != nil {
+		t.Fatal("n=0 should return nil")
+	}
+	single := ResamplePolyline([]Vec2{{2, 3}}, 4)
+	for _, p := range single {
+		if p != (Vec2{2, 3}) {
+			t.Fatalf("single-point resample = %v", single)
+		}
+	}
+	one := ResamplePolyline(bent, 1)
+	if len(one) != 1 || one[0] != bent[0] {
+		t.Fatalf("n=1 resample = %v", one)
+	}
+	// Zero-length polyline (coincident points).
+	zl := ResamplePolyline([]Vec2{{1, 1}, {1, 1}}, 3)
+	for _, p := range zl {
+		if p != (Vec2{1, 1}) {
+			t.Fatalf("zero-length resample = %v", zl)
+		}
+	}
+}
+
+func TestResamplePreservesLength(t *testing.T) {
+	pts := []Vec2{{0, 0}, {1, 2}, {-1, 3}, {4, 4}, {2, -2}}
+	want := PolylineLength(pts)
+	got := PolylineLength(ResamplePolyline(pts, 2000))
+	if math.Abs(got-want) > want*0.01 {
+		t.Fatalf("resampled length %v, want ≈%v", got, want)
+	}
+}
+
+func TestCentroidAndBounds(t *testing.T) {
+	pts := []Vec2{{0, 0}, {2, 0}, {2, 2}, {0, 2}}
+	if got := Centroid(pts); got != (Vec2{1, 1}) {
+		t.Fatalf("centroid = %v", got)
+	}
+	if got := Centroid(nil); got != (Vec2{}) {
+		t.Fatalf("empty centroid = %v", got)
+	}
+	r, ok := Bounds(pts)
+	if !ok || r.Min != (Vec2{0, 0}) || r.Max != (Vec2{2, 2}) {
+		t.Fatalf("bounds = %v ok=%v", r, ok)
+	}
+	if _, ok := Bounds(nil); ok {
+		t.Fatal("bounds of empty should be not-ok")
+	}
+}
+
+// Property: resampling twice with the same n is (nearly) idempotent.
+func TestQuickResampleIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		pts := []Vec2{
+			{math.Sin(float64(seed)), math.Cos(float64(seed))},
+			{math.Sin(float64(seed) + 1), math.Cos(float64(seed) * 2)},
+			{math.Sin(float64(seed) * 3), math.Cos(float64(seed) + 2)},
+		}
+		a := ResamplePolyline(pts, 64)
+		b := ResamplePolyline(a, 64)
+		tol := 0.05*PolylineLength(pts) + 1e-9
+		for i := range a {
+			if a[i].Dist(b[i]) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: IntersectRays result lies on both lines.
+func TestQuickIntersectOnBothLines(t *testing.T) {
+	f := func(ox, oz, dx, dz, px, pz, qx, qz float64) bool {
+		norm := func(v float64) float64 { return math.Mod(v, 10) }
+		a := Ray{Vec2{norm(ox), norm(oz)}, Vec2{norm(dx) + 0.3, norm(dz)}}
+		b := Ray{Vec2{norm(px), norm(pz)}, Vec2{norm(qx), norm(qz) + 0.7}}
+		for _, v := range []float64{a.Origin.X, a.Origin.Z, a.Dir.X, a.Dir.Z, b.Origin.X, b.Origin.Z, b.Dir.X, b.Dir.Z} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		p, ok := IntersectRays(a, b)
+		if !ok {
+			return true // parallel: nothing to check
+		}
+		onLine := func(r Ray) bool {
+			// Cross product of (p−origin) with dir should vanish.
+			w := p.Sub(r.Origin)
+			cross := w.X*r.Dir.Z - w.Z*r.Dir.X
+			scale := math.Max(1, w.Norm()*r.Dir.Norm())
+			return math.Abs(cross)/scale < 1e-6
+		}
+		return onLine(a) && onLine(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package gesture classifies short in-air motions into interface commands:
+// swipes, taps and circles. The paper positions RF-IDraw as a *richer*
+// alternative to fixed-gesture interfaces (§9.3) — but a virtual touch
+// screen still needs the basic gestures (scroll, swipe, select) alongside
+// handwriting, so this package provides them on top of traced trajectories.
+//
+// Classification is rule-based on simple trajectory features (net
+// displacement vs path length, dominant axis, angular winding), so it
+// needs no training — in the spirit of the paper's training-free interface
+// argument.
+package gesture
+
+import (
+	"errors"
+	"math"
+
+	"rfidraw/internal/geom"
+	"rfidraw/internal/traj"
+)
+
+// Command is a recognized interface command.
+type Command string
+
+// Recognized commands.
+const (
+	SwipeLeft  Command = "swipe-left"
+	SwipeRight Command = "swipe-right"
+	SwipeUp    Command = "swipe-up"
+	SwipeDown  Command = "swipe-down"
+	Tap        Command = "tap"
+	CircleCW   Command = "circle-cw"
+	CircleCCW  Command = "circle-ccw"
+	Unknown    Command = "unknown"
+)
+
+// Config tunes the classifier thresholds (metres/radians).
+type Config struct {
+	// TapRadius bounds a tap's total extent. Default 0.05 m.
+	TapRadius float64
+	// MinSwipe is the minimum net displacement of a swipe. Default 0.15 m.
+	MinSwipe float64
+	// SwipeStraightness is the minimum net/path ratio of a swipe.
+	// Default 0.7.
+	SwipeStraightness float64
+	// MinWinding is the minimum |total turning angle| of a circle.
+	// Default 4.0 rad (~64% of a turn: pause segmentation often trims circle endpoints).
+	MinWinding float64
+	// CircleClosure is the maximum start–end distance of a circle,
+	// relative to its bounding-box diagonal. Default 0.5.
+	CircleClosure float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TapRadius <= 0 {
+		c.TapRadius = 0.05
+	}
+	if c.MinSwipe <= 0 {
+		c.MinSwipe = 0.15
+	}
+	if c.SwipeStraightness <= 0 {
+		c.SwipeStraightness = 0.7
+	}
+	if c.MinWinding <= 0 {
+		c.MinWinding = 4.0
+	}
+	if c.CircleClosure <= 0 {
+		c.CircleClosure = 0.5
+	}
+	return c
+}
+
+// Result carries the classification and its supporting features.
+type Result struct {
+	Command Command
+	// Net is the start→end displacement (m).
+	Net geom.Vec2
+	// PathLen is the total arc length (m).
+	PathLen float64
+	// Winding is the summed signed turning angle (rad); positive is
+	// counter-clockwise.
+	Winding float64
+}
+
+// Classify identifies the command a trajectory performs.
+func Classify(t traj.Trajectory, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if t.Len() < 2 {
+		return Result{}, errors.New("gesture: need at least 2 samples")
+	}
+	// Resample for stable features regardless of sampling rate.
+	rs, err := t.Resample(64)
+	if err != nil {
+		return Result{}, err
+	}
+	pos := rs.Positions()
+	res := Result{
+		Net:     pos[len(pos)-1].Sub(pos[0]),
+		PathLen: geom.PolylineLength(pos),
+		Winding: winding(pos),
+	}
+
+	box, _ := geom.Bounds(pos)
+	diag := math.Hypot(box.Width(), box.Height())
+
+	switch {
+	case diag <= cfg.TapRadius:
+		res.Command = Tap
+	case math.Abs(res.Winding) >= cfg.MinWinding &&
+		pos[0].Dist(pos[len(pos)-1]) <= cfg.CircleClosure*diag:
+		if res.Winding > 0 {
+			res.Command = CircleCCW
+		} else {
+			res.Command = CircleCW
+		}
+	case res.Net.Norm() >= cfg.MinSwipe && res.Net.Norm() >= cfg.SwipeStraightness*res.PathLen:
+		if math.Abs(res.Net.X) >= math.Abs(res.Net.Z) {
+			if res.Net.X > 0 {
+				res.Command = SwipeRight
+			} else {
+				res.Command = SwipeLeft
+			}
+		} else {
+			if res.Net.Z > 0 {
+				res.Command = SwipeUp
+			} else {
+				res.Command = SwipeDown
+			}
+		}
+	default:
+		res.Command = Unknown
+	}
+	return res, nil
+}
+
+// winding sums the signed turning angles along the polyline.
+func winding(pos []geom.Vec2) float64 {
+	var total float64
+	var prev geom.Vec2
+	havePrev := false
+	for i := 1; i < len(pos); i++ {
+		d := pos[i].Sub(pos[i-1])
+		if d.Norm() < 1e-9 {
+			continue
+		}
+		if havePrev {
+			cross := prev.X*d.Z - prev.Z*d.X
+			dot := prev.Dot(d)
+			total += math.Atan2(cross, dot)
+		}
+		prev = d
+		havePrev = true
+	}
+	return total
+}
+
+// Segment splits a long trajectory into gesture strokes at pauses: runs of
+// at least minPause samples whose step speed falls below speedFloor (m/s).
+// A virtual touch screen uses this to separate consecutive commands.
+func Segment(t traj.Trajectory, speedFloor float64, minPause int) []traj.Trajectory {
+	if t.Len() < 2 {
+		return nil
+	}
+	if speedFloor <= 0 {
+		speedFloor = 0.05
+	}
+	if minPause <= 0 {
+		minPause = 3
+	}
+	var out []traj.Trajectory
+	start := 0
+	slow := 0
+	for i := 1; i < t.Len(); i++ {
+		dt := t.Points[i].T - t.Points[i-1].T
+		speed := math.Inf(1)
+		if dt > 0 {
+			speed = t.Points[i].Pos.Dist(t.Points[i-1].Pos) / dt.Seconds()
+		}
+		if speed < speedFloor {
+			slow++
+			if slow == minPause && i-minPause > start {
+				out = append(out, traj.Trajectory{Points: t.Points[start : i-minPause+1]})
+				start = i
+			}
+		} else {
+			if slow >= minPause {
+				start = i - 1
+			}
+			slow = 0
+		}
+	}
+	if t.Len()-start >= 2 {
+		out = append(out, traj.Trajectory{Points: t.Points[start:]})
+	}
+	return out
+}

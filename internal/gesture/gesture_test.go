@@ -1,0 +1,157 @@
+package gesture
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rfidraw/internal/geom"
+	"rfidraw/internal/traj"
+)
+
+func mkTraj(pos []geom.Vec2) traj.Trajectory {
+	return traj.FromPositions(pos, 25*time.Millisecond)
+}
+
+func linePath(from, to geom.Vec2, n int) []geom.Vec2 {
+	out := make([]geom.Vec2, n)
+	for i := range out {
+		out[i] = from.Lerp(to, float64(i)/float64(n-1))
+	}
+	return out
+}
+
+func circlePath(c geom.Vec2, r float64, n int, ccw bool) []geom.Vec2 {
+	out := make([]geom.Vec2, n)
+	for i := range out {
+		th := 2 * math.Pi * float64(i) / float64(n-1)
+		if !ccw {
+			th = -th
+		}
+		out[i] = geom.Vec2{X: c.X + r*math.Cos(th), Z: c.Z + r*math.Sin(th)}
+	}
+	return out
+}
+
+func TestClassifySwipes(t *testing.T) {
+	cases := []struct {
+		name string
+		from geom.Vec2
+		to   geom.Vec2
+		want Command
+	}{
+		{"right", geom.Vec2{X: 0.5, Z: 1}, geom.Vec2{X: 1.0, Z: 1}, SwipeRight},
+		{"left", geom.Vec2{X: 1.0, Z: 1}, geom.Vec2{X: 0.5, Z: 1}, SwipeLeft},
+		{"up", geom.Vec2{X: 1, Z: 0.5}, geom.Vec2{X: 1, Z: 1.0}, SwipeUp},
+		{"down", geom.Vec2{X: 1, Z: 1.0}, geom.Vec2{X: 1, Z: 0.5}, SwipeDown},
+	}
+	for _, tc := range cases {
+		res, err := Classify(mkTraj(linePath(tc.from, tc.to, 30)), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Command != tc.want {
+			t.Errorf("%s: got %q", tc.name, res.Command)
+		}
+	}
+}
+
+func TestClassifyTap(t *testing.T) {
+	pos := make([]geom.Vec2, 20)
+	for i := range pos {
+		pos[i] = geom.Vec2{X: 1 + 0.005*math.Sin(float64(i)), Z: 1 + 0.005*math.Cos(float64(i))}
+	}
+	res, err := Classify(mkTraj(pos), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Command != Tap {
+		t.Fatalf("got %q", res.Command)
+	}
+}
+
+func TestClassifyCircles(t *testing.T) {
+	ccw, err := Classify(mkTraj(circlePath(geom.Vec2{X: 1, Z: 1}, 0.15, 48, true)), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ccw.Command != CircleCCW {
+		t.Fatalf("ccw circle got %q (winding %v)", ccw.Command, ccw.Winding)
+	}
+	cw, err := Classify(mkTraj(circlePath(geom.Vec2{X: 1, Z: 1}, 0.15, 48, false)), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cw.Command != CircleCW {
+		t.Fatalf("cw circle got %q (winding %v)", cw.Command, cw.Winding)
+	}
+	if !(ccw.Winding > 0 && cw.Winding < 0) {
+		t.Fatalf("winding signs: %v / %v", ccw.Winding, cw.Winding)
+	}
+}
+
+func TestClassifyUnknown(t *testing.T) {
+	// A meandering short scribble: too long for a tap, too curvy for a
+	// swipe, not enough winding for a circle.
+	pos := []geom.Vec2{{X: 1, Z: 1}, {X: 1.1, Z: 1.1}, {X: 1.0, Z: 1.2}, {X: 1.1, Z: 1.3}, {X: 0.95, Z: 1.35}}
+	res, err := Classify(mkTraj(pos), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Command != Unknown {
+		t.Fatalf("got %q", res.Command)
+	}
+}
+
+func TestClassifyErrors(t *testing.T) {
+	if _, err := Classify(traj.Trajectory{}, Config{}); err == nil {
+		t.Fatal("empty should error")
+	}
+	if _, err := Classify(mkTraj([]geom.Vec2{{X: 1, Z: 1}}), Config{}); err == nil {
+		t.Fatal("single sample should error")
+	}
+}
+
+func TestSegmentSplitsAtPauses(t *testing.T) {
+	// Stroke right, pause, stroke up.
+	var pos []geom.Vec2
+	pos = append(pos, linePath(geom.Vec2{X: 0.5, Z: 1}, geom.Vec2{X: 1.0, Z: 1}, 20)...)
+	for i := 0; i < 8; i++ {
+		pos = append(pos, geom.Vec2{X: 1.0, Z: 1}) // pause
+	}
+	pos = append(pos, linePath(geom.Vec2{X: 1.0, Z: 1}, geom.Vec2{X: 1.0, Z: 1.5}, 20)...)
+	segs := Segment(mkTraj(pos), 0.05, 3)
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d, want 2", len(segs))
+	}
+	r1, err := Classify(segs[0], Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Classify(segs[1], Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Command != SwipeRight || r2.Command != SwipeUp {
+		t.Fatalf("segment commands: %q, %q", r1.Command, r2.Command)
+	}
+}
+
+func TestSegmentDegenerate(t *testing.T) {
+	if segs := Segment(traj.Trajectory{}, 0.05, 3); segs != nil {
+		t.Fatal("empty should segment to nil")
+	}
+	// A single continuous stroke yields one segment.
+	segs := Segment(mkTraj(linePath(geom.Vec2{}, geom.Vec2{X: 1}, 30)), 0.05, 3)
+	if len(segs) != 1 {
+		t.Fatalf("continuous stroke segments = %d", len(segs))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.TapRadius <= 0 || cfg.MinSwipe <= 0 || cfg.SwipeStraightness <= 0 ||
+		cfg.MinWinding <= 0 || cfg.CircleClosure <= 0 {
+		t.Fatalf("defaults missing: %+v", cfg)
+	}
+}

@@ -1,0 +1,121 @@
+// Package handwriting generates in-air handwriting trajectories: the
+// workload of the paper's evaluation (§8), where users write words with an
+// RFID on their finger, each letter ≈10 cm wide. Letters come from an
+// original single-stroke polyline font (in-air writing never lifts the
+// "pen", so every word is one continuous trajectory), layered with a
+// per-user style model: slant, size jitter, baseline wobble, point noise
+// and speed variation.
+package handwriting
+
+import (
+	"math"
+
+	"rfidraw/internal/geom"
+)
+
+// Glyph is one letterform: a continuous polyline in em units. x spans
+// [0, Width]; z spans [Descender, Ascender] with the baseline at 0.
+type Glyph struct {
+	Points []geom.Vec2
+	// Width is the advance width in em units.
+	Width float64
+}
+
+// Font metrics in em units.
+const (
+	// XHeight is the height of lowercase letter bodies.
+	XHeight = 0.66
+	// Ascender is the top of tall letters (b, d, f, h, k, l, t).
+	Ascender = 1.0
+	// Descender is the bottom of descending letters (g, j, p, q, y).
+	Descender = -0.33
+)
+
+// arc appends n+1 points approximating a circular arc from angle a0 to a1
+// (radians, counterclockwise when a1 > a0) around (cx, cz).
+func arc(pts []geom.Vec2, cx, cz, r, a0, a1 float64, n int) []geom.Vec2 {
+	for i := 0; i <= n; i++ {
+		a := a0 + (a1-a0)*float64(i)/float64(n)
+		pts = append(pts, geom.Vec2{X: cx + r*math.Cos(a), Z: cz + r*math.Sin(a)})
+	}
+	return pts
+}
+
+func deg(d float64) float64 { return d * math.Pi / 180 }
+
+// bowl is the common rounded body used by a, d, g, q: a near-full circle
+// of radius r centred at (cx, cz), starting and ending at its right side.
+func bowl(cx, cz, r float64) []geom.Vec2 {
+	return arc(nil, cx, cz, r, deg(40), deg(40-360), 14)
+}
+
+// glyphs maps each supported rune to its letterform. The shapes are
+// original simplified print-style forms designed to be mutually
+// distinguishable after shape normalization.
+var glyphs = map[rune]Glyph{
+	'a': {Points: append(bowl(0.42, 0.33, 0.30), geom.Vec2{X: 0.72, Z: 0.45}, geom.Vec2{X: 0.72, Z: 0.0}), Width: 0.80},
+	'b': {Points: append([]geom.Vec2{{X: 0.18, Z: Ascender}, {X: 0.18, Z: 0.0}, {X: 0.18, Z: 0.15}},
+		arc(nil, 0.45, 0.33, 0.29, deg(220), deg(-140), 12)...), Width: 0.80},
+	'c': {Points: arc(nil, 0.50, 0.33, 0.32, deg(55), deg(305), 12), Width: 0.80},
+	'd': {Points: append(bowl(0.42, 0.33, 0.30), geom.Vec2{X: 0.72, Z: Ascender}, geom.Vec2{X: 0.72, Z: 0.0}), Width: 0.80},
+	'e': {Points: append([]geom.Vec2{{X: 0.20, Z: 0.36}, {X: 0.80, Z: 0.36}},
+		arc(nil, 0.50, 0.33, 0.31, deg(6), deg(-295), 12)...), Width: 0.86},
+	'f': {Points: []geom.Vec2{{X: 0.62, Z: 0.92}, {X: 0.50, Z: Ascender}, {X: 0.36, Z: 0.92}, {X: 0.34, Z: 0.70},
+		{X: 0.34, Z: 0.0}, {X: 0.34, Z: 0.52}, {X: 0.12, Z: 0.52}, {X: 0.62, Z: 0.52}}, Width: 0.72},
+	'g': {Points: append(bowl(0.42, 0.36, 0.28), geom.Vec2{X: 0.70, Z: 0.45}, geom.Vec2{X: 0.70, Z: -0.15},
+		geom.Vec2{X: 0.55, Z: Descender}, geom.Vec2{X: 0.28, Z: -0.24}), Width: 0.80},
+	'h': {Points: []geom.Vec2{{X: 0.18, Z: Ascender}, {X: 0.18, Z: 0.0}, {X: 0.18, Z: 0.42},
+		{X: 0.40, Z: 0.64}, {X: 0.62, Z: 0.60}, {X: 0.72, Z: 0.40}, {X: 0.72, Z: 0.0}}, Width: 0.82},
+	'i': {Points: []geom.Vec2{{X: 0.46, Z: 0.94}, {X: 0.54, Z: 0.88}, {X: 0.50, Z: XHeight}, {X: 0.50, Z: 0.0}}, Width: 0.46},
+	'j': {Points: []geom.Vec2{{X: 0.52, Z: 0.94}, {X: 0.60, Z: 0.88}, {X: 0.56, Z: XHeight}, {X: 0.56, Z: -0.15},
+		{X: 0.42, Z: Descender}, {X: 0.20, Z: -0.22}}, Width: 0.62},
+	'k': {Points: []geom.Vec2{{X: 0.18, Z: Ascender}, {X: 0.18, Z: 0.0}, {X: 0.18, Z: 0.34},
+		{X: 0.66, Z: 0.62}, {X: 0.34, Z: 0.40}, {X: 0.70, Z: 0.0}}, Width: 0.78},
+	'l': {Points: []geom.Vec2{{X: 0.44, Z: Ascender}, {X: 0.44, Z: 0.10}, {X: 0.58, Z: 0.0}, {X: 0.66, Z: 0.06}}, Width: 0.56},
+	'm': {Points: append(append([]geom.Vec2{{X: 0.12, Z: XHeight}, {X: 0.12, Z: 0.0}, {X: 0.12, Z: 0.40}},
+		arc(nil, 0.30, 0.42, 0.18, deg(160), deg(20), 6)...),
+		append([]geom.Vec2{{X: 0.47, Z: 0.0}, {X: 0.47, Z: 0.40}},
+			append(arc(nil, 0.65, 0.42, 0.18, deg(160), deg(20), 6), geom.Vec2{X: 0.82, Z: 0.0})...)...), Width: 0.94},
+	'n': {Points: append(append([]geom.Vec2{{X: 0.18, Z: XHeight}, {X: 0.18, Z: 0.0}, {X: 0.18, Z: 0.40}},
+		arc(nil, 0.45, 0.40, 0.27, deg(160), deg(20), 8)...), geom.Vec2{X: 0.70, Z: 0.0}), Width: 0.80},
+	'o': {Points: arc(nil, 0.48, 0.33, 0.31, deg(90), deg(-270), 14), Width: 0.84},
+	'p': {Points: append([]geom.Vec2{{X: 0.18, Z: XHeight}, {X: 0.18, Z: Descender}, {X: 0.18, Z: 0.12}},
+		arc(nil, 0.46, 0.34, 0.28, deg(215), deg(-145), 12)...), Width: 0.80},
+	'q': {Points: append(bowl(0.42, 0.36, 0.28), geom.Vec2{X: 0.70, Z: 0.45}, geom.Vec2{X: 0.70, Z: Descender},
+		geom.Vec2{X: 0.84, Z: -0.20}), Width: 0.84},
+	'r': {Points: []geom.Vec2{{X: 0.22, Z: XHeight}, {X: 0.22, Z: 0.0}, {X: 0.22, Z: 0.40},
+		{X: 0.42, Z: 0.62}, {X: 0.64, Z: 0.56}}, Width: 0.66},
+	's': {Points: append(arc(nil, 0.48, 0.50, 0.17, deg(70), deg(250), 8),
+		arc(nil, 0.44, 0.17, 0.17, deg(110), deg(-110), 8)...), Width: 0.74},
+	't': {Points: []geom.Vec2{{X: 0.44, Z: Ascender}, {X: 0.44, Z: 0.10}, {X: 0.58, Z: 0.0}, {X: 0.68, Z: 0.10},
+		{X: 0.44, Z: 0.30}, {X: 0.44, Z: XHeight}, {X: 0.18, Z: XHeight}, {X: 0.70, Z: XHeight}}, Width: 0.76},
+	'u': {Points: append(append([]geom.Vec2{{X: 0.18, Z: XHeight}},
+		arc(nil, 0.45, 0.26, 0.27, deg(180), deg(320), 8)...),
+		geom.Vec2{X: 0.72, Z: XHeight}, geom.Vec2{X: 0.72, Z: 0.0}), Width: 0.82},
+	'v': {Points: []geom.Vec2{{X: 0.16, Z: XHeight}, {X: 0.45, Z: 0.0}, {X: 0.74, Z: XHeight}}, Width: 0.80},
+	'w': {Points: []geom.Vec2{{X: 0.10, Z: XHeight}, {X: 0.28, Z: 0.0}, {X: 0.46, Z: 0.44},
+		{X: 0.64, Z: 0.0}, {X: 0.82, Z: XHeight}}, Width: 0.92},
+	'x': {Points: []geom.Vec2{{X: 0.16, Z: XHeight}, {X: 0.72, Z: 0.0}, {X: 0.44, Z: 0.33},
+		{X: 0.16, Z: 0.0}, {X: 0.72, Z: XHeight}}, Width: 0.80},
+	'y': {Points: []geom.Vec2{{X: 0.16, Z: XHeight}, {X: 0.44, Z: 0.08}, {X: 0.72, Z: XHeight},
+		{X: 0.40, Z: Descender}, {X: 0.22, Z: -0.26}}, Width: 0.80},
+	'z': {Points: []geom.Vec2{{X: 0.18, Z: XHeight}, {X: 0.72, Z: XHeight}, {X: 0.18, Z: 0.0},
+		{X: 0.72, Z: 0.0}}, Width: 0.80},
+}
+
+// GlyphFor returns the letterform for r; ok is false for unsupported runes.
+func GlyphFor(r rune) (Glyph, bool) {
+	g, ok := glyphs[r]
+	return g, ok
+}
+
+// Alphabet returns the supported runes in alphabetical order.
+func Alphabet() []rune {
+	out := make([]rune, 0, len(glyphs))
+	for r := 'a'; r <= 'z'; r++ {
+		if _, ok := glyphs[r]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package handwriting
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rfidraw/internal/geom"
+)
+
+func TestAlphabetComplete(t *testing.T) {
+	ab := Alphabet()
+	if len(ab) != 26 {
+		t.Fatalf("alphabet size = %d, want 26", len(ab))
+	}
+	for r := 'a'; r <= 'z'; r++ {
+		g, ok := GlyphFor(r)
+		if !ok {
+			t.Fatalf("missing glyph %q", r)
+		}
+		if len(g.Points) < 3 {
+			t.Fatalf("glyph %q has only %d points", r, len(g.Points))
+		}
+		if g.Width <= 0 || g.Width > 1.2 {
+			t.Fatalf("glyph %q width %v out of range", r, g.Width)
+		}
+		for i, p := range g.Points {
+			if p.X < -0.1 || p.X > 1.1 || p.Z < Descender-0.05 || p.Z > Ascender+0.05 {
+				t.Fatalf("glyph %q point %d = %v outside em box", r, i, p)
+			}
+		}
+	}
+	if _, ok := GlyphFor('!'); ok {
+		t.Fatal("unsupported rune should not resolve")
+	}
+}
+
+func TestGlyphsAreDistinct(t *testing.T) {
+	// All pairs of normalized glyph shapes must be separated; identical
+	// or near-identical letterforms would make recognition impossible.
+	shapes := map[rune][]geom.Vec2{}
+	for _, r := range Alphabet() {
+		g, _ := GlyphFor(r)
+		rs := geom.ResamplePolyline(g.Points, 48)
+		// Normalize: centre and scale.
+		c := geom.Centroid(rs)
+		box, _ := geom.Bounds(rs)
+		s := math.Max(box.Width(), box.Height())
+		for i := range rs {
+			rs[i] = rs[i].Sub(c).Scale(1 / s)
+		}
+		shapes[r] = rs
+	}
+	for _, a := range Alphabet() {
+		for _, b := range Alphabet() {
+			if a >= b {
+				continue
+			}
+			var d float64
+			for i := range shapes[a] {
+				d += shapes[a][i].Dist(shapes[b][i])
+			}
+			d /= float64(len(shapes[a]))
+			if d < 0.02 {
+				t.Errorf("glyphs %q and %q nearly identical (mean dist %v)", a, b, d)
+			}
+		}
+	}
+}
+
+func TestWriteBasics(t *testing.T) {
+	w, err := Write("clear", geom.Vec2{X: 0.5, Z: 1.0}, DefaultStyle(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Text != "clear" {
+		t.Fatal("text")
+	}
+	if len(w.Letters) != 5 {
+		t.Fatalf("letter spans = %d", len(w.Letters))
+	}
+	if w.Traj.Len() < 100 {
+		t.Fatalf("trajectory too sparse: %d points", w.Traj.Len())
+	}
+	// Spans are ordered and non-overlapping; connector strokes between
+	// letters belong to no span (manual segmentation excludes them).
+	for i, span := range w.Letters {
+		if span.End <= span.Start {
+			t.Fatalf("span %d empty: %v", i, span)
+		}
+		if i > 0 && span.Start < w.Letters[i-1].End {
+			t.Fatalf("span %d overlaps previous", i)
+		}
+	}
+	if w.Letters[0].Start != 0 {
+		t.Fatal("first span should start at t=0")
+	}
+	if got := w.Letters[0].Rune; got != 'c' {
+		t.Fatalf("first span rune %q", got)
+	}
+	// Writing advances left to right.
+	if w.Traj.End().X <= w.Traj.Start().X {
+		t.Fatal("word should advance rightward")
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	if _, err := Write("", geom.Vec2{}, DefaultStyle(), nil); err == nil {
+		t.Fatal("empty text should error")
+	}
+	if _, err := Write("a!", geom.Vec2{}, DefaultStyle(), nil); err == nil {
+		t.Fatal("unsupported rune should error")
+	}
+	bad := DefaultStyle()
+	bad.LetterHeightM = 0
+	if _, err := Write("a", geom.Vec2{}, bad, nil); err == nil {
+		t.Fatal("zero letter height should error")
+	}
+	bad = DefaultStyle()
+	bad.SpeedMPS = 0
+	if _, err := Write("a", geom.Vec2{}, bad, nil); err == nil {
+		t.Fatal("zero speed should error")
+	}
+}
+
+func TestLetterWidthMatchesPaper(t *testing.T) {
+	// §8: "the average width of each letter written is around 10 cm".
+	w, err := Write("average", geom.Vec2{}, DefaultStyle(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := w.MeanLetterWidth()
+	if mean < 0.06 || mean > 0.14 {
+		t.Fatalf("mean letter width = %v m, want ≈0.10", mean)
+	}
+}
+
+func TestWriteTimingMatchesSpeed(t *testing.T) {
+	style := DefaultStyle()
+	w, err := Write("play", geom.Vec2{}, style, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	length := w.Traj.ArcLength()
+	wantDur := length / style.SpeedMPS
+	gotDur := w.Traj.Duration().Seconds()
+	if math.Abs(gotDur-wantDur) > wantDur*0.05 {
+		t.Fatalf("duration = %v s, want ≈%v s", gotDur, wantDur)
+	}
+}
+
+func TestLetterPositions(t *testing.T) {
+	w, err := Write("ab", geom.Vec2{}, DefaultStyle(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aPts, err := LetterPositions(w.Traj, w.Letters[0], 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aPts) != 32 {
+		t.Fatal("count")
+	}
+	bPts, err := LetterPositions(w.Traj, w.Letters[1], 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 'b' segment sits to the right of the 'a' segment.
+	if geom.Centroid(bPts).X <= geom.Centroid(aPts).X {
+		t.Fatal("letter segments out of order")
+	}
+	// Default n.
+	dPts, err := LetterPositions(w.Traj, w.Letters[0], 0)
+	if err != nil || len(dPts) != 48 {
+		t.Fatalf("default n: %d err=%v", len(dPts), err)
+	}
+	if _, err := LetterPositions(w.Traj, LetterSpan{}, -1); err != nil {
+		t.Fatal("zero span should still sample (clamped)")
+	}
+}
+
+func TestRandomStyleVariesUsers(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	s1 := RandomStyle(rng)
+	s2 := RandomStyle(rng)
+	if s1 == s2 {
+		t.Fatal("two random styles should differ")
+	}
+	w1, err := Write("play", geom.Vec2{}, s1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Write("play", geom.Vec2{}, s2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same word, different users → different traces.
+	d := w1.Traj.Start().Dist(w2.Traj.Start()) + w1.Traj.End().Dist(w2.Traj.End())
+	if d < 1e-6 {
+		t.Fatal("styles did not change the trace")
+	}
+}
+
+func TestWriteDeterministicWithSeed(t *testing.T) {
+	s := RandomStyle(rand.New(rand.NewSource(5)))
+	w1, _ := Write("word", geom.Vec2{}, s, rand.New(rand.NewSource(42)))
+	w2, _ := Write("word", geom.Vec2{}, s, rand.New(rand.NewSource(42)))
+	if w1.Traj.Len() != w2.Traj.Len() {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range w1.Traj.Points {
+		if w1.Traj.Points[i].Pos != w2.Traj.Points[i].Pos {
+			t.Fatal("nondeterministic positions")
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	w, _ := Write("on", geom.Vec2{X: 1, Z: 2}, DefaultStyle(), nil)
+	r, ok := w.Bounds()
+	if !ok {
+		t.Fatal("bounds")
+	}
+	if r.Min.X < 0.9 || r.Max.Z > 2.3 {
+		t.Fatalf("bounds = %+v", r)
+	}
+}
+
+// Property: any word over the alphabet renders without error, with
+// monotone timestamps and one span per rune.
+func TestQuickWriteWellFormed(t *testing.T) {
+	ab := Alphabet()
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ln := 1 + int(n%8)
+		runes := make([]rune, ln)
+		for i := range runes {
+			runes[i] = ab[rng.Intn(len(ab))]
+		}
+		w, err := Write(string(runes), geom.Vec2{}, RandomStyle(rng), rng)
+		if err != nil {
+			return false
+		}
+		if len(w.Letters) != ln {
+			return false
+		}
+		for i := 1; i < w.Traj.Len(); i++ {
+			if w.Traj.Points[i].T < w.Traj.Points[i-1].T {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

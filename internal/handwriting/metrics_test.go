@@ -1,0 +1,102 @@
+package handwriting
+
+import (
+	"testing"
+
+	"rfidraw/internal/geom"
+)
+
+// TestGlyphMetrics checks typographic structure: ascending letters reach
+// above the x-height, descending letters drop below the baseline, and
+// plain lowercase bodies stay within [0, x-height] with small tolerance.
+func TestGlyphMetrics(t *testing.T) {
+	ascenders := "bdfhklt"
+	descenders := "gjpqy"
+	plain := "aceimnorsuvwxz"
+
+	maxZ := func(g Glyph) float64 {
+		m := g.Points[0].Z
+		for _, p := range g.Points {
+			if p.Z > m {
+				m = p.Z
+			}
+		}
+		return m
+	}
+	minZ := func(g Glyph) float64 {
+		m := g.Points[0].Z
+		for _, p := range g.Points {
+			if p.Z < m {
+				m = p.Z
+			}
+		}
+		return m
+	}
+	for _, r := range ascenders {
+		g, ok := GlyphFor(r)
+		if !ok {
+			t.Fatalf("missing %q", r)
+		}
+		if maxZ(g) < XHeight+0.15 {
+			t.Errorf("ascender %q tops at %v, want well above x-height", r, maxZ(g))
+		}
+	}
+	for _, r := range descenders {
+		g, _ := GlyphFor(r)
+		if minZ(g) > -0.1 {
+			t.Errorf("descender %q bottoms at %v, want below baseline", r, minZ(g))
+		}
+	}
+	for _, r := range plain {
+		g, _ := GlyphFor(r)
+		if maxZ(g) > XHeight+0.35 {
+			t.Errorf("plain letter %q tops at %v, too tall", r, maxZ(g))
+		}
+		if minZ(g) < -0.12 {
+			t.Errorf("plain letter %q bottoms at %v, too low", r, minZ(g))
+		}
+	}
+}
+
+// TestWordsDoNotOverlapLetters: consecutive letters' segment bounding
+// boxes advance monotonically and stay within sane horizontal overlap.
+func TestWordsDoNotOverlapLetters(t *testing.T) {
+	w, err := Write("minimum", geom.Vec2{}, DefaultStyle(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevCenter float64 = -1e9
+	for i, span := range w.Letters {
+		pts, err := LetterPositions(w.Traj, span, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := geom.Centroid(pts)
+		if c.X <= prevCenter {
+			t.Fatalf("letter %d centroid %v does not advance", i, c.X)
+		}
+		prevCenter = c.X
+	}
+}
+
+// TestSlantSkewsGlyphs: a slanted style leans tall letters rightward.
+func TestSlantSkewsGlyphs(t *testing.T) {
+	style := DefaultStyle()
+	style.SlantShear = 0.3
+	w, err := Write("l", geom.Vec2{}, style, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := w.Traj.Points[0].Pos  // 'l' starts at its top
+	var bottom geom.Vec2
+	minZ := 1e9
+	for _, p := range w.Traj.Points {
+		if p.Pos.Z < minZ {
+			minZ = p.Pos.Z
+			bottom = p.Pos
+		}
+	}
+	if top.X <= bottom.X {
+		t.Fatalf("positive shear should push the top right: top %v bottom %v", top, bottom)
+	}
+}

@@ -1,0 +1,220 @@
+package handwriting
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rfidraw/internal/geom"
+	"rfidraw/internal/traj"
+)
+
+// Style is a per-user writing style: the knobs that make five users write
+// the same word differently (§8 runs five users).
+type Style struct {
+	// LetterHeightM scales the font: the em height in metres. The paper
+	// reports letters ≈10 cm wide; an em height of 0.12 m makes letter
+	// segments (glyph plus its entry connector stroke) about that wide.
+	LetterHeightM float64
+	// SpacingEm is the gap between letters in em units.
+	SpacingEm float64
+	// SlantShear shears x by SlantShear·z (italic slant).
+	SlantShear float64
+	// SizeJitter is the per-letter relative size variation (stddev).
+	SizeJitter float64
+	// BaselineWobbleM is the per-letter baseline offset stddev (m).
+	BaselineWobbleM float64
+	// PointJitterM is smooth per-vertex noise (m): hand tremor.
+	PointJitterM float64
+	// SpeedMPS is the writing speed along the stroke (m/s).
+	SpeedMPS float64
+	// SpeedJitter is the per-letter relative speed variation (stddev).
+	SpeedJitter float64
+}
+
+// DefaultStyle is a neutral style with ≈10 cm letters written at a natural
+// hand speed.
+func DefaultStyle() Style {
+	return Style{
+		LetterHeightM:   0.12,
+		SpacingEm:       0.18,
+		SlantShear:      0,
+		SizeJitter:      0,
+		BaselineWobbleM: 0,
+		PointJitterM:    0,
+		SpeedMPS:        0.35,
+		SpeedJitter:     0,
+	}
+}
+
+// RandomStyle draws a plausible user style around the default: slanted up
+// to ±15°, ±10% letter size, small wobble and tremor, ±20% speed.
+func RandomStyle(rng *rand.Rand) Style {
+	s := DefaultStyle()
+	s.SlantShear = (rng.Float64()*2 - 1) * 0.26 // tan(±15°)
+	s.LetterHeightM *= 1 + (rng.Float64()*2-1)*0.15
+	s.SizeJitter = 0.05 + rng.Float64()*0.05
+	s.BaselineWobbleM = 0.002 + rng.Float64()*0.004
+	s.PointJitterM = 0.0015 + rng.Float64()*0.0025
+	s.SpeedMPS *= 1 + (rng.Float64()*2-1)*0.2
+	s.SpeedJitter = 0.05 + rng.Float64()*0.1
+	return s
+}
+
+// LetterSpan locates one letter inside a written word's trajectory. The
+// paper segments words into letters manually (§9.3's limitation); spans
+// are this reproduction's equivalent of that manual segmentation.
+type LetterSpan struct {
+	Rune rune
+	// Start and End bound the letter in trace time (inclusive start,
+	// exclusive end).
+	Start, End time.Duration
+}
+
+// Word is a written word: one continuous in-air trajectory plus the letter
+// segmentation.
+type Word struct {
+	Text    string
+	Traj    traj.Trajectory
+	Letters []LetterSpan
+}
+
+// sampleSpacing is the arc-length spacing of generated trajectory points.
+const sampleSpacing = 0.004 // 4 mm
+
+// Write renders text as an in-air trajectory starting with the first
+// letter's origin at start. rng supplies style jitter and may be nil when
+// the style has no random components.
+func Write(text string, start geom.Vec2, style Style, rng *rand.Rand) (Word, error) {
+	if text == "" {
+		return Word{}, fmt.Errorf("handwriting: empty text")
+	}
+	if style.LetterHeightM <= 0 || style.SpeedMPS <= 0 {
+		return Word{}, fmt.Errorf("handwriting: style needs positive letter height and speed")
+	}
+	jitter := func(sd float64) float64 {
+		if rng == nil || sd == 0 {
+			return 0
+		}
+		return rng.NormFloat64() * sd
+	}
+
+	em := style.LetterHeightM
+	var dense []geom.Vec2 // densified points of the full word
+	type span struct {
+		r          rune
+		start, end int // index range [start, end) into dense
+	}
+	var letters []span
+	penX := start.X
+	for _, r := range text {
+		g, ok := GlyphFor(r)
+		if !ok {
+			return Word{}, fmt.Errorf("handwriting: unsupported rune %q", r)
+		}
+		scale := em * (1 + jitter(style.SizeJitter))
+		base := start.Z + jitter(style.BaselineWobbleM)
+		// Transform glyph points into the writing plane.
+		pts := make([]geom.Vec2, len(g.Points))
+		for i, p := range g.Points {
+			x := penX + (p.X+style.SlantShear*p.Z)*scale
+			z := base + p.Z*scale
+			pts[i] = geom.Vec2{X: x + jitter(style.PointJitterM), Z: z + jitter(style.PointJitterM)}
+		}
+		// Densify so the sampled trajectory follows curves smoothly.
+		n := int(geom.PolylineLength(pts)/sampleSpacing) + 2
+		pts = geom.ResamplePolyline(pts, n)
+		if len(dense) > 0 {
+			// Densify the in-air connector stroke from the previous
+			// glyph's exit to this glyph's entry. Connector points
+			// belong to no letter span: they are the transition a
+			// human segmenter excludes.
+			conn := []geom.Vec2{dense[len(dense)-1], pts[0]}
+			cn := int(geom.PolylineLength(conn)/sampleSpacing) + 2
+			conn = geom.ResamplePolyline(conn, cn)
+			dense = append(dense, conn[1:len(conn)-1]...)
+		}
+		letters = append(letters, span{r: r, start: len(dense), end: len(dense) + len(pts)})
+		dense = append(dense, pts...)
+		penX += (g.Width + style.SpacingEm) * scale
+	}
+
+	// Assign times by arc length at (jittered per-letter) speed.
+	points := make([]traj.Point, len(dense))
+	times := make([]time.Duration, len(dense))
+	t := time.Duration(0)
+	letter := 0
+	speed := style.SpeedMPS * (1 + jitter(style.SpeedJitter))
+	for i, p := range dense {
+		if i > 0 {
+			d := p.Dist(dense[i-1])
+			t += time.Duration(float64(time.Second) * d / speed)
+		}
+		points[i] = traj.Point{T: t, Pos: p}
+		times[i] = t
+		if letter < len(letters) && i == letters[letter].end-1 {
+			letter++
+			if letter < len(letters) {
+				speed = style.SpeedMPS * (1 + jitter(style.SpeedJitter))
+			}
+		}
+	}
+	spans := make([]LetterSpan, len(letters))
+	for i, l := range letters {
+		spans[i] = LetterSpan{Rune: l.r, Start: times[l.start], End: times[l.end-1] + time.Nanosecond}
+	}
+	return Word{Text: text, Traj: traj.Trajectory{Points: points}, Letters: spans}, nil
+}
+
+// LetterPositions extracts the trajectory positions belonging to one
+// letter span from a (possibly reconstructed) trajectory time-aligned with
+// the written word.
+func LetterPositions(t traj.Trajectory, span LetterSpan, n int) ([]geom.Vec2, error) {
+	if n <= 0 {
+		n = 48
+	}
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("handwriting: empty trajectory")
+	}
+	out := make([]geom.Vec2, n)
+	dur := span.End - span.Start
+	for i := 0; i < n; i++ {
+		tau := span.Start
+		if n > 1 {
+			tau = span.Start + time.Duration(float64(dur)*float64(i)/float64(n-1))
+		}
+		p, err := t.At(tau)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// Bounds returns the word's bounding box.
+func (w Word) Bounds() (geom.Rect, bool) { return geom.Bounds(w.Traj.Positions()) }
+
+// MeanLetterWidth reports the average rendered letter width in metres —
+// the quantity the paper quotes as ≈10 cm.
+func (w Word) MeanLetterWidth() float64 {
+	if len(w.Letters) == 0 {
+		return 0
+	}
+	var sum float64
+	count := 0
+	for _, span := range w.Letters {
+		pts, err := LetterPositions(w.Traj, span, 32)
+		if err != nil {
+			continue
+		}
+		if r, ok := geom.Bounds(pts); ok {
+			sum += r.Width()
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}

@@ -1,0 +1,124 @@
+// Package plot renders experiment outputs as ASCII art and CSV files. The
+// paper's figures are regenerated as data series (CSV) plus quick-look
+// ASCII heatmaps/trajectory plots, since the repository is deliberately
+// dependency-free.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"rfidraw/internal/geom"
+)
+
+// shades are ASCII intensity levels from empty to full.
+var shades = []byte(" .:-=+*#%@")
+
+// Heatmap renders a row-major grid of values (nx × nz, x fastest, z upward)
+// as ASCII art, normalising values to the [min, max] range found.
+func Heatmap(values []float64, nx, nz int) (string, error) {
+	if nx <= 0 || nz <= 0 || nx*nz != len(values) {
+		return "", fmt.Errorf("plot: heatmap shape %d×%d does not match %d values", nx, nz, len(values))
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	var b strings.Builder
+	// Render top row (max z) first.
+	for iz := nz - 1; iz >= 0; iz-- {
+		for ix := 0; ix < nx; ix++ {
+			v := values[iz*nx+ix]
+			level := 0
+			if span > 0 {
+				level = int((v - lo) / span * float64(len(shades)-1))
+			}
+			if level < 0 {
+				level = 0
+			}
+			if level >= len(shades) {
+				level = len(shades) - 1
+			}
+			b.WriteByte(shades[level])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// Trajectories renders one or more polylines into a character raster of
+// the given size, each drawn with its own marker rune. Bounds are the
+// union of all polylines plus a margin.
+func Trajectories(width, height int, series ...[]geom.Vec2) (string, error) {
+	if width <= 2 || height <= 2 {
+		return "", fmt.Errorf("plot: raster %d×%d too small", width, height)
+	}
+	var all []geom.Vec2
+	for _, s := range series {
+		all = append(all, s...)
+	}
+	box, ok := geom.Bounds(all)
+	if !ok {
+		return "", fmt.Errorf("plot: no points to draw")
+	}
+	box = box.Expand(math.Max(box.Width(), box.Height())*0.05 + 1e-9)
+	raster := make([][]byte, height)
+	for i := range raster {
+		raster[i] = []byte(strings.Repeat(" ", width))
+	}
+	markers := []byte("*o+x#&%$")
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for _, p := range s {
+			ix := int((p.X - box.Min.X) / box.Width() * float64(width-1))
+			iz := int((p.Z - box.Min.Z) / box.Height() * float64(height-1))
+			if ix < 0 || ix >= width || iz < 0 || iz >= height {
+				continue
+			}
+			raster[height-1-iz][ix] = m
+		}
+	}
+	var b strings.Builder
+	for _, row := range raster {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// CSV writes rows of float columns with a header line.
+func CSV(w io.Writer, headers []string, rows [][]float64) error {
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if len(row) != len(headers) {
+			return fmt.Errorf("plot: row width %d != header width %d", len(row), len(headers))
+		}
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = fmt.Sprintf("%.6g", v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSVPoints writes a polyline as x,z CSV rows.
+func CSVPoints(w io.Writer, pts []geom.Vec2) error {
+	rows := make([][]float64, len(pts))
+	for i, p := range pts {
+		rows[i] = []float64{p.X, p.Z}
+	}
+	return CSV(w, []string{"x_m", "z_m"}, rows)
+}

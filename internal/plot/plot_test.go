@@ -1,0 +1,91 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"rfidraw/internal/geom"
+)
+
+func TestHeatmapShape(t *testing.T) {
+	vals := []float64{0, 1, 2, 3, 4, 5}
+	out, err := Heatmap(vals, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 || len(lines[0]) != 3 {
+		t.Fatalf("shape wrong:\n%s", out)
+	}
+	// Highest value (5, at iz=1, ix=2) renders in the TOP row, last col.
+	if lines[0][2] != '@' {
+		t.Fatalf("max cell = %q", lines[0][2])
+	}
+	if lines[1][0] != ' ' {
+		t.Fatalf("min cell = %q", lines[1][0])
+	}
+}
+
+func TestHeatmapErrorsAndFlat(t *testing.T) {
+	if _, err := Heatmap([]float64{1, 2}, 3, 2); err == nil {
+		t.Fatal("shape mismatch should error")
+	}
+	if _, err := Heatmap(nil, 0, 0); err == nil {
+		t.Fatal("empty should error")
+	}
+	// A constant field renders without dividing by zero.
+	out, err := Heatmap([]float64{7, 7, 7, 7}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestTrajectories(t *testing.T) {
+	a := []geom.Vec2{{X: 0, Z: 0}, {X: 1, Z: 1}}
+	b := []geom.Vec2{{X: 0, Z: 1}, {X: 1, Z: 0}}
+	out, err := Trajectories(21, 11, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, 'o') {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("height = %d", len(lines))
+	}
+	if _, err := Trajectories(1, 1, a); err == nil {
+		t.Fatal("tiny raster should error")
+	}
+	if _, err := Trajectories(10, 10); err == nil {
+		t.Fatal("no series should error")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var sb strings.Builder
+	err := CSV(&sb, []string{"a", "b"}, [][]float64{{1, 2}, {3.5, -4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3.5,-4\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q", sb.String())
+	}
+	if err := CSV(&sb, []string{"a"}, [][]float64{{1, 2}}); err == nil {
+		t.Fatal("ragged row should error")
+	}
+}
+
+func TestCSVPoints(t *testing.T) {
+	var sb strings.Builder
+	if err := CSVPoints(&sb, []geom.Vec2{{X: 1, Z: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "x_m,z_m\n1,2\n") {
+		t.Fatalf("csv = %q", sb.String())
+	}
+}

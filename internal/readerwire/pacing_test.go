@@ -1,0 +1,75 @@
+package readerwire
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"rfidraw/internal/rfid"
+)
+
+// TestServerPacing verifies the paced replay: at pace p, a stream spanning
+// duration D takes ≈D/p of wall time to deliver.
+func TestServerPacing(t *testing.T) {
+	reports := make([]rfid.Report, 20)
+	for i := range reports {
+		reports[i] = rfid.Report{Time: time.Duration(i) * 10 * time.Millisecond, AntennaID: 1}
+	}
+	src := &InventorySource{
+		Announce:   Hello{Proto: ProtoVersion, AntennaCount: 4, SweepInterval: 25 * time.Millisecond},
+		AllReports: reports,
+	}
+	// 200 ms of data at pace 2 → ≥100 ms wall time.
+	srv, err := NewServer("127.0.0.1:0", src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	go srv.Serve(ctx, 200*time.Millisecond)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	_, got, err := Collect(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if len(got) != len(reports) {
+		t.Fatalf("got %d reports", len(got))
+	}
+	if elapsed < 80*time.Millisecond {
+		t.Fatalf("paced stream finished in %v, want ≥~100 ms", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("paced stream took %v, far too slow", elapsed)
+	}
+}
+
+// TestServerContextCancellation confirms Serve exits when cancelled.
+func TestServerContextCancellation(t *testing.T) {
+	src := &InventorySource{Announce: Hello{Proto: ProtoVersion}}
+	srv, err := NewServer("127.0.0.1:0", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, time.Second) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("cancelled serve returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not exit on cancellation")
+	}
+}

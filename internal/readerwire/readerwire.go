@@ -1,0 +1,198 @@
+// Package readerwire defines the binary TCP protocol between RFID readers
+// and the tracking host, replacing the vendor API of the paper's prototype
+// (the ThingMagic readers stream per-reply phase reports to a MATLAB
+// pipeline; here simulated readers stream to a Go pipeline).
+//
+// # Wire format
+//
+// Every message is length-prefixed:
+//
+//	uint32  payload length (big endian, excluding itself)
+//	uint8   message type
+//	...     type-specific payload
+//
+// Message types:
+//
+//	0x01 Hello        reader announces itself: readerID, antenna count,
+//	                  sweep interval
+//	0x02 PhaseReport  one tag reply: time, readerID, antennaID, EPC,
+//	                  phase, power
+//	0x03 Bye          clean shutdown
+//
+// Integers are big endian; floats are IEEE 754 bits; durations are
+// nanoseconds. The format is versioned by the Hello's proto field.
+package readerwire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"rfidraw/internal/rfid"
+)
+
+// ProtoVersion identifies this wire format revision.
+const ProtoVersion = 1
+
+// MaxPayload bounds a message payload; anything larger is rejected as
+// corrupt framing.
+const MaxPayload = 1 << 16
+
+// Message type bytes.
+const (
+	TypeHello       = 0x01
+	TypePhaseReport = 0x02
+	TypeBye         = 0x03
+)
+
+// Hello is the stream-opening announcement.
+type Hello struct {
+	Proto         uint8
+	ReaderID      uint8
+	AntennaCount  uint8
+	SweepInterval time.Duration
+}
+
+// Bye is the clean end-of-stream marker.
+type Bye struct{}
+
+// Message is a decoded wire message: exactly one of the fields is set.
+type Message struct {
+	Hello  *Hello
+	Report *rfid.Report
+	Bye    *Bye
+}
+
+// Writer encodes messages onto a stream.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewWriter wraps an io.Writer (normally a net.Conn).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w), buf: make([]byte, 0, 64)}
+}
+
+func (w *Writer) frame(payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(payload)
+	return err
+}
+
+// WriteHello sends the stream announcement.
+func (w *Writer) WriteHello(h Hello) error {
+	b := w.buf[:0]
+	b = append(b, TypeHello, h.Proto, h.ReaderID, h.AntennaCount)
+	b = binary.BigEndian.AppendUint64(b, uint64(h.SweepInterval))
+	if err := w.frame(b); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// WriteReport sends one phase report. Reports are buffered; call Flush to
+// push them to the network.
+func (w *Writer) WriteReport(r rfid.Report) error {
+	if r.ReaderID < 0 || r.ReaderID > 255 || r.AntennaID < 0 || r.AntennaID > 255 {
+		return fmt.Errorf("readerwire: reader/antenna id out of byte range: %d/%d", r.ReaderID, r.AntennaID)
+	}
+	b := w.buf[:0]
+	b = append(b, TypePhaseReport, byte(r.ReaderID), byte(r.AntennaID))
+	b = binary.BigEndian.AppendUint64(b, uint64(r.Time))
+	b = append(b, r.EPC[:]...)
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.PhaseRad))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.PowerDB))
+	return w.frame(b)
+}
+
+// WriteBye sends the end-of-stream marker and flushes.
+func (w *Writer) WriteBye() error {
+	if err := w.frame([]byte{TypeBye}); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Flush pushes buffered reports to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes messages from a stream.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader wraps an io.Reader (normally a net.Conn).
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// ErrBadFrame reports malformed framing or payloads.
+var ErrBadFrame = errors.New("readerwire: bad frame")
+
+// Next reads the next message. It returns io.EOF at a clean end of stream
+// (after Bye or when the connection closes between frames).
+func (r *Reader) Next() (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Message{}, fmt.Errorf("%w: truncated header: %v", ErrBadFrame, err)
+		}
+		return Message{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxPayload {
+		return Message{}, fmt.Errorf("%w: payload length %d", ErrBadFrame, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		return Message{}, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
+	}
+	switch payload[0] {
+	case TypeHello:
+		if len(payload) != 1+3+8 {
+			return Message{}, fmt.Errorf("%w: hello length %d", ErrBadFrame, len(payload))
+		}
+		h := &Hello{
+			Proto:         payload[1],
+			ReaderID:      payload[2],
+			AntennaCount:  payload[3],
+			SweepInterval: time.Duration(binary.BigEndian.Uint64(payload[4:])),
+		}
+		if h.Proto != ProtoVersion {
+			return Message{}, fmt.Errorf("%w: protocol version %d, want %d", ErrBadFrame, h.Proto, ProtoVersion)
+		}
+		return Message{Hello: h}, nil
+	case TypePhaseReport:
+		if len(payload) != 1+2+8+12+8+8 {
+			return Message{}, fmt.Errorf("%w: report length %d", ErrBadFrame, len(payload))
+		}
+		rep := &rfid.Report{
+			ReaderID:  int(payload[1]),
+			AntennaID: int(payload[2]),
+			Time:      time.Duration(binary.BigEndian.Uint64(payload[3:11])),
+		}
+		copy(rep.EPC[:], payload[11:23])
+		rep.PhaseRad = math.Float64frombits(binary.BigEndian.Uint64(payload[23:31]))
+		rep.PowerDB = math.Float64frombits(binary.BigEndian.Uint64(payload[31:39]))
+		if math.IsNaN(rep.PhaseRad) || rep.PhaseRad < 0 || rep.PhaseRad >= 2*math.Pi+1e-9 {
+			return Message{}, fmt.Errorf("%w: phase %v out of range", ErrBadFrame, rep.PhaseRad)
+		}
+		return Message{Report: rep}, nil
+	case TypeBye:
+		if len(payload) != 1 {
+			return Message{}, fmt.Errorf("%w: bye length %d", ErrBadFrame, len(payload))
+		}
+		return Message{Bye: &Bye{}}, nil
+	default:
+		return Message{}, fmt.Errorf("%w: unknown type 0x%02x", ErrBadFrame, payload[0])
+	}
+}

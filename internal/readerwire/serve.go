@@ -1,0 +1,184 @@
+package readerwire
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rfidraw/internal/rfid"
+)
+
+// ReportSource yields reports to stream; the simulated reader daemon
+// implements it by running an inventory.
+type ReportSource interface {
+	// Reports returns the reports for the given window, in time order.
+	Reports(from, to time.Duration) []rfid.Report
+	// Hello describes the stream.
+	Hello() Hello
+}
+
+// Server streams a ReportSource to every TCP client in near-real time: it
+// replays the source's reports paced by their timestamps.
+type Server struct {
+	src  ReportSource
+	ln   net.Listener
+	pace float64 // time acceleration factor; 0 = as fast as possible
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+// NewServer listens on addr (e.g. "127.0.0.1:0") and serves src. pace is
+// the replay speed multiplier: 1 streams in real time, 0 streams without
+// pacing (useful in tests).
+func NewServer(addr string, src ReportSource, pace float64) (*Server, error) {
+	if src == nil {
+		return nil, fmt.Errorf("readerwire: nil source")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("readerwire: %w", err)
+	}
+	return &Server{src: src, ln: ln, pace: pace, conns: map[net.Conn]struct{}{}}, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Serve accepts clients until the context is cancelled or the listener is
+// closed, streaming the window [0, dur] of the source to each client.
+func (s *Server) Serve(ctx context.Context, dur time.Duration) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		s.ln.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.wg.Wait()
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			// Streaming errors mean the client went away; nothing to do.
+			_ = s.stream(ctx, conn, dur)
+		}()
+	}
+}
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.ln.Close() }
+
+// stream writes the source's reports to one client, paced.
+func (s *Server) stream(ctx context.Context, conn net.Conn, dur time.Duration) error {
+	w := NewWriter(conn)
+	if err := w.WriteHello(s.src.Hello()); err != nil {
+		return err
+	}
+	const chunk = 100 * time.Millisecond
+	start := time.Now()
+	for from := time.Duration(0); from < dur; from += chunk {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		to := from + chunk
+		if to > dur {
+			to = dur
+		}
+		for _, rep := range s.src.Reports(from, to) {
+			if err := w.WriteReport(rep); err != nil {
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		if s.pace > 0 {
+			target := time.Duration(float64(to) / s.pace)
+			if sleep := target - time.Since(start); sleep > 0 {
+				select {
+				case <-time.After(sleep):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+		}
+	}
+	return w.WriteBye()
+}
+
+// InventorySource adapts a pre-computed report slice to ReportSource.
+type InventorySource struct {
+	Announce   Hello
+	AllReports []rfid.Report
+}
+
+// Hello implements ReportSource.
+func (s *InventorySource) Hello() Hello { return s.Announce }
+
+// Reports implements ReportSource with a linear scan (report counts per
+// word are small; an index would be overkill).
+func (s *InventorySource) Reports(from, to time.Duration) []rfid.Report {
+	var out []rfid.Report
+	for _, r := range s.AllReports {
+		if r.Time >= from && r.Time < to {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Collect reads a full stream from conn into a report slice, validating
+// the Hello handshake.
+func Collect(conn net.Conn) (Hello, []rfid.Report, error) {
+	r := NewReader(conn)
+	msg, err := r.Next()
+	if err != nil {
+		return Hello{}, nil, err
+	}
+	if msg.Hello == nil {
+		return Hello{}, nil, fmt.Errorf("readerwire: stream must open with Hello")
+	}
+	hello := *msg.Hello
+	var reports []rfid.Report
+	for {
+		msg, err := r.Next()
+		if err != nil {
+			return hello, reports, err
+		}
+		switch {
+		case msg.Report != nil:
+			reports = append(reports, *msg.Report)
+		case msg.Bye != nil:
+			return hello, reports, nil
+		default:
+			return hello, reports, fmt.Errorf("readerwire: unexpected mid-stream message")
+		}
+	}
+}

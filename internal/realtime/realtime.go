@@ -1,0 +1,231 @@
+// Package realtime turns live per-reply phase report streams into a live
+// trajectory: the online counterpart of the batch pipeline. It merges the
+// two readers' reports into per-sweep samples, runs multi-resolution
+// positioning once enough antennas have been heard, and then extends the
+// traced trajectory sample by sample, emitting each new position as it is
+// estimated — the mode a virtual touch screen runs in (§9's cursor
+// discussion).
+package realtime
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"rfidraw/internal/core"
+	"rfidraw/internal/geom"
+	"rfidraw/internal/rfid"
+	"rfidraw/internal/tracing"
+	"rfidraw/internal/vote"
+)
+
+// Position is one live output sample.
+type Position struct {
+	Time time.Duration
+	Pos  geom.Vec2
+}
+
+// Config tunes the live tracker.
+type Config struct {
+	// System is the configured RF-IDraw engine. Required.
+	System *core.System
+	// SweepInterval is the readers' sweep period (from their Hello).
+	SweepInterval time.Duration
+	// MaxPhaseAge drops phases older than this when forming samples.
+	// Default 2.2 sweep intervals.
+	MaxPhaseAge time.Duration
+	// WarmupSamples is how many merged samples are buffered before
+	// attempting initial positioning. Default 4.
+	WarmupSamples int
+	// ReacquireVote triggers tracking-loss recovery: when the recent
+	// mean vote falls below this threshold the tracker declares the
+	// lobe locks lost (e.g. the user left and re-entered the field) and
+	// re-runs initial acquisition. Votes are ≤ 0; more negative means
+	// worse. Default −0.5; set to -Inf to disable.
+	ReacquireVote float64
+	// ReacquireWindow is how many recent votes the loss detector
+	// averages. Default 8.
+	ReacquireWindow int
+}
+
+// Tracker consumes rfid.Reports (from any number of readers) in time order
+// and produces live positions.
+type Tracker struct {
+	cfg Config
+
+	epc     rfid.EPC
+	haveEPC bool
+
+	latest    map[int]timedPhase
+	nextSweep time.Duration
+	samples   []tracing.Sample
+
+	started bool
+	stream  *tracing.Stream
+
+	recent         []float64 // ring of recent votes for loss detection
+	reacquisitions int
+}
+
+type timedPhase struct {
+	phase float64
+	t     time.Duration
+}
+
+// NewTracker builds a live tracker.
+func NewTracker(cfg Config) (*Tracker, error) {
+	if cfg.System == nil {
+		return nil, errors.New("realtime: Config.System is required")
+	}
+	if cfg.SweepInterval <= 0 {
+		return nil, fmt.Errorf("realtime: sweep interval %v must be positive", cfg.SweepInterval)
+	}
+	if cfg.MaxPhaseAge <= 0 {
+		cfg.MaxPhaseAge = cfg.SweepInterval * 11 / 5
+	}
+	if cfg.WarmupSamples <= 0 {
+		cfg.WarmupSamples = 4
+	}
+	if cfg.ReacquireVote == 0 {
+		cfg.ReacquireVote = -0.5
+	}
+	if cfg.ReacquireWindow <= 0 {
+		cfg.ReacquireWindow = 8
+	}
+	return &Tracker{cfg: cfg, latest: map[int]timedPhase{}}, nil
+}
+
+// Offer ingests one report and returns any newly estimated positions.
+// Reports must arrive in non-decreasing time order across all readers
+// (interleaving between readers is fine).
+func (t *Tracker) Offer(rep rfid.Report) ([]Position, error) {
+	if !t.haveEPC {
+		t.epc = rep.EPC
+		t.haveEPC = true
+	} else if rep.EPC != t.epc {
+		// A different tag: ignore (multi-tag callers run one Tracker
+		// per EPC).
+		return nil, nil
+	}
+	var out []Position
+	// Close any sweeps that ended before this report.
+	for rep.Time >= t.nextSweep+t.cfg.SweepInterval {
+		pos, err := t.closeSweep()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, pos...)
+	}
+	t.latest[rep.AntennaID] = timedPhase{phase: rep.PhaseRad, t: rep.Time}
+	return out, nil
+}
+
+// Flush closes the current sweep (e.g. at end of stream) and returns any
+// final positions.
+func (t *Tracker) Flush() ([]Position, error) {
+	return t.closeSweep()
+}
+
+// closeSweep snapshots the current per-antenna phases as one sample and
+// advances the pipeline.
+func (t *Tracker) closeSweep() ([]Position, error) {
+	now := t.nextSweep
+	t.nextSweep += t.cfg.SweepInterval
+	obs := vote.Observations{}
+	for id, tp := range t.latest {
+		if now+t.cfg.SweepInterval-tp.t <= t.cfg.MaxPhaseAge {
+			obs[id] = tp.phase
+		}
+	}
+	if len(obs) == 0 {
+		return nil, nil
+	}
+	sample := tracing.Sample{T: now, Phase: obs}
+	if !t.started {
+		t.samples = append(t.samples, sample)
+		if len(t.samples) < t.cfg.WarmupSamples {
+			return nil, nil
+		}
+		// Acquire: localize candidates over the buffered prefix, pick
+		// the best trace, then continue it incrementally.
+		res, err := t.cfg.System.Trace(t.samples)
+		if err != nil {
+			// Not enough signal yet; keep buffering (bounded).
+			if len(t.samples) > 400 {
+				return nil, fmt.Errorf("realtime: cannot acquire initial position: %w", err)
+			}
+			return nil, nil
+		}
+		stream, err := t.cfg.System.Tracer().NewStream(res.InitialPosition(), t.samples[0])
+		if err != nil {
+			return nil, fmt.Errorf("realtime: %w", err)
+		}
+		// Replay the buffered prefix through the stream so its state
+		// catches up with "now".
+		var out []Position
+		for _, s := range t.samples {
+			if p, _, ok := stream.Push(s); ok {
+				out = append(out, Position{Time: p.T, Pos: p.Pos})
+			}
+		}
+		t.stream = stream
+		t.started = true
+		t.samples = nil
+		return out, nil
+	}
+	p, v, ok := t.stream.Push(sample)
+	if !ok {
+		return nil, nil
+	}
+	// Tracking-loss detection: a collapsed recent vote means the locked
+	// lobes no longer intersect coherently (the over-constrained-system
+	// signal of §5.2). Drop the stream and rebuild from scratch.
+	t.recent = append(t.recent, v)
+	if len(t.recent) > t.cfg.ReacquireWindow {
+		t.recent = t.recent[1:]
+	}
+	if len(t.recent) == t.cfg.ReacquireWindow && mean(t.recent) < t.cfg.ReacquireVote {
+		t.started = false
+		t.stream = nil
+		t.recent = nil
+		t.samples = nil
+		t.reacquisitions++
+		return nil, nil
+	}
+	return []Position{{Time: p.T, Pos: p.Pos}}, nil
+}
+
+// Reacquisitions reports how many times tracking was lost and restarted.
+func (t *Tracker) Reacquisitions() int { return t.reacquisitions }
+
+func mean(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// MeanVote reports the live trace's mean vote so far; callers can use it
+// as a confidence signal (it collapses when tracking is lost).
+func (t *Tracker) MeanVote() float64 {
+	if t.stream == nil {
+		return 0
+	}
+	return t.stream.MeanVote()
+}
+
+// Started reports whether initial acquisition has completed.
+func (t *Tracker) Started() bool { return t.started }
+
+// MergeStreams time-merges multiple report slices (one per reader) into a
+// single non-decreasing stream, as a network fan-in would deliver them.
+func MergeStreams(streams ...[]rfid.Report) []rfid.Report {
+	var out []rfid.Report
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}

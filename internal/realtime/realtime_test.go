@@ -1,0 +1,184 @@
+package realtime
+
+import (
+	"testing"
+	"time"
+
+	"rfidraw/internal/core"
+	"rfidraw/internal/geom"
+	"rfidraw/internal/handwriting"
+	"rfidraw/internal/rfid"
+	"rfidraw/internal/sim"
+	"rfidraw/internal/traj"
+)
+
+func newTracker(t testing.TB, sc *sim.Scenario) *Tracker {
+	t.Helper()
+	sys, err := core.NewSystem(sc.RFIDraw, core.Config{Plane: sc.Plane, Region: sc.Region})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTracker(Config{System: sys, SweepInterval: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// reportsForWord regenerates the raw report streams for a word run by
+// re-running the scenario readers. Since Scenario keeps readers private we
+// reconstruct reports from merged samples instead: one synthetic report
+// per antenna phase per sample.
+func reportsFromSamples(wr *sim.WordRun, epc rfid.EPC) []rfid.Report {
+	var out []rfid.Report
+	for _, s := range wr.SamplesRF {
+		for id, ph := range s.Phase {
+			out = append(out, rfid.Report{
+				Time:      s.T,
+				ReaderID:  (id - 1) / 4,
+				AntennaID: id,
+				EPC:       epc,
+				PhaseRad:  ph,
+			})
+		}
+	}
+	return out
+}
+
+func TestNewTrackerValidation(t *testing.T) {
+	if _, err := NewTracker(Config{}); err == nil {
+		t.Fatal("missing system should error")
+	}
+	sc, err := sim.New(sim.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(sc.RFIDraw, core.Config{Plane: sc.Plane, Region: sc.Region})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTracker(Config{System: sys}); err == nil {
+		t.Fatal("missing sweep interval should error")
+	}
+}
+
+func TestLiveTrackingMatchesTruth(t *testing.T) {
+	sc, err := sim.New(sim.Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, err := sc.RunWord("on", geom.Vec2{X: 0.9, Z: 1.0}, handwriting.DefaultStyle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := newTracker(t, sc)
+	reports := reportsFromSamples(wr, sc.Tag.EPC)
+	var live []Position
+	for _, rep := range reports {
+		ps, err := tr.Offer(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, ps...)
+	}
+	ps, err := tr.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live = append(live, ps...)
+	if !tr.Started() {
+		t.Fatal("tracker never acquired")
+	}
+	if len(live) < 20 {
+		t.Fatalf("live positions = %d", len(live))
+	}
+	// Convert to a trajectory and compare shapes.
+	pts := make([]traj.Point, len(live))
+	for i, p := range live {
+		pts[i] = traj.Point{T: p.Time, Pos: p.Pos}
+	}
+	med, err := traj.MedianError(wr.Truth, traj.Trajectory{Points: pts}, traj.AlignInitial, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med > 0.08 {
+		t.Fatalf("live shape error = %v m", med)
+	}
+	if tr.MeanVote() > 0 {
+		t.Fatal("mean vote must be ≤ 0")
+	}
+}
+
+func TestLivePositionsAreOrderedAndIncremental(t *testing.T) {
+	sc, err := sim.New(sim.Config{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, err := sc.RunWord("go", geom.Vec2{X: 0.9, Z: 1.0}, handwriting.DefaultStyle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := newTracker(t, sc)
+	var prev time.Duration = -1
+	emitted := 0
+	for _, rep := range reportsFromSamples(wr, sc.Tag.EPC) {
+		ps, err := tr.Offer(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range ps {
+			if p.Time <= prev {
+				t.Fatal("positions out of order")
+			}
+			prev = p.Time
+			emitted++
+		}
+	}
+	if emitted == 0 {
+		t.Fatal("no positions emitted before stream end")
+	}
+}
+
+func TestForeignTagIgnored(t *testing.T) {
+	sc, err := sim.New(sim.Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, err := sc.RunWord("go", geom.Vec2{X: 0.9, Z: 1.0}, handwriting.DefaultStyle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := newTracker(t, sc)
+	reports := reportsFromSamples(wr, sc.Tag.EPC)
+	// Interleave reports from a different tag: they must not disturb
+	// tracking.
+	other := rfid.EPC{9, 9, 9}
+	for _, rep := range reports[:40] {
+		if _, err := tr.Offer(rep); err != nil {
+			t.Fatal(err)
+		}
+		foreign := rep
+		foreign.EPC = other
+		foreign.PhaseRad = 0.123
+		if ps, err := tr.Offer(foreign); err != nil || len(ps) != 0 {
+			t.Fatalf("foreign tag affected tracker: %v %v", ps, err)
+		}
+	}
+}
+
+func TestMergeStreams(t *testing.T) {
+	a := []rfid.Report{{Time: 0, AntennaID: 1}, {Time: 50 * time.Millisecond, AntennaID: 1}}
+	b := []rfid.Report{{Time: 25 * time.Millisecond, AntennaID: 5}}
+	m := MergeStreams(a, b)
+	if len(m) != 3 {
+		t.Fatal("merge length")
+	}
+	for i := 1; i < len(m); i++ {
+		if m[i].Time < m[i-1].Time {
+			t.Fatal("merge out of order")
+		}
+	}
+	if MergeStreams() != nil {
+		t.Fatal("empty merge should be nil")
+	}
+}

@@ -1,0 +1,81 @@
+package recognition
+
+import (
+	"math/rand"
+	"testing"
+
+	"rfidraw/internal/corpus"
+	"rfidraw/internal/geom"
+	"rfidraw/internal/handwriting"
+)
+
+// TestEveryCorpusWordRenderable guards the corpus↔font contract: every
+// word the experiments can sample must be writable with the glyph set.
+func TestEveryCorpusWordRenderable(t *testing.T) {
+	for _, w := range corpus.All() {
+		if _, err := handwriting.Write(w, geom.Vec2{}, handwriting.DefaultStyle(), nil); err != nil {
+			t.Fatalf("corpus word %q not renderable: %v", w, err)
+		}
+	}
+}
+
+// TestAlphabetInWordContext classifies every letter written *inside a
+// word* (with entry/exit connectors and neighbours), the situation the
+// evaluation actually measures.
+func TestAlphabetInWordContext(t *testing.T) {
+	r := newRec(t)
+	// Pangram-ish carriers covering a–z in varied contexts.
+	words := []string{"quick", "brown", "fox", "jumps", "over", "lazy", "dog",
+		"vexed", "wizards", "gym", "pack", "both", "quiz", "fjord"}
+	total, correct := 0, 0
+	for _, w := range words {
+		written, err := handwriting.Write(w, geom.Vec2{}, handwriting.DefaultStyle(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.RecognizeLetters(written.Traj, written.Letters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ru := range got {
+			total++
+			if byte(ru) == w[i] {
+				correct++
+			}
+		}
+	}
+	rate := float64(correct) / float64(total)
+	if rate < 0.97 {
+		t.Fatalf("in-word clean letter accuracy = %.3f, want ≥0.97", rate)
+	}
+}
+
+// TestWordRecognitionAcrossStyles measures clean word recognition over
+// many user styles — an upper bound the RF pipeline is then compared
+// against (reconstruction noise can only lower it).
+func TestWordRecognitionAcrossStyles(t *testing.T) {
+	r := newRec(t)
+	rng := rand.New(rand.NewSource(77))
+	words, err := corpus.Sample(rng, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for i, w := range words {
+		style := handwriting.RandomStyle(rng)
+		written, err := handwriting.Write(w, geom.Vec2{X: float64(i % 3), Z: 1}, style, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, hit, err := r.RecognizeWord(written.Traj, written.Letters, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit {
+			ok++
+		}
+	}
+	if rate := float64(ok) / float64(len(words)); rate < 0.85 {
+		t.Fatalf("clean styled word recognition = %.2f, want ≥0.85", rate)
+	}
+}

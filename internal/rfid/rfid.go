@@ -1,0 +1,283 @@
+// Package rfid simulates the commercial UHF RFID hardware of the paper's
+// prototype (§6): EPC Gen-2 passive tags and 4-port readers in the style of
+// the ThingMagic M6e, which continuously query tags and report the signal
+// phase of every reply.
+//
+// The simulation covers the behaviours the algorithms and evaluation
+// depend on:
+//
+//   - per-port phase reports with tag-, reader- and noise-induced offsets;
+//   - round-robin port multiplexing at a configurable sweep rate;
+//   - range-dependent reply loss: a passive tag only replies when it
+//     harvests enough power, which caps the prototype's range at ≈5 m
+//     (§8's footnote);
+//   - multiple tags distinguished by EPC, sharing reader airtime.
+package rfid
+
+import (
+	"encoding/hex"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"rfidraw/internal/antenna"
+	"rfidraw/internal/channel"
+	"rfidraw/internal/geom"
+	"rfidraw/internal/phys"
+)
+
+// EPC is a 96-bit EPC Gen-2 tag identifier.
+type EPC [12]byte
+
+// String renders the EPC as lowercase hex, the way readers report it.
+func (e EPC) String() string { return hex.EncodeToString(e[:]) }
+
+// ParseEPC parses a 24-hex-digit EPC string.
+func ParseEPC(s string) (EPC, error) {
+	var e EPC
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return e, fmt.Errorf("rfid: bad EPC %q: %w", s, err)
+	}
+	if len(b) != len(e) {
+		return e, fmt.Errorf("rfid: EPC %q must be %d bytes, got %d", s, len(e), len(b))
+	}
+	copy(e[:], b)
+	return e, nil
+}
+
+// RandomEPC draws a uniformly random EPC.
+func RandomEPC(rng *rand.Rand) EPC {
+	var e EPC
+	for i := range e {
+		e[i] = byte(rng.Intn(256))
+	}
+	return e
+}
+
+// Tag is a passive UHF RFID (e.g. the Alien Squiggle of Fig. 9).
+type Tag struct {
+	// EPC identifies the tag; it is how multiple simultaneous users are
+	// told apart (§2).
+	EPC EPC
+	// PhaseOffsetRad is the tag's backscatter phase offset — a property
+	// of its antenna and chip. It is common to all reader ports, so it
+	// cancels in within-reader phase differences.
+	PhaseOffsetRad float64
+}
+
+// NewTag creates a tag with a random EPC and phase offset.
+func NewTag(rng *rand.Rand) Tag {
+	return Tag{EPC: RandomEPC(rng), PhaseOffsetRad: rng.Float64() * phys.TwoPi}
+}
+
+// Report is one tag reply as delivered by the reader: which port heard
+// which tag when, at what phase and power.
+type Report struct {
+	// Time is the reply time relative to the start of the inventory.
+	Time time.Duration
+	// ReaderID and AntennaID identify the port that heard the reply.
+	ReaderID  int
+	AntennaID int
+	// EPC is the replying tag.
+	EPC EPC
+	// PhaseRad is the measured wrapped phase in [0, 2π).
+	PhaseRad float64
+	// PowerDB is the received power in dB (arbitrary reference), the
+	// simulator's stand-in for RSSI.
+	PowerDB float64
+}
+
+// ReaderConfig configures a simulated 4-port reader.
+type ReaderConfig struct {
+	// ID is the reader identity; it must match every antenna's ReaderID.
+	ID int
+	// Antennas are the ports, typically 4 (the M6e has 4 ports).
+	Antennas []antenna.Antenna
+	// SweepInterval is the time to multiplex through all ports once.
+	// The prototype's readers deliver on the order of tens of reads per
+	// second per tag; 25 ms per 4-port sweep matches that.
+	SweepInterval time.Duration
+	// PhaseOffsetRad is the reader's RF-chain phase offset, common to
+	// its ports but different (and uncalibrated) across readers — the
+	// reason RF-IDraw never pairs antennas across readers (§3.5).
+	PhaseOffsetRad float64
+	// WakePowerDB and WakeWidthDB shape the reply-loss model: the
+	// probability that the tag harvests enough energy to reply is a
+	// logistic in received power (dB), centred at WakePowerDB.
+	WakePowerDB float64
+	WakeWidthDB float64
+}
+
+// DefaultReaderConfig returns a configuration matching the prototype: 25 ms
+// sweeps and a wake threshold that keeps reads reliable through 5 m with
+// loss growing significant beyond that (§8.1 footnote 5: "Beyond 5 meters,
+// we start to see significant message loss").
+func DefaultReaderConfig(id int, antennas []antenna.Antenna) ReaderConfig {
+	return ReaderConfig{
+		ID:            id,
+		Antennas:      antennas,
+		SweepInterval: 25 * time.Millisecond,
+		WakePowerDB:   -33,
+		WakeWidthDB:   1.5,
+	}
+}
+
+// Reader is a simulated 4-port UHF reader attached to an environment.
+type Reader struct {
+	cfg ReaderConfig
+	env *channel.Environment
+}
+
+// NewReader validates the configuration and binds it to a propagation
+// environment.
+func NewReader(cfg ReaderConfig, env *channel.Environment) (*Reader, error) {
+	if env == nil {
+		return nil, fmt.Errorf("rfid: reader %d needs an environment", cfg.ID)
+	}
+	if err := env.Validate(); err != nil {
+		return nil, fmt.Errorf("rfid: reader %d: %w", cfg.ID, err)
+	}
+	if len(cfg.Antennas) == 0 {
+		return nil, fmt.Errorf("rfid: reader %d has no antennas", cfg.ID)
+	}
+	if cfg.SweepInterval <= 0 {
+		return nil, fmt.Errorf("rfid: reader %d sweep interval %v must be positive", cfg.ID, cfg.SweepInterval)
+	}
+	seen := make(map[int]bool, len(cfg.Antennas))
+	for _, a := range cfg.Antennas {
+		if a.ReaderID != cfg.ID {
+			return nil, fmt.Errorf("rfid: antenna %d belongs to reader %d, not %d", a.ID, a.ReaderID, cfg.ID)
+		}
+		if seen[a.ID] {
+			return nil, fmt.Errorf("rfid: duplicate antenna ID %d", a.ID)
+		}
+		seen[a.ID] = true
+	}
+	return &Reader{cfg: cfg, env: env}, nil
+}
+
+// Config returns the reader's configuration.
+func (r *Reader) Config() ReaderConfig { return r.cfg }
+
+// replyProbability is the logistic wake model in dB.
+func (r *Reader) replyProbability(powerDB float64) float64 {
+	if r.cfg.WakeWidthDB <= 0 {
+		if powerDB >= r.cfg.WakePowerDB {
+			return 1
+		}
+		return 0
+	}
+	return 1 / (1 + math.Exp(-(powerDB-r.cfg.WakePowerDB)/r.cfg.WakeWidthDB))
+}
+
+// ReadPort performs a single query on one port for a tag at pos. ok is
+// false when the tag failed to reply (insufficient harvested power). rng
+// drives both the loss draw and the measurement noise; it must not be nil.
+func (r *Reader) ReadPort(t time.Duration, port antenna.Antenna, tag Tag, pos geom.Vec3, rng *rand.Rand) (Report, bool) {
+	m := r.env.Measure(port.Pos, pos, tag.PhaseOffsetRad+r.cfg.PhaseOffsetRad, rng)
+	powerDB := phys.DB(math.Max(m.Power, 1e-30))
+	if rng.Float64() >= r.replyProbability(powerDB) {
+		return Report{}, false
+	}
+	return Report{
+		Time:      t,
+		ReaderID:  r.cfg.ID,
+		AntennaID: port.ID,
+		EPC:       tag.EPC,
+		PhaseRad:  m.Phase,
+		PowerDB:   powerDB,
+	}, true
+}
+
+// Sweep multiplexes through all ports once, starting at time t, and
+// returns the successful reads. Port dwells are spread evenly across the
+// sweep interval.
+func (r *Reader) Sweep(t time.Duration, tag Tag, at func(time.Duration) geom.Vec3, rng *rand.Rand) []Report {
+	dwell := r.cfg.SweepInterval / time.Duration(len(r.cfg.Antennas))
+	var out []Report
+	for i, port := range r.cfg.Antennas {
+		rt := t + time.Duration(i)*dwell
+		if rep, ok := r.ReadPort(rt, port, tag, at(rt), rng); ok {
+			out = append(out, rep)
+		}
+	}
+	return out
+}
+
+// Inventory runs sweeps back-to-back for the given duration against a tag
+// following the trajectory described by at (time → room position), and
+// returns every successful read in time order.
+func (r *Reader) Inventory(dur time.Duration, tag Tag, at func(time.Duration) geom.Vec3, rng *rand.Rand) []Report {
+	var out []Report
+	for t := time.Duration(0); t < dur; t += r.cfg.SweepInterval {
+		out = append(out, r.Sweep(t, tag, at, rng)...)
+	}
+	return out
+}
+
+// InventoryMulti interleaves multiple tags in one inventory, modelling
+// Gen-2 singulation by splitting each sweep's airtime across the tags
+// round-robin: tag i is queried on sweeps where sweepIndex % len(tags) == i,
+// so per-tag read rate divides by the tag count.
+func (r *Reader) InventoryMulti(dur time.Duration, tags []Tag, at []func(time.Duration) geom.Vec3, rng *rand.Rand) ([]Report, error) {
+	if len(tags) == 0 || len(tags) != len(at) {
+		return nil, fmt.Errorf("rfid: InventoryMulti needs matching tags (%d) and trajectories (%d)", len(tags), len(at))
+	}
+	var out []Report
+	sweep := 0
+	for t := time.Duration(0); t < dur; t += r.cfg.SweepInterval {
+		i := sweep % len(tags)
+		out = append(out, r.Sweep(t, tags[i], at[i], rng)...)
+		sweep++
+	}
+	return out, nil
+}
+
+// Snapshot is the per-sweep view the positioning algorithms consume: the
+// latest wrapped phase per antenna of one reader at a common timestamp.
+type Snapshot struct {
+	Time time.Duration
+	// Phase maps antenna ID → wrapped phase. Ports whose last read is
+	// stale (older than MaxAge at grouping time) are omitted.
+	Phase map[int]float64
+}
+
+// GroupSweeps folds a report stream into per-sweep snapshots with
+// last-known-phase hold: a port that missed a read keeps its previous
+// phase as long as it is not older than maxAge. Reports must be in time
+// order. Only reports matching epc are considered.
+func GroupSweeps(reports []Report, epc EPC, sweepInterval, maxAge time.Duration) []Snapshot {
+	if len(reports) == 0 {
+		return nil
+	}
+	type held struct {
+		phase float64
+		t     time.Duration
+	}
+	latest := make(map[int]held)
+	var out []Snapshot
+	end := reports[len(reports)-1].Time
+	ri := 0
+	for t := time.Duration(0); t <= end; t += sweepInterval {
+		for ri < len(reports) && reports[ri].Time < t+sweepInterval {
+			rep := reports[ri]
+			ri++
+			if rep.EPC != epc {
+				continue
+			}
+			latest[rep.AntennaID] = held{phase: rep.PhaseRad, t: rep.Time}
+		}
+		snap := Snapshot{Time: t, Phase: make(map[int]float64, len(latest))}
+		for id, h := range latest {
+			if t-h.t <= maxAge {
+				snap.Phase[id] = h.phase
+			}
+		}
+		if len(snap.Phase) > 0 {
+			out = append(out, snap)
+		}
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+package rfid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rfidraw/internal/antenna"
+	"rfidraw/internal/channel"
+	"rfidraw/internal/geom"
+	"rfidraw/internal/phys"
+)
+
+func testAntennas(readerID int) []antenna.Antenna {
+	lambda := phys.DefaultCarrier().WavelengthM
+	return []antenna.Antenna{
+		{ID: 1, ReaderID: readerID, Pos: geom.Vec3{X: 0, Z: 0}},
+		{ID: 2, ReaderID: readerID, Pos: geom.Vec3{X: 8 * lambda, Z: 0}},
+		{ID: 3, ReaderID: readerID, Pos: geom.Vec3{X: 8 * lambda, Z: 8 * lambda}},
+		{ID: 4, ReaderID: readerID, Pos: geom.Vec3{X: 0, Z: 8 * lambda}},
+	}
+}
+
+func newTestReader(t *testing.T, noise float64) *Reader {
+	t.Helper()
+	r, err := NewReader(DefaultReaderConfig(0, testAntennas(0)), channel.LOS(noise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestEPCRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := RandomEPC(rng)
+	s := e.String()
+	if len(s) != 24 {
+		t.Fatalf("EPC string length = %d", len(s))
+	}
+	parsed, err := ParseEPC(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != e {
+		t.Fatalf("round trip: %v != %v", parsed, e)
+	}
+}
+
+func TestParseEPCErrors(t *testing.T) {
+	if _, err := ParseEPC("zz"); err == nil {
+		t.Fatal("bad hex should error")
+	}
+	if _, err := ParseEPC("abcd"); err == nil {
+		t.Fatal("short EPC should error")
+	}
+}
+
+func TestNewReaderValidation(t *testing.T) {
+	env := channel.LOS(0)
+	ants := testAntennas(0)
+	cases := []struct {
+		name string
+		cfg  ReaderConfig
+		env  *channel.Environment
+	}{
+		{"nil env", DefaultReaderConfig(0, ants), nil},
+		{"no antennas", DefaultReaderConfig(0, nil), env},
+		{"zero sweep", ReaderConfig{ID: 0, Antennas: ants}, env},
+		{"wrong reader id", DefaultReaderConfig(1, ants), env},
+		{"dup antenna", DefaultReaderConfig(0, append(testAntennas(0), antenna.Antenna{ID: 1, ReaderID: 0, Pos: geom.Vec3{X: 1}})), env},
+	}
+	for _, tc := range cases {
+		if _, err := NewReader(tc.cfg, tc.env); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	bad := &channel.Environment{} // fails env.Validate
+	if _, err := NewReader(DefaultReaderConfig(0, ants), bad); err == nil {
+		t.Error("invalid environment should error")
+	}
+}
+
+func TestReadPortPhaseMatchesChannel(t *testing.T) {
+	r := newTestReader(t, 0)
+	rng := rand.New(rand.NewSource(2))
+	tag := NewTag(rng)
+	pos := geom.Vec3{X: 1.3, Y: 2, Z: 0.8}
+	rep, ok := r.ReadPort(0, r.Config().Antennas[0], tag, pos, rng)
+	if !ok {
+		t.Fatal("close tag should reply")
+	}
+	env := channel.LOS(0)
+	want := env.Measure(r.Config().Antennas[0].Pos, pos, tag.PhaseOffsetRad, nil).Phase
+	if math.Abs(phys.WrapSigned(rep.PhaseRad-want)) > 1e-9 {
+		t.Fatalf("phase = %v, want %v", rep.PhaseRad, want)
+	}
+	if rep.AntennaID != 1 || rep.ReaderID != 0 || rep.EPC != tag.EPC {
+		t.Fatalf("report metadata wrong: %+v", rep)
+	}
+}
+
+func TestReplyLossGrowsWithDistance(t *testing.T) {
+	r := newTestReader(t, 0.05)
+	rng := rand.New(rand.NewSource(3))
+	tag := NewTag(rng)
+	rate := func(d float64) float64 {
+		ok := 0
+		const n = 400
+		for i := 0; i < n; i++ {
+			if _, replied := r.ReadPort(0, r.Config().Antennas[0], tag, geom.Vec3{Y: d}, rng); replied {
+				ok++
+			}
+		}
+		return float64(ok) / n
+	}
+	r2, r5, r8 := rate(2), rate(5), rate(8)
+	if r2 < 0.99 {
+		t.Fatalf("2 m reply rate = %v, want ≈1", r2)
+	}
+	if r5 < 0.5 || r5 > 0.98 {
+		t.Fatalf("5 m reply rate = %v, want degraded but usable", r5)
+	}
+	if r8 > 0.2 {
+		t.Fatalf("8 m reply rate = %v, want mostly lost", r8)
+	}
+	if !(r2 >= r5 && r5 >= r8) {
+		t.Fatalf("reply rate not monotone: %v %v %v", r2, r5, r8)
+	}
+}
+
+func TestReplyProbabilityDegenerateWidth(t *testing.T) {
+	cfg := DefaultReaderConfig(0, testAntennas(0))
+	cfg.WakeWidthDB = 0
+	r, err := NewReader(cfg, channel.LOS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.replyProbability(cfg.WakePowerDB+1) != 1 {
+		t.Fatal("above threshold should be certain")
+	}
+	if r.replyProbability(cfg.WakePowerDB-1) != 0 {
+		t.Fatal("below threshold should never reply")
+	}
+}
+
+func TestSweepCoversAllPorts(t *testing.T) {
+	r := newTestReader(t, 0)
+	rng := rand.New(rand.NewSource(4))
+	tag := NewTag(rng)
+	at := func(time.Duration) geom.Vec3 { return geom.Vec3{X: 1.3, Y: 2, Z: 0.8} }
+	reps := r.Sweep(0, tag, at, rng)
+	if len(reps) != 4 {
+		t.Fatalf("got %d reports, want 4", len(reps))
+	}
+	seen := map[int]bool{}
+	for _, rep := range reps {
+		seen[rep.AntennaID] = true
+		if rep.Time < 0 || rep.Time >= r.Config().SweepInterval {
+			t.Fatalf("report time %v outside sweep", rep.Time)
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("ports seen = %v", seen)
+	}
+}
+
+func TestInventoryTimeOrderAndRate(t *testing.T) {
+	r := newTestReader(t, 0.02)
+	rng := rand.New(rand.NewSource(5))
+	tag := NewTag(rng)
+	at := func(time.Duration) geom.Vec3 { return geom.Vec3{X: 1.3, Y: 2, Z: 0.8} }
+	dur := 2 * time.Second
+	reps := r.Inventory(dur, tag, at, rng)
+	// 25 ms sweeps × 4 ports over 2 s → ≈320 reads at close range.
+	if len(reps) < 300 {
+		t.Fatalf("read count = %d, want ≈320", len(reps))
+	}
+	for i := 1; i < len(reps); i++ {
+		if reps[i].Time < reps[i-1].Time {
+			t.Fatal("reports out of order")
+		}
+	}
+}
+
+func TestInventoryMulti(t *testing.T) {
+	r := newTestReader(t, 0.02)
+	rng := rand.New(rand.NewSource(6))
+	tags := []Tag{NewTag(rng), NewTag(rng)}
+	at := []func(time.Duration) geom.Vec3{
+		func(time.Duration) geom.Vec3 { return geom.Vec3{X: 1, Y: 2, Z: 0.5} },
+		func(time.Duration) geom.Vec3 { return geom.Vec3{X: 2, Y: 2, Z: 1.0} },
+	}
+	reps, err := r.InventoryMulti(2*time.Second, tags, at, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[EPC]int{}
+	for _, rep := range reps {
+		counts[rep.EPC]++
+	}
+	if len(counts) != 2 {
+		t.Fatalf("tag count = %d", len(counts))
+	}
+	// Airtime splits roughly evenly.
+	c0, c1 := counts[tags[0].EPC], counts[tags[1].EPC]
+	if math.Abs(float64(c0-c1)) > 0.2*float64(c0+c1) {
+		t.Fatalf("airtime unbalanced: %d vs %d", c0, c1)
+	}
+	if _, err := r.InventoryMulti(time.Second, tags, at[:1], rng); err == nil {
+		t.Fatal("mismatched lengths should error")
+	}
+	if _, err := r.InventoryMulti(time.Second, nil, nil, rng); err == nil {
+		t.Fatal("empty tags should error")
+	}
+}
+
+func TestGroupSweeps(t *testing.T) {
+	r := newTestReader(t, 0.02)
+	rng := rand.New(rand.NewSource(7))
+	tag := NewTag(rng)
+	at := func(time.Duration) geom.Vec3 { return geom.Vec3{X: 1.3, Y: 2, Z: 0.8} }
+	reps := r.Inventory(time.Second, tag, at, rng)
+	snaps := GroupSweeps(reps, tag.EPC, r.Config().SweepInterval, 200*time.Millisecond)
+	if len(snaps) < 35 {
+		t.Fatalf("snapshot count = %d", len(snaps))
+	}
+	for _, s := range snaps[4:] {
+		if len(s.Phase) != 4 {
+			t.Fatalf("snapshot at %v has %d phases, want 4 (hold-last)", s.Time, len(s.Phase))
+		}
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Time <= snaps[i-1].Time {
+			t.Fatal("snapshots out of order")
+		}
+	}
+	// Foreign EPCs are filtered out.
+	other := NewTag(rng)
+	if got := GroupSweeps(reps, other.EPC, r.Config().SweepInterval, time.Second); got != nil {
+		t.Fatalf("foreign EPC should produce no snapshots, got %d", len(got))
+	}
+	if got := GroupSweeps(nil, tag.EPC, time.Millisecond, time.Second); got != nil {
+		t.Fatal("empty reports should produce nil")
+	}
+}
+
+func TestGroupSweepsMaxAgeExpiresStalePhases(t *testing.T) {
+	epc := EPC{1}
+	reports := []Report{
+		{Time: 0, AntennaID: 1, EPC: epc, PhaseRad: 1},
+		{Time: 0, AntennaID: 2, EPC: epc, PhaseRad: 2},
+		// Antenna 2 then goes silent.
+		{Time: 100 * time.Millisecond, AntennaID: 1, EPC: epc, PhaseRad: 1.1},
+		{Time: 200 * time.Millisecond, AntennaID: 1, EPC: epc, PhaseRad: 1.2},
+	}
+	snaps := GroupSweeps(reports, epc, 100*time.Millisecond, 50*time.Millisecond)
+	last := snaps[len(snaps)-1]
+	if _, ok := last.Phase[2]; ok {
+		t.Fatal("stale phase for antenna 2 should have expired")
+	}
+	if _, ok := last.Phase[1]; !ok {
+		t.Fatal("fresh phase for antenna 1 should be present")
+	}
+}
+
+// Property: reply probability is monotone non-decreasing in power.
+func TestQuickReplyProbabilityMonotone(t *testing.T) {
+	r := newTestReader(t, 0)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return r.replyProbability(lo) <= r.replyProbability(hi)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EPC String/Parse round-trips for arbitrary bytes.
+func TestQuickEPCRoundTrip(t *testing.T) {
+	f := func(raw [12]byte) bool {
+		e := EPC(raw)
+		p, err := ParseEPC(e.String())
+		return err == nil && p == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,279 @@
+// Package stats provides the small statistical toolkit the evaluation
+// needs: empirical CDFs, percentiles, summaries and bucketing. The paper's
+// evaluation (§8–§9) reports medians, 90th percentiles, CDFs and bucketed
+// means; everything here is deterministic and allocation-light.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of values using
+// linear interpolation between closest ranks. It returns NaN for an empty
+// slice. The input is not modified.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of values.
+func Median(values []float64) float64 { return Percentile(values, 50) }
+
+// Mean returns the arithmetic mean, or NaN for an empty slice.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// StdDev returns the population standard deviation, or NaN for an empty
+// slice.
+func StdDev(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	m := Mean(values)
+	var ss float64
+	for _, v := range values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(values)))
+}
+
+// Summary holds the order statistics the evaluation reports.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	P90    float64
+	P99    float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of values. An empty input yields a zero-N
+// summary with NaN statistics.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		nan := math.NaN()
+		return Summary{N: 0, Mean: nan, Median: nan, P90: nan, P99: nan, Min: nan, Max: nan}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	return Summary{
+		N:      len(sorted),
+		Mean:   Mean(sorted),
+		Median: percentileSorted(sorted, 50),
+		P90:    percentileSorted(sorted, 90),
+		P99:    percentileSorted(sorted, 99),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// String renders the summary compactly, in the units of the input.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f median=%.3f p90=%.3f p99=%.3f min=%.3f max=%.3f",
+		s.N, s.Mean, s.Median, s.P90, s.P99, s.Min, s.Max)
+}
+
+// CDF is an empirical cumulative distribution function over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from a sample. The input is copied.
+func NewCDF(values []float64) *CDF {
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the sample size.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X ≤ x) for the empirical distribution.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	// Index of first element > x.
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the sample.
+func (c *CDF) Quantile(q float64) float64 { return percentileSorted(c.sorted, q*100) }
+
+// Points returns n evenly spaced (value, probability) pairs suitable for
+// plotting the CDF curve, spanning the sample range.
+func (c *CDF) Points(n int) (xs, ps []float64) {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil, nil
+	}
+	xs = make([]float64, n)
+	ps = make([]float64, n)
+	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	for i := 0; i < n; i++ {
+		x := lo
+		if n > 1 {
+			x = lo + (hi-lo)*float64(i)/float64(n-1)
+		}
+		xs[i] = x
+		ps[i] = c.At(x)
+	}
+	return xs, ps
+}
+
+// Bucket groups (key, value) observations by bucket edges over the key and
+// reports per-bucket value statistics. It reproduces the Fig. 13 analysis:
+// trajectory error bucketed by initial-position error.
+type Bucket struct {
+	// Lo and Hi are the bucket's key range [Lo, Hi); the final bucket is
+	// unbounded above when built with open = true.
+	Lo, Hi float64
+	// Values are the observations whose key fell in the bucket.
+	Values []float64
+}
+
+// Label renders the bucket range the way the paper labels Fig. 13's x axis
+// ("0-0.1", ..., ">0.5").
+func (b Bucket) Label() string {
+	if math.IsInf(b.Hi, 1) {
+		return fmt.Sprintf(">%.1f", b.Lo)
+	}
+	return fmt.Sprintf("%.1f-%.1f", b.Lo, b.Hi)
+}
+
+// BucketBy assigns each (key, value) pair to the bucket whose range contains
+// the key. Edges must be ascending; keys below edges[0] are dropped. When
+// open is true a final unbounded bucket (≥ last edge) is appended.
+func BucketBy(keys, values []float64, edges []float64, open bool) []Bucket {
+	if len(keys) != len(values) {
+		panic("stats: BucketBy keys/values length mismatch")
+	}
+	n := len(edges) - 1
+	if n < 0 {
+		n = 0
+	}
+	buckets := make([]Bucket, 0, n+1)
+	for i := 0; i+1 < len(edges); i++ {
+		buckets = append(buckets, Bucket{Lo: edges[i], Hi: edges[i+1]})
+	}
+	if open && len(edges) > 0 {
+		buckets = append(buckets, Bucket{Lo: edges[len(edges)-1], Hi: math.Inf(1)})
+	}
+	for i, k := range keys {
+		for j := range buckets {
+			if k >= buckets[j].Lo && k < buckets[j].Hi {
+				buckets[j].Values = append(buckets[j].Values, values[i])
+				break
+			}
+		}
+	}
+	return buckets
+}
+
+// Rate is a success ratio with its sample count.
+type Rate struct {
+	Success int
+	Total   int
+}
+
+// Add records one trial.
+func (r *Rate) Add(ok bool) {
+	r.Total++
+	if ok {
+		r.Success++
+	}
+}
+
+// Value returns the success fraction in [0, 1], or NaN when empty.
+func (r Rate) Value() float64 {
+	if r.Total == 0 {
+		return math.NaN()
+	}
+	return float64(r.Success) / float64(r.Total)
+}
+
+// Percent returns the success rate in percent.
+func (r Rate) Percent() float64 { return 100 * r.Value() }
+
+// String implements fmt.Stringer.
+func (r Rate) String() string {
+	return fmt.Sprintf("%d/%d (%.1f%%)", r.Success, r.Total, r.Percent())
+}
+
+// Table renders rows of labelled values as a fixed-width text table; the
+// experiment harness uses it for its reports.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			for pad := len(cell); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,240 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(v, 50); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := Percentile(v, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(v, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(v, 25); got != 2 {
+		t.Fatalf("p25 = %v", got)
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{0, 10}, 50); got != 5 {
+		t.Fatalf("interpolated median = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	v := []float64{5, 1, 3}
+	Percentile(v, 50)
+	if v[0] != 5 || v[1] != 1 || v[2] != 3 {
+		t.Fatalf("input mutated: %v", v)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(v); got != 5 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := StdDev(v); got != 2 {
+		t.Fatalf("stddev = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(StdDev(nil)) {
+		t.Fatal("empty mean/stddev should be NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	v := make([]float64, 100)
+	for i := range v {
+		v[i] = float64(i + 1) // 1..100
+	}
+	s := Summarize(v)
+	if s.N != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Median != 50.5 {
+		t.Fatalf("median = %v", s.Median)
+	}
+	if math.Abs(s.P90-90.1) > 0.01 {
+		t.Fatalf("p90 = %v", s.P90)
+	}
+	if got := Summarize(nil); got.N != 0 || !math.IsNaN(got.Mean) {
+		t.Fatalf("empty summary = %+v", got)
+	}
+	if !strings.Contains(s.String(), "n=100") {
+		t.Fatal("summary string missing n")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if c.Len() != 4 {
+		t.Fatal("len")
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); got != tc.want {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if got := c.Quantile(0.5); got != 2.5 {
+		t.Fatalf("quantile = %v", got)
+	}
+	xs, ps := c.Points(4)
+	if len(xs) != 4 || len(ps) != 4 {
+		t.Fatal("points shape")
+	}
+	if xs[0] != 1 || xs[3] != 4 || ps[3] != 1 {
+		t.Fatalf("points = %v %v", xs, ps)
+	}
+	if !sort.Float64sAreSorted(ps) {
+		t.Fatal("CDF must be monotone")
+	}
+	empty := NewCDF(nil)
+	if !math.IsNaN(empty.At(1)) {
+		t.Fatal("empty CDF At should be NaN")
+	}
+	if xs, ps := empty.Points(5); xs != nil || ps != nil {
+		t.Fatal("empty CDF points should be nil")
+	}
+}
+
+func TestBucketBy(t *testing.T) {
+	keys := []float64{0.05, 0.15, 0.15, 0.45, 0.9, 2.0}
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	edges := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	buckets := BucketBy(keys, vals, edges, true)
+	if len(buckets) != 6 {
+		t.Fatalf("bucket count = %d", len(buckets))
+	}
+	if len(buckets[0].Values) != 1 || buckets[0].Values[0] != 1 {
+		t.Fatalf("bucket 0 = %v", buckets[0].Values)
+	}
+	if len(buckets[1].Values) != 2 {
+		t.Fatalf("bucket 1 = %v", buckets[1].Values)
+	}
+	if len(buckets[5].Values) != 2 { // 0.9 and 2.0 in the open bucket
+		t.Fatalf("open bucket = %v", buckets[5].Values)
+	}
+	if got := buckets[0].Label(); got != "0.0-0.1" {
+		t.Fatalf("label = %q", got)
+	}
+	if got := buckets[5].Label(); got != ">0.5" {
+		t.Fatalf("open label = %q", got)
+	}
+}
+
+func TestBucketByPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BucketBy([]float64{1}, nil, []float64{0, 1}, false)
+}
+
+func TestRate(t *testing.T) {
+	var r Rate
+	if !math.IsNaN(r.Value()) {
+		t.Fatal("empty rate should be NaN")
+	}
+	r.Add(true)
+	r.Add(true)
+	r.Add(false)
+	if r.Success != 2 || r.Total != 3 {
+		t.Fatalf("rate = %+v", r)
+	}
+	if math.Abs(r.Percent()-66.666) > 0.01 {
+		t.Fatalf("percent = %v", r.Percent())
+	}
+	if !strings.Contains(r.String(), "2/3") {
+		t.Fatalf("string = %q", r.String())
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{{"xx", "1"}, {"y", "22"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "a ") || !strings.Contains(lines[0], "long-header") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator = %q", lines[1])
+	}
+}
+
+// Property: Percentile is monotone in p.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(seed int64, p1, p2 float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := make([]float64, 50)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		p1 = math.Abs(math.Mod(p1, 100))
+		p2 = math.Abs(math.Mod(p2, 100))
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return Percentile(v, p1) <= Percentile(v, p2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CDF.At is within [0,1] and monotone.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(seed int64, a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		v := make([]float64, 30)
+		for i := range v {
+			v[i] = rng.Float64() * 10
+		}
+		c := NewCDF(v)
+		a = math.Mod(math.Abs(a), 12)
+		b = math.Mod(math.Abs(b), 12)
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := c.At(a), c.At(b)
+		return pa >= 0 && pb <= 1 && pa <= pb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Summarize order statistics are consistent.
+func TestQuickSummaryOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := make([]float64, 40)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 7
+		}
+		s := Summarize(v)
+		return s.Min <= s.Median && s.Median <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package touch converts reconstructed trajectories into touch-screen
+// event sequences — the role the MonkeyRunner API plays in the paper's
+// prototype (§6: reconstructed RFID trajectories are replayed as touch
+// events on an Android phone, where MyScript Stylus interprets them).
+//
+// A trajectory in the writing plane (metres) is mapped through a
+// calibration rectangle onto a pixel screen and emitted as a DOWN, MOVE…,
+// UP sequence with the trace's own timing. Events serialize to a compact
+// JSON-lines form any device bridge can replay.
+package touch
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"rfidraw/internal/geom"
+	"rfidraw/internal/traj"
+)
+
+// Kind is the touch event type.
+type Kind string
+
+// Touch event kinds.
+const (
+	Down Kind = "down"
+	Move Kind = "move"
+	Up   Kind = "up"
+)
+
+// Event is one touch event in screen pixels.
+type Event struct {
+	// T is the event time since the gesture start.
+	T time.Duration `json:"t_ns"`
+	// Kind is down/move/up.
+	Kind Kind `json:"kind"`
+	// X and Y are screen pixels; the screen origin is top-left with Y
+	// growing downward, as on Android.
+	X int `json:"x"`
+	Y int `json:"y"`
+}
+
+// Screen describes the target touch screen and the writing-plane window
+// mapped onto it.
+type Screen struct {
+	// WidthPx and HeightPx are the screen dimensions in pixels.
+	WidthPx, HeightPx int
+	// Window is the writing-plane rectangle mapped to the full screen.
+	// Writing-plane z grows upward; screen y grows downward, so the
+	// mapping flips vertically.
+	Window geom.Rect
+}
+
+// DefaultScreen maps the given writing-plane window onto a 1080×1920
+// phone screen.
+func DefaultScreen(window geom.Rect) Screen {
+	return Screen{WidthPx: 1080, HeightPx: 1920, Window: window}
+}
+
+// Validate reports configuration errors.
+func (s Screen) Validate() error {
+	if s.WidthPx <= 0 || s.HeightPx <= 0 {
+		return fmt.Errorf("touch: screen %d×%d px invalid", s.WidthPx, s.HeightPx)
+	}
+	if s.Window.Width() <= 0 || s.Window.Height() <= 0 {
+		return fmt.Errorf("touch: degenerate window %+v", s.Window)
+	}
+	return nil
+}
+
+// Project maps a writing-plane point to screen pixels, clamping to the
+// screen bounds.
+func (s Screen) Project(p geom.Vec2) (x, y int) {
+	fx := (p.X - s.Window.Min.X) / s.Window.Width()
+	fz := (p.Z - s.Window.Min.Z) / s.Window.Height()
+	x = int(fx * float64(s.WidthPx-1))
+	y = int((1 - fz) * float64(s.HeightPx-1))
+	if x < 0 {
+		x = 0
+	}
+	if x >= s.WidthPx {
+		x = s.WidthPx - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= s.HeightPx {
+		y = s.HeightPx - 1
+	}
+	return x, y
+}
+
+// Events converts a trajectory into a touch event sequence: DOWN at the
+// first sample, MOVE for each subsequent sample, UP at the end. Consecutive
+// samples projecting to the same pixel are coalesced.
+func Events(t traj.Trajectory, screen Screen) ([]Event, error) {
+	if err := screen.Validate(); err != nil {
+		return nil, err
+	}
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("touch: empty trajectory")
+	}
+	t0 := t.Points[0].T
+	var out []Event
+	lastX, lastY := -1, -1
+	for i, p := range t.Points {
+		x, y := screen.Project(p.Pos)
+		kind := Move
+		if i == 0 {
+			kind = Down
+		} else if x == lastX && y == lastY {
+			continue
+		}
+		out = append(out, Event{T: p.T - t0, Kind: kind, X: x, Y: y})
+		lastX, lastY = x, y
+	}
+	last := t.Points[t.Len()-1]
+	x, y := screen.Project(last.Pos)
+	out = append(out, Event{T: last.T - t0, Kind: Up, X: x, Y: y})
+	return out, nil
+}
+
+// WriteJSONL writes events as JSON lines.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads a JSON-lines event stream and validates its structure:
+// it must open with Down, end with Up, and be time-ordered.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("touch: %w", err)
+		}
+		out = append(out, e)
+	}
+	if err := Validate(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Validate checks the structural invariants of an event sequence.
+func Validate(events []Event) error {
+	if len(events) < 2 {
+		return fmt.Errorf("touch: sequence needs at least down+up, got %d events", len(events))
+	}
+	if events[0].Kind != Down {
+		return fmt.Errorf("touch: sequence must start with down, got %q", events[0].Kind)
+	}
+	if events[len(events)-1].Kind != Up {
+		return fmt.Errorf("touch: sequence must end with up, got %q", events[len(events)-1].Kind)
+	}
+	for i, e := range events {
+		if i > 0 && e.T < events[i-1].T {
+			return fmt.Errorf("touch: event %d out of time order", i)
+		}
+		if i > 0 && i < len(events)-1 && e.Kind != Move {
+			return fmt.Errorf("touch: event %d has kind %q mid-sequence", i, e.Kind)
+		}
+		switch e.Kind {
+		case Down, Move, Up:
+		default:
+			return fmt.Errorf("touch: event %d has unknown kind %q", i, e.Kind)
+		}
+	}
+	return nil
+}

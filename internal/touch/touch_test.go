@@ -1,0 +1,150 @@
+package touch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"rfidraw/internal/geom"
+	"rfidraw/internal/traj"
+)
+
+func window() geom.Rect {
+	return geom.Rect{Min: geom.Vec2{X: 0, Z: 0}, Max: geom.Vec2{X: 2, Z: 2}}
+}
+
+func lineTraj(n int) traj.Trajectory {
+	pos := make([]geom.Vec2, n)
+	for i := range pos {
+		pos[i] = geom.Vec2{X: 2 * float64(i) / float64(n-1), Z: 1}
+	}
+	return traj.FromPositions(pos, 20*time.Millisecond)
+}
+
+func TestProjectCornersAndFlip(t *testing.T) {
+	s := DefaultScreen(window())
+	// Bottom-left of the window maps to bottom-left of the screen (y
+	// flipped to HeightPx-1).
+	x, y := s.Project(geom.Vec2{X: 0, Z: 0})
+	if x != 0 || y != s.HeightPx-1 {
+		t.Fatalf("bottom-left → (%d, %d)", x, y)
+	}
+	// Top-right of the window maps to top-right of the screen.
+	x, y = s.Project(geom.Vec2{X: 2, Z: 2})
+	if x != s.WidthPx-1 || y != 0 {
+		t.Fatalf("top-right → (%d, %d)", x, y)
+	}
+	// Out-of-window points clamp.
+	x, y = s.Project(geom.Vec2{X: -5, Z: 9})
+	if x != 0 || y != 0 {
+		t.Fatalf("clamped → (%d, %d)", x, y)
+	}
+}
+
+func TestEventsStructure(t *testing.T) {
+	s := DefaultScreen(window())
+	ev, err := Events(lineTraj(30), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev[0].Kind != Down || ev[len(ev)-1].Kind != Up {
+		t.Fatal("sequence must be down…up")
+	}
+	if ev[0].T != 0 {
+		t.Fatalf("first event at %v, want 0", ev[0].T)
+	}
+	// X advances monotonically for a left-to-right stroke.
+	for i := 2; i < len(ev)-1; i++ {
+		if ev[i].X < ev[i-1].X {
+			t.Fatal("x should not regress on a rightward stroke")
+		}
+	}
+}
+
+func TestEventsCoalescesDuplicates(t *testing.T) {
+	s := DefaultScreen(window())
+	// A stationary trajectory produces only down + up.
+	pos := make([]geom.Vec2, 10)
+	for i := range pos {
+		pos[i] = geom.Vec2{X: 1, Z: 1}
+	}
+	ev, err := Events(traj.FromPositions(pos, 10*time.Millisecond), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 2 {
+		t.Fatalf("stationary trace produced %d events, want 2", len(ev))
+	}
+}
+
+func TestEventsErrors(t *testing.T) {
+	if _, err := Events(traj.Trajectory{}, DefaultScreen(window())); err == nil {
+		t.Fatal("empty trajectory should error")
+	}
+	bad := Screen{WidthPx: 0, HeightPx: 100, Window: window()}
+	if _, err := Events(lineTraj(5), bad); err == nil {
+		t.Fatal("invalid screen should error")
+	}
+	bad = Screen{WidthPx: 100, HeightPx: 100}
+	if _, err := Events(lineTraj(5), bad); err == nil {
+		t.Fatal("degenerate window should error")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	s := DefaultScreen(window())
+	ev, err := Events(lineTraj(12), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, ev); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ev) {
+		t.Fatalf("round trip length %d != %d", len(got), len(ev))
+	}
+	for i := range ev {
+		if got[i] != ev[i] {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, got[i], ev[i])
+		}
+	}
+}
+
+func TestReadJSONLRejectsInvalid(t *testing.T) {
+	cases := []string{
+		``, // empty
+		`{"t_ns":0,"kind":"move","x":1,"y":1}
+{"t_ns":1,"kind":"up","x":1,"y":1}`, // starts with move
+		`{"t_ns":0,"kind":"down","x":1,"y":1}
+{"t_ns":1,"kind":"move","x":1,"y":1}`, // missing up
+		`{"t_ns":5,"kind":"down","x":1,"y":1}
+{"t_ns":1,"kind":"up","x":1,"y":1}`, // time disorder
+		`not json`,
+	}
+	for i, c := range cases {
+		if _, err := ReadJSONL(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestValidateKinds(t *testing.T) {
+	bad := []Event{{Kind: Down}, {Kind: "wiggle", T: 1}, {Kind: Up, T: 2}}
+	if err := Validate(bad); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+	// Down in the middle is invalid.
+	bad = []Event{{Kind: Down}, {Kind: Down, T: 1}, {Kind: Up, T: 2}}
+	if err := Validate(bad); err == nil {
+		t.Fatal("mid-sequence down should fail")
+	}
+}

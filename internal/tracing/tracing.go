@@ -1,0 +1,358 @@
+// Package tracing implements RF-IDraw's trajectory tracing algorithm (§5.2
+// of the paper). Starting from a candidate initial position, it:
+//
+//  1. locks each antenna pair onto the grating lobe closest to that
+//     position (fixing the integer k of Eq. 2);
+//  2. unwraps each pair's phase-difference track over time so the locked
+//     lobe rotates continuously instead of jumping at 2π boundaries;
+//  3. estimates each next position by maximising the total fixed-lobe vote
+//     over a vicinity of the current position;
+//  4. accumulates the total vote along the trajectory, which the caller
+//     uses to pick the best candidate: wrong initial positions produce
+//     lobes that stop intersecting coherently and their vote collapses
+//     (Fig. 10f).
+package tracing
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rfidraw/internal/antenna"
+	"rfidraw/internal/geom"
+	"rfidraw/internal/phys"
+	"rfidraw/internal/traj"
+	"rfidraw/internal/vote"
+)
+
+// Sample is one merged observation instant: the wrapped phase of every
+// antenna that was heard around time T.
+type Sample struct {
+	T     time.Duration
+	Phase vote.Observations
+}
+
+// Config tunes the tracer.
+type Config struct {
+	// Plane is the writing plane positions live in.
+	Plane geom.Plane
+	// Region clips the search; estimates never leave it.
+	Region geom.Rect
+	// VicinityRadius bounds how far the estimate may move per sample
+	// (m). Default 0.08 — a hand moving ≤ 3 m/s at 25 ms sweeps.
+	VicinityRadius float64
+	// VicinityStep is the first-level vicinity grid step (m).
+	// Default 0.01.
+	VicinityStep float64
+	// FineStep is the final refinement step (m). Default 0.002.
+	FineStep float64
+	// MinPairs is the minimum number of observable pairs per sample;
+	// samples with fewer are skipped (reply loss). Default 4.
+	MinPairs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.VicinityRadius <= 0 {
+		c.VicinityRadius = 0.08
+	}
+	if c.VicinityStep <= 0 {
+		c.VicinityStep = 0.01
+	}
+	if c.FineStep <= 0 {
+		c.FineStep = 0.002
+	}
+	if c.MinPairs <= 0 {
+		c.MinPairs = 4
+	}
+	return c
+}
+
+// Tracer traces trajectories for a fixed set of antenna pairs.
+type Tracer struct {
+	pairs []antenna.Pair
+	cfg   Config
+}
+
+// NewTracer builds a tracer over the given pairs (normally the
+// deployment's AllPairs).
+func NewTracer(pairs []antenna.Pair, cfg Config) (*Tracer, error) {
+	if len(pairs) < 3 {
+		return nil, fmt.Errorf("tracing: need ≥3 pairs for an over-constrained system, got %d", len(pairs))
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Region.Width() <= 0 || cfg.Region.Height() <= 0 {
+		return nil, fmt.Errorf("tracing: degenerate region %+v", cfg.Region)
+	}
+	return &Tracer{pairs: pairs, cfg: cfg}, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (tr *Tracer) Config() Config { return tr.cfg }
+
+// pairState is the per-pair tracking state: the locked lobe and the
+// unwrapped phase-difference track.
+type pairState struct {
+	pair antenna.Pair
+	// k is the locked grating-lobe index, fixed at the initial position
+	// (§5.2: "identifies the grating lobe ... closest to this position,
+	// and keeps tracking the continuous rotation of this grating lobe").
+	k int
+	// turns is the unwrapped phase-difference track in turns.
+	turns float64
+	// seen marks whether the pair has ever been observed.
+	seen bool
+}
+
+// Result is one traced trajectory with its vote record.
+type Result struct {
+	// Trajectory is the reconstructed trace.
+	Trajectory traj.Trajectory
+	// Votes is the total vote at every traced sample (Fig. 10f's curve).
+	Votes []float64
+	// TotalVote is the sum of Votes — the trajectory-selection score.
+	TotalVote float64
+	// LockedLobes maps pair index → the lobe each pair was locked to.
+	LockedLobes []int
+}
+
+// LobeOverride forces a pair onto a lobe offset from the nearest one; the
+// Fig. 7 experiment uses it to demonstrate wrong-lobe shape resilience.
+type LobeOverride struct {
+	// PairIndex indexes the tracer's pair list.
+	PairIndex int
+	// DeltaK is added to the locked lobe index.
+	DeltaK int
+}
+
+// Trace reconstructs a trajectory from samples, starting at the candidate
+// initial position. Overrides, if any, displace the initial lobe locks.
+func (tr *Tracer) Trace(initial geom.Vec2, samples []Sample, overrides ...LobeOverride) (Result, error) {
+	if len(samples) == 0 {
+		return Result{}, errors.New("tracing: no samples")
+	}
+	first := samples[0]
+	states := make([]pairState, len(tr.pairs))
+	init3 := tr.cfg.Plane.To3D(initial)
+	observed := 0
+	for i, p := range tr.pairs {
+		states[i].pair = p
+		if t, ok := vote.PairTurns(p, first.Phase); ok {
+			states[i].turns = t
+			states[i].k = p.NearestLobe(init3, t)
+			states[i].seen = true
+			observed++
+		}
+	}
+	if observed < tr.cfg.MinPairs {
+		return Result{}, fmt.Errorf("tracing: only %d pairs observed at start, need ≥%d", observed, tr.cfg.MinPairs)
+	}
+	for _, ov := range overrides {
+		if ov.PairIndex < 0 || ov.PairIndex >= len(states) {
+			return Result{}, fmt.Errorf("tracing: override pair index %d out of range", ov.PairIndex)
+		}
+		states[ov.PairIndex].k += ov.DeltaK
+	}
+
+	pos := tr.cfg.Region.Clip(initial)
+	points := make([]traj.Point, 0, len(samples))
+	votes := make([]float64, 0, len(samples))
+	total := 0.0
+	for _, s := range samples {
+		active := tr.update(states, s.Phase, pos)
+		if active < tr.cfg.MinPairs {
+			continue // reply loss: hold position until pairs return
+		}
+		pos = tr.step(states, pos)
+		v := tr.totalFixedVote(states, pos)
+		points = append(points, traj.Point{T: s.T, Pos: pos})
+		votes = append(votes, v)
+		total += v
+	}
+	if len(points) == 0 {
+		return Result{}, errors.New("tracing: no usable samples (too much reply loss)")
+	}
+	locked := make([]int, len(states))
+	for i := range states {
+		locked[i] = states[i].k
+	}
+	return Result{
+		Trajectory:  traj.Trajectory{Points: points},
+		Votes:       votes,
+		TotalVote:   total,
+		LockedLobes: locked,
+	}, nil
+}
+
+// update advances each pair's unwrapped phase track with the new
+// observations and returns the number of pairs observable this sample.
+// Pairs appearing for the first time mid-trace are locked against the
+// current position estimate.
+func (tr *Tracer) update(states []pairState, obs vote.Observations, cur geom.Vec2) int {
+	cur3 := tr.cfg.Plane.To3D(cur)
+	active := 0
+	for i := range states {
+		st := &states[i]
+		t, ok := vote.PairTurns(st.pair, obs)
+		if !ok {
+			continue
+		}
+		if !st.seen {
+			st.turns = t
+			st.k = st.pair.NearestLobe(cur3, t)
+			st.seen = true
+		} else {
+			// Unwrap in turns: move to the congruent value nearest
+			// the previous track point.
+			st.turns = phys.UnwrapNext(st.turns*phys.TwoPi, t*phys.TwoPi) / phys.TwoPi
+		}
+		active++
+	}
+	return active
+}
+
+// totalFixedVote sums every seen pair's fixed-lobe vote at a position.
+func (tr *Tracer) totalFixedVote(states []pairState, pos geom.Vec2) float64 {
+	p3 := tr.cfg.Plane.To3D(pos)
+	var sum float64
+	for i := range states {
+		if !states[i].seen {
+			continue
+		}
+		sum += states[i].pair.VoteFixed(p3, states[i].turns, states[i].k)
+	}
+	return sum
+}
+
+// step finds the position in the vicinity of cur maximising the total
+// fixed-lobe vote, using a coarse vicinity scan followed by a shrinking
+// pattern search.
+func (tr *Tracer) step(states []pairState, cur geom.Vec2) geom.Vec2 {
+	best := cur
+	bestV := tr.totalFixedVote(states, cur)
+	r := tr.cfg.VicinityRadius
+	s := tr.cfg.VicinityStep
+	for dx := -r; dx <= r+1e-12; dx += s {
+		for dz := -r; dz <= r+1e-12; dz += s {
+			cand := tr.cfg.Region.Clip(geom.Vec2{X: cur.X + dx, Z: cur.Z + dz})
+			if v := tr.totalFixedVote(states, cand); v > bestV {
+				bestV, best = v, cand
+			}
+		}
+	}
+	// Refine with a shrinking 3×3 pattern search down to FineStep.
+	step := s / 2
+	for step >= tr.cfg.FineStep {
+		improved := false
+		for dx := -1; dx <= 1; dx++ {
+			for dz := -1; dz <= 1; dz++ {
+				if dx == 0 && dz == 0 {
+					continue
+				}
+				cand := tr.cfg.Region.Clip(geom.Vec2{X: best.X + float64(dx)*step, Z: best.Z + float64(dz)*step})
+				if v := tr.totalFixedVote(states, cand); v > bestV {
+					bestV, best = v, cand
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+	}
+	return best
+}
+
+// Stream incrementally extends a single candidate's trace: the online
+// variant of Trace for live tracking. Lobe locks are fixed at creation;
+// each Push consumes one sample and, when enough pairs are observable,
+// produces the next position.
+type Stream struct {
+	tr     *Tracer
+	states []pairState
+	pos    geom.Vec2
+	total  float64
+	count  int
+}
+
+// NewStream locks pair lobes against the initial position using the first
+// sample and returns a ready stream. The first sample only initialises
+// state; it does not emit a position (Push it again if desired).
+func (tr *Tracer) NewStream(initial geom.Vec2, first Sample) (*Stream, error) {
+	states := make([]pairState, len(tr.pairs))
+	init3 := tr.cfg.Plane.To3D(initial)
+	observed := 0
+	for i, p := range tr.pairs {
+		states[i].pair = p
+		if t, ok := vote.PairTurns(p, first.Phase); ok {
+			states[i].turns = t
+			states[i].k = p.NearestLobe(init3, t)
+			states[i].seen = true
+			observed++
+		}
+	}
+	if observed < tr.cfg.MinPairs {
+		return nil, fmt.Errorf("tracing: only %d pairs observed at stream start, need ≥%d", observed, tr.cfg.MinPairs)
+	}
+	return &Stream{tr: tr, states: states, pos: tr.cfg.Region.Clip(initial)}, nil
+}
+
+// Push consumes one sample. ok is false when the sample was skipped for
+// reply loss; otherwise point is the new position estimate and vote the
+// total pair vote there.
+func (s *Stream) Push(sample Sample) (point traj.Point, vote float64, ok bool) {
+	active := s.tr.update(s.states, sample.Phase, s.pos)
+	if active < s.tr.cfg.MinPairs {
+		return traj.Point{}, 0, false
+	}
+	s.pos = s.tr.step(s.states, s.pos)
+	v := s.tr.totalFixedVote(s.states, s.pos)
+	s.total += v
+	s.count++
+	return traj.Point{T: sample.T, Pos: s.pos}, v, true
+}
+
+// Position returns the current estimate.
+func (s *Stream) Position() geom.Vec2 { return s.pos }
+
+// MeanVote returns the stream's mean vote so far (0 before any sample).
+func (s *Stream) MeanVote() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.total / float64(s.count)
+}
+
+// TraceBest runs Trace from every candidate initial position and returns
+// the result with the highest total vote (§5.2's final selection step),
+// along with all per-candidate results in input order.
+func (tr *Tracer) TraceBest(candidates []vote.Candidate, samples []Sample) (best Result, all []Result, bestIdx int, err error) {
+	if len(candidates) == 0 {
+		return Result{}, nil, -1, errors.New("tracing: no candidate initial positions")
+	}
+	all = make([]Result, 0, len(candidates))
+	bestIdx = -1
+	for _, c := range candidates {
+		res, terr := tr.Trace(c.Pos, samples)
+		if terr != nil {
+			err = terr
+			continue
+		}
+		all = append(all, res)
+		// Compare mean vote so candidates that skipped lossy samples
+		// are not unfairly favoured by shorter sums.
+		if bestIdx == -1 || meanVote(res) > meanVote(all[bestIdx]) {
+			bestIdx = len(all) - 1
+		}
+	}
+	if bestIdx == -1 {
+		return Result{}, nil, -1, fmt.Errorf("tracing: every candidate failed: %w", err)
+	}
+	return all[bestIdx], all, bestIdx, nil
+}
+
+func meanVote(r Result) float64 {
+	if len(r.Votes) == 0 {
+		return 0
+	}
+	return r.TotalVote / float64(len(r.Votes))
+}

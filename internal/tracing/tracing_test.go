@@ -1,0 +1,263 @@
+package tracing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rfidraw/internal/deploy"
+	"rfidraw/internal/geom"
+	"rfidraw/internal/phys"
+	"rfidraw/internal/traj"
+	"rfidraw/internal/vote"
+)
+
+var plane = geom.Plane{Y: 2}
+
+func testTracer(t testing.TB) (*Tracer, *deploy.RFIDraw) {
+	t.Helper()
+	d, err := deploy.DefaultRFIDraw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTracer(d.AllPairs(), Config{Plane: plane, Region: deploy.DefaultRegion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, d
+}
+
+// synthSamples generates observation samples for a source moving along the
+// given plane positions, one sample per position, with optional phase noise.
+func synthSamples(d *deploy.RFIDraw, positions []geom.Vec2, noise float64, rng *rand.Rand) []Sample {
+	dt := 25 * time.Millisecond
+	out := make([]Sample, len(positions))
+	for i, p2 := range positions {
+		src := plane.To3D(p2)
+		obs := vote.Observations{}
+		for _, a := range d.Antennas {
+			ph := phys.PathPhase(d.Carrier, d.Link, a.Pos.Dist(src))
+			if noise > 0 && rng != nil {
+				ph += rng.NormFloat64() * noise
+			}
+			obs[a.ID] = phys.Wrap(ph)
+		}
+		out[i] = Sample{T: time.Duration(i) * dt, Phase: obs}
+	}
+	return out
+}
+
+// circlePath generates a small circular trajectory (centre c, radius r).
+func circlePath(c geom.Vec2, r float64, n int) []geom.Vec2 {
+	out := make([]geom.Vec2, n)
+	for i := range out {
+		th := 2 * math.Pi * float64(i) / float64(n)
+		out[i] = geom.Vec2{X: c.X + r*math.Cos(th), Z: c.Z + r*math.Sin(th)}
+	}
+	return out
+}
+
+func TestNewTracerValidation(t *testing.T) {
+	d, _ := deploy.DefaultRFIDraw()
+	if _, err := NewTracer(d.AllPairs()[:2], Config{Plane: plane, Region: deploy.DefaultRegion()}); err == nil {
+		t.Fatal("under-constrained pair set should be rejected")
+	}
+	if _, err := NewTracer(d.AllPairs(), Config{Plane: plane}); err == nil {
+		t.Fatal("degenerate region should be rejected")
+	}
+	tr, err := NewTracer(d.AllPairs(), Config{Plane: plane, Region: deploy.DefaultRegion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Config().VicinityRadius <= 0 || tr.Config().MinPairs <= 0 {
+		t.Fatal("defaults not applied")
+	}
+}
+
+func TestTraceNoiselessFollowsTruth(t *testing.T) {
+	tr, d := testTracer(t)
+	path := circlePath(geom.Vec2{X: 1.3, Z: 1.0}, 0.07, 60)
+	samples := synthSamples(d, path, 0, nil)
+	res, err := tr.Trace(path[0], samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trajectory.Len() != len(path) {
+		t.Fatalf("traced %d points, want %d", res.Trajectory.Len(), len(path))
+	}
+	truth := traj.FromPositions(path, 25*time.Millisecond)
+	med, err := traj.MedianError(truth, res.Trajectory, traj.AlignNone, len(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med > 0.01 {
+		t.Fatalf("noiseless median error = %v m, want < 1 cm", med)
+	}
+	// Votes stay near zero on the correct lobe set.
+	for i, v := range res.Votes {
+		if v < -0.05 {
+			t.Fatalf("vote %d = %v, want ≈0 for the correct start", i, v)
+		}
+	}
+}
+
+func TestTraceShapeResilienceWrongStart(t *testing.T) {
+	// §4 / Fig. 7: starting from a slightly wrong position locks nearby
+	// wrong lobes; the absolute position is off but the *shape* is
+	// preserved after removing the initial offset.
+	tr, d := testTracer(t)
+	path := circlePath(geom.Vec2{X: 1.3, Z: 1.0}, 0.07, 60)
+	samples := synthSamples(d, path, 0, nil)
+	wrongStart := path[0].Add(geom.Vec2{X: 0.10, Z: 0.07})
+	res, err := tr.Trace(wrongStart, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := traj.FromPositions(path, 25*time.Millisecond)
+	// Absolute error is large (wrong lobe)...
+	medAbs, _ := traj.MedianError(truth, res.Trajectory, traj.AlignNone, 60)
+	// ...but after removing the initial offset the shape is close.
+	medShape, _ := traj.MedianError(truth, res.Trajectory, traj.AlignInitial, 60)
+	if medShape > 0.04 {
+		t.Fatalf("shape error = %v m, want small (shape resilience)", medShape)
+	}
+	if medShape > medAbs {
+		t.Fatalf("shape error %v should be ≤ absolute error %v", medShape, medAbs)
+	}
+}
+
+func TestTraceVoteDetectsWrongCandidate(t *testing.T) {
+	// §5.2/§7.2: a badly wrong initial position yields lobes that stop
+	// intersecting as the source moves — its mean vote collapses
+	// relative to the correct start.
+	tr, d := testTracer(t)
+	path := circlePath(geom.Vec2{X: 1.3, Z: 1.0}, 0.12, 80)
+	samples := synthSamples(d, path, 0, nil)
+	good, err := tr.Trace(path[0], samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := tr.Trace(path[0].Add(geom.Vec2{X: 0.45, Z: 0.3}), samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.TotalVote >= good.TotalVote {
+		t.Fatalf("wrong start vote %v should be below correct start vote %v",
+			bad.TotalVote, good.TotalVote)
+	}
+}
+
+func TestTraceBestPicksHighestVote(t *testing.T) {
+	tr, d := testTracer(t)
+	path := circlePath(geom.Vec2{X: 1.3, Z: 1.0}, 0.12, 80)
+	samples := synthSamples(d, path, 0, nil)
+	cands := []vote.Candidate{
+		{Pos: path[0].Add(geom.Vec2{X: 0.45, Z: 0.3}), Score: -0.001}, // wrong but scored high
+		{Pos: path[0], Score: -0.002},
+	}
+	best, all, idx, err := tr.TraceBest(cands, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("results = %d", len(all))
+	}
+	if idx != 1 {
+		t.Fatalf("chose candidate %d, want 1 (the true start)", idx)
+	}
+	if best.Trajectory.Start().Dist(path[0]) > 0.05 {
+		t.Fatalf("best start = %v", best.Trajectory.Start())
+	}
+	if _, _, _, err := tr.TraceBest(nil, samples); err == nil {
+		t.Fatal("no candidates should error")
+	}
+}
+
+func TestTraceLobeOverridesShiftTrajectory(t *testing.T) {
+	// Forcing adjacent wrong lobes (Fig. 7a) translates the trace while
+	// keeping its shape.
+	tr, d := testTracer(t)
+	path := circlePath(geom.Vec2{X: 1.3, Z: 1.0}, 0.07, 50)
+	samples := synthSamples(d, path, 0, nil)
+	base, err := tr.Trace(path[0], samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted, err := tr.Trace(path[0], samples, LobeOverride{PairIndex: 6, DeltaK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shifted.LockedLobes[6] != base.LockedLobes[6]+1 {
+		t.Fatalf("override not applied: %d vs %d", shifted.LockedLobes[6], base.LockedLobes[6])
+	}
+	// The shifted trace ends up displaced...
+	if base.Trajectory.End().Dist(shifted.Trajectory.End()) < 0.01 {
+		t.Fatal("override should displace the trajectory")
+	}
+	// ...but its shape still matches the truth after offset removal.
+	truth := traj.FromPositions(path, 25*time.Millisecond)
+	medShape, _ := traj.MedianError(truth, shifted.Trajectory, traj.AlignInitial, 50)
+	if medShape > 0.05 {
+		t.Fatalf("override shape error = %v", medShape)
+	}
+	if _, err := tr.Trace(path[0], samples, LobeOverride{PairIndex: 99}); err == nil {
+		t.Fatal("out-of-range override should error")
+	}
+}
+
+func TestTraceHandlesReplyLoss(t *testing.T) {
+	tr, d := testTracer(t)
+	path := circlePath(geom.Vec2{X: 1.3, Z: 1.0}, 0.07, 60)
+	samples := synthSamples(d, path, 0, nil)
+	rng := rand.New(rand.NewSource(5))
+	// Drop 20% of individual antenna phases.
+	for i := range samples {
+		for id := range samples[i].Phase {
+			if rng.Float64() < 0.2 {
+				delete(samples[i].Phase, id)
+			}
+		}
+	}
+	res, err := tr.Trace(path[0], samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := traj.FromPositions(path, 25*time.Millisecond)
+	med, _ := traj.MedianError(truth, res.Trajectory, traj.AlignInitial, 60)
+	if med > 0.03 {
+		t.Fatalf("median error with 20%% loss = %v m", med)
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	tr, d := testTracer(t)
+	if _, err := tr.Trace(geom.Vec2{X: 1, Z: 1}, nil); err == nil {
+		t.Fatal("no samples should error")
+	}
+	// A first sample with almost all phases missing cannot lock pairs.
+	path := circlePath(geom.Vec2{X: 1.3, Z: 1.0}, 0.05, 5)
+	samples := synthSamples(d, path, 0, nil)
+	samples[0].Phase = vote.Observations{1: 0.1}
+	if _, err := tr.Trace(path[0], samples); err == nil {
+		t.Fatal("unobservable start should error")
+	}
+}
+
+func TestTraceNoisyStillAccurate(t *testing.T) {
+	tr, d := testTracer(t)
+	rng := rand.New(rand.NewSource(17))
+	path := circlePath(geom.Vec2{X: 1.3, Z: 1.0}, 0.07, 80)
+	samples := synthSamples(d, path, 0.1, rng)
+	res, err := tr.Trace(path[0], samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := traj.FromPositions(path, 25*time.Millisecond)
+	med, _ := traj.MedianError(truth, res.Trajectory, traj.AlignInitial, 80)
+	// §3.3: wide pairs are robust to phase noise — π/10 rad noise should
+	// still give centimetre-level shape accuracy.
+	if med > 0.03 {
+		t.Fatalf("noisy median error = %v m", med)
+	}
+}

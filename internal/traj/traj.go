@@ -1,0 +1,279 @@
+// Package traj defines timestamped trajectories and the error metrics of the
+// paper's evaluation (§8.1): point-by-point error after removing a fixed
+// offset. RF-IDraw removes the *initial-position* offset (the errors along
+// the trace are coherent); the antenna-array baseline removes the *mean*
+// (DC) offset, which is favourable to it because its errors are independent.
+package traj
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"rfidraw/internal/geom"
+	"rfidraw/internal/stats"
+)
+
+// Point is one timestamped sample of a trajectory in the writing plane.
+type Point struct {
+	T   time.Duration // time since the start of the trace
+	Pos geom.Vec2     // position in the writing plane, metres
+}
+
+// Trajectory is an ordered sequence of timestamped positions. Samples must
+// be in non-decreasing time order.
+type Trajectory struct {
+	Points []Point
+}
+
+// FromPositions builds a trajectory from evenly spaced positions at the
+// given sample interval.
+func FromPositions(pos []geom.Vec2, dt time.Duration) Trajectory {
+	pts := make([]Point, len(pos))
+	for i, p := range pos {
+		pts[i] = Point{T: time.Duration(i) * dt, Pos: p}
+	}
+	return Trajectory{Points: pts}
+}
+
+// Len returns the number of samples.
+func (t Trajectory) Len() int { return len(t.Points) }
+
+// Positions returns the bare positions of the trajectory.
+func (t Trajectory) Positions() []geom.Vec2 {
+	out := make([]geom.Vec2, len(t.Points))
+	for i, p := range t.Points {
+		out[i] = p.Pos
+	}
+	return out
+}
+
+// Duration returns the time span covered by the trajectory.
+func (t Trajectory) Duration() time.Duration {
+	if len(t.Points) == 0 {
+		return 0
+	}
+	return t.Points[len(t.Points)-1].T - t.Points[0].T
+}
+
+// Start returns the first position. It panics on an empty trajectory.
+func (t Trajectory) Start() geom.Vec2 { return t.Points[0].Pos }
+
+// End returns the last position. It panics on an empty trajectory.
+func (t Trajectory) End() geom.Vec2 { return t.Points[len(t.Points)-1].Pos }
+
+// Shift returns a copy of the trajectory translated by d.
+func (t Trajectory) Shift(d geom.Vec2) Trajectory {
+	pts := make([]Point, len(t.Points))
+	for i, p := range t.Points {
+		pts[i] = Point{T: p.T, Pos: p.Pos.Add(d)}
+	}
+	return Trajectory{Points: pts}
+}
+
+// At linearly interpolates the position at time τ. Times outside the
+// trajectory's span clamp to the endpoints. It returns an error for an
+// empty trajectory.
+func (t Trajectory) At(tau time.Duration) (geom.Vec2, error) {
+	if len(t.Points) == 0 {
+		return geom.Vec2{}, errors.New("traj: empty trajectory")
+	}
+	if tau <= t.Points[0].T {
+		return t.Points[0].Pos, nil
+	}
+	last := t.Points[len(t.Points)-1]
+	if tau >= last.T {
+		return last.Pos, nil
+	}
+	// Binary search for the segment containing tau.
+	lo, hi := 0, len(t.Points)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if t.Points[mid].T <= tau {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a, b := t.Points[lo], t.Points[hi]
+	span := b.T - a.T
+	if span <= 0 {
+		return a.Pos, nil
+	}
+	frac := float64(tau-a.T) / float64(span)
+	return a.Pos.Lerp(b.Pos, frac), nil
+}
+
+// Resample returns the trajectory sampled at n evenly spaced times across
+// its span.
+func (t Trajectory) Resample(n int) (Trajectory, error) {
+	if len(t.Points) == 0 {
+		return Trajectory{}, errors.New("traj: empty trajectory")
+	}
+	if n <= 0 {
+		return Trajectory{}, fmt.Errorf("traj: invalid resample count %d", n)
+	}
+	out := make([]Point, n)
+	t0 := t.Points[0].T
+	span := t.Duration()
+	for i := 0; i < n; i++ {
+		tau := t0
+		if n > 1 {
+			tau = t0 + time.Duration(float64(span)*float64(i)/float64(n-1))
+		}
+		pos, err := t.At(tau)
+		if err != nil {
+			return Trajectory{}, err
+		}
+		out[i] = Point{T: tau, Pos: pos}
+	}
+	return Trajectory{Points: out}, nil
+}
+
+// ArcLength returns the total path length of the trajectory in metres.
+func (t Trajectory) ArcLength() float64 { return geom.PolylineLength(t.Positions()) }
+
+// AlignMode selects how a fixed offset is removed before computing
+// point-by-point errors, matching §8.1.
+type AlignMode int
+
+const (
+	// AlignNone compares the trajectories as-is.
+	AlignNone AlignMode = iota
+	// AlignInitial removes the initial-position offset (used for
+	// RF-IDraw, whose errors are coherent along the trace).
+	AlignInitial
+	// AlignMean removes the mean (DC) position offset (used for the
+	// antenna-array baseline, whose errors are independent; this choice
+	// favours the baseline, as the paper notes).
+	AlignMean
+)
+
+// String implements fmt.Stringer.
+func (m AlignMode) String() string {
+	switch m {
+	case AlignNone:
+		return "none"
+	case AlignInitial:
+		return "initial"
+	case AlignMean:
+		return "mean"
+	default:
+		return fmt.Sprintf("AlignMode(%d)", int(m))
+	}
+}
+
+// ErrorReport carries the per-point error distances between a reconstructed
+// trajectory and the ground truth after offset removal.
+type ErrorReport struct {
+	// Offset is the translation that was removed from the reconstruction.
+	Offset geom.Vec2
+	// PointErrors are the per-sample distances in metres, after shifting.
+	PointErrors []float64
+	// InitialError is the distance between the *unshifted* reconstructed
+	// start and the true start — the absolute positioning error (§8.2).
+	InitialError float64
+}
+
+// Summary returns order statistics of the point errors.
+func (r ErrorReport) Summary() stats.Summary { return stats.Summarize(r.PointErrors) }
+
+// Compare resamples both trajectories to n common points, removes the
+// offset selected by mode from the reconstruction, and returns the
+// point-by-point error distances (§8.1's metric).
+func Compare(truth, recon Trajectory, mode AlignMode, n int) (ErrorReport, error) {
+	if truth.Len() == 0 || recon.Len() == 0 {
+		return ErrorReport{}, errors.New("traj: cannot compare empty trajectories")
+	}
+	if n <= 0 {
+		n = 64
+	}
+	tr, err := truth.Resample(n)
+	if err != nil {
+		return ErrorReport{}, err
+	}
+	rr, err := recon.Resample(n)
+	if err != nil {
+		return ErrorReport{}, err
+	}
+	var offset geom.Vec2
+	switch mode {
+	case AlignInitial:
+		offset = rr.Points[0].Pos.Sub(tr.Points[0].Pos)
+	case AlignMean:
+		offset = geom.Centroid(rr.Positions()).Sub(geom.Centroid(tr.Positions()))
+	case AlignNone:
+		// no offset removed
+	default:
+		return ErrorReport{}, fmt.Errorf("traj: unknown align mode %v", mode)
+	}
+	errs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		errs[i] = rr.Points[i].Pos.Sub(offset).Dist(tr.Points[i].Pos)
+	}
+	return ErrorReport{
+		Offset:       offset,
+		PointErrors:  errs,
+		InitialError: recon.Start().Dist(truth.Start()),
+	}, nil
+}
+
+// MedianError is a convenience wrapper returning the median point error of
+// Compare in metres.
+func MedianError(truth, recon Trajectory, mode AlignMode, n int) (float64, error) {
+	rep, err := Compare(truth, recon, mode, n)
+	if err != nil {
+		return math.NaN(), err
+	}
+	return stats.Median(rep.PointErrors), nil
+}
+
+// Smooth returns the trajectory filtered by a centred moving average over
+// 2·half+1 samples (clamped at the ends). Positioning front-ends smooth
+// reconstructed traces before handing them to a recognizer; half ≤ 0
+// returns the trajectory unchanged.
+func (t Trajectory) Smooth(half int) Trajectory {
+	if half <= 0 || t.Len() == 0 {
+		return t
+	}
+	out := make([]Point, t.Len())
+	for i := range t.Points {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi > t.Len()-1 {
+			hi = t.Len() - 1
+		}
+		var acc geom.Vec2
+		for j := lo; j <= hi; j++ {
+			acc = acc.Add(t.Points[j].Pos)
+		}
+		out[i] = Point{T: t.Points[i].T, Pos: acc.Scale(1 / float64(hi-lo+1))}
+	}
+	return Trajectory{Points: out}
+}
+
+// Normalize translates the trajectory so its centroid is at the origin and
+// scales it so the larger side of its bounding box is 1. A zero-size
+// trajectory is only translated. The recognizer uses this to compare shapes
+// regardless of where and how large they were written.
+func Normalize(positions []geom.Vec2) []geom.Vec2 {
+	if len(positions) == 0 {
+		return nil
+	}
+	c := geom.Centroid(positions)
+	r, _ := geom.Bounds(positions)
+	scale := math.Max(r.Width(), r.Height())
+	out := make([]geom.Vec2, len(positions))
+	for i, p := range positions {
+		q := p.Sub(c)
+		if scale > 0 {
+			q = q.Scale(1 / scale)
+		}
+		out[i] = q
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+package traj
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rfidraw/internal/geom"
+)
+
+func line(n int) Trajectory {
+	pos := make([]geom.Vec2, n)
+	for i := range pos {
+		pos[i] = geom.Vec2{X: float64(i) * 0.01, Z: 0}
+	}
+	return FromPositions(pos, 10*time.Millisecond)
+}
+
+func TestFromPositionsTiming(t *testing.T) {
+	tr := line(5)
+	if tr.Len() != 5 {
+		t.Fatal("len")
+	}
+	if tr.Points[4].T != 40*time.Millisecond {
+		t.Fatalf("last T = %v", tr.Points[4].T)
+	}
+	if tr.Duration() != 40*time.Millisecond {
+		t.Fatalf("duration = %v", tr.Duration())
+	}
+	if (Trajectory{}).Duration() != 0 {
+		t.Fatal("empty duration")
+	}
+}
+
+func TestAtInterpolates(t *testing.T) {
+	tr := line(3) // x = 0, 0.01, 0.02 at t = 0, 10ms, 20ms
+	p, err := tr.At(5 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.X-0.005) > 1e-12 {
+		t.Fatalf("interp X = %v", p.X)
+	}
+	// Clamping.
+	p, _ = tr.At(-time.Second)
+	if p.X != 0 {
+		t.Fatalf("clamp low = %v", p)
+	}
+	p, _ = tr.At(time.Hour)
+	if p.X != 0.02 {
+		t.Fatalf("clamp high = %v", p)
+	}
+	if _, err := (Trajectory{}).At(0); err == nil {
+		t.Fatal("empty At should error")
+	}
+}
+
+func TestResample(t *testing.T) {
+	tr := line(11)
+	rs, err := tr.Resample(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 21 {
+		t.Fatal("resample len")
+	}
+	if rs.Start() != tr.Start() || rs.End() != tr.End() {
+		t.Fatal("endpoints not preserved")
+	}
+	if _, err := tr.Resample(0); err == nil {
+		t.Fatal("n=0 should error")
+	}
+	if _, err := (Trajectory{}).Resample(5); err == nil {
+		t.Fatal("empty resample should error")
+	}
+	one, err := tr.Resample(1)
+	if err != nil || one.Len() != 1 || one.Start() != tr.Start() {
+		t.Fatalf("n=1 resample = %v err=%v", one, err)
+	}
+}
+
+func TestShiftAndArcLength(t *testing.T) {
+	tr := line(11)
+	sh := tr.Shift(geom.Vec2{X: 1, Z: 2})
+	if sh.Start() != (geom.Vec2{X: 1, Z: 2}) {
+		t.Fatalf("shifted start = %v", sh.Start())
+	}
+	if math.Abs(tr.ArcLength()-0.1) > 1e-9 {
+		t.Fatalf("arc length = %v", tr.ArcLength())
+	}
+	if math.Abs(sh.ArcLength()-tr.ArcLength()) > 1e-9 {
+		t.Fatal("shift must preserve arc length")
+	}
+}
+
+func TestCompareAlignInitial(t *testing.T) {
+	truth := line(50)
+	// Reconstruction = truth + constant offset: AlignInitial should zero it.
+	recon := truth.Shift(geom.Vec2{X: 0.07, Z: -0.03})
+	rep, err := Compare(truth, recon, AlignInitial, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range rep.PointErrors {
+		if e > 1e-9 {
+			t.Fatalf("point %d error %v after initial alignment", i, e)
+		}
+	}
+	wantInit := math.Hypot(0.07, 0.03)
+	if math.Abs(rep.InitialError-wantInit) > 1e-9 {
+		t.Fatalf("initial error = %v, want %v", rep.InitialError, wantInit)
+	}
+	if rep.Offset.Dist(geom.Vec2{X: 0.07, Z: -0.03}) > 1e-9 {
+		t.Fatalf("offset = %v", rep.Offset)
+	}
+}
+
+func TestCompareAlignMean(t *testing.T) {
+	truth := line(50)
+	recon := truth.Shift(geom.Vec2{X: 0.5, Z: 0.5})
+	rep, err := Compare(truth, recon, AlignMean, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rep.PointErrors {
+		if e > 1e-9 {
+			t.Fatalf("mean alignment should zero a constant offset, got %v", e)
+		}
+	}
+}
+
+func TestCompareAlignNone(t *testing.T) {
+	truth := line(10)
+	recon := truth.Shift(geom.Vec2{X: 0.1, Z: 0})
+	rep, err := Compare(truth, recon, AlignNone, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rep.PointErrors {
+		if math.Abs(e-0.1) > 1e-9 {
+			t.Fatalf("unaligned error = %v, want 0.1", e)
+		}
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Compare(Trajectory{}, line(5), AlignInitial, 10); err == nil {
+		t.Fatal("empty truth should error")
+	}
+	if _, err := Compare(line(5), Trajectory{}, AlignInitial, 10); err == nil {
+		t.Fatal("empty recon should error")
+	}
+	if _, err := Compare(line(5), line(5), AlignMode(99), 10); err == nil {
+		t.Fatal("bad mode should error")
+	}
+	// n <= 0 defaults instead of failing.
+	if _, err := Compare(line(5), line(5), AlignInitial, -1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedianError(t *testing.T) {
+	truth := line(30)
+	recon := truth.Shift(geom.Vec2{X: 0.02, Z: 0})
+	// After initial alignment the shift disappears.
+	med, err := MedianError(truth, recon, AlignInitial, 30)
+	if err != nil || med > 1e-9 {
+		t.Fatalf("median = %v err = %v", med, err)
+	}
+	med, err = MedianError(truth, recon, AlignNone, 30)
+	if err != nil || math.Abs(med-0.02) > 1e-9 {
+		t.Fatalf("unaligned median = %v err = %v", med, err)
+	}
+	if _, err := MedianError(Trajectory{}, recon, AlignNone, 5); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	pts := []geom.Vec2{{X: 10, Z: 10}, {X: 12, Z: 10}, {X: 12, Z: 11}, {X: 10, Z: 11}}
+	n := Normalize(pts)
+	c := geom.Centroid(n)
+	if c.Norm() > 1e-9 {
+		t.Fatalf("centroid = %v", c)
+	}
+	r, _ := geom.Bounds(n)
+	if math.Abs(math.Max(r.Width(), r.Height())-1) > 1e-9 {
+		t.Fatalf("scale = %v × %v", r.Width(), r.Height())
+	}
+	if Normalize(nil) != nil {
+		t.Fatal("nil normalize")
+	}
+	// Degenerate single point: translated only.
+	one := Normalize([]geom.Vec2{{X: 5, Z: 5}})
+	if one[0].Norm() > 1e-9 {
+		t.Fatalf("single point normalize = %v", one[0])
+	}
+}
+
+func TestAlignModeString(t *testing.T) {
+	if AlignNone.String() != "none" || AlignInitial.String() != "initial" || AlignMean.String() != "mean" {
+		t.Fatal("align mode strings")
+	}
+	if AlignMode(42).String() == "" {
+		t.Fatal("unknown mode string empty")
+	}
+}
+
+// Property: Compare with AlignInitial is invariant to translating the
+// reconstruction.
+func TestQuickCompareTranslationInvariant(t *testing.T) {
+	f := func(seed int64, dx, dz float64) bool {
+		if math.IsNaN(dx) || math.IsNaN(dz) || math.Abs(dx) > 1e6 || math.Abs(dz) > 1e6 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		pos := make([]geom.Vec2, 20)
+		for i := range pos {
+			pos[i] = geom.Vec2{X: rng.Float64(), Z: rng.Float64()}
+		}
+		truth := FromPositions(pos, 10*time.Millisecond)
+		noisy := make([]geom.Vec2, 20)
+		for i := range noisy {
+			noisy[i] = pos[i].Add(geom.Vec2{X: 0.01 * rng.NormFloat64(), Z: 0.01 * rng.NormFloat64()})
+		}
+		recon := FromPositions(noisy, 10*time.Millisecond)
+		a, err1 := Compare(truth, recon, AlignInitial, 20)
+		b, err2 := Compare(truth, recon.Shift(geom.Vec2{X: dx, Z: dz}), AlignInitial, 20)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range a.PointErrors {
+			if math.Abs(a.PointErrors[i]-b.PointErrors[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Normalize output always fits in a unit-ish box centred at 0.
+func TestQuickNormalizeBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]geom.Vec2, 15)
+		for i := range pts {
+			pts[i] = geom.Vec2{X: rng.NormFloat64() * 100, Z: rng.NormFloat64() * 100}
+		}
+		for _, p := range Normalize(pts) {
+			if p.Norm() > 1.5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

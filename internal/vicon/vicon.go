@@ -1,0 +1,68 @@
+// Package vicon simulates the infrared motion-capture ground truth of the
+// paper's evaluation (§6): a VICON T-series rig tracking reflective markers
+// on the user's hand with sub-centimetre accuracy at camera rate. The
+// evaluation compares reconstructed trajectories against this ground truth,
+// so the simulator reproduces its two imperfections: small per-sample
+// marker noise and a fixed marker→tag mounting offset (markers sit around
+// the RFID, not on it).
+package vicon
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rfidraw/internal/geom"
+	"rfidraw/internal/traj"
+)
+
+// Config describes the capture rig.
+type Config struct {
+	// SampleRate is the camera rate in Hz. VICON T-series systems run at
+	// 100+ Hz; default 100.
+	SampleRate float64
+	// MarkerNoiseM is the per-sample position noise stddev in metres.
+	// Default 0.002 (sub-centimetre, per §6).
+	MarkerNoiseM float64
+	// MountOffsetM is the fixed marker→tag offset in the writing plane.
+	MountOffset geom.Vec2
+}
+
+// DefaultConfig returns a 100 Hz rig with 2 mm noise and no mount offset.
+func DefaultConfig() Config {
+	return Config{SampleRate: 100, MarkerNoiseM: 0.002}
+}
+
+// Capture samples the true trajectory the way the mocap rig would: at
+// camera rate, with marker noise and the mounting offset applied. rng may
+// be nil for a noise-free capture.
+func Capture(truth traj.Trajectory, cfg Config, rng *rand.Rand) (traj.Trajectory, error) {
+	if truth.Len() == 0 {
+		return traj.Trajectory{}, fmt.Errorf("vicon: empty trajectory")
+	}
+	if cfg.SampleRate <= 0 {
+		return traj.Trajectory{}, fmt.Errorf("vicon: sample rate %v must be positive", cfg.SampleRate)
+	}
+	if cfg.MarkerNoiseM < 0 {
+		return traj.Trajectory{}, fmt.Errorf("vicon: negative marker noise")
+	}
+	dt := time.Duration(float64(time.Second) / cfg.SampleRate)
+	n := int(truth.Duration()/dt) + 1
+	pts := make([]traj.Point, 0, n)
+	for i := 0; i < n; i++ {
+		tau := truth.Points[0].T + time.Duration(i)*dt
+		p, err := truth.At(tau)
+		if err != nil {
+			return traj.Trajectory{}, err
+		}
+		p = p.Add(cfg.MountOffset)
+		if rng != nil && cfg.MarkerNoiseM > 0 {
+			p = p.Add(geom.Vec2{
+				X: rng.NormFloat64() * cfg.MarkerNoiseM,
+				Z: rng.NormFloat64() * cfg.MarkerNoiseM,
+			})
+		}
+		pts = append(pts, traj.Point{T: tau, Pos: p})
+	}
+	return traj.Trajectory{Points: pts}, nil
+}

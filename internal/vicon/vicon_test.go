@@ -1,0 +1,92 @@
+package vicon
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rfidraw/internal/geom"
+	"rfidraw/internal/traj"
+)
+
+func truthLine() traj.Trajectory {
+	pos := make([]geom.Vec2, 50)
+	for i := range pos {
+		pos[i] = geom.Vec2{X: float64(i) * 0.01}
+	}
+	return traj.FromPositions(pos, 20*time.Millisecond) // ~1 s at 50 pts
+}
+
+func TestCaptureRateAndSpan(t *testing.T) {
+	truth := truthLine()
+	cap100, err := Capture(truth, DefaultConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.98 s span at 100 Hz → 99 samples.
+	if cap100.Len() < 95 || cap100.Len() > 100 {
+		t.Fatalf("capture count = %d", cap100.Len())
+	}
+	if cap100.Start().Dist(truth.Start()) > 1e-9 {
+		t.Fatal("noise-free capture should start at truth")
+	}
+}
+
+func TestCaptureNoiseLevel(t *testing.T) {
+	truth := truthLine()
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(1))
+	cap, err := Capture(truth, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxDev float64
+	var sumSq float64
+	for _, p := range cap.Points {
+		tp, _ := truth.At(p.T)
+		d := p.Pos.Dist(tp)
+		sumSq += d * d
+		if d > maxDev {
+			maxDev = d
+		}
+	}
+	rms := math.Sqrt(sumSq / float64(cap.Len()))
+	// 2 mm per axis → ~2.8 mm radial RMS; must stay sub-centimetre (§6).
+	if rms < 0.001 || rms > 0.006 {
+		t.Fatalf("rms deviation = %v m", rms)
+	}
+	if maxDev > 0.015 {
+		t.Fatalf("max deviation = %v m, should be sub-centimetre-ish", maxDev)
+	}
+}
+
+func TestCaptureMountOffset(t *testing.T) {
+	truth := truthLine()
+	cfg := DefaultConfig()
+	cfg.MountOffset = geom.Vec2{X: 0.01, Z: -0.005}
+	cap, err := Capture(truth, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := truth.Start().Add(cfg.MountOffset)
+	if cap.Start().Dist(want) > 1e-9 {
+		t.Fatalf("offset not applied: %v vs %v", cap.Start(), want)
+	}
+}
+
+func TestCaptureErrors(t *testing.T) {
+	if _, err := Capture(traj.Trajectory{}, DefaultConfig(), nil); err == nil {
+		t.Fatal("empty truth should error")
+	}
+	bad := DefaultConfig()
+	bad.SampleRate = 0
+	if _, err := Capture(truthLine(), bad, nil); err == nil {
+		t.Fatal("zero sample rate should error")
+	}
+	bad = DefaultConfig()
+	bad.MarkerNoiseM = -1
+	if _, err := Capture(truthLine(), bad, nil); err == nil {
+		t.Fatal("negative noise should error")
+	}
+}

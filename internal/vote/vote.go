@@ -1,0 +1,294 @@
+// Package vote implements RF-IDraw's multi-resolution positioning (§5.1 of
+// the paper) as the two-stage voting algorithm the paper describes:
+//
+//   - Stage 1: every tightly-spaced (and cross) pair of the coarse reader
+//     votes on each point of a coarse grid over the region of interest;
+//     points whose total vote is close to the best form the candidate
+//     region (the spatial filter of Fig. 6b/6c).
+//   - Stage 2: every antenna pair — including the widely-spaced,
+//     grating-lobe pairs — votes on points inside the candidate region;
+//     the highest-vote points become the candidate positions (Fig. 6d).
+//
+// A pair's vote on a point is the negated squared distance, in turns,
+// between the point's Δd·F/λ and the grating lobe nearest the measured
+// phase difference (Eq. 6/7).
+package vote
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"rfidraw/internal/antenna"
+	"rfidraw/internal/geom"
+)
+
+// Observations maps antenna ID → measured wrapped phase (radians) at one
+// instant. It is the cross-reader merged view of one sweep.
+type Observations map[int]float64
+
+// PairTurns extracts a pair's phase-difference observable from the
+// observations, in turns wrapped to (−0.5, 0.5]. ok is false when either
+// port's phase is missing (a lost read).
+func PairTurns(p antenna.Pair, obs Observations) (float64, bool) {
+	pi, ok1 := obs[p.I.ID]
+	pj, ok2 := obs[p.J.ID]
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	return antenna.PhaseDiffTurns(pi, pj), true
+}
+
+// Grid is a regular grid of points over a writing-plane rectangle.
+type Grid struct {
+	Region geom.Rect
+	Res    float64
+	NX, NZ int
+}
+
+// NewGrid builds a grid covering region at the given resolution (metres
+// between adjacent points).
+func NewGrid(region geom.Rect, res float64) (Grid, error) {
+	if res <= 0 {
+		return Grid{}, fmt.Errorf("vote: grid resolution %v must be positive", res)
+	}
+	if region.Width() <= 0 || region.Height() <= 0 {
+		return Grid{}, fmt.Errorf("vote: degenerate grid region %+v", region)
+	}
+	nx := int(region.Width()/res) + 1
+	nz := int(region.Height()/res) + 1
+	return Grid{Region: region, Res: res, NX: nx, NZ: nz}, nil
+}
+
+// Len returns the number of grid points.
+func (g Grid) Len() int { return g.NX * g.NZ }
+
+// At returns the i-th grid point in row-major (x-fastest) order.
+func (g Grid) At(i int) geom.Vec2 {
+	ix := i % g.NX
+	iz := i / g.NX
+	return geom.Vec2{
+		X: g.Region.Min.X + float64(ix)*g.Res,
+		Z: g.Region.Min.Z + float64(iz)*g.Res,
+	}
+}
+
+// Points materialises all grid points.
+func (g Grid) Points() []geom.Vec2 {
+	out := make([]geom.Vec2, g.Len())
+	for i := range out {
+		out[i] = g.At(i)
+	}
+	return out
+}
+
+// Candidate is one hypothesised source position with its total vote.
+type Candidate struct {
+	Pos geom.Vec2
+	// Score is the total vote Σ V(P) over all pairs that observed the
+	// sample; 0 is a perfect, noise-free intersection, more negative is
+	// worse (Eq. 6/7).
+	Score float64
+}
+
+// Config tunes the two-stage voting positioner.
+type Config struct {
+	// Plane is the writing plane the grid lives in.
+	Plane geom.Plane
+	// Region bounds the search.
+	Region geom.Rect
+	// CoarseRes is the stage-1 grid resolution (m). Default 0.04.
+	CoarseRes float64
+	// FineRes is the stage-2 refinement resolution (m). Default 0.004.
+	FineRes float64
+	// CoarseDelta is how far (in vote units) below the stage-1 best a
+	// point may be and still enter the candidate region. Default 0.05.
+	CoarseDelta float64
+	// CandidateCount caps how many candidates are returned. Default 3.
+	CandidateCount int
+	// MinCandidateSep merges candidates closer than this (m).
+	// Default 0.15.
+	MinCandidateSep float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CoarseRes <= 0 {
+		c.CoarseRes = 0.04
+	}
+	if c.FineRes <= 0 {
+		c.FineRes = 0.004
+	}
+	if c.CoarseDelta <= 0 {
+		c.CoarseDelta = 0.05
+	}
+	if c.CandidateCount <= 0 {
+		c.CandidateCount = 3
+	}
+	if c.MinCandidateSep <= 0 {
+		c.MinCandidateSep = 0.15
+	}
+	return c
+}
+
+// Positioner runs the two-stage voting algorithm for a fixed deployment.
+type Positioner struct {
+	// stage1Pairs are the unambiguous/coarse-reader pairs used to build
+	// the candidate-region filter (Fig. 6b/6c).
+	stage1Pairs []antenna.Pair
+	// allPairs are every pair (wide + coarse) used for the stage-2 vote.
+	allPairs []antenna.Pair
+	cfg      Config
+}
+
+// NewPositioner builds a Positioner. stage1Pairs build the coarse filter;
+// widePairs provide the resolution; both vote in stage 2.
+func NewPositioner(stage1Pairs, widePairs []antenna.Pair, cfg Config) (*Positioner, error) {
+	if len(stage1Pairs) == 0 {
+		return nil, errors.New("vote: need at least one stage-1 (coarse) pair")
+	}
+	if len(widePairs) == 0 {
+		return nil, errors.New("vote: need at least one widely-spaced pair")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Region.Width() <= 0 || cfg.Region.Height() <= 0 {
+		return nil, fmt.Errorf("vote: degenerate search region %+v", cfg.Region)
+	}
+	all := make([]antenna.Pair, 0, len(stage1Pairs)+len(widePairs))
+	all = append(all, stage1Pairs...)
+	all = append(all, widePairs...)
+	return &Positioner{stage1Pairs: stage1Pairs, allPairs: all, cfg: cfg}, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (p *Positioner) Config() Config { return p.cfg }
+
+// pairObs is a pair together with its observed phase difference.
+type pairObs struct {
+	pair  antenna.Pair
+	turns float64
+}
+
+func collect(pairs []antenna.Pair, obs Observations) []pairObs {
+	out := make([]pairObs, 0, len(pairs))
+	for _, pr := range pairs {
+		if t, ok := PairTurns(pr, obs); ok {
+			out = append(out, pairObs{pair: pr, turns: t})
+		}
+	}
+	return out
+}
+
+// totalVote sums every observed pair's free-lobe vote at a plane point.
+func totalVote(pos geom.Vec2, plane geom.Plane, po []pairObs) float64 {
+	p3 := plane.To3D(pos)
+	var sum float64
+	for _, o := range po {
+		sum += o.pair.VoteFree(p3, o.turns)
+	}
+	return sum
+}
+
+// ScoreAt returns the total stage-2 vote (all pairs) at a position; it is
+// the quantity Fig. 10f plots along a trajectory.
+func (p *Positioner) ScoreAt(pos geom.Vec2, obs Observations) float64 {
+	return totalVote(pos, p.cfg.Plane, collect(p.allPairs, obs))
+}
+
+// VoteMap evaluates the total vote of the given pairs over a grid; the
+// experiment harness uses it to render the paper's spatial-filter figures.
+func VoteMap(pairs []antenna.Pair, obs Observations, grid Grid, plane geom.Plane) []float64 {
+	po := collect(pairs, obs)
+	out := make([]float64, grid.Len())
+	for i := range out {
+		out[i] = totalVote(grid.At(i), plane, po)
+	}
+	return out
+}
+
+// Candidates runs the two-stage voting algorithm on one observation set
+// and returns up to CandidateCount candidate positions, best first.
+func (p *Positioner) Candidates(obs Observations) ([]Candidate, error) {
+	stage1 := collect(p.stage1Pairs, obs)
+	if len(stage1) < 2 {
+		return nil, fmt.Errorf("vote: only %d stage-1 pairs observed, need ≥2", len(stage1))
+	}
+	all := collect(p.allPairs, obs)
+	if len(all) < 3 {
+		return nil, fmt.Errorf("vote: only %d total pairs observed, need ≥3", len(all))
+	}
+
+	// Stage 1: coarse filter over the full region.
+	grid, err := NewGrid(p.cfg.Region, p.cfg.CoarseRes)
+	if err != nil {
+		return nil, err
+	}
+	score1 := make([]float64, grid.Len())
+	best1 := math.Inf(-1)
+	for i := range score1 {
+		score1[i] = totalVote(grid.At(i), p.cfg.Plane, stage1)
+		if score1[i] > best1 {
+			best1 = score1[i]
+		}
+	}
+
+	// Stage 2: refine every surviving point with all pairs.
+	var cands []Candidate
+	for i := range score1 {
+		if score1[i] < best1-p.cfg.CoarseDelta {
+			continue
+		}
+		pos, score := p.refine(grid.At(i), all)
+		cands = append(cands, Candidate{Pos: pos, Score: score})
+	}
+	if len(cands) == 0 {
+		return nil, errors.New("vote: empty candidate region")
+	}
+
+	// Merge near-duplicates, keep the best-scoring representatives.
+	sort.Slice(cands, func(a, b int) bool { return cands[a].Score > cands[b].Score })
+	var out []Candidate
+	for _, c := range cands {
+		dup := false
+		for _, kept := range out {
+			if kept.Pos.Dist(c.Pos) < p.cfg.MinCandidateSep {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c)
+			if len(out) == p.cfg.CandidateCount {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// refine hill-climbs the total vote from start down to FineRes using a
+// shrinking 3×3 pattern search clipped to the region.
+func (p *Positioner) refine(start geom.Vec2, po []pairObs) (geom.Vec2, float64) {
+	pos := start
+	best := totalVote(pos, p.cfg.Plane, po)
+	step := p.cfg.CoarseRes / 2
+	for step >= p.cfg.FineRes {
+		improved := false
+		for dx := -1; dx <= 1; dx++ {
+			for dz := -1; dz <= 1; dz++ {
+				if dx == 0 && dz == 0 {
+					continue
+				}
+				cand := p.cfg.Region.Clip(geom.Vec2{X: pos.X + float64(dx)*step, Z: pos.Z + float64(dz)*step})
+				if s := totalVote(cand, p.cfg.Plane, po); s > best {
+					best, pos = s, cand
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+	}
+	return pos, best
+}

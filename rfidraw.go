@@ -1,0 +1,223 @@
+// Package rfidraw is a from-scratch Go implementation of RF-IDraw (Wang,
+// Vasisht, Katabi — SIGCOMM 2014): an RFID trajectory-tracing system
+// accurate enough to act as a virtual touch screen in the air.
+//
+// RF-IDraw's key idea is a multi-resolution use of antenna pairs. Widely
+// separated pairs (8λ) have many narrow grating lobes: high resolution but
+// ambiguous. Tightly spaced pairs (λ/4 for backscatter) have a single wide
+// beam: unambiguous but coarse. Voting with the coarse pairs filters the
+// ambiguity of the wide pairs while keeping their resolution (§3 of the
+// paper). For tracing, each wide pair is locked onto one grating lobe and
+// its continuous rotation is followed; even a wrong-but-nearby lobe
+// preserves the trajectory's shape (§4), which is what a handwriting
+// interface needs.
+//
+// The package exposes the system behind a hardware-free API: callers feed
+// per-antenna phase measurements (from real readers or from the bundled
+// simulator) and receive positions and trajectories in a writing plane
+// parallel to the antenna wall.
+//
+// # Quick start
+//
+//	sys, err := rfidraw.New(rfidraw.Config{PlaneDistanceM: 2})
+//	...
+//	res, err := sys.Trace(samples) // samples from readers or simulator
+//	for _, p := range res.Trajectory {
+//	    fmt.Println(p.Time, p.X, p.Z)
+//	}
+//
+// See the examples/ directory for full programs, and internal/ for the
+// substrates (channel model, RFID reader simulator, AoA baseline,
+// handwriting workload, recognizer, experiment harness).
+package rfidraw
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rfidraw/internal/core"
+	"rfidraw/internal/deploy"
+	"rfidraw/internal/geom"
+	"rfidraw/internal/tracing"
+	"rfidraw/internal/vote"
+)
+
+// Point is a position in the writing plane: X right, Z up, metres. The
+// writing plane is parallel to the antenna wall at the configured distance.
+type Point struct {
+	X, Z float64
+}
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	return geom.Vec2{X: p.X, Z: p.Z}.Dist(geom.Vec2{X: q.X, Z: q.Z})
+}
+
+// Sample is one merged observation instant: the wrapped phase (radians, in
+// [0, 2π)) measured at each antenna, keyed by the deployment's antenna IDs
+// (1–8 for the standard deployment). Antennas missed by reply loss are
+// simply absent.
+type Sample struct {
+	Time   time.Duration
+	Phases map[int]float64
+}
+
+// Candidate is a hypothesised tag position with its total vote; 0 is a
+// perfect intersection of all pairs' beams, more negative is worse.
+type Candidate struct {
+	Pos   Point
+	Score float64
+}
+
+// TracePoint is one reconstructed trajectory sample.
+type TracePoint struct {
+	Time time.Duration
+	X, Z float64
+}
+
+// Trace is one reconstructed trajectory with its vote record.
+type Trace struct {
+	// Initial is the candidate initial position this trace started from.
+	Initial Candidate
+	// Points is the reconstructed trajectory.
+	Points []TracePoint
+	// Votes is the total pair vote at each point — flat near zero for a
+	// correct start, collapsing for a wrong one (the paper's Fig. 10f).
+	Votes []float64
+	// TotalVote is the sum of Votes, the trace-selection score.
+	TotalVote float64
+}
+
+// Result is the outcome of tracing an observation stream.
+type Result struct {
+	// Trajectory is the chosen reconstruction.
+	Trajectory []TracePoint
+	// InitialPosition is the chosen absolute position estimate.
+	InitialPosition Point
+	// Chosen indexes Traces for the selected trace.
+	Chosen int
+	// Traces holds every candidate's trace, for diagnostics.
+	Traces []Trace
+}
+
+// Config configures a System.
+type Config struct {
+	// PlaneDistanceM is the writing plane's distance from the antenna
+	// wall in metres (the paper evaluates 2–5 m). Required.
+	PlaneDistanceM float64
+	// RegionMin/RegionMax bound the search region in the writing plane;
+	// zero values take the standard region in front of the antenna
+	// square.
+	RegionMin, RegionMax Point
+	// CandidateCount is how many candidate initial positions to trace.
+	// Default 3.
+	CandidateCount int
+	// CarrierHz overrides the 922 MHz default carrier.
+	CarrierHz float64
+}
+
+// System is a configured RF-IDraw instance for the standard two-reader,
+// eight-antenna deployment.
+type System struct {
+	inner *core.System
+	plane geom.Plane
+}
+
+// New builds a System.
+func New(cfg Config) (*System, error) {
+	if cfg.PlaneDistanceM <= 0 {
+		return nil, errors.New("rfidraw: Config.PlaneDistanceM must be positive")
+	}
+	region := deploy.DefaultRegion()
+	if cfg.RegionMin != cfg.RegionMax {
+		region = geom.Rect{
+			Min: geom.Vec2{X: cfg.RegionMin.X, Z: cfg.RegionMin.Z},
+			Max: geom.Vec2{X: cfg.RegionMax.X, Z: cfg.RegionMax.Z},
+		}
+	}
+	dep, err := buildDeployment(cfg.CarrierHz)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.NewSystem(dep, core.Config{
+		Plane:          geom.Plane{Y: cfg.PlaneDistanceM},
+		Region:         region,
+		CandidateCount: cfg.CandidateCount,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rfidraw: %w", err)
+	}
+	return &System{inner: inner, plane: geom.Plane{Y: cfg.PlaneDistanceM}}, nil
+}
+
+// AntennaPositions returns the deployment's antenna wall positions keyed
+// by antenna ID, as (x, z) on the wall plane. Useful for installation and
+// plotting.
+func (s *System) AntennaPositions() map[int]Point {
+	out := make(map[int]Point)
+	for _, a := range s.inner.Deployment().Antennas {
+		out[a.ID] = Point{X: a.Pos.X, Z: a.Pos.Z}
+	}
+	return out
+}
+
+// Localize runs one-shot multi-resolution positioning on a single sample
+// and returns candidate positions, best first.
+func (s *System) Localize(sample Sample) ([]Candidate, error) {
+	cands, err := s.inner.Localize(vote.Observations(sample.Phases))
+	if err != nil {
+		return nil, fmt.Errorf("rfidraw: %w", err)
+	}
+	out := make([]Candidate, len(cands))
+	for i, c := range cands {
+		out[i] = Candidate{Pos: Point{X: c.Pos.X, Z: c.Pos.Z}, Score: c.Score}
+	}
+	return out, nil
+}
+
+// Trace reconstructs the tag's trajectory from an observation stream.
+// Samples must be in time order; gaps from reply loss are tolerated.
+func (s *System) Trace(samples []Sample) (*Result, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("rfidraw: no samples")
+	}
+	in := make([]tracing.Sample, len(samples))
+	for i, smp := range samples {
+		in[i] = tracing.Sample{T: smp.Time, Phase: vote.Observations(smp.Phases)}
+	}
+	res, err := s.inner.Trace(in)
+	if err != nil {
+		return nil, fmt.Errorf("rfidraw: %w", err)
+	}
+	out := &Result{
+		Trajectory:      convertTrajectory(res.Best),
+		InitialPosition: Point{X: res.InitialPosition().X, Z: res.InitialPosition().Z},
+		Chosen:          res.BestIndex,
+		Traces:          make([]Trace, len(res.All)),
+	}
+	for i, tr := range res.All {
+		out.Traces[i] = Trace{
+			Initial:   Candidate{Pos: Point{X: res.Candidates[i].Pos.X, Z: res.Candidates[i].Pos.Z}, Score: res.Candidates[i].Score},
+			Points:    convertTrajectory(tr),
+			Votes:     append([]float64(nil), tr.Votes...),
+			TotalVote: tr.TotalVote,
+		}
+	}
+	return out, nil
+}
+
+func convertTrajectory(r tracing.Result) []TracePoint {
+	out := make([]TracePoint, r.Trajectory.Len())
+	for i, p := range r.Trajectory.Points {
+		out[i] = TracePoint{Time: p.T, X: p.Pos.X, Z: p.Pos.Z}
+	}
+	return out
+}
+
+func buildDeployment(carrierHz float64) (*deploy.RFIDraw, error) {
+	if carrierHz <= 0 {
+		return deploy.DefaultRFIDraw()
+	}
+	return deploy.NewRFIDraw(newCarrier(carrierHz), backscatter)
+}
