@@ -11,7 +11,9 @@ package rfidraw
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -19,11 +21,13 @@ import (
 	"rfidraw/internal/core"
 	"rfidraw/internal/corpus"
 	"rfidraw/internal/deploy"
+	"rfidraw/internal/engine"
 	"rfidraw/internal/experiments"
 	"rfidraw/internal/geom"
 	"rfidraw/internal/handwriting"
 	"rfidraw/internal/phys"
 	"rfidraw/internal/readerwire"
+	"rfidraw/internal/realtime"
 	"rfidraw/internal/recognition"
 	"rfidraw/internal/rfid"
 	"rfidraw/internal/sim"
@@ -360,6 +364,114 @@ func BenchmarkAblationCandidateCount(b *testing.B) {
 	}
 	b.ReportMetric(err1, "init-err-1cand-cm")
 	b.ReportMetric(err5, "init-err-5cand-cm")
+}
+
+// —— Engine multi-tag benches ——————————————————————————————————————————————
+
+// benchEngineRun caches one 8-user concurrent-writing session; jobs for
+// higher tag counts replicate its streams under fresh keys, so throughput
+// scaling is measured on identical per-tag work.
+var benchEngineRun *sim.MultiWordRun
+
+func benchEngineJobs(b *testing.B, tags int) []engine.TagJob {
+	b.Helper()
+	if benchEngineRun == nil {
+		sc, err := sim.New(sim.Config{Seed: 77})
+		if err != nil {
+			b.Fatal(err)
+		}
+		words := []string{"hi", "go", "on", "it", "at", "to", "in", "up"}
+		starts := make([]geom.Vec2, len(words))
+		for i := range starts {
+			starts[i] = geom.Vec2{X: 0.4 + 0.35*float64(i%4), Z: 0.6 + 0.45*float64(i/4)}
+		}
+		run, err := sc.RunWords(words, starts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchEngineRun = run
+	}
+	jobs := make([]engine.TagJob, tags)
+	for i := range jobs {
+		src := benchEngineRun.SamplesRF[i%len(benchEngineRun.SamplesRF)]
+		jobs[i] = engine.TagJob{Tag: fmt.Sprintf("tag-%03d", i), Samples: src}
+	}
+	return jobs
+}
+
+// BenchmarkEngineMultiTag measures full-pipeline throughput (vote →
+// lobe-lock → trace) for 1/8/64 concurrent tags at 1 shard (the
+// single-threaded path) and at one shard per core. tag-traces/s is the
+// headline: at 8 tags it should scale near-linearly with cores.
+func BenchmarkEngineMultiTag(b *testing.B) {
+	shardCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		shardCounts = append(shardCounts, n)
+	}
+	for _, tags := range []int{1, 8, 64} {
+		for _, shards := range shardCounts {
+			b.Run(fmt.Sprintf("tags=%d/shards=%d", tags, shards), func(b *testing.B) {
+				jobs := benchEngineJobs(b, tags)
+				eng, err := engine.New(engine.Config{
+					Shards: shards,
+					Core:   core.Config{Plane: geom.Plane{Y: 2}, Region: deploy.DefaultRegion()},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer eng.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, r := range eng.TraceBatch(jobs) {
+						if r.Err != nil {
+							b.Fatal(r.Err)
+						}
+					}
+				}
+				b.StopTimer()
+				traces := float64(b.N) * float64(len(jobs))
+				b.ReportMetric(traces/b.Elapsed().Seconds(), "tag-traces/s")
+			})
+		}
+	}
+}
+
+// BenchmarkEngineStreaming measures the live wire-fed path: every tag's
+// raw reports interleaved, demultiplexed and tracked concurrently.
+func BenchmarkEngineStreaming(b *testing.B) {
+	benchEngineJobs(b, 8) // ensure the cached run exists
+	run := benchEngineRun
+	merged := realtime.MergeStreams(run.ReportsRF...)
+	streamShards := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		streamShards = append(streamShards, n)
+	}
+	for _, shards := range streamShards {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Trackers are stateful per tag, so each iteration needs
+				// a fresh engine; keep its construction (steering-table
+				// precompute) out of the timed streaming work.
+				b.StopTimer()
+				eng, err := engine.New(engine.Config{
+					Shards:        shards,
+					Core:          core.Config{Plane: geom.Plane{Y: 2}, Region: deploy.DefaultRegion()},
+					SweepInterval: run.SweepInterval * time.Duration(len(run.Tags)),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := eng.OfferAll(merged); err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)*float64(len(merged))/b.Elapsed().Seconds(), "reports/s")
+		})
+	}
 }
 
 // —— Performance micro-benches ————————————————————————————————————————————

@@ -1,14 +1,18 @@
-// Command readerd runs a simulated RFID reader daemon: it generates a
-// user's in-air handwriting, runs one reader's inventory against it, and
-// streams the phase reports to TCP clients over the readerwire protocol —
-// the simulated stand-in for a ThingMagic M6e streaming to the host.
+// Command readerd runs a simulated RFID reader daemon: it generates one or
+// more users writing in the air, runs one reader's inventory against their
+// tags, and streams the phase reports to TCP clients over the readerwire
+// protocol — the simulated stand-in for a ThingMagic M6e streaming to the
+// host.
 //
 // Usage:
 //
-//	readerd -listen 127.0.0.1:7011 -reader A -word hello -seed 1 -pace 1
+//	readerd -listen 127.0.0.1:7011 -reader A -word hello -tags 3 -seed 1 -pace 1
 //
-// Run two daemons (reader A and reader B) with the same word/seed so their
-// streams describe the same writing session; cmd/tracker consumes both.
+// Run two daemons (reader A and reader B) with the same word/tags/seed so
+// their streams describe the same writing session; cmd/tracker consumes
+// both and traces every tag concurrently. With -tags N, Gen-2 singulation
+// splits each sweep's airtime round-robin across the tags, so the Hello
+// announces the per-tag sweep cadence (N × the raw sweep interval).
 package main
 
 import (
@@ -22,9 +26,7 @@ import (
 	"time"
 
 	"rfidraw/internal/geom"
-	"rfidraw/internal/handwriting"
 	"rfidraw/internal/readerwire"
-	"rfidraw/internal/rfid"
 	"rfidraw/internal/sim"
 )
 
@@ -32,20 +34,33 @@ func main() {
 	var (
 		listen = flag.String("listen", "127.0.0.1:7011", "TCP listen address")
 		reader = flag.String("reader", "A", "which reader to serve: A (wide pairs) or B (coarse pairs)")
-		word   = flag.String("word", "clear", "word the simulated user writes")
+		word   = flag.String("word", "clear", "first word the simulated users write; extra users cycle a built-in list")
+		tags   = flag.Int("tags", 1, "how many users write simultaneously, one tag each")
 		seed   = flag.Int64("seed", 1, "scenario seed (must match the other reader's)")
 		dist   = flag.Float64("dist", 2, "user distance from the wall in metres")
 		pace   = flag.Float64("pace", 1, "replay speed (1 = real time, 0 = unpaced)")
 		nlos   = flag.Bool("nlos", false, "use the non-line-of-sight environment")
 	)
 	flag.Parse()
-	if err := run(*listen, *reader, *word, *seed, *dist, *pace, *nlos); err != nil {
+	if err := run(*listen, *reader, *word, *tags, *seed, *dist, *pace, *nlos); err != nil {
 		fmt.Fprintln(os.Stderr, "readerd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, reader, word string, seed int64, dist, pace float64, nlos bool) error {
+// extraWords cycles for users beyond the first; short words keep multi-tag
+// sessions overlapping in time.
+var extraWords = []string{"go", "hi", "on", "it", "up", "at"}
+
+func run(listen, reader, word string, tags int, seed int64, dist, pace float64, nlos bool) error {
+	if tags < 1 {
+		return fmt.Errorf("need at least one tag, got %d", tags)
+	}
+	// The start-position grid below has 12 distinct slots; more writers
+	// than that would overlap in space.
+	if tags > 12 {
+		return fmt.Errorf("at most 12 simultaneous writers supported, got %d", tags)
+	}
 	prop := sim.LOS
 	if nlos {
 		prop = sim.NLOS
@@ -54,13 +69,26 @@ func run(listen, reader, word string, seed int64, dist, pace float64, nlos bool)
 	if err != nil {
 		return err
 	}
-	wr, err := sc.RunWord(word, geom.Vec2{X: 0.6, Z: 1.0}, handwriting.DefaultStyle())
+	// Lay the writers out on a grid so their strokes do not collide; every
+	// daemon with the same seed/tags derives the identical session.
+	texts := make([]string, tags)
+	starts := make([]geom.Vec2, tags)
+	for i := range texts {
+		if i == 0 {
+			texts[i] = word
+		} else {
+			texts[i] = extraWords[(i-1)%len(extraWords)]
+		}
+		starts[i] = geom.Vec2{
+			X: 0.35 + 0.45*float64(i%4),
+			Z: 0.55 + 0.5*float64(i/4%3),
+		}
+	}
+	run, err := sc.RunWords(texts, starts)
 	if err != nil {
 		return err
 	}
 
-	// Rebuild this reader's report stream from the merged samples: each
-	// sample carries the phases of both readers; filter to ours.
 	var readerID int
 	switch strings.ToUpper(reader) {
 	case "A":
@@ -70,29 +98,22 @@ func run(listen, reader, word string, seed int64, dist, pace float64, nlos bool)
 	default:
 		return fmt.Errorf("unknown reader %q (want A or B)", reader)
 	}
-	var reports []rfid.Report
-	for _, s := range wr.SamplesRF {
-		for id, ph := range s.Phase {
-			if (id-1)/4 != readerID {
-				continue
-			}
-			reports = append(reports, rfid.Report{
-				Time:      s.T,
-				ReaderID:  readerID,
-				AntennaID: id,
-				EPC:       sc.Tag.EPC,
-				PhaseRad:  ph,
-			})
+	reports := run.ReportsRF[readerID]
+	var dur time.Duration
+	for _, w := range run.Words {
+		if d := w.Traj.Duration(); d > dur {
+			dur = d
 		}
 	}
-	dur := wr.Word.Traj.Duration() + 100*time.Millisecond
+	dur += 100 * time.Millisecond
 
 	src := &readerwire.InventorySource{
 		Announce: readerwire.Hello{
-			Proto:         readerwire.ProtoVersion,
-			ReaderID:      uint8(readerID),
-			AntennaCount:  4,
-			SweepInterval: 25 * time.Millisecond,
+			Proto:        readerwire.ProtoVersion,
+			ReaderID:     uint8(readerID),
+			AntennaCount: 4,
+			// Per-tag cadence: singulation splits airtime across tags.
+			SweepInterval: run.SweepInterval * time.Duration(tags),
 		},
 		AllReports: reports,
 	}
@@ -101,8 +122,11 @@ func run(listen, reader, word string, seed int64, dist, pace float64, nlos bool)
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("readerd: reader %s serving %d reports of %q on %s (EPC %s)\n",
-		reader, len(reports), word, srv.Addr(), sc.Tag.EPC)
+	fmt.Printf("readerd: reader %s serving %d reports of %d tag(s) on %s\n",
+		reader, len(reports), tags, srv.Addr())
+	for i, tag := range run.Tags {
+		fmt.Printf("readerd:   tag %s writes %q\n", tag.EPC, texts[i])
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

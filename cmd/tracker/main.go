@@ -1,10 +1,13 @@
-// Command tracker connects to two readerd daemons, merges their phase
-// report streams, and traces the tag's trajectory live, printing each
-// position as it is estimated — the host side of the virtual touch screen.
+// Command tracker connects to readerd daemons, merges their phase report
+// streams, and traces every tag live and concurrently, printing each
+// position as it is estimated — the host side of the virtual touch
+// screen. Reports are demultiplexed by EPC and fanned out across the
+// engine's worker shards, so many simultaneous writers cost roughly one
+// core each.
 //
 // Usage:
 //
-//	tracker -readers 127.0.0.1:7011,127.0.0.1:7012 -dist 2
+//	tracker -readers 127.0.0.1:7011,127.0.0.1:7012 -dist 2 -shards 4
 package main
 
 import (
@@ -13,10 +16,12 @@ import (
 	"net"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"rfidraw/internal/core"
 	"rfidraw/internal/deploy"
+	"rfidraw/internal/engine"
 	"rfidraw/internal/geom"
 	"rfidraw/internal/readerwire"
 	"rfidraw/internal/realtime"
@@ -27,23 +32,16 @@ func main() {
 	var (
 		readers = flag.String("readers", "127.0.0.1:7011,127.0.0.1:7012", "comma-separated readerd addresses")
 		dist    = flag.Float64("dist", 2, "writing plane distance in metres")
+		shards  = flag.Int("shards", 0, "engine worker shards (0 = one per CPU)")
 	)
 	flag.Parse()
-	if err := run(strings.Split(*readers, ","), *dist); err != nil {
+	if err := run(strings.Split(*readers, ","), *dist, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "tracker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addrs []string, dist float64) error {
-	sys, err := core.NewSystem(nil, core.Config{
-		Plane:  geom.Plane{Y: dist},
-		Region: deploy.DefaultRegion(),
-	})
-	if err != nil {
-		return err
-	}
-
+func run(addrs []string, dist float64, shards int) error {
 	type streamResult struct {
 		hello   readerwire.Hello
 		reports []rfid.Report
@@ -74,30 +72,53 @@ func run(addrs []string, dist float64) error {
 		sweep = r.hello.SweepInterval
 	}
 
-	tr, err := realtime.NewTracker(realtime.Config{System: sys, SweepInterval: sweep})
-	if err != nil {
-		return err
-	}
-	merged := realtime.MergeStreams(streams...)
+	// The Hello announces the per-tag sweep cadence (airtime already
+	// divided by the tag count), which is exactly the engine's notion of
+	// sweep interval.
+	var mu sync.Mutex
 	count := 0
-	emit := func(ps []realtime.Position) {
-		for _, p := range ps {
-			fmt.Printf("t=%8v  x=%7.3f m  z=%7.3f m\n", p.Time.Round(time.Millisecond), p.Pos.X, p.Pos.Z)
-			count++
-		}
-	}
-	for _, rep := range merged {
-		ps, err := tr.Offer(rep)
-		if err != nil {
-			return err
-		}
-		emit(ps)
-	}
-	ps, err := tr.Flush()
+	eng, err := engine.New(engine.Config{
+		Shards: shards,
+		Core:   core.Config{Plane: geom.Plane{Y: dist}, Region: deploy.DefaultRegion()},
+		// SweepInterval is per tag; see readerd's Hello.
+		SweepInterval: sweep,
+		OnUpdate: func(u Update) {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, p := range u.Positions {
+				fmt.Printf("tag %s  t=%8v  x=%7.3f m  z=%7.3f m\n",
+					u.Tag[:8], p.Time.Round(time.Millisecond), p.Pos.X, p.Pos.Z)
+				count++
+			}
+		},
+	})
 	if err != nil {
 		return err
 	}
-	emit(ps)
-	fmt.Printf("tracker: %d positions, mean vote %.4f\n", count, tr.MeanVote())
+	defer eng.Close()
+
+	merged := realtime.MergeStreams(streams...)
+	if err := eng.OfferAll(merged); err != nil {
+		return err
+	}
+	if err := eng.Flush(); err != nil {
+		return err
+	}
+	stats := eng.Stats()
+	for _, st := range stats {
+		status := "tracked"
+		if st.Err != nil {
+			status = "failed: " + st.Err.Error()
+		} else if !st.Started {
+			status = "never acquired"
+		}
+		fmt.Printf("tracker: tag %s  %d positions, mean vote %.4f, %d reacquisitions — %s\n",
+			st.Tag[:8], st.Positions, st.MeanVote, st.Reacquisitions, status)
+	}
+	fmt.Printf("tracker: %d positions across %d tags on %d shards\n",
+		count, len(stats), eng.Shards())
 	return nil
 }
+
+// Update aliases the engine's update type for the callback signature.
+type Update = engine.Update

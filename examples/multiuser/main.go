@@ -1,7 +1,9 @@
-// Multiuser: two users write simultaneously with different tags. EPC
+// Multiuser: four users write simultaneously with different tags. EPC
 // identities keep their report streams apart (§2: "since RF sources have
 // unique IDs ... it is easy to scale to a larger number of users"), and
-// one tracker per EPC reconstructs each trajectory independently.
+// the sharded engine traces every tag concurrently — one home shard per
+// tag, all shards sharing the same read-only positioner and its
+// precomputed steering table.
 //
 //	go run ./examples/multiuser
 package main
@@ -9,117 +11,55 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
-	"time"
 
-	"rfidraw/internal/antenna"
-	"rfidraw/internal/channel"
 	"rfidraw/internal/core"
 	"rfidraw/internal/deploy"
+	"rfidraw/internal/engine"
 	"rfidraw/internal/geom"
-	"rfidraw/internal/handwriting"
-	"rfidraw/internal/rfid"
-	"rfidraw/internal/tracing"
+	"rfidraw/internal/sim"
 	"rfidraw/internal/traj"
-	"rfidraw/internal/vote"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(5))
-	dep, err := deploy.DefaultRFIDraw()
+	sc, err := sim.New(sim.Config{Seed: 5})
 	if err != nil {
 		log.Fatal(err)
 	}
-	env := channel.LOS(0.1, channel.RandomScatterers(rng, 5,
-		geom.Vec3{X: -1, Y: 0.3, Z: 0}, geom.Vec3{X: 3.6, Y: 3.5, Z: 2.6}, 0.05, 0.15)...)
 
-	// Two tags, two users, two words written at the same time in
-	// different parts of the writing plane.
-	tags := []rfid.Tag{rfid.NewTag(rng), rfid.NewTag(rng)}
-	words := []string{"hi", "go"}
-	starts := []geom.Vec2{{X: 0.4, Z: 1.3}, {X: 1.7, Z: 0.7}}
-	plane := geom.Plane{Y: 2}
-
-	written := make([]handwriting.Word, len(tags))
-	tracks := make([]func(time.Duration) geom.Vec3, len(tags))
-	for i := range tags {
-		w, err := handwriting.Write(words[i], starts[i], handwriting.RandomStyle(rng), rng)
-		if err != nil {
-			log.Fatal(err)
-		}
-		written[i] = w
-		wt := w.Traj
-		tracks[i] = func(t time.Duration) geom.Vec3 {
-			p, err := wt.At(t)
-			if err != nil {
-				return geom.Vec3{}
-			}
-			return plane.To3D(p)
-		}
+	// Four tags, four users, four words written at the same time in
+	// different parts of the writing plane. Gen-2 singulation splits the
+	// readers' airtime, so each tag's read rate divides by four.
+	words := []string{"hi", "go", "on", "up"}
+	starts := []geom.Vec2{{X: 0.4, Z: 1.3}, {X: 1.7, Z: 0.7}, {X: 0.9, Z: 1.7}, {X: 1.9, Z: 1.5}}
+	run, err := sc.RunWords(words, starts)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	// Both readers inventory both tags; Gen-2 singulation splits the
-	// airtime, so each tag's read rate halves.
-	dur := written[0].Traj.Duration()
-	if d := written[1].Traj.Duration(); d > dur {
-		dur = d
+	eng, err := engine.New(engine.Config{
+		Shards: 4,
+		Core:   core.Config{Plane: sc.Plane, Region: deploy.DefaultRegion()},
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	dur += 100 * time.Millisecond
-	mkReader := func(id int, ants []antenna.Antenna) *rfid.Reader {
-		cfg := rfid.DefaultReaderConfig(id, ants)
-		cfg.SweepInterval = 20 * time.Millisecond
-		r, err := rfid.NewReader(cfg, env)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return r
-	}
-	readers := []*rfid.Reader{
-		mkReader(deploy.ReaderA, dep.Antennas[:4]),
-		mkReader(deploy.ReaderB, dep.Antennas[4:]),
-	}
+	defer eng.Close()
 
-	for ti, tag := range tags {
-		// Collect per-tag samples across both readers.
-		merged := map[time.Duration]vote.Observations{}
-		for _, r := range readers {
-			reports, err := r.InventoryMulti(dur, tags, tracks, rng)
-			if err != nil {
-				log.Fatal(err)
-			}
-			sweep := r.Config().SweepInterval
-			for _, snap := range rfid.GroupSweeps(reports, tag.EPC, sweep, 5*sweep) {
-				obs, ok := merged[snap.Time]
-				if !ok {
-					obs = vote.Observations{}
-					merged[snap.Time] = obs
-				}
-				for id, ph := range snap.Phase {
-					obs[id] = ph
-				}
-			}
+	jobs := make([]engine.TagJob, len(run.Tags))
+	for i, tag := range run.Tags {
+		jobs[i] = engine.TagJob{Tag: tag.EPC.String(), Samples: run.SamplesRF[i]}
+	}
+	for i, r := range eng.TraceBatch(jobs) {
+		if r.Err != nil {
+			log.Fatalf("tag %d: %v", i, r.Err)
 		}
-		var samples []tracing.Sample
-		for t := time.Duration(0); t <= dur; t += readers[0].Config().SweepInterval {
-			if obs, ok := merged[t]; ok {
-				samples = append(samples, tracing.Sample{T: t, Phase: obs})
-			}
-		}
-
-		sys, err := core.NewSystem(dep, core.Config{Plane: plane, Region: deploy.DefaultRegion()})
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := sys.Trace(samples)
-		if err != nil {
-			log.Fatalf("tag %d: %v", ti, err)
-		}
-		med, err := traj.MedianError(written[ti].Traj, res.Best.Trajectory, traj.AlignInitial, 64)
+		med, err := traj.MedianError(run.Truths[i], r.Result.Best.Trajectory, traj.AlignInitial, 64)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("tag %s: user %d wrote %-3q → %d points traced, shape error %.1f cm\n",
-			tag.EPC, ti+1, words[ti], res.Best.Trajectory.Len(), med*100)
+			r.Tag, i+1, words[i], r.Result.Best.Trajectory.Len(), med*100)
 	}
-	fmt.Println("\nboth users tracked concurrently; EPC identity separates their streams")
+	fmt.Printf("\n%d users tracked concurrently on %d shards; EPC identity separates their streams\n",
+		len(run.Tags), eng.Shards())
 }

@@ -1,0 +1,3 @@
+module rfidraw
+
+go 1.24

@@ -1,0 +1,350 @@
+// Package engine is the concurrent multi-tag tracking engine: it runs the
+// multi-resolution vote → lobe-lock → trace pipeline (§5 of the paper) for
+// many tags at once by sharding work across worker goroutines.
+//
+// # Sharding model
+//
+// An Engine owns N shards, each a single goroutine with an inbox channel.
+// Every piece of work is keyed by tag identity (EPC), and a tag's key is
+// hashed (FNV-1a) to pick its home shard, so all of one tag's work — batch
+// traces and live report streams alike — executes sequentially on one
+// goroutine. Per-tag state (the realtime tracker, its lobe locks, its
+// sample buffer) is confined to that goroutine and never locked. The heavy
+// read-only structures — the deployment, the positioner with its
+// precomputed steering table, the tracer — live in one core.System shared
+// by all shards.
+//
+// Because a tag's pipeline is sequential on its home shard and runs
+// exactly the code the single-threaded path runs, per-tag output is
+// deterministic and identical for any shard count, including 1. The
+// synchronous single-tag Trace runs the same shared pipeline directly on
+// the caller's goroutine — semantically a 1-shard engine, without
+// serialising unrelated callers.
+//
+// # Concurrency contract
+//
+// TraceBatch and Trace are safe to call from any number of goroutines.
+// The streaming entry points Offer, OfferAll, Flush, Stats and Close
+// must be called from a single ingest goroutine (reports must be
+// time-ordered, which only a single caller can guarantee, and Stats
+// dispatches that goroutine's buffered reports before sampling). The
+// OnUpdate callback is invoked from shard goroutines — potentially
+// several at once — and must synchronise its own state.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"rfidraw/internal/core"
+	"rfidraw/internal/deploy"
+	"rfidraw/internal/realtime"
+	"rfidraw/internal/rfid"
+	"rfidraw/internal/tracing"
+)
+
+// Config assembles an Engine.
+type Config struct {
+	// Shards is the number of worker shards. Default GOMAXPROCS.
+	Shards int
+	// Deployment is the antenna deployment; nil uses the standard one.
+	Deployment *deploy.RFIDraw
+	// Core configures the shared positioning/tracing system.
+	Core core.Config
+
+	// SweepInterval is the readers' per-tag sweep period, required for
+	// the streaming path (Offer). With Gen-2 singulation splitting
+	// airtime across T tags, this is T × the reader's raw sweep period.
+	SweepInterval time.Duration
+	// MaxPhaseAge, WarmupSamples, ReacquireVote and ReacquireWindow are
+	// forwarded to each per-tag realtime tracker; zero values take the
+	// realtime package defaults.
+	MaxPhaseAge     time.Duration
+	WarmupSamples   int
+	ReacquireVote   float64
+	ReacquireWindow int
+
+	// OnUpdate receives live position updates from the streaming path.
+	// It is called from shard goroutines, possibly concurrently.
+	OnUpdate func(Update)
+	// BatchSize is how many streaming reports are buffered per shard
+	// before dispatch. Default 64 — right for replayed or collected
+	// streams; latency-sensitive live callers (a cursor) should set 1 so
+	// every report dispatches immediately, at the cost of one channel
+	// send per report.
+	BatchSize int
+}
+
+// Update is one live output notice: new positions for one tag.
+type Update struct {
+	// Tag is the tag key (EPC hex for wire-fed engines).
+	Tag string
+	// Positions are the newly estimated positions, in time order.
+	Positions []realtime.Position
+}
+
+// TagJob is one batch tracing job: a tag's full observation stream.
+type TagJob struct {
+	// Tag keys the job; jobs with equal keys run sequentially in order.
+	Tag string
+	// Samples is the tag's merged observation stream, in time order.
+	Samples []tracing.Sample
+}
+
+// TagResult is the outcome of one TagJob.
+type TagResult struct {
+	Tag    string
+	Result *core.TraceResult
+	Err    error
+}
+
+// TagStats describes one streamed tag's tracking state.
+type TagStats struct {
+	Tag            string
+	Positions      int
+	Started        bool
+	MeanVote       float64
+	Reacquisitions int
+	Err            error
+}
+
+// Engine is a sharded concurrent multi-tag tracker.
+type Engine struct {
+	cfg    Config
+	sys    *core.System
+	shards []*shard
+
+	// pending buffers streaming reports per shard between dispatches;
+	// owned by the ingest goroutine (see the concurrency contract).
+	pending []*[]rfid.Report
+	// batchPool recycles report batch slices between the ingest
+	// goroutine and the shards, keeping the streaming hot path
+	// allocation-free once warm.
+	batchPool sync.Pool
+	// dirty records whether any report has been offered since the last
+	// Flush; like pending it is owned by the ingest goroutine.
+	dirty bool
+	// mu guards shard-channel sends from TraceBatch (which any goroutine
+	// may call) against Close closing those channels: senders hold the
+	// read side, Close holds the write side while marking closed.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// New builds and starts an Engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	sys, err := core.NewSystem(cfg.Deployment, cfg.Core)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	e := &Engine{
+		cfg:     cfg,
+		sys:     sys,
+		shards:  make([]*shard, cfg.Shards),
+		pending: make([]*[]rfid.Report, cfg.Shards),
+	}
+	e.batchPool.New = func() any {
+		s := make([]rfid.Report, 0, cfg.BatchSize)
+		return &s
+	}
+	for i := range e.shards {
+		sh := &shard{
+			id:       i,
+			eng:      e,
+			in:       make(chan shardMsg, 16),
+			done:     make(chan struct{}),
+			trackers: map[rfid.EPC]*tagState{},
+		}
+		e.shards[i] = sh
+		go sh.loop()
+	}
+	return e, nil
+}
+
+// System exposes the shared read-only positioning system.
+func (e *Engine) System() *core.System { return e.sys }
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// shardFor hashes a tag key onto its home shard (FNV-1a 64).
+func (e *Engine) shardFor(key string) *shard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return e.shards[h%uint64(len(e.shards))]
+}
+
+// shardForEPC is shardFor over the EPC's raw bytes — the streaming path
+// routes every report through here, so it must not allocate (EPC.String
+// would build a garbage hex string per report).
+func (e *Engine) shardForEPC(epc rfid.EPC) *shard {
+	h := uint64(14695981039346656037)
+	for _, b := range epc {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return e.shards[h%uint64(len(e.shards))]
+}
+
+// TraceBatch runs every job's full vote → lobe-lock → trace pipeline,
+// jobs for different tags in parallel across shards, and returns results
+// aligned with jobs. Each result is identical to what the sequential
+// single-tag path produces for the same samples, for any shard count.
+func (e *Engine) TraceBatch(jobs []TagJob) []TagResult {
+	out := make([]TagResult, len(jobs))
+	var wg sync.WaitGroup
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		for i := range jobs {
+			out[i] = TagResult{Tag: jobs[i].Tag, Err: errors.New("engine: closed")}
+		}
+		return out
+	}
+	wg.Add(len(jobs))
+	for i := range jobs {
+		out[i].Tag = jobs[i].Tag
+		e.shardFor(jobs[i].Tag).in <- shardMsg{job: &traceJob{
+			samples: jobs[i].Samples,
+			out:     &out[i],
+			wg:      &wg,
+		}}
+	}
+	e.mu.RUnlock()
+	wg.Wait()
+	return out
+}
+
+// Trace is the synchronous single-tag path. It runs the shared system's
+// sequential pipeline directly on the caller's goroutine — exactly the
+// code a shard would run for a 1-job batch, without serialising unrelated
+// callers behind one shard's inbox.
+func (e *Engine) Trace(samples []tracing.Sample) (*core.TraceResult, error) {
+	return e.sys.Trace(samples)
+}
+
+// Offer ingests one live report, routing it to its tag's home shard.
+// Reports must arrive in non-decreasing time order.
+func (e *Engine) Offer(rep rfid.Report) error {
+	if e.closed {
+		return errors.New("engine: closed")
+	}
+	if e.cfg.SweepInterval <= 0 {
+		return errors.New("engine: Config.SweepInterval required for streaming")
+	}
+	sh := e.shardForEPC(rep.EPC)
+	buf := e.pending[sh.id]
+	if buf == nil {
+		buf = e.batchPool.Get().(*[]rfid.Report)
+		*buf = (*buf)[:0]
+		e.pending[sh.id] = buf
+	}
+	*buf = append(*buf, rep)
+	e.dirty = true
+	if len(*buf) >= e.cfg.BatchSize {
+		e.pending[sh.id] = nil
+		sh.in <- shardMsg{reports: buf}
+	}
+	return nil
+}
+
+// OfferAll ingests a time-ordered report slice.
+func (e *Engine) OfferAll(reports []rfid.Report) error {
+	for _, rep := range reports {
+		if err := e.Offer(rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dispatchPending pushes every buffered report batch to its shard.
+func (e *Engine) dispatchPending() {
+	for i, buf := range e.pending {
+		if buf == nil {
+			continue
+		}
+		e.pending[i] = nil
+		e.shards[i].in <- shardMsg{reports: buf}
+	}
+}
+
+// Flush dispatches buffered reports and closes every tracker's current
+// sweep (e.g. at end of stream), emitting any final positions through
+// OnUpdate. It blocks until all shards have drained. A Flush with nothing
+// offered since the previous one is a no-op.
+func (e *Engine) Flush() error {
+	if e.closed {
+		return errors.New("engine: closed")
+	}
+	if !e.dirty {
+		return nil
+	}
+	e.dirty = false
+	e.dispatchPending()
+	acks := make([]chan error, len(e.shards))
+	for i, sh := range e.shards {
+		acks[i] = make(chan error, 1)
+		sh.in <- shardMsg{flush: acks[i]}
+	}
+	var first error
+	for _, ack := range acks {
+		if err := <-ack; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats reports per-tag streaming state, sorted by tag key. It belongs
+// to the ingest goroutine (see the concurrency contract): it dispatches
+// any reports that goroutine has buffered so the snapshot is current.
+func (e *Engine) Stats() []TagStats {
+	if e.closed {
+		return nil
+	}
+	e.dispatchPending()
+	chans := make([]chan []TagStats, len(e.shards))
+	for i, sh := range e.shards {
+		chans[i] = make(chan []TagStats, 1)
+		sh.in <- shardMsg{stats: chans[i]}
+	}
+	var out []TagStats
+	for _, c := range chans {
+		out = append(out, <-c...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tag < out[j].Tag })
+	return out
+}
+
+// Close flushes, stops every shard and waits for them to exit. The engine
+// must not be used afterwards.
+func (e *Engine) Close() error {
+	if e.closed {
+		return nil
+	}
+	err := e.Flush()
+	e.mu.Lock()
+	e.closed = true
+	for _, sh := range e.shards {
+		close(sh.in)
+	}
+	e.mu.Unlock()
+	for _, sh := range e.shards {
+		<-sh.done
+	}
+	return err
+}

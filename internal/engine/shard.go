@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"rfidraw/internal/realtime"
+	"rfidraw/internal/rfid"
+	"rfidraw/internal/tracing"
+)
+
+// traceJob is one batch tracing unit of work.
+type traceJob struct {
+	samples []tracing.Sample
+	out     *TagResult
+	wg      *sync.WaitGroup
+}
+
+// shardMsg is a shard inbox message; exactly one field is set.
+type shardMsg struct {
+	// job runs one batch trace.
+	job *traceJob
+	// reports is a pooled streaming batch; the shard returns it to the
+	// engine's pool after processing.
+	reports *[]rfid.Report
+	// flush closes every tracker's current sweep and acks.
+	flush chan error
+	// stats asks for a snapshot of per-tag streaming state.
+	stats chan []TagStats
+}
+
+// tagState is one streamed tag's pipeline, confined to its home shard.
+type tagState struct {
+	tracker   *realtime.Tracker
+	positions int
+	err       error
+}
+
+// shard is one worker: a goroutine owning the per-tag state of every tag
+// hashed onto it.
+type shard struct {
+	id       int
+	eng      *Engine
+	in       chan shardMsg
+	done     chan struct{}
+	trackers map[rfid.EPC]*tagState
+}
+
+func (s *shard) loop() {
+	defer close(s.done)
+	for msg := range s.in {
+		switch {
+		case msg.job != nil:
+			res, err := s.eng.sys.Trace(msg.job.samples)
+			msg.job.out.Result, msg.job.out.Err = res, err
+			msg.job.wg.Done()
+		case msg.reports != nil:
+			for _, rep := range *msg.reports {
+				s.offer(rep)
+			}
+			s.eng.batchPool.Put(msg.reports)
+		case msg.flush != nil:
+			msg.flush <- s.flushTrackers()
+		case msg.stats != nil:
+			msg.stats <- s.collectStats()
+		}
+	}
+}
+
+// offer feeds one report into its tag's tracker, creating the tracker on
+// first sight — a tag appearing mid-stream simply starts its own pipeline
+// at its first report.
+func (s *shard) offer(rep rfid.Report) {
+	ts, ok := s.trackers[rep.EPC]
+	if !ok {
+		tracker, err := realtime.NewTracker(realtime.Config{
+			System:          s.eng.sys,
+			SweepInterval:   s.eng.cfg.SweepInterval,
+			MaxPhaseAge:     s.eng.cfg.MaxPhaseAge,
+			WarmupSamples:   s.eng.cfg.WarmupSamples,
+			ReacquireVote:   s.eng.cfg.ReacquireVote,
+			ReacquireWindow: s.eng.cfg.ReacquireWindow,
+		})
+		ts = &tagState{tracker: tracker}
+		if err != nil {
+			ts.err = fmt.Errorf("engine: tag %s: %w", rep.EPC, err)
+			ts.tracker = nil
+		}
+		s.trackers[rep.EPC] = ts
+	}
+	if ts.err != nil {
+		return // tag's pipeline failed terminally; drop its reports
+	}
+	ps, err := ts.tracker.Offer(rep)
+	s.emit(rep.EPC, ts, ps)
+	if err != nil {
+		ts.err = fmt.Errorf("engine: tag %s: %w", rep.EPC, err)
+	}
+}
+
+// emit forwards new positions to the engine's OnUpdate callback.
+func (s *shard) emit(epc rfid.EPC, ts *tagState, ps []realtime.Position) {
+	if len(ps) == 0 {
+		return
+	}
+	ts.positions += len(ps)
+	if s.eng.cfg.OnUpdate != nil {
+		s.eng.cfg.OnUpdate(Update{Tag: epc.String(), Positions: ps})
+	}
+}
+
+func (s *shard) flushTrackers() error {
+	var first error
+	for epc, ts := range s.trackers {
+		if ts.err != nil || ts.tracker == nil {
+			continue // already failed; reported via Stats
+		}
+		ps, err := ts.tracker.Flush()
+		s.emit(epc, ts, ps)
+		if err != nil {
+			ts.err = fmt.Errorf("engine: tag %s: %w", epc, err)
+			if first == nil {
+				first = ts.err
+			}
+		}
+	}
+	return first
+}
+
+func (s *shard) collectStats() []TagStats {
+	out := make([]TagStats, 0, len(s.trackers))
+	for epc, ts := range s.trackers {
+		st := TagStats{Tag: epc.String(), Positions: ts.positions, Err: ts.err}
+		if ts.tracker != nil {
+			st.Started = ts.tracker.Started()
+			st.MeanVote = ts.tracker.MeanVote()
+			st.Reacquisitions = ts.tracker.Reacquisitions()
+		}
+		out = append(out, st)
+	}
+	return out
+}

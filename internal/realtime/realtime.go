@@ -5,6 +5,16 @@
 // traced trajectory sample by sample, emitting each new position as it is
 // estimated — the mode a virtual touch screen runs in (§9's cursor
 // discussion).
+//
+// # Concurrency
+//
+// A Tracker is the single-tag stage of the live pipeline and is NOT safe
+// for concurrent use: it assumes one goroutine feeds it time-ordered
+// reports for one tag. Multi-tag tracking stacks on top of it — the
+// sharded engine (internal/engine) demultiplexes a mixed-EPC wire stream
+// and runs one Tracker per tag on the tag's home shard, so each Tracker
+// still sees a single goroutine. Use the engine for anything beyond one
+// tag; use a bare Tracker when embedding a single-tag pipeline.
 package realtime
 
 import (

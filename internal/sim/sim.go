@@ -224,6 +224,122 @@ func (s *Scenario) RunWord(text string, start geom.Vec2, style handwriting.Style
 	return &WordRun{Word: word, Truth: truth, SamplesRF: samplesRF, SamplesBL: samplesBL}, nil
 }
 
+// MultiWordRun is the result of several users writing words at the same
+// time, each with their own tag. Gen-2 singulation splits each reader's
+// airtime round-robin across the tags, so per-tag read rate divides by the
+// user count — the scaling regime §2 of the paper claims and the
+// concurrent engine is built for.
+type MultiWordRun struct {
+	// Tags are the per-user tags; Tags[0] is the scenario's own tag.
+	Tags []rfid.Tag
+	// Words are the written words, aligned with Tags.
+	Words []handwriting.Word
+	// Truths are the VICON-captured ground-truth trajectories.
+	Truths []traj.Trajectory
+	// SamplesRF[i] is tag i's merged per-sweep observation stream over
+	// RF-IDraw's eight antennas — the batch pipeline's input.
+	SamplesRF [][]tracing.Sample
+	// ReportsRF[r] is RF reader r's raw interleaved reply stream with all
+	// tags mixed together, in time order — what a real reader delivers on
+	// the wire and what the streaming engine demultiplexes.
+	ReportsRF [][]rfid.Report
+	// SweepInterval is the readers' sweep period; each tag is visited
+	// every len(Tags) sweeps.
+	SweepInterval time.Duration
+}
+
+// RunWords simulates len(texts) users writing concurrently, user i
+// starting text i at starts[i] with a per-user random style. It returns
+// both the per-tag merged sample streams and the raw per-reader report
+// streams.
+func (s *Scenario) RunWords(texts []string, starts []geom.Vec2) (*MultiWordRun, error) {
+	if len(texts) == 0 || len(texts) != len(starts) {
+		return nil, fmt.Errorf("sim: RunWords needs matching texts (%d) and starts (%d)", len(texts), len(starts))
+	}
+	n := len(texts)
+	run := &MultiWordRun{
+		Tags:   make([]rfid.Tag, n),
+		Words:  make([]handwriting.Word, n),
+		Truths: make([]traj.Trajectory, n),
+	}
+	tracks := make([]func(time.Duration) geom.Vec3, n)
+	var dur time.Duration
+	for i := range texts {
+		if i == 0 {
+			run.Tags[i] = s.Tag
+		} else {
+			run.Tags[i] = rfid.NewTag(s.rng)
+		}
+		word, err := handwriting.Write(texts[i], starts[i], handwriting.RandomStyle(s.rng), s.rng)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		truth, err := vicon.Capture(word.Traj, vicon.DefaultConfig(), s.rng)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		run.Words[i] = word
+		run.Truths[i] = truth
+		wt := word.Traj
+		tracks[i] = func(t time.Duration) geom.Vec3 {
+			p, err := wt.At(t)
+			if err != nil {
+				return geom.Vec3{}
+			}
+			return s.Plane.To3D(p)
+		}
+		if d := word.Traj.Duration(); d > dur {
+			dur = d
+		}
+	}
+	dur += 100 * time.Millisecond
+
+	sweep := s.readersRF[0].Config().SweepInterval
+	run.SweepInterval = sweep
+	// With airtime split N ways a tag is revisited every N sweeps, so the
+	// safe last-known-phase hold scales accordingly (cf. the 2-sweep hold
+	// of single-tag observation).
+	maxAge := 2*time.Duration(n)*sweep + 5*time.Millisecond
+	run.ReportsRF = make([][]rfid.Report, len(s.readersRF))
+	merged := make([]map[time.Duration]vote.Observations, n)
+	for i := range merged {
+		merged[i] = map[time.Duration]vote.Observations{}
+	}
+	for ri, r := range s.readersRF {
+		reports, err := r.InventoryMulti(dur, run.Tags, tracks, s.rng)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		run.ReportsRF[ri] = reports
+		for ti, tag := range run.Tags {
+			for _, snap := range rfid.GroupSweeps(reports, tag.EPC, sweep, maxAge) {
+				obs, ok := merged[ti][snap.Time]
+				if !ok {
+					obs = vote.Observations{}
+					merged[ti][snap.Time] = obs
+				}
+				for id, ph := range snap.Phase {
+					obs[id] = ph
+				}
+			}
+		}
+	}
+	run.SamplesRF = make([][]tracing.Sample, n)
+	for ti := range run.Tags {
+		var out []tracing.Sample
+		for t := time.Duration(0); t <= dur; t += sweep {
+			if obs, ok := merged[ti][t]; ok {
+				out = append(out, tracing.Sample{T: t, Phase: obs})
+			}
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("sim: no observations for tag %d (out of range?)", ti)
+		}
+		run.SamplesRF[ti] = out
+	}
+	return run, nil
+}
+
 // StaticRun produces observation streams for a stationary tag, used by the
 // positioning (Fig. 6/12) experiments.
 func (s *Scenario) StaticRun(pos geom.Vec2, dur time.Duration) (rf, bl []tracing.Sample, err error) {

@@ -147,3 +147,57 @@ func TestFarTagMostlyLost(t *testing.T) {
 		}
 	}
 }
+
+func TestRunWordsMultiTag(t *testing.T) {
+	s, err := New(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := s.RunWords([]string{"hi", "go", "on"},
+		[]geom.Vec2{{X: 0.4, Z: 1.3}, {X: 1.6, Z: 0.7}, {X: 1.0, Z: 1.6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Tags) != 3 || len(run.SamplesRF) != 3 {
+		t.Fatalf("got %d tags, %d sample streams", len(run.Tags), len(run.SamplesRF))
+	}
+	if run.Tags[0].EPC != s.Tag.EPC {
+		t.Fatal("tag 0 should be the scenario's own tag")
+	}
+	seen := map[string]bool{}
+	for i, tag := range run.Tags {
+		if seen[tag.EPC.String()] {
+			t.Fatalf("duplicate EPC %s", tag.EPC)
+		}
+		seen[tag.EPC.String()] = true
+		if len(run.SamplesRF[i]) < 10 {
+			t.Fatalf("tag %d has only %d samples", i, len(run.SamplesRF[i]))
+		}
+	}
+	// Raw streams: one per reader, in time order, with all three EPCs.
+	if len(run.ReportsRF) != 2 {
+		t.Fatalf("got %d report streams", len(run.ReportsRF))
+	}
+	for ri, reports := range run.ReportsRF {
+		epcs := map[string]bool{}
+		for i, rep := range reports {
+			if i > 0 && rep.Time < reports[i-1].Time {
+				t.Fatalf("reader %d reports out of order at %d", ri, i)
+			}
+			epcs[rep.EPC.String()] = true
+		}
+		if len(epcs) != 3 {
+			t.Fatalf("reader %d heard %d tags, want 3", ri, len(epcs))
+		}
+	}
+}
+
+func TestRunWordsMismatchedInputs(t *testing.T) {
+	s, err := New(Config{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunWords([]string{"hi"}, nil); err == nil {
+		t.Fatal("mismatched texts/starts should error")
+	}
+}

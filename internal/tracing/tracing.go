@@ -11,6 +11,15 @@
 //     uses to pick the best candidate: wrong initial positions produce
 //     lobes that stop intersecting coherently and their vote collapses
 //     (Fig. 10f).
+//
+// # Concurrency
+//
+// A Tracer is immutable after construction; Trace and TraceBest allocate
+// all per-trace state on the call stack, so one Tracer may be shared by
+// any number of goroutines — the multi-tag engine's shards trace
+// different tags through one Tracer concurrently. A Stream, by contrast,
+// carries mutable lobe-lock and unwrap state for one live trace and must
+// be confined to a single goroutine.
 package tracing
 
 import (

@@ -1,0 +1,84 @@
+package vote
+
+import (
+	"fmt"
+	"math"
+
+	"rfidraw/internal/antenna"
+	"rfidraw/internal/geom"
+)
+
+// SteeringTable is a precomputed beam-geometry cache: for a fixed writing
+// plane and grid, it stores each antenna pair's geometric observable
+// F·Δd/λ (the left-hand side of Eq. 2, in turns) at every grid point,
+// together with the pair's lobe-index clamp. The values depend only on the
+// deployment geometry — not on any measurement — so one table can be built
+// per deployment and shared read-only by any number of goroutines.
+//
+// Voting a pair on a grid point then reduces to one subtraction, one
+// rounding and one multiply (Eq. 7), replacing the two 3-D distance
+// evaluations (square roots) the direct antenna.Pair.VoteFree path performs
+// per point per sample. This is the lookup table the concurrent engine's
+// shards share.
+type SteeringTable struct {
+	grid Grid
+	// turns is laid out [pair][grid point], row-major in the grid's
+	// x-fastest order, so a pair's sweep over the grid is one contiguous
+	// cache-friendly walk.
+	turns [][]float64
+	// maxK[p] is pairs[p].MaxLobeIndex() as a float, hoisted out of the
+	// inner loop.
+	maxK []float64
+}
+
+// NewSteeringTable precomputes the steering values of every pair over the
+// grid in the given plane. The result is immutable and safe for concurrent
+// use.
+func NewSteeringTable(pairs []antenna.Pair, grid Grid, plane geom.Plane) *SteeringTable {
+	t := &SteeringTable{
+		grid:  grid,
+		turns: make([][]float64, len(pairs)),
+		maxK:  make([]float64, len(pairs)),
+	}
+	n := grid.Len()
+	for pi, p := range pairs {
+		row := make([]float64, n)
+		for i := 0; i < n; i++ {
+			row[i] = p.DeltaDistTurns(plane.To3D(grid.At(i)))
+		}
+		t.turns[pi] = row
+		t.maxK[pi] = float64(p.MaxLobeIndex())
+	}
+	return t
+}
+
+// Grid returns the grid the table was built over.
+func (t *SteeringTable) Grid() Grid { return t.grid }
+
+// Pairs returns how many pair rows the table holds.
+func (t *SteeringTable) Pairs() int { return len(t.turns) }
+
+// AccumulateVotes adds pair p's free-lobe vote (Eq. 7) for the measured
+// phase difference to every element of score, which must have exactly one
+// slot per grid point. Accumulating pair-by-pair keeps each table row's
+// walk contiguous; summing pairs in caller order leaves the floating-point
+// result identical to the direct per-point evaluation.
+func (t *SteeringTable) AccumulateVotes(p int, measuredTurns float64, score []float64) error {
+	row := t.turns[p]
+	if len(score) != len(row) {
+		return fmt.Errorf("vote: score buffer has %d slots for a %d-point table", len(score), len(row))
+	}
+	maxK := t.maxK[p]
+	for i, tt := range row {
+		frac := tt - measuredTurns
+		k := math.Round(frac)
+		if k > maxK {
+			k = maxK
+		} else if k < -maxK {
+			k = -maxK
+		}
+		r := frac - k
+		score[i] -= r * r
+	}
+	return nil
+}

@@ -12,6 +12,15 @@
 // A pair's vote on a point is the negated squared distance, in turns,
 // between the point's Δd·F/λ and the grating lobe nearest the measured
 // phase difference (Eq. 6/7).
+//
+// # Concurrency
+//
+// A Positioner is immutable after construction: its pair lists, the
+// precomputed stage-1 SteeringTable, and its configuration never change,
+// and per-call scratch comes from an internal sync.Pool. Candidates,
+// ScoreAt and VoteMap are therefore safe to call concurrently from any
+// number of goroutines — the multi-tag engine's shards share one
+// Positioner per deployment.
 package vote
 
 import (
@@ -19,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"rfidraw/internal/antenna"
 	"rfidraw/internal/geom"
@@ -139,6 +149,16 @@ type Positioner struct {
 	// allPairs are every pair (wide + coarse) used for the stage-2 vote.
 	allPairs []antenna.Pair
 	cfg      Config
+
+	// coarseGrid and table are built once at construction: the stage-1
+	// full-region scan is the positioning hot path, and the steering
+	// values it needs depend only on geometry, so they are precomputed
+	// and shared read-only across goroutines.
+	coarseGrid Grid
+	table      *SteeringTable
+	// scratch pools stage-1 score buffers (one float64 per coarse grid
+	// point) so repeated Candidates calls on the hot path do not allocate.
+	scratch sync.Pool
 }
 
 // NewPositioner builds a Positioner. stage1Pairs build the coarse filter;
@@ -157,23 +177,40 @@ func NewPositioner(stage1Pairs, widePairs []antenna.Pair, cfg Config) (*Position
 	all := make([]antenna.Pair, 0, len(stage1Pairs)+len(widePairs))
 	all = append(all, stage1Pairs...)
 	all = append(all, widePairs...)
-	return &Positioner{stage1Pairs: stage1Pairs, allPairs: all, cfg: cfg}, nil
+	grid, err := NewGrid(cfg.Region, cfg.CoarseRes)
+	if err != nil {
+		return nil, err
+	}
+	p := &Positioner{
+		stage1Pairs: stage1Pairs,
+		allPairs:    all,
+		cfg:         cfg,
+		coarseGrid:  grid,
+		table:       NewSteeringTable(stage1Pairs, grid, cfg.Plane),
+	}
+	p.scratch.New = func() any {
+		s := make([]float64, grid.Len())
+		return &s
+	}
+	return p, nil
 }
 
 // Config returns the effective (defaulted) configuration.
 func (p *Positioner) Config() Config { return p.cfg }
 
-// pairObs is a pair together with its observed phase difference.
+// pairObs is a pair together with its observed phase difference and its
+// index in the pair slice it was collected from (the steering-table row).
 type pairObs struct {
 	pair  antenna.Pair
 	turns float64
+	idx   int
 }
 
 func collect(pairs []antenna.Pair, obs Observations) []pairObs {
 	out := make([]pairObs, 0, len(pairs))
-	for _, pr := range pairs {
+	for i, pr := range pairs {
 		if t, ok := PairTurns(pr, obs); ok {
-			out = append(out, pairObs{pair: pr, turns: t})
+			out = append(out, pairObs{pair: pr, turns: t, idx: i})
 		}
 	}
 	return out
@@ -218,15 +255,24 @@ func (p *Positioner) Candidates(obs Observations) ([]Candidate, error) {
 		return nil, fmt.Errorf("vote: only %d total pairs observed, need ≥3", len(all))
 	}
 
-	// Stage 1: coarse filter over the full region.
-	grid, err := NewGrid(p.cfg.Region, p.cfg.CoarseRes)
-	if err != nil {
-		return nil, err
+	// Stage 1: coarse filter over the full region, evaluated against the
+	// precomputed steering table pair-row by pair-row. Accumulating in
+	// observed-pair order keeps the floating-point sums identical to the
+	// direct per-point evaluation.
+	grid := p.coarseGrid
+	sp := p.scratch.Get().(*[]float64)
+	defer p.scratch.Put(sp)
+	score1 := *sp
+	for i := range score1 {
+		score1[i] = 0
 	}
-	score1 := make([]float64, grid.Len())
+	for _, o := range stage1 {
+		if err := p.table.AccumulateVotes(o.idx, o.turns, score1); err != nil {
+			return nil, err
+		}
+	}
 	best1 := math.Inf(-1)
 	for i := range score1 {
-		score1[i] = totalVote(grid.At(i), p.cfg.Plane, stage1)
 		if score1[i] > best1 {
 			best1 = score1[i]
 		}

@@ -26,6 +26,14 @@
 //	    fmt.Println(p.Time, p.X, p.Z)
 //	}
 //
+// # Multi-tag tracking
+//
+// Every System is backed by the sharded concurrent engine
+// (internal/engine). Trace is the synchronous single-tag path — a 1-shard
+// engine under the hood — while TraceMany fans per-tag observation
+// streams out across Config.Shards worker shards and traces them in
+// parallel, with per-tag output identical to the sequential path.
+//
 // See the examples/ directory for full programs, and internal/ for the
 // substrates (channel model, RFID reader simulator, AoA baseline,
 // handwriting workload, recognizer, experiment harness).
@@ -34,10 +42,12 @@ package rfidraw
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"rfidraw/internal/core"
 	"rfidraw/internal/deploy"
+	"rfidraw/internal/engine"
 	"rfidraw/internal/geom"
 	"rfidraw/internal/tracing"
 	"rfidraw/internal/vote"
@@ -115,12 +125,17 @@ type Config struct {
 	CandidateCount int
 	// CarrierHz overrides the 922 MHz default carrier.
 	CarrierHz float64
+	// Shards is how many worker shards the backing engine runs; tags are
+	// hashed across them, so it bounds how many tags are traced in
+	// parallel by TraceMany. Default 1 (fully synchronous, the
+	// single-threaded path).
+	Shards int
 }
 
 // System is a configured RF-IDraw instance for the standard two-reader,
-// eight-antenna deployment.
+// eight-antenna deployment. A System is safe for concurrent use.
 type System struct {
-	inner *core.System
+	eng   *engine.Engine
 	plane geom.Plane
 }
 
@@ -140,23 +155,36 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner, err := core.NewSystem(dep, core.Config{
-		Plane:          geom.Plane{Y: cfg.PlaneDistanceM},
-		Region:         region,
-		CandidateCount: cfg.CandidateCount,
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	eng, err := engine.New(engine.Config{
+		Shards:     shards,
+		Deployment: dep,
+		Core: core.Config{
+			Plane:          geom.Plane{Y: cfg.PlaneDistanceM},
+			Region:         region,
+			CandidateCount: cfg.CandidateCount,
+		},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("rfidraw: %w", err)
 	}
-	return &System{inner: inner, plane: geom.Plane{Y: cfg.PlaneDistanceM}}, nil
+	return &System{eng: eng, plane: geom.Plane{Y: cfg.PlaneDistanceM}}, nil
 }
+
+// Close stops the backing engine's worker shards. A System remains usable
+// until Closed; Close is optional for short-lived programs but releases
+// the shard goroutines of long-lived ones.
+func (s *System) Close() error { return s.eng.Close() }
 
 // AntennaPositions returns the deployment's antenna wall positions keyed
 // by antenna ID, as (x, z) on the wall plane. Useful for installation and
 // plotting.
 func (s *System) AntennaPositions() map[int]Point {
 	out := make(map[int]Point)
-	for _, a := range s.inner.Deployment().Antennas {
+	for _, a := range s.eng.System().Deployment().Antennas {
 		out[a.ID] = Point{X: a.Pos.X, Z: a.Pos.Z}
 	}
 	return out
@@ -165,7 +193,7 @@ func (s *System) AntennaPositions() map[int]Point {
 // Localize runs one-shot multi-resolution positioning on a single sample
 // and returns candidate positions, best first.
 func (s *System) Localize(sample Sample) ([]Candidate, error) {
-	cands, err := s.inner.Localize(vote.Observations(sample.Phases))
+	cands, err := s.eng.System().Localize(vote.Observations(sample.Phases))
 	if err != nil {
 		return nil, fmt.Errorf("rfidraw: %w", err)
 	}
@@ -178,18 +206,63 @@ func (s *System) Localize(sample Sample) ([]Candidate, error) {
 
 // Trace reconstructs the tag's trajectory from an observation stream.
 // Samples must be in time order; gaps from reply loss are tolerated.
+// It is the synchronous single-tag path: the engine's shared sequential
+// pipeline on the caller's goroutine, with output identical to what
+// TraceMany produces for the same samples.
 func (s *System) Trace(samples []Sample) (*Result, error) {
 	if len(samples) == 0 {
 		return nil, errors.New("rfidraw: no samples")
 	}
+	res, err := s.eng.Trace(convertSamples(samples))
+	if err != nil {
+		return nil, fmt.Errorf("rfidraw: %w", err)
+	}
+	return convertResult(res), nil
+}
+
+// TraceMany reconstructs several tags' trajectories concurrently: streams
+// is keyed by tag identity (e.g. EPC hex), and each tag's samples are
+// traced on the tag's home shard. Per-tag results are identical to what
+// Trace returns for the same samples. Tags whose trace fails are reported
+// in the joined error; the returned map holds every success.
+func (s *System) TraceMany(streams map[string][]Sample) (map[string]*Result, error) {
+	if len(streams) == 0 {
+		return nil, errors.New("rfidraw: no streams")
+	}
+	keys := make([]string, 0, len(streams))
+	for k := range streams {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	jobs := make([]engine.TagJob, 0, len(keys))
+	var errs []error
+	for _, k := range keys {
+		if len(streams[k]) == 0 {
+			errs = append(errs, fmt.Errorf("rfidraw: tag %q has no samples", k))
+			continue
+		}
+		jobs = append(jobs, engine.TagJob{Tag: k, Samples: convertSamples(streams[k])})
+	}
+	out := make(map[string]*Result, len(jobs))
+	for _, r := range s.eng.TraceBatch(jobs) {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("rfidraw: tag %q: %w", r.Tag, r.Err))
+			continue
+		}
+		out[r.Tag] = convertResult(r.Result)
+	}
+	return out, errors.Join(errs...)
+}
+
+func convertSamples(samples []Sample) []tracing.Sample {
 	in := make([]tracing.Sample, len(samples))
 	for i, smp := range samples {
 		in[i] = tracing.Sample{T: smp.Time, Phase: vote.Observations(smp.Phases)}
 	}
-	res, err := s.inner.Trace(in)
-	if err != nil {
-		return nil, fmt.Errorf("rfidraw: %w", err)
-	}
+	return in
+}
+
+func convertResult(res *core.TraceResult) *Result {
 	out := &Result{
 		Trajectory:      convertTrajectory(res.Best),
 		InitialPosition: Point{X: res.InitialPosition().X, Z: res.InitialPosition().Z},
@@ -204,7 +277,7 @@ func (s *System) Trace(samples []Sample) (*Result, error) {
 			TotalVote: tr.TotalVote,
 		}
 	}
-	return out, nil
+	return out
 }
 
 func convertTrajectory(r tracing.Result) []TracePoint {

@@ -163,3 +163,79 @@ func TestSampleTimesPreserved(t *testing.T) {
 		prev = p.Time
 	}
 }
+
+// TestTraceManyMatchesTrace checks the concurrent multi-tag path returns,
+// per tag, exactly what the synchronous path returns.
+func TestTraceManyMatchesTrace(t *testing.T) {
+	sc, err := sim.New(sim.Config{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sc.RunWords([]string{"hi", "go", "on"},
+		[]geom.Vec2{{X: 0.4, Z: 1.3}, {X: 1.6, Z: 0.7}, {X: 1.0, Z: 1.6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := map[string][]Sample{}
+	for i, tag := range run.Tags {
+		ss := make([]Sample, len(run.SamplesRF[i]))
+		for j, s := range run.SamplesRF[i] {
+			ss[j] = Sample{Time: s.T, Phases: map[int]float64(s.Phase)}
+		}
+		streams[tag.EPC.String()] = ss
+	}
+
+	par, err := New(Config{PlaneDistanceM: 2, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	many, err := par.TraceMany(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(many) != len(streams) {
+		t.Fatalf("traced %d tags, want %d", len(many), len(streams))
+	}
+
+	seq, err := New(Config{PlaneDistanceM: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seq.Close()
+	for key, samples := range streams {
+		want, err := seq.Trace(samples)
+		if err != nil {
+			t.Fatalf("tag %s: %v", key, err)
+		}
+		got := many[key]
+		if got == nil {
+			t.Fatalf("tag %s missing from TraceMany", key)
+		}
+		if len(got.Trajectory) != len(want.Trajectory) {
+			t.Fatalf("tag %s: %d points vs %d sequential", key, len(got.Trajectory), len(want.Trajectory))
+		}
+		for i := range got.Trajectory {
+			if got.Trajectory[i] != want.Trajectory[i] {
+				t.Fatalf("tag %s point %d: %+v != %+v", key, i, got.Trajectory[i], want.Trajectory[i])
+			}
+		}
+		if got.InitialPosition != want.InitialPosition || got.Chosen != want.Chosen {
+			t.Fatalf("tag %s: initial/chosen mismatch", key)
+		}
+	}
+}
+
+func TestTraceManyValidation(t *testing.T) {
+	sys, err := New(Config{PlaneDistanceM: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.TraceMany(nil); err == nil {
+		t.Fatal("empty stream map should error")
+	}
+	if _, err := sys.TraceMany(map[string][]Sample{"x": nil}); err == nil {
+		t.Fatal("empty per-tag stream should error")
+	}
+}
