@@ -31,6 +31,7 @@ import (
 	"rfidraw/internal/recognition"
 	"rfidraw/internal/rfid"
 	"rfidraw/internal/sim"
+	"rfidraw/internal/tracing"
 	"rfidraw/internal/traj"
 	"rfidraw/internal/vote"
 )
@@ -230,7 +231,13 @@ func benchObservation(b *testing.B, seed int64) (vote.Observations, geom.Vec2, *
 // well as the truth).
 func BenchmarkAblationNoCoarseFilter(b *testing.B) {
 	obs, src, dep := benchObservation(b, 101)
-	cfg := vote.Config{Plane: geom.Plane{Y: 2}, Region: deploy.DefaultRegion(), CandidateCount: 6}
+	// Dense search: the wide-only arm measures raw grating-lobe
+	// ambiguity, which the hierarchical search's peak-group selection
+	// would reshape (see the same override in experiments/ablation.go).
+	cfg := vote.Config{
+		Plane: geom.Plane{Y: 2}, Region: deploy.DefaultRegion(), CandidateCount: 6,
+		Search: vote.SearchConfig{Mode: vote.SearchDense},
+	}
 	full, err := vote.NewPositioner(dep.Stage1Pairs(), dep.WidePairs, cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -565,5 +572,49 @@ func BenchmarkChannelMeasure(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sc.Env.Measure(ant, tag, 0, rng)
+	}
+}
+
+// —— Search strategy benches ———————————————————————————————————————————————
+
+// BenchmarkSearchModes compares the dense reference scan and the
+// hierarchical coarse-to-fine search on the full pipeline at 1/8/64 tags
+// (single shard, so ns/op compares algorithms rather than parallelism).
+// grid-evals/sample is the steady-state tracking cost the hierarchical
+// search exists to cut; the ≥5x reduction is asserted by
+// TestHierarchicalMatchesDenseOnCorpus and visible here per tag count.
+func BenchmarkSearchModes(b *testing.B) {
+	for _, mode := range []vote.SearchMode{vote.SearchDense, vote.SearchHierarchical} {
+		for _, tags := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("mode=%s/tags=%d", mode, tags), func(b *testing.B) {
+				jobs := benchEngineJobs(b, tags)
+				eng, err := engine.New(engine.Config{
+					Shards: 1,
+					Core: core.Config{
+						Plane: geom.Plane{Y: 2}, Region: deploy.DefaultRegion(),
+						Vote:  vote.Config{Search: vote.SearchConfig{Mode: mode}},
+						Trace: tracing.Config{Search: vote.SearchConfig{Mode: mode}},
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer eng.Close()
+				b.ResetTimer()
+				var evals, samples int
+				for i := 0; i < b.N; i++ {
+					for _, r := range eng.TraceBatch(jobs) {
+						if r.Err != nil {
+							b.Fatal(r.Err)
+						}
+						evals += r.Result.Best.SearchEvals
+						samples += len(r.Result.Best.Votes)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(evals)/float64(samples), "grid-evals/sample")
+				b.ReportMetric(float64(b.N)*float64(len(jobs))/b.Elapsed().Seconds(), "tag-traces/s")
+			})
+		}
 	}
 }

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: rfidraw
+cpu: Test CPU
+BenchmarkEngineMultiTag/tags=8/shards=1-8         	       3	 120000000 ns/op	        66.67 tag-traces/s
+BenchmarkEngineMultiTag/tags=8/shards=1-8         	       3	 110000000 ns/op	        72.73 tag-traces/s
+BenchmarkEngineMultiTag/tags=8/shards=1-8         	       3	 130000000 ns/op	        61.54 tag-traces/s
+BenchmarkLocalizeSingleSample-8                   	     100	   9000000 ns/op	     512 B/op	       4 allocs/op
+PASS
+ok  	rfidraw	12.345s
+`
+
+func TestParseCollapsesRepetitionsToBest(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleOutput), "2026-07-28")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(f.Benchmarks))
+	}
+	multi := f.Benchmarks[0]
+	if multi.Name != "BenchmarkEngineMultiTag/tags=8/shards=1" {
+		t.Fatalf("name = %q (procs suffix should be stripped)", multi.Name)
+	}
+	if multi.NsPerOp != 110000000 {
+		t.Fatalf("ns/op = %v, want the best repetition 1.1e8", multi.NsPerOp)
+	}
+	if got := multi.Metrics["tag-traces/s"]; got != 72.73 {
+		t.Fatalf("custom metric = %v, want the best repetition's 72.73", got)
+	}
+	loc := f.Benchmarks[1]
+	if loc.BytesPerOp != 512 || loc.AllocsPerOp != 4 {
+		t.Fatalf("benchmem fields = %v B/op, %v allocs/op", loc.BytesPerOp, loc.AllocsPerOp)
+	}
+	if f.Schema != 1 || f.Date != "2026-07-28" {
+		t.Fatalf("file header: %+v", f)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX-8  3  nope ns/op\n"), "d"); err == nil {
+		t.Fatal("want error for unparsable value")
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":            "BenchmarkFoo",
+		"BenchmarkFoo/tags=8-64":    "BenchmarkFoo/tags=8",
+		"BenchmarkFoo/shards=1":     "BenchmarkFoo/shards=1",
+		"BenchmarkFoo/tags=8/x-128": "BenchmarkFoo/tags=8/x",
+	} {
+		if got := NormalizeName(in); got != want {
+			t.Errorf("NormalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func mkFile(ns float64) *File {
+	return &File{
+		Schema: 1, Date: "2026-07-28", Go: "go1.24.0",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkEngineMultiTag/tags=8/shards=1", N: 3, NsPerOp: ns},
+			{Name: "BenchmarkOther", N: 10, NsPerOp: 50},
+		},
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	report, failed := Compare(mkFile(100), mkFile(115), "EngineMultiTag/tags=8", 0.20)
+	if failed {
+		t.Fatalf("15%% should pass a 20%% gate:\n%s", report)
+	}
+	if !strings.Contains(report, "ok") || !strings.Contains(report, "+15.0%") {
+		t.Fatalf("report missing comparison:\n%s", report)
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	report, failed := Compare(mkFile(100), mkFile(130), "EngineMultiTag/tags=8", 0.20)
+	if !failed {
+		t.Fatalf("30%% regression should fail a 20%% gate:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSED") {
+		t.Fatalf("report missing REGRESSED marker:\n%s", report)
+	}
+}
+
+func TestCompareGatesOnlyMatchingBenchmarks(t *testing.T) {
+	cur := mkFile(100)
+	cur.Benchmarks[1].NsPerOp = 500 // 10x regression on the unmatched one
+	if report, failed := Compare(mkFile(100), cur, "EngineMultiTag/tags=8", 0.20); failed {
+		t.Fatalf("unmatched benchmark must not fail the gate:\n%s", report)
+	}
+	if _, failed := Compare(mkFile(100), cur, "", 0.20); !failed {
+		t.Fatal("empty match should gate every benchmark")
+	}
+}
+
+func TestCompareNoOverlapWarnsButPasses(t *testing.T) {
+	other := &File{Benchmarks: []Benchmark{{Name: "BenchmarkElsewhere", NsPerOp: 1}}}
+	report, failed := Compare(mkFile(100), other, "EngineMultiTag", 0.20)
+	if failed {
+		t.Fatalf("no overlap should not fail:\n%s", report)
+	}
+	if !strings.Contains(report, "WARNING") {
+		t.Fatalf("report missing no-overlap warning:\n%s", report)
+	}
+}
+
+func TestParseRecordsCPU(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleOutput), "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.CPU != "Test CPU" {
+		t.Fatalf("cpu = %q, want %q", f.CPU, "Test CPU")
+	}
+}
+
+func TestCompareDifferentCPUIsInformational(t *testing.T) {
+	baseline := mkFile(100)
+	baseline.CPU = "Dev Workstation"
+	cur := mkFile(200) // 100% slower — would fail on same hardware
+	cur.CPU = "CI Runner"
+	report, failed := Compare(baseline, cur, "EngineMultiTag/tags=8", 0.20)
+	if failed {
+		t.Fatalf("cross-CPU comparison must not fail the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "not comparable") || !strings.Contains(report, "slower") {
+		t.Fatalf("report missing cross-CPU downgrade:\n%s", report)
+	}
+	cur.CPU = baseline.CPU
+	if _, failed := Compare(baseline, cur, "EngineMultiTag/tags=8", 0.20); !failed {
+		t.Fatal("same-CPU regression must fail the gate")
+	}
+}

@@ -42,10 +42,46 @@ func main() {
 		nlos   = flag.Bool("nlos", false, "use the non-line-of-sight environment")
 	)
 	flag.Parse()
+	if err := validateFlags(*listen, *reader, *word, *tags, *dist, *pace); err != nil {
+		fmt.Fprintln(os.Stderr, "readerd: invalid flags:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if err := run(*listen, *reader, *word, *tags, *seed, *dist, *pace, *nlos); err != nil {
 		fmt.Fprintln(os.Stderr, "readerd:", err)
 		os.Exit(1)
 	}
+}
+
+// validateFlags rejects malformed flag combinations before the scenario is
+// built or the listener opened.
+func validateFlags(listen, reader, word string, tags int, dist, pace float64) error {
+	if strings.TrimSpace(listen) == "" {
+		return fmt.Errorf("-listen must name a TCP address")
+	}
+	switch strings.ToUpper(reader) {
+	case "A", "B":
+	default:
+		return fmt.Errorf("-reader %q must be A or B", reader)
+	}
+	if strings.TrimSpace(word) == "" {
+		return fmt.Errorf("-word must not be empty")
+	}
+	if tags < 1 {
+		return fmt.Errorf("-tags %d needs at least one tag", tags)
+	}
+	// The start-position grid in run has 12 distinct slots; more writers
+	// than that would overlap in space.
+	if tags > 12 {
+		return fmt.Errorf("-tags %d exceeds the 12 supported simultaneous writers", tags)
+	}
+	if dist <= 0 {
+		return fmt.Errorf("-dist %v must be a positive distance in metres", dist)
+	}
+	if pace < 0 {
+		return fmt.Errorf("-pace %v must be ≥ 0 (0 = unpaced)", pace)
+	}
+	return nil
 }
 
 // extraWords cycles for users beyond the first; short words keep multi-tag

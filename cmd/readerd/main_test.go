@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestValidateFlags(t *testing.T) {
+	ok := func(name, listen, reader, word string, tags int, dist, pace float64) {
+		t.Run(name, func(t *testing.T) {
+			if err := validateFlags(listen, reader, word, tags, dist, pace); err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		})
+	}
+	bad := func(name, listen, reader, word string, tags int, dist, pace float64) {
+		t.Run(name, func(t *testing.T) {
+			if err := validateFlags(listen, reader, word, tags, dist, pace); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+	ok("defaults", "127.0.0.1:7011", "A", "clear", 1, 2, 1)
+	ok("reader b lowercase", ":7011", "b", "go", 12, 3, 0)
+	bad("zero tags", ":7011", "A", "go", 0, 2, 1)
+	bad("negative tags", ":7011", "A", "go", -4, 2, 1)
+	bad("too many tags", ":7011", "A", "go", 13, 2, 1)
+	bad("bad reader", ":7011", "C", "go", 1, 2, 1)
+	bad("empty listen", " ", "A", "go", 1, 2, 1)
+	bad("empty word", ":7011", "A", "  ", 1, 2, 1)
+	bad("zero dist", ":7011", "A", "go", 1, 0, 1)
+	bad("negative pace", ":7011", "A", "go", 1, 2, -1)
+}

@@ -35,10 +35,39 @@ func main() {
 		shards  = flag.Int("shards", 0, "engine worker shards (0 = one per CPU)")
 	)
 	flag.Parse()
-	if err := run(strings.Split(*readers, ","), *dist, *shards); err != nil {
+	addrs, err := validateFlags(*readers, *dist, *shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracker: invalid flags:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(addrs, *dist, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "tracker:", err)
 		os.Exit(1)
 	}
+}
+
+// validateFlags rejects malformed flag combinations before any reader is
+// dialled, returning the cleaned address list.
+func validateFlags(readers string, dist float64, shards int) ([]string, error) {
+	var addrs []string
+	for _, a := range strings.Split(readers, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		addrs = append(addrs, a)
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("-readers %q names no reader address", readers)
+	}
+	if dist <= 0 {
+		return nil, fmt.Errorf("-dist %v must be a positive distance in metres", dist)
+	}
+	if shards < 0 {
+		return nil, fmt.Errorf("-shards %d must be ≥ 0 (0 = one per CPU)", shards)
+	}
+	return addrs, nil
 }
 
 func run(addrs []string, dist float64, shards int) error {

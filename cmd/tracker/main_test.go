@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		readers string
+		dist    float64
+		shards  int
+		wantN   int
+		wantErr bool
+	}{
+		{"defaults", "127.0.0.1:7011,127.0.0.1:7012", 2, 0, 2, false},
+		{"spaces trimmed", " a:1 , b:2 ", 2, 4, 2, false},
+		{"empty readers", "", 2, 0, 0, true},
+		{"only commas", ",,,", 2, 0, 0, true},
+		{"zero dist", "a:1", 0, 0, 0, true},
+		{"negative dist", "a:1", -3, 0, 0, true},
+		{"negative shards", "a:1", 2, -1, 0, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			addrs, err := validateFlags(c.readers, c.dist, c.shards)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, c.wantErr)
+			}
+			if err == nil && len(addrs) != c.wantN {
+				t.Fatalf("got %d addresses %v, want %d", len(addrs), addrs, c.wantN)
+			}
+		})
+	}
+}

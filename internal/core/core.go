@@ -114,6 +114,9 @@ type TraceResult struct {
 	Candidates []vote.Candidate
 	// All are the traces from every candidate, aligned with Candidates.
 	All []tracing.Result
+	// CandidateStats reports the search work the initial positioning
+	// spent (mode, surviving cells, grid evaluations).
+	CandidateStats vote.SearchStats
 }
 
 // InitialPosition returns the chosen candidate's initial position — the
@@ -127,6 +130,15 @@ func (r *TraceResult) InitialPosition() geom.Vec2 {
 // traces each candidate, and keeps the trajectory with the best vote
 // record (§5.2's selection rule).
 func (s *System) Trace(samples []tracing.Sample) (*TraceResult, error) {
+	return s.TraceWith(nil, samples)
+}
+
+// TraceWith is Trace with an explicit reusable search scratch (see
+// vote.Scratch): workers that trace many tags — the engine's shards — pin
+// one scratch each so the whole pipeline stays allocation-free once warm.
+// A nil scratch falls back to the internal pools. The scratch never
+// influences results.
+func (s *System) TraceWith(sc *vote.Scratch, samples []tracing.Sample) (*TraceResult, error) {
 	if len(samples) == 0 {
 		return nil, errors.New("core: no samples")
 	}
@@ -135,13 +147,14 @@ func (s *System) Trace(samples []tracing.Sample) (*TraceResult, error) {
 	// Phases are averaged coherently over InitialAverage samples to
 	// suppress reply noise before the initial vote.
 	var cands []vote.Candidate
+	var cstats vote.SearchStats
 	start := -1
 	var lastErr error
 	for i := range samples {
 		obs := averagePhases(samples[i:], s.cfg.InitialAverage)
-		c, err := s.positioner.Candidates(obs)
+		c, st, err := s.positioner.CandidatesWith(sc, obs)
 		if err == nil {
-			cands, start = c, i
+			cands, cstats, start = c, st, i
 			break
 		}
 		lastErr = err
@@ -161,7 +174,7 @@ func (s *System) Trace(samples []tracing.Sample) (*TraceResult, error) {
 		traceErr error
 	)
 	for _, c := range cands {
-		res, err := s.tracer.Trace(c.Pos, samples[start:])
+		res, err := s.tracer.TraceWith(sc, c.Pos, samples[start:])
 		if err != nil {
 			traceErr = err
 			continue
@@ -175,7 +188,13 @@ func (s *System) Trace(samples []tracing.Sample) (*TraceResult, error) {
 	if bestIdx == -1 {
 		return nil, fmt.Errorf("core: every candidate trace failed: %w", traceErr)
 	}
-	return &TraceResult{Best: all[bestIdx], BestIndex: bestIdx, Candidates: kept, All: all}, nil
+	return &TraceResult{
+		Best:           all[bestIdx],
+		BestIndex:      bestIdx,
+		Candidates:     kept,
+		All:            all,
+		CandidateStats: cstats,
+	}, nil
 }
 
 func meanVote(r tracing.Result) float64 {

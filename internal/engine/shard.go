@@ -7,7 +7,17 @@ import (
 	"rfidraw/internal/realtime"
 	"rfidraw/internal/rfid"
 	"rfidraw/internal/tracing"
+	"rfidraw/internal/vote"
 )
+
+// scratchPool hands each shard its reusable refinement scratch (the
+// hierarchical search's memo and frontier buffers, see vote.Scratch) when
+// its goroutine starts and takes it back when the shard exits. It is
+// package-level so scratches survive engine lifetimes — callers that
+// build an engine per stream (benchmarks, tests, short-lived servers)
+// reuse warm scratches. One scratch serves all of a shard's tags because
+// a shard is a single goroutine; scratches never influence results.
+var scratchPool = sync.Pool{New: func() any { return vote.NewScratch() }}
 
 // traceJob is one batch tracing unit of work.
 type traceJob struct {
@@ -44,14 +54,20 @@ type shard struct {
 	in       chan shardMsg
 	done     chan struct{}
 	trackers map[rfid.EPC]*tagState
+	// scratch is the shard's reusable refinement scratch, held for the
+	// shard goroutine's lifetime (from the engine's scratchPool) and
+	// shared by every batch trace and live tracker on this shard.
+	scratch *vote.Scratch
 }
 
 func (s *shard) loop() {
 	defer close(s.done)
+	s.scratch = scratchPool.Get().(*vote.Scratch)
+	defer scratchPool.Put(s.scratch)
 	for msg := range s.in {
 		switch {
 		case msg.job != nil:
-			res, err := s.eng.sys.Trace(msg.job.samples)
+			res, err := s.eng.sys.TraceWith(s.scratch, msg.job.samples)
 			msg.job.out.Result, msg.job.out.Err = res, err
 			msg.job.wg.Done()
 		case msg.reports != nil:
@@ -80,6 +96,7 @@ func (s *shard) offer(rep rfid.Report) {
 			WarmupSamples:   s.eng.cfg.WarmupSamples,
 			ReacquireVote:   s.eng.cfg.ReacquireVote,
 			ReacquireWindow: s.eng.cfg.ReacquireWindow,
+			Scratch:         s.scratch,
 		})
 		ts = &tagState{tracker: tracker}
 		if err != nil {

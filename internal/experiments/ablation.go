@@ -64,8 +64,16 @@ func RunAblations(trials int, seed int64) (*AblationReport, error) {
 		truthStart := wr.Truth.Start()
 		steady := wr.SamplesRF[len(wr.SamplesRF)/2]
 
-		// 1. Coarse filter ablation: one-shot localization.
-		vcfg := vote.Config{Plane: sc.Plane, Region: sc.Region, CandidateCount: 4}
+		// 1. Coarse filter ablation: one-shot localization. Dense search:
+		// the wide-only arm's stage-1 surface is a field of aliased
+		// ridges — the exact ambiguity this ablation quantifies — which
+		// violates the hierarchical search's peak-concentration
+		// assumption; the ablation must measure the algorithm, not the
+		// search heuristic.
+		vcfg := vote.Config{
+			Plane: sc.Plane, Region: sc.Region, CandidateCount: 4,
+			Search: vote.SearchConfig{Mode: vote.SearchDense},
+		}
 		full, err := vote.NewPositioner(sc.RFIDraw.Stage1Pairs(), sc.RFIDraw.WidePairs, vcfg)
 		if err != nil {
 			return nil, err

@@ -71,7 +71,14 @@ func RunFig7() (*Fig7Report, error) {
 	// geometry, and the coarse pairs would otherwise bias far starts
 	// back toward the truth.
 	region := deploy.DefaultRegion().Expand(1.5)
-	tr, err := tracing.NewTracer(dep.WidePairs, tracing.Config{Plane: plane, Region: region})
+	// Dense search: this experiment reproduces §5.2's full-vicinity
+	// maximisation verbatim — the far-start distortion it demonstrates
+	// depends on the step always taking the vicinity-wide argmax, which
+	// the hierarchical search deliberately avoids.
+	tr, err := tracing.NewTracer(dep.WidePairs, tracing.Config{
+		Plane: plane, Region: region,
+		Search: vote.SearchConfig{Mode: vote.SearchDense},
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -87,7 +87,7 @@ func TestSlantSkewsGlyphs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	top := w.Traj.Points[0].Pos  // 'l' starts at its top
+	top := w.Traj.Points[0].Pos // 'l' starts at its top
 	var bottom geom.Vec2
 	minZ := 1e9
 	for _, p := range w.Traj.Points {

@@ -57,6 +57,11 @@ type Config struct {
 	// ReacquireWindow is how many recent votes the loss detector
 	// averages. Default 8.
 	ReacquireWindow int
+	// Scratch optionally shares a reusable refinement scratch (see
+	// vote.Scratch) with the tracker; the engine passes each shard's so
+	// all of a shard's tags reuse one. Nil allocates a private scratch.
+	// Must only ever be used from the goroutine feeding this tracker.
+	Scratch *vote.Scratch
 }
 
 // Tracker consumes rfid.Reports (from any number of readers) in time order
@@ -102,6 +107,9 @@ func NewTracker(cfg Config) (*Tracker, error) {
 	}
 	if cfg.ReacquireWindow <= 0 {
 		cfg.ReacquireWindow = 8
+	}
+	if cfg.Scratch == nil {
+		cfg.Scratch = vote.NewScratch()
 	}
 	return &Tracker{cfg: cfg, latest: map[int]timedPhase{}}, nil
 }
@@ -159,7 +167,7 @@ func (t *Tracker) closeSweep() ([]Position, error) {
 		}
 		// Acquire: localize candidates over the buffered prefix, pick
 		// the best trace, then continue it incrementally.
-		res, err := t.cfg.System.Trace(t.samples)
+		res, err := t.cfg.System.TraceWith(t.cfg.Scratch, t.samples)
 		if err != nil {
 			// Not enough signal yet; keep buffering (bounded).
 			if len(t.samples) > 400 {
@@ -167,7 +175,7 @@ func (t *Tracker) closeSweep() ([]Position, error) {
 			}
 			return nil, nil
 		}
-		stream, err := t.cfg.System.Tracer().NewStream(res.InitialPosition(), t.samples[0])
+		stream, err := t.cfg.System.Tracer().NewStreamWith(t.cfg.Scratch, res.InitialPosition(), t.samples[0])
 		if err != nil {
 			return nil, fmt.Errorf("realtime: %w", err)
 		}

@@ -261,3 +261,99 @@ func TestTraceNoisyStillAccurate(t *testing.T) {
 		t.Fatalf("noisy median error = %v m", med)
 	}
 }
+
+// TestStepHierarchicalMatchesDense compares the two vicinity strategies
+// sample by sample on a noiseless path: the hierarchical coarse-to-fine
+// search must land within a couple of millimetres of the dense scan while
+// spending at least 5× fewer vote evaluations.
+func TestStepHierarchicalMatchesDense(t *testing.T) {
+	d, err := deploy.DefaultRFIDraw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(mode vote.SearchMode) *Tracer {
+		tr, err := NewTracer(d.AllPairs(), Config{
+			Plane: plane, Region: deploy.DefaultRegion(),
+			Search: vote.SearchConfig{Mode: mode},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	dense := mk(vote.SearchDense)
+	hier := mk(vote.SearchHierarchical)
+	path := circlePath(geom.Vec2{X: 1.3, Z: 1.0}, 0.07, 60)
+	samples := synthSamples(d, path, 0, nil)
+	dres, err := dense.Trace(path[0], samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres, err := hier.Trace(path[0], samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dres.Votes) != len(hres.Votes) {
+		t.Fatalf("traced %d vs %d samples", len(dres.Votes), len(hres.Votes))
+	}
+	for i := range dres.Trajectory.Points {
+		dp, hp := dres.Trajectory.Points[i].Pos, hres.Trajectory.Points[i].Pos
+		if dist := dp.Dist(hp); dist > 0.005 {
+			t.Fatalf("sample %d: dense %v vs hierarchical %v (off %v)", i, dp, hp, dist)
+		}
+	}
+	if dres.SearchEvals <= 0 || hres.SearchEvals <= 0 {
+		t.Fatalf("eval counters not populated: dense %d, hier %d", dres.SearchEvals, hres.SearchEvals)
+	}
+	if hres.SearchEvals*5 > dres.SearchEvals {
+		t.Fatalf("hierarchical spent %d evals vs dense %d — below the 5x target", hres.SearchEvals, dres.SearchEvals)
+	}
+}
+
+// TestStreamSharedScratchIsInert checks a scratch shared across streams
+// (as the engine shares one per shard) never changes any stream's output.
+func TestStreamSharedScratchIsInert(t *testing.T) {
+	tr, d := testTracer(t)
+	pathA := circlePath(geom.Vec2{X: 1.3, Z: 1.0}, 0.07, 40)
+	pathB := circlePath(geom.Vec2{X: 0.8, Z: 1.3}, 0.05, 40)
+	samplesA := synthSamples(d, pathA, 0, nil)
+	samplesB := synthSamples(d, pathB, 0, nil)
+
+	run := func(sc *vote.Scratch, start geom.Vec2, samples []Sample, interleave func(int)) []traj.Point {
+		s, err := tr.NewStreamWith(sc, start, samples[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pts []traj.Point
+		for i, smp := range samples {
+			if interleave != nil {
+				interleave(i)
+			}
+			if p, _, ok := s.Push(smp); ok {
+				pts = append(pts, p)
+			}
+		}
+		if s.SearchEvals() <= 0 {
+			t.Fatal("stream eval counter not populated")
+		}
+		return pts
+	}
+	wantA := run(nil, pathA[0], samplesA, nil)
+
+	// Replay stream A while stream B interleaves pushes through the same
+	// scratch — exactly what two tags on one shard do.
+	shared := vote.NewScratch()
+	sb, err := tr.NewStreamWith(shared, pathB[0], samplesB[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA := run(shared, pathA[0], samplesA, func(i int) { sb.Push(samplesB[i]) })
+	if len(gotA) != len(wantA) {
+		t.Fatalf("shared-scratch stream traced %d points, want %d", len(gotA), len(wantA))
+	}
+	for i := range gotA {
+		if gotA[i] != wantA[i] {
+			t.Fatalf("point %d: shared-scratch %v != private %v", i, gotA[i], wantA[i])
+		}
+	}
+}

@@ -1,0 +1,484 @@
+package vote
+
+import (
+	"math"
+	"sort"
+
+	"rfidraw/internal/geom"
+)
+
+// SearchMode selects how the stage-2 vote surface is searched.
+type SearchMode int
+
+const (
+	// SearchHierarchical is the default coarse-to-fine refinement: vote
+	// on the coarse lattice, keep the top-K cells whose vote mass clears
+	// the stage-1 threshold, recursively subdivide only those cells down
+	// to the fine resolution, and finish with a local quadratic
+	// interpolation to sub-cell precision. Cost scales with the ambiguity
+	// left after stage-1 voting, not with grid area.
+	SearchHierarchical SearchMode = iota
+	// SearchDense is the exhaustive strategy the system shipped with:
+	// refine every coarse point that clears the stage-1 threshold with a
+	// shrinking pattern search (and, in tracing, scan the whole vicinity
+	// lattice every sample). Kept as the reference for equivalence tests
+	// and regression triage.
+	SearchDense
+)
+
+// String implements fmt.Stringer.
+func (m SearchMode) String() string {
+	switch m {
+	case SearchHierarchical:
+		return "hierarchical"
+	case SearchDense:
+		return "dense"
+	default:
+		return "unknown"
+	}
+}
+
+// SearchConfig tunes the hierarchical coarse-to-fine search. The zero
+// value means: hierarchical mode, default top-K, subdivide until the fine
+// resolution is reached.
+type SearchConfig struct {
+	// Mode picks the strategy; the zero value is SearchHierarchical.
+	Mode SearchMode
+	// TopK is how many coarse cells (for the positioner) or refinement
+	// branches (for tracing) survive each selection step. Callers have
+	// their own defaults: 4 for one-shot positioning, 2 for steady-state
+	// tracking, where lobe-lock makes the vicinity surface unimodal.
+	TopK int
+	// Levels caps how many subdivision levels run; 0 subdivides until
+	// the fine resolution is reached.
+	Levels int
+}
+
+func (c SearchConfig) topK(def int) int {
+	if c.TopK > 0 {
+		return c.TopK
+	}
+	return def
+}
+
+// maxLevels converts the Levels knob into subdivide's level cap, with
+// already-consumed levels (e.g. table-descent levels) subtracted. -1 means
+// unbounded (subdivide until the fine resolution).
+func (c SearchConfig) maxLevels(consumed int) int {
+	if c.Levels <= 0 {
+		return -1
+	}
+	rem := c.Levels - consumed
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// scoredPoint is one evaluated search point.
+type scoredPoint struct {
+	pos   geom.Vec2
+	score float64
+}
+
+// Scratch is the reusable per-goroutine search state: the stage-1 score
+// buffer, the evaluation memo and the candidate pools. It exists so the
+// hot path allocates nothing once warm — the engine keeps one per worker
+// shard (from a sync.Pool), streams keep one per live trace. A Scratch is
+// NOT safe for concurrent use; results never depend on its prior content.
+type Scratch struct {
+	// stage1 is the positioner's coarse-lattice score buffer.
+	stage1 []float64
+	// cache memoises eval results by exact position bits within one
+	// search; reset at every search start.
+	cache map[[2]uint64]float64
+	// pool accumulates every evaluated point of one search; top-K
+	// selection always reads this slice (never the map) so results are
+	// deterministic.
+	pool []scoredPoint
+	// cells and cellsNext are the table-descent frontiers.
+	cells, cellsNext []tableCell
+}
+
+// NewScratch builds an empty search scratch.
+func NewScratch() *Scratch {
+	return &Scratch{cache: make(map[[2]uint64]float64)}
+}
+
+// stage1Buf returns the stage-1 score buffer sized to n points.
+func (s *Scratch) stage1Buf(n int) []float64 {
+	if cap(s.stage1) < n {
+		s.stage1 = make([]float64, n)
+	}
+	return s.stage1[:n]
+}
+
+// resetSearch clears the per-search state.
+func (s *Scratch) resetSearch() {
+	if s.cache == nil {
+		s.cache = make(map[[2]uint64]float64)
+	}
+	clear(s.cache)
+	s.pool = s.pool[:0]
+}
+
+// searcher runs one hierarchical search over an objective function.
+type searcher struct {
+	sc     *Scratch
+	region geom.Rect
+	// quant is the memo's position quantum. Every search point lies on a
+	// dyadic lattice around the seed, but the same lattice point reached
+	// through different float arithmetic differs by ulps; keying on
+	// round(coord/quant) with quant at a quarter of the finest step
+	// (well below the minimum lattice spacing) dedups those exactly.
+	quant float64
+	eval  func(geom.Vec2) float64
+	evals int
+}
+
+func (s *searcher) key(p geom.Vec2) [2]uint64 {
+	return [2]uint64{
+		uint64(int64(math.Round(p.X / s.quant))),
+		uint64(int64(math.Round(p.Z / s.quant))),
+	}
+}
+
+// visit clips p into the region, evaluates it once (memoised) and adds it
+// to the candidate pool.
+func (s *searcher) visit(p geom.Vec2) {
+	p = s.region.Clip(p)
+	k := s.key(p)
+	if _, ok := s.sc.cache[k]; ok {
+		return
+	}
+	v := s.eval(p)
+	s.evals++
+	s.sc.cache[k] = v
+	s.sc.pool = append(s.sc.pool, scoredPoint{pos: p, score: v})
+}
+
+// score returns the memoised score of an already-visited point, or
+// evaluates and records it.
+func (s *searcher) score(p geom.Vec2) float64 {
+	p = s.region.Clip(p)
+	k := s.key(p)
+	if v, ok := s.sc.cache[k]; ok {
+		return v
+	}
+	v := s.eval(p)
+	s.evals++
+	s.sc.cache[k] = v
+	s.sc.pool = append(s.sc.pool, scoredPoint{pos: p, score: v})
+	return v
+}
+
+// topK sorts the pool best-first (stable, so exact ties keep visit order
+// and results stay deterministic) and truncates it to k entries.
+func (s *searcher) topK(k int) {
+	sort.SliceStable(s.sc.pool, func(a, b int) bool {
+		return s.sc.pool[a].score > s.sc.pool[b].score
+	})
+	if len(s.sc.pool) > k {
+		s.sc.pool = s.sc.pool[:k]
+	}
+}
+
+func (s *searcher) best() scoredPoint {
+	b := s.sc.pool[0]
+	for _, c := range s.sc.pool[1:] {
+		if c.score > b.score {
+			b = c
+		}
+	}
+	return b
+}
+
+// subdivide runs the coarse-to-fine refinement levels: each level halves
+// the step, evaluates the 3×3 neighbourhood of every surviving branch and
+// reselects the top-K from everything seen so far. maxLevels < 0 means
+// subdivide until fineStep is reached. Returns the last step actually used
+// (the quadratic-interpolation scale).
+func (s *searcher) subdivide(k int, coarseStep, fineStep float64, maxLevels int) float64 {
+	step := coarseStep / 2
+	last := coarseStep
+	for level := 0; step >= fineStep-1e-12 && (maxLevels < 0 || level < maxLevels); level++ {
+		s.topK(k)
+		// The pool grows as neighbours are visited; remember how many
+		// seeds this level expands so new points seed the next level.
+		seeds := len(s.sc.pool)
+		for i := 0; i < seeds; i++ {
+			c := s.sc.pool[i].pos
+			for dx := -1; dx <= 1; dx++ {
+				for dz := -1; dz <= 1; dz++ {
+					if dx == 0 && dz == 0 {
+						continue
+					}
+					s.visit(geom.Vec2{X: c.X + float64(dx)*step, Z: c.Z + float64(dz)*step})
+				}
+			}
+		}
+		last = step
+		step /= 2
+	}
+	return last
+}
+
+// quadratic refines the best point to sub-cell precision: it fits a 1-D
+// parabola per axis through the three samples at ±h and moves to the
+// vertex when the surface is locally concave. The interpolated point is
+// evaluated, so the refinement never returns a worse position.
+func (s *searcher) quadratic(h float64) {
+	b := s.best()
+	off := geom.Vec2{}
+	for axis := 0; axis < 2; axis++ {
+		var lo, hi geom.Vec2
+		if axis == 0 {
+			lo, hi = geom.Vec2{X: b.pos.X - h, Z: b.pos.Z}, geom.Vec2{X: b.pos.X + h, Z: b.pos.Z}
+		} else {
+			lo, hi = geom.Vec2{X: b.pos.X, Z: b.pos.Z - h}, geom.Vec2{X: b.pos.X, Z: b.pos.Z + h}
+		}
+		// Clipping breaks the symmetric stencil; skip the axis at the
+		// region border rather than fit a lopsided parabola.
+		if s.region.Clip(lo) != lo || s.region.Clip(hi) != hi {
+			continue
+		}
+		fm, fp := s.score(lo), s.score(hi)
+		denom := fm - 2*b.score + fp
+		if denom >= -1e-18 {
+			continue // flat or convex: no interior vertex
+		}
+		d := h * (fm - fp) / (2 * denom)
+		if d > h {
+			d = h
+		} else if d < -h {
+			d = -h
+		}
+		if axis == 0 {
+			off.X = d
+		} else {
+			off.Z = d
+		}
+	}
+	if off != (geom.Vec2{}) {
+		s.visit(b.pos.Add(off))
+	}
+}
+
+// HierarchicalSearch maximises eval over a window of the given radius
+// around seed: a 3×3 coarse lattice that expands ring by ring only while
+// the maximum sits on the window border (so a seed near the optimum — the
+// lobe-locked steady state — pays for a 3×3, not the whole vicinity),
+// followed by top-K coarse-to-fine subdivision down to fineStep and a
+// final quadratic interpolation. It returns the best position, its score
+// and how many objective evaluations were spent. sc may be nil (a scratch
+// is then allocated); defTopK is the branch width used when cfg.TopK is
+// unset.
+func HierarchicalSearch(cfg SearchConfig, region geom.Rect, seed geom.Vec2, radius, coarseStep, fineStep float64, defTopK int, sc *Scratch, eval func(geom.Vec2) float64) (geom.Vec2, float64, int) {
+	if sc == nil {
+		sc = NewScratch()
+	}
+	sc.resetSearch()
+	s := &searcher{sc: sc, region: region, quant: fineStep / 4, eval: eval}
+
+	maxRing := int(math.Ceil(radius/coarseStep - 1e-9))
+	if maxRing < 1 {
+		maxRing = 1
+	}
+	for dx := -1; dx <= 1; dx++ {
+		for dz := -1; dz <= 1; dz++ {
+			s.visit(geom.Vec2{X: seed.X + float64(dx)*coarseStep, Z: seed.Z + float64(dz)*coarseStep})
+		}
+	}
+	// Expand the window while the best coarse point sits on its border:
+	// the objective is still rising toward the edge, so the optimum is
+	// outside the window. Bounded by the vicinity radius.
+	for ring := 1; ring < maxRing; ring++ {
+		b := s.best().pos
+		cheb := math.Max(math.Abs(b.X-seed.X), math.Abs(b.Z-seed.Z))
+		if cheb < float64(ring)*coarseStep-1e-9 {
+			break
+		}
+		r := ring + 1
+		for i := -r; i <= r; i++ {
+			for j := -r; j <= r; j++ {
+				if max(abs(i), abs(j)) != r {
+					continue
+				}
+				s.visit(geom.Vec2{X: seed.X + float64(i)*coarseStep, Z: seed.Z + float64(j)*coarseStep})
+			}
+		}
+	}
+
+	h := s.subdivide(cfg.topK(defTopK), coarseStep, fineStep, cfg.maxLevels(0))
+	s.quadratic(h)
+	b := s.best()
+	return b.pos, b.score, s.evals
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// SearchStats summarises one hierarchical positioning call.
+type SearchStats struct {
+	// Mode is the strategy that ran.
+	Mode SearchMode
+	// Stage1Points is the coarse-lattice size voted by stage 1.
+	Stage1Points int
+	// Cells is how many coarse cells cleared the threshold and were
+	// refined (in dense mode: every surviving point).
+	Cells int
+	// GridEvals counts stage-2 vote evaluations — table-lattice lookups
+	// and direct evaluations alike; stage-1 lattice votes are reported
+	// separately in Stage1Points since they run once per sample in both
+	// modes.
+	GridEvals int
+}
+
+// refineBranch is the branch width kept per subdivision level inside one
+// peak group. The wide-pair vote surface is a field of narrow ridges, so
+// at coarse sampling a wrong-lobe ridge can transiently outrank the cell
+// holding the true peak; four branches absorb that reordering while still
+// discarding the bulk of each level's children.
+const refineBranch = 4
+
+// descendTable runs one peak group's coarse-to-fine descent through the
+// multi-resolution steering table: the group's cells are scored with all
+// observed pairs at level 0, then each level scores the 3×3 children of
+// the surviving branches at double resolution and keeps the best
+// refineBranch. Every score is a table lookup (one subtraction, rounding
+// and multiply per pair) — no distance computation. Returns the finest-
+// level frontier, best first, and the lookup count.
+func (p *Positioner) descendTable(cells []int, po []pairObs, sc *Scratch) ([]tableCell, int) {
+	evals := 0
+	scoreCell := func(t *SteeringTable, idx int) float64 {
+		var v float64
+		for _, o := range po {
+			v += t.VoteAt(o.idx, idx, o.turns)
+		}
+		evals++
+		return v
+	}
+	sc.cells = sc.cells[:0]
+	t0 := p.multi.Level(0)
+	for _, c := range cells {
+		sc.cells = append(sc.cells, tableCell{idx: c, score: scoreCell(t0, c)})
+	}
+	sortCells(sc.cells)
+	// At the coarse level the wide pairs' votes are aliased (their lobes
+	// are narrower than the cell), so level-0 scores cannot select
+	// branches; with deeper levels ahead the first descent re-scores
+	// children anyway, but a single-level table must keep every seed.
+	if p.multi.Levels() > 1 && len(sc.cells) > refineBranch {
+		sc.cells = sc.cells[:refineBranch]
+	}
+	for l := 1; l < p.multi.Levels(); l++ {
+		t := p.multi.Level(l)
+		sc.cellsNext = sc.cellsNext[:0]
+		for _, c := range sc.cells {
+			for _, child := range p.multi.Children(l-1, c.idx) {
+				if containsCell(sc.cellsNext, child) {
+					continue
+				}
+				sc.cellsNext = append(sc.cellsNext, tableCell{idx: child, score: scoreCell(t, child)})
+			}
+		}
+		sortCells(sc.cellsNext)
+		if len(sc.cellsNext) > refineBranch {
+			sc.cellsNext = sc.cellsNext[:refineBranch]
+		}
+		sc.cells, sc.cellsNext = sc.cellsNext, sc.cells
+	}
+	return append([]tableCell(nil), sc.cells...), evals
+}
+
+// directRefine continues one group's refinement below the table's finest
+// resolution: top-K subdivision with direct vote evaluation down to
+// FineRes, then the quadratic interpolation to sub-cell precision. branch
+// is the per-level branch width (refineBranch normally; every seed for
+// single-level tables, whose coarse scores cannot rank branches).
+func (p *Positioner) directRefine(frontier []tableCell, po []pairObs, sc *Scratch, branch int) (geom.Vec2, float64, int) {
+	sc.resetSearch()
+	s := &searcher{sc: sc, region: p.cfg.Region, quant: p.cfg.FineRes / 4, eval: func(pos geom.Vec2) float64 {
+		return totalVote(pos, p.cfg.Plane, po)
+	}}
+	// The table stores the identical DeltaDistTurns the direct path
+	// computes, so table scores seed the pool as-is.
+	finest := p.multi.Level(p.multi.Levels() - 1)
+	for _, c := range frontier {
+		pos := finest.Grid().At(c.idx)
+		sc.pool = append(sc.pool, scoredPoint{pos: pos, score: c.score})
+		sc.cache[s.key(pos)] = c.score
+	}
+	h := s.subdivide(branch, finest.Grid().Res, p.cfg.FineRes, p.cfg.Search.maxLevels(p.multi.Levels()-1))
+	s.quadratic(h)
+	b := s.best()
+	return b.pos, b.score, s.evals
+}
+
+func sortCells(cells []tableCell) {
+	sort.SliceStable(cells, func(a, b int) bool { return cells[a].score > cells[b].score })
+}
+
+func containsCell(cells []tableCell, idx int) bool {
+	for _, c := range cells {
+		if c.idx == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// groupFront is one peak group's finest-table frontier, best cell first.
+type groupFront struct {
+	cells []tableCell
+}
+
+// maxPeakGroups bounds how many peak groups the survivor partition forms —
+// a runaway backstop far above what a stage-1 filter produces, not a
+// selection step (selection happens on finest-table scores).
+const maxPeakGroups = 64
+
+// maxCellsPerGroup bounds how many survivor cells seed one group's
+// refinement; stage-1 beams are a few cells wide, so a dozen seeds cover a
+// peak's plateau while keeping per-group cost bounded.
+const maxCellsPerGroup = 12
+
+// pickCellGroups clusters the threshold-clearing stage-1 cells into up to
+// k peak groups: survivors are visited best-first, joining the first group
+// whose representative (its best cell) lies within suppress, otherwise
+// founding a new group. Grouping — rather than discarding — nearby
+// survivors keeps every cell of a peak's plateau reachable by the
+// refinement while still spreading the k groups over distinct peaks.
+func pickCellGroups(grid Grid, score []float64, threshold float64, k int, suppress float64) [][]int {
+	var survivors []int
+	for i, v := range score {
+		if v >= threshold {
+			survivors = append(survivors, i)
+		}
+	}
+	sort.SliceStable(survivors, func(a, b int) bool {
+		return score[survivors[a]] > score[survivors[b]]
+	})
+	var groups [][]int
+	for _, i := range survivors {
+		pi := grid.At(i)
+		joined := false
+		for gi, g := range groups {
+			if grid.At(g[0]).Dist(pi) < suppress {
+				if len(g) < maxCellsPerGroup {
+					groups[gi] = append(g, i)
+				}
+				joined = true
+				break
+			}
+		}
+		if !joined && len(groups) < k {
+			groups = append(groups, []int{i})
+		}
+	}
+	return groups
+}

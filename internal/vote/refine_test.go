@@ -1,0 +1,315 @@
+package vote
+
+import (
+	"math"
+	"testing"
+
+	"rfidraw/internal/antenna"
+	"rfidraw/internal/geom"
+	"rfidraw/internal/phys"
+)
+
+// TestSteeringTableVoteAtMatchesAccumulate checks the sparse single-point
+// lookup is bit-identical to the row accumulation path — the hierarchical
+// descent and the stage-1 scan must agree on every cell.
+func TestSteeringTableVoteAtMatchesAccumulate(t *testing.T) {
+	pairs := testPairs(t)
+	plane := geom.Plane{Y: 2}
+	grid, err := NewGrid(geom.Rect{Min: geom.Vec2{X: -0.2, Z: 0}, Max: geom.Vec2{X: 1.4, Z: 1.2}}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := NewSteeringTable(pairs, grid, plane)
+	measured := []float64{0.13, -0.37, 0.02}
+	score := make([]float64, grid.Len())
+	for pi := range pairs {
+		if err := table.AccumulateVotes(pi, measured[pi], score); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < grid.Len(); i++ {
+		var want float64
+		for pi := range pairs {
+			want += table.VoteAt(pi, i, measured[pi])
+		}
+		if score[i] != want {
+			t.Fatalf("point %d: VoteAt sum %v != accumulated %v", i, want, score[i])
+		}
+	}
+}
+
+// TestSteeringTableGridPointOnAntenna puts a grid point exactly on an
+// antenna element (zero distance to one port): the steering value must
+// stay finite and bit-identical to the direct evaluation.
+func TestSteeringTableGridPointOnAntenna(t *testing.T) {
+	carrier := phys.DefaultCarrier()
+	a1 := antenna.Antenna{ID: 1, Pos: geom.Vec3{X: 0.2, Z: 0.4}}
+	a2 := antenna.Antenna{ID: 2, Pos: geom.Vec3{X: 0.2 + 2*carrier.WavelengthM, Z: 0.4}}
+	pair, err := antenna.NewPair(a1, a2, carrier, phys.Backscatter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plane Y=0 makes the grid live on the antenna wall; the grid origin
+	// and step are chosen so a1's position (0.2, 0.4) is grid point (2, 4).
+	grid, err := NewGrid(geom.Rect{Min: geom.Vec2{}, Max: geom.Vec2{X: 1, Z: 1}}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane := geom.Plane{Y: 0}
+	onAntenna := 4*grid.NX + 2
+	if got := grid.At(onAntenna); got != (geom.Vec2{X: 0.2, Z: 0.4}) {
+		t.Fatalf("grid point %d = %v, want the antenna position", onAntenna, got)
+	}
+	table := NewSteeringTable([]antenna.Pair{pair}, grid, plane)
+	for i := 0; i < grid.Len(); i++ {
+		v := table.VoteAt(0, i, 0.1)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("point %d: non-finite vote %v", i, v)
+		}
+		if want := pair.VoteFree(plane.To3D(grid.At(i)), 0.1); v != want {
+			t.Fatalf("point %d: table vote %v != direct %v", i, v, want)
+		}
+	}
+}
+
+// TestMultiResTableAlignment checks the documented lattice invariant:
+// point (ix, iz) of level l is point (2ix, 2iz) of level l+1, and every
+// level's steering values match direct evaluation.
+func TestMultiResTableAlignment(t *testing.T) {
+	pairs := testPairs(t)
+	plane := geom.Plane{Y: 2}
+	region := geom.Rect{Min: geom.Vec2{X: -0.2, Z: 0}, Max: geom.Vec2{X: 1.0, Z: 0.8}}
+	m, err := NewMultiResTable(pairs, region, plane, 0.08, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Levels() != 3 {
+		t.Fatalf("levels = %d", m.Levels())
+	}
+	if got, want := m.FinestRes(), 0.02; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("finest res = %v, want %v", got, want)
+	}
+	for l := 0; l < m.Levels()-1; l++ {
+		parent, child := m.Level(l).Grid(), m.Level(l+1).Grid()
+		if child.NX != 2*parent.NX-1 || child.NZ != 2*parent.NZ-1 {
+			t.Fatalf("level %d: child shape %d×%d vs parent %d×%d", l, child.NX, child.NZ, parent.NX, parent.NZ)
+		}
+		for i := 0; i < parent.Len(); i++ {
+			ix, iz := i%parent.NX, i/parent.NX
+			j := (2*iz)*child.NX + 2*ix
+			if parent.At(i) != child.At(j) {
+				t.Fatalf("level %d point %d: parent %v != aligned child %v", l, i, parent.At(i), child.At(j))
+			}
+		}
+	}
+	for l := 0; l < m.Levels(); l++ {
+		g := m.Level(l).Grid()
+		for i := 0; i < g.Len(); i++ {
+			for pi, p := range pairs {
+				if got, want := m.Level(l).VoteAt(pi, i, 0.2), p.VoteFree(plane.To3D(g.At(i)), 0.2); got != want {
+					t.Fatalf("level %d pair %d point %d: %v != %v", l, pi, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiResTableChildrenCoverCell checks children stay inside the child
+// grid and include the aligned centre.
+func TestMultiResTableChildrenCoverCell(t *testing.T) {
+	pairs := testPairs(t)
+	m, err := NewMultiResTable(pairs, geom.Rect{Max: geom.Vec2{X: 0.4, Z: 0.4}}, geom.Plane{Y: 2}, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, child := m.Level(0).Grid(), m.Level(1).Grid()
+	for i := 0; i < parent.Len(); i++ {
+		kids := m.Children(0, i)
+		if len(kids) < 4 || len(kids) > 9 {
+			t.Fatalf("cell %d: %d children", i, len(kids))
+		}
+		centre := false
+		for _, k := range kids {
+			if k < 0 || k >= child.Len() {
+				t.Fatalf("cell %d: child %d out of range", i, k)
+			}
+			if child.At(k) == parent.At(i) {
+				centre = true
+			}
+			if d := child.At(k).Dist(parent.At(i)); d > parent.Res*math.Sqrt2/2+1e-12 {
+				t.Fatalf("cell %d: child %v too far from parent %v (%v)", i, child.At(k), parent.At(i), d)
+			}
+		}
+		if !centre {
+			t.Fatalf("cell %d: aligned centre missing from children", i)
+		}
+	}
+}
+
+func TestMultiResTableValidation(t *testing.T) {
+	pairs := testPairs(t)
+	if _, err := NewMultiResTable(pairs, geom.Rect{Max: geom.Vec2{X: 1, Z: 1}}, geom.Plane{Y: 2}, 0.1, 0); err == nil {
+		t.Fatal("want error for 0 levels")
+	}
+	if _, err := NewMultiResTable(pairs, geom.Rect{Max: geom.Vec2{X: 1, Z: 1}}, geom.Plane{Y: 2}, -1, 2); err == nil {
+		t.Fatal("want error for negative resolution")
+	}
+}
+
+// TestHierarchicalSearchFindsShiftedPeak checks the expanding coarse
+// window: a smooth peak placed most of a vicinity radius away from the
+// seed must still be found (the window only grows while the maximum sits
+// on its border), and a seed directly on the peak must cost far fewer
+// evaluations than the full vicinity lattice.
+func TestHierarchicalSearchFindsShiftedPeak(t *testing.T) {
+	region := geom.Rect{Min: geom.Vec2{X: -1, Z: -1}, Max: geom.Vec2{X: 1, Z: 1}}
+	peak := geom.Vec2{X: 0.06, Z: -0.05}
+	eval := func(p geom.Vec2) float64 {
+		d := p.Dist(peak)
+		return -d * d
+	}
+	pos, score, evals := HierarchicalSearch(SearchConfig{}, region, geom.Vec2{}, 0.08, 0.02, 0.002, 2, nil, eval)
+	if d := pos.Dist(peak); d > 0.002 {
+		t.Fatalf("peak %v found at %v (off %v)", peak, pos, d)
+	}
+	if score < -1e-5 {
+		t.Fatalf("score %v, want ≈0", score)
+	}
+	// Dense reference cost for the same window: 17×17 lattice plus the
+	// pattern search. The shifted-peak search must stay well below it.
+	if evals > 150 {
+		t.Fatalf("shifted-peak search spent %d evals", evals)
+	}
+	_, _, steady := HierarchicalSearch(SearchConfig{}, region, peak, 0.08, 0.02, 0.002, 2, nil, eval)
+	if steady > 70 {
+		t.Fatalf("steady-state search spent %d evals, want ≤70", steady)
+	}
+}
+
+// TestHierarchicalSearchScratchReuse checks a reused scratch never changes
+// results (the engine shares one per shard across tags and samples).
+func TestHierarchicalSearchScratchReuse(t *testing.T) {
+	region := geom.Rect{Min: geom.Vec2{X: -1, Z: -1}, Max: geom.Vec2{X: 1, Z: 1}}
+	eval := func(p geom.Vec2) float64 {
+		return math.Sin(13*p.X)*math.Cos(11*p.Z) - p.Dot(p)
+	}
+	sc := NewScratch()
+	var want geom.Vec2
+	var wantScore float64
+	for i := 0; i < 3; i++ {
+		pos, score, _ := HierarchicalSearch(SearchConfig{}, region, geom.Vec2{X: 0.01}, 0.08, 0.02, 0.002, 2, sc, eval)
+		if i == 0 {
+			want, wantScore = pos, score
+			continue
+		}
+		if pos != want || score != wantScore {
+			t.Fatalf("run %d: (%v, %v) != first run (%v, %v)", i, pos, score, want, wantScore)
+		}
+	}
+	pos, score, _ := HierarchicalSearch(SearchConfig{}, region, geom.Vec2{X: 0.01}, 0.08, 0.02, 0.002, 2, nil, eval)
+	if pos != want || score != wantScore {
+		t.Fatalf("nil-scratch run (%v, %v) != scratch run (%v, %v)", pos, score, want, wantScore)
+	}
+}
+
+// TestHierarchicalSearchLevelsCap checks the Levels knob bounds the
+// subdivision depth: one level stops at half the coarse step.
+func TestHierarchicalSearchLevelsCap(t *testing.T) {
+	region := geom.Rect{Min: geom.Vec2{X: -1, Z: -1}, Max: geom.Vec2{X: 1, Z: 1}}
+	peak := geom.Vec2{X: 0.0137, Z: -0.0061}
+	eval := func(p geom.Vec2) float64 {
+		d := p.Dist(peak)
+		return -d * d
+	}
+	_, _, unbounded := HierarchicalSearch(SearchConfig{}, region, geom.Vec2{}, 0.08, 0.02, 0.001, 2, nil, eval)
+	_, _, capped := HierarchicalSearch(SearchConfig{Levels: 1}, region, geom.Vec2{}, 0.08, 0.02, 0.001, 2, nil, eval)
+	if capped >= unbounded {
+		t.Fatalf("capped search spent %d evals, unbounded %d — cap did nothing", capped, unbounded)
+	}
+}
+
+// TestCandidatesTopKLargerThanCellCount exercises the refinement with a
+// TopK far beyond the number of grid cells: every threshold-clearing cell
+// is refined and the result still matches the source.
+func TestCandidatesTopKLargerThanCellCount(t *testing.T) {
+	stage1, wide := deployment(t)
+	cfg := testConfig()
+	cfg.Search = SearchConfig{TopK: 1 << 20}
+	p, err := NewPositioner(stage1, wide, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topK := cfg.Search.topK(positionerTopK); topK <= p.coarseGrid.Len() {
+		t.Fatalf("test premise broken: TopK %d not larger than grid %d", topK, p.coarseGrid.Len())
+	}
+	src2 := geom.Vec2{X: 1.3, Z: 1.0}
+	obs := synthObs(append(stage1, wide...), cfg.Plane.To3D(src2), 0, nil)
+	cands, stats, err := p.CandidatesWith(nil, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := cands[0].Pos.Dist(src2); d > 0.02 {
+		t.Fatalf("best candidate %v off by %v m", cands[0].Pos, d)
+	}
+	if stats.GridEvals <= 0 || stats.Cells <= 0 {
+		t.Fatalf("stats not populated: %+v", stats)
+	}
+}
+
+// TestCandidatesSingleLevelTable forces a single-level multi-resolution
+// table (FineRes close to CoarseRes leaves no room for halving): the
+// refinement must skip the table descent and still converge.
+func TestCandidatesSingleLevelTable(t *testing.T) {
+	stage1, wide := deployment(t)
+	cfg := testConfig()
+	cfg.CoarseRes = 0.04
+	cfg.FineRes = 0.015 // 0.02 < 2×FineRes → no second table level
+	p, err := NewPositioner(stage1, wide, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.multi.Levels() != 1 {
+		t.Fatalf("multi levels = %d, want 1", p.multi.Levels())
+	}
+	src2 := geom.Vec2{X: 1.3, Z: 1.0}
+	obs := synthObs(append(stage1, wide...), cfg.Plane.To3D(src2), 0, nil)
+	cands, err := p.Candidates(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := cands[0].Pos.Dist(src2); d > 0.03 {
+		t.Fatalf("best candidate %v off by %v m", cands[0].Pos, d)
+	}
+}
+
+// TestCandidatesHierMatchesDense is the package-level equivalence check:
+// on noiseless and noisy synthetic observations the hierarchical best
+// candidate must land within epsilon of the dense one.
+func TestCandidatesHierMatchesDense(t *testing.T) {
+	stage1, wide := deployment(t)
+	dense := testConfig()
+	dense.Search = SearchConfig{Mode: SearchDense}
+	hier := testConfig()
+	pd, err := NewPositioner(stage1, wide, dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := NewPositioner(stage1, wide, hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src2 := range []geom.Vec2{{X: 1.3, Z: 1.0}, {X: 0.6, Z: 1.5}, {X: 2.0, Z: 0.7}} {
+		obs := synthObs(append(stage1, wide...), dense.Plane.To3D(src2), 0, nil)
+		cd, err := pd.Candidates(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := ph.Candidates(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := cd[0].Pos.Dist(ch[0].Pos); d > 0.01 {
+			t.Errorf("src %v: dense best %v vs hierarchical best %v (off %v)", src2, cd[0].Pos, ch[0].Pos, d)
+		}
+	}
+}

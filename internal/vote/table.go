@@ -58,6 +58,22 @@ func (t *SteeringTable) Grid() Grid { return t.grid }
 // Pairs returns how many pair rows the table holds.
 func (t *SteeringTable) Pairs() int { return len(t.turns) }
 
+// VoteAt returns pair p's free-lobe vote (Eq. 7) at grid point i for the
+// measured phase difference — the sparse, single-point counterpart of
+// AccumulateVotes, used by the hierarchical refinement to score only the
+// cells that survive each level.
+func (t *SteeringTable) VoteAt(p, i int, measuredTurns float64) float64 {
+	frac := t.turns[p][i] - measuredTurns
+	k := math.Round(frac)
+	if maxK := t.maxK[p]; k > maxK {
+		k = maxK
+	} else if k < -maxK {
+		k = -maxK
+	}
+	r := frac - k
+	return -r * r
+}
+
 // AccumulateVotes adds pair p's free-lobe vote (Eq. 7) for the measured
 // phase difference to every element of score, which must have exactly one
 // slot per grid point. Accumulating pair-by-pair keeps each table row's
@@ -81,4 +97,84 @@ func (t *SteeringTable) AccumulateVotes(p int, measuredTurns float64, score []fl
 		score[i] -= r * r
 	}
 	return nil
+}
+
+// tableCell is one grid cell of a steering-table level together with its
+// accumulated stage-2 vote, used as the hierarchical refinement frontier.
+type tableCell struct {
+	idx   int
+	score float64
+}
+
+// MultiResTable stacks steering tables at halving resolutions over one
+// region: level 0 is the coarse stage-1 lattice, and each deeper level
+// doubles the density with its grid points aligned so that point (ix, iz)
+// of level l is point (2ix, 2iz) of level l+1. The hierarchical search
+// descends it cell by cell, so subdivided evaluations stay table lookups
+// instead of per-point distance computations. Like SteeringTable it is
+// immutable and safe for concurrent use.
+type MultiResTable struct {
+	levels []*SteeringTable
+}
+
+// NewMultiResTable precomputes `levels` steering tables for the pairs over
+// region, the first at coarseRes and each subsequent one at half the
+// resolution of the previous. levels must be ≥ 1.
+func NewMultiResTable(pairs []antenna.Pair, region geom.Rect, plane geom.Plane, coarseRes float64, levels int) (*MultiResTable, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("vote: multi-res table needs ≥1 level, got %d", levels)
+	}
+	base, err := NewGrid(region, coarseRes)
+	if err != nil {
+		return nil, err
+	}
+	m := &MultiResTable{levels: make([]*SteeringTable, levels)}
+	grid := base
+	for l := 0; l < levels; l++ {
+		if l > 0 {
+			// Derive the child grid explicitly instead of via NewGrid so
+			// the lattices stay exactly aligned: same origin, half the
+			// step, 2n−1 points per axis.
+			grid = Grid{
+				Region: grid.Region,
+				Res:    grid.Res / 2,
+				NX:     2*grid.NX - 1,
+				NZ:     2*grid.NZ - 1,
+			}
+		}
+		m.levels[l] = NewSteeringTable(pairs, grid, plane)
+	}
+	return m, nil
+}
+
+// Levels returns how many resolution levels the table holds.
+func (m *MultiResTable) Levels() int { return len(m.levels) }
+
+// Level returns the steering table at level l (0 is coarsest).
+func (m *MultiResTable) Level(l int) *SteeringTable { return m.levels[l] }
+
+// FinestRes returns the deepest level's grid resolution.
+func (m *MultiResTable) FinestRes() float64 {
+	return m.levels[len(m.levels)-1].grid.Res
+}
+
+// Children returns the grid indices at level l+1 covering the cell at
+// index i of level l: the 3×3 neighbourhood of the aligned child point,
+// clipped to the child grid. Results are appended in deterministic
+// row-major order.
+func (m *MultiResTable) Children(l, i int) []int {
+	parent := m.levels[l].grid
+	child := m.levels[l+1].grid
+	cx, cz := 2*(i%parent.NX), 2*(i/parent.NX)
+	out := make([]int, 0, 9)
+	for dz := -1; dz <= 1; dz++ {
+		for dx := -1; dx <= 1; dx++ {
+			x, z := cx+dx, cz+dz
+			if x < 0 || x >= child.NX || z < 0 || z >= child.NZ {
+				continue
+			}
+			out = append(out, z*child.NX+x)
+		}
+	}
+	return out
 }

@@ -120,6 +120,9 @@ type Config struct {
 	// MinCandidateSep merges candidates closer than this (m).
 	// Default 0.15.
 	MinCandidateSep float64
+	// Search picks the stage-2 strategy: hierarchical coarse-to-fine
+	// refinement (the default) or the exhaustive dense reference.
+	Search SearchConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -156,8 +159,12 @@ type Positioner struct {
 	// and shared read-only across goroutines.
 	coarseGrid Grid
 	table      *SteeringTable
-	// scratch pools stage-1 score buffers (one float64 per coarse grid
-	// point) so repeated Candidates calls on the hot path do not allocate.
+	// multi holds the multi-resolution steering tables over all pairs
+	// (stage-1 rows first) that the hierarchical refinement descends.
+	// nil in dense mode.
+	multi *MultiResTable
+	// scratch pools search scratches (stage-1 score buffer + refinement
+	// state) so repeated Candidates calls on the hot path do not allocate.
 	scratch sync.Pool
 }
 
@@ -188,11 +195,35 @@ func NewPositioner(stage1Pairs, widePairs []antenna.Pair, cfg Config) (*Position
 		coarseGrid:  grid,
 		table:       NewSteeringTable(stage1Pairs, grid, cfg.Plane),
 	}
-	p.scratch.New = func() any {
-		s := make([]float64, grid.Len())
-		return &s
+	if cfg.Search.Mode == SearchHierarchical {
+		p.multi, err = NewMultiResTable(all, cfg.Region, cfg.Plane, cfg.CoarseRes, tableLevels(cfg))
+		if err != nil {
+			return nil, err
+		}
 	}
+	p.scratch.New = func() any { return NewScratch() }
 	return p, nil
+}
+
+// maxTableLevels bounds the precomputed table stack: each level quadruples
+// the finest level's point count, and below ~1 cm the remaining descent is
+// cheaper evaluated directly on the few surviving branches than stored for
+// the whole region.
+const maxTableLevels = 3
+
+// tableLevels derives how deep the multi-resolution table stack goes: keep
+// halving while the next level stays comfortably above the fine
+// resolution (the direct subdivision + quadratic interpolation cover the
+// rest), bounded by maxTableLevels and, when set, by Search.Levels.
+func tableLevels(cfg Config) int {
+	levels := 1
+	for res := cfg.CoarseRes; res/2 >= 2*cfg.FineRes && levels < maxTableLevels; res /= 2 {
+		if cfg.Search.Levels > 0 && levels > cfg.Search.Levels {
+			break
+		}
+		levels++
+	}
+	return levels
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -246,13 +277,32 @@ func VoteMap(pairs []antenna.Pair, obs Observations, grid Grid, plane geom.Plane
 // Candidates runs the two-stage voting algorithm on one observation set
 // and returns up to CandidateCount candidate positions, best first.
 func (p *Positioner) Candidates(obs Observations) ([]Candidate, error) {
+	cands, _, err := p.CandidatesWith(nil, obs)
+	return cands, err
+}
+
+// positionerTopK is the default number of coarse cells the hierarchical
+// stage-2 refinement descends: one-shot positioning faces the full
+// grating-lobe ambiguity, so it keeps more branches than steady-state
+// tracking.
+const positionerTopK = 4
+
+// CandidatesWith is Candidates with an explicit reusable scratch (nil
+// takes one from the internal pool) and a report of how much search work
+// the call spent — the quantity the benchmark suite tracks.
+func (p *Positioner) CandidatesWith(sc *Scratch, obs Observations) ([]Candidate, SearchStats, error) {
+	stats := SearchStats{Mode: p.cfg.Search.Mode, Stage1Points: p.coarseGrid.Len()}
 	stage1 := collect(p.stage1Pairs, obs)
 	if len(stage1) < 2 {
-		return nil, fmt.Errorf("vote: only %d stage-1 pairs observed, need ≥2", len(stage1))
+		return nil, stats, fmt.Errorf("vote: only %d stage-1 pairs observed, need ≥2", len(stage1))
 	}
 	all := collect(p.allPairs, obs)
 	if len(all) < 3 {
-		return nil, fmt.Errorf("vote: only %d total pairs observed, need ≥3", len(all))
+		return nil, stats, fmt.Errorf("vote: only %d total pairs observed, need ≥3", len(all))
+	}
+	if sc == nil {
+		sc = p.scratch.Get().(*Scratch)
+		defer p.scratch.Put(sc)
 	}
 
 	// Stage 1: coarse filter over the full region, evaluated against the
@@ -260,15 +310,13 @@ func (p *Positioner) Candidates(obs Observations) ([]Candidate, error) {
 	// observed-pair order keeps the floating-point sums identical to the
 	// direct per-point evaluation.
 	grid := p.coarseGrid
-	sp := p.scratch.Get().(*[]float64)
-	defer p.scratch.Put(sp)
-	score1 := *sp
+	score1 := sc.stage1Buf(grid.Len())
 	for i := range score1 {
 		score1[i] = 0
 	}
 	for _, o := range stage1 {
 		if err := p.table.AccumulateVotes(o.idx, o.turns, score1); err != nil {
-			return nil, err
+			return nil, stats, err
 		}
 	}
 	best1 := math.Inf(-1)
@@ -278,21 +326,67 @@ func (p *Positioner) Candidates(obs Observations) ([]Candidate, error) {
 		}
 	}
 
-	// Stage 2: refine every surviving point with all pairs.
+	// Stage 2: refine surviving coarse points with all pairs.
 	var cands []Candidate
-	for i := range score1 {
-		if score1[i] < best1-p.cfg.CoarseDelta {
-			continue
+	if p.cfg.Search.Mode == SearchHierarchical {
+		// Cluster the threshold-clearing cells into peak groups, descend
+		// every group through the cheap multi-resolution table, then
+		// spend direct evaluations only on the top-K groups ranked by
+		// their finest-table all-pairs score. Stage-1 scores alone are
+		// too flat across the candidate blob to rank peaks, but after
+		// two halvings the all-pairs table resolves them — so the
+		// expensive distance-based refinement touches K spots no matter
+		// how large the candidate region is.
+		k := p.cfg.Search.topK(positionerTopK)
+		if k < p.cfg.CandidateCount {
+			k = p.cfg.CandidateCount
 		}
-		pos, score := p.refine(grid.At(i), all)
-		cands = append(cands, Candidate{Pos: pos, Score: score})
+		groups := pickCellGroups(grid, score1, best1-p.cfg.CoarseDelta, maxPeakGroups, 2*p.cfg.CoarseRes)
+		fronts := make([]groupFront, 0, len(groups))
+		for _, g := range groups {
+			stats.Cells += len(g)
+			cells, evals := p.descendTable(g, all, sc)
+			stats.GridEvals += evals
+			if len(cells) > 0 {
+				fronts = append(fronts, groupFront{cells: cells})
+			}
+		}
+		branch := refineBranch
+		if p.multi.Levels() > 1 {
+			sort.SliceStable(fronts, func(a, b int) bool {
+				return fronts[a].cells[0].score > fronts[b].cells[0].score
+			})
+			if len(fronts) > k {
+				fronts = fronts[:k]
+			}
+		} else {
+			// A single-level table's coarse scores cannot rank peak
+			// groups (the wide pairs' votes are aliased at that
+			// resolution), so refine every group from all its seeds.
+			branch = maxCellsPerGroup
+		}
+		for _, f := range fronts {
+			pos, score, evals := p.directRefine(f.cells, all, sc, branch)
+			stats.GridEvals += evals
+			cands = append(cands, Candidate{Pos: pos, Score: score})
+		}
+	} else {
+		for i := range score1 {
+			if score1[i] < best1-p.cfg.CoarseDelta {
+				continue
+			}
+			stats.Cells++
+			pos, score, evals := p.refine(grid.At(i), all)
+			stats.GridEvals += evals
+			cands = append(cands, Candidate{Pos: pos, Score: score})
+		}
 	}
 	if len(cands) == 0 {
-		return nil, errors.New("vote: empty candidate region")
+		return nil, stats, errors.New("vote: empty candidate region")
 	}
 
 	// Merge near-duplicates, keep the best-scoring representatives.
-	sort.Slice(cands, func(a, b int) bool { return cands[a].Score > cands[b].Score })
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].Score > cands[b].Score })
 	var out []Candidate
 	for _, c := range cands {
 		dup := false
@@ -309,14 +403,16 @@ func (p *Positioner) Candidates(obs Observations) ([]Candidate, error) {
 			}
 		}
 	}
-	return out, nil
+	return out, stats, nil
 }
 
 // refine hill-climbs the total vote from start down to FineRes using a
-// shrinking 3×3 pattern search clipped to the region.
-func (p *Positioner) refine(start geom.Vec2, po []pairObs) (geom.Vec2, float64) {
+// shrinking 3×3 pattern search clipped to the region — the dense-mode
+// reference refinement. The third return is the evaluation count.
+func (p *Positioner) refine(start geom.Vec2, po []pairObs) (geom.Vec2, float64, int) {
 	pos := start
 	best := totalVote(pos, p.cfg.Plane, po)
+	evals := 1
 	step := p.cfg.CoarseRes / 2
 	for step >= p.cfg.FineRes {
 		improved := false
@@ -326,6 +422,7 @@ func (p *Positioner) refine(start geom.Vec2, po []pairObs) (geom.Vec2, float64) 
 					continue
 				}
 				cand := p.cfg.Region.Clip(geom.Vec2{X: pos.X + float64(dx)*step, Z: pos.Z + float64(dz)*step})
+				evals++
 				if s := totalVote(cand, p.cfg.Plane, po); s > best {
 					best, pos = s, cand
 					improved = true
@@ -336,5 +433,5 @@ func (p *Positioner) refine(start geom.Vec2, po []pairObs) (geom.Vec2, float64) 
 			step /= 2
 		}
 	}
-	return pos, best
+	return pos, best, evals
 }

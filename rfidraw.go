@@ -97,6 +97,10 @@ type Trace struct {
 	Votes []float64
 	// TotalVote is the sum of Votes, the trace-selection score.
 	TotalVote float64
+	// SearchEvals is how many vote-surface evaluations the per-sample
+	// position searches spent; divided by len(Points) it is the
+	// grid-evaluations-per-sample cost the Search mode controls.
+	SearchEvals int
 }
 
 // Result is the outcome of tracing an observation stream.
@@ -109,6 +113,41 @@ type Result struct {
 	Chosen int
 	// Traces holds every candidate's trace, for diagnostics.
 	Traces []Trace
+}
+
+// SearchMode selects how the positioning/tracing vote surfaces are
+// searched.
+type SearchMode int
+
+const (
+	// SearchHierarchical (the default) replaces exhaustive grid scans
+	// with a coarse-to-fine refinement: vote on a coarse lattice, keep
+	// the top-K promising cells, recursively subdivide only those down
+	// to the fine resolution and finish with a quadratic interpolation.
+	// In steady-state tracking the lobe lock seeds the window at the
+	// last fix, so per-sample cost scales with the remaining ambiguity,
+	// not with the vicinity area. Results match dense search within the
+	// paper's positioning-error envelope.
+	SearchHierarchical SearchMode = iota
+	// SearchDense is the exhaustive reference strategy: every grid and
+	// vicinity point is evaluated. Slower, kept for equivalence testing
+	// and regression triage.
+	SearchDense
+)
+
+// SearchConfig tunes the hierarchical coarse-to-fine search. The zero
+// value (hierarchical, default top-K, subdivide to the fine resolution)
+// is right for almost all deployments.
+type SearchConfig struct {
+	// Mode picks the strategy; zero value is SearchHierarchical.
+	Mode SearchMode
+	// TopK overrides how many coarse cells / branches survive each
+	// refinement selection. 0 takes the per-stage defaults (4 for
+	// one-shot positioning, 2 for steady-state tracking).
+	TopK int
+	// Levels caps the subdivision depth; 0 subdivides until the fine
+	// resolution is reached.
+	Levels int
 }
 
 // Config configures a System.
@@ -130,6 +169,10 @@ type Config struct {
 	// parallel by TraceMany. Default 1 (fully synchronous, the
 	// single-threaded path).
 	Shards int
+	// Search tunes the grid-search strategy on the positioning and
+	// tracing hot paths; the zero value is the hierarchical
+	// coarse-to-fine search.
+	Search SearchConfig
 }
 
 // System is a configured RF-IDraw instance for the standard two-reader,
@@ -159,6 +202,11 @@ func New(cfg Config) (*System, error) {
 	if shards <= 0 {
 		shards = 1
 	}
+	search := vote.SearchConfig{
+		Mode:   vote.SearchMode(cfg.Search.Mode),
+		TopK:   cfg.Search.TopK,
+		Levels: cfg.Search.Levels,
+	}
 	eng, err := engine.New(engine.Config{
 		Shards:     shards,
 		Deployment: dep,
@@ -166,6 +214,8 @@ func New(cfg Config) (*System, error) {
 			Plane:          geom.Plane{Y: cfg.PlaneDistanceM},
 			Region:         region,
 			CandidateCount: cfg.CandidateCount,
+			Vote:           vote.Config{Search: search},
+			Trace:          tracing.Config{Search: search},
 		},
 	})
 	if err != nil {
@@ -271,10 +321,11 @@ func convertResult(res *core.TraceResult) *Result {
 	}
 	for i, tr := range res.All {
 		out.Traces[i] = Trace{
-			Initial:   Candidate{Pos: Point{X: res.Candidates[i].Pos.X, Z: res.Candidates[i].Pos.Z}, Score: res.Candidates[i].Score},
-			Points:    convertTrajectory(tr),
-			Votes:     append([]float64(nil), tr.Votes...),
-			TotalVote: tr.TotalVote,
+			Initial:     Candidate{Pos: Point{X: res.Candidates[i].Pos.X, Z: res.Candidates[i].Pos.Z}, Score: res.Candidates[i].Score},
+			Points:      convertTrajectory(tr),
+			Votes:       append([]float64(nil), tr.Votes...),
+			TotalVote:   tr.TotalVote,
+			SearchEvals: tr.SearchEvals,
 		}
 	}
 	return out
