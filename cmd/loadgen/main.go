@@ -1,0 +1,382 @@
+// Command loadgen drives a running rfidrawd with simulated multi-user
+// writing sessions and reports end-to-end latency: for every session it
+// creates a daemon session, subscribes to its live stream, replays the
+// scenario's two reader report streams through the ingest gateway (looping
+// until -duration elapses), and measures sample→trace-point latency — the
+// wall-clock delay between when a sweep's closing report was sent and when
+// its trace point arrived back on the stream.
+//
+// The JSON result (stdout or -out) carries p50/p90/p99/max latency,
+// event counts and per-session outcomes; the process exits non-zero if
+// any session failed or was shed, so CI can gate on it. The bench
+// workflow runs it as an informational soak next to the BENCH artifact.
+//
+// Usage:
+//
+//	loadgen -daemon http://127.0.0.1:8090 -sessions 8 -duration 30s
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rfidraw/internal/geom"
+	"rfidraw/internal/readerwire"
+	"rfidraw/internal/server"
+	"rfidraw/internal/sim"
+)
+
+func main() {
+	var (
+		daemon   = flag.String("daemon", "http://127.0.0.1:8090", "rfidrawd HTTP API base URL")
+		ingest   = flag.String("ingest", "", "ingest gateway address (default: learned from the daemon)")
+		sessions = flag.Int("sessions", 8, "concurrent sessions to run")
+		tags     = flag.Int("tags", 2, "simultaneous writers per session")
+		word     = flag.String("word", "hi", "word the first writer writes")
+		seed     = flag.Int64("seed", 1, "scenario seed")
+		pace     = flag.Float64("pace", 1, "replay speed (1 = real time)")
+		duration = flag.Duration("duration", 30*time.Second, "how long each session streams (scenario loops)")
+		out      = flag.String("out", "", "write the JSON report here (default stdout)")
+	)
+	flag.Parse()
+	if err := validateFlags(*daemon, *sessions, *tags, *word, *pace, *duration); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: invalid flags:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	report, err := run(*daemon, *ingest, *sessions, *tags, *word, *seed, *pace, *duration)
+	if report != nil {
+		b, _ := json.MarshalIndent(report, "", "  ")
+		b = append(b, '\n')
+		if *out != "" {
+			if werr := os.WriteFile(*out, b, 0o644); werr != nil {
+				fmt.Fprintln(os.Stderr, "loadgen:", werr)
+				os.Exit(1)
+			}
+		} else {
+			os.Stdout.Write(b)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// validateFlags rejects malformed combinations before dialling anything.
+func validateFlags(daemon string, sessions, tags int, word string, pace float64, duration time.Duration) error {
+	if !strings.HasPrefix(daemon, "http://") && !strings.HasPrefix(daemon, "https://") {
+		return fmt.Errorf("-daemon %q must be an http(s) URL", daemon)
+	}
+	if sessions < 1 {
+		return fmt.Errorf("-sessions %d needs at least one session", sessions)
+	}
+	if tags < 1 || tags > 12 {
+		return fmt.Errorf("-tags %d must be 1–12 (the start-grid limit)", tags)
+	}
+	if strings.TrimSpace(word) == "" {
+		return fmt.Errorf("-word must not be empty")
+	}
+	if pace <= 0 {
+		return fmt.Errorf("-pace %v must be positive (paced replay is what latency means)", pace)
+	}
+	if duration <= 0 {
+		return fmt.Errorf("-duration %v must be positive", duration)
+	}
+	return nil
+}
+
+// extraWords mirrors readerd's multi-writer word cycle.
+var extraWords = []string{"go", "hi", "on", "it", "up", "at"}
+
+// loopGap separates scenario repetitions in stream time: long enough for
+// the daemon's idle drain and stroke finalization to run between words.
+const loopGap = 800 * time.Millisecond
+
+// Report is loadgen's JSON output.
+type Report struct {
+	Sessions  int     `json:"sessions"`
+	Tags      int     `json:"tags_per_session"`
+	Pace      float64 `json:"pace"`
+	DurationS float64 `json:"duration_s"`
+
+	Failed int `json:"failed"`
+	Shed   int `json:"shed"`
+
+	Points int64 `json:"points"`
+	Glyphs int64 `json:"glyphs"`
+	Drops  int64 `json:"drops"`
+
+	// LatencyMS is the sample→trace-point latency distribution in
+	// milliseconds across every point of every session.
+	LatencyMS Percentiles `json:"latency_ms"`
+
+	SessionResults []SessionResult `json:"session_results"`
+}
+
+// Percentiles summarizes a latency sample set in milliseconds.
+type Percentiles struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// SessionResult is one session's outcome.
+type SessionResult struct {
+	ID     string  `json:"id"`
+	Points int64   `json:"points"`
+	Glyphs int64   `json:"glyphs"`
+	Drops  int64   `json:"drops"`
+	P50    float64 `json:"p50_ms"`
+	P99    float64 `json:"p99_ms"`
+	Shed   bool    `json:"shed,omitempty"`
+	Err    string  `json:"err,omitempty"`
+
+	// lats carries the raw samples into the global distribution.
+	lats []float64
+}
+
+func run(daemon, ingest string, sessions, tags int, word string, seed int64, pace float64, duration time.Duration) (*Report, error) {
+	// One shared scenario, replayed into every session: sessions are
+	// isolated by the daemon, so identical content exercises the serving
+	// layer without paying scenario generation per session.
+	sc, err := sim.New(sim.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	texts := make([]string, tags)
+	starts := make([]geom.Vec2, tags)
+	for i := range texts {
+		if i == 0 {
+			texts[i] = word
+		} else {
+			texts[i] = extraWords[(i-1)%len(extraWords)]
+		}
+		starts[i] = geom.Vec2{X: 0.35 + 0.45*float64(i%4), Z: 0.55 + 0.5*float64(i/4%3)}
+	}
+	scen, err := sc.RunWords(texts, starts)
+	if err != nil {
+		return nil, err
+	}
+	var scenDur time.Duration
+	for _, reports := range scen.ReportsRF {
+		if n := len(reports); n > 0 && reports[n-1].Time > scenDur {
+			scenDur = reports[n-1].Time
+		}
+	}
+	perTagSweep := scen.SweepInterval * time.Duration(tags)
+
+	ctx, cancel := context.WithTimeout(context.Background(), duration+90*time.Second)
+	defer cancel()
+
+	results := make([]SessionResult, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = runSession(ctx, sessionParams{
+				client:      &server.Client{BaseURL: daemon, Ingest: ingest},
+				id:          fmt.Sprintf("load-%d", i),
+				scen:        scen,
+				scenDur:     scenDur,
+				perTagSweep: perTagSweep,
+				pace:        pace,
+				duration:    duration,
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	report := &Report{
+		Sessions: sessions, Tags: tags, Pace: pace,
+		DurationS:      duration.Seconds(),
+		SessionResults: results,
+	}
+	var all []float64
+	for _, r := range results {
+		report.Points += r.Points
+		report.Glyphs += r.Glyphs
+		report.Drops += r.Drops
+		if r.Shed {
+			report.Shed++
+		} else if r.Err != "" {
+			// Shed sessions are the daemon doing its job under overload,
+			// not a failure of the run.
+			report.Failed++
+		}
+		all = append(all, r.lats...)
+	}
+	report.LatencyMS = percentiles(all)
+	if report.Failed > 0 {
+		return report, fmt.Errorf("%d of %d sessions failed", report.Failed, sessions)
+	}
+	return report, nil
+}
+
+type sessionParams struct {
+	client      *server.Client
+	id          string
+	scen        *sim.MultiWordRun
+	scenDur     time.Duration
+	perTagSweep time.Duration
+	pace        float64
+	duration    time.Duration
+}
+
+func runSession(ctx context.Context, p sessionParams) SessionResult {
+	res := SessionResult{ID: p.id}
+	id, err := p.client.CreateSession(ctx, p.id, 0)
+	if err != nil {
+		if errors.Is(err, server.ErrSessionLimit) {
+			res.Shed = true
+		}
+		res.Err = err.Error()
+		return res
+	}
+	defer p.client.DeleteSession(context.Background(), id)
+
+	events, errs, err := p.client.Subscribe(ctx, id)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+
+	// The stream consumer: latency for a point at stream time T is
+	// recvWall − (start + (T + sweep)/pace) — the sweep term because a
+	// sweep's position can only be computed once the next sweep's first
+	// report arrives. The consumer owns its tallies; they transfer to res
+	// over sumCh when the stream ends.
+	start := time.Now()
+	type consumeSummary struct {
+		points, glyphs, drops int64
+		lats                  []float64
+	}
+	sumCh := make(chan consumeSummary, 1)
+	go func() {
+		var sum consumeSummary
+		defer func() { sumCh <- sum }()
+		for ev := range events {
+			switch ev.Type {
+			case "point":
+				sum.points++
+				expected := start.Add(time.Duration(float64(ev.T+p.perTagSweep) / p.pace))
+				lat := time.Since(expected)
+				if lat < 0 {
+					lat = 0
+				}
+				sum.lats = append(sum.lats, float64(lat)/float64(time.Millisecond))
+			case "glyph":
+				sum.glyphs++
+			case "drop":
+				sum.drops += int64(ev.Dropped)
+			}
+		}
+	}()
+
+	// Two reader connections loop the scenario until the duration is up.
+	replayCtx, stopReplay := context.WithDeadline(ctx, start.Add(p.duration))
+	var rwg sync.WaitGroup
+	errCh := make(chan error, len(p.scen.ReportsRF))
+	for readerID := range p.scen.ReportsRF {
+		rwg.Add(1)
+		go func(readerID int) {
+			defer rwg.Done()
+			hello := readerwire.Hello{
+				Proto:         readerwire.ProtoVersion,
+				ReaderID:      uint8(readerID),
+				AntennaCount:  4,
+				SweepInterval: p.perTagSweep,
+			}
+			rs, err := p.client.DialIngest(id, hello)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer rs.Close()
+			for loop := 0; replayCtx.Err() == nil; loop++ {
+				offset := time.Duration(loop) * (p.scenDur + loopGap)
+				err := rs.Replay(replayCtx, p.scen.ReportsRF[readerID], p.pace, offset, start)
+				if err != nil {
+					if replayCtx.Err() == nil {
+						errCh <- err
+					}
+					return
+				}
+			}
+		}(readerID)
+	}
+	rwg.Wait()
+	stopReplay()
+	select {
+	case err := <-errCh:
+		res.Err = err.Error()
+	default:
+	}
+
+	// Let the daemon's idle drain flush the tail, then tear down; the
+	// delete ends the stream, which ends the consumer.
+	time.Sleep(400 * time.Millisecond)
+	if err := p.client.DeleteSession(context.Background(), id); err != nil && res.Err == "" {
+		res.Err = err.Error()
+	}
+	select {
+	case sum := <-sumCh:
+		res.Points, res.Glyphs, res.Drops = sum.points, sum.glyphs, sum.drops
+		res.lats = sum.lats
+	case <-time.After(10 * time.Second):
+		if res.Err == "" {
+			res.Err = "stream did not end after session delete"
+		}
+	}
+	select {
+	case err := <-errs:
+		if res.Err == "" {
+			res.Err = err.Error()
+		}
+	default:
+	}
+	if res.Points == 0 && res.Err == "" {
+		res.Err = "session produced no points"
+	}
+	pct := percentiles(res.lats)
+	res.P50, res.P99 = pct.P50, pct.P99
+	return res
+}
+
+// percentiles computes the latency summary of a millisecond sample set.
+func percentiles(ms []float64) Percentiles {
+	if len(ms) == 0 {
+		return Percentiles{}
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	at := func(q float64) float64 {
+		idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return sorted[idx]
+	}
+	return Percentiles{
+		Count: len(sorted),
+		P50:   at(0.50),
+		P90:   at(0.90),
+		P99:   at(0.99),
+		Max:   sorted[len(sorted)-1],
+	}
+}

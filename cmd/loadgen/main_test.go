@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags("http://127.0.0.1:8090", 8, 2, "hi", 1, 30*time.Second); err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	cases := []struct {
+		name     string
+		daemon   string
+		sessions int
+		tags     int
+		word     string
+		pace     float64
+		duration time.Duration
+	}{
+		{"bad url", "127.0.0.1:8090", 8, 2, "hi", 1, time.Second},
+		{"zero sessions", "http://x", 0, 2, "hi", 1, time.Second},
+		{"zero tags", "http://x", 8, 0, "hi", 1, time.Second},
+		{"too many tags", "http://x", 8, 13, "hi", 1, time.Second},
+		{"empty word", "http://x", 8, 2, "  ", 1, time.Second},
+		{"zero pace", "http://x", 8, 2, "hi", 0, time.Second},
+		{"zero duration", "http://x", 8, 2, "hi", 1, 0},
+	}
+	for _, tc := range cases {
+		if err := validateFlags(tc.daemon, tc.sessions, tc.tags, tc.word, tc.pace, tc.duration); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	p := percentiles(nil)
+	if p.Count != 0 || p.P50 != 0 {
+		t.Fatalf("empty percentiles = %+v", p)
+	}
+	ms := make([]float64, 100)
+	for i := range ms {
+		ms[i] = float64(100 - i) // reversed: 100..1
+	}
+	p = percentiles(ms)
+	if p.Count != 100 || p.P50 != 50 || p.P90 != 90 || p.P99 != 99 || p.Max != 100 {
+		t.Fatalf("percentiles = %+v", p)
+	}
+}

@@ -1,0 +1,116 @@
+// Command rfidrawd is the session-serving daemon: the long-lived host
+// side of the virtual touch screen. It exposes
+//
+//   - a JSON control API and chunked NDJSON live streams on -http
+//     (POST/GET/DELETE /v1/sessions, GET /v1/sessions/{id}/stream),
+//   - a reader ingest gateway on -ingest (readerwire streams prefixed
+//     with a "RFIDRAWD/1 <session-id>" line),
+//   - observability on /healthz and /metrics.
+//
+// Each session binds its writers' tags to an engine shard group sharing
+// the daemon's precomputed positioner. Beyond -max-sessions the daemon
+// sheds session creates with HTTP 503 instead of degrading live ones;
+// slow stream consumers lose their oldest events instead of stalling the
+// trackers.
+//
+// Usage:
+//
+//	rfidrawd -http 127.0.0.1:8090 -ingest 127.0.0.1:7070 -dist 2
+//
+// Drive it with cmd/loadgen, or point examples/streaming and
+// examples/multiuser at it with their -daemon flags.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rfidraw"
+)
+
+func main() {
+	var (
+		httpAddr   = flag.String("http", "127.0.0.1:8090", "control/streaming API listen address")
+		ingestAddr = flag.String("ingest", "127.0.0.1:7070", "reader ingest gateway listen address")
+		dist       = flag.Float64("dist", 2, "writing plane distance in metres")
+		shards     = flag.Int("session-shards", 1, "engine worker shards per session")
+		maxSess    = flag.Int("max-sessions", 128, "admission-control cap on live sessions")
+		maxSubs    = flag.Int("max-subscribers", 16, "stream subscribers per session")
+		queue      = flag.Int("queue", 256, "per-subscriber bounded event queue")
+		idle       = flag.Duration("idle", 2*time.Minute, "idle session expiry")
+		reorder    = flag.Duration("reorder", 25*time.Millisecond, "cross-reader resequencing window")
+	)
+	flag.Parse()
+	if err := validateFlags(*httpAddr, *ingestAddr, *dist, *shards, *maxSess, *maxSubs, *queue, *idle, *reorder); err != nil {
+		fmt.Fprintln(os.Stderr, "rfidrawd: invalid flags:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*httpAddr, *ingestAddr, *dist, *shards, *maxSess, *maxSubs, *queue, *idle, *reorder); err != nil {
+		fmt.Fprintln(os.Stderr, "rfidrawd:", err)
+		os.Exit(1)
+	}
+}
+
+// validateFlags rejects malformed combinations before anything binds.
+func validateFlags(httpAddr, ingestAddr string, dist float64, shards, maxSess, maxSubs, queue int, idle, reorder time.Duration) error {
+	if strings.TrimSpace(httpAddr) == "" {
+		return fmt.Errorf("-http must name a TCP address")
+	}
+	if strings.TrimSpace(ingestAddr) == "" {
+		return fmt.Errorf("-ingest must name a TCP address")
+	}
+	if strings.TrimSpace(httpAddr) == strings.TrimSpace(ingestAddr) {
+		return fmt.Errorf("-http and -ingest must differ (both %q)", httpAddr)
+	}
+	if dist <= 0 {
+		return fmt.Errorf("-dist %v must be a positive distance in metres", dist)
+	}
+	if shards < 1 {
+		return fmt.Errorf("-session-shards %d needs at least one shard", shards)
+	}
+	if maxSess < 1 {
+		return fmt.Errorf("-max-sessions %d needs at least one session", maxSess)
+	}
+	if maxSubs < 1 {
+		return fmt.Errorf("-max-subscribers %d needs at least one subscriber", maxSubs)
+	}
+	if queue < 1 {
+		return fmt.Errorf("-queue %d needs at least one slot", queue)
+	}
+	if idle <= 0 {
+		return fmt.Errorf("-idle %v must be positive", idle)
+	}
+	if reorder <= 0 {
+		return fmt.Errorf("-reorder %v must be positive", reorder)
+	}
+	return nil
+}
+
+func run(httpAddr, ingestAddr string, dist float64, shards, maxSess, maxSubs, queue int, idle, reorder time.Duration) error {
+	sys, err := rfidraw.New(rfidraw.Config{PlaneDistanceM: dist})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return sys.Serve(ctx, rfidraw.ServeConfig{
+		HTTPAddr:        httpAddr,
+		IngestAddr:      ingestAddr,
+		MaxSessions:     maxSess,
+		MaxSubscribers:  maxSubs,
+		SubscriberQueue: queue,
+		SessionShards:   shards,
+		IdleTimeout:     idle,
+		ReorderWindow:   reorder,
+		Logf:            log.Printf,
+	})
+}

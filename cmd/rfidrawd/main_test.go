@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	ok := func() []any {
+		return []any{"127.0.0.1:8090", "127.0.0.1:7070", 2.0, 1, 128, 16, 256, 2 * time.Minute, 25 * time.Millisecond}
+	}
+	call := func(args []any) error {
+		return validateFlags(args[0].(string), args[1].(string), args[2].(float64),
+			args[3].(int), args[4].(int), args[5].(int), args[6].(int),
+			args[7].(time.Duration), args[8].(time.Duration))
+	}
+	if err := call(ok()); err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		idx  int
+		val  any
+	}{
+		{"empty http", 0, "  "},
+		{"empty ingest", 1, ""},
+		{"same addr", 1, "127.0.0.1:8090"},
+		{"bad dist", 2, -1.0},
+		{"zero shards", 3, 0},
+		{"zero sessions", 4, 0},
+		{"zero subscribers", 5, 0},
+		{"zero queue", 6, 0},
+		{"zero idle", 7, time.Duration(0)},
+		{"zero reorder", 8, time.Duration(0)},
+	}
+	for _, tc := range cases {
+		args := ok()
+		args[tc.idx] = tc.val
+		if err := call(args); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -6,21 +6,37 @@
 // precomputed steering table.
 //
 //	go run ./examples/multiuser
+//
+// With -daemon the four writers' raw reader streams go through a running
+// rfidrawd session instead of the embedded engine: the daemon
+// demultiplexes the tags, traces them concurrently and streams every
+// writer's points and recognized glyphs back.
+//
+//	rfidrawd &
+//	go run ./examples/multiuser -daemon http://127.0.0.1:8090
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
+	"sync"
+	"time"
 
 	"rfidraw/internal/core"
 	"rfidraw/internal/deploy"
 	"rfidraw/internal/engine"
 	"rfidraw/internal/geom"
+	"rfidraw/internal/readerwire"
+	"rfidraw/internal/server"
 	"rfidraw/internal/sim"
 	"rfidraw/internal/traj"
 )
 
 func main() {
+	daemon := flag.String("daemon", "", "rfidrawd HTTP API base URL; empty embeds the engine locally")
+	flag.Parse()
 	sc, err := sim.New(sim.Config{Seed: 5})
 	if err != nil {
 		log.Fatal(err)
@@ -34,6 +50,13 @@ func main() {
 	run, err := sc.RunWords(words, starts)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *daemon != "" {
+		if err := throughDaemon(*daemon, run, words); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	eng, err := engine.New(engine.Config{
@@ -62,4 +85,91 @@ func main() {
 	}
 	fmt.Printf("\n%d users tracked concurrently on %d shards; EPC identity separates their streams\n",
 		len(run.Tags), eng.Shards())
+}
+
+// throughDaemon replays the writers' raw per-reader report streams into
+// an rfidrawd session and tallies the live output per tag.
+func throughDaemon(daemon string, run *sim.MultiWordRun, words []string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	cl := &server.Client{BaseURL: daemon}
+	id, err := cl.CreateSession(ctx, "", 0)
+	if err != nil {
+		return err
+	}
+	defer cl.DeleteSession(context.Background(), id)
+	fmt.Printf("daemon session %s on %s (ingest %s)\n", id, daemon, cl.Ingest)
+
+	events, errs, err := cl.Subscribe(ctx, id)
+	if err != nil {
+		return err
+	}
+	type tally struct {
+		points int
+		glyphs []string
+	}
+	tallies := map[string]*tally{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range events {
+			tl := tallies[ev.Tag]
+			if tl == nil {
+				tl = &tally{}
+				tallies[ev.Tag] = tl
+			}
+			switch ev.Type {
+			case "point":
+				tl.points++
+			case "glyph":
+				tl.glyphs = append(tl.glyphs, ev.Glyph)
+			}
+		}
+	}()
+
+	// Gen-2 singulation splits airtime: the per-tag cadence is tag-count
+	// × the raw sweep interval, which is what the Hello announces.
+	perTag := run.SweepInterval * time.Duration(len(run.Tags))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for readerID := range run.ReportsRF {
+		wg.Add(1)
+		go func(readerID int) {
+			defer wg.Done()
+			rs, err := cl.DialIngest(id, readerwire.Hello{
+				Proto: readerwire.ProtoVersion, ReaderID: uint8(readerID),
+				AntennaCount: 4, SweepInterval: perTag,
+			})
+			if err != nil {
+				log.Printf("reader %d: %v", readerID, err)
+				return
+			}
+			defer rs.Close()
+			if err := rs.Replay(ctx, run.ReportsRF[readerID], 4 /* 4x real time */, 0, start); err != nil {
+				log.Printf("reader %d: %v", readerID, err)
+			}
+		}(readerID)
+	}
+	wg.Wait()
+	time.Sleep(300 * time.Millisecond) // let the daemon's idle drain flush
+	if err := cl.DeleteSession(context.Background(), id); err != nil {
+		return err
+	}
+	<-done
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+	for i, tag := range run.Tags {
+		tl := tallies[tag.EPC.String()]
+		if tl == nil {
+			tl = &tally{}
+		}
+		fmt.Printf("tag %s: user %d wrote %-3q → %d live points, glyphs %v\n",
+			tag.EPC, i+1, words[i], tl.points, tl.glyphs)
+	}
+	fmt.Printf("\n%d users tracked concurrently through the daemon; EPC identity separates their streams\n",
+		len(run.Tags))
+	return nil
 }

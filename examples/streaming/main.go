@@ -4,13 +4,22 @@
 // is what cmd/readerd and cmd/tracker do across processes.
 //
 //	go run ./examples/streaming
+//
+// With -daemon the example connects through a running rfidrawd instead of
+// embedding the tracker: it creates a session, streams the reader reports
+// into the ingest gateway and prints the live NDJSON events coming back.
+//
+//	rfidrawd &
+//	go run ./examples/streaming -daemon http://127.0.0.1:8090
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"net"
+	"sync"
 	"time"
 
 	"rfidraw/internal/core"
@@ -19,10 +28,13 @@ import (
 	"rfidraw/internal/readerwire"
 	"rfidraw/internal/realtime"
 	"rfidraw/internal/rfid"
+	"rfidraw/internal/server"
 	"rfidraw/internal/sim"
 )
 
 func main() {
+	daemon := flag.String("daemon", "", "rfidrawd HTTP API base URL; empty embeds the tracker locally")
+	flag.Parse()
 	scenario, err := sim.New(sim.Config{Seed: 31})
 	if err != nil {
 		log.Fatal(err)
@@ -33,24 +45,35 @@ func main() {
 	}
 	dur := run.Word.Traj.Duration() + 100*time.Millisecond
 
-	// Split the merged samples back into two per-reader report streams
-	// and serve each over TCP.
-	var servers []*readerwire.Server
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
+	// Split the merged samples back into two per-reader report streams.
+	streams2 := make([][]rfid.Report, 2)
 	for readerID := 0; readerID < 2; readerID++ {
-		var reports []rfid.Report
 		for _, s := range run.SamplesRF {
 			for id, ph := range s.Phase {
 				if (id-1)/4 != readerID {
 					continue
 				}
-				reports = append(reports, rfid.Report{
+				streams2[readerID] = append(streams2[readerID], rfid.Report{
 					Time: s.T, ReaderID: readerID, AntennaID: id,
 					EPC: scenario.Tag.EPC, PhaseRad: ph,
 				})
 			}
 		}
+	}
+
+	if *daemon != "" {
+		if err := throughDaemon(*daemon, streams2, run.Word.Text); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	// Serve each reader stream over TCP.
+	var servers []*readerwire.Server
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for readerID := 0; readerID < 2; readerID++ {
+		reports := streams2[readerID]
 		srv, err := readerwire.NewServer("127.0.0.1:0", &readerwire.InventorySource{
 			Announce: readerwire.Hello{
 				Proto: readerwire.ProtoVersion, ReaderID: uint8(readerID),
@@ -109,4 +132,71 @@ func main() {
 		count += len(ps)
 	}
 	fmt.Printf("\ntraced %d live positions of %q; mean vote %.4f\n", count, run.Word.Text, tracker.MeanVote())
+}
+
+// throughDaemon runs the same pipeline against a live rfidrawd: session
+// create, two ingest reader connections, live NDJSON consumption.
+func throughDaemon(daemon string, streams [][]rfid.Report, word string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cl := &server.Client{BaseURL: daemon}
+	id, err := cl.CreateSession(ctx, "", 0)
+	if err != nil {
+		return err
+	}
+	defer cl.DeleteSession(context.Background(), id)
+	fmt.Printf("daemon session %s on %s (ingest %s)\n", id, daemon, cl.Ingest)
+
+	events, errs, err := cl.Subscribe(ctx, id)
+	if err != nil {
+		return err
+	}
+	counted := make(chan int)
+	go func() {
+		count := 0
+		for ev := range events {
+			if ev.Type != "point" {
+				continue
+			}
+			if count%10 == 0 {
+				fmt.Printf("live t=%8v  (%.3f, %.3f) m\n", ev.T.Round(time.Millisecond), ev.X, ev.Z)
+			}
+			count++
+		}
+		counted <- count
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for readerID := range streams {
+		wg.Add(1)
+		go func(readerID int) {
+			defer wg.Done()
+			rs, err := cl.DialIngest(id, readerwire.Hello{
+				Proto: readerwire.ProtoVersion, ReaderID: uint8(readerID),
+				AntennaCount: 4, SweepInterval: 25 * time.Millisecond,
+			})
+			if err != nil {
+				log.Printf("reader %d: %v", readerID, err)
+				return
+			}
+			defer rs.Close()
+			if err := rs.Replay(ctx, streams[readerID], 4 /* 4x real time */, 0, start); err != nil {
+				log.Printf("reader %d: %v", readerID, err)
+			}
+		}(readerID)
+	}
+	wg.Wait()
+	time.Sleep(300 * time.Millisecond) // let the daemon's idle drain flush
+	if err := cl.DeleteSession(context.Background(), id); err != nil {
+		return err
+	}
+	count := <-counted
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+	fmt.Printf("\ntraced %d live positions of %q through the daemon\n", count, word)
+	return nil
 }

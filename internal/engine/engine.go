@@ -55,6 +55,11 @@ type Config struct {
 	Deployment *deploy.RFIDraw
 	// Core configures the shared positioning/tracing system.
 	Core core.Config
+	// System, when non-nil, is a prebuilt read-only positioning system
+	// shared with other engines (Deployment and Core are then ignored).
+	// The serving layer uses this to give every session its own shard
+	// group without duplicating the precomputed steering tables.
+	System *core.System
 
 	// SweepInterval is the readers' per-tag sweep period, required for
 	// the streaming path (Offer). With Gen-2 singulation splitting
@@ -109,7 +114,10 @@ type TagStats struct {
 	Started        bool
 	MeanVote       float64
 	Reacquisitions int
-	Err            error
+	// SearchEvals is the tag's cumulative vote-surface evaluation count
+	// (acquisitions plus live tracing), for serving-layer metrics.
+	SearchEvals int
+	Err         error
 }
 
 // Engine is a sharded concurrent multi-tag tracker.
@@ -133,6 +141,11 @@ type Engine struct {
 	// read side, Close holds the write side while marking closed.
 	mu     sync.RWMutex
 	closed bool
+	// closeOnce makes Close idempotent and safe to call from several
+	// goroutines at once: the first caller runs the shutdown, later
+	// callers block until it finishes and share its error.
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // New builds and starts an Engine.
@@ -143,9 +156,13 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 64
 	}
-	sys, err := core.NewSystem(cfg.Deployment, cfg.Core)
-	if err != nil {
-		return nil, fmt.Errorf("engine: %w", err)
+	sys := cfg.System
+	if sys == nil {
+		var err error
+		sys, err = core.NewSystem(cfg.Deployment, cfg.Core)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
 	}
 	e := &Engine{
 		cfg:     cfg,
@@ -330,21 +347,26 @@ func (e *Engine) Stats() []TagStats {
 	return out
 }
 
-// Close flushes, stops every shard and waits for them to exit. The engine
-// must not be used afterwards.
+// Close flushes, stops every shard and waits for them to exit. Close is
+// idempotent and safe to call from any number of goroutines, concurrently
+// with in-flight TraceBatch/Trace calls: batch jobs dispatched before the
+// close complete normally, jobs arriving after it fail with an
+// "engine: closed" error, and every Close call returns the same error
+// once shutdown has finished. The streaming entry points (Offer, OfferAll,
+// Flush, Stats) remain ingest-goroutine-only and must not race a Close
+// from another goroutine.
 func (e *Engine) Close() error {
-	if e.closed {
-		return nil
-	}
-	err := e.Flush()
-	e.mu.Lock()
-	e.closed = true
-	for _, sh := range e.shards {
-		close(sh.in)
-	}
-	e.mu.Unlock()
-	for _, sh := range e.shards {
-		<-sh.done
-	}
-	return err
+	e.closeOnce.Do(func() {
+		e.closeErr = e.Flush()
+		e.mu.Lock()
+		e.closed = true
+		for _, sh := range e.shards {
+			close(sh.in)
+		}
+		e.mu.Unlock()
+		for _, sh := range e.shards {
+			<-sh.done
+		}
+	})
+	return e.closeErr
 }

@@ -364,6 +364,40 @@ func TestCloseIdempotent(t *testing.T) {
 	}
 }
 
+// TestCloseConcurrent: several goroutines racing Close against in-flight
+// TraceBatch calls must neither panic nor deadlock — every batch either
+// completes normally or reports "engine: closed" per job.
+func TestCloseConcurrent(t *testing.T) {
+	run := multiRun(t, 2)
+	e := newEngine(t, Config{Shards: 4})
+	jobs := []TagJob{
+		{Tag: run.Tags[0].EPC.String(), Samples: run.SamplesRF[0]},
+		{Tag: run.Tags[1].EPC.String(), Samples: run.SamplesRF[1]},
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for _, r := range e.TraceBatch(jobs) {
+				if r.Err == nil && r.Result == nil {
+					t.Error("TraceBatch returned neither result nor error")
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if err := e.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close after concurrent closes: %v", err)
+	}
+}
+
 // TestShardAffinity: equal keys land on the same shard, and distribution
 // over many keys touches every shard.
 func TestShardAffinity(t *testing.T) {

@@ -152,6 +152,7 @@ func (s *shard) collectStats() []TagStats {
 			st.Started = ts.tracker.Started()
 			st.MeanVote = ts.tracker.MeanVote()
 			st.Reacquisitions = ts.tracker.Reacquisitions()
+			st.SearchEvals = ts.tracker.SearchEvals()
 		}
 		out = append(out, st)
 	}

@@ -128,39 +128,139 @@ func (w *Writer) Flush() error { return w.w.Flush() }
 // Reader decodes messages from a stream.
 type Reader struct {
 	r *bufio.Reader
+	// resync makes Next scan forward for the next valid frame instead of
+	// failing the stream on a malformed one (see NewResyncReader).
+	resync  bool
+	resyncs int
 }
 
-// NewReader wraps an io.Reader (normally a net.Conn).
+// NewReader wraps an io.Reader (normally a net.Conn). The reader is
+// strict: any malformed frame fails the stream with ErrBadFrame.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{r: bufio.NewReader(r)}
+	return &Reader{r: bufio.NewReaderSize(r, MaxPayload+8)}
 }
+
+// NewResyncReader wraps an io.Reader like NewReader but makes Next
+// self-healing: when a frame is malformed — a corrupted length, an unknown
+// type, an out-of-range payload, a short read mid-frame — the reader
+// slides forward one byte at a time until it locks onto the next valid
+// frame header instead of erroring out the whole stream. A partial frame
+// at the very end of the stream (a mid-frame disconnect) reads as a clean
+// io.EOF. Use it on the serving side, where a reconnecting reader must not
+// lose its whole session to one damaged frame.
+func NewResyncReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, MaxPayload+8), resync: true}
+}
+
+// Resyncs reports how many bytes Next has skipped hunting for valid
+// frames; zero on an undamaged stream.
+func (r *Reader) Resyncs() int { return r.resyncs }
 
 // ErrBadFrame reports malformed framing or payloads.
 var ErrBadFrame = errors.New("readerwire: bad frame")
 
 // Next reads the next message. It returns io.EOF at a clean end of stream
-// (after Bye or when the connection closes between frames).
+// (after Bye or when the connection closes between frames). In strict mode
+// malformed frames return ErrBadFrame; in resync mode (NewResyncReader)
+// they are skipped.
 func (r *Reader) Next() (Message, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return Message{}, fmt.Errorf("%w: truncated header: %v", ErrBadFrame, err)
+	for {
+		msg, err := r.next()
+		if err == nil || !r.resync || !errors.Is(err, ErrBadFrame) {
+			return msg, err
+		}
+		// Malformed frame: slide one byte and hunt for the next header.
+		if _, derr := r.r.Discard(1); derr != nil {
+			return Message{}, io.EOF
+		}
+		r.resyncs++
+	}
+}
+
+// next decodes one message without consuming any bytes until the whole
+// frame has validated, so resync mode can rescan from the next byte.
+func (r *Reader) next() (Message, error) {
+	hdr, err := r.r.Peek(4)
+	if err != nil {
+		if len(hdr) == 0 {
+			return Message{}, err // clean EOF between frames, or IO error
+		}
+		if errors.Is(err, io.EOF) {
+			if r.resync {
+				// 1–3 trailing bytes: an unfinishable partial header.
+				return Message{}, io.EOF
+			}
+			return Message{}, fmt.Errorf("%w: truncated header: %v", ErrBadFrame, io.ErrUnexpectedEOF)
 		}
 		return Message{}, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr)
 	if n == 0 || n > MaxPayload {
 		return Message{}, fmt.Errorf("%w: payload length %d", ErrBadFrame, n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r.r, payload); err != nil {
-		return Message{}, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
+	frame, err := r.r.Peek(4 + int(n))
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			if r.resync && !plausibleFrame(frame) {
+				// The "frame" this length implies runs past the end of
+				// the stream and does not even start like a real
+				// message: treat it as corruption and keep scanning.
+				return Message{}, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, io.ErrUnexpectedEOF)
+			}
+			if r.resync {
+				// A truncated but plausible final frame: the sender
+				// disconnected mid-frame. End of stream.
+				return Message{}, io.EOF
+			}
+			return Message{}, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, io.ErrUnexpectedEOF)
+		}
+		return Message{}, err
+	}
+	msg, err := decodePayload(frame[4:])
+	if err != nil {
+		return Message{}, err
+	}
+	if _, err := r.r.Discard(4 + int(n)); err != nil {
+		return Message{}, err
+	}
+	return msg, nil
+}
+
+// payloadLen is the single source of truth for each message type's exact
+// payload length (type byte included); ok is false for unknown types.
+// decodePayload and plausibleFrame must agree on these, so they both
+// consult this table.
+func payloadLen(typ byte) (n int, ok bool) {
+	switch typ {
+	case TypeHello:
+		return 1 + 3 + 8, true
+	case TypePhaseReport:
+		return 1 + 2 + 8 + 12 + 8 + 8, true
+	case TypeBye:
+		return 1, true
+	default:
+		return 0, false
+	}
+}
+
+// plausibleFrame reports whether a partial frame (header plus however much
+// payload arrived) starts like a genuine message: a known type byte and a
+// length consistent with that type.
+func plausibleFrame(partial []byte) bool {
+	if len(partial) < 5 {
+		return len(partial) == 4 // length alone: cannot disprove
+	}
+	want, ok := payloadLen(partial[4])
+	return ok && binary.BigEndian.Uint32(partial) == uint32(want)
+}
+
+// decodePayload validates and decodes one frame payload.
+func decodePayload(payload []byte) (Message, error) {
+	if want, ok := payloadLen(payload[0]); ok && len(payload) != want {
+		return Message{}, fmt.Errorf("%w: type 0x%02x length %d, want %d", ErrBadFrame, payload[0], len(payload), want)
 	}
 	switch payload[0] {
 	case TypeHello:
-		if len(payload) != 1+3+8 {
-			return Message{}, fmt.Errorf("%w: hello length %d", ErrBadFrame, len(payload))
-		}
 		h := &Hello{
 			Proto:         payload[1],
 			ReaderID:      payload[2],
@@ -172,9 +272,6 @@ func (r *Reader) Next() (Message, error) {
 		}
 		return Message{Hello: h}, nil
 	case TypePhaseReport:
-		if len(payload) != 1+2+8+12+8+8 {
-			return Message{}, fmt.Errorf("%w: report length %d", ErrBadFrame, len(payload))
-		}
 		rep := &rfid.Report{
 			ReaderID:  int(payload[1]),
 			AntennaID: int(payload[2]),
@@ -188,9 +285,6 @@ func (r *Reader) Next() (Message, error) {
 		}
 		return Message{Report: rep}, nil
 	case TypeBye:
-		if len(payload) != 1 {
-			return Message{}, fmt.Errorf("%w: bye length %d", ErrBadFrame, len(payload))
-		}
 		return Message{Bye: &Bye{}}, nil
 	default:
 		return Message{}, fmt.Errorf("%w: unknown type 0x%02x", ErrBadFrame, payload[0])

@@ -1,0 +1,151 @@
+package readerwire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"time"
+
+	"rfidraw/internal/rfid"
+)
+
+// encodeStream renders a Hello, the given reports and an optional Bye into
+// raw wire bytes.
+func encodeStream(t *testing.T, reports []rfid.Report, bye bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteHello(Hello{Proto: ProtoVersion, ReaderID: 1, AntennaCount: 4, SweepInterval: 25 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if err := w.WriteReport(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bye {
+		if err := w.WriteBye(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func testReports(n int) []rfid.Report {
+	out := make([]rfid.Report, n)
+	for i := range out {
+		out[i] = rfid.Report{
+			Time:      time.Duration(i) * 10 * time.Millisecond,
+			ReaderID:  1,
+			AntennaID: 1 + i%4,
+			PhaseRad:  math.Mod(0.1*float64(i), 2*math.Pi),
+		}
+		out[i].EPC[0] = byte(i)
+	}
+	return out
+}
+
+// readAll drains a reader, returning the decoded reports.
+func readAll(t *testing.T, r *Reader) []rfid.Report {
+	t.Helper()
+	var out []rfid.Report
+	for {
+		msg, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if msg.Report != nil {
+			out = append(out, *msg.Report)
+		}
+	}
+}
+
+// TestResyncTruncatedStream is the regression test for mid-frame
+// disconnects: a stream cut off partway through a report must deliver
+// every complete report and then end cleanly, not error out.
+func TestResyncTruncatedStream(t *testing.T) {
+	reports := testReports(8)
+	raw := encodeStream(t, reports, true)
+	// Cut mid-way through the final report's frame (before the Bye).
+	byeLen := 4 + 1
+	cut := len(raw) - byeLen - 17 // 17 bytes into the last report frame
+	r := NewResyncReader(bytes.NewReader(raw[:cut]))
+	msg, err := r.Next()
+	if err != nil || msg.Hello == nil {
+		t.Fatalf("want Hello, got %+v, %v", msg, err)
+	}
+	got := readAll(t, r)
+	if len(got) != len(reports)-1 {
+		t.Fatalf("got %d reports from truncated stream, want %d", len(got), len(reports)-1)
+	}
+	for i, rep := range got {
+		if rep.Time != reports[i].Time || rep.AntennaID != reports[i].AntennaID {
+			t.Fatalf("report %d mismatch: got %+v want %+v", i, rep, reports[i])
+		}
+	}
+}
+
+// TestResyncSkipsCorruptedFrame verifies the reader re-locks onto the next
+// valid frame header after a burst of garbage mid-stream.
+func TestResyncSkipsCorruptedFrame(t *testing.T) {
+	reports := testReports(6)
+	head := encodeStream(t, reports[:3], false)
+	tailOnly := encodeStream(t, reports[3:], true)
+	// Strip the tail's Hello so the garbage sits between two report runs.
+	helloLen := 4 + 1 + 3 + 8
+	garbage := []byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x99, 0xff, 0x07, 0x01}
+	raw := append(append(append([]byte{}, head...), garbage...), tailOnly[helloLen:]...)
+
+	r := NewResyncReader(bytes.NewReader(raw))
+	if msg, err := r.Next(); err != nil || msg.Hello == nil {
+		t.Fatalf("want Hello, got %+v, %v", msg, err)
+	}
+	got := readAll(t, r)
+	if len(got) != len(reports) {
+		t.Fatalf("got %d reports across corruption, want %d", len(got), len(reports))
+	}
+	if r.Resyncs() == 0 {
+		t.Fatal("expected the reader to report skipped bytes")
+	}
+}
+
+// TestStrictReaderStillFailsOnCorruption pins the default reader's
+// behaviour: corruption is an ErrBadFrame, not a silent skip.
+func TestStrictReaderStillFailsOnCorruption(t *testing.T) {
+	raw := encodeStream(t, testReports(2), true)
+	// Corrupt the second report's length prefix (hello frame is 16 bytes,
+	// a report frame 43).
+	raw[16+43] ^= 0xff
+	r := NewReader(bytes.NewReader(raw))
+	var err error
+	for i := 0; i < 8; i++ {
+		if _, err = r.Next(); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("strict reader error = %v, want ErrBadFrame", err)
+	}
+}
+
+// TestResyncTruncatedHeaderTail: 1–3 trailing bytes after the last full
+// frame read as clean EOF in resync mode.
+func TestResyncTruncatedHeaderTail(t *testing.T) {
+	raw := encodeStream(t, testReports(2), false)
+	raw = append(raw, 0x00, 0x00) // half a length prefix
+	r := NewResyncReader(bytes.NewReader(raw))
+	if msg, err := r.Next(); err != nil || msg.Hello == nil {
+		t.Fatalf("want Hello, got %+v, %v", msg, err)
+	}
+	if got := readAll(t, r); len(got) != 2 {
+		t.Fatalf("got %d reports, want 2", len(got))
+	}
+}

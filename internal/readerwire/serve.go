@@ -2,7 +2,9 @@ package readerwire
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -155,9 +157,13 @@ func (s *InventorySource) Reports(from, to time.Duration) []rfid.Report {
 }
 
 // Collect reads a full stream from conn into a report slice, validating
-// the Hello handshake.
+// the Hello handshake. It reads through a resync reader, so a damaged or
+// truncated stream yields every report that survived intact: corrupted
+// frames are skipped, a repeated Hello (a reader re-announcing after
+// reconnect) is ignored, and a connection that drops mid-frame without a
+// Bye ends the collection cleanly instead of erroring it out.
 func Collect(conn net.Conn) (Hello, []rfid.Report, error) {
-	r := NewReader(conn)
+	r := NewResyncReader(conn)
 	msg, err := r.Next()
 	if err != nil {
 		return Hello{}, nil, err
@@ -170,6 +176,9 @@ func Collect(conn net.Conn) (Hello, []rfid.Report, error) {
 	for {
 		msg, err := r.Next()
 		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return hello, reports, nil
+			}
 			return hello, reports, err
 		}
 		switch {
@@ -177,8 +186,6 @@ func Collect(conn net.Conn) (Hello, []rfid.Report, error) {
 			reports = append(reports, *msg.Report)
 		case msg.Bye != nil:
 			return hello, reports, nil
-		default:
-			return hello, reports, fmt.Errorf("readerwire: unexpected mid-stream message")
 		}
 	}
 }

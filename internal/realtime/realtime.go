@@ -81,6 +81,10 @@ type Tracker struct {
 
 	recent         []float64 // ring of recent votes for loss detection
 	reacquisitions int
+	// evals accumulates vote-surface evaluations from completed
+	// acquisitions and retired streams; the live stream's count is added
+	// on read (see SearchEvals).
+	evals int
 }
 
 type timedPhase struct {
@@ -168,6 +172,11 @@ func (t *Tracker) closeSweep() ([]Position, error) {
 		// Acquire: localize candidates over the buffered prefix, pick
 		// the best trace, then continue it incrementally.
 		res, err := t.cfg.System.TraceWith(t.cfg.Scratch, t.samples)
+		if res != nil {
+			for _, tr := range res.All {
+				t.evals += tr.SearchEvals
+			}
+		}
 		if err != nil {
 			// Not enough signal yet; keep buffering (bounded).
 			if len(t.samples) > 400 {
@@ -204,6 +213,7 @@ func (t *Tracker) closeSweep() ([]Position, error) {
 		t.recent = t.recent[1:]
 	}
 	if len(t.recent) == t.cfg.ReacquireWindow && mean(t.recent) < t.cfg.ReacquireVote {
+		t.evals += t.stream.SearchEvals()
 		t.started = false
 		t.stream = nil
 		t.recent = nil
@@ -216,6 +226,18 @@ func (t *Tracker) closeSweep() ([]Position, error) {
 
 // Reacquisitions reports how many times tracking was lost and restarted.
 func (t *Tracker) Reacquisitions() int { return t.reacquisitions }
+
+// SearchEvals reports the cumulative vote-surface evaluation count this
+// tracker has spent across acquisitions and live tracing — the streaming
+// counterpart of Trace's per-result SearchEvals, used by serving-layer
+// metrics.
+func (t *Tracker) SearchEvals() int {
+	n := t.evals
+	if t.stream != nil {
+		n += t.stream.SearchEvals()
+	}
+	return n
+}
 
 func mean(v []float64) float64 {
 	var s float64

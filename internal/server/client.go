@@ -1,0 +1,232 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"rfidraw/internal/readerwire"
+	"rfidraw/internal/rfid"
+)
+
+// Client is a minimal rfidrawd client: session lifecycle over the HTTP
+// API, report replay over the ingest gateway and NDJSON stream
+// consumption. cmd/loadgen and the daemon-mode examples share it.
+type Client struct {
+	// BaseURL is the daemon's HTTP API root, e.g. "http://127.0.0.1:8090".
+	BaseURL string
+	// Ingest is the ingest gateway address, e.g. "127.0.0.1:7070". When
+	// empty it is learned from the create-session response.
+	Ingest string
+	// HTTP overrides the HTTP client; nil uses a default with no overall
+	// timeout (streams are long-lived).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{}
+}
+
+// CreateSession opens a session; id == "" lets the daemon assign one.
+// The returned ID addresses the other calls. A daemon at its session cap
+// answers 503, surfaced as ErrSessionLimit so callers can tell shedding
+// from failure.
+func (c *Client) CreateSession(ctx context.Context, id string, sweep time.Duration) (string, error) {
+	body, _ := json.Marshal(map[string]any{
+		"id":       id,
+		"sweep_ms": float64(sweep) / float64(time.Millisecond),
+	})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/sessions", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return "", ErrSessionLimit
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return "", fmt.Errorf("create session: %s", resp.Status)
+	}
+	var out struct {
+		ID     string `json:"id"`
+		Ingest string `json:"ingest"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	if c.Ingest == "" {
+		c.Ingest = out.Ingest
+	}
+	return out.ID, nil
+}
+
+// DeleteSession closes a session.
+func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/v1/sessions/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("delete session: %s", resp.Status)
+	}
+	return nil
+}
+
+// Subscribe attaches to a session's live NDJSON stream and decodes it
+// onto the returned channel until the stream ends or the context is
+// cancelled. The channel is closed at end of stream; a terminal decode or
+// transport error is delivered on the (buffered) error channel.
+func (c *Client) Subscribe(ctx context.Context, id string) (<-chan Event, <-chan error, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/sessions/"+id+"/stream", nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		resp.Body.Close()
+		return nil, nil, ErrSubscriberLimit
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, nil, fmt.Errorf("subscribe: %s", resp.Status)
+	}
+	events := make(chan Event, 64)
+	errs := make(chan error, 1)
+	go func() {
+		defer close(events)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		for sc.Scan() {
+			var ev Event
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				errs <- err
+				return
+			}
+			select {
+			case events <- ev:
+			case <-ctx.Done():
+				return
+			}
+		}
+		if err := sc.Err(); err != nil && ctx.Err() == nil {
+			errs <- err
+		}
+	}()
+	return events, errs, nil
+}
+
+// DialIngest opens a reader connection bound to a session and sends the
+// stream-opening Hello. The caller streams reports on the returned
+// ReaderStream and closes it.
+func (c *Client) DialIngest(sessionID string, hello readerwire.Hello) (*ReaderStream, error) {
+	if c.Ingest == "" {
+		return nil, fmt.Errorf("server: client has no ingest address (create a session first)")
+	}
+	conn, err := net.DialTimeout("tcp", c.Ingest, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Fprintf(conn, "%s %s\n", IngestPreamble, sessionID); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	w := readerwire.NewWriter(conn)
+	if err := w.WriteHello(hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &ReaderStream{conn: conn, w: w}, nil
+}
+
+// ReaderStream is one live reader connection into the ingest gateway.
+type ReaderStream struct {
+	conn net.Conn
+	w    *readerwire.Writer
+}
+
+// Send writes one report (buffered; Flush pushes to the network).
+func (rs *ReaderStream) Send(rep rfid.Report) error { return rs.w.WriteReport(rep) }
+
+// Flush pushes buffered reports.
+func (rs *ReaderStream) Flush() error { return rs.w.Flush() }
+
+// Close sends Bye and closes the connection.
+func (rs *ReaderStream) Close() error {
+	_ = rs.w.WriteBye()
+	return rs.conn.Close()
+}
+
+// Replay streams a time-ordered report slice, paced by the reports' own
+// timestamps scaled by pace (1 = real time, 0 = unpaced), with offset
+// added to every report time (for looping a scenario). It flushes every
+// 10 ms of stream time and returns on the first write error or context
+// cancellation.
+func (rs *ReaderStream) Replay(ctx context.Context, reports []rfid.Report, pace float64, offset time.Duration, start time.Time) error {
+	const flushEvery = 10 * time.Millisecond
+	lastFlush := time.Duration(-1)
+	for _, rep := range reports {
+		t := rep.Time + offset
+		if pace > 0 {
+			target := start.Add(time.Duration(float64(t) / pace))
+			if sleep := time.Until(target); sleep > 0 {
+				select {
+				case <-time.After(sleep):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+		}
+		rep.Time = t
+		if err := rs.Send(rep); err != nil {
+			return err
+		}
+		if t-lastFlush >= flushEvery {
+			if err := rs.Flush(); err != nil {
+				return err
+			}
+			lastFlush = t
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return rs.Flush()
+}
+
+// FetchMetrics grabs the raw /metrics text (soak tooling).
+func (c *Client) FetchMetrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}

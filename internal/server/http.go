@@ -1,0 +1,245 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+)
+
+// sessionInfo is the JSON shape of one session on the control API.
+type sessionInfo struct {
+	ID          string       `json:"id"`
+	Created     time.Time    `json:"created"`
+	AgeMS       int64        `json:"age_ms"`
+	Readers     int          `json:"readers"`
+	Subscribers int          `json:"subscribers"`
+	Reports     int64        `json:"reports"`
+	Points      int64        `json:"points"`
+	Glyphs      int64        `json:"glyphs"`
+	Drops       int64        `json:"drops"`
+	SearchEvals int64        `json:"search_evals"`
+	Resyncs     int64        `json:"resync_bytes"`
+	OutOfOrder  int64        `json:"out_of_order"`
+	Tags        []sessionTag `json:"tags,omitempty"`
+}
+
+type sessionTag struct {
+	Tag            string  `json:"tag"`
+	Positions      int     `json:"positions"`
+	Started        bool    `json:"started"`
+	MeanVote       float64 `json:"mean_vote"`
+	Reacquisitions int     `json:"reacquisitions"`
+	SearchEvals    int     `json:"search_evals"`
+	Err            string  `json:"err,omitempty"`
+}
+
+func (s *Server) info(sess *Session) sessionInfo {
+	info := sessionInfo{
+		ID:          sess.ID,
+		Created:     sess.Created,
+		AgeMS:       time.Since(sess.Created).Milliseconds(),
+		Readers:     sess.Readers(),
+		Subscribers: sess.Subscribers(),
+		Reports:     sess.reports.Load(),
+		Points:      sess.points.Load(),
+		Glyphs:      sess.glyphs.Load(),
+		Drops:       sess.drops.Load(),
+		SearchEvals: sess.searchEvals.Load(),
+		Resyncs:     sess.resyncs.Load(),
+		OutOfOrder:  sess.outOfOrder.Load(),
+	}
+	for _, st := range sess.TagStats() {
+		tag := sessionTag{
+			Tag: st.Tag, Positions: st.Positions, Started: st.Started,
+			MeanVote: st.MeanVote, Reacquisitions: st.Reacquisitions,
+			SearchEvals: st.SearchEvals,
+		}
+		if st.Err != nil {
+			tag.Err = st.Err.Error()
+		}
+		info.Tags = append(info.Tags, tag)
+	}
+	return info
+}
+
+// handler builds the control/streaming API mux.
+func (s *Server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
+	mux.HandleFunc("GET /v1/sessions/{id}/stream", s.handleStream)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       true,
+		"sessions": s.reg.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	evals := s.metrics.SearchEvalsRetired.Load()
+	for _, sess := range s.reg.List() {
+		evals += sess.searchEvals.Load()
+	}
+	now := time.Now()
+	total := s.metrics.Reports.Load()
+	s.rateMu.Lock()
+	var rate float64
+	if !s.lastScrape.IsZero() {
+		if dt := now.Sub(s.lastScrape).Seconds(); dt > 0 {
+			rate = float64(total-s.lastReports) / dt
+		}
+	}
+	s.lastScrape, s.lastReports = now, total
+	s.rateMu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.render(w, evals, rate)
+}
+
+// createSessionRequest is the POST /v1/sessions body; all fields
+// optional.
+type createSessionRequest struct {
+	// ID names the session; empty assigns a random one.
+	ID string `json:"id"`
+	// SweepMS is the reader cadence in milliseconds for sessions that
+	// know it up front; ingest-fed sessions may leave it 0 and let the
+	// first reader Hello announce it.
+	SweepMS float64 `json:"sweep_ms"`
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req createSessionRequest
+	// An empty body is fine; only a malformed one is an error.
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	sess, err := s.reg.Open(req.ID, time.Duration(req.SweepMS*float64(time.Millisecond)))
+	switch {
+	case errors.Is(err, ErrSessionLimit):
+		writeError(w, http.StatusServiceUnavailable, "session limit reached")
+		return
+	case errors.Is(err, ErrSessionExists):
+		writeError(w, http.StatusConflict, "session exists")
+		return
+	case errors.Is(err, ErrBadSessionID):
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{
+		"id":     sess.ID,
+		"ingest": s.IngestAddr(),
+		"stream": "/v1/sessions/" + sess.ID + "/stream",
+	})
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	sessions := s.reg.List()
+	out := make([]sessionInfo, 0, len(sessions))
+	for _, sess := range sessions {
+		out = append(out, s.info(sess))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": out})
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.info(sess))
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	if !s.reg.Remove(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleStream is the live delivery path: a chunked NDJSON stream of the
+// session's events, one JSON object per line, flushed as they arrive.
+// The subscriber's queue is bounded; if this consumer cannot keep up it
+// loses the oldest events and sees {"type":"drop"} notices (the
+// slow-consumer policy), never stalling the tracker or its peers.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	sub, err := sess.Subscribe(0)
+	if errors.Is(err, ErrSubscriberLimit) {
+		s.metrics.Shed.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "subscriber limit reached")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusGone, "session closed")
+		return
+	}
+	defer sub.Close()
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			// Drain whatever else is queued before paying for a flush.
+		drain:
+			for i := 0; i < 256; i++ {
+				select {
+				case ev, ok := <-sub.Events():
+					if !ok {
+						return
+					}
+					if err := enc.Encode(ev); err != nil {
+						return
+					}
+				default:
+					break drain
+				}
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync/atomic"
+)
+
+// Metrics is the server-wide counter set, exposed in Prometheus text
+// format on /metrics. All fields are monotonic counters unless noted.
+type Metrics struct {
+	SessionsCreated   atomic.Int64
+	SessionsExpired   atomic.Int64
+	SessionsClosed    atomic.Int64
+	SessionsActive    atomic.Int64 // gauge
+	SubscribersActive atomic.Int64 // gauge
+	IngestConns       atomic.Int64
+	Reports           atomic.Int64
+	ReportsOutOfOrder atomic.Int64
+	ResyncBytes       atomic.Int64
+	Points            atomic.Int64
+	Glyphs            atomic.Int64
+	EventsDropped     atomic.Int64
+	Shed              atomic.Int64
+	// SearchEvalsRetired accumulates closed sessions' final search-eval
+	// counts so rfidrawd_search_evals_total (retired + live sum) stays
+	// monotonic when sessions are deleted or expire.
+	SearchEvalsRetired atomic.Int64
+}
+
+// counterDef drives the text rendering.
+type counterDef struct {
+	name, help, typ string
+	val             func(m *Metrics) int64
+}
+
+var counterDefs = []counterDef{
+	{"rfidrawd_sessions_created_total", "Sessions created.", "counter", func(m *Metrics) int64 { return m.SessionsCreated.Load() }},
+	{"rfidrawd_sessions_expired_total", "Sessions expired by idle GC.", "counter", func(m *Metrics) int64 { return m.SessionsExpired.Load() }},
+	{"rfidrawd_sessions_closed_total", "Sessions closed (any reason).", "counter", func(m *Metrics) int64 { return m.SessionsClosed.Load() }},
+	{"rfidrawd_sessions_active", "Live sessions.", "gauge", func(m *Metrics) int64 { return m.SessionsActive.Load() }},
+	{"rfidrawd_subscribers_active", "Attached stream subscribers.", "gauge", func(m *Metrics) int64 { return m.SubscribersActive.Load() }},
+	{"rfidrawd_ingest_connections_total", "Reader connections accepted by the ingest gateway.", "counter", func(m *Metrics) int64 { return m.IngestConns.Load() }},
+	{"rfidrawd_reports_total", "Phase reports ingested.", "counter", func(m *Metrics) int64 { return m.Reports.Load() }},
+	{"rfidrawd_reports_out_of_order_total", "Reports dropped for regressing their reader's clock.", "counter", func(m *Metrics) int64 { return m.ReportsOutOfOrder.Load() }},
+	{"rfidrawd_resync_bytes_total", "Bytes skipped re-locking onto damaged reader streams.", "counter", func(m *Metrics) int64 { return m.ResyncBytes.Load() }},
+	{"rfidrawd_points_total", "Trace points emitted to sessions.", "counter", func(m *Metrics) int64 { return m.Points.Load() }},
+	{"rfidrawd_glyphs_total", "Glyphs recognized from completed strokes.", "counter", func(m *Metrics) int64 { return m.Glyphs.Load() }},
+	{"rfidrawd_events_dropped_total", "Events dropped by the slow-consumer policy.", "counter", func(m *Metrics) int64 { return m.EventsDropped.Load() }},
+	{"rfidrawd_shed_total", "Requests shed by admission control (HTTP 503).", "counter", func(m *Metrics) int64 { return m.Shed.Load() }},
+}
+
+// render writes the metrics in Prometheus text exposition format.
+// searchEvals and reportsPerSec are computed by the caller (the former is
+// summed over live sessions, the latter over the scrape interval).
+func (m *Metrics) render(w io.Writer, searchEvals int64, reportsPerSec float64) {
+	for _, d := range counterDefs {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", d.name, d.help, d.name, d.typ, d.name, d.val(m))
+	}
+	fmt.Fprintf(w, "# HELP rfidrawd_search_evals_total Vote-surface evaluations spent by live sessions.\n# TYPE rfidrawd_search_evals_total counter\nrfidrawd_search_evals_total %d\n", searchEvals)
+	fmt.Fprintf(w, "# HELP rfidrawd_reports_per_second Ingest rate over the last scrape interval.\n# TYPE rfidrawd_reports_per_second gauge\nrfidrawd_reports_per_second %.1f\n", reportsPerSec)
+	fmt.Fprintf(w, "# HELP rfidrawd_goroutines Current goroutine count (soak leak gate).\n# TYPE rfidrawd_goroutines gauge\nrfidrawd_goroutines %d\n", runtime.NumGoroutine())
+}

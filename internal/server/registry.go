@@ -1,0 +1,261 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rfidraw/internal/recognition"
+)
+
+// RegistryConfig tunes the session registry.
+type RegistryConfig struct {
+	// NewEngine binds a new session to a tracking engine. Required.
+	NewEngine EngineFactory
+
+	// MaxSessions is the admission-control cap on live sessions; opens
+	// beyond it are shed. Default 128.
+	MaxSessions int
+	// MaxSubscribers caps stream consumers per session. Default 16.
+	MaxSubscribers int
+	// SubscriberQueue is the per-subscriber bounded queue depth (events).
+	// Default 256.
+	SubscriberQueue int
+	// IngestBuffer is the per-session ingest inbox depth (reports);
+	// beyond it, reader connections block (TCP backpressure). Default
+	// 1024.
+	IngestBuffer int
+	// ReorderWindow is how long reports are held to resequence
+	// cross-reader skew. Default 25ms.
+	ReorderWindow time.Duration
+	// GlyphGap is the stream-time silence that ends a stroke and
+	// triggers glyph recognition. Default 400ms.
+	GlyphGap time.Duration
+	// GlyphMinPoints is the minimum stroke length worth classifying.
+	// Default 8.
+	GlyphMinPoints int
+	// NoRecognize disables glyph recognition: no recognizer is built and
+	// sessions emit only point events.
+	NoRecognize bool
+
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c RegistryConfig) withDefaults() RegistryConfig {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 128
+	}
+	if c.MaxSubscribers <= 0 {
+		c.MaxSubscribers = 16
+	}
+	if c.SubscriberQueue <= 0 {
+		c.SubscriberQueue = 256
+	}
+	if c.IngestBuffer <= 0 {
+		c.IngestBuffer = 1024
+	}
+	if c.ReorderWindow <= 0 {
+		c.ReorderWindow = 25 * time.Millisecond
+	}
+	if c.GlyphGap <= 0 {
+		c.GlyphGap = 400 * time.Millisecond
+	}
+	if c.GlyphMinPoints <= 0 {
+		c.GlyphMinPoints = 8
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Registry is the session table: it owns session lifecycle (create,
+// lookup, remove, idle expiry) and admission control by live-session
+// count. It is safe for concurrent use and usable standalone (in-process
+// sessions via rfidraw.System.OpenSession) or under a Server.
+type Registry struct {
+	cfg     RegistryConfig
+	metrics *Metrics
+	rec     *recognition.Recognizer
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	closed   bool
+}
+
+// NewRegistry builds a registry. cfg.NewEngine is required.
+func NewRegistry(cfg RegistryConfig) (*Registry, error) {
+	if cfg.NewEngine == nil {
+		return nil, errors.New("server: RegistryConfig.NewEngine is required")
+	}
+	cfg = cfg.withDefaults()
+	r := &Registry{
+		cfg:      cfg,
+		metrics:  &Metrics{},
+		sessions: map[string]*Session{},
+	}
+	if !cfg.NoRecognize {
+		rec, err := newRecognizer()
+		if err != nil {
+			return nil, err
+		}
+		r.rec = rec
+	}
+	return r, nil
+}
+
+// Metrics exposes the registry's counter set.
+func (r *Registry) Metrics() *Metrics { return r.metrics }
+
+// Open creates a session. id == "" assigns a random one. sweep, when
+// positive, is the reader cadence (in-process sessions know it up front;
+// ingest-fed sessions announce it with their first reader Hello and may
+// pass 0 here). Opens beyond MaxSessions fail with ErrSessionLimit —
+// explicit load shedding, surfaced as HTTP 503 by the API.
+func (r *Registry) Open(id string, sweep time.Duration) (*Session, error) {
+	if id == "" {
+		id = randomID()
+	} else if err := validateID(id); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrSessionClosed
+	}
+	if _, ok := r.sessions[id]; ok {
+		r.mu.Unlock()
+		return nil, ErrSessionExists
+	}
+	if len(r.sessions) >= r.cfg.MaxSessions {
+		r.mu.Unlock()
+		r.metrics.Shed.Add(1)
+		return nil, ErrSessionLimit
+	}
+	s := newSession(r, id, sweep)
+	r.sessions[id] = s
+	r.mu.Unlock()
+	r.metrics.SessionsCreated.Add(1)
+	r.metrics.SessionsActive.Add(1)
+	return s, nil
+}
+
+// Get looks a session up.
+func (r *Registry) Get(id string) (*Session, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[id]
+	return s, ok
+}
+
+// List returns the live sessions sorted by ID.
+func (r *Registry) List() []*Session {
+	r.mu.Lock()
+	out := make([]*Session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		out = append(out, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len reports the live session count.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+// Remove closes a session and deletes it from the table, reporting
+// whether it existed.
+func (r *Registry) Remove(id string) bool {
+	r.mu.Lock()
+	s, ok := r.sessions[id]
+	delete(r.sessions, id)
+	r.mu.Unlock()
+	if ok {
+		s.Close()
+		r.metrics.SessionsActive.Add(-1)
+	}
+	return ok
+}
+
+// ExpireIdle closes and removes sessions idle beyond the timeout (no
+// ingest activity, readers or subscribers), returning their IDs.
+func (r *Registry) ExpireIdle(now time.Time, idle time.Duration) []string {
+	var expired []*Session
+	r.mu.Lock()
+	for id, s := range r.sessions {
+		if s.expired(now, idle) {
+			expired = append(expired, s)
+			delete(r.sessions, id)
+		}
+	}
+	r.mu.Unlock()
+	ids := make([]string, 0, len(expired))
+	for _, s := range expired {
+		s.Close()
+		r.metrics.SessionsActive.Add(-1)
+		r.metrics.SessionsExpired.Add(1)
+		ids = append(ids, s.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Close closes every session and refuses further opens. Idempotent.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	sessions := make([]*Session, 0, len(r.sessions))
+	for id, s := range r.sessions {
+		sessions = append(sessions, s)
+		delete(r.sessions, id)
+	}
+	r.mu.Unlock()
+	for _, s := range sessions {
+		s.Close()
+		r.metrics.SessionsActive.Add(-1)
+	}
+}
+
+// validateID enforces the session-ID charset: IDs travel in URL paths
+// (GET /v1/sessions/{id}) and the one-line ingest preamble, so
+// whitespace, slashes and control bytes would create unaddressable
+// sessions.
+func validateID(id string) error {
+	if len(id) > 64 {
+		return fmt.Errorf("%w: id longer than 64 bytes", ErrBadSessionID)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("%w: byte %q in %q", ErrBadSessionID, c, id)
+		}
+	}
+	return nil
+}
+
+// randomID draws a 12-hex-char session ID.
+func randomID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; fall back to a
+		// constant-prefix timestamp if it somehow does.
+		return "s" + hex.EncodeToString([]byte(time.Now().Format("150405.000")))[:11]
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,258 @@
+// Package server is the session-serving layer of the reproduction: the
+// long-lived daemon side that turns the one-shot readerd → tracker
+// pipeline into a multi-tenant service, the deployment shape the paper's
+// "virtual touch screen that many users write on simultaneously" implies.
+//
+// It is built from four cooperating parts:
+//
+//   - a session registry (registry.go): named sessions, each binding a
+//     client's tag-set to its own sharded tracking engine, with explicit
+//     lifecycle — create, attach, detach, idle expiry, GC — and admission
+//     control by live-session count;
+//   - an ingest gateway (ingest.go): a TCP listener that accepts many
+//     concurrent readerwire reader connections, each prefixed with a
+//     one-line session preamble, decodes them through the self-healing
+//     resync reader (reconnects and mid-frame disconnects do not kill a
+//     session), sequences each reader's reports, and fans them into the
+//     session's engine through a small time-reorder buffer;
+//   - a streaming API (http.go): JSON control endpoints for session
+//     lifecycle plus a chunked NDJSON live stream of trace points and
+//     recognized glyphs per session, delivered to N subscribers through
+//     bounded queues with a drop-oldest slow-consumer policy and
+//     load-shedding (HTTP 503) beyond the configured caps;
+//   - an observability surface (metrics.go): /healthz and /metrics with
+//     counters for sessions, ingested reports (and a reports/s gauge),
+//     emitted points, search evaluations, queue drops and shed requests,
+//     plus a goroutine gauge the CI soak job uses to detect leaks.
+//
+// The delivery discipline borrows from streaming-media serving: per
+// subscriber the queue is bounded and freshness beats completeness (a
+// slow consumer loses the oldest points, never stalls the tracker), and
+// beyond the admission caps the server sheds load explicitly rather than
+// degrading every session.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"rfidraw/internal/engine"
+	"rfidraw/internal/recognition"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// HTTPAddr is the control/streaming API listen address.
+	// Default 127.0.0.1:8090.
+	HTTPAddr string
+	// IngestAddr is the reader ingest gateway listen address.
+	// Default 127.0.0.1:7070.
+	IngestAddr string
+
+	// Registry tunes the session registry; zero values take defaults.
+	Registry RegistryConfig
+	// SharedRegistry, when non-nil, serves an existing registry instead
+	// of building one from the Registry config — the hook that lets
+	// rfidraw.System expose its in-process sessions over the daemon API.
+	// Closing the server closes the shared registry's sessions.
+	SharedRegistry *Registry
+
+	// IdleTimeout expires sessions with no ingest activity, no connected
+	// readers and no subscribers. Default 2 minutes.
+	IdleTimeout time.Duration
+
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.HTTPAddr == "" {
+		c.HTTPAddr = "127.0.0.1:8090"
+	}
+	if c.IngestAddr == "" {
+		c.IngestAddr = "127.0.0.1:7070"
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the rfidrawd daemon core: an HTTP API and an ingest gateway
+// over a session registry.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	metrics *Metrics
+
+	httpLn   net.Listener
+	ingestLn net.Listener
+	httpSrv  *http.Server
+
+	wg        sync.WaitGroup
+	quit      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+
+	// pendingMu guards ingest connections still in their preamble
+	// handshake: not yet owned by any session, so Close must disconnect
+	// them itself or wg.Wait stalls on their read deadline.
+	// pendingShutdown refuses late registrations from connections
+	// accepted in the instant before the listener closed.
+	pendingMu       sync.Mutex
+	pendingIngest   map[net.Conn]struct{}
+	pendingShutdown bool
+
+	// scrape-rate state for the reports/s gauge.
+	rateMu      sync.Mutex
+	lastScrape  time.Time
+	lastReports int64
+}
+
+// New builds a Server. cfg.Registry.NewEngine is required — it binds each
+// session to a tracking engine (rfidraw.System.Serve and cmd/rfidrawd
+// provide it from their deployment configuration).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	reg := cfg.SharedRegistry
+	if reg == nil {
+		var err error
+		reg, err = NewRegistry(cfg.Registry)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Server{
+		cfg:           cfg,
+		reg:           reg,
+		metrics:       reg.metrics,
+		quit:          make(chan struct{}),
+		pendingIngest: map[net.Conn]struct{}{},
+	}, nil
+}
+
+// Registry exposes the server's session registry (for in-process sessions
+// and tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Start binds both listeners and launches the accept and GC loops. It
+// returns once the server is reachable; use Close (or Serve) to stop it.
+func (s *Server) Start() error {
+	httpLn, err := net.Listen("tcp", s.cfg.HTTPAddr)
+	if err != nil {
+		return fmt.Errorf("server: http listen: %w", err)
+	}
+	ingestLn, err := net.Listen("tcp", s.cfg.IngestAddr)
+	if err != nil {
+		httpLn.Close()
+		return fmt.Errorf("server: ingest listen: %w", err)
+	}
+	s.httpLn, s.ingestLn = httpLn, ingestLn
+	s.httpSrv = &http.Server{Handler: s.handler()}
+	s.wg.Add(3)
+	go func() {
+		defer s.wg.Done()
+		if err := s.httpSrv.Serve(httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.cfg.Logf("server: http: %v", err)
+		}
+	}()
+	go func() {
+		defer s.wg.Done()
+		s.serveIngest(ingestLn)
+	}()
+	go func() {
+		defer s.wg.Done()
+		s.gcLoop()
+	}()
+	s.cfg.Logf("server: http on %s, ingest on %s", s.HTTPAddr(), s.IngestAddr())
+	return nil
+}
+
+// Serve runs the server until the context is cancelled, then shuts it
+// down. It is the blocking convenience over Start/Close.
+func (s *Server) Serve(ctx context.Context) error {
+	if err := s.Start(); err != nil {
+		return err
+	}
+	<-ctx.Done()
+	return s.Close()
+}
+
+// HTTPAddr returns the bound API address (resolved, useful with ":0").
+func (s *Server) HTTPAddr() string {
+	if s.httpLn == nil {
+		return s.cfg.HTTPAddr
+	}
+	return s.httpLn.Addr().String()
+}
+
+// IngestAddr returns the bound ingest gateway address.
+func (s *Server) IngestAddr() string {
+	if s.ingestLn == nil {
+		return s.cfg.IngestAddr
+	}
+	return s.ingestLn.Addr().String()
+}
+
+// gcLoop expires idle sessions on a fraction of the idle timeout.
+func (s *Server) gcLoop() {
+	period := s.cfg.IdleTimeout / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			for _, id := range s.reg.ExpireIdle(time.Now(), s.cfg.IdleTimeout) {
+				s.cfg.Logf("server: session %s expired idle", id)
+			}
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// Close shuts the listeners down, closes every session and waits for all
+// server goroutines to drain. It is idempotent. The registry closes
+// before the HTTP server shuts down: closing sessions ends their
+// subscribers' streams, so long-lived stream handlers return instead of
+// holding Shutdown to its timeout.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.quit)
+		if s.ingestLn != nil {
+			s.ingestLn.Close()
+		}
+		s.closePendingIngest()
+		s.reg.Close()
+		if s.httpSrv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			s.closeErr = s.httpSrv.Shutdown(ctx)
+			cancel()
+		}
+		s.wg.Wait()
+	})
+	return s.closeErr
+}
+
+// newRecognizer builds the glyph recognizer sessions share; it is in this
+// file so every assembly path (daemon, tests, in-process registry) uses
+// the same construction.
+func newRecognizer() (*recognition.Recognizer, error) {
+	return recognition.New(nil)
+}
+
+// EngineFactory is the hook a deployment provides to bind a session to a
+// tracking engine: it must return a started engine whose OnUpdate is the
+// given callback and whose streaming sweep interval is sweep.
+type EngineFactory func(sweep time.Duration, onUpdate func(engine.Update)) (*engine.Engine, error)

@@ -1,0 +1,600 @@
+package server
+
+import (
+	"container/heap"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rfidraw/internal/engine"
+	"rfidraw/internal/geom"
+	"rfidraw/internal/rfid"
+)
+
+// Lifecycle and admission errors, mapped onto HTTP statuses by http.go.
+var (
+	ErrSessionClosed   = errors.New("server: session closed")
+	ErrSessionLimit    = errors.New("server: session limit reached")
+	ErrSessionExists   = errors.New("server: session already exists")
+	ErrSubscriberLimit = errors.New("server: subscriber limit reached")
+	ErrBadSessionID    = errors.New("server: invalid session id")
+	ErrNoSweep         = errors.New("server: session has no sweep interval yet")
+)
+
+// Event is one item of a session's live output stream, serialized as one
+// NDJSON line per event on the streaming API.
+type Event struct {
+	// Type is "point" (a trace point), "glyph" (a recognized stroke),
+	// "drop" (the subscriber's queue overflowed and lost N events) or
+	// "end" (the session closed; the stream ends after it).
+	Type string `json:"type"`
+	// Tag identifies the writer (EPC hex) for points and glyphs.
+	Tag string `json:"tag,omitempty"`
+	// T is the sample's stream time in nanoseconds (points, glyphs).
+	T time.Duration `json:"t_ns,omitempty"`
+	// X, Z are writing-plane coordinates in metres (points).
+	X float64 `json:"x"`
+	Z float64 `json:"z"`
+	// Glyph is the recognized letter; Dist and Margin carry the DTW
+	// classification confidence; Points is the stroke's sample count.
+	Glyph  string  `json:"glyph,omitempty"`
+	Dist   float64 `json:"dist,omitempty"`
+	Margin float64 `json:"margin,omitempty"`
+	Points int     `json:"points,omitempty"`
+	// Dropped is how many events the subscriber lost (drop events).
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// ingestItem is one message on a session's ingest inbox; exactly one of
+// the fields is meaningful.
+type ingestItem struct {
+	// rep is one phase report (the common case).
+	rep rfid.Report
+	// sweep, when positive, announces the reader cadence (from a Hello or
+	// from session creation) and triggers lazy engine construction.
+	sweep time.Duration
+	// flush asks the pump to drain the reorder buffer and close the
+	// engine's current sweeps, acking on the channel.
+	flush chan struct{}
+}
+
+// Subscriber is one attached consumer of a session's event stream.
+type Subscriber struct {
+	sess *Session
+	ch   chan Event
+	// pendingDrops counts events lost since the last successfully
+	// delivered drop notice; guarded by the session's emitMu.
+	pendingDrops int
+	drops        int64
+}
+
+// Events is the subscriber's bounded delivery queue. It is closed when
+// the session ends or the subscriber detaches.
+func (sub *Subscriber) Events() <-chan Event { return sub.ch }
+
+// Drops reports how many events this subscriber has lost to the
+// slow-consumer policy.
+func (sub *Subscriber) Drops() int64 {
+	sub.sess.emitMu.Lock()
+	defer sub.sess.emitMu.Unlock()
+	return sub.drops
+}
+
+// Close detaches the subscriber from its session. Safe to call more than
+// once and after the session closed.
+func (sub *Subscriber) Close() { sub.sess.detach(sub) }
+
+// stroke accumulates one tag's in-progress stroke for glyph recognition.
+type stroke struct {
+	pts  []geom.Vec2
+	last time.Duration
+}
+
+// Session binds one client's tag-set to a tracking engine and fans its
+// live output to subscribers. All ingest flows through a single pump
+// goroutine (satisfying the engine's single-ingest-goroutine contract);
+// output events are emitted from engine shard goroutines under emitMu.
+type Session struct {
+	ID      string
+	Created time.Time
+
+	reg *Registry
+
+	inbox    chan ingestItem
+	quit     chan struct{}
+	pumpDone chan struct{}
+
+	// lastActive is the idle-GC clock (unix nanos), touched by ingest,
+	// reader attach and subscriber attach.
+	lastActive atomic.Int64
+
+	// mu guards lifecycle state: closed, readers.
+	mu      sync.Mutex
+	closed  bool
+	readers map[net.Conn]struct{}
+	// closeOnce runs the shutdown exactly once; later Close calls wait.
+	closeOnce sync.Once
+
+	// emitMu guards subscribers and stroke state, written from engine
+	// shard goroutines (OnUpdate) and the pump. subsClosed flips when
+	// Close sweeps the subscriber table, so a racing Subscribe cannot
+	// add a queue nobody will ever close.
+	emitMu     sync.Mutex
+	subs       map[*Subscriber]struct{}
+	subsClosed bool
+	strokes    map[string]*stroke
+
+	// pump-owned state (no locking: single goroutine).
+	eng     *engine.Engine
+	sweep   time.Duration
+	reorder reportHeap
+	maxSeen time.Duration
+
+	// statsMu guards the last engine stats snapshot the pump refreshes.
+	statsMu   sync.Mutex
+	lastStats []engine.TagStats
+
+	// counters (atomic: read by HTTP handlers and metrics).
+	reports     atomic.Int64
+	points      atomic.Int64
+	glyphs      atomic.Int64
+	drops       atomic.Int64
+	searchEvals atomic.Int64
+	resyncs     atomic.Int64
+	outOfOrder  atomic.Int64
+}
+
+// pumpTick is the pump's housekeeping period: idle detection (drain +
+// sweep close after ~2 silent ticks) and stats refresh cadence.
+const pumpTick = 50 * time.Millisecond
+
+// statsEvery refreshes the engine stats snapshot every N pump ticks.
+const statsEvery = 10
+
+func newSession(reg *Registry, id string, sweep time.Duration) *Session {
+	s := &Session{
+		ID:       id,
+		Created:  time.Now(),
+		reg:      reg,
+		inbox:    make(chan ingestItem, reg.cfg.IngestBuffer),
+		quit:     make(chan struct{}),
+		pumpDone: make(chan struct{}),
+		readers:  map[net.Conn]struct{}{},
+		subs:     map[*Subscriber]struct{}{},
+		strokes:  map[string]*stroke{},
+	}
+	s.touch()
+	go s.pump(sweep)
+	return s
+}
+
+// touch refreshes the idle clock.
+func (s *Session) touch() { s.lastActive.Store(time.Now().UnixNano()) }
+
+// idleSince returns the last-activity time.
+func (s *Session) idleSince() time.Time { return time.Unix(0, s.lastActive.Load()) }
+
+// Offer feeds one phase report into the session. It blocks for
+// backpressure when the inbox is full and fails once the session closes.
+// Reports should be non-decreasing in time per reader; cross-reader skew
+// up to the reorder window is resequenced.
+func (s *Session) Offer(rep rfid.Report) error {
+	return s.enqueue(ingestItem{rep: rep})
+}
+
+// enqueue pushes one ingest item, preferring the closed signal over the
+// buffered inbox so post-close offers fail deterministically.
+func (s *Session) enqueue(it ingestItem) error {
+	select {
+	case <-s.quit:
+		return ErrSessionClosed
+	default:
+	}
+	select {
+	case s.inbox <- it:
+		return nil
+	case <-s.quit:
+		return ErrSessionClosed
+	}
+}
+
+// announceSweep tells the session its reader cadence (idempotent; the
+// first announcement builds the engine).
+func (s *Session) announceSweep(sweep time.Duration) error {
+	if sweep <= 0 {
+		return ErrNoSweep
+	}
+	return s.enqueue(ingestItem{sweep: sweep})
+}
+
+// Flush drains the reorder buffer and closes the engine's current sweeps,
+// emitting any final positions. It blocks until the pump has done so.
+func (s *Session) Flush() error {
+	ack := make(chan struct{})
+	if err := s.enqueue(ingestItem{flush: ack}); err != nil {
+		return err
+	}
+	select {
+	case <-ack:
+		return nil
+	case <-s.pumpDone:
+		return ErrSessionClosed
+	}
+}
+
+// Subscribe attaches a bounded-queue consumer to the session's live
+// stream. buffer <= 0 takes the registry default. Subscribers beyond the
+// per-session cap are refused (load shedding, HTTP 503 upstream).
+func (s *Session) Subscribe(buffer int) (*Subscriber, error) {
+	if buffer <= 0 {
+		buffer = s.reg.cfg.SubscriberQueue
+	}
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	if s.subsClosed {
+		return nil, ErrSessionClosed
+	}
+	if len(s.subs) >= s.reg.cfg.MaxSubscribers {
+		return nil, ErrSubscriberLimit
+	}
+	sub := &Subscriber{sess: s, ch: make(chan Event, buffer)}
+	s.subs[sub] = struct{}{}
+	s.reg.metrics.SubscribersActive.Add(1)
+	s.touch()
+	return sub, nil
+}
+
+// detach removes a subscriber, closing its queue exactly once.
+func (s *Session) detach(sub *Subscriber) {
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	if _, ok := s.subs[sub]; !ok {
+		return
+	}
+	delete(s.subs, sub)
+	close(sub.ch)
+	s.reg.metrics.SubscribersActive.Add(-1)
+}
+
+// Subscribers reports the attached consumer count.
+func (s *Session) Subscribers() int {
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	return len(s.subs)
+}
+
+// addReader registers an ingest connection so session close also closes
+// the wire.
+func (s *Session) addReader(conn net.Conn) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	s.readers[conn] = struct{}{}
+	s.touch()
+	return nil
+}
+
+func (s *Session) removeReader(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.readers, conn)
+	s.mu.Unlock()
+}
+
+// Readers reports the connected reader count.
+func (s *Session) Readers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.readers)
+}
+
+// expired reports whether the session is idle-expirable: no activity for
+// longer than idle, with no readers attached and no subscribers.
+func (s *Session) expired(now time.Time, idle time.Duration) bool {
+	if now.Sub(s.idleSince()) <= idle {
+		return false
+	}
+	if s.Readers() > 0 || s.Subscribers() > 0 {
+		return false
+	}
+	return true
+}
+
+// Close tears the session down: stops the pump (which drains pending
+// ingest, flushes and closes the engine), disconnects readers, emits a
+// final "end" event and closes every subscriber queue. It is idempotent
+// and safe to call concurrently; every caller returns after the shutdown
+// has completed.
+func (s *Session) Close() {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		conns := make([]net.Conn, 0, len(s.readers))
+		for c := range s.readers {
+			conns = append(conns, c)
+		}
+		s.mu.Unlock()
+		close(s.quit)
+		for _, c := range conns {
+			c.Close()
+		}
+		<-s.pumpDone
+		s.emitMu.Lock()
+		s.subsClosed = true
+		for sub := range s.subs {
+			delete(s.subs, sub)
+			close(sub.ch)
+			s.reg.metrics.SubscribersActive.Add(-1)
+		}
+		s.emitMu.Unlock()
+		// Roll the final eval count into the monotonic retired counter
+		// (the pump's quit path refreshed it after the engine closed);
+		// Swap prevents double-counting with a concurrent /metrics sum.
+		s.reg.metrics.SearchEvalsRetired.Add(s.searchEvals.Swap(0))
+		s.reg.metrics.SessionsClosed.Add(1)
+	})
+	<-s.pumpDone
+}
+
+// pump is the session's single ingest goroutine: it owns the engine, the
+// reorder buffer and the idle-drain logic.
+func (s *Session) pump(sweep time.Duration) {
+	defer close(s.pumpDone)
+	if sweep > 0 {
+		s.handleSweep(sweep)
+	}
+	ticker := time.NewTicker(pumpTick)
+	defer ticker.Stop()
+	idleTicks, ticks := 0, 0
+	for {
+		select {
+		case it := <-s.inbox:
+			idleTicks = 0
+			s.handle(it)
+		case <-ticker.C:
+			idleTicks++
+			ticks++
+			if idleTicks == 2 {
+				// ~100 ms of ingest silence: the stream paused or ended.
+				// Drain the reorder buffer, close open sweeps so the last
+				// positions reach subscribers, and finalize idle strokes.
+				s.drain()
+				s.finalizeStrokes()
+			}
+			if ticks%statsEvery == 0 {
+				s.refreshStats()
+			}
+		case <-s.quit:
+			for {
+				select {
+				case it := <-s.inbox:
+					s.handle(it)
+					continue
+				default:
+				}
+				break
+			}
+			s.drain()
+			if s.eng != nil {
+				s.eng.Close()
+			}
+			s.refreshStats()
+			s.finalizeStrokes()
+			s.broadcast(Event{Type: "end"})
+			return
+		}
+	}
+}
+
+func (s *Session) handle(it ingestItem) {
+	switch {
+	case it.sweep > 0:
+		s.handleSweep(it.sweep)
+	case it.flush != nil:
+		s.drain()
+		s.finalizeStrokes()
+		s.refreshStats()
+		close(it.flush)
+	default:
+		s.handleReport(it.rep)
+	}
+}
+
+// handleSweep builds the engine on the first cadence announcement;
+// later announcements (reader reconnects) keep the original cadence.
+func (s *Session) handleSweep(sweep time.Duration) {
+	if s.eng != nil {
+		return
+	}
+	eng, err := s.reg.cfg.NewEngine(sweep, s.onUpdate)
+	if err != nil {
+		s.reg.cfg.Logf("server: session %s: engine: %v", s.ID, err)
+		return
+	}
+	s.eng, s.sweep = eng, sweep
+}
+
+// handleReport resequences one report through the reorder heap and offers
+// everything older than the hold window to the engine in time order.
+func (s *Session) handleReport(rep rfid.Report) {
+	s.touch()
+	s.reports.Add(1)
+	s.reg.metrics.Reports.Add(1)
+	if s.eng == nil {
+		// No cadence announced yet (defensive: the gateway always sends
+		// the Hello first). Drop rather than grow without bound.
+		return
+	}
+	heap.Push(&s.reorder, rep)
+	if rep.Time > s.maxSeen {
+		s.maxSeen = rep.Time
+	}
+	hold := s.reg.cfg.ReorderWindow
+	for s.reorder.Len() > 0 && s.reorder.min().Time <= s.maxSeen-hold {
+		s.offerToEngine(heap.Pop(&s.reorder).(rfid.Report))
+	}
+}
+
+// drain releases the whole reorder buffer and closes current sweeps.
+func (s *Session) drain() {
+	for s.reorder.Len() > 0 {
+		s.offerToEngine(heap.Pop(&s.reorder).(rfid.Report))
+	}
+	if s.eng != nil {
+		if err := s.eng.Flush(); err != nil {
+			s.reg.cfg.Logf("server: session %s: flush: %v", s.ID, err)
+		}
+	}
+}
+
+func (s *Session) offerToEngine(rep rfid.Report) {
+	if err := s.eng.Offer(rep); err != nil {
+		s.reg.cfg.Logf("server: session %s: offer: %v", s.ID, err)
+	}
+}
+
+// refreshStats snapshots per-tag engine stats (pump-only, per the
+// engine's Stats contract) for the HTTP info endpoint and the
+// search-evals metric.
+func (s *Session) refreshStats() {
+	if s.eng == nil {
+		return
+	}
+	stats := s.eng.Stats()
+	var evals int64
+	for _, st := range stats {
+		evals += int64(st.SearchEvals)
+	}
+	s.searchEvals.Store(evals)
+	s.statsMu.Lock()
+	s.lastStats = stats
+	s.statsMu.Unlock()
+}
+
+// TagStats returns the last per-tag stats snapshot.
+func (s *Session) TagStats() []engine.TagStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return append([]engine.TagStats(nil), s.lastStats...)
+}
+
+// onUpdate receives live positions from engine shard goroutines: it
+// advances per-tag stroke state and broadcasts point events.
+func (s *Session) onUpdate(u engine.Update) {
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	st := s.strokes[u.Tag]
+	if st == nil {
+		st = &stroke{}
+		s.strokes[u.Tag] = st
+	}
+	for _, p := range u.Positions {
+		if len(st.pts) > 0 && p.Time-st.last > s.reg.cfg.GlyphGap {
+			s.finalizeStrokeLocked(u.Tag, st)
+		}
+		st.pts = append(st.pts, p.Pos)
+		st.last = p.Time
+		s.points.Add(1)
+		s.reg.metrics.Points.Add(1)
+		s.broadcastLocked(Event{Type: "point", Tag: u.Tag, T: p.Time, X: p.Pos.X, Z: p.Pos.Z})
+	}
+}
+
+// finalizeStrokes closes every in-progress stroke (idle pause or session
+// end) and emits their glyphs.
+func (s *Session) finalizeStrokes() {
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	for tag, st := range s.strokes {
+		s.finalizeStrokeLocked(tag, st)
+	}
+}
+
+// finalizeStrokeLocked classifies one completed stroke against the glyph
+// font and emits a glyph event. Requires emitMu.
+func (s *Session) finalizeStrokeLocked(tag string, st *stroke) {
+	pts := st.pts
+	last := st.last
+	st.pts, st.last = nil, 0
+	if len(pts) < s.reg.cfg.GlyphMinPoints || s.reg.rec == nil {
+		return
+	}
+	cls, err := s.reg.rec.Classify(pts)
+	if err != nil {
+		return
+	}
+	s.glyphs.Add(1)
+	s.reg.metrics.Glyphs.Add(1)
+	s.broadcastLocked(Event{
+		Type: "glyph", Tag: tag, T: last,
+		Glyph: string(cls.Rune), Dist: cls.Distance, Margin: cls.Margin,
+		Points: len(pts),
+	})
+}
+
+// broadcast emits one event to every subscriber.
+func (s *Session) broadcast(ev Event) {
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	s.broadcastLocked(ev)
+}
+
+// broadcastLocked delivers an event to every subscriber queue with the
+// slow-consumer policy: when a queue is full, the oldest event is dropped
+// to make room — freshness beats completeness for a live cursor — and the
+// loss is surfaced to the consumer as a "drop" event once space allows.
+// Requires emitMu.
+func (s *Session) broadcastLocked(ev Event) {
+	for sub := range s.subs {
+		if sub.pendingDrops > 0 {
+			notice := Event{Type: "drop", Dropped: sub.pendingDrops}
+			select {
+			case sub.ch <- notice:
+				sub.pendingDrops = 0
+			default:
+			}
+		}
+		select {
+		case sub.ch <- ev:
+			continue
+		default:
+		}
+		// Queue full: evict the oldest event, then retry once.
+		select {
+		case <-sub.ch:
+			sub.pendingDrops++
+			sub.drops++
+			s.drops.Add(1)
+			s.reg.metrics.EventsDropped.Add(1)
+		default:
+		}
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.pendingDrops++
+			sub.drops++
+			s.drops.Add(1)
+			s.reg.metrics.EventsDropped.Add(1)
+		}
+	}
+}
+
+// reportHeap is a min-heap of reports by time: the session's small
+// cross-reader resequencing buffer.
+type reportHeap []rfid.Report
+
+func (h reportHeap) Len() int           { return len(h) }
+func (h reportHeap) Less(i, j int) bool { return h[i].Time < h[j].Time }
+func (h reportHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *reportHeap) Push(x any)        { *h = append(*h, x.(rfid.Report)) }
+func (h reportHeap) min() rfid.Report   { return h[0] }
+func (h *reportHeap) Pop() any {
+	old := *h
+	n := len(old)
+	rep := old[n-1]
+	*h = old[:n-1]
+	return rep
+}

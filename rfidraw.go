@@ -34,6 +34,15 @@
 // streams out across Config.Shards worker shards and traces them in
 // parallel, with per-tag output identical to the sequential path.
 //
+// # Serving
+//
+// The serving layer (serve.go) turns a System into a long-lived
+// multi-session service: OpenSession opens an in-process live session
+// (feed ReaderReports, subscribe to point/glyph Events), and Serve runs
+// the rfidrawd daemon surface — HTTP control API, chunked NDJSON live
+// streams, a reader ingest gateway and /metrics observability — over
+// the same session registry.
+//
 // See the examples/ directory for full programs, and internal/ for the
 // substrates (channel model, RFID reader simulator, AoA baseline,
 // handwriting workload, recognizer, experiment harness).
@@ -43,12 +52,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"rfidraw/internal/core"
 	"rfidraw/internal/deploy"
 	"rfidraw/internal/engine"
 	"rfidraw/internal/geom"
+	"rfidraw/internal/server"
 	"rfidraw/internal/tracing"
 	"rfidraw/internal/vote"
 )
@@ -180,6 +191,11 @@ type Config struct {
 type System struct {
 	eng   *engine.Engine
 	plane geom.Plane
+
+	// regMu guards the lazily built session registry behind the serving
+	// layer (see serve.go: Serve, NewServer, OpenSession).
+	regMu sync.Mutex
+	reg   *server.Registry
 }
 
 // New builds a System.
@@ -224,10 +240,27 @@ func New(cfg Config) (*System, error) {
 	return &System{eng: eng, plane: geom.Plane{Y: cfg.PlaneDistanceM}}, nil
 }
 
-// Close stops the backing engine's worker shards. A System remains usable
-// until Closed; Close is optional for short-lived programs but releases
-// the shard goroutines of long-lived ones.
-func (s *System) Close() error { return s.eng.Close() }
+// Close stops the backing engine's worker shards and closes every
+// serving session opened through the System (OpenSession / Serve). A
+// System remains usable until Closed; Close is optional for short-lived
+// programs but releases the goroutines of long-lived ones.
+//
+// Close is idempotent and safe to call from any number of goroutines,
+// concurrently with in-flight Trace, TraceMany and Localize calls: work
+// already dispatched completes normally and is returned to its caller,
+// calls that arrive after shutdown fail with an "engine: closed" error
+// (Trace and Localize, which run on the caller's goroutine against the
+// read-only positioner, always complete), and every Close call returns
+// the same result once shutdown has finished.
+func (s *System) Close() error {
+	s.regMu.Lock()
+	reg := s.reg
+	s.regMu.Unlock()
+	if reg != nil {
+		reg.Close()
+	}
+	return s.eng.Close()
+}
 
 // AntennaPositions returns the deployment's antenna wall positions keyed
 // by antenna ID, as (x, z) on the wall plane. Useful for installation and

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Soak gate: drive a race-enabled rfidrawd with loadgen, fail on goroutine
+# leaks (pre-load vs post-drain /metrics scrapes), and leave the latency
+# percentile report (SOAK JSON) for the CI artifact step.
+#
+# Env knobs: SOAK_SESSIONS (8), SOAK_DURATION (30s), SOAK_OUT
+# (SOAK_latency.json), SOAK_PACE (1).
+set -euo pipefail
+
+HTTP=127.0.0.1:18090
+INGEST=127.0.0.1:17070
+SESSIONS="${SOAK_SESSIONS:-8}"
+DURATION="${SOAK_DURATION:-30s}"
+PACE="${SOAK_PACE:-1}"
+OUT="${SOAK_OUT:-SOAK_latency.json}"
+# Goroutine growth tolerated between the two scrapes: idle HTTP conns and
+# GC workers wobble a little; a leaked session is dozens.
+SLACK=8
+
+mkdir -p bin
+go build -race -o bin/rfidrawd ./cmd/rfidrawd
+go build -o bin/loadgen ./cmd/loadgen
+
+bin/rfidrawd -http "$HTTP" -ingest "$INGEST" -idle 30s &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+  curl -sf "http://$HTTP/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -sf "http://$HTTP/healthz" >/dev/null
+
+goroutines() { curl -sf "http://$HTTP/metrics" | awk '/^rfidrawd_goroutines /{print $2}'; }
+BEFORE="$(goroutines)"
+echo "soak: goroutines before load: $BEFORE"
+
+bin/loadgen -daemon "http://$HTTP" -sessions "$SESSIONS" -duration "$DURATION" -pace "$PACE" -out "$OUT"
+echo "soak: loadgen report:"
+cat "$OUT"
+
+# loadgen deletes its sessions; give the daemon a moment to fully drain.
+sleep 5
+AFTER="$(goroutines)"
+echo "soak: goroutines after drain: $AFTER (before: $BEFORE, slack: $SLACK)"
+if [ "$AFTER" -gt $((BEFORE + SLACK)) ]; then
+  echo "soak: goroutine leak: $BEFORE -> $AFTER" >&2
+  exit 1
+fi
+
+# The daemon must still be healthy and empty.
+curl -sf "http://$HTTP/healthz" | grep -q '"sessions":0'
+echo "soak: OK"

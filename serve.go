@@ -1,0 +1,296 @@
+package rfidraw
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"rfidraw/internal/engine"
+	"rfidraw/internal/rfid"
+	"rfidraw/internal/server"
+)
+
+// ServeConfig configures the serving layer a System can expose: the
+// rfidrawd daemon surface (HTTP control + streaming API, reader ingest
+// gateway) and the session registry behind it. Zero values take the
+// defaults noted per field.
+type ServeConfig struct {
+	// HTTPAddr is the control/streaming API address. Default
+	// 127.0.0.1:8090.
+	HTTPAddr string
+	// IngestAddr is the reader ingest gateway address. Default
+	// 127.0.0.1:7070.
+	IngestAddr string
+	// MaxSessions caps live sessions; creates beyond it are shed with
+	// HTTP 503. Default 128.
+	MaxSessions int
+	// MaxSubscribers caps live-stream consumers per session; attaches
+	// beyond it are shed with HTTP 503. Default 16.
+	MaxSubscribers int
+	// SubscriberQueue bounds each subscriber's event queue; a consumer
+	// that falls behind loses the oldest events (and is told so with
+	// "drop" events) rather than stalling the session. Default 256.
+	SubscriberQueue int
+	// SessionShards is each session engine's worker shard count.
+	// Default 1 — sessions are the unit of parallelism; raise it for
+	// sessions tracking many simultaneous tags.
+	SessionShards int
+	// IdleTimeout expires sessions with no activity, readers or
+	// subscribers. Default 2 minutes.
+	IdleTimeout time.Duration
+	// ReorderWindow is how long ingest holds reports to resequence
+	// cross-reader skew. Default 25ms.
+	ReorderWindow time.Duration
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c ServeConfig) registryConfig(factory server.EngineFactory) server.RegistryConfig {
+	return server.RegistryConfig{
+		NewEngine:       factory,
+		MaxSessions:     c.MaxSessions,
+		MaxSubscribers:  c.MaxSubscribers,
+		SubscriberQueue: c.SubscriberQueue,
+		ReorderWindow:   c.ReorderWindow,
+		Logf:            c.Logf,
+	}
+}
+
+// Server is a running rfidrawd serving layer bound to a System.
+type Server struct {
+	inner *server.Server
+}
+
+// Start binds the listeners and begins serving; Close stops it.
+func (sv *Server) Start() error { return sv.inner.Start() }
+
+// Serve runs until the context is cancelled, then shuts down.
+func (sv *Server) Serve(ctx context.Context) error { return sv.inner.Serve(ctx) }
+
+// Close shuts the server down, closing every session. Idempotent.
+func (sv *Server) Close() error { return sv.inner.Close() }
+
+// HTTPAddr returns the bound API address (resolved, useful with ":0").
+func (sv *Server) HTTPAddr() string { return sv.inner.HTTPAddr() }
+
+// IngestAddr returns the bound ingest gateway address.
+func (sv *Server) IngestAddr() string { return sv.inner.IngestAddr() }
+
+// registry lazily builds the System's session registry. The first caller
+// fixes the registry's limits: NewServer applies its ServeConfig,
+// OpenSession applies defaults — so configure limits by building the
+// server before opening in-process sessions.
+func (s *System) registry(cfg ServeConfig) (*server.Registry, error) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	if s.reg != nil {
+		return s.reg, nil
+	}
+	shards := cfg.SessionShards
+	if shards <= 0 {
+		shards = 1
+	}
+	factory := func(sweep time.Duration, onUpdate func(engine.Update)) (*engine.Engine, error) {
+		return engine.New(engine.Config{
+			Shards: shards,
+			// Sessions share this System's read-only positioner and
+			// steering tables; each gets its own shard group.
+			System:        s.eng.System(),
+			SweepInterval: sweep,
+			OnUpdate:      onUpdate,
+			// Dispatch every report immediately: serving is the
+			// latency-sensitive live-cursor regime.
+			BatchSize: 1,
+		})
+	}
+	reg, err := server.NewRegistry(cfg.registryConfig(factory))
+	if err != nil {
+		return nil, fmt.Errorf("rfidraw: %w", err)
+	}
+	s.reg = reg
+	return reg, nil
+}
+
+// NewServer builds the daemon serving layer over this System: a session
+// registry whose sessions share the System's precomputed positioner, an
+// ingest gateway for readerwire reader connections, and the HTTP
+// control/streaming/observability API. Call Start (or Serve) to bind it.
+func (s *System) NewServer(cfg ServeConfig) (*Server, error) {
+	reg, err := s.registry(cfg)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := server.New(server.Config{
+		HTTPAddr:       cfg.HTTPAddr,
+		IngestAddr:     cfg.IngestAddr,
+		SharedRegistry: reg,
+		IdleTimeout:    cfg.IdleTimeout,
+		Logf:           cfg.Logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rfidraw: %w", err)
+	}
+	return &Server{inner: inner}, nil
+}
+
+// Serve runs the daemon serving layer until the context is cancelled —
+// the one-call form of NewServer + Serve that cmd/rfidrawd uses.
+func (s *System) Serve(ctx context.Context, cfg ServeConfig) error {
+	sv, err := s.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	return sv.Serve(ctx)
+}
+
+// ReaderReport is one live phase report fed into a Session: which antenna
+// heard which tag when, at what phase. It is the public shape of the
+// readerwire PhaseReport.
+type ReaderReport struct {
+	// Time is the reply time relative to the start of the session's
+	// stream; reports must be non-decreasing per reader.
+	Time time.Duration
+	// ReaderID and Antenna identify the hearing port (antennas 1–8 in
+	// the standard deployment).
+	ReaderID int
+	Antenna  int
+	// EPC is the tag's 24-hex-digit identity; empty feeds a single
+	// anonymous tag.
+	EPC string
+	// Phase is the measured wrapped phase in [0, 2π) radians.
+	Phase float64
+	// Power is the reply power in dB (informational).
+	Power float64
+}
+
+// Event is one item of a session's live output stream: a trace point, a
+// recognized glyph, a queue-drop notice or the end-of-session marker.
+type Event struct {
+	// Type is "point", "glyph", "drop" or "end".
+	Type string
+	// Tag is the writer's EPC hex (points, glyphs).
+	Tag string
+	// Time is the sample's stream time (points, glyphs).
+	Time time.Duration
+	// X, Z are writing-plane coordinates in metres (points).
+	X, Z float64
+	// Glyph is the recognized letter; Dist/Margin its DTW confidence;
+	// Points the stroke's sample count.
+	Glyph  string
+	Dist   float64
+	Margin float64
+	Points int
+	// Dropped is how many events this subscriber lost (drop notices).
+	Dropped int
+}
+
+// Session is an in-process serving session: the same registry entry the
+// daemon serves over HTTP, fed and consumed directly by the embedding
+// program.
+type Session struct {
+	inner *server.Session
+}
+
+// OpenSession creates a live session on the System's session registry.
+// sweep is the reader cadence (per tag: with N tags sharing reader
+// airtime, N × the raw sweep period). The session traces every tag it
+// hears concurrently on its own engine shard group and delivers points
+// and glyphs to subscribers; if a Server is running over the same System,
+// the session is also visible on the daemon API under the same ID.
+// id == "" assigns a random one.
+func (s *System) OpenSession(id string, sweep time.Duration) (*Session, error) {
+	if sweep <= 0 {
+		return nil, fmt.Errorf("rfidraw: OpenSession needs a positive sweep interval")
+	}
+	reg, err := s.registry(ServeConfig{})
+	if err != nil {
+		return nil, err
+	}
+	sess, err := reg.Open(id, sweep)
+	if err != nil {
+		return nil, fmt.Errorf("rfidraw: %w", err)
+	}
+	return &Session{inner: sess}, nil
+}
+
+// ID returns the session's registry identity.
+func (s *Session) ID() string { return s.inner.ID }
+
+// Offer feeds one phase report. It blocks for backpressure when the
+// session's ingest queue is full and fails once the session is closed.
+func (s *Session) Offer(rep ReaderReport) error {
+	wire := rfid.Report{
+		Time:      rep.Time,
+		ReaderID:  rep.ReaderID,
+		AntennaID: rep.Antenna,
+		PhaseRad:  rep.Phase,
+		PowerDB:   rep.Power,
+	}
+	if rep.EPC != "" {
+		epc, err := rfid.ParseEPC(rep.EPC)
+		if err != nil {
+			return fmt.Errorf("rfidraw: %w", err)
+		}
+		wire.EPC = epc
+	}
+	return s.inner.Offer(wire)
+}
+
+// Flush drains buffered ingest and closes the engine's open sweeps,
+// delivering any final positions to subscribers (e.g. at end of stream).
+func (s *Session) Flush() error { return s.inner.Flush() }
+
+// Close tears the session down; subscribers see an "end" event and their
+// channels close. Idempotent.
+func (s *Session) Close() { s.inner.Close() }
+
+// Subscription is one attached consumer of a session's event stream.
+type Subscription struct {
+	sub    *server.Subscriber
+	events chan Event
+	once   sync.Once
+}
+
+// Subscribe attaches a consumer with a bounded queue (buffer <= 0 takes
+// the default, 256). A consumer that falls behind loses the oldest
+// events — freshness beats completeness for a live cursor — and is told
+// via "drop" events.
+func (s *Session) Subscribe(buffer int) (*Subscription, error) {
+	sub, err := s.inner.Subscribe(buffer)
+	if err != nil {
+		return nil, fmt.Errorf("rfidraw: %w", err)
+	}
+	out := &Subscription{sub: sub, events: make(chan Event, 16)}
+	go func() {
+		defer close(out.events)
+		for ev := range sub.Events() {
+			out.events <- Event{
+				Type: ev.Type, Tag: ev.Tag, Time: ev.T,
+				X: ev.X, Z: ev.Z,
+				Glyph: ev.Glyph, Dist: ev.Dist, Margin: ev.Margin,
+				Points: ev.Points, Dropped: ev.Dropped,
+			}
+		}
+	}()
+	return out, nil
+}
+
+// Events is the subscription's delivery channel; it closes when the
+// session ends or the subscription is closed.
+func (sub *Subscription) Events() <-chan Event { return sub.events }
+
+// Drops reports how many events this subscription has lost to the
+// slow-consumer policy.
+func (sub *Subscription) Drops() int64 { return sub.sub.Drops() }
+
+// Close detaches the subscription. Idempotent.
+func (sub *Subscription) Close() {
+	sub.once.Do(func() {
+		sub.sub.Close()
+		// Drain the forwarder so it observes the closed inner channel
+		// and closes events.
+		for range sub.events {
+		}
+	})
+}
