@@ -418,6 +418,7 @@ func BenchmarkEngineMultiTag(b *testing.B) {
 	for _, tags := range []int{1, 8, 64} {
 		for _, shards := range shardCounts {
 			b.Run(fmt.Sprintf("tags=%d/shards=%d", tags, shards), func(b *testing.B) {
+				b.ReportAllocs()
 				jobs := benchEngineJobs(b, tags)
 				eng, err := engine.New(engine.Config{
 					Shards: shards,
@@ -455,6 +456,7 @@ func BenchmarkEngineStreaming(b *testing.B) {
 	}
 	for _, shards := range streamShards {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				// Trackers are stateful per tag, so each iteration needs
 				// a fresh engine; keep its construction (steering-table
@@ -489,6 +491,7 @@ func BenchmarkLocalizeSingleSample(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sys.Localize(obs); err != nil {
@@ -514,6 +517,7 @@ func BenchmarkTraceStep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		stream.Push(wr.SamplesRF[1+i%(len(wr.SamplesRF)-1)])
@@ -587,6 +591,7 @@ func BenchmarkSearchModes(b *testing.B) {
 	for _, mode := range []vote.SearchMode{vote.SearchDense, vote.SearchHierarchical} {
 		for _, tags := range []int{1, 8, 64} {
 			b.Run(fmt.Sprintf("mode=%s/tags=%d", mode, tags), func(b *testing.B) {
+				b.ReportAllocs()
 				jobs := benchEngineJobs(b, tags)
 				eng, err := engine.New(engine.Config{
 					Shards: 1,

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"regexp"
 	"runtime"
 	"sort"
@@ -33,9 +34,13 @@ type Benchmark struct {
 	N int64 `json:"n"`
 	// NsPerOp is the kept repetition's nanoseconds per iteration.
 	NsPerOp float64 `json:"ns_per_op"`
-	// AllocsPerOp / BytesPerOp mirror -benchmem output; 0 when absent.
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	// AllocsPerOp mirrors -benchmem / b.ReportAllocs output. It is a
+	// pointer so a genuinely allocation-free benchmark (0 allocs/op) is
+	// distinguishable from a run recorded without allocation data — the
+	// allocation gate must fail a 0→N growth, not call it missing.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// BytesPerOp mirrors -benchmem output; 0 when absent.
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
 	// Metrics holds every custom b.ReportMetric unit.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
@@ -115,7 +120,8 @@ func parseLine(m []string) (*Benchmark, error) {
 		case "B/op":
 			b.BytesPerOp = v
 		case "allocs/op":
-			b.AllocsPerOp = v
+			a := v
+			b.AllocsPerOp = &a
 		default:
 			if b.Metrics == nil {
 				b.Metrics = map[string]float64{}
@@ -128,14 +134,20 @@ func parseLine(m []string) (*Benchmark, error) {
 
 // Compare gates current against baseline: every current benchmark whose
 // normalised name contains match (all when match is empty) and exists in
-// the baseline is checked for ns/op regression beyond maxRegress. The
-// returned report lists every comparison; failed reports whether any
-// regressed. Two situations downgrade the gate to informational instead
-// of failing, because ns/op is not comparable: benchmarks present on only
+// the baseline is checked for ns/op regression beyond maxRegress
+// (negative disables the time gate) and, when maxAllocsRegress > 0, for
+// allocs/op growth beyond that fraction. The returned report lists every
+// comparison; failed reports whether any regressed.
+//
+// Two situations downgrade the time gate to informational instead of
+// failing, because ns/op is not comparable: benchmarks present on only
 // one side, and a baseline recorded on a different CPU than the current
-// run (the committed baseline seeds a new machine class until CI refreshes
-// it on its own hardware).
-func Compare(baseline, current *File, match string, maxRegress float64) (report string, failed bool) {
+// run (the committed baseline seeds a new machine class until CI
+// refreshes it on its own hardware). The allocation gate has no CPU
+// escape hatch — allocs/op is a property of the code, not the machine —
+// but is informational when either side lacks allocation data (e.g. a
+// baseline recorded before b.ReportAllocs was added).
+func Compare(baseline, current *File, match string, maxRegress, maxAllocsRegress float64) (report string, failed bool) {
 	sameCPU := baseline.CPU == "" || current.CPU == "" || baseline.CPU == current.CPU
 	base := map[string]Benchmark{}
 	for _, b := range baseline.Benchmarks {
@@ -155,20 +167,44 @@ func Compare(baseline, current *File, match string, maxRegress float64) (report 
 		matched++
 		delta := (cur.NsPerOp - old.NsPerOp) / old.NsPerOp
 		status := "ok"
-		if delta > maxRegress {
+		if maxRegress >= 0 && delta > maxRegress {
 			status = "slower"
 			if sameCPU {
 				status = "REGRESSED"
 				failed = true
 			}
 		}
-		lines = append(lines, fmt.Sprintf("  %-9s %-60s %12.0f -> %12.0f ns/op (%+.1f%%)",
-			status, cur.Name, old.NsPerOp, cur.NsPerOp, delta*100))
+		allocs := ""
+		if maxAllocsRegress > 0 {
+			switch {
+			case old.AllocsPerOp == nil || cur.AllocsPerOp == nil:
+				allocs = ", allocs (no gate: missing data)"
+			default:
+				oldA, curA := *old.AllocsPerOp, *cur.AllocsPerOp
+				// From an allocation-free baseline any growth is an
+				// unbounded regression.
+				adelta := math.Inf(1)
+				switch {
+				case oldA > 0:
+					adelta = (curA - oldA) / oldA
+				case curA == 0:
+					adelta = 0
+				}
+				allocs = fmt.Sprintf(", allocs %.0f -> %.0f /op (%+.1f%%)",
+					oldA, curA, adelta*100)
+				if adelta > maxAllocsRegress {
+					status = "REGRESSED"
+					failed = true
+				}
+			}
+		}
+		lines = append(lines, fmt.Sprintf("  %-9s %-60s %12.0f -> %12.0f ns/op (%+.1f%%)%s",
+			status, cur.Name, old.NsPerOp, cur.NsPerOp, delta*100, allocs))
 	}
 	sort.Strings(lines)
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "benchjson: baseline %s (%s, cpu %q) vs current %s (%s, cpu %q), gate >%.0f%% on %q\n",
-		baseline.Date, baseline.Go, baseline.CPU, current.Date, current.Go, current.CPU, maxRegress*100, match)
+	fmt.Fprintf(&sb, "benchjson: baseline %s (%s, cpu %q) vs current %s (%s, cpu %q), gate >%.0f%% ns/op, >%.0f%% allocs/op on %q\n",
+		baseline.Date, baseline.Go, baseline.CPU, current.Date, current.Go, current.CPU, maxRegress*100, maxAllocsRegress*100, match)
 	for _, l := range lines {
 		sb.WriteString(l)
 		sb.WriteString("\n")

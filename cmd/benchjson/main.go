@@ -34,16 +34,17 @@ func main() {
 		date       = flag.String("date", "", "date stamp for the JSON (default today, UTC)")
 		compare    = flag.String("compare", "", "baseline JSON: compare mode instead of convert mode")
 		benchMatch = flag.String("bench", "", "compare mode: substring of the benchmarks to gate (default all)")
-		maxRegress = flag.Float64("max-regress", 0.20, "compare mode: allowed fractional ns/op regression")
+		maxRegress = flag.Float64("max-regress", 0.20, "compare mode: allowed fractional ns/op regression (negative disables)")
+		maxAllocs  = flag.Float64("max-allocs-regress", 0, "compare mode: allowed fractional allocs/op growth (0 disables)")
 	)
 	flag.Parse()
-	if err := run(*in, *out, *date, *compare, *benchMatch, *maxRegress, flag.Args()); err != nil {
+	if err := run(*in, *out, *date, *compare, *benchMatch, *maxRegress, *maxAllocs, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, date, compare, benchMatch string, maxRegress float64, args []string) error {
+func run(in, out, date, compare, benchMatch string, maxRegress, maxAllocs float64, args []string) error {
 	if compare != "" {
 		if len(args) != 1 {
 			return fmt.Errorf("compare mode wants exactly one current JSON argument, got %d", len(args))
@@ -56,10 +57,10 @@ func run(in, out, date, compare, benchMatch string, maxRegress float64, args []s
 		if err != nil {
 			return err
 		}
-		report, failed := Compare(baseline, current, benchMatch, maxRegress)
+		report, failed := Compare(baseline, current, benchMatch, maxRegress, maxAllocs)
 		fmt.Print(report)
 		if failed {
-			return fmt.Errorf("benchmark regression beyond %.0f%%", maxRegress*100)
+			return fmt.Errorf("benchmark regression beyond the gate (ns/op >%.0f%%, allocs/op >%.0f%%)", maxRegress*100, maxAllocs*100)
 		}
 		return nil
 	}

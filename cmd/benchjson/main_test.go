@@ -36,8 +36,11 @@ func TestParseCollapsesRepetitionsToBest(t *testing.T) {
 		t.Fatalf("custom metric = %v, want the best repetition's 72.73", got)
 	}
 	loc := f.Benchmarks[1]
-	if loc.BytesPerOp != 512 || loc.AllocsPerOp != 4 {
+	if loc.BytesPerOp != 512 || loc.AllocsPerOp == nil || *loc.AllocsPerOp != 4 {
 		t.Fatalf("benchmem fields = %v B/op, %v allocs/op", loc.BytesPerOp, loc.AllocsPerOp)
+	}
+	if f.Benchmarks[0].AllocsPerOp != nil {
+		t.Fatal("benchmark without allocation data must record nil, not 0")
 	}
 	if f.Schema != 1 || f.Date != "2026-07-28" {
 		t.Fatalf("file header: %+v", f)
@@ -74,7 +77,7 @@ func mkFile(ns float64) *File {
 }
 
 func TestCompareWithinTolerancePasses(t *testing.T) {
-	report, failed := Compare(mkFile(100), mkFile(115), "EngineMultiTag/tags=8", 0.20)
+	report, failed := Compare(mkFile(100), mkFile(115), "EngineMultiTag/tags=8", 0.20, 0)
 	if failed {
 		t.Fatalf("15%% should pass a 20%% gate:\n%s", report)
 	}
@@ -84,7 +87,7 @@ func TestCompareWithinTolerancePasses(t *testing.T) {
 }
 
 func TestCompareRegressionFails(t *testing.T) {
-	report, failed := Compare(mkFile(100), mkFile(130), "EngineMultiTag/tags=8", 0.20)
+	report, failed := Compare(mkFile(100), mkFile(130), "EngineMultiTag/tags=8", 0.20, 0)
 	if !failed {
 		t.Fatalf("30%% regression should fail a 20%% gate:\n%s", report)
 	}
@@ -96,22 +99,90 @@ func TestCompareRegressionFails(t *testing.T) {
 func TestCompareGatesOnlyMatchingBenchmarks(t *testing.T) {
 	cur := mkFile(100)
 	cur.Benchmarks[1].NsPerOp = 500 // 10x regression on the unmatched one
-	if report, failed := Compare(mkFile(100), cur, "EngineMultiTag/tags=8", 0.20); failed {
+	if report, failed := Compare(mkFile(100), cur, "EngineMultiTag/tags=8", 0.20, 0); failed {
 		t.Fatalf("unmatched benchmark must not fail the gate:\n%s", report)
 	}
-	if _, failed := Compare(mkFile(100), cur, "", 0.20); !failed {
+	if _, failed := Compare(mkFile(100), cur, "", 0.20, 0); !failed {
 		t.Fatal("empty match should gate every benchmark")
 	}
 }
 
 func TestCompareNoOverlapWarnsButPasses(t *testing.T) {
 	other := &File{Benchmarks: []Benchmark{{Name: "BenchmarkElsewhere", NsPerOp: 1}}}
-	report, failed := Compare(mkFile(100), other, "EngineMultiTag", 0.20)
+	report, failed := Compare(mkFile(100), other, "EngineMultiTag", 0.20, 0)
 	if failed {
 		t.Fatalf("no overlap should not fail:\n%s", report)
 	}
 	if !strings.Contains(report, "WARNING") {
 		t.Fatalf("report missing no-overlap warning:\n%s", report)
+	}
+}
+
+func mkAllocFile(ns float64, allocs ...float64) *File {
+	b := Benchmark{Name: "BenchmarkEngineStreaming/shards=1", N: 3, NsPerOp: ns}
+	if len(allocs) > 0 {
+		b.AllocsPerOp = &allocs[0]
+	}
+	return &File{
+		Schema: 1, Date: "2026-07-28", Go: "go1.24.0", CPU: "Same CPU",
+		Benchmarks: []Benchmark{b},
+	}
+}
+
+func TestCompareAllocsGate(t *testing.T) {
+	// 10% allocation growth passes a 20% gate; 50% fails it even when
+	// ns/op is fine.
+	if report, failed := Compare(mkAllocFile(100, 1000), mkAllocFile(100, 1100), "EngineStreaming", -1, 0.20); failed {
+		t.Fatalf("10%% allocs growth should pass a 20%% gate:\n%s", report)
+	}
+	report, failed := Compare(mkAllocFile(100, 1000), mkAllocFile(100, 1500), "EngineStreaming", -1, 0.20)
+	if !failed {
+		t.Fatalf("50%% allocs growth should fail a 20%% gate:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSED") || !strings.Contains(report, "allocs 1000 -> 1500") {
+		t.Fatalf("report missing allocation regression detail:\n%s", report)
+	}
+	// A disabled time gate must not fail on ns/op regressions.
+	if report, failed := Compare(mkAllocFile(100, 1000), mkAllocFile(1000, 1000), "EngineStreaming", -1, 0.20); failed {
+		t.Fatalf("disabled ns/op gate must not fail:\n%s", report)
+	}
+	// The allocation gate has no cross-CPU escape: allocs are a property
+	// of the code.
+	cur := mkAllocFile(100, 1500)
+	cur.CPU = "Other CPU"
+	if _, failed := Compare(mkAllocFile(100, 1000), cur, "EngineStreaming", -1, 0.20); !failed {
+		t.Fatal("cross-CPU allocation regression must still fail")
+	}
+}
+
+func TestCompareAllocsGateMissingDataIsInformational(t *testing.T) {
+	baseline := mkAllocFile(100) // recorded before ReportAllocs existed
+	report, failed := Compare(baseline, mkAllocFile(100, 900), "EngineStreaming", -1, 0.20)
+	if failed {
+		t.Fatalf("missing baseline allocation data must not fail:\n%s", report)
+	}
+	if !strings.Contains(report, "no gate: missing data") {
+		t.Fatalf("report missing the no-data note:\n%s", report)
+	}
+	// Gate off entirely: no allocation text at all.
+	report, _ = Compare(mkAllocFile(100, 1000), mkAllocFile(100, 1500), "EngineStreaming", -1, 0)
+	if strings.Contains(report, "allocs 1000") {
+		t.Fatalf("disabled allocs gate should not report allocations:\n%s", report)
+	}
+}
+
+func TestCompareAllocsGateZeroBaselineIsReal(t *testing.T) {
+	// A genuinely allocation-free baseline is data, not absence: any
+	// growth from 0 is an unbounded regression and must fail the gate.
+	report, failed := Compare(mkAllocFile(100, 0), mkAllocFile(100, 20000), "EngineStreaming", -1, 0.20)
+	if !failed {
+		t.Fatalf("0 -> 20000 allocs/op must fail the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSED") {
+		t.Fatalf("report missing REGRESSED marker:\n%s", report)
+	}
+	if _, failed := Compare(mkAllocFile(100, 0), mkAllocFile(100, 0), "EngineStreaming", -1, 0.20); failed {
+		t.Fatal("0 -> 0 allocs/op must pass")
 	}
 }
 
@@ -130,7 +201,7 @@ func TestCompareDifferentCPUIsInformational(t *testing.T) {
 	baseline.CPU = "Dev Workstation"
 	cur := mkFile(200) // 100% slower — would fail on same hardware
 	cur.CPU = "CI Runner"
-	report, failed := Compare(baseline, cur, "EngineMultiTag/tags=8", 0.20)
+	report, failed := Compare(baseline, cur, "EngineMultiTag/tags=8", 0.20, 0)
 	if failed {
 		t.Fatalf("cross-CPU comparison must not fail the gate:\n%s", report)
 	}
@@ -138,7 +209,7 @@ func TestCompareDifferentCPUIsInformational(t *testing.T) {
 		t.Fatalf("report missing cross-CPU downgrade:\n%s", report)
 	}
 	cur.CPU = baseline.CPU
-	if _, failed := Compare(baseline, cur, "EngineMultiTag/tags=8", 0.20); !failed {
+	if _, failed := Compare(baseline, cur, "EngineMultiTag/tags=8", 0.20, 0); !failed {
 		t.Fatal("same-CPU regression must fail the gate")
 	}
 }

@@ -46,21 +46,22 @@ func main() {
 		queue      = flag.Int("queue", 256, "per-subscriber bounded event queue")
 		idle       = flag.Duration("idle", 2*time.Minute, "idle session expiry")
 		reorder    = flag.Duration("reorder", 25*time.Millisecond, "cross-reader resequencing window")
+		maxAcquire = flag.Int("max-acquire", 400, "per-tag warmup sample buffer bound (sweeps, ≥ the 4-sweep warmup)")
 	)
 	flag.Parse()
-	if err := validateFlags(*httpAddr, *ingestAddr, *dist, *shards, *maxSess, *maxSubs, *queue, *idle, *reorder); err != nil {
+	if err := validateFlags(*httpAddr, *ingestAddr, *dist, *shards, *maxSess, *maxSubs, *queue, *idle, *reorder, *maxAcquire); err != nil {
 		fmt.Fprintln(os.Stderr, "rfidrawd: invalid flags:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*httpAddr, *ingestAddr, *dist, *shards, *maxSess, *maxSubs, *queue, *idle, *reorder); err != nil {
+	if err := run(*httpAddr, *ingestAddr, *dist, *shards, *maxSess, *maxSubs, *queue, *idle, *reorder, *maxAcquire); err != nil {
 		fmt.Fprintln(os.Stderr, "rfidrawd:", err)
 		os.Exit(1)
 	}
 }
 
 // validateFlags rejects malformed combinations before anything binds.
-func validateFlags(httpAddr, ingestAddr string, dist float64, shards, maxSess, maxSubs, queue int, idle, reorder time.Duration) error {
+func validateFlags(httpAddr, ingestAddr string, dist float64, shards, maxSess, maxSubs, queue int, idle, reorder time.Duration, maxAcquire int) error {
 	if strings.TrimSpace(httpAddr) == "" {
 		return fmt.Errorf("-http must name a TCP address")
 	}
@@ -91,10 +92,13 @@ func validateFlags(httpAddr, ingestAddr string, dist float64, shards, maxSess, m
 	if reorder <= 0 {
 		return fmt.Errorf("-reorder %v must be positive", reorder)
 	}
+	if maxAcquire < 1 {
+		return fmt.Errorf("-max-acquire %d needs at least one buffered sweep", maxAcquire)
+	}
 	return nil
 }
 
-func run(httpAddr, ingestAddr string, dist float64, shards, maxSess, maxSubs, queue int, idle, reorder time.Duration) error {
+func run(httpAddr, ingestAddr string, dist float64, shards, maxSess, maxSubs, queue int, idle, reorder time.Duration, maxAcquire int) error {
 	sys, err := rfidraw.New(rfidraw.Config{PlaneDistanceM: dist})
 	if err != nil {
 		return err
@@ -103,14 +107,15 @@ func run(httpAddr, ingestAddr string, dist float64, shards, maxSess, maxSubs, qu
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	return sys.Serve(ctx, rfidraw.ServeConfig{
-		HTTPAddr:        httpAddr,
-		IngestAddr:      ingestAddr,
-		MaxSessions:     maxSess,
-		MaxSubscribers:  maxSubs,
-		SubscriberQueue: queue,
-		SessionShards:   shards,
-		IdleTimeout:     idle,
-		ReorderWindow:   reorder,
-		Logf:            log.Printf,
+		HTTPAddr:         httpAddr,
+		IngestAddr:       ingestAddr,
+		MaxSessions:      maxSess,
+		MaxSubscribers:   maxSubs,
+		SubscriberQueue:  queue,
+		SessionShards:    shards,
+		MaxAcquireBuffer: maxAcquire,
+		IdleTimeout:      idle,
+		ReorderWindow:    reorder,
+		Logf:             log.Printf,
 	})
 }

@@ -141,8 +141,10 @@ func run(addrs []string, dist float64, shards int) error {
 		} else if !st.Started {
 			status = "never acquired"
 		}
-		fmt.Printf("tracker: tag %s  %d positions, mean vote %.4f, %d reacquisitions — %s\n",
-			st.Tag[:8], st.Positions, st.MeanVote, st.Reacquisitions, status)
+		fmt.Printf("tracker: tag %s  %d positions, mean vote %.4f, %d reacquisitions, "+
+			"%d hypotheses live (%d retired, %d leader switches) — %s\n",
+			st.Tag[:8], st.Positions, st.MeanVote, st.Reacquisitions,
+			st.Hypotheses, st.Retirements, st.LeaderSwitches, status)
 	}
 	fmt.Printf("tracker: %d positions across %d tags on %d shards\n",
 		count, len(stats), eng.Shards())

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math/cmplx"
+	"sync"
 
 	"rfidraw/internal/deploy"
 	"rfidraw/internal/geom"
@@ -43,6 +44,9 @@ type System struct {
 	positioner *vote.Positioner
 	tracer     *tracing.Tracer
 	cfg        Config
+	// scratch pools reusable search scratches for calls that are not
+	// handed an explicit one; the engine's shards pass their own.
+	scratch sync.Pool
 }
 
 // NewSystem builds a System for a deployment. A nil deployment uses the
@@ -82,7 +86,9 @@ func NewSystem(dep *deploy.RFIDraw, cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{dep: dep, positioner: positioner, tracer: tracer, cfg: cfg}, nil
+	s := &System{dep: dep, positioner: positioner, tracer: tracer, cfg: cfg}
+	s.scratch.New = func() any { return vote.NewScratch() }
+	return s, nil
 }
 
 // Deployment returns the system's antenna deployment.
@@ -117,6 +123,13 @@ type TraceResult struct {
 	// CandidateStats reports the search work the initial positioning
 	// spent (mode, surviving cells, grid evaluations).
 	CandidateStats vote.SearchStats
+	// LeaderSwitches is how many times the leading hypothesis changed as
+	// the multi-hypothesis stream extended — the §5.2 disambiguation
+	// visibly converging.
+	LeaderSwitches int
+	// Retirements is how many candidate hypotheses were retired for a
+	// collapsed vote record before the stream ended.
+	Retirements int
 }
 
 // InitialPosition returns the chosen candidate's initial position — the
@@ -138,55 +151,81 @@ func (s *System) Trace(samples []tracing.Sample) (*TraceResult, error) {
 // one scratch each so the whole pipeline stays allocation-free once warm.
 // A nil scratch falls back to the internal pools. The scratch never
 // influences results.
+//
+// TraceWith is "acquire, then replay": candidate initial positions are
+// localized from the earliest usable window, then every sample from that
+// point is pushed through one tracing.MultiStream — exactly the code the
+// live tracker (internal/realtime) runs sweep by sweep, so the batch
+// result is byte-identical to a streaming replay of the same samples.
 func (s *System) TraceWith(sc *vote.Scratch, samples []tracing.Sample) (*TraceResult, error) {
 	if len(samples) == 0 {
 		return nil, errors.New("core: no samples")
 	}
-	// Find the earliest window the positioner can work with: the first
-	// few sweeps may miss ports before every antenna has been heard.
-	// Phases are averaged coherently over InitialAverage samples to
-	// suppress reply noise before the initial vote.
-	var cands []vote.Candidate
-	var cstats vote.SearchStats
-	start := -1
+	if sc == nil {
+		sc = s.scratch.Get().(*vote.Scratch)
+		defer s.scratch.Put(sc)
+	}
+	cands, cstats, start, err := s.Acquire(sc, samples, true)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := s.tracer.NewMultiStreamWith(sc, cands, samples[start], tracing.MultiConfig{Record: true})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	for _, smp := range samples[start:] {
+		ms.Push(smp)
+	}
+	return ResultFromMulti(ms, cstats)
+}
+
+// Acquire finds the earliest sample window the positioner can work with —
+// the first few sweeps may miss ports before every antenna has been heard
+// — and returns the candidate initial positions, the search stats and the
+// window's start index. Phases are averaged coherently over
+// InitialAverage samples to suppress reply noise before the initial vote.
+//
+// complete marks the sample slice as a finished stream: averaging windows
+// may then be clamped at the tail. Streaming callers (the live tracker's
+// warmup) pass false so a window that would be clamped waits for more
+// data instead — keeping a later batch replay of the same samples
+// bit-identical to what the live path acquired.
+func (s *System) Acquire(sc *vote.Scratch, samples []tracing.Sample, complete bool) ([]vote.Candidate, vote.SearchStats, int, error) {
+	if len(samples) == 0 {
+		return nil, vote.SearchStats{}, -1, errors.New("core: no samples")
+	}
+	if sc == nil {
+		sc = s.scratch.Get().(*vote.Scratch)
+		defer s.scratch.Put(sc)
+	}
 	var lastErr error
 	for i := range samples {
-		obs := averagePhases(samples[i:], s.cfg.InitialAverage)
+		if !complete && i+s.cfg.InitialAverage > len(samples) {
+			break // window would clamp; wait for more data
+		}
+		obs := averagePhases(sc, samples[i:], s.cfg.InitialAverage)
 		c, st, err := s.positioner.CandidatesWith(sc, obs)
 		if err == nil {
-			cands, cstats, start = c, st, i
-			break
+			return c, st, i, nil
 		}
 		lastErr = err
 		if i >= 8 {
 			break
 		}
 	}
-	if start < 0 {
-		return nil, fmt.Errorf("core: no usable initial sample: %w", lastErr)
+	if lastErr == nil {
+		lastErr = errors.New("not enough samples for an unclamped averaging window")
 	}
-	// Trace each candidate, keeping the candidate list aligned with the
-	// successful traces.
-	var (
-		all      []tracing.Result
-		kept     []vote.Candidate
-		bestIdx  = -1
-		traceErr error
-	)
-	for _, c := range cands {
-		res, err := s.tracer.TraceWith(sc, c.Pos, samples[start:])
-		if err != nil {
-			traceErr = err
-			continue
-		}
-		all = append(all, res)
-		kept = append(kept, c)
-		if bestIdx == -1 || meanVote(res) > meanVote(all[bestIdx]) {
-			bestIdx = len(all) - 1
-		}
-	}
-	if bestIdx == -1 {
-		return nil, fmt.Errorf("core: every candidate trace failed: %w", traceErr)
+	return nil, vote.SearchStats{}, -1, fmt.Errorf("core: no usable initial sample: %w", lastErr)
+}
+
+// ResultFromMulti materializes a recorded multi-hypothesis stream into
+// the batch TraceResult shape; the live tracker uses it to snapshot the
+// batch-equivalent outcome of its stream.
+func ResultFromMulti(ms *tracing.MultiStream, cstats vote.SearchStats) (*TraceResult, error) {
+	all, kept, bestIdx, err := ms.Results()
+	if err != nil {
+		return nil, fmt.Errorf("core: every candidate trace failed: %w", err)
 	}
 	return &TraceResult{
 		Best:           all[bestIdx],
@@ -194,30 +233,27 @@ func (s *System) TraceWith(sc *vote.Scratch, samples []tracing.Sample) (*TraceRe
 		Candidates:     kept,
 		All:            all,
 		CandidateStats: cstats,
+		LeaderSwitches: ms.Switches(),
+		Retirements:    ms.Retirements(),
 	}, nil
-}
-
-func meanVote(r tracing.Result) float64 {
-	if len(r.Votes) == 0 {
-		return 0
-	}
-	return r.TotalVote / float64(len(r.Votes))
 }
 
 // averagePhases coherently averages each antenna's wrapped phase over up to
 // k leading samples: the circular mean of e^{jφ}. Antennas absent from all
-// samples stay absent.
-func averagePhases(samples []tracing.Sample, k int) vote.Observations {
+// samples stay absent. The returned observations live in the scratch's
+// reusable buffers (see vote.Scratch.ObsBuf) and are invalidated by the
+// next averaging or sweep-merge call on the same scratch.
+func averagePhases(sc *vote.Scratch, samples []tracing.Sample, k int) vote.Observations {
 	if k > len(samples) {
 		k = len(samples)
 	}
-	acc := map[int]complex128{}
+	acc := sc.PhasorBuf()
 	for i := 0; i < k; i++ {
 		for id, ph := range samples[i].Phase {
 			acc[id] += cmplx.Rect(1, ph)
 		}
 	}
-	obs := vote.Observations{}
+	obs := sc.ObsBuf()
 	for id, c := range acc {
 		// A near-zero phasor sum means the samples disagreed completely;
 		// its phase is meaningless, so drop the antenna for this window.

@@ -170,9 +170,10 @@ func TestTraceWithDuplicateTimestamps(t *testing.T) {
 func TestAveragePhasesProperties(t *testing.T) {
 	// Averaging a constant phase returns it; averaging opposite phasors
 	// drops the antenna.
+	sc := vote.NewScratch()
 	s1 := tracing.Sample{Phase: vote.Observations{1: 1.0, 2: 0.5}}
 	s2 := tracing.Sample{Phase: vote.Observations{1: 1.0, 2: 0.5 + 3.14159265}}
-	obs := averagePhases([]tracing.Sample{s1, s2}, 2)
+	obs := averagePhases(sc, []tracing.Sample{s1, s2}, 2)
 	if v, ok := obs[1]; !ok || v < 0.99 || v > 1.01 {
 		t.Fatalf("constant phase average = %v", v)
 	}
@@ -180,11 +181,11 @@ func TestAveragePhasesProperties(t *testing.T) {
 		t.Fatal("cancelled phasor should be dropped")
 	}
 	// k larger than available samples is clamped.
-	obs = averagePhases([]tracing.Sample{s1}, 10)
+	obs = averagePhases(sc, []tracing.Sample{s1}, 10)
 	if _, ok := obs[1]; !ok {
 		t.Fatal("clamped averaging lost data")
 	}
-	if got := averagePhases(nil, 3); len(got) != 0 {
+	if got := averagePhases(sc, nil, 3); len(got) != 0 {
 		t.Fatal("empty input should average to empty")
 	}
 }

@@ -65,13 +65,16 @@ type Config struct {
 	// the streaming path (Offer). With Gen-2 singulation splitting
 	// airtime across T tags, this is T × the reader's raw sweep period.
 	SweepInterval time.Duration
-	// MaxPhaseAge, WarmupSamples, ReacquireVote and ReacquireWindow are
-	// forwarded to each per-tag realtime tracker; zero values take the
-	// realtime package defaults.
-	MaxPhaseAge     time.Duration
-	WarmupSamples   int
-	ReacquireVote   float64
-	ReacquireWindow int
+	// MaxPhaseAge, WarmupSamples, MaxAcquireBuffer, ReacquireVote and
+	// ReacquireWindow are forwarded to each per-tag realtime tracker;
+	// zero values take the realtime package defaults. MaxAcquireBuffer
+	// bounds each tag's warmup sample buffer, and with it the per-tag
+	// memory a serving deployment commits to unacquirable tags.
+	MaxPhaseAge      time.Duration
+	WarmupSamples    int
+	MaxAcquireBuffer int
+	ReacquireVote    float64
+	ReacquireWindow  int
 
 	// OnUpdate receives live position updates from the streaming path.
 	// It is called from shard goroutines, possibly concurrently.
@@ -114,6 +117,17 @@ type TagStats struct {
 	Started        bool
 	MeanVote       float64
 	Reacquisitions int
+	// Hypotheses is how many candidate hypotheses the tag's live
+	// multi-stream is still advancing (0 before acquisition).
+	Hypotheses int
+	// LeaderSwitches counts leadership changes across the tag's streams
+	// — the §5.2 over-time disambiguation re-electing a candidate.
+	LeaderSwitches int
+	// Retirements counts hypotheses retired for collapsed vote records.
+	Retirements int
+	// Buffered is the tag's current warmup sample buffer size, bounded
+	// by Config.MaxAcquireBuffer.
+	Buffered int
 	// SearchEvals is the tag's cumulative vote-surface evaluation count
 	// (acquisitions plus live tracing), for serving-layer metrics.
 	SearchEvals int
@@ -155,6 +169,19 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 64
+	}
+	// Catch an impossible acquisition bound at construction: left to the
+	// per-tag tracker it would terminally fail every tag at its first
+	// report, a silent-daemon failure mode.
+	if cfg.MaxAcquireBuffer > 0 {
+		warmup := cfg.WarmupSamples
+		if warmup <= 0 {
+			warmup = realtime.DefaultWarmupSamples
+		}
+		if cfg.MaxAcquireBuffer < warmup {
+			return nil, fmt.Errorf("engine: MaxAcquireBuffer %d must be ≥ WarmupSamples %d",
+				cfg.MaxAcquireBuffer, warmup)
+		}
 	}
 	sys := cfg.System
 	if sys == nil {

@@ -90,13 +90,14 @@ func (s *shard) offer(rep rfid.Report) {
 	ts, ok := s.trackers[rep.EPC]
 	if !ok {
 		tracker, err := realtime.NewTracker(realtime.Config{
-			System:          s.eng.sys,
-			SweepInterval:   s.eng.cfg.SweepInterval,
-			MaxPhaseAge:     s.eng.cfg.MaxPhaseAge,
-			WarmupSamples:   s.eng.cfg.WarmupSamples,
-			ReacquireVote:   s.eng.cfg.ReacquireVote,
-			ReacquireWindow: s.eng.cfg.ReacquireWindow,
-			Scratch:         s.scratch,
+			System:           s.eng.sys,
+			SweepInterval:    s.eng.cfg.SweepInterval,
+			MaxPhaseAge:      s.eng.cfg.MaxPhaseAge,
+			WarmupSamples:    s.eng.cfg.WarmupSamples,
+			MaxAcquireBuffer: s.eng.cfg.MaxAcquireBuffer,
+			ReacquireVote:    s.eng.cfg.ReacquireVote,
+			ReacquireWindow:  s.eng.cfg.ReacquireWindow,
+			Scratch:          s.scratch,
 		})
 		ts = &tagState{tracker: tracker}
 		if err != nil {
@@ -152,6 +153,10 @@ func (s *shard) collectStats() []TagStats {
 			st.Started = ts.tracker.Started()
 			st.MeanVote = ts.tracker.MeanVote()
 			st.Reacquisitions = ts.tracker.Reacquisitions()
+			st.Hypotheses = ts.tracker.ActiveHypotheses()
+			st.LeaderSwitches = ts.tracker.LeaderSwitches()
+			st.Retirements = ts.tracker.Retirements()
+			st.Buffered = ts.tracker.Buffered()
 			st.SearchEvals = ts.tracker.SearchEvals()
 		}
 		out = append(out, st)

@@ -1,10 +1,13 @@
 // Package realtime turns live per-reply phase report streams into a live
 // trajectory: the online counterpart of the batch pipeline. It merges the
 // two readers' reports into per-sweep samples, runs multi-resolution
-// positioning once enough antennas have been heard, and then extends the
-// traced trajectory sample by sample, emitting each new position as it is
-// estimated — the mode a virtual touch screen runs in (§9's cursor
-// discussion).
+// positioning once enough antennas have been heard, and then drives the
+// same incremental multi-hypothesis stream (tracing.MultiStream) the
+// batch path replays — emitting the current leader's position every
+// sweep, the mode a virtual touch screen runs in (§9's cursor
+// discussion). Because batch and live share one stepping core, replaying
+// a sample stream through a Tracker reproduces System.Trace byte for
+// byte; only the schedulers differ.
 //
 // # Concurrency
 //
@@ -20,7 +23,6 @@ package realtime
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"rfidraw/internal/core"
@@ -30,10 +32,20 @@ import (
 	"rfidraw/internal/vote"
 )
 
-// Position is one live output sample.
+// Position is one live output sample: the leading hypothesis's new
+// estimate plus the hypothesis-set signals around it.
 type Position struct {
 	Time time.Duration
 	Pos  geom.Vec2
+	// Confidence is the leader's running mean vote (≤ 0, nearer 0 is
+	// better); it collapses when tracking is lost (Fig. 10f).
+	Confidence float64
+	// Switched marks a leadership change at this sample: the over-time
+	// disambiguation of §5.2 re-electing a different candidate. The
+	// cursor may jump here.
+	Switched bool
+	// Hypotheses is the number of candidate hypotheses still active.
+	Hypotheses int
 }
 
 // Config tunes the live tracker.
@@ -48,21 +60,38 @@ type Config struct {
 	// WarmupSamples is how many merged samples are buffered before
 	// attempting initial positioning. Default 4.
 	WarmupSamples int
+	// MaxAcquireBuffer bounds the warmup sample buffer: a tag whose
+	// acquisition keeps failing is declared dead once this many samples
+	// have been buffered, bounding per-tag memory on serving
+	// deployments. Default 400 (~10 s at 25 ms sweeps). Must be at
+	// least WarmupSamples when both are set.
+	MaxAcquireBuffer int
 	// ReacquireVote triggers tracking-loss recovery: when the recent
 	// mean vote falls below this threshold the tracker declares the
-	// lobe locks lost (e.g. the user left and re-entered the field) and
-	// re-runs initial acquisition. Votes are ≤ 0; more negative means
-	// worse. Default −0.5; set to -Inf to disable.
+	// lobe locks lost (e.g. the user left and re-entered the field),
+	// drops the hypothesis set and re-runs initial acquisition —
+	// re-seeding a fresh MultiStream from the new fix. Votes are ≤ 0;
+	// more negative means worse. Default −0.5; set to -Inf to disable.
 	ReacquireVote float64
 	// ReacquireWindow is how many recent votes the loss detector
 	// averages. Default 8.
 	ReacquireWindow int
+	// RecordTrace keeps every hypothesis's full trajectory in the live
+	// stream so TraceResult can materialize the batch-equivalent
+	// outcome. Memory then grows with stream length, so it is meant for
+	// replays and the batch/streaming equivalence tests, not serving.
+	RecordTrace bool
 	// Scratch optionally shares a reusable refinement scratch (see
 	// vote.Scratch) with the tracker; the engine passes each shard's so
 	// all of a shard's tags reuse one. Nil allocates a private scratch.
 	// Must only ever be used from the goroutine feeding this tracker.
 	Scratch *vote.Scratch
 }
+
+// DefaultWarmupSamples is the warmup buffer length used when
+// Config.WarmupSamples is unset; configuration layers that bound the
+// acquisition buffer validate against it.
+const DefaultWarmupSamples = 4
 
 // Tracker consumes rfid.Reports (from any number of readers) in time order
 // and produces live positions.
@@ -77,14 +106,18 @@ type Tracker struct {
 	samples   []tracing.Sample
 
 	started bool
-	stream  *tracing.Stream
+	ms      *tracing.MultiStream
+	// cands and cstats snapshot the acquisition that seeded the current
+	// stream, for TraceResult.
+	cstats vote.SearchStats
 
-	recent         []float64 // ring of recent votes for loss detection
+	recent         []float64 // ring of recent leader votes for loss detection
 	reacquisitions int
-	// evals accumulates vote-surface evaluations from completed
-	// acquisitions and retired streams; the live stream's count is added
-	// on read (see SearchEvals).
-	evals int
+	// evals, switches and retirements accumulate counts from retired
+	// streams; the live stream's counts are added on read.
+	evals       int
+	switches    int
+	retirements int
 }
 
 type timedPhase struct {
@@ -104,7 +137,14 @@ func NewTracker(cfg Config) (*Tracker, error) {
 		cfg.MaxPhaseAge = cfg.SweepInterval * 11 / 5
 	}
 	if cfg.WarmupSamples <= 0 {
-		cfg.WarmupSamples = 4
+		cfg.WarmupSamples = DefaultWarmupSamples
+	}
+	if cfg.MaxAcquireBuffer <= 0 {
+		cfg.MaxAcquireBuffer = 400
+	}
+	if cfg.MaxAcquireBuffer < cfg.WarmupSamples {
+		return nil, fmt.Errorf("realtime: MaxAcquireBuffer %d must be ≥ WarmupSamples %d",
+			cfg.MaxAcquireBuffer, cfg.WarmupSamples)
 	}
 	if cfg.ReacquireVote == 0 {
 		cfg.ReacquireVote = -0.5
@@ -133,7 +173,7 @@ func (t *Tracker) Offer(rep rfid.Report) ([]Position, error) {
 	var out []Position
 	// Close any sweeps that ended before this report.
 	for rep.Time >= t.nextSweep+t.cfg.SweepInterval {
-		pos, err := t.closeSweep()
+		pos, err := t.closeSweep(false)
 		if err != nil {
 			return out, err
 		}
@@ -144,84 +184,148 @@ func (t *Tracker) Offer(rep rfid.Report) ([]Position, error) {
 }
 
 // Flush closes the current sweep (e.g. at end of stream) and returns any
-// final positions.
+// final positions. A tracker still warming up treats the stream as
+// complete: it attempts a final acquisition over whatever prefix it has
+// buffered, so a short stream's positions are emitted rather than
+// silently discarded with the buffer.
 func (t *Tracker) Flush() ([]Position, error) {
-	return t.closeSweep()
+	return t.closeSweep(true)
+}
+
+// OfferSample feeds one already-merged sweep sample, bypassing report
+// merging: the entry point for sample-level replays — and the
+// batch/streaming equivalence tests, which push the exact samples a
+// batch Trace consumes. Mixing OfferSample with report-level Offer on
+// one tracker is unsupported. The sample's phase map is not retained.
+func (t *Tracker) OfferSample(s tracing.Sample) ([]Position, error) {
+	return t.offerSample(s, false)
 }
 
 // closeSweep snapshots the current per-antenna phases as one sample and
-// advances the pipeline.
-func (t *Tracker) closeSweep() ([]Position, error) {
+// advances the pipeline. final marks an end-of-stream (or pause) flush.
+func (t *Tracker) closeSweep(final bool) ([]Position, error) {
 	now := t.nextSweep
 	t.nextSweep += t.cfg.SweepInterval
-	obs := vote.Observations{}
+	// The observation map is the scratch's reusable buffer: sweep
+	// merging must not allocate on the steady-state path. offerSample
+	// clones it when buffering for warmup.
+	obs := t.cfg.Scratch.ObsBuf()
 	for id, tp := range t.latest {
 		if now+t.cfg.SweepInterval-tp.t <= t.cfg.MaxPhaseAge {
 			obs[id] = tp.phase
 		}
 	}
 	if len(obs) == 0 {
+		if final && !t.started && len(t.samples) > 0 {
+			// End of stream mid-warmup with nothing new this sweep:
+			// still try to acquire over the buffered prefix.
+			return t.tryAcquire(true)
+		}
 		return nil, nil
 	}
-	sample := tracing.Sample{T: now, Phase: obs}
-	if !t.started {
-		t.samples = append(t.samples, sample)
-		if len(t.samples) < t.cfg.WarmupSamples {
-			return nil, nil
-		}
-		// Acquire: localize candidates over the buffered prefix, pick
-		// the best trace, then continue it incrementally.
-		res, err := t.cfg.System.TraceWith(t.cfg.Scratch, t.samples)
-		if res != nil {
-			for _, tr := range res.All {
-				t.evals += tr.SearchEvals
-			}
-		}
-		if err != nil {
-			// Not enough signal yet; keep buffering (bounded).
-			if len(t.samples) > 400 {
-				return nil, fmt.Errorf("realtime: cannot acquire initial position: %w", err)
-			}
-			return nil, nil
-		}
-		stream, err := t.cfg.System.Tracer().NewStreamWith(t.cfg.Scratch, res.InitialPosition(), t.samples[0])
-		if err != nil {
-			return nil, fmt.Errorf("realtime: %w", err)
-		}
-		// Replay the buffered prefix through the stream so its state
-		// catches up with "now".
-		var out []Position
-		for _, s := range t.samples {
-			if p, _, ok := stream.Push(s); ok {
-				out = append(out, Position{Time: p.T, Pos: p.Pos})
-			}
-		}
-		t.stream = stream
-		t.started = true
-		t.samples = nil
-		return out, nil
+	return t.offerSample(tracing.Sample{T: now, Phase: obs}, final)
+}
+
+// offerSample advances the pipeline with one merged sample.
+func (t *Tracker) offerSample(sample tracing.Sample, final bool) ([]Position, error) {
+	if t.started {
+		return t.push(sample)
 	}
-	p, v, ok := t.stream.Push(sample)
+	t.samples = append(t.samples, cloneSample(sample))
+	if len(t.samples) < t.cfg.WarmupSamples && !final {
+		return nil, nil
+	}
+	return t.tryAcquire(final)
+}
+
+// tryAcquire runs initial acquisition over the warmup buffer and, on
+// success, seeds the multi-hypothesis stream and replays the buffered
+// prefix through it so its state catches up with "now".
+func (t *Tracker) tryAcquire(final bool) ([]Position, error) {
+	cands, cstats, start, err := t.cfg.System.Acquire(t.cfg.Scratch, t.samples, final)
+	if err != nil {
+		// Not enough signal yet; keep buffering (bounded).
+		if len(t.samples) > t.cfg.MaxAcquireBuffer {
+			return nil, fmt.Errorf("realtime: cannot acquire initial position: %w", err)
+		}
+		return nil, nil
+	}
+	ms, err := t.cfg.System.Tracer().NewMultiStreamWith(
+		t.cfg.Scratch, cands, t.samples[start],
+		tracing.MultiConfig{Record: t.cfg.RecordTrace})
+	if err != nil {
+		return nil, fmt.Errorf("realtime: %w", err)
+	}
+	t.ms = ms
+	t.cstats = cstats
+	t.started = true
+	var out []Position
+	for _, s := range t.samples[start:] {
+		ps, err := t.push(s)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ps...)
+		if !t.started {
+			// A long replayed prefix can itself trip the loss detector
+			// (push dropped the stream and reset the buffer); stop
+			// replaying the stale tail.
+			return out, nil
+		}
+	}
+	t.samples = nil
+	return out, nil
+}
+
+// push extends the live stream by one sample, emitting the leader's new
+// position and running the tracking-loss detector over its votes.
+func (t *Tracker) push(sample tracing.Sample) ([]Position, error) {
+	st, ok := t.ms.Push(sample)
 	if !ok {
 		return nil, nil
 	}
-	// Tracking-loss detection: a collapsed recent vote means the locked
-	// lobes no longer intersect coherently (the over-constrained-system
-	// signal of §5.2). Drop the stream and rebuild from scratch.
-	t.recent = append(t.recent, v)
+	// Tracking-loss detection: a collapsed recent leader vote means even
+	// the best hypothesis's locked lobes no longer intersect coherently
+	// (the over-constrained-system signal of §5.2). Drop the hypothesis
+	// set and re-seed from a fresh acquisition.
+	t.recent = append(t.recent, st.Vote)
 	if len(t.recent) > t.cfg.ReacquireWindow {
 		t.recent = t.recent[1:]
 	}
 	if len(t.recent) == t.cfg.ReacquireWindow && mean(t.recent) < t.cfg.ReacquireVote {
-		t.evals += t.stream.SearchEvals()
-		t.started = false
-		t.stream = nil
+		t.retireStream()
 		t.recent = nil
 		t.samples = nil
 		t.reacquisitions++
 		return nil, nil
 	}
-	return []Position{{Time: p.T, Pos: p.Pos}}, nil
+	return []Position{{
+		Time:       st.Point.T,
+		Pos:        st.Point.Pos,
+		Confidence: st.MeanVote,
+		Switched:   st.Switched,
+		Hypotheses: st.Active,
+	}}, nil
+}
+
+// retireStream folds the live stream's counters into the cumulative
+// totals and drops it.
+func (t *Tracker) retireStream() {
+	t.evals += t.ms.SearchEvals()
+	t.switches += t.ms.Switches()
+	t.retirements += t.ms.Retirements()
+	t.ms = nil
+	t.started = false
+}
+
+// cloneSample deep-copies a sample for warmup buffering: the phase map a
+// sweep hands in lives in a reusable scratch buffer.
+func cloneSample(s tracing.Sample) tracing.Sample {
+	phase := make(vote.Observations, len(s.Phase))
+	for id, ph := range s.Phase {
+		phase[id] = ph
+	}
+	return tracing.Sample{T: s.T, Phase: phase}
 }
 
 // Reacquisitions reports how many times tracking was lost and restarted.
@@ -233,10 +337,53 @@ func (t *Tracker) Reacquisitions() int { return t.reacquisitions }
 // metrics.
 func (t *Tracker) SearchEvals() int {
 	n := t.evals
-	if t.stream != nil {
-		n += t.stream.SearchEvals()
+	if t.ms != nil {
+		n += t.ms.SearchEvals()
 	}
 	return n
+}
+
+// LeaderSwitches reports how many times the leading hypothesis changed,
+// across all streams this tracker has run.
+func (t *Tracker) LeaderSwitches() int {
+	n := t.switches
+	if t.ms != nil {
+		n += t.ms.Switches()
+	}
+	return n
+}
+
+// Retirements reports how many hypotheses have been retired for
+// collapsed vote records, across all streams this tracker has run.
+func (t *Tracker) Retirements() int {
+	n := t.retirements
+	if t.ms != nil {
+		n += t.ms.Retirements()
+	}
+	return n
+}
+
+// ActiveHypotheses reports how many candidate hypotheses the live stream
+// is still advancing (0 before acquisition and after tracking loss).
+func (t *Tracker) ActiveHypotheses() int {
+	if t.ms == nil {
+		return 0
+	}
+	return t.ms.Active()
+}
+
+// Buffered reports how many warmup samples are currently held for
+// acquisition — the per-tag memory MaxAcquireBuffer bounds.
+func (t *Tracker) Buffered() int { return len(t.samples) }
+
+// TraceResult materializes the batch-equivalent outcome of the current
+// stream: what System.Trace would have returned for the samples replayed
+// so far. It requires Config.RecordTrace and a started tracker.
+func (t *Tracker) TraceResult() (*core.TraceResult, error) {
+	if !t.started {
+		return nil, errors.New("realtime: tracker has not acquired")
+	}
+	return core.ResultFromMulti(t.ms, t.cstats)
 }
 
 func mean(v []float64) float64 {
@@ -247,13 +394,13 @@ func mean(v []float64) float64 {
 	return s / float64(len(v))
 }
 
-// MeanVote reports the live trace's mean vote so far; callers can use it
+// MeanVote reports the live leader's mean vote so far; callers can use it
 // as a confidence signal (it collapses when tracking is lost).
 func (t *Tracker) MeanVote() float64 {
-	if t.stream == nil {
+	if t.ms == nil {
 		return 0
 	}
-	return t.stream.MeanVote()
+	return t.ms.LeaderMeanVote()
 }
 
 // Started reports whether initial acquisition has completed.
@@ -261,11 +408,73 @@ func (t *Tracker) Started() bool { return t.started }
 
 // MergeStreams time-merges multiple report slices (one per reader) into a
 // single non-decreasing stream, as a network fan-in would deliver them.
+// Each input slice must itself be in non-decreasing time order (readers
+// emit time-ordered reports); the merge is a k-way heap merge, linear in
+// the total report count up to a log(readers) factor. Ties keep input
+// order: earlier slices first, then position within the slice — exactly
+// the order the old append-everything-and-stable-sort produced.
 func MergeStreams(streams ...[]rfid.Report) []rfid.Report {
-	var out []rfid.Report
+	total := 0
 	for _, s := range streams {
-		out = append(out, s...)
+		total += len(s)
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	if total == 0 {
+		return nil
+	}
+	out := make([]rfid.Report, 0, total)
+	// heads[i] is the next unconsumed index of streams[i]; h is a binary
+	// min-heap of stream indices ordered by (head time, stream index).
+	heads := make([]int, len(streams))
+	h := make([]int, 0, len(streams))
+	less := func(a, b int) bool {
+		ta, tb := streams[a][heads[a]].Time, streams[b][heads[b]].Time
+		if ta != tb {
+			return ta < tb
+		}
+		return a < b
+	}
+	up := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !less(h[i], h[parent]) {
+				break
+			}
+			h[i], h[parent] = h[parent], h[i]
+			i = parent
+		}
+	}
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < len(h) && less(h[l], h[min]) {
+				min = l
+			}
+			if r < len(h) && less(h[r], h[min]) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			h[i], h[min] = h[min], h[i]
+			i = min
+		}
+	}
+	for i, s := range streams {
+		if len(s) > 0 {
+			h = append(h, i)
+			up(len(h) - 1)
+		}
+	}
+	for len(h) > 0 {
+		i := h[0]
+		out = append(out, streams[i][heads[i]])
+		heads[i]++
+		if heads[i] == len(streams[i]) {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		down(0)
+	}
 	return out
 }

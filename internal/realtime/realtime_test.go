@@ -1,6 +1,8 @@
 package realtime
 
 import (
+	"math/rand"
+	"sort"
 	"testing"
 	"time"
 
@@ -180,5 +182,55 @@ func TestMergeStreams(t *testing.T) {
 	}
 	if MergeStreams() != nil {
 		t.Fatal("empty merge should be nil")
+	}
+	if MergeStreams(nil, []rfid.Report{}) != nil {
+		t.Fatal("all-empty merge should be nil")
+	}
+}
+
+// mergeStreamsReference is the behaviour MergeStreams replaced:
+// concatenate in stream order, then stable-sort by time — the oracle for
+// the property test below.
+func mergeStreamsReference(streams ...[]rfid.Report) []rfid.Report {
+	var out []rfid.Report
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// TestMergeStreamsMatchesReference: over random already-ordered per-reader
+// slices (with deliberate duplicate timestamps to probe tie-breaking),
+// the k-way heap merge must reproduce the old append-and-stable-sort
+// byte for byte, including the order of equal-time reports.
+func TestMergeStreamsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 200; trial++ {
+		streams := make([][]rfid.Report, rng.Intn(5))
+		for si := range streams {
+			n := rng.Intn(20)
+			tm := time.Duration(0)
+			for j := 0; j < n; j++ {
+				// Small increments with frequent zero steps produce many
+				// within- and cross-stream timestamp collisions.
+				tm += time.Duration(rng.Intn(3)) * time.Millisecond
+				streams[si] = append(streams[si], rfid.Report{
+					Time:      tm,
+					ReaderID:  si,
+					AntennaID: j,
+				})
+			}
+		}
+		got := MergeStreams(streams...)
+		want := mergeStreamsReference(streams...)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: merged %d reports, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: report %d = %+v, reference %+v", trial, i, got[i], want[i])
+			}
+		}
 	}
 }

@@ -31,6 +31,10 @@ type sessionTag struct {
 	Started        bool    `json:"started"`
 	MeanVote       float64 `json:"mean_vote"`
 	Reacquisitions int     `json:"reacquisitions"`
+	Hypotheses     int     `json:"hypotheses"`
+	LeaderSwitches int     `json:"leader_switches"`
+	Retirements    int     `json:"retirements"`
+	Buffered       int     `json:"buffered"`
 	SearchEvals    int     `json:"search_evals"`
 	Err            string  `json:"err,omitempty"`
 }
@@ -54,6 +58,8 @@ func (s *Server) info(sess *Session) sessionInfo {
 		tag := sessionTag{
 			Tag: st.Tag, Positions: st.Positions, Started: st.Started,
 			MeanVote: st.MeanVote, Reacquisitions: st.Reacquisitions,
+			Hypotheses: st.Hypotheses, LeaderSwitches: st.LeaderSwitches,
+			Retirements: st.Retirements, Buffered: st.Buffered,
 			SearchEvals: st.SearchEvals,
 		}
 		if st.Err != nil {
@@ -95,23 +101,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	evals := s.metrics.SearchEvalsRetired.Load()
+	live := liveSums{
+		searchEvals:    s.metrics.SearchEvalsRetired.Load(),
+		leaderSwitches: s.metrics.LeaderSwitchesRetired.Load(),
+		retirements:    s.metrics.RetirementsRetired.Load(),
+	}
 	for _, sess := range s.reg.List() {
-		evals += sess.searchEvals.Load()
+		live.searchEvals += sess.searchEvals.Load()
+		live.hypotheses += sess.hypotheses.Load()
+		live.leaderSwitches += sess.leaderSwitches.Load()
+		live.retirements += sess.retirements.Load()
 	}
 	now := time.Now()
 	total := s.metrics.Reports.Load()
 	s.rateMu.Lock()
-	var rate float64
 	if !s.lastScrape.IsZero() {
 		if dt := now.Sub(s.lastScrape).Seconds(); dt > 0 {
-			rate = float64(total-s.lastReports) / dt
+			live.reportsPerSec = float64(total-s.lastReports) / dt
 		}
 	}
 	s.lastScrape, s.lastReports = now, total
 	s.rateMu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.render(w, evals, rate)
+	s.metrics.render(w, live)
 }
 
 // createSessionRequest is the POST /v1/sessions body; all fields

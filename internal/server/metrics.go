@@ -27,6 +27,10 @@ type Metrics struct {
 	// counts so rfidrawd_search_evals_total (retired + live sum) stays
 	// monotonic when sessions are deleted or expire.
 	SearchEvalsRetired atomic.Int64
+	// LeaderSwitchesRetired and RetirementsRetired are the same
+	// closed-session accumulators for the hypothesis counters.
+	LeaderSwitchesRetired atomic.Int64
+	RetirementsRetired    atomic.Int64
 }
 
 // counterDef drives the text rendering.
@@ -51,14 +55,26 @@ var counterDefs = []counterDef{
 	{"rfidrawd_shed_total", "Requests shed by admission control (HTTP 503).", "counter", func(m *Metrics) int64 { return m.Shed.Load() }},
 }
 
+// liveSums carries the per-scrape values summed over live sessions by
+// the metrics handler (counters also fold in the closed-session retired
+// accumulators so they stay monotonic).
+type liveSums struct {
+	searchEvals    int64
+	hypotheses     int64
+	leaderSwitches int64
+	retirements    int64
+	reportsPerSec  float64
+}
+
 // render writes the metrics in Prometheus text exposition format.
-// searchEvals and reportsPerSec are computed by the caller (the former is
-// summed over live sessions, the latter over the scrape interval).
-func (m *Metrics) render(w io.Writer, searchEvals int64, reportsPerSec float64) {
+func (m *Metrics) render(w io.Writer, live liveSums) {
 	for _, d := range counterDefs {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", d.name, d.help, d.name, d.typ, d.name, d.val(m))
 	}
-	fmt.Fprintf(w, "# HELP rfidrawd_search_evals_total Vote-surface evaluations spent by live sessions.\n# TYPE rfidrawd_search_evals_total counter\nrfidrawd_search_evals_total %d\n", searchEvals)
-	fmt.Fprintf(w, "# HELP rfidrawd_reports_per_second Ingest rate over the last scrape interval.\n# TYPE rfidrawd_reports_per_second gauge\nrfidrawd_reports_per_second %.1f\n", reportsPerSec)
+	fmt.Fprintf(w, "# HELP rfidrawd_search_evals_total Vote-surface evaluations spent by live sessions.\n# TYPE rfidrawd_search_evals_total counter\nrfidrawd_search_evals_total %d\n", live.searchEvals)
+	fmt.Fprintf(w, "# HELP rfidrawd_hypotheses_active Candidate hypotheses currently advanced by live sessions' multi-streams.\n# TYPE rfidrawd_hypotheses_active gauge\nrfidrawd_hypotheses_active %d\n", live.hypotheses)
+	fmt.Fprintf(w, "# HELP rfidrawd_leader_switches_total Leading-hypothesis changes (the over-time candidate disambiguation re-electing).\n# TYPE rfidrawd_leader_switches_total counter\nrfidrawd_leader_switches_total %d\n", live.leaderSwitches)
+	fmt.Fprintf(w, "# HELP rfidrawd_hypothesis_retirements_total Hypotheses retired for collapsed vote records.\n# TYPE rfidrawd_hypothesis_retirements_total counter\nrfidrawd_hypothesis_retirements_total %d\n", live.retirements)
+	fmt.Fprintf(w, "# HELP rfidrawd_reports_per_second Ingest rate over the last scrape interval.\n# TYPE rfidrawd_reports_per_second gauge\nrfidrawd_reports_per_second %.1f\n", live.reportsPerSec)
 	fmt.Fprintf(w, "# HELP rfidrawd_goroutines Current goroutine count (soak leak gate).\n# TYPE rfidrawd_goroutines gauge\nrfidrawd_goroutines %d\n", runtime.NumGoroutine())
 }

@@ -43,6 +43,14 @@ type Event struct {
 	Dist   float64 `json:"dist,omitempty"`
 	Margin float64 `json:"margin,omitempty"`
 	Points int     `json:"points,omitempty"`
+	// Confidence is the leading hypothesis's running mean vote at this
+	// point (≤ 0, nearer 0 is better; it collapses on tracking loss),
+	// Hypotheses how many candidate hypotheses are still active, and
+	// Switched whether leadership changed here — the cursor may jump, so
+	// stroke-building consumers should treat it as a pen lift (points).
+	Confidence float64 `json:"confidence,omitempty"`
+	Hypotheses int     `json:"hypotheses,omitempty"`
+	Switched   bool    `json:"switched,omitempty"`
 	// Dropped is how many events the subscriber lost (drop events).
 	Dropped int `json:"dropped,omitempty"`
 }
@@ -144,6 +152,12 @@ type Session struct {
 	searchEvals atomic.Int64
 	resyncs     atomic.Int64
 	outOfOrder  atomic.Int64
+	// hypothesis-set sums over the session's tags, refreshed with the
+	// stats snapshot: active hypotheses (gauge) plus cumulative leader
+	// switches and retirements.
+	hypotheses     atomic.Int64
+	leaderSwitches atomic.Int64
+	retirements    atomic.Int64
 }
 
 // pumpTick is the pump's housekeeping period: idle detection (drain +
@@ -330,10 +344,14 @@ func (s *Session) Close() {
 			s.reg.metrics.SubscribersActive.Add(-1)
 		}
 		s.emitMu.Unlock()
-		// Roll the final eval count into the monotonic retired counter
-		// (the pump's quit path refreshed it after the engine closed);
-		// Swap prevents double-counting with a concurrent /metrics sum.
+		// Roll the final counts into the monotonic retired counters
+		// (the pump's quit path refreshed them just before closing the
+		// engine); Swap prevents double-counting with a concurrent
+		// /metrics sum.
 		s.reg.metrics.SearchEvalsRetired.Add(s.searchEvals.Swap(0))
+		s.reg.metrics.LeaderSwitchesRetired.Add(s.leaderSwitches.Swap(0))
+		s.reg.metrics.RetirementsRetired.Add(s.retirements.Swap(0))
+		s.hypotheses.Store(0)
 		s.reg.metrics.SessionsClosed.Add(1)
 	})
 	<-s.pumpDone
@@ -378,10 +396,13 @@ func (s *Session) pump(sweep time.Duration) {
 				break
 			}
 			s.drain()
+			// Final stats snapshot BEFORE closing the engine: Stats on a
+			// closed engine returns nil, which would zero the counters
+			// just before Close rolls them into the retired totals.
+			s.refreshStats()
 			if s.eng != nil {
 				s.eng.Close()
 			}
-			s.refreshStats()
 			s.finalizeStrokes()
 			s.broadcast(Event{Type: "end"})
 			return
@@ -464,11 +485,17 @@ func (s *Session) refreshStats() {
 		return
 	}
 	stats := s.eng.Stats()
-	var evals int64
+	var evals, hyps, switches, retire int64
 	for _, st := range stats {
 		evals += int64(st.SearchEvals)
+		hyps += int64(st.Hypotheses)
+		switches += int64(st.LeaderSwitches)
+		retire += int64(st.Retirements)
 	}
 	s.searchEvals.Store(evals)
+	s.hypotheses.Store(hyps)
+	s.leaderSwitches.Store(switches)
+	s.retirements.Store(retire)
 	s.statsMu.Lock()
 	s.lastStats = stats
 	s.statsMu.Unlock()
@@ -492,14 +519,19 @@ func (s *Session) onUpdate(u engine.Update) {
 		s.strokes[u.Tag] = st
 	}
 	for _, p := range u.Positions {
-		if len(st.pts) > 0 && p.Time-st.last > s.reg.cfg.GlyphGap {
+		// A leadership switch re-bases the trajectory on a different
+		// hypothesis; the jump is not pen movement, so close the stroke.
+		if len(st.pts) > 0 && (p.Time-st.last > s.reg.cfg.GlyphGap || p.Switched) {
 			s.finalizeStrokeLocked(u.Tag, st)
 		}
 		st.pts = append(st.pts, p.Pos)
 		st.last = p.Time
 		s.points.Add(1)
 		s.reg.metrics.Points.Add(1)
-		s.broadcastLocked(Event{Type: "point", Tag: u.Tag, T: p.Time, X: p.Pos.X, Z: p.Pos.Z})
+		s.broadcastLocked(Event{
+			Type: "point", Tag: u.Tag, T: p.Time, X: p.Pos.X, Z: p.Pos.Z,
+			Confidence: p.Confidence, Hypotheses: p.Hypotheses, Switched: p.Switched,
+		})
 	}
 }
 

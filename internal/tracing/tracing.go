@@ -12,14 +12,22 @@
 //     lobes that stop intersecting coherently and their vote collapses
 //     (Fig. 10f).
 //
+// The incremental multi-hypothesis core is MultiStream: one lobe-locked
+// stream per candidate initial position, advanced sample-by-sample with a
+// running-mean-vote leader and per-hypothesis retirement. Everything else
+// is a scheduler over it — batch Trace replays a sample slice through a
+// single-candidate MultiStream, Stream wraps one for live single-candidate
+// use, and the batch/live pipelines in internal/core and internal/realtime
+// replay the multi-candidate form.
+//
 // # Concurrency
 //
-// A Tracer is immutable after construction; Trace and TraceBest allocate
-// all per-trace state on the call stack, so one Tracer may be shared by
-// any number of goroutines — the multi-tag engine's shards trace
-// different tags through one Tracer concurrently. A Stream, by contrast,
-// carries mutable lobe-lock and unwrap state for one live trace and must
-// be confined to a single goroutine.
+// A Tracer is immutable after construction; Trace allocates all per-trace
+// state per call, so one Tracer may be shared by any number of goroutines
+// — the multi-tag engine's shards trace different tags through one Tracer
+// concurrently. A Stream or MultiStream, by contrast, carries mutable
+// lobe-lock and unwrap state for one live trace and must be confined to a
+// single goroutine.
 package tracing
 
 import (
@@ -66,6 +74,33 @@ type Config struct {
 	// Search picks the per-sample vicinity strategy: hierarchical
 	// coarse-to-fine (default) or the dense full-vicinity scan.
 	Search vote.SearchConfig
+	// RetireAfter is the multi-hypothesis decision window, in usable
+	// samples: before it no hypothesis is retired for its vote record,
+	// after it collapsed records retire and MaxHypotheses applies.
+	// Default 16.
+	RetireAfter int
+	// MaxHypotheses caps how many hypotheses stay active once the
+	// decision window has passed: the leader plus the best challengers
+	// by mean vote. Steady-state tracking cost is proportional to the
+	// active set, and past the first few dozen samples extra candidates
+	// are insurance, not coverage (wrong ones have either collapsed or
+	// are shape-equivalent nearby lobes). Default 2; negative removes
+	// the cap.
+	MaxHypotheses int
+	// RetireMargin is the mean-vote gap below the leader at which a
+	// trailing hypothesis is retired (votes are ≤ 0, so the gap is
+	// positive). Default 0.5 — far beyond the spread healthy candidates
+	// show, so only collapsed vote records (Fig. 10f) retire. Negative
+	// disables retirement.
+	RetireMargin float64
+	// SwitchMargin is the election hysteresis: a challenger must beat
+	// the current leader's mean vote by this much to take leadership.
+	// Near-equivalent hypotheses (nearby lobes, Fig. 7) have mean votes
+	// within noise of each other, and flapping between them would inject
+	// position jumps into the live trajectory; a decisive gap only opens
+	// when the leader's vote record is actually collapsing. Default
+	// 0.02; negative selects the strict argmax.
+	SwitchMargin float64
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +118,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinPairs <= 0 {
 		c.MinPairs = 4
+	}
+	if c.RetireAfter <= 0 {
+		c.RetireAfter = 16
+	}
+	if c.MaxHypotheses == 0 {
+		c.MaxHypotheses = 2
+	}
+	if c.RetireMargin == 0 {
+		c.RetireMargin = 0.5
+	}
+	if c.SwitchMargin == 0 {
+		c.SwitchMargin = 0.02
 	}
 	return c
 }
@@ -148,6 +195,10 @@ type Result struct {
 	// by len(Votes) is the steady-state grid-evaluations-per-sample
 	// metric the benchmark suite tracks.
 	SearchEvals int
+	// Retired reports the hypothesis was retired before the stream ended
+	// (its vote record collapsed, Fig. 10f); the trajectory is truncated
+	// at the retirement sample.
+	Retired bool
 }
 
 // LobeOverride forces a pair onto a lobe offset from the nearest one; the
@@ -169,6 +220,10 @@ func (tr *Tracer) Trace(initial geom.Vec2, samples []Sample, overrides ...LobeOv
 // that pin one per worker (the engine's shards). A nil scratch borrows
 // from the tracer's internal pool. The scratch never influences results;
 // it only avoids allocation.
+//
+// Trace is literally a replay of the streaming path: the samples are
+// pushed one by one through a single-candidate MultiStream and its
+// recorded result returned, so batch and live tracing cannot diverge.
 func (tr *Tracer) TraceWith(sc *vote.Scratch, initial geom.Vec2, samples []Sample, overrides ...LobeOverride) (Result, error) {
 	if len(samples) == 0 {
 		return Result{}, errors.New("tracing: no samples")
@@ -177,61 +232,18 @@ func (tr *Tracer) TraceWith(sc *vote.Scratch, initial geom.Vec2, samples []Sampl
 		sc = tr.scratch.Get().(*vote.Scratch)
 		defer tr.scratch.Put(sc)
 	}
-	first := samples[0]
-	states := make([]pairState, len(tr.pairs))
-	init3 := tr.cfg.Plane.To3D(initial)
-	observed := 0
-	for i, p := range tr.pairs {
-		states[i].pair = p
-		if t, ok := vote.PairTurns(p, first.Phase); ok {
-			states[i].turns = t
-			states[i].k = p.NearestLobe(init3, t)
-			states[i].seen = true
-			observed++
-		}
+	ms, err := tr.NewMultiStreamWith(sc, []vote.Candidate{{Pos: initial}}, samples[0], MultiConfig{Record: true}, overrides...)
+	if err != nil {
+		return Result{}, err
 	}
-	if observed < tr.cfg.MinPairs {
-		return Result{}, fmt.Errorf("tracing: only %d pairs observed at start, need ≥%d", observed, tr.cfg.MinPairs)
-	}
-	for _, ov := range overrides {
-		if ov.PairIndex < 0 || ov.PairIndex >= len(states) {
-			return Result{}, fmt.Errorf("tracing: override pair index %d out of range", ov.PairIndex)
-		}
-		states[ov.PairIndex].k += ov.DeltaK
-	}
-
-	pos := tr.cfg.Region.Clip(initial)
-	points := make([]traj.Point, 0, len(samples))
-	votes := make([]float64, 0, len(samples))
-	total := 0.0
-	searchEvals := 0
 	for _, s := range samples {
-		active := tr.update(states, s.Phase, pos)
-		if active < tr.cfg.MinPairs {
-			continue // reply loss: hold position until pairs return
-		}
-		var evals int
-		pos, evals = tr.step(states, pos, sc)
-		searchEvals += evals
-		v := tr.totalFixedVote(states, pos)
-		points = append(points, traj.Point{T: s.T, Pos: pos})
-		votes = append(votes, v)
-		total += v
+		ms.Push(s)
 	}
-	if len(points) == 0 {
-		return Result{}, errors.New("tracing: no usable samples (too much reply loss)")
+	all, _, _, err := ms.Results()
+	if err != nil {
+		return Result{}, err
 	}
-	locked := make([]int, len(states))
-	for i := range states {
-		locked[i] = states[i].k
-	}
-	return Result{
-		Trajectory:  traj.Trajectory{Points: points},
-		Votes:       votes,
-		TotalVote:   total,
-		LockedLobes: locked,
-		SearchEvals: searchEvals,
-	}, nil
+	return all[0], nil
 }
 
 // update advances each pair's unwrapped phase track with the new
@@ -331,17 +343,12 @@ func (tr *Tracer) step(states []pairState, cur geom.Vec2, sc *vote.Scratch) (geo
 }
 
 // Stream incrementally extends a single candidate's trace: the online
-// variant of Trace for live tracking. Lobe locks are fixed at creation;
-// each Push consumes one sample and, when enough pairs are observable,
+// variant of Trace for live tracking, a thin wrapper over a
+// single-hypothesis MultiStream. Lobe locks are fixed at creation; each
+// Push consumes one sample and, when enough pairs are observable,
 // produces the next position.
 type Stream struct {
-	tr     *Tracer
-	states []pairState
-	pos    geom.Vec2
-	total  float64
-	count  int
-	sc     *vote.Scratch
-	evals  int
+	ms *MultiStream
 }
 
 // NewStream locks pair lobes against the initial position using the first
@@ -356,86 +363,33 @@ func (tr *Tracer) NewStream(initial geom.Vec2, first Sample) (*Stream, error) {
 // shares it. A nil scratch allocates a private one. Like the stream
 // itself, the scratch is confined to the stream's goroutine.
 func (tr *Tracer) NewStreamWith(sc *vote.Scratch, initial geom.Vec2, first Sample) (*Stream, error) {
-	states := make([]pairState, len(tr.pairs))
-	init3 := tr.cfg.Plane.To3D(initial)
-	observed := 0
-	for i, p := range tr.pairs {
-		states[i].pair = p
-		if t, ok := vote.PairTurns(p, first.Phase); ok {
-			states[i].turns = t
-			states[i].k = p.NearestLobe(init3, t)
-			states[i].seen = true
-			observed++
-		}
+	ms, err := tr.NewMultiStreamWith(sc, []vote.Candidate{{Pos: initial}}, first, MultiConfig{})
+	if err != nil {
+		return nil, err
 	}
-	if observed < tr.cfg.MinPairs {
-		return nil, fmt.Errorf("tracing: only %d pairs observed at stream start, need ≥%d", observed, tr.cfg.MinPairs)
-	}
-	if sc == nil {
-		sc = vote.NewScratch()
-	}
-	return &Stream{tr: tr, states: states, pos: tr.cfg.Region.Clip(initial), sc: sc}, nil
+	return &Stream{ms: ms}, nil
 }
 
 // Push consumes one sample. ok is false when the sample was skipped for
 // reply loss; otherwise point is the new position estimate and vote the
 // total pair vote there.
 func (s *Stream) Push(sample Sample) (point traj.Point, vote float64, ok bool) {
-	active := s.tr.update(s.states, sample.Phase, s.pos)
-	if active < s.tr.cfg.MinPairs {
+	st, ok := s.ms.Push(sample)
+	if !ok {
 		return traj.Point{}, 0, false
 	}
-	var evals int
-	s.pos, evals = s.tr.step(s.states, s.pos, s.sc)
-	s.evals += evals
-	v := s.tr.totalFixedVote(s.states, s.pos)
-	s.total += v
-	s.count++
-	return traj.Point{T: sample.T, Pos: s.pos}, v, true
+	return st.Point, st.Vote, true
 }
 
 // SearchEvals returns the cumulative vicinity-search evaluation count —
 // the live counterpart of Result.SearchEvals.
-func (s *Stream) SearchEvals() int { return s.evals }
+func (s *Stream) SearchEvals() int { return s.ms.SearchEvals() }
 
 // Position returns the current estimate.
-func (s *Stream) Position() geom.Vec2 { return s.pos }
+func (s *Stream) Position() geom.Vec2 { return s.ms.LeaderPosition() }
 
 // MeanVote returns the stream's mean vote so far (0 before any sample).
-func (s *Stream) MeanVote() float64 {
-	if s.count == 0 {
-		return 0
-	}
-	return s.total / float64(s.count)
-}
-
-// TraceBest runs Trace from every candidate initial position and returns
-// the result with the highest total vote (§5.2's final selection step),
-// along with all per-candidate results in input order.
-func (tr *Tracer) TraceBest(candidates []vote.Candidate, samples []Sample) (best Result, all []Result, bestIdx int, err error) {
-	if len(candidates) == 0 {
-		return Result{}, nil, -1, errors.New("tracing: no candidate initial positions")
-	}
-	all = make([]Result, 0, len(candidates))
-	bestIdx = -1
-	for _, c := range candidates {
-		res, terr := tr.Trace(c.Pos, samples)
-		if terr != nil {
-			err = terr
-			continue
-		}
-		all = append(all, res)
-		// Compare mean vote so candidates that skipped lossy samples
-		// are not unfairly favoured by shorter sums.
-		if bestIdx == -1 || meanVote(res) > meanVote(all[bestIdx]) {
-			bestIdx = len(all) - 1
-		}
-	}
-	if bestIdx == -1 {
-		return Result{}, nil, -1, fmt.Errorf("tracing: every candidate failed: %w", err)
-	}
-	return all[bestIdx], all, bestIdx, nil
-}
+func (s *Stream) MeanVote() float64 { return s.ms.LeaderMeanVote() }
 
 func meanVote(r Result) float64 {
 	if len(r.Votes) == 0 {

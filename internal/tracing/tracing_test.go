@@ -148,7 +148,10 @@ func TestTraceVoteDetectsWrongCandidate(t *testing.T) {
 	}
 }
 
-func TestTraceBestPicksHighestVote(t *testing.T) {
+func TestMultiStreamPicksHighestVote(t *testing.T) {
+	// The §5.2 selection step, incrementally: pushing the samples through
+	// a multi-hypothesis stream must elect the true start as leader even
+	// when a wrong candidate scored better at positioning time.
 	tr, d := testTracer(t)
 	path := circlePath(geom.Vec2{X: 1.3, Z: 1.0}, 0.12, 80)
 	samples := synthSamples(d, path, 0, nil)
@@ -156,20 +159,27 @@ func TestTraceBestPicksHighestVote(t *testing.T) {
 		{Pos: path[0].Add(geom.Vec2{X: 0.45, Z: 0.3}), Score: -0.001}, // wrong but scored high
 		{Pos: path[0], Score: -0.002},
 	}
-	best, all, idx, err := tr.TraceBest(cands, samples)
+	ms, err := tr.NewMultiStream(cands, samples[0], MultiConfig{Record: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 2 {
-		t.Fatalf("results = %d", len(all))
+	for _, s := range samples {
+		ms.Push(s)
+	}
+	all, kept, idx, err := ms.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 || len(kept) != 2 {
+		t.Fatalf("results = %d, candidates = %d", len(all), len(kept))
 	}
 	if idx != 1 {
 		t.Fatalf("chose candidate %d, want 1 (the true start)", idx)
 	}
-	if best.Trajectory.Start().Dist(path[0]) > 0.05 {
-		t.Fatalf("best start = %v", best.Trajectory.Start())
+	if all[idx].Trajectory.Start().Dist(path[0]) > 0.05 {
+		t.Fatalf("best start = %v", all[idx].Trajectory.Start())
 	}
-	if _, _, _, err := tr.TraceBest(nil, samples); err == nil {
+	if _, err := tr.NewMultiStream(nil, samples[0], MultiConfig{}); err == nil {
 		t.Fatal("no candidates should error")
 	}
 }

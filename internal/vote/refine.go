@@ -82,10 +82,11 @@ type scoredPoint struct {
 }
 
 // Scratch is the reusable per-goroutine search state: the stage-1 score
-// buffer, the evaluation memo and the candidate pools. It exists so the
-// hot path allocates nothing once warm — the engine keeps one per worker
-// shard (from a sync.Pool), streams keep one per live trace. A Scratch is
-// NOT safe for concurrent use; results never depend on its prior content.
+// buffer, the evaluation memo, the candidate pools and the sweep-merge /
+// phase-averaging observation buffers. It exists so the hot path allocates
+// nothing once warm — the engine keeps one per worker shard (from a
+// sync.Pool), streams keep one per live trace. A Scratch is NOT safe for
+// concurrent use; results never depend on its prior content.
 type Scratch struct {
 	// stage1 is the positioner's coarse-lattice score buffer.
 	stage1 []float64
@@ -98,6 +99,10 @@ type Scratch struct {
 	pool []scoredPoint
 	// cells and cellsNext are the table-descent frontiers.
 	cells, cellsNext []tableCell
+	// obs is the reusable observation map handed out by ObsBuf.
+	obs Observations
+	// phasor is the reusable per-antenna phasor accumulator (PhasorBuf).
+	phasor map[int]complex128
 }
 
 // NewScratch builds an empty search scratch.
@@ -111,6 +116,30 @@ func (s *Scratch) stage1Buf(n int) []float64 {
 		s.stage1 = make([]float64, n)
 	}
 	return s.stage1[:n]
+}
+
+// ObsBuf returns the scratch's observation buffer, cleared. Sweep merging
+// and phase averaging rebuild a transient Observations every sweep on the
+// streaming hot path; borrowing this buffer keeps that allocation-free.
+// The buffer is invalidated by the next ObsBuf call on the same scratch,
+// so callers that retain a sample (warmup buffering) must clone it.
+func (s *Scratch) ObsBuf() Observations {
+	if s.obs == nil {
+		s.obs = make(Observations)
+	}
+	clear(s.obs)
+	return s.obs
+}
+
+// PhasorBuf returns the scratch's per-antenna phasor accumulator, cleared
+// — the coherent phase-averaging counterpart of ObsBuf, with the same
+// invalidation rule.
+func (s *Scratch) PhasorBuf() map[int]complex128 {
+	if s.phasor == nil {
+		s.phasor = make(map[int]complex128)
+	}
+	clear(s.phasor)
+	return s.phasor
 }
 
 // resetSearch clears the per-search state.

@@ -112,6 +112,10 @@ type Trace struct {
 	// position searches spent; divided by len(Points) it is the
 	// grid-evaluations-per-sample cost the Search mode controls.
 	SearchEvals int
+	// Retired reports this hypothesis was retired mid-stream: its vote
+	// record collapsed (Fig. 10f) and tracing it stopped, so Points and
+	// Votes are truncated at the retirement sample.
+	Retired bool
 }
 
 // Result is the outcome of tracing an observation stream.
@@ -124,6 +128,14 @@ type Result struct {
 	Chosen int
 	// Traces holds every candidate's trace, for diagnostics.
 	Traces []Trace
+	// LeaderSwitches is how many times the leading hypothesis changed as
+	// the multi-hypothesis stream extended — the paper's over-time
+	// candidate disambiguation converging (0 means the first election
+	// held to the end).
+	LeaderSwitches int
+	// Retirements is how many candidate hypotheses were retired for
+	// collapsed vote records before the stream ended.
+	Retirements int
 }
 
 // SearchMode selects how the positioning/tracing vote surfaces are
@@ -351,6 +363,8 @@ func convertResult(res *core.TraceResult) *Result {
 		InitialPosition: Point{X: res.InitialPosition().X, Z: res.InitialPosition().Z},
 		Chosen:          res.BestIndex,
 		Traces:          make([]Trace, len(res.All)),
+		LeaderSwitches:  res.LeaderSwitches,
+		Retirements:     res.Retirements,
 	}
 	for i, tr := range res.All {
 		out.Traces[i] = Trace{
@@ -359,6 +373,7 @@ func convertResult(res *core.TraceResult) *Result {
 			Votes:       append([]float64(nil), tr.Votes...),
 			TotalVote:   tr.TotalVote,
 			SearchEvals: tr.SearchEvals,
+			Retired:     tr.Retired,
 		}
 	}
 	return out

@@ -39,6 +39,18 @@ bin/loadgen -daemon "http://$HTTP" -sessions "$SESSIONS" -duration "$DURATION" -
 echo "soak: loadgen report:"
 cat "$OUT"
 
+# The multi-hypothesis tracing core must surface its observability: the
+# hypothesis gauge and the leader-switch/retirement counters have to be
+# present on /metrics (values may legitimately be 0 after drain).
+METRICS="$(curl -sf "http://$HTTP/metrics")"
+for m in rfidrawd_hypotheses_active rfidrawd_leader_switches_total rfidrawd_hypothesis_retirements_total; do
+  if ! echo "$METRICS" | grep -q "^$m "; then
+    echo "soak: /metrics missing $m" >&2
+    exit 1
+  fi
+done
+echo "soak: hypothesis metrics present"
+
 # loadgen deletes its sessions; give the daemon a moment to fully drain.
 sleep 5
 AFTER="$(goroutines)"

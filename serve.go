@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rfidraw/internal/engine"
+	"rfidraw/internal/realtime"
 	"rfidraw/internal/rfid"
 	"rfidraw/internal/server"
 )
@@ -36,6 +37,11 @@ type ServeConfig struct {
 	// Default 1 — sessions are the unit of parallelism; raise it for
 	// sessions tracking many simultaneous tags.
 	SessionShards int
+	// MaxAcquireBuffer bounds each tag's warmup sample buffer: a tag
+	// whose initial acquisition keeps failing is declared dead once this
+	// many sweeps have been buffered, capping the per-tag memory a
+	// session commits to unacquirable tags. Default 400 sweeps.
+	MaxAcquireBuffer int
 	// IdleTimeout expires sessions with no activity, readers or
 	// subscribers. Default 2 minutes.
 	IdleTimeout time.Duration
@@ -87,6 +93,13 @@ func (s *System) registry(cfg ServeConfig) (*server.Registry, error) {
 	if s.reg != nil {
 		return s.reg, nil
 	}
+	// Session engines are built lazily per session; validate the
+	// acquisition bound now so a misconfiguration fails server startup
+	// instead of silently failing every tag at first ingest.
+	if cfg.MaxAcquireBuffer > 0 && cfg.MaxAcquireBuffer < realtime.DefaultWarmupSamples {
+		return nil, fmt.Errorf("rfidraw: MaxAcquireBuffer %d must be ≥ the %d-sample warmup",
+			cfg.MaxAcquireBuffer, realtime.DefaultWarmupSamples)
+	}
 	shards := cfg.SessionShards
 	if shards <= 0 {
 		shards = 1
@@ -96,9 +109,10 @@ func (s *System) registry(cfg ServeConfig) (*server.Registry, error) {
 			Shards: shards,
 			// Sessions share this System's read-only positioner and
 			// steering tables; each gets its own shard group.
-			System:        s.eng.System(),
-			SweepInterval: sweep,
-			OnUpdate:      onUpdate,
+			System:           s.eng.System(),
+			SweepInterval:    sweep,
+			MaxAcquireBuffer: cfg.MaxAcquireBuffer,
+			OnUpdate:         onUpdate,
 			// Dispatch every report immediately: serving is the
 			// latency-sensitive live-cursor regime.
 			BatchSize: 1,
@@ -181,6 +195,18 @@ type Event struct {
 	Dist   float64
 	Margin float64
 	Points int
+	// Confidence is the leading hypothesis's running mean vote at this
+	// point: ≤ 0, nearer 0 is better, collapsing when tracking is lost
+	// (point events).
+	Confidence float64
+	// Hypotheses is how many candidate initial positions are still being
+	// traced for this tag (point events); it shrinks as wrong candidates'
+	// vote records collapse and they are retired.
+	Hypotheses int
+	// Switched marks a leadership change: the trajectory re-based onto a
+	// different hypothesis, so the cursor may jump here. Stroke-building
+	// consumers should treat it as a pen lift (point events).
+	Switched bool
 	// Dropped is how many events this subscriber lost (drop notices).
 	Dropped int
 }
@@ -269,7 +295,9 @@ func (s *Session) Subscribe(buffer int) (*Subscription, error) {
 				Type: ev.Type, Tag: ev.Tag, Time: ev.T,
 				X: ev.X, Z: ev.Z,
 				Glyph: ev.Glyph, Dist: ev.Dist, Margin: ev.Margin,
-				Points: ev.Points, Dropped: ev.Dropped,
+				Points: ev.Points, Confidence: ev.Confidence,
+				Hypotheses: ev.Hypotheses, Switched: ev.Switched,
+				Dropped: ev.Dropped,
 			}
 		}
 	}()

@@ -195,3 +195,20 @@ func TestServeSurface(t *testing.T) {
 		t.Fatalf("Offer after server close: %v", err)
 	}
 }
+
+// TestServeRejectsImpossibleAcquireBound: an acquisition buffer smaller
+// than the warmup must fail server construction with a clear error, not
+// silently kill every tag's pipeline at first ingest.
+func TestServeRejectsImpossibleAcquireBound(t *testing.T) {
+	sys, err := New(Config{PlaneDistanceM: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.NewServer(ServeConfig{
+		HTTPAddr: "127.0.0.1:0", IngestAddr: "127.0.0.1:0",
+		MaxAcquireBuffer: 2,
+	}); err == nil {
+		t.Fatal("MaxAcquireBuffer below the warmup must fail NewServer")
+	}
+}
