@@ -34,6 +34,7 @@ import (
 	"rfidraw/internal/tracing"
 	"rfidraw/internal/traj"
 	"rfidraw/internal/vote"
+	"rfidraw/internal/wal"
 )
 
 // —— Figure benches ————————————————————————————————————————————————————————
@@ -621,5 +622,39 @@ func BenchmarkSearchModes(b *testing.B) {
 				b.ReportMetric(float64(b.N)*float64(len(jobs))/b.Elapsed().Seconds(), "tag-traces/s")
 			})
 		}
+	}
+}
+
+// BenchmarkWALAppend measures the serving pump's per-report durability
+// cost: encoding and writing one report record into the session log.
+// Syncing is deferred past the run (fsync cadence is policy, not append
+// cost) and the encode path reuses the log's buffer, so allocs/op is
+// gated at zero growth by CI (cross-machine stable, unlike ns/op).
+func BenchmarkWALAppend(b *testing.B) {
+	store, err := wal.Open(b.TempDir(), wal.Options{NoSync: true, SegmentBytes: 1 << 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	log, err := store.Create(wal.Meta{ID: "bench", Created: time.Unix(0, 0), Sweep: 50 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	rep := rfid.Report{
+		Time: 0, ReaderID: 1, AntennaID: 3,
+		EPC: rfid.RandomEPC(rng), PhaseRad: 1.25, PowerDB: -31,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep.Time += 6 * time.Millisecond
+		if err := log.AppendReport(uint64(i+1), rep); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.SetBytes(int64(log.Bytes()) / int64(b.N))
+	if err := log.Abandon(); err != nil {
+		b.Fatal(err)
 	}
 }

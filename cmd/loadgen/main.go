@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -45,6 +46,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "scenario seed")
 		pace     = flag.Float64("pace", 1, "replay speed (1 = real time)")
 		duration = flag.Duration("duration", 30*time.Second, "how long each session streams (scenario loops)")
+		retrace  = flag.Bool("retrace", false, "after streaming, POST /retrace twice per session (daemon needs -data-dir) and gate on determinism")
 		out      = flag.String("out", "", "write the JSON report here (default stdout)")
 	)
 	flag.Parse()
@@ -53,7 +55,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	report, err := run(*daemon, *ingest, *sessions, *tags, *word, *seed, *pace, *duration)
+	report, err := run(*daemon, *ingest, *sessions, *tags, *word, *seed, *pace, *duration, *retrace)
 	if report != nil {
 		b, _ := json.MarshalIndent(report, "", "  ")
 		b = append(b, '\n')
@@ -120,6 +122,12 @@ type Report struct {
 	// milliseconds across every point of every session.
 	LatencyMS Percentiles `json:"latency_ms"`
 
+	// RetraceMS summarizes WAL retrace wall latency per session when
+	// -retrace is set (two runs each; both must be byte-identical).
+	RetraceMS Percentiles `json:"retrace_ms,omitempty"`
+	// RetracePoints totals the trajectory points the retraces returned.
+	RetracePoints int64 `json:"retrace_points,omitempty"`
+
 	SessionResults []SessionResult `json:"session_results"`
 }
 
@@ -143,11 +151,16 @@ type SessionResult struct {
 	Shed   bool    `json:"shed,omitempty"`
 	Err    string  `json:"err,omitempty"`
 
+	// RetraceMS is this session's retrace wall time (first run);
+	// RetracePoints the points it returned.
+	RetraceMS     float64 `json:"retrace_ms,omitempty"`
+	RetracePoints int64   `json:"retrace_points,omitempty"`
+
 	// lats carries the raw samples into the global distribution.
 	lats []float64
 }
 
-func run(daemon, ingest string, sessions, tags int, word string, seed int64, pace float64, duration time.Duration) (*Report, error) {
+func run(daemon, ingest string, sessions, tags int, word string, seed int64, pace float64, duration time.Duration, retrace bool) (*Report, error) {
 	// One shared scenario, replayed into every session: sessions are
 	// isolated by the daemon, so identical content exercises the serving
 	// layer without paying scenario generation per session.
@@ -194,6 +207,7 @@ func run(daemon, ingest string, sessions, tags int, word string, seed int64, pac
 				perTagSweep: perTagSweep,
 				pace:        pace,
 				duration:    duration,
+				retrace:     retrace,
 			})
 		}(i)
 	}
@@ -204,11 +218,15 @@ func run(daemon, ingest string, sessions, tags int, word string, seed int64, pac
 		DurationS:      duration.Seconds(),
 		SessionResults: results,
 	}
-	var all []float64
+	var all, retraces []float64
 	for _, r := range results {
 		report.Points += r.Points
 		report.Glyphs += r.Glyphs
 		report.Drops += r.Drops
+		report.RetracePoints += r.RetracePoints
+		if r.RetraceMS > 0 {
+			retraces = append(retraces, r.RetraceMS)
+		}
 		if r.Shed {
 			report.Shed++
 		} else if r.Err != "" {
@@ -219,6 +237,7 @@ func run(daemon, ingest string, sessions, tags int, word string, seed int64, pac
 		all = append(all, r.lats...)
 	}
 	report.LatencyMS = percentiles(all)
+	report.RetraceMS = percentiles(retraces)
 	if report.Failed > 0 {
 		return report, fmt.Errorf("%d of %d sessions failed", report.Failed, sessions)
 	}
@@ -233,6 +252,7 @@ type sessionParams struct {
 	perTagSweep time.Duration
 	pace        float64
 	duration    time.Duration
+	retrace     bool
 }
 
 func runSession(ctx context.Context, p sessionParams) SessionResult {
@@ -328,6 +348,33 @@ func runSession(ctx context.Context, p sessionParams) SessionResult {
 	// Let the daemon's idle drain flush the tail, then tear down; the
 	// delete ends the stream, which ends the consumer.
 	time.Sleep(400 * time.Millisecond)
+
+	// Replay-mode traffic: re-trace the recorded session from its WAL,
+	// twice, and gate on byte-identical responses — the serving-side
+	// proof that a retrace is a pure function of the record. Runs after
+	// the drain settle so the log is quiescent; if a straggling report
+	// still lands between the runs the heads differ and the byte gate
+	// does not apply (each run is only a function of ITS record prefix).
+	if p.retrace {
+		t0 := time.Now()
+		sum, raw1, err := p.client.Retrace(ctx, id, "")
+		if err != nil {
+			res.Err = "retrace: " + err.Error()
+		} else {
+			res.RetraceMS = float64(time.Since(t0)) / float64(time.Millisecond)
+			for _, tag := range sum.Tags {
+				res.RetracePoints += int64(len(tag.Points))
+			}
+			if res.RetracePoints == 0 {
+				res.Err = "retrace returned no points"
+			}
+			if sum2, raw2, err := p.client.Retrace(ctx, id, ""); err != nil {
+				res.Err = "retrace (2nd): " + err.Error()
+			} else if sum2.Records == sum.Records && !bytes.Equal(raw1, raw2) {
+				res.Err = "retrace is nondeterministic: two runs over the same record differ"
+			}
+		}
+	}
 	if err := p.client.DeleteSession(context.Background(), id); err != nil && res.Err == "" {
 		res.Err = err.Error()
 	}

@@ -8,6 +8,11 @@
 // With no figure arguments it runs everything (fig2 fig3 fig4 fig6 fig7
 // fig10 fig11 fig12 fig13 fig14 fig15 fig16). Figures 11–15 share two word
 // batches (LOS and NLOS), run once.
+//
+// The replay subcommand re-traces sessions recorded by rfidrawd
+// -data-dir offline (see runReplay):
+//
+//	rfidraw replay -data-dir DIR -session ID [-dist 2] [-dense]
 package main
 
 import (
@@ -25,6 +30,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "replay" {
+		if err := runReplay(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "rfidraw:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		outDir = flag.String("out", "results", "output directory")
 		words  = flag.Int("words", 60, "words per batch (paper: 150)")

@@ -17,6 +17,13 @@
 //
 //	rfidrawd -http 127.0.0.1:8090 -ingest 127.0.0.1:7070 -dist 2
 //
+// With -data-dir the daemon is durable: every session's resequenced
+// report stream is recorded in a per-session write-ahead log, a restart
+// rehydrates retained sessions in a "recovered" state, POST
+// /v1/sessions/{id}/retrace re-traces any recorded session (optionally
+// under a different search config), and GET .../stream?from=seq serves
+// late subscribers the recorded history before splicing them live.
+//
 // Drive it with cmd/loadgen, or point examples/streaming and
 // examples/multiuser at it with their -daemon flags.
 package main
@@ -47,21 +54,23 @@ func main() {
 		idle       = flag.Duration("idle", 2*time.Minute, "idle session expiry")
 		reorder    = flag.Duration("reorder", 25*time.Millisecond, "cross-reader resequencing window")
 		maxAcquire = flag.Int("max-acquire", 400, "per-tag warmup sample buffer bound (sweeps, ≥ the 4-sweep warmup)")
+		dataDir    = flag.String("data-dir", "", "write-ahead log directory: sessions become durable, crash-recoverable and re-traceable (empty disables)")
+		walSync    = flag.Int("wal-sync", 64, "fsync the session log every N report appends (1 = every append; drains always sync)")
 	)
 	flag.Parse()
-	if err := validateFlags(*httpAddr, *ingestAddr, *dist, *shards, *maxSess, *maxSubs, *queue, *idle, *reorder, *maxAcquire); err != nil {
+	if err := validateFlags(*httpAddr, *ingestAddr, *dist, *shards, *maxSess, *maxSubs, *queue, *idle, *reorder, *maxAcquire, *walSync); err != nil {
 		fmt.Fprintln(os.Stderr, "rfidrawd: invalid flags:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*httpAddr, *ingestAddr, *dist, *shards, *maxSess, *maxSubs, *queue, *idle, *reorder, *maxAcquire); err != nil {
+	if err := run(*httpAddr, *ingestAddr, *dist, *shards, *maxSess, *maxSubs, *queue, *idle, *reorder, *maxAcquire, *dataDir, *walSync); err != nil {
 		fmt.Fprintln(os.Stderr, "rfidrawd:", err)
 		os.Exit(1)
 	}
 }
 
 // validateFlags rejects malformed combinations before anything binds.
-func validateFlags(httpAddr, ingestAddr string, dist float64, shards, maxSess, maxSubs, queue int, idle, reorder time.Duration, maxAcquire int) error {
+func validateFlags(httpAddr, ingestAddr string, dist float64, shards, maxSess, maxSubs, queue int, idle, reorder time.Duration, maxAcquire, walSync int) error {
 	if strings.TrimSpace(httpAddr) == "" {
 		return fmt.Errorf("-http must name a TCP address")
 	}
@@ -95,10 +104,13 @@ func validateFlags(httpAddr, ingestAddr string, dist float64, shards, maxSess, m
 	if maxAcquire < 1 {
 		return fmt.Errorf("-max-acquire %d needs at least one buffered sweep", maxAcquire)
 	}
+	if walSync < 1 {
+		return fmt.Errorf("-wal-sync %d must be at least 1 (sync every append)", walSync)
+	}
 	return nil
 }
 
-func run(httpAddr, ingestAddr string, dist float64, shards, maxSess, maxSubs, queue int, idle, reorder time.Duration, maxAcquire int) error {
+func run(httpAddr, ingestAddr string, dist float64, shards, maxSess, maxSubs, queue int, idle, reorder time.Duration, maxAcquire int, dataDir string, walSync int) error {
 	sys, err := rfidraw.New(rfidraw.Config{PlaneDistanceM: dist})
 	if err != nil {
 		return err
@@ -116,6 +128,8 @@ func run(httpAddr, ingestAddr string, dist float64, shards, maxSess, maxSubs, qu
 		MaxAcquireBuffer: maxAcquire,
 		IdleTimeout:      idle,
 		ReorderWindow:    reorder,
+		DataDir:          dataDir,
+		WALSyncEvery:     walSync,
 		Logf:             log.Printf,
 	})
 }

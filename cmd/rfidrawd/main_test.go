@@ -7,12 +7,12 @@ import (
 
 func TestValidateFlags(t *testing.T) {
 	ok := func() []any {
-		return []any{"127.0.0.1:8090", "127.0.0.1:7070", 2.0, 1, 128, 16, 256, 2 * time.Minute, 25 * time.Millisecond, 400}
+		return []any{"127.0.0.1:8090", "127.0.0.1:7070", 2.0, 1, 128, 16, 256, 2 * time.Minute, 25 * time.Millisecond, 400, 64}
 	}
 	call := func(args []any) error {
 		return validateFlags(args[0].(string), args[1].(string), args[2].(float64),
 			args[3].(int), args[4].(int), args[5].(int), args[6].(int),
-			args[7].(time.Duration), args[8].(time.Duration), args[9].(int))
+			args[7].(time.Duration), args[8].(time.Duration), args[9].(int), args[10].(int))
 	}
 	if err := call(ok()); err != nil {
 		t.Fatalf("valid flags rejected: %v", err)
@@ -33,6 +33,7 @@ func TestValidateFlags(t *testing.T) {
 		{"zero idle", 7, time.Duration(0)},
 		{"zero reorder", 8, time.Duration(0)},
 		{"zero max-acquire", 9, 0},
+		{"zero wal-sync", 10, 0},
 	}
 	for _, tc := range cases {
 		args := ok()

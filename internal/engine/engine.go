@@ -75,6 +75,11 @@ type Config struct {
 	MaxAcquireBuffer int
 	ReacquireVote    float64
 	ReacquireWindow  int
+	// RecordTrace keeps every streamed tag's full hypothesis
+	// trajectories so TraceResults can materialize batch-equivalent
+	// outcomes. Memory then grows with stream length — meant for
+	// replays and equivalence tests, not serving.
+	RecordTrace bool
 
 	// OnUpdate receives live position updates from the streaming path.
 	// It is called from shard goroutines, possibly concurrently.
@@ -367,6 +372,29 @@ func (e *Engine) Stats() []TagStats {
 		sh.in <- shardMsg{stats: chans[i]}
 	}
 	var out []TagStats
+	for _, c := range chans {
+		out = append(out, <-c...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tag < out[j].Tag })
+	return out
+}
+
+// TraceResults materializes each streamed tag's batch-equivalent
+// TraceResult (requires Config.RecordTrace), sorted by tag key. Like
+// Stats it belongs to the ingest goroutine and dispatches its buffered
+// reports first so the snapshot is current; tags that never acquired
+// are reported with an error.
+func (e *Engine) TraceResults() []TagResult {
+	if e.closed {
+		return nil
+	}
+	e.dispatchPending()
+	chans := make([]chan []TagResult, len(e.shards))
+	for i, sh := range e.shards {
+		chans[i] = make(chan []TagResult, 1)
+		sh.in <- shardMsg{results: chans[i]}
+	}
+	var out []TagResult
 	for _, c := range chans {
 		out = append(out, <-c...)
 	}

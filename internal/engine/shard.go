@@ -37,6 +37,8 @@ type shardMsg struct {
 	flush chan error
 	// stats asks for a snapshot of per-tag streaming state.
 	stats chan []TagStats
+	// results asks for batch-equivalent trace results (RecordTrace).
+	results chan []TagResult
 }
 
 // tagState is one streamed tag's pipeline, confined to its home shard.
@@ -79,6 +81,8 @@ func (s *shard) loop() {
 			msg.flush <- s.flushTrackers()
 		case msg.stats != nil:
 			msg.stats <- s.collectStats()
+		case msg.results != nil:
+			msg.results <- s.collectResults()
 		}
 	}
 }
@@ -97,6 +101,7 @@ func (s *shard) offer(rep rfid.Report) {
 			MaxAcquireBuffer: s.eng.cfg.MaxAcquireBuffer,
 			ReacquireVote:    s.eng.cfg.ReacquireVote,
 			ReacquireWindow:  s.eng.cfg.ReacquireWindow,
+			RecordTrace:      s.eng.cfg.RecordTrace,
 			Scratch:          s.scratch,
 		})
 		ts = &tagState{tracker: tracker}
@@ -143,6 +148,32 @@ func (s *shard) flushTrackers() error {
 		}
 	}
 	return first
+}
+
+// collectResults materializes batch-equivalent trace results for every
+// acquired tag on this shard (engine Config.RecordTrace).
+func (s *shard) collectResults() []TagResult {
+	out := make([]TagResult, 0, len(s.trackers))
+	for epc, ts := range s.trackers {
+		out = append(out, ts.traceResult(epc))
+	}
+	return out
+}
+
+// traceResult materializes one streamed tag's batch-equivalent outcome;
+// shared by the shard and the Replayer so the two schedulers cannot
+// diverge in how a tag's state becomes a TagResult.
+func (ts *tagState) traceResult(epc rfid.EPC) TagResult {
+	res := TagResult{Tag: epc.String()}
+	switch {
+	case ts.err != nil:
+		res.Err = ts.err
+	case ts.tracker == nil || !ts.tracker.Started():
+		res.Err = fmt.Errorf("engine: tag %s: never acquired", epc)
+	default:
+		res.Result, res.Err = ts.tracker.TraceResult()
+	}
+	return res
 }
 
 func (s *shard) collectStats() []TagStats {

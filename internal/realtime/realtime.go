@@ -104,6 +104,9 @@ type Tracker struct {
 	latest    map[int]timedPhase
 	nextSweep time.Duration
 	samples   []tracing.Sample
+	// dirty records whether any report or sample has arrived since the
+	// last Flush; it makes Flush idempotent (see Flush).
+	dirty bool
 
 	started bool
 	ms      *tracing.MultiStream
@@ -170,6 +173,7 @@ func (t *Tracker) Offer(rep rfid.Report) ([]Position, error) {
 		// per EPC).
 		return nil, nil
 	}
+	t.dirty = true
 	var out []Position
 	// Close any sweeps that ended before this report.
 	for rep.Time >= t.nextSweep+t.cfg.SweepInterval {
@@ -188,7 +192,18 @@ func (t *Tracker) Offer(rep rfid.Report) ([]Position, error) {
 // complete: it attempts a final acquisition over whatever prefix it has
 // buffered, so a short stream's positions are emitted rather than
 // silently discarded with the buffer.
+//
+// Flush is idempotent: a Flush with no report or sample ingested since
+// the previous one is a no-op. Without the guard a second flush would
+// advance the sweep clock and re-snapshot the held per-antenna phases as
+// a fresh sample — emitting a duplicate position from stale data — which
+// is exactly what racing drain paths (a serving pump's idle drain vs. an
+// explicit client Flush vs. session close) used to do.
 func (t *Tracker) Flush() ([]Position, error) {
+	if !t.dirty {
+		return nil, nil
+	}
+	t.dirty = false
 	return t.closeSweep(true)
 }
 
@@ -198,6 +213,7 @@ func (t *Tracker) Flush() ([]Position, error) {
 // batch Trace consumes. Mixing OfferSample with report-level Offer on
 // one tracker is unsupported. The sample's phase map is not retained.
 func (t *Tracker) OfferSample(s tracing.Sample) ([]Position, error) {
+	t.dirty = true
 	return t.offerSample(s, false)
 }
 

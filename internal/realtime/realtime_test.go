@@ -234,3 +234,63 @@ func TestMergeStreamsMatchesReference(t *testing.T) {
 		}
 	}
 }
+
+// TestFlushIdempotent is the drain-race regression gate: with no new
+// reports between them, repeated Flush calls must close the current
+// sweep exactly once. The old behaviour advanced the sweep clock and
+// re-snapshotted the held per-antenna phases on every call, so a pump
+// idle drain racing an explicit Flush (or session close) emitted
+// duplicate positions from stale data — and a WAL replay of such a
+// session diverged from the live trace.
+func TestFlushIdempotent(t *testing.T) {
+	sc, err := sim.New(sim.Config{Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, err := sc.RunWord("hi", geom.Vec2{X: 0.9, Z: 1.0}, handwriting.DefaultStyle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := newTracker(t, sc)
+	total := 0
+	for _, rep := range reportsFromSamples(wr, sc.Tag.EPC) {
+		ps, err := tr.Offer(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(ps)
+	}
+	ps, err := tr.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total += len(ps)
+	if total == 0 {
+		t.Fatal("stream produced no positions — test premise broken")
+	}
+	sweepAfterFirst := tr.nextSweep
+	for i := 0; i < 3; i++ {
+		ps, err := tr.Flush()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ps) != 0 {
+			t.Fatalf("flush %d re-emitted %d positions (first: %+v)", i+2, len(ps), ps[0])
+		}
+	}
+	if tr.nextSweep != sweepAfterFirst {
+		t.Fatalf("idle flushes advanced the sweep clock %v -> %v", sweepAfterFirst, tr.nextSweep)
+	}
+	// The tracker keeps working after idle flushes: a report in the next
+	// sweep window is accepted and the pipeline resumes.
+	next := rfid.Report{
+		Time: sweepAfterFirst + 30*time.Millisecond, ReaderID: 0, AntennaID: 1,
+		EPC: sc.Tag.EPC, PhaseRad: 1.0,
+	}
+	if _, err := tr.Offer(next); err != nil {
+		t.Fatalf("offer after idle flushes: %v", err)
+	}
+	if _, err := tr.Flush(); err != nil {
+		t.Fatalf("flush after resume: %v", err)
+	}
+}

@@ -96,7 +96,18 @@ func (c *Client) DeleteSession(ctx context.Context, id string) error {
 // cancelled. The channel is closed at end of stream; a terminal decode or
 // transport error is delivered on the (buffered) error channel.
 func (c *Client) Subscribe(ctx context.Context, id string) (<-chan Event, <-chan error, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/sessions/"+id+"/stream", nil)
+	return c.subscribe(ctx, c.BaseURL+"/v1/sessions/"+id+"/stream")
+}
+
+// SubscribeFrom attaches with WAL catch-up: the stream starts with the
+// session's recorded history replayed from log sequence from (0 = all),
+// then splices onto the live stream (daemons started with a data dir).
+func (c *Client) SubscribeFrom(ctx context.Context, id string, from uint64) (<-chan Event, <-chan error, error) {
+	return c.subscribe(ctx, fmt.Sprintf("%s/v1/sessions/%s/stream?from=%d", c.BaseURL, id, from))
+}
+
+func (c *Client) subscribe(ctx context.Context, url string) (<-chan Event, <-chan error, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -229,4 +240,37 @@ func (c *Client) FetchMetrics(ctx context.Context) (string, error) {
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
 	return string(b), err
+}
+
+// Retrace replays a session's WAL through a fresh pipeline on the
+// daemon, optionally under an overridden search mode ("", "hierarchical"
+// or "dense"), and returns the per-tag results. Raw is the exact
+// response body, for byte-level determinism checks.
+func (c *Client) Retrace(ctx context.Context, id, mode string) (*RetraceSummary, []byte, error) {
+	body := []byte("{}")
+	if mode != "" {
+		body, _ = json.Marshal(map[string]any{"search": map[string]any{"mode": mode}})
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/sessions/"+id+"/retrace", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, raw, fmt.Errorf("retrace: %s: %s", resp.Status, raw)
+	}
+	var sum RetraceSummary
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		return nil, raw, err
+	}
+	return &sum, raw, nil
 }

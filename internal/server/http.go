@@ -3,16 +3,26 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
+
+	"rfidraw/internal/vote"
 )
 
 // sessionInfo is the JSON shape of one session on the control API.
 type sessionInfo struct {
-	ID          string       `json:"id"`
-	Created     time.Time    `json:"created"`
-	AgeMS       int64        `json:"age_ms"`
+	ID      string    `json:"id"`
+	Created time.Time `json:"created"`
+	AgeMS   int64     `json:"age_ms"`
+	// State is "live" (pump and engine running), "recovered" (serving
+	// from the retained WAL only) or "closed".
+	State string `json:"state"`
+	// WALSeq is the session's log head sequence; 0 when nothing is
+	// recorded. ?from=seq catch-up requests address this space.
+	WALSeq      uint64       `json:"wal_seq,omitempty"`
 	Readers     int          `json:"readers"`
 	Subscribers int          `json:"subscribers"`
 	Reports     int64        `json:"reports"`
@@ -44,6 +54,8 @@ func (s *Server) info(sess *Session) sessionInfo {
 		ID:          sess.ID,
 		Created:     sess.Created,
 		AgeMS:       time.Since(sess.Created).Milliseconds(),
+		State:       sess.State(),
+		WALSeq:      sess.WALSeq(),
 		Readers:     sess.Readers(),
 		Subscribers: sess.Subscribers(),
 		Reports:     sess.reports.Load(),
@@ -80,6 +92,7 @@ func (s *Server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
 	mux.HandleFunc("GET /v1/sessions/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/sessions/{id}/retrace", s.handleRetrace)
 	return mux
 }
 
@@ -112,6 +125,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		live.leaderSwitches += sess.leaderSwitches.Load()
 		live.retirements += sess.retirements.Load()
 	}
+	usage := s.reg.WALUsage()
+	live.walBytes = usage.Bytes
+	live.walSegments = int64(usage.Segments)
 	now := time.Now()
 	total := s.metrics.Reports.Load()
 	s.rateMu.Lock()
@@ -197,13 +213,38 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 // The subscriber's queue is bounded; if this consumer cannot keep up it
 // loses the oldest events and sees {"type":"drop"} notices (the
 // slow-consumer policy), never stalling the tracker or its peers.
+//
+// With ?from=seq (WAL-backed sessions) the subscriber first catches up
+// from the session's recorded history — points derived from log records
+// with sequence ≥ seq (0 = everything) — and is then spliced onto the
+// live stream without gap or duplicate. On a recovered session the
+// stream is the replay alone, ending with {"type":"end"}; recovered
+// sessions always serve this way, with or without the parameter.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown session")
 		return
 	}
-	sub, err := sess.Subscribe(0)
+	var sub *Subscriber
+	var err error
+	if fromStr := r.URL.Query().Get("from"); fromStr != "" || sess.Recovered() {
+		from := uint64(0)
+		if fromStr != "" {
+			from, err = strconv.ParseUint(fromStr, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad from: "+err.Error())
+				return
+			}
+		}
+		sub, err = sess.SubscribeFrom(from, 0)
+		if errors.Is(err, ErrNoWAL) {
+			writeError(w, http.StatusBadRequest, "session has no write-ahead log")
+			return
+		}
+	} else {
+		sub, err = sess.Subscribe(0)
+	}
 	if errors.Is(err, ErrSubscriberLimit) {
 		s.metrics.Shed.Add(1)
 		writeError(w, http.StatusServiceUnavailable, "subscriber limit reached")
@@ -254,4 +295,121 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// retraceRequest is the POST /v1/sessions/{id}/retrace body; everything
+// optional. An empty body re-traces under the deployment's configuration
+// (and the result is then byte-equivalent to the live trace).
+type retraceRequest struct {
+	Search *searchOverride `json:"search"`
+}
+
+// searchOverride is the JSON shape of a SearchConfig override.
+type searchOverride struct {
+	// Mode is "hierarchical" (default) or "dense".
+	Mode   string `json:"mode"`
+	TopK   int    `json:"top_k"`
+	Levels int    `json:"levels"`
+}
+
+func (o *searchOverride) config() (*vote.SearchConfig, error) {
+	if o == nil {
+		return nil, nil
+	}
+	sc := &vote.SearchConfig{TopK: o.TopK, Levels: o.Levels}
+	switch o.Mode {
+	case "", "hierarchical":
+		sc.Mode = vote.SearchHierarchical
+	case "dense":
+		sc.Mode = vote.SearchDense
+	default:
+		return nil, fmt.Errorf("unknown search mode %q", o.Mode)
+	}
+	return sc, nil
+}
+
+// RetraceSummary carries one retrace run's per-tag results: the JSON
+// the retrace endpoint serves and the shape Client.Retrace decodes —
+// one declaration, so server and client cannot drift.
+type RetraceSummary struct {
+	ID string `json:"id"`
+	// Records is the log head sequence the retrace covered.
+	Records uint64               `json:"records"`
+	Tags    []RetracedTagSummary `json:"tags"`
+}
+
+// RetracedTagSummary is one tag's outcome within a RetraceSummary.
+type RetracedTagSummary struct {
+	Tag string `json:"tag"`
+	// Chosen indexes the selected hypothesis among the candidates.
+	Chosen         int              `json:"chosen"`
+	Initial        PointJSON        `json:"initial"`
+	LeaderSwitches int              `json:"leader_switches"`
+	Retirements    int              `json:"retirements"`
+	Points         []TracePointJSON `json:"points"`
+	Err            string           `json:"err,omitempty"`
+}
+
+// PointJSON is an (x, z) writing-plane position on the JSON API.
+type PointJSON struct {
+	X float64 `json:"x"`
+	Z float64 `json:"z"`
+}
+
+// TracePointJSON is one timed trajectory point on the JSON API.
+type TracePointJSON struct {
+	T time.Duration `json:"t_ns"`
+	X float64       `json:"x"`
+	Z float64       `json:"z"`
+}
+
+// handleRetrace replays a session's WAL through a fresh tracking
+// pipeline — optionally under an overridden SearchConfig — and returns
+// batch results for every recorded tag. Works on live sessions (the
+// pump drains first, so the retrace covers everything ingested so far)
+// and on recovered ones.
+func (s *Server) handleRetrace(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	var req retraceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	search, err := req.Search.config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	results, head, err := sess.Retrace(search)
+	switch {
+	case errors.Is(err, ErrNoWAL):
+		writeError(w, http.StatusBadRequest, "session has no write-ahead log")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := RetraceSummary{ID: sess.ID, Records: head, Tags: make([]RetracedTagSummary, 0, len(results))}
+	for _, res := range results {
+		tag := RetracedTagSummary{Tag: res.Tag}
+		if res.Err != nil {
+			tag.Err = res.Err.Error()
+			resp.Tags = append(resp.Tags, tag)
+			continue
+		}
+		tag.Chosen = res.Result.BestIndex
+		init := res.Result.InitialPosition()
+		tag.Initial = PointJSON{X: init.X, Z: init.Z}
+		tag.LeaderSwitches = res.Result.LeaderSwitches
+		tag.Retirements = res.Result.Retirements
+		for _, p := range res.Result.Best.Trajectory.Points {
+			tag.Points = append(tag.Points, TracePointJSON{T: p.T, X: p.Pos.X, Z: p.Pos.Z})
+		}
+		resp.Tags = append(resp.Tags, tag)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -31,6 +31,18 @@ type Metrics struct {
 	// closed-session accumulators for the hypothesis counters.
 	LeaderSwitchesRetired atomic.Int64
 	RetirementsRetired    atomic.Int64
+
+	// Durability counters. SessionsRecovered counts WAL sessions
+	// rehydrated at startup; SessionsRetained (gauge) counts sessions
+	// currently parked in the recovered state; Retraces counts WAL
+	// re-trace runs; WALFailures counts sessions whose log was abandoned
+	// after a write error; WALTornBytes accumulates bytes dropped
+	// recovering damaged or torn records.
+	SessionsRecovered atomic.Int64
+	SessionsRetained  atomic.Int64 // gauge
+	Retraces          atomic.Int64
+	WALFailures       atomic.Int64
+	WALTornBytes      atomic.Int64
 }
 
 // counterDef drives the text rendering.
@@ -53,6 +65,11 @@ var counterDefs = []counterDef{
 	{"rfidrawd_glyphs_total", "Glyphs recognized from completed strokes.", "counter", func(m *Metrics) int64 { return m.Glyphs.Load() }},
 	{"rfidrawd_events_dropped_total", "Events dropped by the slow-consumer policy.", "counter", func(m *Metrics) int64 { return m.EventsDropped.Load() }},
 	{"rfidrawd_shed_total", "Requests shed by admission control (HTTP 503).", "counter", func(m *Metrics) int64 { return m.Shed.Load() }},
+	{"rfidrawd_sessions_recovered_total", "Sessions rehydrated from retained WALs at startup.", "counter", func(m *Metrics) int64 { return m.SessionsRecovered.Load() }},
+	{"rfidrawd_sessions_retained", "Sessions parked in the recovered state (WAL-only, no engine).", "gauge", func(m *Metrics) int64 { return m.SessionsRetained.Load() }},
+	{"rfidrawd_retraces_total", "WAL re-trace runs served.", "counter", func(m *Metrics) int64 { return m.Retraces.Load() }},
+	{"rfidrawd_wal_failures_total", "Sessions whose WAL was abandoned after a write error.", "counter", func(m *Metrics) int64 { return m.WALFailures.Load() }},
+	{"rfidrawd_wal_torn_bytes_total", "Bytes dropped recovering damaged or torn WAL records.", "counter", func(m *Metrics) int64 { return m.WALTornBytes.Load() }},
 }
 
 // liveSums carries the per-scrape values summed over live sessions by
@@ -64,6 +81,8 @@ type liveSums struct {
 	leaderSwitches int64
 	retirements    int64
 	reportsPerSec  float64
+	walBytes       int64
+	walSegments    int64
 }
 
 // render writes the metrics in Prometheus text exposition format.
@@ -76,5 +95,7 @@ func (m *Metrics) render(w io.Writer, live liveSums) {
 	fmt.Fprintf(w, "# HELP rfidrawd_leader_switches_total Leading-hypothesis changes (the over-time candidate disambiguation re-electing).\n# TYPE rfidrawd_leader_switches_total counter\nrfidrawd_leader_switches_total %d\n", live.leaderSwitches)
 	fmt.Fprintf(w, "# HELP rfidrawd_hypothesis_retirements_total Hypotheses retired for collapsed vote records.\n# TYPE rfidrawd_hypothesis_retirements_total counter\nrfidrawd_hypothesis_retirements_total %d\n", live.retirements)
 	fmt.Fprintf(w, "# HELP rfidrawd_reports_per_second Ingest rate over the last scrape interval.\n# TYPE rfidrawd_reports_per_second gauge\nrfidrawd_reports_per_second %.1f\n", live.reportsPerSec)
+	fmt.Fprintf(w, "# HELP rfidrawd_wal_bytes On-disk bytes across all retained session logs.\n# TYPE rfidrawd_wal_bytes gauge\nrfidrawd_wal_bytes %d\n", live.walBytes)
+	fmt.Fprintf(w, "# HELP rfidrawd_wal_segments Segment files across all retained session logs.\n# TYPE rfidrawd_wal_segments gauge\nrfidrawd_wal_segments %d\n", live.walSegments)
 	fmt.Fprintf(w, "# HELP rfidrawd_goroutines Current goroutine count (soak leak gate).\n# TYPE rfidrawd_goroutines gauge\nrfidrawd_goroutines %d\n", runtime.NumGoroutine())
 }

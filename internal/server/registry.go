@@ -10,12 +10,25 @@ import (
 	"time"
 
 	"rfidraw/internal/recognition"
+	"rfidraw/internal/wal"
 )
 
 // RegistryConfig tunes the session registry.
 type RegistryConfig struct {
 	// NewEngine binds a new session to a tracking engine. Required.
 	NewEngine EngineFactory
+
+	// WAL, when non-nil, makes every session durable: the pump records
+	// its canonical resequenced report stream in a per-session
+	// write-ahead log, closed-but-retained sessions are rehydrated into
+	// the registry as "recovered" at construction, and retrace /
+	// ?from=seq catch-up serve from the record. NewReplayer is then
+	// required too.
+	WAL *wal.Store
+	// NewReplayer binds a WAL replay to a fresh tracking pipeline built
+	// like NewEngine's (same deployment, same defaults), optionally
+	// under an overridden SearchConfig. Required when WAL is set.
+	NewReplayer ReplayerFactory
 
 	// MaxSessions is the admission-control cap on live sessions; opens
 	// beyond it are shed. Default 128.
@@ -85,13 +98,22 @@ type Registry struct {
 
 	mu       sync.Mutex
 	sessions map[string]*Session
-	closed   bool
+	// live counts non-recovered sessions for admission control:
+	// recovered sessions hold no engine or goroutines, so they do not
+	// occupy MaxSessions slots (they do reserve their IDs).
+	live   int
+	closed bool
 }
 
-// NewRegistry builds a registry. cfg.NewEngine is required.
+// NewRegistry builds a registry. cfg.NewEngine is required. With
+// cfg.WAL set, closed-but-retained session logs found in the store are
+// rehydrated as recovered sessions before the registry opens.
 func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 	if cfg.NewEngine == nil {
 		return nil, errors.New("server: RegistryConfig.NewEngine is required")
+	}
+	if cfg.WAL != nil && cfg.NewReplayer == nil {
+		return nil, errors.New("server: RegistryConfig.NewReplayer is required with WAL")
 	}
 	cfg = cfg.withDefaults()
 	r := &Registry{
@@ -106,7 +128,48 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 		}
 		r.rec = rec
 	}
+	if cfg.WAL != nil {
+		if err := r.recover(); err != nil {
+			return nil, err
+		}
+	}
 	return r, nil
+}
+
+// recover rehydrates every retained session log into the registry in the
+// recovered state. Unreadable logs are logged and skipped, never fatal —
+// recovery's job is to bring back what the disk still holds.
+func (r *Registry) recover() error {
+	ids, err := r.cfg.WAL.Sessions()
+	if err != nil {
+		return fmt.Errorf("server: wal recovery: %w", err)
+	}
+	for _, id := range ids {
+		meta, stats, err := r.cfg.WAL.Scan(id)
+		if err != nil {
+			r.cfg.Logf("server: wal recovery: session %s unreadable: %v", id, err)
+			continue
+		}
+		if stats.TornBytes > 0 {
+			r.metrics.WALTornBytes.Add(stats.TornBytes)
+			r.cfg.Logf("server: wal recovery: session %s: dropped %d torn bytes", id, stats.TornBytes)
+		}
+		r.sessions[id] = newRecoveredSession(r, meta, stats)
+		r.metrics.SessionsRecovered.Add(1)
+		r.metrics.SessionsRetained.Add(1)
+		r.cfg.Logf("server: wal recovery: session %s rehydrated (%d reports, clean=%v)",
+			id, stats.Reports, stats.CleanClose)
+	}
+	return nil
+}
+
+// WALUsage reports the registry's on-disk log footprint (metrics); zero
+// without a WAL store.
+func (r *Registry) WALUsage() wal.Usage {
+	if r.cfg.WAL == nil {
+		return wal.Usage{}
+	}
+	return r.cfg.WAL.Usage()
 }
 
 // Metrics exposes the registry's counter set.
@@ -129,16 +192,19 @@ func (r *Registry) Open(id string, sweep time.Duration) (*Session, error) {
 		return nil, ErrSessionClosed
 	}
 	if _, ok := r.sessions[id]; ok {
+		// Recovered sessions reserve their IDs too: DELETE the retained
+		// record before reusing one.
 		r.mu.Unlock()
 		return nil, ErrSessionExists
 	}
-	if len(r.sessions) >= r.cfg.MaxSessions {
+	if r.live >= r.cfg.MaxSessions {
 		r.mu.Unlock()
 		r.metrics.Shed.Add(1)
 		return nil, ErrSessionLimit
 	}
 	s := newSession(r, id, sweep)
 	r.sessions[id] = s
+	r.live++
 	r.mu.Unlock()
 	r.metrics.SessionsCreated.Add(1)
 	r.metrics.SessionsActive.Add(1)
@@ -172,44 +238,111 @@ func (r *Registry) Len() int {
 	return len(r.sessions)
 }
 
-// Remove closes a session and deletes it from the table, reporting
-// whether it existed.
+// Remove closes a session, deletes it from the table AND deletes its
+// retained WAL record if any (an explicit delete means forget),
+// reporting whether it existed.
 func (r *Registry) Remove(id string) bool {
 	r.mu.Lock()
 	s, ok := r.sessions[id]
-	delete(r.sessions, id)
-	r.mu.Unlock()
-	if ok {
-		s.Close()
-		r.metrics.SessionsActive.Add(-1)
+	if ok && s.Closing() {
+		// Idle expiry claimed this session and owns its teardown (it is
+		// still in the table only because it will be parked recovered).
+		// Stealing it here would double-count the accounting and yank
+		// the record out from under enterRecovered; report not-found —
+		// a later DELETE finds it in the recovered state and wins.
+		r.mu.Unlock()
+		return false
 	}
-	return ok
-}
-
-// ExpireIdle closes and removes sessions idle beyond the timeout (no
-// ingest activity, readers or subscribers), returning their IDs.
-func (r *Registry) ExpireIdle(now time.Time, idle time.Duration) []string {
-	var expired []*Session
-	r.mu.Lock()
-	for id, s := range r.sessions {
-		if s.expired(now, idle) {
-			expired = append(expired, s)
-			delete(r.sessions, id)
+	if ok {
+		delete(r.sessions, id)
+		if !s.Recovered() {
+			r.live--
+		} else {
+			r.metrics.SessionsRetained.Add(-1)
 		}
 	}
 	r.mu.Unlock()
-	ids := make([]string, 0, len(expired))
-	for _, s := range expired {
+	if !ok {
+		return false
+	}
+	if s.Recovered() {
+		s.closeRecovered()
+	} else {
 		s.Close()
 		r.metrics.SessionsActive.Add(-1)
+	}
+	if r.cfg.WAL != nil {
+		if err := r.cfg.WAL.Remove(id); err != nil {
+			r.cfg.Logf("server: session %s: wal remove: %v", id, err)
+		}
+	}
+	return true
+}
+
+// ExpireIdle closes sessions idle beyond the timeout (no ingest
+// activity, readers or subscribers), returning their IDs. Expiry claims
+// each session atomically (Session.claimExpiry) so an attach racing the
+// expiry either keeps the session alive or is refused — never bound to
+// a session mid-teardown. WAL-backed sessions that recorded anything are
+// parked in the registry as "recovered" (the engine is reclaimed, the
+// durable record stays serveable); the rest are removed.
+func (r *Registry) ExpireIdle(now time.Time, idle time.Duration) []string {
+	// The retain decision is snapshotted once, under the registry lock,
+	// BEFORE the teardown: Session.Close appends the log's close record
+	// (bumping the head), so re-evaluating afterwards could flip an
+	// empty session from forget to retain after its table entry is gone.
+	type claimed struct {
+		s      *Session
+		retain bool
+	}
+	var expired []claimed
+	r.mu.Lock()
+	for _, s := range r.sessions {
+		if s.claimExpiry(now, idle) {
+			expired = append(expired, claimed{s: s, retain: r.retainOnExpiry(s)})
+		}
+	}
+	// Claimed sessions that will not be retained leave the table now;
+	// retained ones keep their entry and flip to recovered after the
+	// teardown below.
+	for _, c := range expired {
+		if !c.retain {
+			delete(r.sessions, c.s.ID)
+		}
+		r.live--
+	}
+	r.mu.Unlock()
+	ids := make([]string, 0, len(expired))
+	for _, c := range expired {
+		c.s.Close()
+		r.metrics.SessionsActive.Add(-1)
 		r.metrics.SessionsExpired.Add(1)
-		ids = append(ids, s.ID)
+		if c.retain {
+			c.s.enterRecovered()
+			r.metrics.SessionsRetained.Add(1)
+		} else if r.cfg.WAL != nil {
+			// A forgotten expiry must not leave an orphan record for the
+			// next restart to resurrect.
+			if err := r.cfg.WAL.Remove(c.s.ID); err != nil {
+				r.cfg.Logf("server: session %s: wal remove: %v", c.s.ID, err)
+			}
+		}
+		ids = append(ids, c.s.ID)
 	}
 	sort.Strings(ids)
 	return ids
 }
 
-// Close closes every session and refuses further opens. Idempotent.
+// retainOnExpiry reports whether an expiring session's record outlives
+// its engine: it does when durability is on and the session logged
+// anything.
+func (r *Registry) retainOnExpiry(s *Session) bool {
+	return r.cfg.WAL != nil && s.WALSeq() > 0
+}
+
+// Close closes every session and refuses further opens. Retained WAL
+// records survive (that is the point: the next daemon recovers them).
+// Idempotent.
 func (r *Registry) Close() {
 	r.mu.Lock()
 	if r.closed {
@@ -222,8 +355,20 @@ func (r *Registry) Close() {
 		sessions = append(sessions, s)
 		delete(r.sessions, id)
 	}
+	r.live = 0
 	r.mu.Unlock()
 	for _, s := range sessions {
+		if s.Recovered() {
+			s.closeRecovered()
+			r.metrics.SessionsRetained.Add(-1)
+			continue
+		}
+		if s.Closing() {
+			// A concurrent idle expiry owns this session's accounting;
+			// just make sure the teardown completes.
+			s.Close()
+			continue
+		}
 		s.Close()
 		r.metrics.SessionsActive.Add(-1)
 	}

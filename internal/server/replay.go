@@ -1,0 +1,296 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rfidraw/internal/engine"
+	"rfidraw/internal/realtime"
+	"rfidraw/internal/vote"
+	"rfidraw/internal/wal"
+)
+
+// ReplayerFactory binds a WAL replay to a fresh tracking pipeline. sweep
+// is the recorded session's per-tag cadence; search, when non-nil,
+// overrides the deployment's SearchConfig (a retrace under different
+// tunables — the record-once/re-trace-many use of the log). record asks
+// for batch-equivalent TraceResults (retrace); catch-up feeds leave it
+// off so replay memory stays bounded.
+type ReplayerFactory func(sweep time.Duration, search *vote.SearchConfig, record bool) (*engine.Replayer, error)
+
+// SubscribeFrom attaches a catch-up consumer: it is fed the session's
+// recorded history replayed from the WAL — points derived from log
+// records with sequence ≥ from (0 = everything) — and, on a live
+// session, spliced onto the live event stream at the log head without
+// gap or duplicate. The splice is pump-mediated: the pump drains (so
+// everything emitted live so far is on disk), snapshots the head, and
+// parks live events for this subscriber until the replayed prefix has
+// been delivered. On a recovered session the replay ends with an "end"
+// event instead.
+func (s *Session) SubscribeFrom(from uint64, buffer int) (*Subscriber, error) {
+	if s.reg.cfg.WAL == nil || s.reg.cfg.NewReplayer == nil {
+		return nil, ErrNoWAL
+	}
+	if buffer <= 0 {
+		buffer = s.reg.cfg.SubscriberQueue
+	}
+	sub := &Subscriber{
+		sess:       s,
+		ch:         make(chan Event, buffer),
+		catchingUp: true,
+		cancel:     make(chan struct{}),
+	}
+	if s.Recovered() {
+		s.emitMu.Lock()
+		if !s.replayAttachable {
+			s.emitMu.Unlock()
+			return nil, ErrSessionClosed
+		}
+		if len(s.subs) >= s.reg.cfg.MaxSubscribers {
+			s.emitMu.Unlock()
+			return nil, ErrSubscriberLimit
+		}
+		s.subs[sub] = struct{}{}
+		s.reg.metrics.SubscribersActive.Add(1)
+		s.emitMu.Unlock()
+		go s.runCatchup(sub, from, 0, true)
+		return sub, nil
+	}
+	// Live session: admission under emitMu, then the pump-mediated
+	// drain-and-attach (the subscriber limit is re-checked by nobody —
+	// a racing attach may briefly overshoot the cap by the number of
+	// in-flight catch-ups, which is the usual bounded-staleness of the
+	// admission counters).
+	s.emitMu.Lock()
+	if s.subsClosed || s.closing {
+		s.emitMu.Unlock()
+		return nil, ErrSessionClosed
+	}
+	if len(s.subs) >= s.reg.cfg.MaxSubscribers {
+		s.emitMu.Unlock()
+		return nil, ErrSubscriberLimit
+	}
+	s.emitMu.Unlock()
+	req := &catchupReq{sub: sub, head: make(chan uint64, 1)}
+	if err := s.enqueue(ingestItem{catchup: req}); err != nil {
+		return nil, err
+	}
+	select {
+	case head, ok := <-req.head:
+		if !ok {
+			return nil, ErrSessionClosed
+		}
+		go s.runCatchup(sub, from, head, false)
+		return sub, nil
+	case <-s.pumpDone:
+		return nil, ErrSessionClosed
+	}
+}
+
+// runCatchup is the catch-up subscriber's feeder goroutine: it replays
+// the WAL through a fresh pipeline up to head (0 = the whole log),
+// delivers the derived points with seq ≥ from, then splices the
+// subscriber onto the live stream (or ends it, for recovered sessions).
+// It is the sole closer of sub.ch.
+func (s *Session) runCatchup(sub *Subscriber, from, head uint64, recovered bool) {
+	err := s.feedCatchup(sub, from, head)
+	if err != nil {
+		s.reg.cfg.Logf("server: session %s: catch-up replay: %v", s.ID, err)
+	}
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	if _, in := s.subs[sub]; !in {
+		// Detached (or session closed) mid-replay: the accounting is
+		// done, only the channel is ours to close.
+		close(sub.ch)
+		return
+	}
+	if err != nil || recovered {
+		// A recovered session has no live stream to splice onto; a
+		// failed replay must not silently splice over a gap. Both end
+		// the stream.
+		delete(s.subs, sub)
+		s.reg.metrics.SubscribersActive.Add(-1)
+		sub.catchingUp = false
+		select {
+		case sub.ch <- Event{Type: "end"}:
+		default:
+		}
+		close(sub.ch)
+		return
+	}
+	// Splice: deliver the live events parked during the replay, then
+	// hand the queue over to the broadcast path. Everything parked
+	// derives from records past the snapshotted head, so the stream is
+	// gapless and duplicate-free across the boundary.
+	sub.catchingUp = false
+	for _, ev := range sub.pending {
+		s.sendLocked(sub, ev)
+	}
+	sub.pending = nil
+}
+
+// feedCatchup replays the log into the subscriber's queue. Sends block
+// (the replay is consumer-paced) but abort on detach or session close.
+func (s *Session) feedCatchup(sub *Subscriber, from, head uint64) error {
+	if head == 0 && !s.Recovered() {
+		return nil // nothing recorded yet; splice immediately
+	}
+	sweep := time.Duration(s.sweepNs.Load())
+	if sweep <= 0 {
+		return nil // no engine was ever built; nothing to replay
+	}
+	rp, err := s.reg.cfg.NewReplayer(sweep, nil, false)
+	if err != nil {
+		return err
+	}
+	var sendErr error
+	seq := uint64(0)
+	rp.OnUpdate = func(u engine.Update) {
+		if sendErr != nil {
+			return
+		}
+		for _, p := range u.Positions {
+			if seq < from {
+				continue
+			}
+			select {
+			case sub.ch <- pointEvent(u.Tag, p, seq):
+			case <-sub.cancel:
+				sendErr = errCatchupCancelled
+				return
+			}
+		}
+	}
+	err = s.reg.cfg.WAL.Replay(s.ID, head, func(rec wal.Record) error {
+		seq = rec.Seq
+		switch rec.Type {
+		case wal.RecordReport:
+			if err := rp.Offer(rec.Report); err != nil {
+				return err
+			}
+		case wal.RecordFlush, wal.RecordClose:
+			rp.Flush()
+		}
+		return sendErr
+	})
+	if err == nil && sendErr == nil {
+		rp.Flush()
+	}
+	if errors.Is(err, errCatchupCancelled) || errors.Is(sendErr, errCatchupCancelled) {
+		return nil // detach mid-replay is a clean end, not a failure
+	}
+	if err != nil {
+		return err
+	}
+	return sendErr
+}
+
+var errCatchupCancelled = errors.New("server: catch-up cancelled")
+
+// pointEvent converts one replayed position into the event shape the
+// live onUpdate path emits, plus its producing log sequence.
+func pointEvent(tag string, p realtime.Position, seq uint64) Event {
+	return Event{
+		Type: "point", Tag: tag, T: p.Time, X: p.Pos.X, Z: p.Pos.Z,
+		Confidence: p.Confidence, Hypotheses: p.Hypotheses, Switched: p.Switched,
+		Seq: seq,
+	}
+}
+
+// Retrace replays the session's WAL through a fresh tracking pipeline
+// and returns each tag's batch-equivalent TraceResult. With search nil
+// the pipeline is configured exactly as the live one, and the results
+// are gob-byte-identical to the live trace of the recorded stream (the
+// disk round-trip extension of the batch/streaming equivalence gate);
+// a non-nil search re-traces the same record under different tunables.
+// On a live session the pump drains first, so the retrace covers
+// everything ingested before the call.
+func (s *Session) Retrace(search *vote.SearchConfig) ([]engine.TagResult, uint64, error) {
+	if s.reg.cfg.WAL == nil || s.reg.cfg.NewReplayer == nil {
+		return nil, 0, ErrNoWAL
+	}
+	head := uint64(0)
+	if !s.Recovered() {
+		// Drain and snapshot the head in one pump step: everything at or
+		// below a drain-boundary head is complete and synced on disk,
+		// whereas reading walSeq from this goroutine could see a record
+		// the pump is mid-write on. A session that closed under us is
+		// fine — its log was completed and compacted by the close, so
+		// the plain head read is stable.
+		h, err := s.drainHead()
+		if errors.Is(err, ErrSessionClosed) {
+			h = s.walSeq.Load()
+		} else if err != nil {
+			return nil, 0, err
+		}
+		head = h
+		if head == 0 {
+			return nil, 0, fmt.Errorf("server: session %s has recorded nothing", s.ID)
+		}
+	}
+	sweep := time.Duration(s.sweepNs.Load())
+	if sweep <= 0 {
+		return nil, 0, fmt.Errorf("server: session %s has recorded nothing", s.ID)
+	}
+	rp, err := s.reg.cfg.NewReplayer(sweep, search, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	var last uint64
+	err = s.reg.cfg.WAL.Replay(s.ID, head, func(rec wal.Record) error {
+		last = rec.Seq
+		switch rec.Type {
+		case wal.RecordReport:
+			return rp.Offer(rec.Report)
+		case wal.RecordFlush, wal.RecordClose:
+			rp.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	// A final flush closes any open sweep; after a log whose last record
+	// already was a flush it is a no-op (tracker flush idempotence), so
+	// clean and torn logs retrace alike.
+	rp.Flush()
+	s.reg.metrics.Retraces.Add(1)
+	return rp.Results(), last, nil
+}
+
+// drainHead asks the pump to drain and report the log head at the drain
+// boundary.
+func (s *Session) drainHead() (uint64, error) {
+	ch := make(chan uint64, 1)
+	if err := s.enqueue(ingestItem{flushHead: ch}); err != nil {
+		return 0, err
+	}
+	select {
+	case h := <-ch:
+		return h, nil
+	case <-s.pumpDone:
+		return 0, ErrSessionClosed
+	}
+}
+
+// TraceResults returns the live engine's batch-equivalent per-tag trace
+// results (sessions whose engines record traces; equivalence tests). It
+// round-trips through the pump, draining first.
+func (s *Session) TraceResults() ([]engine.TagResult, error) {
+	ch := make(chan []engine.TagResult, 1)
+	if err := s.enqueue(ingestItem{results: ch}); err != nil {
+		return nil, err
+	}
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-s.pumpDone:
+		return nil, ErrSessionClosed
+	}
+}
+
+// WALSeq reports the session's current log head sequence (0 when the
+// session records nothing).
+func (s *Session) WALSeq() uint64 { return s.walSeq.Load() }

@@ -11,6 +11,7 @@ import (
 	"rfidraw/internal/engine"
 	"rfidraw/internal/geom"
 	"rfidraw/internal/rfid"
+	"rfidraw/internal/wal"
 )
 
 // Lifecycle and admission errors, mapped onto HTTP statuses by http.go.
@@ -21,6 +22,9 @@ var (
 	ErrSubscriberLimit = errors.New("server: subscriber limit reached")
 	ErrBadSessionID    = errors.New("server: invalid session id")
 	ErrNoSweep         = errors.New("server: session has no sweep interval yet")
+	// ErrNoWAL reports a durability feature (retrace, ?from catch-up) on
+	// a registry or session without a write-ahead log.
+	ErrNoWAL = errors.New("server: session has no write-ahead log")
 )
 
 // Event is one item of a session's live output stream, serialized as one
@@ -51,6 +55,10 @@ type Event struct {
 	Confidence float64 `json:"confidence,omitempty"`
 	Hypotheses int     `json:"hypotheses,omitempty"`
 	Switched   bool    `json:"switched,omitempty"`
+	// Seq, on points delivered by a WAL catch-up replay, is the log
+	// sequence number of the report that produced the point; live points
+	// omit it. ?from=seq catch-up requests are addressed in this space.
+	Seq uint64 `json:"seq,omitempty"`
 	// Dropped is how many events the subscriber lost (drop events).
 	Dropped int `json:"dropped,omitempty"`
 }
@@ -66,6 +74,24 @@ type ingestItem struct {
 	// flush asks the pump to drain the reorder buffer and close the
 	// engine's current sweeps, acking on the channel.
 	flush chan struct{}
+	// flushHead is flush plus a reply carrying the log head at the
+	// drain boundary — the only head retrace may trust, since the pump
+	// keeps appending the instant it moves on (see Retrace).
+	flushHead chan uint64
+	// catchup asks the pump to drain, then attach a WAL catch-up
+	// subscriber at the resulting log head (see SubscribeFrom).
+	catchup *catchupReq
+	// results asks the pump for the engine's batch-equivalent trace
+	// results (engines built with RecordTrace; equivalence tests).
+	results chan []engine.TagResult
+}
+
+// catchupReq carries a pump-mediated catch-up attach: the pump drains so
+// the log head exactly covers everything already emitted live, attaches
+// the subscriber in catch-up mode, and acks with that head.
+type catchupReq struct {
+	sub  *Subscriber
+	head chan uint64
 }
 
 // Subscriber is one attached consumer of a session's event stream.
@@ -76,6 +102,15 @@ type Subscriber struct {
 	// delivered drop notice; guarded by the session's emitMu.
 	pendingDrops int
 	drops        int64
+
+	// Catch-up state (all guarded by the session's emitMu). While
+	// catchingUp, live events are parked in pending (bounded, drop-oldest)
+	// and the WAL replay goroutine owns ch: it delivers the replayed
+	// prefix, splices pending, and is the one closer of ch. cancel (only
+	// set on catch-up subscribers) tells that goroutine to stop.
+	catchingUp bool
+	pending    []Event
+	cancel     chan struct{}
 }
 
 // Events is the subscriber's bounded delivery queue. It is closed when
@@ -118,27 +153,56 @@ type Session struct {
 	// reader attach and subscriber attach.
 	lastActive atomic.Int64
 
-	// mu guards lifecycle state: closed, readers.
-	mu      sync.Mutex
-	closed  bool
-	readers map[net.Conn]struct{}
+	// mu guards lifecycle state: closed, closing, recovered, readers.
+	mu     sync.Mutex
+	closed bool
+	// closing marks the session claimed by idle expiry: the registry set
+	// it atomically (under mu AND emitMu, with no readers or subscribers
+	// attached) before starting the teardown, so attach paths refuse
+	// instead of binding to a session mid-teardown. Because it is only
+	// ever written with both locks held, holding either suffices to read.
+	closing bool
+	// recovered marks a session serving from its retained WAL only: no
+	// pump, no engine, no ingest — rehydrated at startup or parked by
+	// idle expiry. quitOpen records whether quit still needs closing
+	// (false for sessions born recovered, whose quit starts closed).
+	recovered bool
+	quitOpen  bool
+	readers   map[net.Conn]struct{}
 	// closeOnce runs the shutdown exactly once; later Close calls wait.
 	closeOnce sync.Once
 
 	// emitMu guards subscribers and stroke state, written from engine
 	// shard goroutines (OnUpdate) and the pump. subsClosed flips when
 	// Close sweeps the subscriber table, so a racing Subscribe cannot
-	// add a queue nobody will ever close.
-	emitMu     sync.Mutex
-	subs       map[*Subscriber]struct{}
-	subsClosed bool
-	strokes    map[string]*stroke
+	// add a queue nobody will ever close. replayAttachable gates WAL
+	// catch-up attaches on recovered sessions (their live table is
+	// already swept).
+	emitMu           sync.Mutex
+	subs             map[*Subscriber]struct{}
+	subsClosed       bool
+	replayAttachable bool
+	strokes          map[string]*stroke
 
 	// pump-owned state (no locking: single goroutine).
 	eng     *engine.Engine
 	sweep   time.Duration
 	reorder reportHeap
 	maxSeen time.Duration
+	pushSeq uint64
+	// log is the session's write-ahead record of the canonical
+	// resequenced report stream (nil without a data dir); engineDirty
+	// tracks whether any report reached the engine since the last drain,
+	// making drains — and their logged flush records — idempotent.
+	log         *wal.Log
+	engineDirty bool
+
+	// walSeq is the log's head sequence number: incremented by the pump
+	// as it appends, read by retrace and catch-up snapshots.
+	walSeq atomic.Uint64
+	// sweepNs mirrors the pump's sweep cadence for non-pump readers
+	// (retrace and catch-up need it to rebuild the pipeline).
+	sweepNs atomic.Int64
 
 	// statsMu guards the last engine stats snapshot the pump refreshes.
 	statsMu   sync.Mutex
@@ -174,6 +238,7 @@ func newSession(reg *Registry, id string, sweep time.Duration) *Session {
 		reg:      reg,
 		inbox:    make(chan ingestItem, reg.cfg.IngestBuffer),
 		quit:     make(chan struct{}),
+		quitOpen: true,
 		pumpDone: make(chan struct{}),
 		readers:  map[net.Conn]struct{}{},
 		subs:     map[*Subscriber]struct{}{},
@@ -182,6 +247,64 @@ func newSession(reg *Registry, id string, sweep time.Duration) *Session {
 	s.touch()
 	go s.pump(sweep)
 	return s
+}
+
+// newRecoveredSession rehydrates a closed-but-retained session from its
+// WAL at daemon startup: a registry entry with no pump and no engine,
+// addressable for retrace and ?from catch-up replay.
+func newRecoveredSession(reg *Registry, meta wal.Meta, stats wal.Stats) *Session {
+	quit := make(chan struct{})
+	close(quit)
+	pumpDone := make(chan struct{})
+	close(pumpDone)
+	s := &Session{
+		ID:               meta.ID,
+		Created:          meta.Created,
+		reg:              reg,
+		quit:             quit,
+		pumpDone:         pumpDone,
+		closed:           true,
+		recovered:        true,
+		replayAttachable: true,
+		subsClosed:       true,
+		readers:          map[net.Conn]struct{}{},
+		subs:             map[*Subscriber]struct{}{},
+	}
+	s.walSeq.Store(stats.LastSeq)
+	s.sweepNs.Store(int64(meta.Sweep))
+	s.reports.Store(int64(stats.Reports))
+	s.touch()
+	return s
+}
+
+// Recovered reports whether the session serves from its retained WAL
+// only (no live pump or engine).
+func (s *Session) Recovered() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovered
+}
+
+// Closing reports whether idle expiry has claimed the session and its
+// teardown is in flight (but not yet parked or removed).
+func (s *Session) Closing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closing && !s.recovered
+}
+
+// State names the session's lifecycle phase for the control API.
+func (s *Session) State() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.recovered:
+		return "recovered"
+	case s.closed, s.closing:
+		return "closed"
+	default:
+		return "live"
+	}
 }
 
 // touch refreshes the idle clock.
@@ -225,6 +348,10 @@ func (s *Session) announceSweep(sweep time.Duration) error {
 
 // Flush drains the reorder buffer and closes the engine's current sweeps,
 // emitting any final positions. It blocks until the pump has done so.
+// Flush is idempotent and safe to race the pump's own idle drain and
+// Close: with nothing ingested since the previous drain it is a no-op
+// (each sweep closes exactly once — see drain and the realtime tracker's
+// own flush guard).
 func (s *Session) Flush() error {
 	ack := make(chan struct{})
 	if err := s.enqueue(ingestItem{flush: ack}); err != nil {
@@ -240,14 +367,15 @@ func (s *Session) Flush() error {
 
 // Subscribe attaches a bounded-queue consumer to the session's live
 // stream. buffer <= 0 takes the registry default. Subscribers beyond the
-// per-session cap are refused (load shedding, HTTP 503 upstream).
+// per-session cap are refused (load shedding, HTTP 503 upstream), as are
+// attaches to a session idle expiry has already claimed.
 func (s *Session) Subscribe(buffer int) (*Subscriber, error) {
 	if buffer <= 0 {
 		buffer = s.reg.cfg.SubscriberQueue
 	}
 	s.emitMu.Lock()
 	defer s.emitMu.Unlock()
-	if s.subsClosed {
+	if s.subsClosed || s.closing {
 		return nil, ErrSessionClosed
 	}
 	if len(s.subs) >= s.reg.cfg.MaxSubscribers {
@@ -260,7 +388,9 @@ func (s *Session) Subscribe(buffer int) (*Subscriber, error) {
 	return sub, nil
 }
 
-// detach removes a subscriber, closing its queue exactly once.
+// detach removes a subscriber, closing its queue exactly once. A
+// subscriber still catching up is signalled instead: its replay
+// goroutine owns the queue and closes it on the way out.
 func (s *Session) detach(sub *Subscriber) {
 	s.emitMu.Lock()
 	defer s.emitMu.Unlock()
@@ -268,8 +398,12 @@ func (s *Session) detach(sub *Subscriber) {
 		return
 	}
 	delete(s.subs, sub)
-	close(sub.ch)
 	s.reg.metrics.SubscribersActive.Add(-1)
+	if sub.catchingUp {
+		close(sub.cancel)
+		return
+	}
+	close(sub.ch)
 }
 
 // Subscribers reports the attached consumer count.
@@ -280,11 +414,12 @@ func (s *Session) Subscribers() int {
 }
 
 // addReader registers an ingest connection so session close also closes
-// the wire.
+// the wire. Attaches to a session idle expiry has claimed are refused —
+// the connection must not be bound to an engine mid-teardown.
 func (s *Session) addReader(conn net.Conn) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed || s.closing {
 		return ErrSessionClosed
 	}
 	s.readers[conn] = struct{}{}
@@ -305,16 +440,62 @@ func (s *Session) Readers() int {
 	return len(s.readers)
 }
 
-// expired reports whether the session is idle-expirable: no activity for
-// longer than idle, with no readers attached and no subscribers.
-func (s *Session) expired(now time.Time, idle time.Duration) bool {
+// claimExpiry atomically claims an idle-expirable session for teardown:
+// holding BOTH lifecycle locks it re-checks the expiry conditions (no
+// recent activity, no readers, no subscribers) and, if they hold, marks
+// the session closing so every attach path refuses from this instant on.
+// This closes the check-then-close race where an ingest attach or a new
+// subscriber landing between an expiry check and the teardown was bound
+// to a session mid-teardown: now either the attach wins (and the claim
+// fails, leaving the session alive) or the claim wins (and the attach is
+// refused with ErrSessionClosed).
+func (s *Session) claimExpiry(now time.Time, idle time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	if s.closed || s.closing || s.recovered {
+		return false
+	}
 	if now.Sub(s.idleSince()) <= idle {
 		return false
 	}
-	if s.Readers() > 0 || s.Subscribers() > 0 {
+	if len(s.readers) > 0 || len(s.subs) > 0 {
 		return false
 	}
+	s.closing = true
 	return true
+}
+
+// enterRecovered parks a fully closed WAL-backed session in the
+// recovered state: retained in the registry, addressable for retrace and
+// catch-up replay, holding no engine or goroutines.
+func (s *Session) enterRecovered() {
+	s.mu.Lock()
+	s.recovered = true
+	s.mu.Unlock()
+	s.emitMu.Lock()
+	s.replayAttachable = true
+	s.emitMu.Unlock()
+}
+
+// closeRecovered tears a recovered session down: refuses further
+// catch-up attaches and cancels in-flight ones. It exists apart from
+// Close because an expiry-parked session already consumed its closeOnce
+// on the way into the recovered state. Idempotent.
+func (s *Session) closeRecovered() {
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	s.replayAttachable = false
+	for sub := range s.subs {
+		delete(s.subs, sub)
+		s.reg.metrics.SubscribersActive.Add(-1)
+		if sub.catchingUp {
+			close(sub.cancel)
+			continue
+		}
+		close(sub.ch)
+	}
 }
 
 // Close tears the session down: stops the pump (which drains pending
@@ -326,22 +507,33 @@ func (s *Session) Close() {
 	s.closeOnce.Do(func() {
 		s.mu.Lock()
 		s.closed = true
+		quitOpen := s.quitOpen
+		s.quitOpen = false
 		conns := make([]net.Conn, 0, len(s.readers))
 		for c := range s.readers {
 			conns = append(conns, c)
 		}
 		s.mu.Unlock()
-		close(s.quit)
+		if quitOpen {
+			close(s.quit)
+		}
 		for _, c := range conns {
 			c.Close()
 		}
 		<-s.pumpDone
 		s.emitMu.Lock()
 		s.subsClosed = true
+		s.replayAttachable = false
 		for sub := range s.subs {
 			delete(s.subs, sub)
-			close(sub.ch)
 			s.reg.metrics.SubscribersActive.Add(-1)
+			if sub.catchingUp {
+				// The catch-up replay goroutine owns the queue; tell it
+				// to stop and let it close the channel.
+				close(sub.cancel)
+				continue
+			}
+			close(sub.ch)
 		}
 		s.emitMu.Unlock()
 		// Roll the final counts into the monotonic retired counters
@@ -403,6 +595,14 @@ func (s *Session) pump(sweep time.Duration) {
 			if s.eng != nil {
 				s.eng.Close()
 			}
+			if s.log != nil {
+				// Clean close marker + compaction: the session's record
+				// is retained on disk for recovery and retrace.
+				if err := s.log.Close(s.walSeq.Add(1)); err != nil {
+					s.reg.cfg.Logf("server: session %s: wal close: %v", s.ID, err)
+				}
+				s.log = nil
+			}
 			s.finalizeStrokes()
 			s.broadcast(Event{Type: "end"})
 			return
@@ -419,6 +619,34 @@ func (s *Session) handle(it ingestItem) {
 		s.finalizeStrokes()
 		s.refreshStats()
 		close(it.flush)
+	case it.flushHead != nil:
+		s.drain()
+		s.finalizeStrokes()
+		s.refreshStats()
+		it.flushHead <- s.walSeq.Load()
+	case it.catchup != nil:
+		// Drain first so the log head the subscriber snapshots exactly
+		// covers everything already emitted to live subscribers: every
+		// event after the attach derives from records past the head.
+		s.drain()
+		s.emitMu.Lock()
+		if s.subsClosed {
+			s.emitMu.Unlock()
+			close(it.catchup.head) // session closing; caller sees 0/closed
+			return
+		}
+		s.subs[it.catchup.sub] = struct{}{}
+		s.reg.metrics.SubscribersActive.Add(1)
+		s.emitMu.Unlock()
+		s.touch()
+		it.catchup.head <- s.walSeq.Load()
+	case it.results != nil:
+		s.drain()
+		if s.eng == nil {
+			it.results <- nil
+			return
+		}
+		it.results <- s.eng.TraceResults()
 	default:
 		s.handleReport(it.rep)
 	}
@@ -426,6 +654,9 @@ func (s *Session) handle(it ingestItem) {
 
 // handleSweep builds the engine on the first cadence announcement;
 // later announcements (reader reconnects) keep the original cadence.
+// With a WAL store configured, the session's log opens here — the sweep
+// cadence is part of its meta, and reports cannot reach the engine (or
+// the log) before it is known.
 func (s *Session) handleSweep(sweep time.Duration) {
 	if s.eng != nil {
 		return
@@ -436,6 +667,15 @@ func (s *Session) handleSweep(sweep time.Duration) {
 		return
 	}
 	s.eng, s.sweep = eng, sweep
+	s.sweepNs.Store(int64(sweep))
+	if st := s.reg.cfg.WAL; st != nil {
+		log, err := st.Create(wal.Meta{ID: s.ID, Created: s.Created, Sweep: sweep})
+		if err != nil {
+			s.reg.cfg.Logf("server: session %s: wal: %v", s.ID, err)
+			return
+		}
+		s.log = log
+	}
 }
 
 // handleReport resequences one report through the reorder heap and offers
@@ -449,32 +689,65 @@ func (s *Session) handleReport(rep rfid.Report) {
 		// the Hello first). Drop rather than grow without bound.
 		return
 	}
-	heap.Push(&s.reorder, rep)
+	s.pushSeq++
+	heap.Push(&s.reorder, orderedReport{rep: rep, seq: s.pushSeq})
 	if rep.Time > s.maxSeen {
 		s.maxSeen = rep.Time
 	}
 	hold := s.reg.cfg.ReorderWindow
 	for s.reorder.Len() > 0 && s.reorder.min().Time <= s.maxSeen-hold {
-		s.offerToEngine(heap.Pop(&s.reorder).(rfid.Report))
+		s.offerToEngine(heap.Pop(&s.reorder).(orderedReport).rep)
 	}
 }
 
-// drain releases the whole reorder buffer and closes current sweeps.
+// drain releases the whole reorder buffer and closes current sweeps. It
+// is idempotent: with nothing buffered and nothing offered since the
+// previous drain it does nothing — in particular it does not log a
+// flush record, so racing drain paths (the pump's idle tick, an explicit
+// client Flush, session close) close each sweep exactly once, live and
+// in the WAL replay alike.
 func (s *Session) drain() {
 	for s.reorder.Len() > 0 {
-		s.offerToEngine(heap.Pop(&s.reorder).(rfid.Report))
+		s.offerToEngine(heap.Pop(&s.reorder).(orderedReport).rep)
 	}
-	if s.eng != nil {
-		if err := s.eng.Flush(); err != nil {
-			s.reg.cfg.Logf("server: session %s: flush: %v", s.ID, err)
+	if s.eng == nil || !s.engineDirty {
+		return
+	}
+	s.engineDirty = false
+	if err := s.eng.Flush(); err != nil {
+		s.reg.cfg.Logf("server: session %s: flush: %v", s.ID, err)
+	}
+	if s.log != nil {
+		if err := s.log.AppendFlush(s.walSeq.Add(1)); err != nil {
+			s.walFailed(err)
 		}
 	}
 }
 
+// offerToEngine hands one resequenced report to the engine, recording it
+// in the WAL first: the log is written after the reorder buffer, so it
+// is the canonical stream — exactly what the engine consumes, in the
+// order it consumes it.
 func (s *Session) offerToEngine(rep rfid.Report) {
+	if s.log != nil {
+		if err := s.log.AppendReport(s.walSeq.Add(1), rep); err != nil {
+			s.walFailed(err)
+		}
+	}
+	s.engineDirty = true
 	if err := s.eng.Offer(rep); err != nil {
 		s.reg.cfg.Logf("server: session %s: offer: %v", s.ID, err)
 	}
+}
+
+// walFailed abandons a session's log after a write error: tracing
+// continues, durability for this session stops (and is surfaced), rather
+// than spamming a failing disk on every report.
+func (s *Session) walFailed(err error) {
+	s.reg.cfg.Logf("server: session %s: wal: %v (disabling durability for this session)", s.ID, err)
+	s.log.Abandon()
+	s.log = nil
+	s.reg.metrics.WALFailures.Add(1)
 }
 
 // refreshStats snapshots per-tag engine stats (pump-only, per the
@@ -581,48 +854,90 @@ func (s *Session) broadcast(ev Event) {
 // Requires emitMu.
 func (s *Session) broadcastLocked(ev Event) {
 	for sub := range s.subs {
-		if sub.pendingDrops > 0 {
-			notice := Event{Type: "drop", Dropped: sub.pendingDrops}
-			select {
-			case sub.ch <- notice:
-				sub.pendingDrops = 0
-			default:
+		if sub.catchingUp {
+			// The subscriber's queue belongs to its WAL replay goroutine
+			// until the splice; park live events (bounded, drop-oldest)
+			// for delivery right after the replayed prefix.
+			if len(sub.pending) >= cap(sub.ch) {
+				sub.pending = sub.pending[1:]
+				sub.pendingDrops++
+				sub.drops++
+				s.drops.Add(1)
+				s.reg.metrics.EventsDropped.Add(1)
 			}
-		}
-		select {
-		case sub.ch <- ev:
+			sub.pending = append(sub.pending, ev)
 			continue
-		default:
 		}
-		// Queue full: evict the oldest event, then retry once.
-		select {
-		case <-sub.ch:
-			sub.pendingDrops++
-			sub.drops++
-			s.drops.Add(1)
-			s.reg.metrics.EventsDropped.Add(1)
-		default:
-		}
-		select {
-		case sub.ch <- ev:
-		default:
-			sub.pendingDrops++
-			sub.drops++
-			s.drops.Add(1)
-			s.reg.metrics.EventsDropped.Add(1)
-		}
+		s.sendLocked(sub, ev)
 	}
 }
 
-// reportHeap is a min-heap of reports by time: the session's small
-// cross-reader resequencing buffer.
-type reportHeap []rfid.Report
+// sendLocked delivers one event to one subscriber queue with the
+// drop-oldest policy and loss notices. Requires emitMu.
+func (s *Session) sendLocked(sub *Subscriber, ev Event) {
+	if sub.pendingDrops > 0 {
+		notice := Event{Type: "drop", Dropped: sub.pendingDrops}
+		select {
+		case sub.ch <- notice:
+			sub.pendingDrops = 0
+		default:
+		}
+	}
+	select {
+	case sub.ch <- ev:
+		return
+	default:
+	}
+	// Queue full: evict the oldest event, then retry once.
+	select {
+	case <-sub.ch:
+		sub.pendingDrops++
+		sub.drops++
+		s.drops.Add(1)
+		s.reg.metrics.EventsDropped.Add(1)
+	default:
+	}
+	select {
+	case sub.ch <- ev:
+	default:
+		sub.pendingDrops++
+		sub.drops++
+		s.drops.Add(1)
+		s.reg.metrics.EventsDropped.Add(1)
+	}
+}
 
-func (h reportHeap) Len() int           { return len(h) }
-func (h reportHeap) Less(i, j int) bool { return h[i].Time < h[j].Time }
-func (h reportHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *reportHeap) Push(x any)        { *h = append(*h, x.(rfid.Report)) }
-func (h reportHeap) min() rfid.Report   { return h[0] }
+// orderedReport is one reorder-buffer entry: the report plus its arrival
+// sequence within the session, the final tie-breaker.
+type orderedReport struct {
+	rep rfid.Report
+	seq uint64
+}
+
+// reportHeap is a min-heap of reports by (time, reader ID, arrival
+// order): the session's small cross-reader resequencing buffer. The tie
+// levels matter — container/heap is not stable, so ordering by time
+// alone pops identically-stamped reports in heap-shape-dependent order,
+// and two readers stamping the same timestamp could make a live trace
+// diverge from an otherwise identical run (and the per-tag merge order
+// feed trackers differently). With ties broken by reader ID then arrival
+// sequence the pop order is a deterministic function of the input: the
+// stable sort of the arrival stream by (time, reader ID).
+type reportHeap []orderedReport
+
+func (h reportHeap) Len() int { return len(h) }
+func (h reportHeap) Less(i, j int) bool {
+	if h[i].rep.Time != h[j].rep.Time {
+		return h[i].rep.Time < h[j].rep.Time
+	}
+	if h[i].rep.ReaderID != h[j].rep.ReaderID {
+		return h[i].rep.ReaderID < h[j].rep.ReaderID
+	}
+	return h[i].seq < h[j].seq
+}
+func (h reportHeap) Swap(i, j int)    { h[i], h[j] = h[j], h[i] }
+func (h *reportHeap) Push(x any)      { *h = append(*h, x.(orderedReport)) }
+func (h reportHeap) min() rfid.Report { return h[0].rep }
 func (h *reportHeap) Pop() any {
 	old := *h
 	n := len(old)

@@ -1,0 +1,290 @@
+package wal
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rfidraw/internal/rfid"
+)
+
+// testMeta is a fixed session identity for the round-trip tests.
+func testMeta() Meta {
+	return Meta{ID: "sess-1", Created: time.Unix(0, 1234567890), Sweep: 50 * time.Millisecond}
+}
+
+// testReports fabricates n deterministic reports.
+func testReports(n int) []rfid.Report {
+	rng := rand.New(rand.NewSource(42))
+	out := make([]rfid.Report, n)
+	for i := range out {
+		out[i] = rfid.Report{
+			Time:      time.Duration(i) * 10 * time.Millisecond,
+			ReaderID:  i % 2,
+			AntennaID: 1 + i%4,
+			EPC:       rfid.RandomEPC(rng),
+			PhaseRad:  rng.Float64() * 6.28,
+			PowerDB:   -30 - rng.Float64()*10,
+		}
+	}
+	return out
+}
+
+// writeLog appends reports (with a flush every flushEvery reports) and
+// returns the store. close_ appends the clean-close record and compacts.
+func writeLog(t *testing.T, dir string, opts Options, reports []rfid.Report, flushEvery int, close_ bool) *Store {
+	t.Helper()
+	st, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := st.Create(testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := uint64(0)
+	for i, rep := range reports {
+		seq++
+		if err := l.AppendReport(seq, rep); err != nil {
+			t.Fatal(err)
+		}
+		if flushEvery > 0 && (i+1)%flushEvery == 0 {
+			seq++
+			if err := l.AppendFlush(seq); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if close_ {
+		seq++
+		if err := l.Close(seq); err != nil {
+			t.Fatal(err)
+		}
+	} else if err := l.Abandon(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// collect replays a session into a slice.
+func collect(t *testing.T, st *Store, id string, upTo uint64) []Record {
+	t.Helper()
+	var out []Record
+	if err := st.Replay(id, upTo, func(r Record) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRoundTrip: meta, reports, flush markers and the close record
+// survive a write/read cycle byte-exactly, with clean stats.
+func TestRoundTrip(t *testing.T) {
+	reports := testReports(100)
+	st := writeLog(t, t.TempDir(), Options{NoSync: true}, reports, 10, true)
+
+	meta, stats, err := st.Scan("sess-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.ID != "sess-1" || meta.Sweep != 50*time.Millisecond || !meta.Created.Equal(time.Unix(0, 1234567890)) {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if stats.Reports != 100 || stats.Flushes != 10 || !stats.CleanClose {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.TornBytes != 0 {
+		t.Fatalf("undamaged log reports %d torn bytes", stats.TornBytes)
+	}
+
+	recs := collect(t, st, "sess-1", 0)
+	ri := 0
+	for _, rec := range recs {
+		if rec.Type != RecordReport {
+			continue
+		}
+		if rec.Report != reports[ri] {
+			t.Fatalf("report %d: %+v != %+v", ri, rec.Report, reports[ri])
+		}
+		ri++
+	}
+	if ri != len(reports) {
+		t.Fatalf("replayed %d reports, want %d", ri, len(reports))
+	}
+}
+
+// TestRotationAndCompaction: a tiny segment budget forces many segments;
+// replay spans them all, and a clean close compacts to the single
+// authoritative segment with identical content.
+func TestRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	reports := testReports(200)
+	st := writeLog(t, dir, Options{NoSync: true, SegmentBytes: 512}, reports, 0, false)
+
+	segs, err := segmentFiles(st.sessionDir("sess-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("512-byte budget produced only %d segments", len(segs))
+	}
+	before := collect(t, st, "sess-1", 0)
+
+	// Compact (as a clean close would) and re-read: same records.
+	if err := compact(st.sessionDir("sess-1")); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ = segmentFiles(st.sessionDir("sess-1"))
+	if len(segs) != 1 || filepath.Base(segs[0]) != compactedName {
+		t.Fatalf("post-compaction segments: %v", segs)
+	}
+	after := collect(t, st, "sess-1", 0)
+	if len(before) != len(after) {
+		t.Fatalf("compaction changed record count %d -> %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("record %d changed: %+v -> %+v", i, before[i], after[i])
+		}
+	}
+	// Meta must still be recoverable from the compacted form.
+	if meta, _, err := st.Scan("sess-1"); err != nil || meta.ID != "sess-1" {
+		t.Fatalf("compacted scan: meta=%+v err=%v", meta, err)
+	}
+}
+
+// TestUpToStopsAtHead: Replay(upTo) must deliver records through the
+// given seq and nothing after — the catch-up reader's contract.
+func TestUpToStopsAtHead(t *testing.T) {
+	st := writeLog(t, t.TempDir(), Options{NoSync: true}, testReports(50), 10, true)
+	recs := collect(t, st, "sess-1", 23)
+	if len(recs) == 0 || recs[len(recs)-1].Seq != 23 {
+		t.Fatalf("upTo=23 ended at seq %d (%d records)", recs[len(recs)-1].Seq, len(recs))
+	}
+}
+
+// TestTornTailRecovery is the satellite gate: truncate the last segment
+// at EVERY byte offset inside the final record and assert recovery never
+// panics, drops exactly the torn record, and replays the undamaged
+// prefix intact.
+func TestTornTailRecovery(t *testing.T) {
+	src := t.TempDir()
+	reports := testReports(30)
+	writeLog(t, src, Options{NoSync: true}, reports, 0, false)
+	seg := filepath.Join(src, "sess-1", "00000001.wal")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastFrame := frameHeader + reportPayloadLen
+	full := collect(t, mustOpen(t, src), "sess-1", 0)
+	if len(full) != 30 {
+		t.Fatalf("intact log has %d records, want 30", len(full))
+	}
+
+	for cut := len(data) - lastFrame + 1; cut < len(data); cut++ {
+		dir := t.TempDir()
+		if err := os.MkdirAll(filepath.Join(dir, "sess-1"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "sess-1", "00000001.wal"), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st := mustOpen(t, dir)
+		meta, stats, err := st.Scan("sess-1")
+		if err != nil {
+			t.Fatalf("cut=%d: scan: %v", cut, err)
+		}
+		if meta.ID != "sess-1" {
+			t.Fatalf("cut=%d: meta lost: %+v", cut, meta)
+		}
+		if stats.Reports != 29 {
+			t.Fatalf("cut=%d: recovered %d reports, want 29 (only the torn record drops)", cut, stats.Reports)
+		}
+		if stats.TornBytes == 0 {
+			t.Fatalf("cut=%d: truncation not accounted", cut)
+		}
+		recs := collect(t, st, "sess-1", 0)
+		for i, rec := range recs {
+			if rec != full[i] {
+				t.Fatalf("cut=%d: record %d diverged from undamaged prefix", cut, i)
+			}
+		}
+	}
+}
+
+// TestMidSegmentCorruptionResyncs: flipping bytes inside a middle record
+// loses that record only; the reader re-locks on the next frame.
+func TestMidSegmentCorruptionResyncs(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir, Options{NoSync: true}, testReports(20), 0, false)
+	seg := filepath.Join(dir, "sess-1", "00000001.wal")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt record #10's payload (meta record is first; records are
+	// fixed-size after it).
+	metaLen := frameHeader + 26 + len("sess-1")
+	off := metaLen + 9*(frameHeader+reportPayloadLen) + frameHeader + 5
+	for i := 0; i < 4; i++ {
+		data[off+i] ^= 0xff
+	}
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st := mustOpen(t, dir)
+	_, stats, err := st.Scan("sess-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reports != 19 {
+		t.Fatalf("recovered %d reports, want 19 (one corrupted)", stats.Reports)
+	}
+	if stats.TornBytes == 0 {
+		t.Fatal("corruption not accounted")
+	}
+}
+
+// TestSessionsListAndRemove covers the store-level directory API.
+func TestSessionsListAndRemove(t *testing.T) {
+	dir := t.TempDir()
+	st := writeLog(t, dir, Options{NoSync: true}, testReports(5), 0, true)
+	l2, err := st.Create(Meta{ID: "sess-2", Created: time.Now(), Sweep: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(1); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := st.Sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "sess-1" || ids[1] != "sess-2" {
+		t.Fatalf("sessions = %v", ids)
+	}
+	u := st.Usage()
+	if u.Sessions != 2 || u.Segments < 2 || u.Bytes == 0 {
+		t.Fatalf("usage = %+v", u)
+	}
+	if err := st.Remove("sess-1"); err != nil {
+		t.Fatal(err)
+	}
+	if ids, _ = st.Sessions(); len(ids) != 1 || ids[0] != "sess-2" {
+		t.Fatalf("sessions after remove = %v", ids)
+	}
+}
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	st, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

@@ -6,10 +6,13 @@ import (
 	"sync"
 	"time"
 
+	"rfidraw/internal/core"
 	"rfidraw/internal/engine"
 	"rfidraw/internal/realtime"
 	"rfidraw/internal/rfid"
 	"rfidraw/internal/server"
+	"rfidraw/internal/vote"
+	"rfidraw/internal/wal"
 )
 
 // ServeConfig configures the serving layer a System can expose: the
@@ -48,6 +51,19 @@ type ServeConfig struct {
 	// ReorderWindow is how long ingest holds reports to resequence
 	// cross-reader skew. Default 25ms.
 	ReorderWindow time.Duration
+
+	// DataDir, when set, makes sessions durable: each session's
+	// canonical resequenced report stream is recorded in a per-session
+	// write-ahead log under this directory, retained session logs are
+	// rehydrated as "recovered" sessions at startup, idle-expired
+	// sessions are parked (engine reclaimed, record serveable) instead
+	// of forgotten, and the retrace / ?from=seq catch-up APIs serve from
+	// the record. Empty disables durability (the pre-WAL behaviour).
+	DataDir string
+	// WALSyncEvery fsyncs each session's log every N report appends
+	// (drain boundaries always sync). 1 syncs every append. Default 64.
+	WALSyncEvery int
+
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -61,6 +77,14 @@ func (c ServeConfig) registryConfig(factory server.EngineFactory) server.Registr
 		ReorderWindow:   c.ReorderWindow,
 		Logf:            c.Logf,
 	}
+}
+
+// RetracedTag is one tag's outcome from a Session.Retrace: the public
+// Result plus the error for tags that never acquired.
+type RetracedTag struct {
+	Tag    string
+	Result *Result
+	Err    error
 }
 
 // Server is a running rfidrawd serving layer bound to a System.
@@ -118,7 +142,39 @@ func (s *System) registry(cfg ServeConfig) (*server.Registry, error) {
 			BatchSize: 1,
 		})
 	}
-	reg, err := server.NewRegistry(cfg.registryConfig(factory))
+	regCfg := cfg.registryConfig(factory)
+	if cfg.DataDir != "" {
+		store, err := wal.Open(cfg.DataDir, wal.Options{SyncEvery: cfg.WALSyncEvery})
+		if err != nil {
+			return nil, fmt.Errorf("rfidraw: %w", err)
+		}
+		regCfg.WAL = store
+		regCfg.NewReplayer = func(sweep time.Duration, search *vote.SearchConfig, record bool) (*engine.Replayer, error) {
+			rcfg := engine.Config{
+				SweepInterval:    sweep,
+				MaxAcquireBuffer: cfg.MaxAcquireBuffer,
+				RecordTrace:      record,
+			}
+			if search == nil {
+				// Same tunables as live: share the precomputed system.
+				rcfg.System = s.eng.System()
+				return engine.NewReplayer(rcfg)
+			}
+			// A SearchConfig override needs its own steering tables:
+			// rebuild the core system with the deployment's config,
+			// search strategy swapped.
+			coreCfg := s.eng.System().Config()
+			coreCfg.Vote.Search = *search
+			coreCfg.Trace.Search = *search
+			sys, err := core.NewSystem(s.eng.System().Deployment(), coreCfg)
+			if err != nil {
+				return nil, err
+			}
+			rcfg.System = sys
+			return engine.NewReplayer(rcfg)
+		}
+	}
+	reg, err := server.NewRegistry(regCfg)
 	if err != nil {
 		return nil, fmt.Errorf("rfidraw: %w", err)
 	}
@@ -265,7 +321,40 @@ func (s *Session) Offer(rep ReaderReport) error {
 
 // Flush drains buffered ingest and closes the engine's open sweeps,
 // delivering any final positions to subscribers (e.g. at end of stream).
+// Flush is idempotent: with nothing offered since the previous flush it
+// is a no-op, so racing an explicit Flush against the session's own idle
+// drain or Close never closes a sweep twice.
 func (s *Session) Flush() error { return s.inner.Flush() }
+
+// Retrace replays the session's write-ahead log (systems serving with
+// ServeConfig.DataDir) through a fresh tracking pipeline and returns
+// each tag's batch Result, keyed by EPC. With search nil the pipeline
+// matches the live one and the results are byte-equivalent to the live
+// trace; a non-nil search re-traces the same record under different
+// tunables. head is the log sequence the retrace covered.
+func (s *Session) Retrace(search *SearchConfig) (results []RetracedTag, head uint64, err error) {
+	var sc *vote.SearchConfig
+	if search != nil {
+		sc = &vote.SearchConfig{
+			Mode:   vote.SearchMode(search.Mode),
+			TopK:   search.TopK,
+			Levels: search.Levels,
+		}
+	}
+	inner, head, err := s.inner.Retrace(sc)
+	if err != nil {
+		return nil, 0, fmt.Errorf("rfidraw: %w", err)
+	}
+	out := make([]RetracedTag, 0, len(inner))
+	for _, r := range inner {
+		rt := RetracedTag{Tag: r.Tag, Err: r.Err}
+		if r.Err == nil {
+			rt.Result = convertResult(r.Result)
+		}
+		out = append(out, rt)
+	}
+	return out, head, nil
+}
 
 // Close tears the session down; subscribers see an "end" event and their
 // channels close. Idempotent.
@@ -287,6 +376,23 @@ func (s *Session) Subscribe(buffer int) (*Subscription, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rfidraw: %w", err)
 	}
+	return forwardSubscription(sub), nil
+}
+
+// SubscribeFrom attaches a catch-up consumer (systems serving with
+// ServeConfig.DataDir): the stream opens with the session's recorded
+// history replayed from its write-ahead log — points derived from log
+// records with sequence ≥ from, 0 meaning everything — and then splices
+// onto the live stream without gap or duplicate.
+func (s *Session) SubscribeFrom(from uint64, buffer int) (*Subscription, error) {
+	sub, err := s.inner.SubscribeFrom(from, buffer)
+	if err != nil {
+		return nil, fmt.Errorf("rfidraw: %w", err)
+	}
+	return forwardSubscription(sub), nil
+}
+
+func forwardSubscription(sub *server.Subscriber) *Subscription {
 	out := &Subscription{sub: sub, events: make(chan Event, 16)}
 	go func() {
 		defer close(out.events)
@@ -301,7 +407,7 @@ func (s *Session) Subscribe(buffer int) (*Subscription, error) {
 			}
 		}
 	}()
-	return out, nil
+	return out
 }
 
 // Events is the subscription's delivery channel; it closes when the
