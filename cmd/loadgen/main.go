@@ -30,8 +30,12 @@ import (
 	"sync"
 	"time"
 
+	"rfidraw/internal/corpus"
+	"rfidraw/internal/deploy"
+	"rfidraw/internal/faultgen"
 	"rfidraw/internal/geom"
 	"rfidraw/internal/readerwire"
+	"rfidraw/internal/rfid"
 	"rfidraw/internal/server"
 	"rfidraw/internal/sim"
 )
@@ -47,6 +51,7 @@ func main() {
 		pace     = flag.Float64("pace", 1, "replay speed (1 = real time)")
 		duration = flag.Duration("duration", 30*time.Second, "how long each session streams (scenario loops)")
 		retrace  = flag.Bool("retrace", false, "after streaming, POST /retrace twice per session (daemon needs -data-dir) and gate on determinism")
+		profile  = flag.String("profile", "", "named adversarial scenario profile ("+strings.Join(corpus.ProfileNames(), ", ")+"); sets seed, geometry, propagation and injected reader faults")
 		out      = flag.String("out", "", "write the JSON report here (default stdout)")
 	)
 	flag.Parse()
@@ -55,7 +60,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	report, err := run(*daemon, *ingest, *sessions, *tags, *word, *seed, *pace, *duration, *retrace)
+	report, err := run(*daemon, *ingest, *sessions, *tags, *word, *seed, *pace, *duration, *retrace, *profile)
 	if report != nil {
 		b, _ := json.MarshalIndent(report, "", "  ")
 		b = append(b, '\n')
@@ -110,6 +115,7 @@ type Report struct {
 	Tags      int     `json:"tags_per_session"`
 	Pace      float64 `json:"pace"`
 	DurationS float64 `json:"duration_s"`
+	Profile   string  `json:"profile,omitempty"`
 
 	Failed int `json:"failed"`
 	Shed   int `json:"shed"`
@@ -160,11 +166,36 @@ type SessionResult struct {
 	lats []float64
 }
 
-func run(daemon, ingest string, sessions, tags int, word string, seed int64, pace float64, duration time.Duration, retrace bool) (*Report, error) {
+func run(daemon, ingest string, sessions, tags int, word string, seed int64, pace float64, duration time.Duration, retrace bool, profileName string) (*Report, error) {
 	// One shared scenario, replayed into every session: sessions are
 	// isolated by the daemon, so identical content exercises the serving
-	// layer without paying scenario generation per session.
-	sc, err := sim.New(sim.Config{Seed: seed})
+	// layer without paying scenario generation per session. A -profile
+	// swaps in that profile's seed, geometry and propagation, and faults
+	// the reader streams before replay — the same named corpus the
+	// scenario test gates and the soak script's adversarial phase use.
+	simCfg := sim.Config{Seed: seed}
+	var prof corpus.Profile
+	geometry := ""
+	if profileName != "" {
+		var err error
+		if prof, err = corpus.ProfileByName(profileName); err != nil {
+			return nil, err
+		}
+		spec, err := deploy.GeometryByName(prof.Geometry)
+		if err != nil {
+			return nil, err
+		}
+		dep, err := spec.BuildDefault()
+		if err != nil {
+			return nil, err
+		}
+		simCfg = sim.Config{Seed: prof.Seed, Deployment: dep, Region: spec.Region()}
+		if prof.NLOS {
+			simCfg.Prop = sim.NLOS
+		}
+		geometry = prof.Geometry
+	}
+	sc, err := sim.New(simCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -182,10 +213,32 @@ func run(daemon, ingest string, sessions, tags int, word string, seed int64, pac
 	if err != nil {
 		return nil, err
 	}
+	streams := scen.ReportsRF
+	skews := make([]time.Duration, len(streams))
+	if profileName != "" {
+		streams = prof.Plan().ApplyAll(scen.ReportsRF)
+		// A clock-offset fault skews the reader's stamps, not its emission
+		// schedule; the replay has to send those stamps at true time for
+		// the skew to reach the daemon as cross-reader disorder.
+		for _, f := range prof.Faults {
+			if f.ClockOffset == 0 {
+				continue
+			}
+			for r := range skews {
+				if f.Reader == faultgen.AllReaders || f.Reader == r {
+					skews[r] += f.ClockOffset
+				}
+			}
+		}
+	}
+	// Max over every report, not just each stream's last: fault-skewed
+	// timestamps are not monotonic.
 	var scenDur time.Duration
-	for _, reports := range scen.ReportsRF {
-		if n := len(reports); n > 0 && reports[n-1].Time > scenDur {
-			scenDur = reports[n-1].Time
+	for _, reports := range streams {
+		for _, rep := range reports {
+			if rep.Time > scenDur {
+				scenDur = rep.Time
+			}
 		}
 	}
 	perTagSweep := scen.SweepInterval * time.Duration(tags)
@@ -202,12 +255,14 @@ func run(daemon, ingest string, sessions, tags int, word string, seed int64, pac
 			results[i] = runSession(ctx, sessionParams{
 				client:      &server.Client{BaseURL: daemon, Ingest: ingest},
 				id:          fmt.Sprintf("load-%d", i),
-				scen:        scen,
+				streams:     streams,
+				skews:       skews,
 				scenDur:     scenDur,
 				perTagSweep: perTagSweep,
 				pace:        pace,
 				duration:    duration,
 				retrace:     retrace,
+				geometry:    geometry,
 			})
 		}(i)
 	}
@@ -216,6 +271,7 @@ func run(daemon, ingest string, sessions, tags int, word string, seed int64, pac
 	report := &Report{
 		Sessions: sessions, Tags: tags, Pace: pace,
 		DurationS:      duration.Seconds(),
+		Profile:        profileName,
 		SessionResults: results,
 	}
 	var all, retraces []float64
@@ -247,17 +303,19 @@ func run(daemon, ingest string, sessions, tags int, word string, seed int64, pac
 type sessionParams struct {
 	client      *server.Client
 	id          string
-	scen        *sim.MultiWordRun
+	streams     [][]rfid.Report // per-reader replay streams (faulted under -profile)
+	skews       []time.Duration // per-reader clock skew (stamps ahead of send schedule)
 	scenDur     time.Duration
 	perTagSweep time.Duration
 	pace        float64
 	duration    time.Duration
 	retrace     bool
+	geometry    string
 }
 
 func runSession(ctx context.Context, p sessionParams) SessionResult {
 	res := SessionResult{ID: p.id}
-	id, err := p.client.CreateSession(ctx, p.id, 0)
+	id, err := p.client.CreateSessionGeometry(ctx, p.id, 0, p.geometry)
 	if err != nil {
 		if errors.Is(err, server.ErrSessionLimit) {
 			res.Shed = true
@@ -305,11 +363,12 @@ func runSession(ctx context.Context, p sessionParams) SessionResult {
 		}
 	}()
 
-	// Two reader connections loop the scenario until the duration is up.
+	// One connection per reader loops the scenario until the duration is
+	// up (two readers on the default geometry, four on multiroom).
 	replayCtx, stopReplay := context.WithDeadline(ctx, start.Add(p.duration))
 	var rwg sync.WaitGroup
-	errCh := make(chan error, len(p.scen.ReportsRF))
-	for readerID := range p.scen.ReportsRF {
+	errCh := make(chan error, len(p.streams))
+	for readerID := range p.streams {
 		rwg.Add(1)
 		go func(readerID int) {
 			defer rwg.Done()
@@ -327,7 +386,7 @@ func runSession(ctx context.Context, p sessionParams) SessionResult {
 			defer rs.Close()
 			for loop := 0; replayCtx.Err() == nil; loop++ {
 				offset := time.Duration(loop) * (p.scenDur + loopGap)
-				err := rs.Replay(replayCtx, p.scen.ReportsRF[readerID], p.pace, offset, start)
+				err := rs.ReplaySkewed(replayCtx, p.streams[readerID], p.pace, offset, start, p.skews[readerID])
 				if err != nil {
 					if replayCtx.Err() == nil {
 						errCh <- err

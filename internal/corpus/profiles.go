@@ -1,0 +1,112 @@
+package corpus
+
+import (
+	"fmt"
+	"time"
+
+	"rfidraw/internal/faultgen"
+)
+
+// Profile is a named adversarial scenario: a fault plan plus the
+// propagation and geometry knobs that shape the run. Profiles are the
+// unit the whole adversarial surface shares — cmd/loadgen's -profile
+// flag, the soak script's adversarial phase, and the scenario equivalence
+// gates all consume the same registry, so "the drift scenario" means the
+// same injected faults everywhere.
+type Profile struct {
+	Name        string
+	Description string
+	// NLOS selects non-line-of-sight propagation for the simulated
+	// environment (occluded direct path, stronger multipath).
+	NLOS bool
+	// Geometry names a deploy.GeometrySpec; "" means the default Fig. 6d
+	// placement.
+	Geometry string
+	// Seed fixes both the simulator's random stream and the fault plan,
+	// making every profile run reproducible byte-for-byte.
+	Seed int64
+	// Faults is the wire-level fault plan applied to reader reports.
+	Faults []faultgen.ReaderFault
+}
+
+// Plan returns the profile's seeded fault plan.
+func (p Profile) Plan() faultgen.Plan {
+	return faultgen.Plan{Seed: p.Seed, Faults: p.Faults}
+}
+
+// The named scenario corpus. Fault magnitudes are chosen against the
+// serving layer's defaults: the session reorder window is 25ms, so the
+// drift profile's 40ms skew forces reordered-past deliveries; the
+// reader-loss interval is long enough to span several glyph gaps.
+var profiles = []Profile{
+	{
+		Name:        "clean",
+		Description: "control run: LOS, default geometry, no faults",
+		Seed:        101,
+	},
+	{
+		Name:        "nlos-heavy",
+		Description: "occluded direct path with strong multipath, no wire faults",
+		NLOS:        true,
+		Seed:        102,
+	},
+	{
+		Name:        "drift",
+		Description: "reader 1 clock 40ms ahead (beyond the 25ms reorder window) and 200ppm fast",
+		Seed:        103,
+		Faults: []faultgen.ReaderFault{
+			{Reader: 1, ClockOffset: 40 * time.Millisecond, DriftPPM: 200},
+			{Reader: 1, ShuffleWindow: 10 * time.Millisecond},
+		},
+	},
+	{
+		Name:        "dup-flood",
+		Description: "every reader re-reports ~30% of replies in bursts of 3",
+		Seed:        104,
+		Faults: []faultgen.ReaderFault{
+			{Reader: faultgen.AllReaders, DuplicateProb: 0.3, DuplicateBurst: 3},
+		},
+	},
+	{
+		Name:        "reader-loss",
+		Description: "reader 1 dies 400ms in, rejoins at 900ms, plus periodic dropouts",
+		Seed:        105,
+		Faults: []faultgen.ReaderFault{
+			{Reader: 1, DeadFrom: 400 * time.Millisecond, DeadUntil: 900 * time.Millisecond},
+			{Reader: 0, DropoutEvery: 250 * time.Millisecond, DropoutLen: 40 * time.Millisecond},
+		},
+	},
+	{
+		Name:        "multiroom",
+		Description: "two-room geometry (four readers), light duplicate noise",
+		Geometry:    "multiroom",
+		Seed:        106,
+		Faults: []faultgen.ReaderFault{
+			{Reader: faultgen.AllReaders, DuplicateProb: 0.05},
+		},
+	},
+}
+
+// Profiles returns the scenario corpus in registry order ("clean" first).
+func Profiles() []Profile {
+	return append([]Profile(nil), profiles...)
+}
+
+// ProfileByName resolves a named profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("corpus: unknown profile %q (have %v)", name, ProfileNames())
+}
+
+// ProfileNames lists the registered profile names in registry order.
+func ProfileNames() []string {
+	out := make([]string, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.Name
+	}
+	return out
+}

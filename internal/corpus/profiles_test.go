@@ -1,0 +1,56 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+
+	"rfidraw/internal/deploy"
+)
+
+func TestProfileRegistry(t *testing.T) {
+	want := []string{"clean", "nlos-heavy", "drift", "dup-flood", "reader-loss", "multiroom"}
+	if got := ProfileNames(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ProfileNames = %v, want %v", got, want)
+	}
+	seeds := map[int64]string{}
+	for _, p := range Profiles() {
+		got, err := ProfileByName(p.Name)
+		if err != nil {
+			t.Fatalf("ProfileByName(%q): %v", p.Name, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("ProfileByName(%q) differs from registry entry", p.Name)
+		}
+		if err := p.Plan().Validate(); err != nil {
+			t.Fatalf("profile %q has an invalid fault plan: %v", p.Name, err)
+		}
+		if prev, dup := seeds[p.Seed]; dup {
+			t.Fatalf("profiles %q and %q share seed %d", prev, p.Name, p.Seed)
+		}
+		seeds[p.Seed] = p.Name
+		// Every referenced geometry must exist in the deploy registry.
+		if _, err := deploy.GeometryByName(p.Geometry); err != nil {
+			t.Fatalf("profile %q references geometry %q: %v", p.Name, p.Geometry, err)
+		}
+	}
+	if _, err := ProfileByName("bogus"); err == nil {
+		t.Fatal("unknown profile name accepted")
+	}
+}
+
+func TestCleanProfileIsIdentity(t *testing.T) {
+	clean, err := ProfileByName("clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Plan().Active() || clean.NLOS || clean.Geometry != "" {
+		t.Fatalf("clean profile is not a clean control: %+v", clean)
+	}
+	drift, err := ProfileByName("drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !drift.Plan().Active() {
+		t.Fatal("drift profile injects nothing")
+	}
+}

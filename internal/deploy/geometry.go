@@ -1,0 +1,178 @@
+package deploy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rfidraw/internal/antenna"
+	"rfidraw/internal/geom"
+	"rfidraw/internal/phys"
+)
+
+// Room places one copy of the standard Fig. 6d antenna square on the wall
+// plane: the layout is rotated by RotRad about the room origin (in the
+// x–z wall plane) and then translated to Origin. A non-zero rotation gives
+// the non-orthogonal placements the paper never evaluates; several rooms
+// give multi-room deployments with more than two reader arrays.
+type Room struct {
+	Origin geom.Vec2
+	RotRad float64
+}
+
+// GeometrySpec is a named per-session antenna geometry: one or more rooms,
+// each carrying the standard two-reader, eight-antenna layout. Room r's
+// readers get IDs 2r and 2r+1 and its antennas IDs 8r+1..8r+8, so every
+// geometry stays addressable by the wire protocol's (reader, antenna)
+// pairs without renumbering.
+type GeometrySpec struct {
+	Name        string
+	Description string
+	Rooms       []Room
+}
+
+// Readers returns the number of reader arrays in the geometry.
+func (g GeometrySpec) Readers() int { return 2 * len(g.Rooms) }
+
+// transform maps a layout-local wall position into room coordinates.
+func (r Room) transform(x, z float64) (float64, float64) {
+	s, c := math.Sincos(r.RotRad)
+	return r.Origin.X + x*c - z*s, r.Origin.Z + x*s + z*c
+}
+
+// Build constructs the deployment: each room is the standard layout under
+// its rigid transform, and the pair structure (wide / coarse / cross) is
+// replicated per room — pairs never straddle rooms, because a pair's
+// steering table assumes both elements share a reader's phase reference.
+func (g GeometrySpec) Build(carrier phys.Carrier, link phys.Link) (*RFIDraw, error) {
+	if len(g.Rooms) == 0 {
+		return nil, fmt.Errorf("deploy: geometry %q has no rooms", g.Name)
+	}
+	base, err := NewRFIDraw(carrier, link)
+	if err != nil {
+		return nil, err
+	}
+	out := &RFIDraw{Carrier: carrier, Link: link}
+	for ri, room := range g.Rooms {
+		ants := make([]antenna.Antenna, len(base.Antennas))
+		for i, a := range base.Antennas {
+			x, z := room.transform(a.Pos.X, a.Pos.Z)
+			ants[i] = antenna.Antenna{
+				ID:       8*ri + a.ID,
+				ReaderID: 2*ri + a.ReaderID,
+				Pos:      geom.Vec3{X: x, Y: a.Pos.Y, Z: z},
+			}
+		}
+		out.Antennas = append(out.Antennas, ants...)
+		pairs := func(ids [][2]int) ([]antenna.Pair, error) {
+			ps := make([]antenna.Pair, 0, len(ids))
+			for _, ij := range ids {
+				p, err := antenna.NewPair(ants[ij[0]-1], ants[ij[1]-1], carrier, link)
+				if err != nil {
+					return nil, err
+				}
+				ps = append(ps, p)
+			}
+			return ps, nil
+		}
+		wide, err := pairs([][2]int{{1, 2}, {2, 3}, {3, 4}, {4, 1}, {1, 3}, {2, 4}})
+		if err != nil {
+			return nil, err
+		}
+		coarse, err := pairs([][2]int{{5, 6}, {7, 8}})
+		if err != nil {
+			return nil, err
+		}
+		cross, err := pairs([][2]int{{5, 7}, {5, 8}, {6, 7}, {6, 8}})
+		if err != nil {
+			return nil, err
+		}
+		out.WidePairs = append(out.WidePairs, wide...)
+		out.CoarsePairs = append(out.CoarsePairs, coarse...)
+		out.CrossPairs = append(out.CrossPairs, cross...)
+	}
+	return out, nil
+}
+
+// BuildDefault builds the geometry at the prototype's carrier and link.
+func (g GeometrySpec) BuildDefault() (*RFIDraw, error) {
+	return g.Build(phys.DefaultCarrier(), phys.Backscatter)
+}
+
+// Region returns the writing-plane search region: the union bounding box
+// of every room's transformed copy of the standard region. For the
+// single-room untransformed geometry this is exactly DefaultRegion.
+func (g GeometrySpec) Region() geom.Rect {
+	std := DefaultRegion()
+	corners := [4]geom.Vec2{
+		std.Min,
+		{X: std.Min.X, Z: std.Max.Z},
+		{X: std.Max.X, Z: std.Min.Z},
+		std.Max,
+	}
+	first := true
+	var out geom.Rect
+	for _, room := range g.Rooms {
+		for _, c := range corners {
+			x, z := room.transform(c.X, c.Z)
+			if first {
+				out = geom.Rect{Min: geom.Vec2{X: x, Z: z}, Max: geom.Vec2{X: x, Z: z}}
+				first = false
+				continue
+			}
+			out.Min.X = math.Min(out.Min.X, x)
+			out.Min.Z = math.Min(out.Min.Z, z)
+			out.Max.X = math.Max(out.Max.X, x)
+			out.Max.Z = math.Max(out.Max.Z, z)
+		}
+	}
+	return out
+}
+
+// Named geometries. "default" is the paper's Fig. 6d placement; "rotated"
+// tilts the whole square ~17° so no pair axis is axis-aligned (the
+// non-orthogonal case); "multiroom" adds a second, rotated room — four
+// reader arrays, sixteen antennas — offset along the wall.
+var geometries = []GeometrySpec{
+	{
+		Name:        "default",
+		Description: "paper Fig. 6d: one room, two readers, axis-aligned",
+		Rooms:       []Room{{}},
+	},
+	{
+		Name:        "rotated",
+		Description: "one room tilted 0.3 rad: non-orthogonal pair axes",
+		Rooms:       []Room{{RotRad: 0.3}},
+	},
+	{
+		Name:        "multiroom",
+		Description: "two rooms (four readers, sixteen antennas), second room offset and tilted",
+		Rooms: []Room{
+			{},
+			{Origin: geom.Vec2{X: 4.5, Z: 0.6}, RotRad: 0.35},
+		},
+	},
+}
+
+// GeometryByName resolves a named geometry; "" means "default".
+func GeometryByName(name string) (GeometrySpec, error) {
+	if name == "" {
+		name = "default"
+	}
+	for _, g := range geometries {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	return GeometrySpec{}, fmt.Errorf("deploy: unknown geometry %q (have %v)", name, GeometryNames())
+}
+
+// GeometryNames lists the registered geometry names, sorted.
+func GeometryNames() []string {
+	out := make([]string, len(geometries))
+	for i, g := range geometries {
+		out[i] = g.Name
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,153 @@
+package deploy
+
+import (
+	"math"
+	"testing"
+
+	"rfidraw/internal/geom"
+)
+
+func TestDefaultGeometryMatchesNewRFIDraw(t *testing.T) {
+	g, err := GeometryByName("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "default" {
+		t.Fatalf("empty name resolved to %q", g.Name)
+	}
+	built, err := g.BuildDefault()
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := DefaultRFIDraw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(built.Antennas) != len(std.Antennas) {
+		t.Fatalf("default geometry has %d antennas, want %d", len(built.Antennas), len(std.Antennas))
+	}
+	for i, a := range built.Antennas {
+		b := std.Antennas[i]
+		if a.ID != b.ID || a.ReaderID != b.ReaderID {
+			t.Fatalf("antenna %d: (%d,%d) != (%d,%d)", i, a.ID, a.ReaderID, b.ID, b.ReaderID)
+		}
+		if math.Abs(a.Pos.X-b.Pos.X) > 1e-12 || math.Abs(a.Pos.Z-b.Pos.Z) > 1e-12 {
+			t.Fatalf("antenna %d moved: %+v != %+v", i, a.Pos, b.Pos)
+		}
+	}
+	if len(built.WidePairs) != 6 || len(built.CoarsePairs) != 2 || len(built.CrossPairs) != 4 {
+		t.Fatalf("default pair counts: wide=%d coarse=%d cross=%d",
+			len(built.WidePairs), len(built.CoarsePairs), len(built.CrossPairs))
+	}
+	reg := g.Region()
+	std2 := DefaultRegion()
+	if reg != std2 {
+		t.Fatalf("default Region %+v != DefaultRegion %+v", reg, std2)
+	}
+}
+
+func TestRotatedGeometryPreservesPairBaselines(t *testing.T) {
+	g, err := GeometryByName("rotated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := g.BuildDefault()
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := DefaultRFIDraw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A rigid transform must preserve every pair separation exactly.
+	dist := func(d *RFIDraw, i, j int) float64 {
+		a, b := d.Antennas[i], d.Antennas[j]
+		dx, dz := a.Pos.X-b.Pos.X, a.Pos.Z-b.Pos.Z
+		return math.Hypot(dx, dz)
+	}
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			if math.Abs(dist(built, i, j)-dist(std, i, j)) > 1e-9 {
+				t.Fatalf("rotation changed separation of antennas %d,%d", i+1, j+1)
+			}
+		}
+	}
+	// And at least one antenna must have actually moved.
+	if built.Antennas[1].Pos == std.Antennas[1].Pos {
+		t.Fatal("rotated geometry did not move any antenna")
+	}
+}
+
+func TestMultiroomGeometry(t *testing.T) {
+	g, err := GeometryByName("multiroom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Readers() != 4 {
+		t.Fatalf("multiroom has %d readers, want 4", g.Readers())
+	}
+	built, err := g.BuildDefault()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(built.Antennas) != 16 {
+		t.Fatalf("multiroom has %d antennas, want 16", len(built.Antennas))
+	}
+	// IDs 1..16, readers 0..3, no pair straddling rooms.
+	for i, a := range built.Antennas {
+		if a.ID != i+1 {
+			t.Fatalf("antenna %d has ID %d", i, a.ID)
+		}
+		wantReader := (i / 8 * 2) + btoi(i%8 >= 4)
+		if a.ReaderID != wantReader {
+			t.Fatalf("antenna %d has reader %d, want %d", a.ID, a.ReaderID, wantReader)
+		}
+	}
+	for _, p := range built.AllPairs() {
+		ra, rb := (p.I.ID-1)/8, (p.J.ID-1)/8
+		if ra != rb {
+			t.Fatalf("pair <%d,%d> straddles rooms", p.I.ID, p.J.ID)
+		}
+	}
+	if got := len(built.AllPairs()); got != 24 {
+		t.Fatalf("multiroom has %d pairs, want 24", got)
+	}
+	// The region must cover both rooms' antennas.
+	reg := g.Region()
+	for _, a := range built.Antennas {
+		in := a.Pos.X >= reg.Min.X-0.5 && a.Pos.X <= reg.Max.X+0.5 &&
+			a.Pos.Z >= reg.Min.Z-0.5 && a.Pos.Z <= reg.Max.Z+0.5
+		if !in {
+			t.Fatalf("antenna %d at %+v outside region %+v", a.ID, a.Pos, reg)
+		}
+	}
+	if reg.Width() <= DefaultRegion().Width() {
+		t.Fatal("multiroom region no wider than one room")
+	}
+}
+
+func TestGeometryErrors(t *testing.T) {
+	if _, err := GeometryByName("no-such-geometry"); err == nil {
+		t.Fatal("unknown geometry name accepted")
+	}
+	if _, err := (GeometrySpec{Name: "empty"}).BuildDefault(); err == nil {
+		t.Fatal("zero-room geometry built")
+	}
+	names := GeometryNames()
+	if len(names) != 3 {
+		t.Fatalf("GeometryNames = %v", names)
+	}
+	for _, n := range names {
+		if _, err := GeometryByName(n); err != nil {
+			t.Fatalf("registered geometry %q does not resolve: %v", n, err)
+		}
+	}
+	_ = geom.Rect{}
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

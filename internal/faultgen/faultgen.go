@@ -1,0 +1,274 @@
+// Package faultgen is a deterministic, seeded fault-injection layer for
+// reader report streams: it wraps any report source (the simulator's
+// per-reader streams, a recorded WAL, a test fixture) and applies
+// composable per-reader faults — clock offset and drift, dropout bursts,
+// duplicate floods, bounded out-of-order delivery, and mid-session reader
+// death with rejoin.
+//
+// Everything is a pure function of (Plan, input): applying the same plan
+// to the same stream twice yields byte-identical output, which is what
+// lets the scenario gates assert that the tracing pipeline is
+// deterministic over *faulted* input, not just clean input. All
+// randomness comes from a per-reader rand.Rand seeded by a hash of
+// (Plan.Seed, readerID), so streams can be faulted reader-by-reader or
+// as one merged slice with identical results per report.
+//
+// The faults model the failure modes a real RFID deployment exhibits on
+// the wire, upstream of the session reorder buffer:
+//
+//   - clock skew/drift: a reader whose timestamps run offset or fast —
+//     including skew exceeding the serving layer's reorder window, the
+//     case the rfidrawd_reorder_late_total counter instruments;
+//   - dropout bursts: periodic read loss (tag out of beam, RF collision);
+//   - duplicate floods: inventory rounds re-reporting the same reply;
+//   - out-of-order delivery: reports swapped within a bounded window,
+//     breaking per-reader monotonicity (the ingest gateway drops the
+//     regressions and counts them);
+//   - death/rejoin: a reader silent for an interval mid-session, then
+//     back — the recovery story's adversarial input.
+package faultgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"rfidraw/internal/rfid"
+)
+
+// AllReaders selects every reader in a ReaderFault.
+const AllReaders = -1
+
+// ReaderFault is one composable fault applied to one reader's reports
+// (or to every reader with Reader == AllReaders). Zero-valued fields are
+// inactive, so a single ReaderFault can stack several fault kinds.
+type ReaderFault struct {
+	// Reader is the reader ID this fault applies to; AllReaders (-1)
+	// applies it to every report.
+	Reader int
+
+	// ClockOffset shifts the reader's timestamps by a constant: positive
+	// skew makes the reader run ahead of its peers. An offset beyond the
+	// session's reorder window forces "reordered past" deliveries.
+	ClockOffset time.Duration
+	// DriftPPM makes the reader's clock run fast (positive) or slow
+	// (negative) by parts per million of elapsed stream time, on top of
+	// ClockOffset. Per-reader monotonicity is preserved for any drift
+	// above -1e6 ppm.
+	DriftPPM float64
+
+	// DropoutEvery and DropoutLen describe periodic dropout bursts:
+	// every DropoutEvery of stream time, reports are dropped for
+	// DropoutLen. Both must be positive for the fault to be active.
+	DropoutEvery time.Duration
+	DropoutLen   time.Duration
+
+	// DuplicateProb duplicates each surviving report with this
+	// probability; DuplicateBurst is how many extra copies each
+	// duplication emits (default 1 when DuplicateProb > 0).
+	DuplicateProb  float64
+	DuplicateBurst int
+
+	// ShuffleWindow permutes the reader's reports within windows of this
+	// much stream time, breaking per-reader timestamp monotonicity —
+	// out-of-order delivery as the ingest gateway sees it.
+	ShuffleWindow time.Duration
+
+	// DeadFrom/DeadUntil silence the reader for [DeadFrom, DeadUntil) of
+	// stream time: death at DeadFrom, rejoin at DeadUntil. Active when
+	// DeadUntil > DeadFrom.
+	DeadFrom  time.Duration
+	DeadUntil time.Duration
+}
+
+// Plan is a seeded set of reader faults: the full description of one
+// adversarial scenario's wire behaviour.
+type Plan struct {
+	// Seed drives every random decision; (Seed, readerID) fixes each
+	// reader's random stream.
+	Seed int64
+	// Faults are applied in order; several may target the same reader.
+	Faults []ReaderFault
+}
+
+// Validate rejects plans whose faults cannot be applied coherently.
+func (p Plan) Validate() error {
+	for i, f := range p.Faults {
+		if f.Reader < AllReaders {
+			return fmt.Errorf("faultgen: fault %d: reader %d", i, f.Reader)
+		}
+		if f.DriftPPM <= -1e6 {
+			return fmt.Errorf("faultgen: fault %d: drift %v ppm reverses time", i, f.DriftPPM)
+		}
+		if f.DuplicateProb < 0 || f.DuplicateProb > 1 {
+			return fmt.Errorf("faultgen: fault %d: duplicate probability %v", i, f.DuplicateProb)
+		}
+		if (f.DropoutEvery > 0) != (f.DropoutLen > 0) {
+			return fmt.Errorf("faultgen: fault %d: dropout needs both period and length", i)
+		}
+		if f.DropoutLen > 0 && f.DropoutLen >= f.DropoutEvery {
+			return fmt.Errorf("faultgen: fault %d: dropout %v swallows the whole period %v", i, f.DropoutLen, f.DropoutEvery)
+		}
+		if f.DeadUntil < f.DeadFrom {
+			return fmt.Errorf("faultgen: fault %d: death interval [%v, %v) is reversed", i, f.DeadFrom, f.DeadUntil)
+		}
+		if f.ShuffleWindow < 0 {
+			return fmt.Errorf("faultgen: fault %d: negative shuffle window", i)
+		}
+	}
+	return nil
+}
+
+// Active reports whether the plan injects anything at all.
+func (p Plan) Active() bool { return len(p.Faults) > 0 }
+
+// Apply runs the plan over one report stream and returns the faulted
+// stream. The input may hold one reader or several; each fault only
+// touches its own reader's reports. The input slice is not modified.
+// Apply is deterministic: equal (plan, input) gives equal output.
+func (p Plan) Apply(stream []rfid.Report) []rfid.Report {
+	out := append([]rfid.Report(nil), stream...)
+	for _, f := range p.Faults {
+		out = p.applyFault(f, out)
+	}
+	return out
+}
+
+// ApplyAll applies the plan to several per-reader streams (the shape
+// sim.MultiWordRun.ReportsRF and loadgen use).
+func (p Plan) ApplyAll(streams [][]rfid.Report) [][]rfid.Report {
+	out := make([][]rfid.Report, len(streams))
+	for i, s := range streams {
+		out[i] = p.Apply(s)
+	}
+	return out
+}
+
+// applyFault runs one fault over a stream. Fault kinds compose in a
+// fixed order chosen to mirror the physical causality: the reader dies
+// (death), misses reads (dropout), re-reports replies (duplicates),
+// stamps them with its own clock (skew/drift), and its network delivers
+// them possibly out of order (shuffle).
+func (p Plan) applyFault(f ReaderFault, in []rfid.Report) []rfid.Report {
+	rngs := map[int]*rand.Rand{}
+	rng := func(reader int) *rand.Rand {
+		r, ok := rngs[reader]
+		if !ok {
+			r = rand.New(rand.NewSource(readerSeed(p.Seed, reader)))
+			rngs[reader] = r
+		}
+		return r
+	}
+	out := make([]rfid.Report, 0, len(in))
+	for _, rep := range in {
+		if f.Reader != AllReaders && rep.ReaderID != f.Reader {
+			out = append(out, rep)
+			continue
+		}
+		if f.DeadUntil > f.DeadFrom && rep.Time >= f.DeadFrom && rep.Time < f.DeadUntil {
+			continue
+		}
+		if f.DropoutEvery > 0 && rep.Time%f.DropoutEvery < f.DropoutLen {
+			continue
+		}
+		copies := 1
+		if f.DuplicateProb > 0 && rng(rep.ReaderID).Float64() < f.DuplicateProb {
+			burst := f.DuplicateBurst
+			if burst <= 0 {
+				burst = 1
+			}
+			copies += burst
+		}
+		faulted := rep
+		if f.ClockOffset != 0 || f.DriftPPM != 0 {
+			faulted.Time = rep.Time + f.ClockOffset +
+				time.Duration(float64(rep.Time)*f.DriftPPM/1e6)
+		}
+		for c := 0; c < copies; c++ {
+			out = append(out, faulted)
+		}
+	}
+	if f.ShuffleWindow > 0 {
+		shuffleWindows(f, rng, out)
+	}
+	return out
+}
+
+// shuffleWindows permutes the faulted reader's reports within
+// ShuffleWindow-sized buckets of stream time, in place. Bucketing by the
+// report's own timestamp keeps the damage bounded (a report moves at
+// most one window) while still breaking per-reader monotonicity at every
+// bucket boundary crossing.
+func shuffleWindows(f ReaderFault, rng func(int) *rand.Rand, out []rfid.Report) {
+	// Indices of the faulted reader's reports, bucketed by window.
+	buckets := map[int64][]int{}
+	var order []int64
+	for i, rep := range out {
+		if f.Reader != AllReaders && rep.ReaderID != f.Reader {
+			continue
+		}
+		w := int64(rep.Time / f.ShuffleWindow)
+		if _, ok := buckets[w]; !ok {
+			order = append(order, w)
+		}
+		buckets[w] = append(buckets[w], i)
+	}
+	// Deterministic bucket order: map iteration order must not leak into
+	// the output, so walk windows in first-appearance order.
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, w := range order {
+		idx := buckets[w]
+		// One shared permutation source per fault application: key the
+		// rng off the fault's reader selector, not each report's.
+		r := rng(f.Reader)
+		r.Shuffle(len(idx), func(a, b int) {
+			out[idx[a]], out[idx[b]] = out[idx[b]], out[idx[a]]
+		})
+	}
+}
+
+// readerSeed mixes the plan seed with a reader ID into an independent
+// per-reader stream seed (splitmix64 finalizer — cheap, well-spread, and
+// stable across platforms).
+func readerSeed(seed int64, reader int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(reader+0x10001)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Corruptions derives deterministic wire-level corruption variants of a
+// byte stream: truncations, bit flips, length-field tampering and junk
+// insertion — the damage patterns the resync reader must survive. It
+// seeds the readerwire fuzz corpus; n bounds the variant count.
+func Corruptions(seed int64, frames []byte, n int) [][]byte {
+	if len(frames) == 0 || n <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(readerSeed(seed, 0x7ea)))
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		b := append([]byte(nil), frames...)
+		switch i % 4 {
+		case 0: // truncate mid-frame
+			b = b[:rng.Intn(len(b))]
+		case 1: // flip a few bits
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				b[rng.Intn(len(b))] ^= 1 << uint(rng.Intn(8))
+			}
+		case 2: // tamper a length prefix (first 4 bytes of some offset)
+			if len(b) >= 4 {
+				off := rng.Intn(len(b) - 3)
+				b[off], b[off+1] = 0xff, byte(rng.Intn(256))
+			}
+		case 3: // insert junk bytes mid-stream
+			junk := make([]byte, 1+rng.Intn(9))
+			rng.Read(junk)
+			off := rng.Intn(len(b))
+			b = append(b[:off:off], append(junk, b[off:]...)...)
+		}
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+package faultgen
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"rfidraw/internal/rfid"
+)
+
+// stream builds a two-reader interleaved report stream: n reports per
+// reader, one every step, distinct phases so reports are distinguishable.
+func stream(n int, step time.Duration) []rfid.Report {
+	var out []rfid.Report
+	for i := 0; i < n; i++ {
+		t := time.Duration(i) * step
+		for reader := 0; reader < 2; reader++ {
+			out = append(out, rfid.Report{
+				Time:      t,
+				ReaderID:  reader,
+				AntennaID: 4*reader + 1,
+				PhaseRad:  float64(i%628) / 100,
+				PowerDB:   -30,
+			})
+		}
+	}
+	return out
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Plan{
+		{Faults: []ReaderFault{{Reader: -2}}},
+		{Faults: []ReaderFault{{DriftPPM: -1e6}}},
+		{Faults: []ReaderFault{{DuplicateProb: 1.5}}},
+		{Faults: []ReaderFault{{DropoutEvery: time.Second}}},
+		{Faults: []ReaderFault{{DropoutEvery: time.Second, DropoutLen: time.Second}}},
+		{Faults: []ReaderFault{{DeadFrom: time.Second, DeadUntil: time.Millisecond}}},
+		{Faults: []ReaderFault{{ShuffleWindow: -time.Second}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d: Validate accepted invalid fault %+v", i, p.Faults[0])
+		}
+	}
+	ok := Plan{Seed: 1, Faults: []ReaderFault{
+		{Reader: AllReaders, ClockOffset: time.Millisecond, DriftPPM: 100,
+			DropoutEvery: time.Second, DropoutLen: 100 * time.Millisecond,
+			DuplicateProb: 0.5, DuplicateBurst: 2, ShuffleWindow: 10 * time.Millisecond,
+			DeadFrom: time.Second, DeadUntil: 2 * time.Second},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("Validate rejected a coherent plan: %v", err)
+	}
+	if !ok.Active() {
+		t.Fatal("plan with faults should be Active")
+	}
+	if (Plan{}).Active() {
+		t.Fatal("empty plan should not be Active")
+	}
+}
+
+// The central contract: equal (plan, input) must give equal output, and
+// the input must not be mutated.
+func TestApplyDeterministicAndPure(t *testing.T) {
+	in := stream(500, 2*time.Millisecond)
+	orig := append([]rfid.Report(nil), in...)
+	plan := Plan{Seed: 99, Faults: []ReaderFault{
+		{Reader: 0, ClockOffset: 40 * time.Millisecond, DriftPPM: 250},
+		{Reader: AllReaders, DuplicateProb: 0.3, DuplicateBurst: 3},
+		{Reader: 1, DropoutEvery: 120 * time.Millisecond, DropoutLen: 30 * time.Millisecond},
+		{Reader: AllReaders, ShuffleWindow: 15 * time.Millisecond},
+		{Reader: 1, DeadFrom: 300 * time.Millisecond, DeadUntil: 500 * time.Millisecond},
+	}}
+	a := plan.Apply(in)
+	b := plan.Apply(in)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Apply is not deterministic for equal (plan, input)")
+	}
+	if !reflect.DeepEqual(in, orig) {
+		t.Fatal("Apply mutated its input stream")
+	}
+	if reflect.DeepEqual(a, in) {
+		t.Fatal("an active plan left the stream untouched")
+	}
+	// A different seed must change the random-driven faults.
+	c := Plan{Seed: 100, Faults: plan.Faults}.Apply(in)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("changing the seed did not change the output")
+	}
+}
+
+func TestApplyAllMatchesPerStream(t *testing.T) {
+	in := stream(100, time.Millisecond)
+	var perReader [][]rfid.Report
+	for reader := 0; reader < 2; reader++ {
+		var s []rfid.Report
+		for _, rep := range in {
+			if rep.ReaderID == reader {
+				s = append(s, rep)
+			}
+		}
+		perReader = append(perReader, s)
+	}
+	plan := Plan{Seed: 7, Faults: []ReaderFault{
+		{Reader: AllReaders, DuplicateProb: 0.4},
+	}}
+	got := plan.ApplyAll(perReader)
+	if len(got) != 2 {
+		t.Fatalf("ApplyAll returned %d streams, want 2", len(got))
+	}
+	// Per-reader rng streams make splitting irrelevant: faulting each
+	// reader's stream alone equals faulting it inside the merged slice.
+	merged := plan.Apply(in)
+	for reader := 0; reader < 2; reader++ {
+		var fromMerged []rfid.Report
+		for _, rep := range merged {
+			if rep.ReaderID == reader {
+				fromMerged = append(fromMerged, rep)
+			}
+		}
+		if !reflect.DeepEqual(got[reader], fromMerged) {
+			t.Fatalf("reader %d: per-stream faulting differs from merged faulting", reader)
+		}
+	}
+}
+
+func TestClockOffsetAndDrift(t *testing.T) {
+	in := stream(10, 10*time.Millisecond)
+	plan := Plan{Faults: []ReaderFault{{Reader: 1, ClockOffset: 40 * time.Millisecond, DriftPPM: 1e5}}}
+	out := plan.Apply(in)
+	if len(out) != len(in) {
+		t.Fatalf("clock fault changed report count: %d -> %d", len(in), len(out))
+	}
+	for i, rep := range out {
+		if rep.ReaderID == 0 {
+			if rep.Time != in[i].Time {
+				t.Fatalf("unfaulted reader 0 timestamp moved: %v -> %v", in[i].Time, rep.Time)
+			}
+			continue
+		}
+		want := in[i].Time + 40*time.Millisecond + in[i].Time/10 // 1e5 ppm = +10%
+		if rep.Time != want {
+			t.Fatalf("reader 1 report %d: time %v, want %v", i, rep.Time, want)
+		}
+	}
+}
+
+func TestDropoutBursts(t *testing.T) {
+	in := stream(1000, time.Millisecond)
+	plan := Plan{Faults: []ReaderFault{{Reader: 0, DropoutEvery: 100 * time.Millisecond, DropoutLen: 25 * time.Millisecond}}}
+	out := plan.Apply(in)
+	n0, n1 := 0, 0
+	for _, rep := range out {
+		if rep.ReaderID == 0 {
+			n0++
+			if rep.Time%(100*time.Millisecond) < 25*time.Millisecond {
+				t.Fatalf("report at %v survived inside a dropout burst", rep.Time)
+			}
+		} else {
+			n1++
+		}
+	}
+	if n1 != 1000 {
+		t.Fatalf("dropout on reader 0 touched reader 1: %d reports", n1)
+	}
+	if n0 != 750 { // 25% of each 100ms period dropped, periods align with 1ms grid
+		t.Fatalf("reader 0 kept %d reports, want 750", n0)
+	}
+}
+
+func TestDuplicateFlood(t *testing.T) {
+	in := stream(2000, time.Millisecond)
+	plan := Plan{Seed: 3, Faults: []ReaderFault{{Reader: AllReaders, DuplicateProb: 0.5, DuplicateBurst: 2}}}
+	out := plan.Apply(in)
+	if len(out) <= len(in) {
+		t.Fatalf("duplicate flood did not grow the stream: %d -> %d", len(in), len(out))
+	}
+	// Expected growth: 50% of reports gain 2 copies → ~2x. Allow wide slack.
+	ratio := float64(len(out)) / float64(len(in))
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("duplicate growth ratio %.2f outside [1.7, 2.3]", ratio)
+	}
+	// Default burst of 1 when unset.
+	one := Plan{Seed: 3, Faults: []ReaderFault{{Reader: AllReaders, DuplicateProb: 1}}}.Apply(in)
+	if len(one) != 2*len(in) {
+		t.Fatalf("prob=1 burst=default should exactly double: %d -> %d", len(in), len(one))
+	}
+}
+
+func TestShuffleBreaksMonotonicity(t *testing.T) {
+	in := stream(500, 2*time.Millisecond)
+	plan := Plan{Seed: 11, Faults: []ReaderFault{{Reader: 0, ShuffleWindow: 20 * time.Millisecond}}}
+	out := plan.Apply(in)
+	if len(out) != len(in) {
+		t.Fatalf("shuffle changed report count: %d -> %d", len(in), len(out))
+	}
+	regressions, last := 0, time.Duration(-1)
+	for _, rep := range out {
+		if rep.ReaderID != 0 {
+			continue
+		}
+		if rep.Time < last {
+			regressions++
+			// Bounded damage: a report moves at most one window.
+			if last-rep.Time > 40*time.Millisecond {
+				t.Fatalf("shuffle moved a report %v, beyond two windows", last-rep.Time)
+			}
+		}
+		if rep.Time > last {
+			last = rep.Time
+		}
+	}
+	if regressions == 0 {
+		t.Fatal("shuffle produced no timestamp regressions")
+	}
+	// Reader 1 untouched and still monotonic.
+	last = -1
+	for _, rep := range out {
+		if rep.ReaderID != 1 {
+			continue
+		}
+		if rep.Time < last {
+			t.Fatal("shuffle on reader 0 broke reader 1 ordering")
+		}
+		last = rep.Time
+	}
+}
+
+func TestDeathAndRejoin(t *testing.T) {
+	in := stream(100, 10*time.Millisecond)
+	plan := Plan{Faults: []ReaderFault{{Reader: 1, DeadFrom: 200 * time.Millisecond, DeadUntil: 600 * time.Millisecond}}}
+	out := plan.Apply(in)
+	sawBefore, sawAfter := false, false
+	for _, rep := range out {
+		if rep.ReaderID != 1 {
+			continue
+		}
+		switch {
+		case rep.Time < 200*time.Millisecond:
+			sawBefore = true
+		case rep.Time < 600*time.Millisecond:
+			t.Fatalf("reader 1 reported at %v while dead", rep.Time)
+		default:
+			sawAfter = true
+		}
+	}
+	if !sawBefore || !sawAfter {
+		t.Fatalf("death interval clipped too much: before=%v after=%v", sawBefore, sawAfter)
+	}
+}
+
+func TestEmptyPlanIsIdentity(t *testing.T) {
+	in := stream(50, time.Millisecond)
+	out := Plan{Seed: 42}.Apply(in)
+	if !reflect.DeepEqual(in, out) {
+		t.Fatal("empty plan changed the stream")
+	}
+}
+
+func TestCorruptions(t *testing.T) {
+	frames := make([]byte, 256)
+	for i := range frames {
+		frames[i] = byte(i)
+	}
+	a := Corruptions(5, frames, 12)
+	b := Corruptions(5, frames, 12)
+	if len(a) != 12 {
+		t.Fatalf("got %d variants, want 12", len(a))
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Corruptions is not deterministic")
+	}
+	differs := 0
+	for _, v := range a {
+		if !reflect.DeepEqual(v, frames) {
+			differs++
+		}
+	}
+	if differs < len(a)-1 {
+		t.Fatalf("only %d/%d variants actually differ from the input", differs, len(a))
+	}
+	if Corruptions(5, nil, 4) != nil {
+		t.Fatal("empty input should yield no variants")
+	}
+	if Corruptions(5, frames, 0) != nil {
+		t.Fatal("n=0 should yield no variants")
+	}
+}

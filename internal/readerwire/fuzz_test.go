@@ -1,0 +1,167 @@
+package readerwire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"time"
+
+	"rfidraw/internal/faultgen"
+	"rfidraw/internal/rfid"
+)
+
+// fuzzStream is the canonical valid stream the fuzzer mutates: a Hello,
+// a handful of reports across both antennas, and a Bye. The committed
+// seed corpus under testdata/fuzz/FuzzReaderNext holds this stream plus
+// faultgen.Corruptions variants of it (truncations, bit flips, length
+// tampering, junk insertion) so every fuzz run starts from the wire
+// damage the fault harness models.
+func fuzzStream(tb testing.TB, reports int) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteHello(Hello{Proto: ProtoVersion, ReaderID: 1, AntennaCount: 4, SweepInterval: 25 * time.Millisecond}); err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < reports; i++ {
+		rep := rfid.Report{
+			Time:      time.Duration(i) * 5 * time.Millisecond,
+			ReaderID:  1,
+			AntennaID: 1 + i%4,
+			PhaseRad:  math.Mod(0.7*float64(i+1), 2*math.Pi),
+			PowerDB:   -40 - float64(i),
+		}
+		rep.EPC[0] = byte(i + 1)
+		rep.EPC[11] = 0xAB
+		if err := w.WriteReport(rep); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.WriteBye(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// checkMessage asserts a decoded message upholds the decoder's contract:
+// exactly one variant set, and any report within validated ranges.
+func checkMessage(t *testing.T, msg Message) {
+	t.Helper()
+	set := 0
+	if msg.Hello != nil {
+		set++
+		if msg.Hello.Proto != ProtoVersion {
+			t.Fatalf("decoded hello with proto %d", msg.Hello.Proto)
+		}
+	}
+	if msg.Report != nil {
+		set++
+		r := msg.Report
+		if r.ReaderID < 0 || r.ReaderID > 255 || r.AntennaID < 0 || r.AntennaID > 255 {
+			t.Fatalf("decoded report with out-of-byte ids %d/%d", r.ReaderID, r.AntennaID)
+		}
+		if math.IsNaN(r.PhaseRad) || r.PhaseRad < 0 || r.PhaseRad >= 2*math.Pi+1e-9 {
+			t.Fatalf("decoded report with out-of-range phase %v", r.PhaseRad)
+		}
+	}
+	if msg.Bye != nil {
+		set++
+	}
+	if set != 1 {
+		t.Fatalf("message with %d variants set", set)
+	}
+}
+
+// FuzzReaderNext drives arbitrary bytes through both decoder modes.
+// Strict mode may reject (ErrBadFrame) but never panic or mis-decode;
+// resync mode must additionally terminate at io.EOF on EVERY input —
+// it exists to survive corruption, so surfacing ErrBadFrame, looping
+// forever, or hallucinating more messages than the bytes could frame are
+// all failures.
+func FuzzReaderNext(f *testing.F) {
+	clean := fuzzStream(f, 6)
+	f.Add(clean)
+	for _, c := range faultgen.Corruptions(1, clean, 16) {
+		f.Add(c)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		strict := NewReader(bytes.NewReader(data))
+		for {
+			msg, err := strict.Next()
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, ErrBadFrame) {
+					t.Fatalf("strict: unexpected error class: %v", err)
+				}
+				break
+			}
+			checkMessage(t, msg)
+		}
+
+		rr := NewResyncReader(bytes.NewReader(data))
+		decoded := 0
+		for {
+			msg, err := rr.Next()
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					t.Fatalf("resync: leaked error past resync: %v", err)
+				}
+				break
+			}
+			checkMessage(t, msg)
+			decoded++
+		}
+		// Progress invariants: the scanner cannot skip more bytes than the
+		// input holds, and the smallest frame (Bye) is 5 bytes, bounding
+		// how many messages any input can possibly contain.
+		if rr.Resyncs() > len(data) {
+			t.Fatalf("resync: skipped %d bytes of a %d-byte input", rr.Resyncs(), len(data))
+		}
+		if decoded > len(data)/5 {
+			t.Fatalf("resync: decoded %d messages from %d bytes", decoded, len(data))
+		}
+	})
+}
+
+// FuzzReaderNext only proves resync never fails; this pins down that it
+// still decodes. Interleaving junk between every frame of a valid stream
+// must yield every original message back, in order.
+func TestResyncRecoversInterleavedJunk(t *testing.T) {
+	clean := fuzzStream(t, 6)
+	// Split into frames to interleave junk at every boundary.
+	var frames [][]byte
+	for rest := clean; len(rest) > 0; {
+		n := 4 + int(uint32(rest[0])<<24|uint32(rest[1])<<16|uint32(rest[2])<<8|uint32(rest[3]))
+		frames = append(frames, rest[:n])
+		rest = rest[n:]
+	}
+	junk := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x00}
+	var damaged bytes.Buffer
+	for _, fr := range frames {
+		damaged.Write(junk)
+		damaged.Write(fr)
+	}
+	rr := NewResyncReader(bytes.NewReader(damaged.Bytes()))
+	var got int
+	for {
+		msg, err := rr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkMessage(t, msg)
+		got++
+	}
+	if got != len(frames) {
+		t.Fatalf("recovered %d messages, want %d", got, len(frames))
+	}
+	if rr.Resyncs() == 0 {
+		t.Fatal("resync counter did not move over damaged stream")
+	}
+}

@@ -41,10 +41,21 @@ func (c *Client) http() *http.Client {
 // answers 503, surfaced as ErrSessionLimit so callers can tell shedding
 // from failure.
 func (c *Client) CreateSession(ctx context.Context, id string, sweep time.Duration) (string, error) {
-	body, _ := json.Marshal(map[string]any{
+	return c.CreateSessionGeometry(ctx, id, sweep, "")
+}
+
+// CreateSessionGeometry opens a session on a named antenna geometry
+// (deploy registry name; "" = default). The daemon answers 400 for an
+// unknown geometry.
+func (c *Client) CreateSessionGeometry(ctx context.Context, id string, sweep time.Duration, geometry string) (string, error) {
+	fields := map[string]any{
 		"id":       id,
 		"sweep_ms": float64(sweep) / float64(time.Millisecond),
-	})
+	}
+	if geometry != "" {
+		fields["geometry"] = geometry
+	}
+	body, _ := json.Marshal(fields)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/sessions", bytes.NewReader(body))
 	if err != nil {
 		return "", err
@@ -196,12 +207,24 @@ func (rs *ReaderStream) Close() error {
 // 10 ms of stream time and returns on the first write error or context
 // cancellation.
 func (rs *ReaderStream) Replay(ctx context.Context, reports []rfid.Report, pace float64, offset time.Duration, start time.Time) error {
+	return rs.ReplaySkewed(ctx, reports, pace, offset, start, 0)
+}
+
+// ReplaySkewed is Replay for a reader whose clock runs clockSkew ahead
+// of true time: timestamps go out as stamped, but the send schedule is
+// the true wall clock (stamp − clockSkew). That is how a skewed reader
+// behaves on the wire — it emits at true time, stamped by its own clock.
+// Pacing by the stamp instead would re-serialize the streams and hide
+// exactly the cross-reader disorder an injected clock fault exists to
+// create.
+func (rs *ReaderStream) ReplaySkewed(ctx context.Context, reports []rfid.Report, pace float64, offset time.Duration, start time.Time, clockSkew time.Duration) error {
 	const flushEvery = 10 * time.Millisecond
 	lastFlush := time.Duration(-1)
 	for _, rep := range reports {
 		t := rep.Time + offset
+		sched := t - clockSkew
 		if pace > 0 {
-			target := start.Add(time.Duration(float64(t) / pace))
+			target := start.Add(time.Duration(float64(sched) / pace))
 			if sleep := time.Until(target); sleep > 0 {
 				select {
 				case <-time.After(sleep):
@@ -214,11 +237,11 @@ func (rs *ReaderStream) Replay(ctx context.Context, reports []rfid.Report, pace 
 		if err := rs.Send(rep); err != nil {
 			return err
 		}
-		if t-lastFlush >= flushEvery {
+		if sched-lastFlush >= flushEvery {
 			if err := rs.Flush(); err != nil {
 				return err
 			}
-			lastFlush = t
+			lastFlush = sched
 		}
 		if ctx.Err() != nil {
 			return ctx.Err()

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"rfidraw/internal/deploy"
 	"rfidraw/internal/vote"
 )
 
@@ -20,6 +21,9 @@ type sessionInfo struct {
 	// State is "live" (pump and engine running), "recovered" (serving
 	// from the retained WAL only) or "closed".
 	State string `json:"state"`
+	// Geometry names the session's antenna geometry; omitted for the
+	// default deployment.
+	Geometry string `json:"geometry,omitempty"`
 	// WALSeq is the session's log head sequence; 0 when nothing is
 	// recorded. ?from=seq catch-up requests address this space.
 	WALSeq      uint64       `json:"wal_seq,omitempty"`
@@ -32,6 +36,7 @@ type sessionInfo struct {
 	SearchEvals int64        `json:"search_evals"`
 	Resyncs     int64        `json:"resync_bytes"`
 	OutOfOrder  int64        `json:"out_of_order"`
+	ReorderLate int64        `json:"reorder_late"`
 	Tags        []sessionTag `json:"tags,omitempty"`
 }
 
@@ -55,6 +60,7 @@ func (s *Server) info(sess *Session) sessionInfo {
 		Created:     sess.Created,
 		AgeMS:       time.Since(sess.Created).Milliseconds(),
 		State:       sess.State(),
+		Geometry:    sess.geometry,
 		WALSeq:      sess.WALSeq(),
 		Readers:     sess.Readers(),
 		Subscribers: sess.Subscribers(),
@@ -65,6 +71,7 @@ func (s *Server) info(sess *Session) sessionInfo {
 		SearchEvals: sess.searchEvals.Load(),
 		Resyncs:     sess.resyncs.Load(),
 		OutOfOrder:  sess.outOfOrder.Load(),
+		ReorderLate: sess.reorderLate.Load(),
 	}
 	for _, st := range sess.TagStats() {
 		tag := sessionTag{
@@ -151,6 +158,9 @@ type createSessionRequest struct {
 	// know it up front; ingest-fed sessions may leave it 0 and let the
 	// first reader Hello announce it.
 	SweepMS float64 `json:"sweep_ms"`
+	// Geometry names the session's antenna geometry (deploy registry
+	// name); empty selects the default deployment.
+	Geometry string `json:"geometry,omitempty"`
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -160,7 +170,11 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	sess, err := s.reg.Open(req.ID, time.Duration(req.SweepMS*float64(time.Millisecond)))
+	if _, err := deploy.GeometryByName(req.Geometry); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sess, err := s.reg.OpenGeometry(req.ID, time.Duration(req.SweepMS*float64(time.Millisecond)), req.Geometry)
 	switch {
 	case errors.Is(err, ErrSessionLimit):
 		writeError(w, http.StatusServiceUnavailable, "session limit reached")

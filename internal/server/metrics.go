@@ -18,11 +18,16 @@ type Metrics struct {
 	IngestConns       atomic.Int64
 	Reports           atomic.Int64
 	ReportsOutOfOrder atomic.Int64
-	ResyncBytes       atomic.Int64
-	Points            atomic.Int64
-	Glyphs            atomic.Int64
-	EventsDropped     atomic.Int64
-	Shed              atomic.Int64
+	// ReorderLate counts reports that arrived after their reorder-window
+	// slot was already released: the session resequencer delivered them
+	// to the engine behind later-stamped reports (a reader's clock skew
+	// exceeds RegistryConfig.ReorderWindow).
+	ReorderLate   atomic.Int64
+	ResyncBytes   atomic.Int64
+	Points        atomic.Int64
+	Glyphs        atomic.Int64
+	EventsDropped atomic.Int64
+	Shed          atomic.Int64
 	// SearchEvalsRetired accumulates closed sessions' final search-eval
 	// counts so rfidrawd_search_evals_total (retired + live sum) stays
 	// monotonic when sessions are deleted or expire.
@@ -60,6 +65,7 @@ var counterDefs = []counterDef{
 	{"rfidrawd_ingest_connections_total", "Reader connections accepted by the ingest gateway.", "counter", func(m *Metrics) int64 { return m.IngestConns.Load() }},
 	{"rfidrawd_reports_total", "Phase reports ingested.", "counter", func(m *Metrics) int64 { return m.Reports.Load() }},
 	{"rfidrawd_reports_out_of_order_total", "Reports dropped for regressing their reader's clock.", "counter", func(m *Metrics) int64 { return m.ReportsOutOfOrder.Load() }},
+	{"rfidrawd_reorder_late_total", "Reports delivered to the engine after their reorder-window slot was released (reader clock skew beyond the window).", "counter", func(m *Metrics) int64 { return m.ReorderLate.Load() }},
 	{"rfidrawd_resync_bytes_total", "Bytes skipped re-locking onto damaged reader streams.", "counter", func(m *Metrics) int64 { return m.ResyncBytes.Load() }},
 	{"rfidrawd_points_total", "Trace points emitted to sessions.", "counter", func(m *Metrics) int64 { return m.Points.Load() }},
 	{"rfidrawd_glyphs_total", "Glyphs recognized from completed strokes.", "counter", func(m *Metrics) int64 { return m.Glyphs.Load() }},

@@ -175,12 +175,22 @@ func (r *Registry) WALUsage() wal.Usage {
 // Metrics exposes the registry's counter set.
 func (r *Registry) Metrics() *Metrics { return r.metrics }
 
-// Open creates a session. id == "" assigns a random one. sweep, when
-// positive, is the reader cadence (in-process sessions know it up front;
-// ingest-fed sessions announce it with their first reader Hello and may
-// pass 0 here). Opens beyond MaxSessions fail with ErrSessionLimit —
-// explicit load shedding, surfaced as HTTP 503 by the API.
+// Open creates a session on the default antenna geometry. id == ""
+// assigns a random one. sweep, when positive, is the reader cadence
+// (in-process sessions know it up front; ingest-fed sessions announce it
+// with their first reader Hello and may pass 0 here). Opens beyond
+// MaxSessions fail with ErrSessionLimit — explicit load shedding,
+// surfaced as HTTP 503 by the API.
 func (r *Registry) Open(id string, sweep time.Duration) (*Session, error) {
+	return r.OpenGeometry(id, sweep, "")
+}
+
+// OpenGeometry creates a session bound to a named antenna geometry
+// (deploy registry name; "" is the default deployment). The geometry is
+// fixed for the session's lifetime: the engine factory builds its
+// steering tables from it, the WAL meta records it, and recovery and
+// retrace rebuild the same tables.
+func (r *Registry) OpenGeometry(id string, sweep time.Duration, geometry string) (*Session, error) {
 	if id == "" {
 		id = randomID()
 	} else if err := validateID(id); err != nil {
@@ -202,7 +212,7 @@ func (r *Registry) Open(id string, sweep time.Duration) (*Session, error) {
 		r.metrics.Shed.Add(1)
 		return nil, ErrSessionLimit
 	}
-	s := newSession(r, id, sweep)
+	s := newSession(r, id, sweep, geometry)
 	r.sessions[id] = s
 	r.live++
 	r.mu.Unlock()

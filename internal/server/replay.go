@@ -17,7 +17,10 @@ import (
 // tunables — the record-once/re-trace-many use of the log). record asks
 // for batch-equivalent TraceResults (retrace); catch-up feeds leave it
 // off so replay memory stays bounded.
-type ReplayerFactory func(sweep time.Duration, search *vote.SearchConfig, record bool) (*engine.Replayer, error)
+// geometry names the recorded session's antenna geometry (from the WAL
+// meta; "" = default) so the replay positions with the same steering
+// tables the live session used.
+type ReplayerFactory func(sweep time.Duration, geometry string, search *vote.SearchConfig, record bool) (*engine.Replayer, error)
 
 // SubscribeFrom attaches a catch-up consumer: it is fed the session's
 // recorded history replayed from the WAL — points derived from log
@@ -141,7 +144,7 @@ func (s *Session) feedCatchup(sub *Subscriber, from, head uint64) error {
 	if sweep <= 0 {
 		return nil // no engine was ever built; nothing to replay
 	}
-	rp, err := s.reg.cfg.NewReplayer(sweep, nil, false)
+	rp, err := s.reg.cfg.NewReplayer(sweep, s.geometry, nil, false)
 	if err != nil {
 		return err
 	}
@@ -234,7 +237,7 @@ func (s *Session) Retrace(search *vote.SearchConfig) ([]engine.TagResult, uint64
 	if sweep <= 0 {
 		return nil, 0, fmt.Errorf("server: session %s has recorded nothing", s.ID)
 	}
-	rp, err := s.reg.cfg.NewReplayer(sweep, search, true)
+	rp, err := s.reg.cfg.NewReplayer(sweep, s.geometry, search, true)
 	if err != nil {
 		return nil, 0, err
 	}

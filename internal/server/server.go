@@ -254,5 +254,7 @@ func newRecognizer() (*recognition.Recognizer, error) {
 
 // EngineFactory is the hook a deployment provides to bind a session to a
 // tracking engine: it must return a started engine whose OnUpdate is the
-// given callback and whose streaming sweep interval is sweep.
-type EngineFactory func(sweep time.Duration, onUpdate func(engine.Update)) (*engine.Engine, error)
+// given callback and whose streaming sweep interval is sweep. geometry
+// names the session's antenna geometry ("" = default deployment); the
+// factory builds the steering tables for it.
+type EngineFactory func(sweep time.Duration, geometry string, onUpdate func(engine.Update)) (*engine.Engine, error)

@@ -59,9 +59,34 @@ func perTagSweep(run *sim.MultiWordRun) time.Duration {
 	return run.SweepInterval * time.Duration(len(run.Tags))
 }
 
-func testFactory(t testing.TB) EngineFactory {
+// geometrySystem resolves a named geometry to a positioning system for
+// test factories: the cached scenario system for the default, a freshly
+// built one (rebuilt steering tables, widened region) otherwise.
+func geometrySystem(t testing.TB, geometry string) (*core.System, error) {
 	_, sys := scenario(t)
-	return func(sweep time.Duration, onUpdate func(engine.Update)) (*engine.Engine, error) {
+	if geometry == "" || geometry == "default" {
+		return sys, nil
+	}
+	spec, err := deploy.GeometryByName(geometry)
+	if err != nil {
+		return nil, err
+	}
+	dep, err := spec.BuildDefault()
+	if err != nil {
+		return nil, err
+	}
+	cfg := sys.Config()
+	cfg.Region = spec.Region()
+	return core.NewSystem(dep, cfg)
+}
+
+func testFactory(t testing.TB) EngineFactory {
+	scenario(t)
+	return func(sweep time.Duration, geometry string, onUpdate func(engine.Update)) (*engine.Engine, error) {
+		sys, err := geometrySystem(t, geometry)
+		if err != nil {
+			return nil, err
+		}
 		return engine.New(engine.Config{
 			Shards:        2,
 			System:        sys,

@@ -142,6 +142,10 @@ type stroke struct {
 type Session struct {
 	ID      string
 	Created time.Time
+	// geometry names the session's antenna geometry (deploy registry
+	// name, "" = default), fixed at open and threaded to the engine
+	// factory, the WAL meta, and every replay.
+	geometry string
 
 	reg *Registry
 
@@ -216,6 +220,11 @@ type Session struct {
 	searchEvals atomic.Int64
 	resyncs     atomic.Int64
 	outOfOrder  atomic.Int64
+	// reorderLate counts reports that arrived after their reorder-window
+	// slot had already been released to the engine: the resequencer can
+	// no longer place them before already-delivered later reports, so
+	// they reach the engine late (clock skew beyond ReorderWindow).
+	reorderLate atomic.Int64
 	// hypothesis-set sums over the session's tags, refreshed with the
 	// stats snapshot: active hypotheses (gauge) plus cumulative leader
 	// switches and retirements.
@@ -231,10 +240,11 @@ const pumpTick = 50 * time.Millisecond
 // statsEvery refreshes the engine stats snapshot every N pump ticks.
 const statsEvery = 10
 
-func newSession(reg *Registry, id string, sweep time.Duration) *Session {
+func newSession(reg *Registry, id string, sweep time.Duration, geometry string) *Session {
 	s := &Session{
 		ID:       id,
 		Created:  time.Now(),
+		geometry: geometry,
 		reg:      reg,
 		inbox:    make(chan ingestItem, reg.cfg.IngestBuffer),
 		quit:     make(chan struct{}),
@@ -260,6 +270,7 @@ func newRecoveredSession(reg *Registry, meta wal.Meta, stats wal.Stats) *Session
 	s := &Session{
 		ID:               meta.ID,
 		Created:          meta.Created,
+		geometry:         meta.Geometry,
 		reg:              reg,
 		quit:             quit,
 		pumpDone:         pumpDone,
@@ -276,6 +287,9 @@ func newRecoveredSession(reg *Registry, meta wal.Meta, stats wal.Stats) *Session
 	s.touch()
 	return s
 }
+
+// Geometry names the session's antenna geometry ("" = default).
+func (s *Session) Geometry() string { return s.geometry }
 
 // Recovered reports whether the session serves from its retained WAL
 // only (no live pump or engine).
@@ -661,7 +675,7 @@ func (s *Session) handleSweep(sweep time.Duration) {
 	if s.eng != nil {
 		return
 	}
-	eng, err := s.reg.cfg.NewEngine(sweep, s.onUpdate)
+	eng, err := s.reg.cfg.NewEngine(sweep, s.geometry, s.onUpdate)
 	if err != nil {
 		s.reg.cfg.Logf("server: session %s: engine: %v", s.ID, err)
 		return
@@ -669,7 +683,7 @@ func (s *Session) handleSweep(sweep time.Duration) {
 	s.eng, s.sweep = eng, sweep
 	s.sweepNs.Store(int64(sweep))
 	if st := s.reg.cfg.WAL; st != nil {
-		log, err := st.Create(wal.Meta{ID: s.ID, Created: s.Created, Sweep: sweep})
+		log, err := st.Create(wal.Meta{ID: s.ID, Created: s.Created, Sweep: sweep, Geometry: s.geometry})
 		if err != nil {
 			s.reg.cfg.Logf("server: session %s: wal: %v", s.ID, err)
 			return
@@ -689,12 +703,22 @@ func (s *Session) handleReport(rep rfid.Report) {
 		// the Hello first). Drop rather than grow without bound.
 		return
 	}
+	hold := s.reg.cfg.ReorderWindow
+	if s.maxSeen >= hold && rep.Time <= s.maxSeen-hold {
+		// The resequencer already released this report's time slot: later
+		// reports have been delivered, so it will reach the engine out of
+		// order (a reader's clock runs behind by more than the window).
+		// It is still delivered — and logged — so live and replay stay
+		// identical; the counter is the visibility the window breach
+		// otherwise lacks.
+		s.reorderLate.Add(1)
+		s.reg.metrics.ReorderLate.Add(1)
+	}
 	s.pushSeq++
 	heap.Push(&s.reorder, orderedReport{rep: rep, seq: s.pushSeq})
 	if rep.Time > s.maxSeen {
 		s.maxSeen = rep.Time
 	}
-	hold := s.reg.cfg.ReorderWindow
 	for s.reorder.Len() > 0 && s.reorder.min().Time <= s.maxSeen-hold {
 		s.offerToEngine(heap.Pop(&s.reorder).(orderedReport).rep)
 	}

@@ -10,9 +10,7 @@ import (
 	"time"
 
 	"rfidraw/internal/core"
-	"rfidraw/internal/deploy"
 	"rfidraw/internal/engine"
-	"rfidraw/internal/geom"
 	"rfidraw/internal/realtime"
 	"rfidraw/internal/tracing"
 	"rfidraw/internal/vote"
@@ -22,8 +20,12 @@ import (
 // recordingFactory builds session engines with RecordTrace on, so the
 // live trace can be snapshotted for disk round-trip comparison.
 func recordingFactory(t testing.TB) EngineFactory {
-	_, sys := scenario(t)
-	return func(sweep time.Duration, onUpdate func(engine.Update)) (*engine.Engine, error) {
+	scenario(t)
+	return func(sweep time.Duration, geometry string, onUpdate func(engine.Update)) (*engine.Engine, error) {
+		sys, err := geometrySystem(t, geometry)
+		if err != nil {
+			return nil, err
+		}
 		return engine.New(engine.Config{
 			Shards:        2,
 			System:        sys,
@@ -38,18 +40,21 @@ func recordingFactory(t testing.TB) EngineFactory {
 // testReplayerFactory mirrors the serve.go factory: shared system when
 // the search config is untouched, a rebuilt one under an override.
 func testReplayerFactory(t testing.TB) ReplayerFactory {
-	_, sys := scenario(t)
-	return func(sweep time.Duration, search *vote.SearchConfig, record bool) (*engine.Replayer, error) {
+	scenario(t)
+	return func(sweep time.Duration, geometry string, search *vote.SearchConfig, record bool) (*engine.Replayer, error) {
+		sys, err := geometrySystem(t, geometry)
+		if err != nil {
+			return nil, err
+		}
 		cfg := engine.Config{SweepInterval: sweep, RecordTrace: record}
 		if search == nil {
 			cfg.System = sys
 			return engine.NewReplayer(cfg)
 		}
-		rebuilt, err := core.NewSystem(nil, core.Config{
-			Plane: geom.Plane{Y: 2}, Region: deploy.DefaultRegion(),
-			Vote:  vote.Config{Search: *search},
-			Trace: tracing.Config{Search: *search},
-		})
+		coreCfg := sys.Config()
+		coreCfg.Vote = vote.Config{Search: *search}
+		coreCfg.Trace = tracing.Config{Search: *search}
+		rebuilt, err := core.NewSystem(sys.Deployment(), coreCfg)
 		if err != nil {
 			return nil, err
 		}

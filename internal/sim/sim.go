@@ -60,10 +60,14 @@ type Scenario struct {
 	// Tag is the tag on the user's hand.
 	Tag rfid.Tag
 
-	readersRF [2]*rfid.Reader // reader A (wide) and B (coarse)
+	readersRF []*rfid.Reader  // one per RF-IDraw reader array, in reader-ID order
 	readersBL [2]*rfid.Reader // left and bottom arrays
 	rng       *rand.Rand
 }
+
+// Readers returns the number of RF-IDraw reader arrays in the scenario
+// (two for the default geometry, more for multi-room deployments).
+func (s *Scenario) Readers() int { return len(s.readersRF) }
 
 // Config tunes scenario construction.
 type Config struct {
@@ -84,6 +88,15 @@ type Config struct {
 	NLOSDirectGain float64
 	// Seed drives all randomness in the scenario.
 	Seed int64
+	// Deployment overrides the RF-IDraw antenna deployment (heterogeneous
+	// geometries: multi-room, rotated). Nil means the paper's default
+	// Fig. 6d placement. The scenario builds one reader per distinct
+	// ReaderID in the deployment's antennas.
+	Deployment *deploy.RFIDraw
+	// Region overrides the writing-plane search region; the zero Rect
+	// means deploy.DefaultRegion(). Geometries with more rooms need a
+	// region covering them (deploy.GeometrySpec.Region).
+	Region geom.Rect
 }
 
 func (c Config) withDefaults() Config {
@@ -112,9 +125,13 @@ func New(cfg Config) (*Scenario, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	rf, err := deploy.DefaultRFIDraw()
-	if err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
+	rf := cfg.Deployment
+	if rf == nil {
+		var err error
+		rf, err = deploy.DefaultRFIDraw()
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
 	}
 	bl, err := deploy.DefaultBaseline()
 	if err != nil {
@@ -138,10 +155,14 @@ func New(cfg Config) (*Scenario, error) {
 		env = channel.LOS(cfg.PhaseNoise, scatterers...)
 	}
 
+	region := cfg.Region
+	if region.Width() <= 0 || region.Height() <= 0 {
+		region = deploy.DefaultRegion()
+	}
 	s := &Scenario{
 		Prop:     cfg.Prop,
 		Plane:    geom.Plane{Y: cfg.Distance},
-		Region:   deploy.DefaultRegion(),
+		Region:   region,
 		RFIDraw:  rf,
 		Baseline: bl,
 		Env:      env,
@@ -161,11 +182,28 @@ func New(cfg Config) (*Scenario, error) {
 		}
 		return rfid.NewReader(cfgR, env)
 	}
-	if s.readersRF[0], err = mkReader(deploy.ReaderA, rf.Antennas[:4]); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
+	// One simulated reader per distinct ReaderID in the deployment, in
+	// reader-ID order. Grouping must visit the rng in a fixed order so
+	// seeded runs on the default geometry reproduce the historical stream
+	// (reader A, reader B, then the two baseline arrays).
+	groups := map[int][]antenna.Antenna{}
+	maxReader := -1
+	for _, a := range rf.Antennas {
+		groups[a.ReaderID] = append(groups[a.ReaderID], a)
+		if a.ReaderID > maxReader {
+			maxReader = a.ReaderID
+		}
 	}
-	if s.readersRF[1], err = mkReader(deploy.ReaderB, rf.Antennas[4:]); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
+	for id := 0; id <= maxReader; id++ {
+		ants, ok := groups[id]
+		if !ok {
+			return nil, fmt.Errorf("sim: deployment has no antennas for reader %d", id)
+		}
+		r, err := mkReader(id, ants)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		s.readersRF = append(s.readersRF, r)
 	}
 	if s.readersBL[0], err = mkReader(deploy.ReaderA, bl.Left.Elements); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -213,7 +251,7 @@ func (s *Scenario) RunWord(text string, start geom.Vec2, style handwriting.Style
 		return s.Plane.To3D(p)
 	}
 	dur := word.Traj.Duration() + 50*time.Millisecond
-	samplesRF, err := s.observe(s.readersRF[:], dur, at)
+	samplesRF, err := s.observe(s.readersRF, dur, at)
 	if err != nil {
 		return nil, err
 	}
@@ -344,7 +382,7 @@ func (s *Scenario) RunWords(texts []string, starts []geom.Vec2) (*MultiWordRun, 
 // positioning (Fig. 6/12) experiments.
 func (s *Scenario) StaticRun(pos geom.Vec2, dur time.Duration) (rf, bl []tracing.Sample, err error) {
 	at := func(time.Duration) geom.Vec3 { return s.Plane.To3D(pos) }
-	rf, err = s.observe(s.readersRF[:], dur, at)
+	rf, err = s.observe(s.readersRF, dur, at)
 	if err != nil {
 		return nil, nil, err
 	}

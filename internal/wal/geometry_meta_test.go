@@ -1,0 +1,68 @@
+package wal
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetaGeometryRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := Meta{
+		ID:       "geo-session",
+		Created:  time.Unix(0, 1234567890),
+		Sweep:    50 * time.Millisecond,
+		Geometry: "multiroom",
+	}
+	l, err := st.Create(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(0); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := st.Scan(meta.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Geometry != "multiroom" || got.ID != meta.ID || got.Sweep != meta.Sweep {
+		t.Fatalf("scanned meta %+v, want %+v", got, meta)
+	}
+}
+
+func TestMetaGeometryTooLong(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = st.Create(Meta{ID: "x", Geometry: strings.Repeat("g", 256)})
+	if err == nil {
+		t.Fatal("256-byte geometry name accepted")
+	}
+}
+
+// Logs written before the geometry field existed carry a zero reserved
+// byte at p[18]; they must keep decoding, with Geometry "".
+func TestMetaDecodeLegacyPayload(t *testing.T) {
+	id := "legacy"
+	p := []byte{typeMeta, walVersion}
+	p = binary.BigEndian.AppendUint64(p, 42)
+	p = binary.BigEndian.AppendUint64(p, uint64(25*time.Millisecond))
+	p = append(p, 0, 0, 0, 0, 0, 0, 0) // pre-geometry reserved block
+	p = append(p, byte(len(id)))
+	p = append(p, id...)
+	_, meta, err := decodePayload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta == nil || meta.ID != id || meta.Geometry != "" {
+		t.Fatalf("legacy meta decoded to %+v", meta)
+	}
+	if meta.Sweep != 25*time.Millisecond {
+		t.Fatalf("legacy sweep %v", meta.Sweep)
+	}
+}

@@ -116,6 +116,12 @@ type Meta struct {
 	// Sweep is the session's per-tag reader cadence — a replay needs it
 	// to rebuild the tracking pipeline the live session ran.
 	Sweep time.Duration
+	// Geometry names the session's antenna geometry (deploy registry
+	// name); "" is the default deployment. A replay rebuilds the same
+	// steering tables the live session positioned with. Stored in a
+	// formerly reserved meta byte, so logs written before geometries
+	// existed decode to "".
+	Geometry string
 }
 
 // Record is one decoded log entry.
@@ -194,6 +200,9 @@ func (st *Store) sessionDir(id string) string { return filepath.Join(st.dir, id)
 func (st *Store) Create(meta Meta) (*Log, error) {
 	if meta.ID == "" {
 		return nil, errors.New("wal: empty session ID")
+	}
+	if len(meta.Geometry) > 255 {
+		return nil, fmt.Errorf("wal: geometry name %d bytes long", len(meta.Geometry))
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -410,14 +419,19 @@ func decodePayload(p []byte) (Record, *Meta, error) {
 		if len(p) < 26 || p[1] != walVersion {
 			return Record{}, nil, fmt.Errorf("wal: meta version %d", p[1])
 		}
+		// p[18] was reserved (always zero) before geometries existed; it
+		// now carries the geometry-name length, with the name appended
+		// after the ID. Old logs decode to Geometry "".
+		geoLen := int(p[18])
 		idLen := int(p[25])
-		if len(p) != 26+idLen {
+		if len(p) != 26+idLen+geoLen {
 			return Record{}, nil, fmt.Errorf("wal: meta length %d", len(p))
 		}
 		return Record{}, &Meta{
-			Created: time.Unix(0, int64(binary.BigEndian.Uint64(p[2:]))),
-			Sweep:   time.Duration(binary.BigEndian.Uint64(p[10:])),
-			ID:      string(p[26 : 26+idLen]),
+			Created:  time.Unix(0, int64(binary.BigEndian.Uint64(p[2:]))),
+			Sweep:    time.Duration(binary.BigEndian.Uint64(p[10:])),
+			ID:       string(p[26 : 26+idLen]),
+			Geometry: string(p[26+idLen:]),
 		}, nil
 	case typeReport:
 		if len(p) != reportPayloadLen {
@@ -493,9 +507,11 @@ func (l *Log) encodeMeta() []byte {
 	p = append(p, typeMeta, walVersion)
 	p = binary.BigEndian.AppendUint64(p, uint64(l.meta.Created.UnixNano()))
 	p = binary.BigEndian.AppendUint64(p, uint64(l.meta.Sweep))
-	p = append(p, 0, 0, 0, 0, 0, 0, 0) // reserved
+	p = append(p, byte(len(l.meta.Geometry)))
+	p = append(p, 0, 0, 0, 0, 0, 0) // reserved
 	p = append(p, byte(len(l.meta.ID)))
 	p = append(p, l.meta.ID...)
+	p = append(p, l.meta.Geometry...)
 	return p
 }
 

@@ -125,3 +125,50 @@ if ! grep -q '"t_ns"' rt1.json; then
 fi
 rm -f rt1.json rt2.json
 echo "soak: kill-and-recover OK ($RECOVERED sessions, retrace deterministic)"
+
+# ── Phase 3: adversarial scenario corpus ─────────────────────────────────
+# Drive every named fault profile (internal/corpus) through a fresh
+# durable daemon with loadgen -profile: injected clock skew, duplicate
+# floods, reader death and the multiroom geometry must all produce trace
+# points, keep retrace deterministic, and leak no goroutines. The drift
+# profile's 40ms skew exceeds the 25ms reorder window, so the
+# reorder-late counter must move.
+kill -9 "$DAEMON" 2>/dev/null || true
+wait "$DAEMON" 2>/dev/null || true
+rm -rf "$DATA_DIR"
+
+ADV_SESSIONS="${SOAK_ADV_SESSIONS:-2}"
+ADV_DURATION="${SOAK_ADV_DURATION:-8s}"
+ADV_PACE="${SOAK_ADV_PACE:-4}"
+DATA_DIR="$(mktemp -d)"
+bin/rfidrawd -http "$HTTP" -ingest "$INGEST" -idle 30s -data-dir "$DATA_DIR" &
+DAEMON=$!
+for _ in $(seq 1 100); do
+  curl -sf "http://$HTTP/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+ADV_BEFORE="$(goroutines)"
+
+for PROFILE in clean nlos-heavy drift dup-flood reader-loss multiroom; do
+  echo "soak: adversarial profile: $PROFILE"
+  bin/loadgen -daemon "http://$HTTP" -sessions "$ADV_SESSIONS" \
+    -duration "$ADV_DURATION" -pace "$ADV_PACE" -retrace \
+    -profile "$PROFILE" -out "SOAK_${PROFILE}.json"
+done
+
+LATE="$(curl -sf "http://$HTTP/metrics" | awk '/^rfidrawd_reorder_late_total /{print $2}')"
+echo "soak: reorder-late reports across profiles: $LATE"
+if [ "${LATE:-0}" -eq 0 ]; then
+  echo "soak: drift profile moved no reorder-late reports (skew beyond the window went unnoticed)" >&2
+  exit 1
+fi
+
+sleep 5
+ADV_AFTER="$(goroutines)"
+echo "soak: goroutines after adversarial phase: $ADV_AFTER (before: $ADV_BEFORE, slack: $SLACK)"
+if [ "$ADV_AFTER" -gt $((ADV_BEFORE + SLACK)) ]; then
+  echo "soak: goroutine leak under fault injection: $ADV_BEFORE -> $ADV_AFTER" >&2
+  exit 1
+fi
+curl -sf "http://$HTTP/healthz" | grep -q '"sessions":0'
+echo "soak: adversarial corpus OK (6 profiles, reorder-late $LATE)"

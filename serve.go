@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rfidraw/internal/core"
+	"rfidraw/internal/deploy"
 	"rfidraw/internal/engine"
 	"rfidraw/internal/realtime"
 	"rfidraw/internal/rfid"
@@ -128,12 +129,52 @@ func (s *System) registry(cfg ServeConfig) (*server.Registry, error) {
 	if shards <= 0 {
 		shards = 1
 	}
-	factory := func(sweep time.Duration, onUpdate func(engine.Update)) (*engine.Engine, error) {
+	// systemFor resolves a session's named geometry to a positioning
+	// system. The default geometry shares this System's precomputed
+	// positioner and steering tables; named geometries build theirs once
+	// (steering-table construction is the expensive part) and every
+	// session on that geometry shares the result.
+	var (
+		geoMu  sync.Mutex
+		geoSys = map[string]*core.System{}
+	)
+	systemFor := func(geometry string) (*core.System, error) {
+		if geometry == "" || geometry == "default" {
+			return s.eng.System(), nil
+		}
+		geoMu.Lock()
+		defer geoMu.Unlock()
+		if sys, ok := geoSys[geometry]; ok {
+			return sys, nil
+		}
+		spec, err := deploy.GeometryByName(geometry)
+		if err != nil {
+			return nil, err
+		}
+		base := s.eng.System()
+		dep, err := spec.Build(base.Deployment().Carrier, base.Deployment().Link)
+		if err != nil {
+			return nil, err
+		}
+		coreCfg := base.Config()
+		coreCfg.Region = spec.Region()
+		sys, err := core.NewSystem(dep, coreCfg)
+		if err != nil {
+			return nil, err
+		}
+		geoSys[geometry] = sys
+		return sys, nil
+	}
+	factory := func(sweep time.Duration, geometry string, onUpdate func(engine.Update)) (*engine.Engine, error) {
+		sys, err := systemFor(geometry)
+		if err != nil {
+			return nil, err
+		}
 		return engine.New(engine.Config{
 			Shards: shards,
-			// Sessions share this System's read-only positioner and
+			// Sessions on one geometry share a read-only positioner and
 			// steering tables; each gets its own shard group.
-			System:           s.eng.System(),
+			System:           sys,
 			SweepInterval:    sweep,
 			MaxAcquireBuffer: cfg.MaxAcquireBuffer,
 			OnUpdate:         onUpdate,
@@ -149,24 +190,28 @@ func (s *System) registry(cfg ServeConfig) (*server.Registry, error) {
 			return nil, fmt.Errorf("rfidraw: %w", err)
 		}
 		regCfg.WAL = store
-		regCfg.NewReplayer = func(sweep time.Duration, search *vote.SearchConfig, record bool) (*engine.Replayer, error) {
+		regCfg.NewReplayer = func(sweep time.Duration, geometry string, search *vote.SearchConfig, record bool) (*engine.Replayer, error) {
 			rcfg := engine.Config{
 				SweepInterval:    sweep,
 				MaxAcquireBuffer: cfg.MaxAcquireBuffer,
 				RecordTrace:      record,
 			}
+			base, err := systemFor(geometry)
+			if err != nil {
+				return nil, err
+			}
 			if search == nil {
 				// Same tunables as live: share the precomputed system.
-				rcfg.System = s.eng.System()
+				rcfg.System = base
 				return engine.NewReplayer(rcfg)
 			}
 			// A SearchConfig override needs its own steering tables:
-			// rebuild the core system with the deployment's config,
-			// search strategy swapped.
-			coreCfg := s.eng.System().Config()
+			// rebuild the core system with the geometry's config, search
+			// strategy swapped.
+			coreCfg := base.Config()
 			coreCfg.Vote.Search = *search
 			coreCfg.Trace.Search = *search
-			sys, err := core.NewSystem(s.eng.System().Deployment(), coreCfg)
+			sys, err := core.NewSystem(base.Deployment(), coreCfg)
 			if err != nil {
 				return nil, err
 			}
