@@ -51,6 +51,7 @@ func main() {
 		pace     = flag.Float64("pace", 1, "replay speed (1 = real time)")
 		duration = flag.Duration("duration", 30*time.Second, "how long each session streams (scenario loops)")
 		retrace  = flag.Bool("retrace", false, "after streaming, POST /retrace twice per session (daemon needs -data-dir) and gate on determinism")
+		overload = flag.Bool("overload", false, "overload mode: creates retry on 429 honoring Retry-After (a 429 without one fails the run), sessions the daemon sheds or parks under pressure count as outcomes instead of failures, and parked sessions are left on the daemon for post-run inspection")
 		profile  = flag.String("profile", "", "named adversarial scenario profile ("+strings.Join(corpus.ProfileNames(), ", ")+"); sets seed, geometry, propagation and injected reader faults")
 		out      = flag.String("out", "", "write the JSON report here (default stdout)")
 	)
@@ -60,7 +61,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	report, err := run(*daemon, *ingest, *sessions, *tags, *word, *seed, *pace, *duration, *retrace, *profile)
+	report, err := run(*daemon, *ingest, *sessions, *tags, *word, *seed, *pace, *duration, *retrace, *profile, *overload)
 	if report != nil {
 		b, _ := json.MarshalIndent(report, "", "  ")
 		b = append(b, '\n')
@@ -119,6 +120,12 @@ type Report struct {
 
 	Failed int `json:"failed"`
 	Shed   int `json:"shed"`
+	// Parked counts sessions the daemon parked under pressure (overload
+	// mode); Overload429 the total 429 admission refusals absorbed, and
+	// RetryWaitMS the total Retry-After time honored doing so.
+	Parked      int     `json:"parked,omitempty"`
+	Overload429 int64   `json:"overload_429,omitempty"`
+	RetryWaitMS float64 `json:"retry_wait_ms,omitempty"`
 
 	Points int64 `json:"points"`
 	Glyphs int64 `json:"glyphs"`
@@ -155,7 +162,12 @@ type SessionResult struct {
 	P50    float64 `json:"p50_ms"`
 	P99    float64 `json:"p99_ms"`
 	Shed   bool    `json:"shed,omitempty"`
-	Err    string  `json:"err,omitempty"`
+	// Parked marks a session the daemon parked under pressure mid-run;
+	// Retried429 counts this session's admission retries (overload mode).
+	Parked      bool    `json:"parked,omitempty"`
+	Retried429  int     `json:"retried_429,omitempty"`
+	RetryWaitMS float64 `json:"retry_wait_ms,omitempty"`
+	Err         string  `json:"err,omitempty"`
 
 	// RetraceMS is this session's retrace wall time (first run);
 	// RetracePoints the points it returned.
@@ -166,7 +178,7 @@ type SessionResult struct {
 	lats []float64
 }
 
-func run(daemon, ingest string, sessions, tags int, word string, seed int64, pace float64, duration time.Duration, retrace bool, profileName string) (*Report, error) {
+func run(daemon, ingest string, sessions, tags int, word string, seed int64, pace float64, duration time.Duration, retrace bool, profileName string, overload bool) (*Report, error) {
 	// One shared scenario, replayed into every session: sessions are
 	// isolated by the daemon, so identical content exercises the serving
 	// layer without paying scenario generation per session. A -profile
@@ -252,6 +264,15 @@ func run(daemon, ingest string, sessions, tags int, word string, seed int64, pac
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			if overload {
+				// Ramp the creates instead of a thundering herd: the
+				// congestion score is rate-driven (the pressure loop needs
+				// two 1s samples before any rate exists), so later creates
+				// must land after pressure from earlier sessions has had
+				// time to register — that is what makes admission refusals
+				// observable at all.
+				time.Sleep(time.Duration(i) * 400 * time.Millisecond)
+			}
 			results[i] = runSession(ctx, sessionParams{
 				client:      &server.Client{BaseURL: daemon, Ingest: ingest},
 				id:          fmt.Sprintf("load-%d", i),
@@ -263,6 +284,7 @@ func run(daemon, ingest string, sessions, tags int, word string, seed int64, pac
 				duration:    duration,
 				retrace:     retrace,
 				geometry:    geometry,
+				overload:    overload,
 			})
 		}(i)
 	}
@@ -280,12 +302,20 @@ func run(daemon, ingest string, sessions, tags int, word string, seed int64, pac
 		report.Glyphs += r.Glyphs
 		report.Drops += r.Drops
 		report.RetracePoints += r.RetracePoints
+		report.Overload429 += int64(r.Retried429)
+		report.RetryWaitMS += r.RetryWaitMS
 		if r.RetraceMS > 0 {
 			retraces = append(retraces, r.RetraceMS)
 		}
-		if r.Shed {
+		switch {
+		case r.Shed:
 			report.Shed++
-		} else if r.Err != "" {
+		case r.Parked:
+			// A parked session is the pressure loop doing its job: the
+			// record survives and is resumable, so whatever the stream
+			// teardown looked like from this side is not a failure.
+			report.Parked++
+		case r.Err != "":
 			// Shed sessions are the daemon doing its job under overload,
 			// not a failure of the run.
 			report.Failed++
@@ -311,19 +341,63 @@ type sessionParams struct {
 	duration    time.Duration
 	retrace     bool
 	geometry    string
+	overload    bool
+}
+
+// createSession opens the daemon session; in overload mode an HTTP 429
+// is retried after its mandatory Retry-After hint, so admission
+// backpressure shapes the ramp instead of failing it.
+func createSession(ctx context.Context, p sessionParams, res *SessionResult) (string, error) {
+	spec := server.SessionSpec{ID: p.id, Geometry: p.geometry}
+	deadline := time.Now().Add(p.duration)
+	for {
+		id, err := p.client.CreateSession(ctx, spec)
+		if err == nil {
+			return id, nil
+		}
+		if !p.overload || !errors.Is(err, server.ErrOverloaded) {
+			return "", err
+		}
+		res.Retried429++
+		var apiErr *server.APIError
+		if !errors.As(err, &apiErr) || apiErr.RetryAfter <= 0 {
+			return "", fmt.Errorf("429 without a Retry-After hint: %w", err)
+		}
+		if time.Now().Add(apiErr.RetryAfter).After(deadline) {
+			// Past the run budget: the daemon consistently refused this
+			// session — that is shedding, not an error.
+			res.Shed = true
+			return "", err
+		}
+		res.RetryWaitMS += float64(apiErr.RetryAfter) / float64(time.Millisecond)
+		select {
+		case <-time.After(apiErr.RetryAfter):
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	}
 }
 
 func runSession(ctx context.Context, p sessionParams) SessionResult {
 	res := SessionResult{ID: p.id}
-	id, err := p.client.CreateSessionGeometry(ctx, p.id, 0, p.geometry)
+	id, err := createSession(ctx, p, &res)
 	if err != nil {
 		if errors.Is(err, server.ErrSessionLimit) {
 			res.Shed = true
 		}
-		res.Err = err.Error()
+		if !res.Shed {
+			res.Err = err.Error()
+		}
 		return res
 	}
-	defer p.client.DeleteSession(context.Background(), id)
+	defer func() {
+		// A parked session is deliberately left behind in overload mode:
+		// the record on the daemon is the artifact the post-run harness
+		// resumes and retraces.
+		if !res.Parked {
+			p.client.DeleteSession(context.Background(), id)
+		}
+	}()
 
 	events, errs, err := p.client.Subscribe(ctx, id)
 	if err != nil {
@@ -408,13 +482,29 @@ func runSession(ctx context.Context, p sessionParams) SessionResult {
 	// delete ends the stream, which ends the consumer.
 	time.Sleep(400 * time.Millisecond)
 
+	// Under overload the pressure loop may have parked this session
+	// mid-replay (its ingest connections die and the stream ends early).
+	// That is the admission layer's designed relief valve, so learn the
+	// session's fate from the control plane before judging errors.
+	if p.overload {
+		if state, err := p.client.Control(ctx); err == nil {
+			for _, cs := range state.Sessions {
+				if cs.ID == id && cs.State == "recovered" {
+					res.Parked = true
+					res.Err = ""
+					break
+				}
+			}
+		}
+	}
+
 	// Replay-mode traffic: re-trace the recorded session from its WAL,
 	// twice, and gate on byte-identical responses — the serving-side
 	// proof that a retrace is a pure function of the record. Runs after
 	// the drain settle so the log is quiescent; if a straggling report
 	// still lands between the runs the heads differ and the byte gate
 	// does not apply (each run is only a function of ITS record prefix).
-	if p.retrace {
+	if p.retrace && !res.Parked {
 		t0 := time.Now()
 		sum, raw1, err := p.client.Retrace(ctx, id, "")
 		if err != nil {
@@ -434,8 +524,10 @@ func runSession(ctx context.Context, p sessionParams) SessionResult {
 			}
 		}
 	}
-	if err := p.client.DeleteSession(context.Background(), id); err != nil && res.Err == "" {
-		res.Err = err.Error()
+	if !res.Parked {
+		if err := p.client.DeleteSession(context.Background(), id); err != nil && res.Err == "" {
+			res.Err = err.Error()
+		}
 	}
 	select {
 	case sum := <-sumCh:
@@ -448,12 +540,12 @@ func runSession(ctx context.Context, p sessionParams) SessionResult {
 	}
 	select {
 	case err := <-errs:
-		if res.Err == "" {
+		if res.Err == "" && !res.Parked {
 			res.Err = err.Error()
 		}
 	default:
 	}
-	if res.Points == 0 && res.Err == "" {
+	if res.Points == 0 && res.Err == "" && !res.Parked {
 		res.Err = "session produced no points"
 	}
 	pct := percentiles(res.lats)

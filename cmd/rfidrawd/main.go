@@ -3,15 +3,21 @@
 //
 //   - a JSON control API and chunked NDJSON live streams on -http
 //     (POST/GET/DELETE /v1/sessions, GET /v1/sessions/{id}/stream),
+//   - an operator control plane (GET /v1/control, POST
+//     /v1/control/config, POST /v1/sessions/{id}/park|resume|drain),
 //   - a reader ingest gateway on -ingest (readerwire streams prefixed
 //     with a "RFIDRAWD/1 <session-id>" line),
 //   - observability on /healthz and /metrics.
 //
 // Each session binds its writers' tags to an engine shard group sharing
-// the daemon's precomputed positioner. Beyond -max-sessions the daemon
-// sheds session creates with HTTP 503 instead of degrading live ones;
-// slow stream consumers lose their oldest events instead of stalling the
-// trackers.
+// the daemon's precomputed positioner. Admission is demand-driven: each
+// session's cost (search evaluations/s, WAL bytes/s, late-report rate,
+// subscriber backlog) rolls into a node congestion score, and at
+// -shed-at the daemon refuses new sessions with HTTP 429 + Retry-After;
+// at -park-at it parks the cheapest durable sessions (engine reclaimed,
+// record kept resumable) until the score recovers. Beyond -max-sessions
+// creates are shed with HTTP 503 regardless of score; slow stream
+// consumers lose their oldest events instead of stalling the trackers.
 //
 // Usage:
 //
@@ -42,76 +48,119 @@ import (
 	"rfidraw"
 )
 
+// daemonFlags is every tunable the command line exposes, validated as
+// one unit before anything binds.
+type daemonFlags struct {
+	httpAddr   string
+	ingestAddr string
+	dist       float64
+	shards     int
+	maxSess    int
+	maxSubs    int
+	queue      int
+	idle       time.Duration
+	retain     time.Duration
+	reorder    time.Duration
+	maxAcquire int
+	dataDir    string
+	walSync    int
+
+	evalCapacity    float64
+	walCapacity     float64
+	lateCapacity    float64
+	backlogCapacity float64
+	shedAt          float64
+	parkAt          float64
+}
+
 func main() {
-	var (
-		httpAddr   = flag.String("http", "127.0.0.1:8090", "control/streaming API listen address")
-		ingestAddr = flag.String("ingest", "127.0.0.1:7070", "reader ingest gateway listen address")
-		dist       = flag.Float64("dist", 2, "writing plane distance in metres")
-		shards     = flag.Int("session-shards", 1, "engine worker shards per session")
-		maxSess    = flag.Int("max-sessions", 128, "admission-control cap on live sessions")
-		maxSubs    = flag.Int("max-subscribers", 16, "stream subscribers per session")
-		queue      = flag.Int("queue", 256, "per-subscriber bounded event queue")
-		idle       = flag.Duration("idle", 2*time.Minute, "idle session expiry")
-		reorder    = flag.Duration("reorder", 25*time.Millisecond, "cross-reader resequencing window")
-		maxAcquire = flag.Int("max-acquire", 400, "per-tag warmup sample buffer bound (sweeps, ≥ the 4-sweep warmup)")
-		dataDir    = flag.String("data-dir", "", "write-ahead log directory: sessions become durable, crash-recoverable and re-traceable (empty disables)")
-		walSync    = flag.Int("wal-sync", 64, "fsync the session log every N report appends (1 = every append; drains always sync)")
-	)
+	var f daemonFlags
+	flag.StringVar(&f.httpAddr, "http", "127.0.0.1:8090", "control/streaming API listen address")
+	flag.StringVar(&f.ingestAddr, "ingest", "127.0.0.1:7070", "reader ingest gateway listen address")
+	flag.Float64Var(&f.dist, "dist", 2, "writing plane distance in metres")
+	flag.IntVar(&f.shards, "session-shards", 1, "engine worker shards per session")
+	flag.IntVar(&f.maxSess, "max-sessions", 128, "hard admission cap on live sessions (503 beyond it)")
+	flag.IntVar(&f.maxSubs, "max-subscribers", 16, "stream subscribers per session")
+	flag.IntVar(&f.queue, "queue", 256, "per-subscriber bounded event queue")
+	flag.DurationVar(&f.idle, "idle", 2*time.Minute, "idle session expiry")
+	flag.DurationVar(&f.retain, "retain", 0, "forget parked session records untouched this long (0 = retain forever)")
+	flag.DurationVar(&f.reorder, "reorder", 25*time.Millisecond, "cross-reader resequencing window")
+	flag.IntVar(&f.maxAcquire, "max-acquire", 400, "per-tag warmup sample buffer bound (sweeps, ≥ the 4-sweep warmup)")
+	flag.StringVar(&f.dataDir, "data-dir", "", "write-ahead log directory: sessions become durable, crash-recoverable and re-traceable (empty disables)")
+	flag.IntVar(&f.walSync, "wal-sync", 64, "fsync the session log every N report appends (1 = every append; drains always sync)")
+	flag.Float64Var(&f.evalCapacity, "eval-capacity", 0, "search-evaluation budget per second for the congestion score (0 = default)")
+	flag.Float64Var(&f.walCapacity, "wal-capacity", 0, "WAL write budget in bytes per second for the congestion score (0 = default)")
+	flag.Float64Var(&f.lateCapacity, "late-capacity", 0, "tolerable late-report rate per second for the congestion score (0 = default)")
+	flag.Float64Var(&f.backlogCapacity, "backlog-capacity", 0, "tolerable worst subscriber queue fill fraction (0 = default)")
+	flag.Float64Var(&f.shedAt, "shed-at", 0, "congestion score refusing new sessions with 429 (0 = default 0.9, negative disables)")
+	flag.Float64Var(&f.parkAt, "park-at", 0, "congestion score parking cheapest durable sessions (0 = default 0.75, negative disables)")
 	flag.Parse()
-	if err := validateFlags(*httpAddr, *ingestAddr, *dist, *shards, *maxSess, *maxSubs, *queue, *idle, *reorder, *maxAcquire, *walSync); err != nil {
+	if err := f.validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "rfidrawd: invalid flags:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*httpAddr, *ingestAddr, *dist, *shards, *maxSess, *maxSubs, *queue, *idle, *reorder, *maxAcquire, *dataDir, *walSync); err != nil {
+	if err := run(f); err != nil {
 		fmt.Fprintln(os.Stderr, "rfidrawd:", err)
 		os.Exit(1)
 	}
 }
 
-// validateFlags rejects malformed combinations before anything binds.
-func validateFlags(httpAddr, ingestAddr string, dist float64, shards, maxSess, maxSubs, queue int, idle, reorder time.Duration, maxAcquire, walSync int) error {
-	if strings.TrimSpace(httpAddr) == "" {
+// validate rejects malformed combinations before anything binds.
+func (f daemonFlags) validate() error {
+	if strings.TrimSpace(f.httpAddr) == "" {
 		return fmt.Errorf("-http must name a TCP address")
 	}
-	if strings.TrimSpace(ingestAddr) == "" {
+	if strings.TrimSpace(f.ingestAddr) == "" {
 		return fmt.Errorf("-ingest must name a TCP address")
 	}
-	if strings.TrimSpace(httpAddr) == strings.TrimSpace(ingestAddr) {
-		return fmt.Errorf("-http and -ingest must differ (both %q)", httpAddr)
+	if strings.TrimSpace(f.httpAddr) == strings.TrimSpace(f.ingestAddr) {
+		return fmt.Errorf("-http and -ingest must differ (both %q)", f.httpAddr)
 	}
-	if dist <= 0 {
-		return fmt.Errorf("-dist %v must be a positive distance in metres", dist)
+	if f.dist <= 0 {
+		return fmt.Errorf("-dist %v must be a positive distance in metres", f.dist)
 	}
-	if shards < 1 {
-		return fmt.Errorf("-session-shards %d needs at least one shard", shards)
+	if f.shards < 1 {
+		return fmt.Errorf("-session-shards %d needs at least one shard", f.shards)
 	}
-	if maxSess < 1 {
-		return fmt.Errorf("-max-sessions %d needs at least one session", maxSess)
+	if f.maxSess < 1 {
+		return fmt.Errorf("-max-sessions %d needs at least one session", f.maxSess)
 	}
-	if maxSubs < 1 {
-		return fmt.Errorf("-max-subscribers %d needs at least one subscriber", maxSubs)
+	if f.maxSubs < 1 {
+		return fmt.Errorf("-max-subscribers %d needs at least one subscriber", f.maxSubs)
 	}
-	if queue < 1 {
-		return fmt.Errorf("-queue %d needs at least one slot", queue)
+	if f.queue < 1 {
+		return fmt.Errorf("-queue %d needs at least one slot", f.queue)
 	}
-	if idle <= 0 {
-		return fmt.Errorf("-idle %v must be positive", idle)
+	if f.idle <= 0 {
+		return fmt.Errorf("-idle %v must be positive", f.idle)
 	}
-	if reorder <= 0 {
-		return fmt.Errorf("-reorder %v must be positive", reorder)
+	if f.retain < 0 {
+		return fmt.Errorf("-retain %v must be zero (forever) or positive", f.retain)
 	}
-	if maxAcquire < 1 {
-		return fmt.Errorf("-max-acquire %d needs at least one buffered sweep", maxAcquire)
+	if f.reorder <= 0 {
+		return fmt.Errorf("-reorder %v must be positive", f.reorder)
 	}
-	if walSync < 1 {
-		return fmt.Errorf("-wal-sync %d must be at least 1 (sync every append)", walSync)
+	if f.maxAcquire < 1 {
+		return fmt.Errorf("-max-acquire %d needs at least one buffered sweep", f.maxAcquire)
+	}
+	if f.walSync < 1 {
+		return fmt.Errorf("-wal-sync %d must be at least 1 (sync every append)", f.walSync)
+	}
+	if f.evalCapacity < 0 || f.walCapacity < 0 || f.lateCapacity < 0 {
+		return fmt.Errorf("capacity budgets must be non-negative (0 = default)")
+	}
+	if f.backlogCapacity < 0 || f.backlogCapacity > 1 {
+		return fmt.Errorf("-backlog-capacity %v must be a fraction in [0, 1]", f.backlogCapacity)
+	}
+	if f.shedAt > 0 && f.parkAt > 0 && f.parkAt >= f.shedAt {
+		return fmt.Errorf("-park-at %v should sit below -shed-at %v: parking is the relief valve before shedding", f.parkAt, f.shedAt)
 	}
 	return nil
 }
 
-func run(httpAddr, ingestAddr string, dist float64, shards, maxSess, maxSubs, queue int, idle, reorder time.Duration, maxAcquire int, dataDir string, walSync int) error {
-	sys, err := rfidraw.New(rfidraw.Config{PlaneDistanceM: dist})
+func run(f daemonFlags) error {
+	sys, err := rfidraw.New(rfidraw.Config{PlaneDistanceM: f.dist})
 	if err != nil {
 		return err
 	}
@@ -119,17 +168,26 @@ func run(httpAddr, ingestAddr string, dist float64, shards, maxSess, maxSubs, qu
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	return sys.Serve(ctx, rfidraw.ServeConfig{
-		HTTPAddr:         httpAddr,
-		IngestAddr:       ingestAddr,
-		MaxSessions:      maxSess,
-		MaxSubscribers:   maxSubs,
-		SubscriberQueue:  queue,
-		SessionShards:    shards,
-		MaxAcquireBuffer: maxAcquire,
-		IdleTimeout:      idle,
-		ReorderWindow:    reorder,
-		DataDir:          dataDir,
-		WALSyncEvery:     walSync,
-		Logf:             log.Printf,
+		HTTPAddr:         f.httpAddr,
+		IngestAddr:       f.ingestAddr,
+		MaxSessions:      f.maxSess,
+		MaxSubscribers:   f.maxSubs,
+		SubscriberQueue:  f.queue,
+		SessionShards:    f.shards,
+		MaxAcquireBuffer: f.maxAcquire,
+		IdleTimeout:      f.idle,
+		RetainFor:        f.retain,
+		ReorderWindow:    f.reorder,
+		DataDir:          f.dataDir,
+		WALSyncEvery:     f.walSync,
+		Capacity: rfidraw.CostCapacity{
+			SearchEvalsPerSec: f.evalCapacity,
+			WALBytesPerSec:    f.walCapacity,
+			LatePerSec:        f.lateCapacity,
+			Backlog:           f.backlogCapacity,
+		},
+		ShedThreshold: f.shedAt,
+		ParkThreshold: f.parkAt,
+		Logf:          log.Printf,
 	})
 }

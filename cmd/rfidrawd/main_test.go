@@ -5,41 +5,73 @@ import (
 	"time"
 )
 
+func okFlags() daemonFlags {
+	return daemonFlags{
+		httpAddr:   "127.0.0.1:8090",
+		ingestAddr: "127.0.0.1:7070",
+		dist:       2.0,
+		shards:     1,
+		maxSess:    128,
+		maxSubs:    16,
+		queue:      256,
+		idle:       2 * time.Minute,
+		reorder:    25 * time.Millisecond,
+		maxAcquire: 400,
+		walSync:    64,
+	}
+}
+
 func TestValidateFlags(t *testing.T) {
-	ok := func() []any {
-		return []any{"127.0.0.1:8090", "127.0.0.1:7070", 2.0, 1, 128, 16, 256, 2 * time.Minute, 25 * time.Millisecond, 400, 64}
-	}
-	call := func(args []any) error {
-		return validateFlags(args[0].(string), args[1].(string), args[2].(float64),
-			args[3].(int), args[4].(int), args[5].(int), args[6].(int),
-			args[7].(time.Duration), args[8].(time.Duration), args[9].(int), args[10].(int))
-	}
-	if err := call(ok()); err != nil {
+	if err := okFlags().validate(); err != nil {
 		t.Fatalf("valid flags rejected: %v", err)
 	}
 	cases := []struct {
 		name string
-		idx  int
-		val  any
+		mut  func(*daemonFlags)
 	}{
-		{"empty http", 0, "  "},
-		{"empty ingest", 1, ""},
-		{"same addr", 1, "127.0.0.1:8090"},
-		{"bad dist", 2, -1.0},
-		{"zero shards", 3, 0},
-		{"zero sessions", 4, 0},
-		{"zero subscribers", 5, 0},
-		{"zero queue", 6, 0},
-		{"zero idle", 7, time.Duration(0)},
-		{"zero reorder", 8, time.Duration(0)},
-		{"zero max-acquire", 9, 0},
-		{"zero wal-sync", 10, 0},
+		{"empty http", func(f *daemonFlags) { f.httpAddr = "  " }},
+		{"empty ingest", func(f *daemonFlags) { f.ingestAddr = "" }},
+		{"same addr", func(f *daemonFlags) { f.ingestAddr = "127.0.0.1:8090" }},
+		{"bad dist", func(f *daemonFlags) { f.dist = -1.0 }},
+		{"zero shards", func(f *daemonFlags) { f.shards = 0 }},
+		{"zero sessions", func(f *daemonFlags) { f.maxSess = 0 }},
+		{"zero subscribers", func(f *daemonFlags) { f.maxSubs = 0 }},
+		{"zero queue", func(f *daemonFlags) { f.queue = 0 }},
+		{"zero idle", func(f *daemonFlags) { f.idle = 0 }},
+		{"negative retain", func(f *daemonFlags) { f.retain = -time.Second }},
+		{"zero reorder", func(f *daemonFlags) { f.reorder = 0 }},
+		{"zero max-acquire", func(f *daemonFlags) { f.maxAcquire = 0 }},
+		{"zero wal-sync", func(f *daemonFlags) { f.walSync = 0 }},
+		{"negative eval capacity", func(f *daemonFlags) { f.evalCapacity = -1 }},
+		{"negative wal capacity", func(f *daemonFlags) { f.walCapacity = -1 }},
+		{"negative late capacity", func(f *daemonFlags) { f.lateCapacity = -1 }},
+		{"backlog over one", func(f *daemonFlags) { f.backlogCapacity = 1.5 }},
+		{"park above shed", func(f *daemonFlags) { f.shedAt = 0.5; f.parkAt = 0.9 }},
 	}
 	for _, tc := range cases {
-		args := ok()
-		args[tc.idx] = tc.val
-		if err := call(args); err == nil {
+		f := okFlags()
+		tc.mut(&f)
+		if err := f.validate(); err == nil {
 			t.Errorf("%s: accepted", tc.name)
 		}
+	}
+}
+
+// TestValidateFlagsPolicyToggles: 0 means "use the default" and
+// negative disables for both thresholds — all must validate.
+func TestValidateFlagsPolicyToggles(t *testing.T) {
+	for _, v := range []float64{0, -1, 0.5} {
+		f := okFlags()
+		f.shedAt = v
+		f.parkAt = v / 2
+		if err := f.validate(); err != nil {
+			t.Errorf("shed-at %v: %v", v, err)
+		}
+	}
+	f := okFlags()
+	f.retain = time.Hour
+	f.backlogCapacity = 1
+	if err := f.validate(); err != nil {
+		t.Errorf("retain+backlog: %v", err)
 	}
 }

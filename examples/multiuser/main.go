@@ -93,7 +93,7 @@ func throughDaemon(daemon string, run *sim.MultiWordRun, words []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
 	cl := &server.Client{BaseURL: daemon}
-	id, err := cl.CreateSession(ctx, "", 0)
+	id, err := cl.CreateSession(ctx, server.SessionSpec{})
 	if err != nil {
 		return err
 	}

@@ -140,7 +140,7 @@ func throughDaemon(daemon string, streams [][]rfid.Report, word string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	cl := &server.Client{BaseURL: daemon}
-	id, err := cl.CreateSession(ctx, "", 0)
+	id, err := cl.CreateSession(ctx, server.SessionSpec{})
 	if err != nil {
 		return err
 	}

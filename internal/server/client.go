@@ -9,11 +9,102 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"rfidraw/internal/readerwire"
 	"rfidraw/internal/rfid"
 )
+
+// APIError is the typed form of the daemon's JSON error envelope
+// ({"error": {"code", "message", "retry_after_ms"}}). errors.Is matches
+// it against the server sentinels (ErrSessionLimit, ErrOverloaded, …)
+// by code, so callers branch on sentinel, not on status text.
+type APIError struct {
+	// StatusCode is the HTTP status the error arrived with.
+	StatusCode int
+	// Code is the envelope's stable machine-readable code.
+	Code string
+	// Message is the human-readable description.
+	Message string
+	// RetryAfter is the server's suggested backoff (429 responses; zero
+	// otherwise).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("server: %s (%d %s, retry after %s)", e.Message, e.StatusCode, e.Code, e.RetryAfter)
+	}
+	return fmt.Sprintf("server: %s (%d %s)", e.Message, e.StatusCode, e.Code)
+}
+
+// Is maps envelope codes back onto the package's error sentinels.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrSessionLimit:
+		return e.Code == "session_limit"
+	case ErrSubscriberLimit:
+		return e.Code == "subscriber_limit"
+	case ErrOverloaded:
+		return e.Code == "overloaded"
+	case ErrSessionExists:
+		return e.Code == "conflict"
+	case ErrBadSessionID:
+		return e.Code == "bad_session_id"
+	case ErrUnknownSession:
+		return e.Code == "not_found"
+	case ErrNotParked:
+		return e.Code == "not_parked"
+	case ErrNotLive:
+		return e.Code == "not_live"
+	case ErrNotDurable:
+		return e.Code == "not_durable"
+	case ErrNoWAL:
+		return e.Code == "no_wal"
+	case ErrSessionClosed:
+		return e.Code == "gone"
+	}
+	return false
+}
+
+// decodeAPIError turns a non-2xx response into an *APIError. It is
+// tolerant of the pre-envelope flat shape ({"error": "msg"}) and of
+// non-JSON bodies, so the client keeps working against old daemons.
+func decodeAPIError(resp *http.Response, raw []byte) *APIError {
+	e := &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+	var env struct {
+		Error json.RawMessage `json:"error"`
+	}
+	if json.Unmarshal(raw, &env) == nil && len(env.Error) > 0 {
+		var body errorBody
+		if json.Unmarshal(env.Error, &body) == nil && body.Message != "" {
+			e.Code, e.Message = body.Code, body.Message
+			e.RetryAfter = time.Duration(body.RetryAfterMS) * time.Millisecond
+		} else {
+			var flat string
+			if json.Unmarshal(env.Error, &flat) == nil {
+				e.Message = flat
+			}
+		}
+	}
+	if e.RetryAfter == 0 {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	if e.Message == "" {
+		e.Message = resp.Status
+	}
+	return e
+}
+
+// readAPIError drains the body and decodes the error envelope.
+func readAPIError(resp *http.Response) *APIError {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	return decodeAPIError(resp, raw)
+}
 
 // Client is a minimal rfidrawd client: session lifecycle over the HTTP
 // API, report replay over the ingest gateway and NDJSON stream
@@ -36,24 +127,25 @@ func (c *Client) http() *http.Client {
 	return &http.Client{}
 }
 
-// CreateSession opens a session; id == "" lets the daemon assign one.
-// The returned ID addresses the other calls. A daemon at its session cap
-// answers 503, surfaced as ErrSessionLimit so callers can tell shedding
-// from failure.
-func (c *Client) CreateSession(ctx context.Context, id string, sweep time.Duration) (string, error) {
-	return c.CreateSessionGeometry(ctx, id, sweep, "")
-}
-
-// CreateSessionGeometry opens a session on a named antenna geometry
-// (deploy registry name; "" = default). The daemon answers 400 for an
-// unknown geometry.
-func (c *Client) CreateSessionGeometry(ctx context.Context, id string, sweep time.Duration, geometry string) (string, error) {
+// CreateSession opens a session from a spec; spec.ID == "" lets the
+// daemon assign one. The returned ID addresses the other calls. A
+// daemon at its hard session cap answers 503 (errors.Is
+// ErrSessionLimit); one shedding by congestion score answers 429
+// (errors.Is ErrOverloaded) with the suggested backoff in the
+// APIError's RetryAfter.
+func (c *Client) CreateSession(ctx context.Context, spec SessionSpec) (string, error) {
 	fields := map[string]any{
-		"id":       id,
-		"sweep_ms": float64(sweep) / float64(time.Millisecond),
+		"id":       spec.ID,
+		"sweep_ms": float64(spec.Sweep) / float64(time.Millisecond),
 	}
-	if geometry != "" {
-		fields["geometry"] = geometry
+	if spec.Geometry != "" {
+		fields["geometry"] = spec.Geometry
+	}
+	if spec.Search != nil {
+		fields["search"] = toSearchJSON(spec.Search)
+	}
+	if spec.WAL != (WALPolicy{}) {
+		fields["wal"] = walPolicyJSON{Disable: spec.WAL.Disable, SyncEvery: spec.WAL.SyncEvery}
 	}
 	body, _ := json.Marshal(fields)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/sessions", bytes.NewReader(body))
@@ -66,11 +158,8 @@ func (c *Client) CreateSessionGeometry(ctx context.Context, id string, sweep tim
 		return "", err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusServiceUnavailable {
-		return "", ErrSessionLimit
-	}
 	if resp.StatusCode != http.StatusCreated {
-		return "", fmt.Errorf("create session: %s", resp.Status)
+		return "", readAPIError(resp)
 	}
 	var out struct {
 		ID     string `json:"id"`
@@ -85,7 +174,15 @@ func (c *Client) CreateSessionGeometry(ctx context.Context, id string, sweep tim
 	return out.ID, nil
 }
 
-// DeleteSession closes a session.
+// CreateSessionGeometry opens a session on a named antenna geometry.
+//
+// Deprecated: build a SessionSpec and call CreateSession; this wrapper
+// survives for old callers only.
+func (c *Client) CreateSessionGeometry(ctx context.Context, id string, sweep time.Duration, geometry string) (string, error) {
+	return c.CreateSession(ctx, SessionSpec{ID: id, Sweep: sweep, Geometry: geometry})
+}
+
+// DeleteSession closes a session (and forgets its retained record).
 func (c *Client) DeleteSession(ctx context.Context, id string) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/v1/sessions/"+id, nil)
 	if err != nil {
@@ -95,9 +192,9 @@ func (c *Client) DeleteSession(ctx context.Context, id string) error {
 	if err != nil {
 		return err
 	}
-	resp.Body.Close()
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent {
-		return fmt.Errorf("delete session: %s", resp.Status)
+		return readAPIError(resp)
 	}
 	return nil
 }
@@ -131,8 +228,8 @@ func (c *Client) subscribe(ctx context.Context, url string) (<-chan Event, <-cha
 		return nil, nil, ErrSubscriberLimit
 	}
 	if resp.StatusCode != http.StatusOK {
-		resp.Body.Close()
-		return nil, nil, fmt.Errorf("subscribe: %s", resp.Status)
+		defer resp.Body.Close()
+		return nil, nil, readAPIError(resp)
 	}
 	events := make(chan Event, 64)
 	errs := make(chan error, 1)
@@ -289,11 +386,97 @@ func (c *Client) Retrace(ctx context.Context, id, mode string) (*RetraceSummary,
 		return nil, nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, raw, fmt.Errorf("retrace: %s: %s", resp.Status, raw)
+		return nil, raw, decodeAPIError(resp, raw)
 	}
 	var sum RetraceSummary
 	if err := json.Unmarshal(raw, &sum); err != nil {
 		return nil, raw, err
 	}
 	return &sum, raw, nil
+}
+
+// Control fetches the node's control-plane state: congestion score and
+// components, runtime knobs, and every session's cost.
+func (c *Client) Control(ctx context.Context) (*ControlState, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/control", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, readAPIError(resp)
+	}
+	var st ControlState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// UpdateControl mutates the node's runtime knobs (POST
+// /v1/control/config body shape; absent fields keep their value) and
+// returns the post-mutation state.
+func (c *Client) UpdateControl(ctx context.Context, patch ControlPatchJSON) (*ControlState, error) {
+	body, _ := json.Marshal(patch)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/control/config", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, readAPIError(resp)
+	}
+	var st ControlState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// sessionVerb drives one of the per-session control verbs.
+func (c *Client) sessionVerb(ctx context.Context, id, verb string) (map[string]any, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/sessions/"+id+"/"+verb, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, readAPIError(resp)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParkSession parks a live durable session (idempotent).
+func (c *Client) ParkSession(ctx context.Context, id string) error {
+	_, err := c.sessionVerb(ctx, id, "park")
+	return err
+}
+
+// ResumeSession brings a parked session back live.
+func (c *Client) ResumeSession(ctx context.Context, id string) error {
+	_, err := c.sessionVerb(ctx, id, "resume")
+	return err
+}
+
+// DrainSession flushes a live session's pipeline to subscribers and WAL.
+func (c *Client) DrainSession(ctx context.Context, id string) error {
+	_, err := c.sessionVerb(ctx, id, "drain")
+	return err
 }

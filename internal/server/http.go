@@ -100,6 +100,11 @@ func (s *Server) handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
 	mux.HandleFunc("GET /v1/sessions/{id}/stream", s.handleStream)
 	mux.HandleFunc("POST /v1/sessions/{id}/retrace", s.handleRetrace)
+	mux.HandleFunc("GET /v1/control", s.handleControl)
+	mux.HandleFunc("POST /v1/control/config", s.handleControlConfig)
+	mux.HandleFunc("POST /v1/sessions/{id}/park", s.handlePark)
+	mux.HandleFunc("POST /v1/sessions/{id}/resume", s.handleResume)
+	mux.HandleFunc("POST /v1/sessions/{id}/drain", s.handleDrain)
 	return mux
 }
 
@@ -109,8 +114,71 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+// errorBody is the one JSON error envelope every /v1 handler speaks:
+// a stable machine-readable code, a human message, and (on 429s) the
+// suggested backoff. Client decodes it into APIError.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterMS mirrors the Retry-After header on overload refusals.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorEnvelope{Error: errorBody{Code: code, Message: msg}})
+}
+
+// writeOverload answers a score-driven admission refusal: HTTP 429 with
+// the standard Retry-After header (whole seconds, rounded up) and the
+// same hint in milliseconds in the envelope.
+func writeOverload(w http.ResponseWriter, oe *OverloadError) {
+	secs := int64((oe.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, http.StatusTooManyRequests, errorEnvelope{Error: errorBody{
+		Code:         "overloaded",
+		Message:      oe.Error(),
+		RetryAfterMS: oe.RetryAfter.Milliseconds(),
+	}})
+}
+
+// writeSessionError maps the session/registry error sentinels onto the
+// envelope; it handles every error the open, verb and stream paths can
+// produce.
+func writeSessionError(w http.ResponseWriter, err error) {
+	var oe *OverloadError
+	switch {
+	case errors.As(err, &oe):
+		writeOverload(w, oe)
+	case errors.Is(err, ErrSessionLimit):
+		writeError(w, http.StatusServiceUnavailable, "session_limit", "session limit reached")
+	case errors.Is(err, ErrSessionExists):
+		writeError(w, http.StatusConflict, "conflict", "session exists")
+	case errors.Is(err, ErrBadSessionID):
+		writeError(w, http.StatusBadRequest, "bad_session_id", err.Error())
+	case errors.Is(err, ErrBadSpec):
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+	case errors.Is(err, ErrUnknownSession):
+		writeError(w, http.StatusNotFound, "not_found", "unknown session")
+	case errors.Is(err, ErrNotParked):
+		writeError(w, http.StatusConflict, "not_parked", err.Error())
+	case errors.Is(err, ErrNotLive):
+		writeError(w, http.StatusConflict, "not_live", err.Error())
+	case errors.Is(err, ErrNotDurable):
+		writeError(w, http.StatusConflict, "not_durable", err.Error())
+	case errors.Is(err, ErrNoWAL):
+		writeError(w, http.StatusBadRequest, "no_wal", "session has no write-ahead log")
+	case errors.Is(err, ErrSessionClosed):
+		writeError(w, http.StatusGone, "gone", "session closed")
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -125,6 +193,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		searchEvals:    s.metrics.SearchEvalsRetired.Load(),
 		leaderSwitches: s.metrics.LeaderSwitchesRetired.Load(),
 		retirements:    s.metrics.RetirementsRetired.Load(),
+		// A scrape refreshes the congestion score so operators (and the
+		// soak gate) always read a current value.
+		score: s.reg.RefreshCongestion(time.Now()),
 	}
 	for _, sess := range s.reg.List() {
 		live.searchEvals += sess.searchEvals.Load()
@@ -149,8 +220,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.render(w, live)
 }
 
-// createSessionRequest is the POST /v1/sessions body; all fields
-// optional.
+// createSessionRequest is the POST /v1/sessions body — the JSON shape
+// of a SessionSpec; all fields optional. Pre-spec bodies ({"id",
+// "sweep_ms", "geometry"}) decode unchanged.
 type createSessionRequest struct {
 	// ID names the session; empty assigns a random one.
 	ID string `json:"id"`
@@ -161,32 +233,52 @@ type createSessionRequest struct {
 	// Geometry names the session's antenna geometry (deploy registry
 	// name); empty selects the default deployment.
 	Geometry string `json:"geometry,omitempty"`
+	// Search overrides the deployment's vote-search configuration for
+	// this session (recorded in the WAL, honored by recovery and
+	// retrace).
+	Search *SearchJSON `json:"search,omitempty"`
+	// WAL tunes this session's durability.
+	WAL *walPolicyJSON `json:"wal,omitempty"`
+}
+
+// walPolicyJSON is the JSON shape of a WALPolicy.
+type walPolicyJSON struct {
+	Disable   bool `json:"disable,omitempty"`
+	SyncEvery int  `json:"sync_every,omitempty"`
+}
+
+func (p *walPolicyJSON) policy() WALPolicy {
+	if p == nil {
+		return WALPolicy{}
+	}
+	return WALPolicy{Disable: p.Disable, SyncEvery: p.SyncEvery}
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	var req createSessionRequest
 	// An empty body is fine; only a malformed one is an error.
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		writeError(w, http.StatusBadRequest, "bad_request", "bad request body: "+err.Error())
 		return
 	}
 	if _, err := deploy.GeometryByName(req.Geometry); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
-	sess, err := s.reg.OpenGeometry(req.ID, time.Duration(req.SweepMS*float64(time.Millisecond)), req.Geometry)
-	switch {
-	case errors.Is(err, ErrSessionLimit):
-		writeError(w, http.StatusServiceUnavailable, "session limit reached")
+	search, err := req.Search.config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
-	case errors.Is(err, ErrSessionExists):
-		writeError(w, http.StatusConflict, "session exists")
-		return
-	case errors.Is(err, ErrBadSessionID):
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+	sess, err := s.reg.Open(SessionSpec{
+		ID:       req.ID,
+		Sweep:    time.Duration(req.SweepMS * float64(time.Millisecond)),
+		Geometry: req.Geometry,
+		Search:   search,
+		WAL:      req.WAL.policy(),
+	})
+	if err != nil {
+		writeSessionError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{
@@ -208,7 +300,7 @@ func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session")
+		writeError(w, http.StatusNotFound, "not_found", "unknown session")
 		return
 	}
 	writeJSON(w, http.StatusOK, s.info(sess))
@@ -216,7 +308,7 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	if !s.reg.Remove(r.PathValue("id")) {
-		writeError(w, http.StatusNotFound, "unknown session")
+		writeError(w, http.StatusNotFound, "not_found", "unknown session")
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -237,7 +329,7 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session")
+		writeError(w, http.StatusNotFound, "not_found", "unknown session")
 		return
 	}
 	var sub *Subscriber
@@ -247,13 +339,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if fromStr != "" {
 			from, err = strconv.ParseUint(fromStr, 10, 64)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, "bad from: "+err.Error())
+				writeError(w, http.StatusBadRequest, "bad_request", "bad from: "+err.Error())
 				return
 			}
 		}
 		sub, err = sess.SubscribeFrom(from, 0)
 		if errors.Is(err, ErrNoWAL) {
-			writeError(w, http.StatusBadRequest, "session has no write-ahead log")
+			writeError(w, http.StatusBadRequest, "no_wal", "session has no write-ahead log")
 			return
 		}
 	} else {
@@ -261,11 +353,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	if errors.Is(err, ErrSubscriberLimit) {
 		s.metrics.Shed.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "subscriber limit reached")
+		writeError(w, http.StatusServiceUnavailable, "subscriber_limit", "subscriber limit reached")
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusGone, "session closed")
+		writeError(w, http.StatusGone, "gone", "session closed")
 		return
 	}
 	defer sub.Close()
@@ -315,18 +407,18 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 // optional. An empty body re-traces under the deployment's configuration
 // (and the result is then byte-equivalent to the live trace).
 type retraceRequest struct {
-	Search *searchOverride `json:"search"`
+	Search *SearchJSON `json:"search"`
 }
 
-// searchOverride is the JSON shape of a SearchConfig override.
-type searchOverride struct {
+// SearchJSON is the JSON shape of a SearchConfig override.
+type SearchJSON struct {
 	// Mode is "hierarchical" (default) or "dense".
 	Mode   string `json:"mode"`
 	TopK   int    `json:"top_k"`
 	Levels int    `json:"levels"`
 }
 
-func (o *searchOverride) config() (*vote.SearchConfig, error) {
+func (o *SearchJSON) config() (*vote.SearchConfig, error) {
 	if o == nil {
 		return nil, nil
 	}
@@ -385,26 +477,26 @@ type TracePointJSON struct {
 func (s *Server) handleRetrace(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session")
+		writeError(w, http.StatusNotFound, "not_found", "unknown session")
 		return
 	}
 	var req retraceRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		writeError(w, http.StatusBadRequest, "bad_request", "bad request body: "+err.Error())
 		return
 	}
 	search, err := req.Search.config()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
 	results, head, err := sess.Retrace(search)
 	switch {
 	case errors.Is(err, ErrNoWAL):
-		writeError(w, http.StatusBadRequest, "session has no write-ahead log")
+		writeError(w, http.StatusBadRequest, "no_wal", "session has no write-ahead log")
 		return
 	case err != nil:
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
 		return
 	}
 	resp := RetraceSummary{ID: sess.ID, Records: head, Tags: make([]RetracedTagSummary, 0, len(results))}

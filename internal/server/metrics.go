@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sync/atomic"
 )
@@ -48,6 +49,28 @@ type Metrics struct {
 	Retraces          atomic.Int64
 	WALFailures       atomic.Int64
 	WALTornBytes      atomic.Int64
+
+	// Admission/control-plane counters. SessionsParked counts sessions
+	// parked by the pressure loop or an operator verb (idle-expiry parks
+	// are SessionsExpired); SessionsResumed counts parked sessions
+	// brought back live; AdmissionRejected counts opens refused by the
+	// congestion score (HTTP 429; the flat-cap 503s are in Shed).
+	SessionsParked    atomic.Int64
+	SessionsResumed   atomic.Int64
+	AdmissionRejected atomic.Int64
+	// congestionBits is the latest congestion score's float64 bits
+	// (gauge; written by Registry.RefreshCongestion).
+	congestionBits atomic.Uint64
+}
+
+// setCongestion publishes the latest congestion score.
+func (m *Metrics) setCongestion(score float64) {
+	m.congestionBits.Store(math.Float64bits(score))
+}
+
+// Congestion reads the published congestion score.
+func (m *Metrics) Congestion() float64 {
+	return math.Float64frombits(m.congestionBits.Load())
 }
 
 // counterDef drives the text rendering.
@@ -76,6 +99,9 @@ var counterDefs = []counterDef{
 	{"rfidrawd_retraces_total", "WAL re-trace runs served.", "counter", func(m *Metrics) int64 { return m.Retraces.Load() }},
 	{"rfidrawd_wal_failures_total", "Sessions whose WAL was abandoned after a write error.", "counter", func(m *Metrics) int64 { return m.WALFailures.Load() }},
 	{"rfidrawd_wal_torn_bytes_total", "Bytes dropped recovering damaged or torn WAL records.", "counter", func(m *Metrics) int64 { return m.WALTornBytes.Load() }},
+	{"rfidrawd_sessions_parked_total", "Sessions parked under pressure or by operator verb.", "counter", func(m *Metrics) int64 { return m.SessionsParked.Load() }},
+	{"rfidrawd_sessions_resumed_total", "Parked sessions resumed live.", "counter", func(m *Metrics) int64 { return m.SessionsResumed.Load() }},
+	{"rfidrawd_admission_rejected_total", "Session opens refused by the congestion score (HTTP 429).", "counter", func(m *Metrics) int64 { return m.AdmissionRejected.Load() }},
 }
 
 // liveSums carries the per-scrape values summed over live sessions by
@@ -89,6 +115,9 @@ type liveSums struct {
 	reportsPerSec  float64
 	walBytes       int64
 	walSegments    int64
+	// score is the congestion score refreshed for this scrape, with its
+	// per-resource component breakdown.
+	score NodeScore
 }
 
 // render writes the metrics in Prometheus text exposition format.
@@ -103,5 +132,13 @@ func (m *Metrics) render(w io.Writer, live liveSums) {
 	fmt.Fprintf(w, "# HELP rfidrawd_reports_per_second Ingest rate over the last scrape interval.\n# TYPE rfidrawd_reports_per_second gauge\nrfidrawd_reports_per_second %.1f\n", live.reportsPerSec)
 	fmt.Fprintf(w, "# HELP rfidrawd_wal_bytes On-disk bytes across all retained session logs.\n# TYPE rfidrawd_wal_bytes gauge\nrfidrawd_wal_bytes %d\n", live.walBytes)
 	fmt.Fprintf(w, "# HELP rfidrawd_wal_segments Segment files across all retained session logs.\n# TYPE rfidrawd_wal_segments gauge\nrfidrawd_wal_segments %d\n", live.walSegments)
+	fmt.Fprintf(w, "# HELP rfidrawd_congestion_score Node congestion score (max capacity-normalized demand component; admission sheds past the shed threshold).\n# TYPE rfidrawd_congestion_score gauge\nrfidrawd_congestion_score %.4f\n", live.score.Score)
+	fmt.Fprintf(w, "# HELP rfidrawd_congestion_component Capacity-normalized demand per resource.\n# TYPE rfidrawd_congestion_component gauge\n")
+	c := live.score.Components
+	fmt.Fprintf(w, "rfidrawd_congestion_component{resource=\"search_evals\"} %.4f\n", c.SearchEvals)
+	fmt.Fprintf(w, "rfidrawd_congestion_component{resource=\"wal_bytes\"} %.4f\n", c.WALBytes)
+	fmt.Fprintf(w, "rfidrawd_congestion_component{resource=\"reorder_late\"} %.4f\n", c.ReorderLate)
+	fmt.Fprintf(w, "rfidrawd_congestion_component{resource=\"backlog\"} %.4f\n", c.Backlog)
+	fmt.Fprintf(w, "rfidrawd_congestion_component{resource=\"session_slots\"} %.4f\n", c.SessionSlots)
 	fmt.Fprintf(w, "# HELP rfidrawd_goroutines Current goroutine count (soak leak gate).\n# TYPE rfidrawd_goroutines gauge\nrfidrawd_goroutines %d\n", runtime.NumGoroutine())
 }

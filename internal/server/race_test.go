@@ -21,7 +21,7 @@ import (
 func TestCatchupSubscriberSplicesWithoutGapOrDuplicate(t *testing.T) {
 	run, _ := scenario(t)
 	reg := walRegistry(t, t.TempDir())
-	sess, err := reg.Open("catchup", perTagSweep(run))
+	sess, err := reg.Open(SessionSpec{ID: "catchup", Sweep: perTagSweep(run)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestCatchupSubscriberSplicesWithoutGapOrDuplicate(t *testing.T) {
 	}
 
 	// A from in the middle of the log yields a strict suffix.
-	sess2, err := reg.Open("catchup2", perTagSweep(run))
+	sess2, err := reg.Open(SessionSpec{ID: "catchup2", Sweep: perTagSweep(run)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestExpireIdleVsAttachRace(t *testing.T) {
 	reg := testRegistry(t, RegistryConfig{NoRecognize: true, MaxSessions: 4096})
 	for i := 0; i < 300; i++ {
 		id := fmt.Sprintf("race-%d", i)
-		sess, err := reg.Open(id, perTagSweep(run))
+		sess, err := reg.Open(SessionSpec{ID: id, Sweep: perTagSweep(run)})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -57,6 +57,7 @@ func (s *Session) SubscribeFrom(from uint64, buffer int) (*Subscriber, error) {
 		s.subs[sub] = struct{}{}
 		s.reg.metrics.SubscribersActive.Add(1)
 		s.emitMu.Unlock()
+		s.touch() // retention clock: the record is in active use
 		go s.runCatchup(sub, from, 0, true)
 		return sub, nil
 	}
@@ -144,7 +145,7 @@ func (s *Session) feedCatchup(sub *Subscriber, from, head uint64) error {
 	if sweep <= 0 {
 		return nil // no engine was ever built; nothing to replay
 	}
-	rp, err := s.reg.cfg.NewReplayer(sweep, s.geometry, nil, false)
+	rp, err := s.reg.cfg.NewReplayer(sweep, s.geometry, s.search, false)
 	if err != nil {
 		return err
 	}
@@ -192,6 +193,17 @@ func (s *Session) feedCatchup(sub *Subscriber, from, head uint64) error {
 
 var errCatchupCancelled = errors.New("server: catch-up cancelled")
 
+// effectiveSearch resolves a retrace's search: an explicit override
+// wins; otherwise the session's own configuration, so a plain retrace of
+// a session opened with a search override is byte-identical to its live
+// trace rather than silently reverting to the deployment default.
+func (s *Session) effectiveSearch(override *vote.SearchConfig) *vote.SearchConfig {
+	if override != nil {
+		return override
+	}
+	return s.search
+}
+
 // pointEvent converts one replayed position into the event shape the
 // live onUpdate path emits, plus its producing log sequence.
 func pointEvent(tag string, p realtime.Position, seq uint64) Event {
@@ -237,7 +249,7 @@ func (s *Session) Retrace(search *vote.SearchConfig) ([]engine.TagResult, uint64
 	if sweep <= 0 {
 		return nil, 0, fmt.Errorf("server: session %s has recorded nothing", s.ID)
 	}
-	rp, err := s.reg.cfg.NewReplayer(sweep, s.geometry, search, true)
+	rp, err := s.reg.cfg.NewReplayer(sweep, s.geometry, s.effectiveSearch(search), true)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -260,6 +272,7 @@ func (s *Session) Retrace(search *vote.SearchConfig) ([]engine.TagResult, uint64
 	// clean and torn logs retrace alike.
 	rp.Flush()
 	s.reg.metrics.Retraces.Add(1)
+	s.touch() // retention clock: the record is in active use
 	return rp.Results(), last, nil
 }
 

@@ -210,7 +210,7 @@ func TestScenarioEquivalenceChain(t *testing.T) {
 			pr := scenarioFor(t, p)
 			dir := t.TempDir()
 			reg := walRegistry(t, dir)
-			sess, err := reg.OpenGeometry("scen-"+p.Name, pr.sweep, p.Geometry)
+			sess, err := reg.Open(SessionSpec{ID: "scen-" + p.Name, Sweep: pr.sweep, Geometry: p.Geometry})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -271,7 +271,7 @@ func TestScenarioReorderLate(t *testing.T) {
 		t.Run(p.Name, func(t *testing.T) {
 			pr := scenarioFor(t, p)
 			reg := walRegistry(t, t.TempDir())
-			sess, err := reg.OpenGeometry("late-"+p.Name, pr.sweep, p.Geometry)
+			sess, err := reg.Open(SessionSpec{ID: "late-" + p.Name, Sweep: pr.sweep, Geometry: p.Geometry})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -340,7 +340,7 @@ func TestScenarioGracefulDegradation(t *testing.T) {
 	}
 	cleanPR := scenarioFor(t, clean)
 	reg := walRegistry(t, t.TempDir())
-	sessClean, err := reg.Open("degrade-clean", cleanPR.sweep)
+	sessClean, err := reg.Open(SessionSpec{ID: "degrade-clean", Sweep: cleanPR.sweep})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +360,7 @@ func TestScenarioGracefulDegradation(t *testing.T) {
 		}
 		t.Run(p.Name, func(t *testing.T) {
 			pr := scenarioFor(t, p)
-			sess, err := reg.OpenGeometry("degrade-"+p.Name, pr.sweep, p.Geometry)
+			sess, err := reg.Open(SessionSpec{ID: "degrade-" + p.Name, Sweep: pr.sweep, Geometry: p.Geometry})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -43,6 +43,7 @@ import (
 
 	"rfidraw/internal/engine"
 	"rfidraw/internal/recognition"
+	"rfidraw/internal/vote"
 )
 
 // Config assembles a Server.
@@ -62,8 +63,10 @@ type Config struct {
 	// Closing the server closes the shared registry's sessions.
 	SharedRegistry *Registry
 
-	// IdleTimeout expires sessions with no ingest activity, no connected
-	// readers and no subscribers. Default 2 minutes.
+	// IdleTimeout seeds the registry's runtime idle-expiry knob: sessions
+	// with no ingest activity, no connected readers and no subscribers
+	// past it are expired (parked if durable). Default 2 minutes;
+	// mutable at runtime via the control API.
 	IdleTimeout time.Duration
 
 	// Logf receives operational log lines; nil discards them.
@@ -121,12 +124,24 @@ type Server struct {
 // session to a tracking engine (rfidraw.System.Serve and cmd/rfidrawd
 // provide it from their deployment configuration).
 func New(cfg Config) (*Server, error) {
+	explicitIdle := cfg.IdleTimeout > 0
 	cfg = cfg.withDefaults()
 	reg := cfg.SharedRegistry
 	if reg == nil {
+		rcfg := cfg.Registry
+		if rcfg.IdleTimeout <= 0 {
+			rcfg.IdleTimeout = cfg.IdleTimeout
+		}
 		var err error
-		reg, err = NewRegistry(cfg.Registry)
+		reg, err = NewRegistry(rcfg)
 		if err != nil {
+			return nil, err
+		}
+	} else if explicitIdle {
+		// A shared registry keeps its own knobs unless the server was
+		// given an explicit timeout (the pre-knob behavior).
+		d := cfg.IdleTimeout
+		if err := reg.ApplyKnobs(KnobPatch{IdleTimeout: &d}); err != nil {
 			return nil, err
 		}
 	}
@@ -157,7 +172,7 @@ func (s *Server) Start() error {
 	}
 	s.httpLn, s.ingestLn = httpLn, ingestLn
 	s.httpSrv = &http.Server{Handler: s.handler()}
-	s.wg.Add(3)
+	s.wg.Add(4)
 	go func() {
 		defer s.wg.Done()
 		if err := s.httpSrv.Serve(httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -171,6 +186,10 @@ func (s *Server) Start() error {
 	go func() {
 		defer s.wg.Done()
 		s.gcLoop()
+	}()
+	go func() {
+		defer s.wg.Done()
+		s.pressureLoop()
 	}()
 	s.cfg.Logf("server: http on %s, ingest on %s", s.HTTPAddr(), s.IngestAddr())
 	return nil
@@ -202,7 +221,10 @@ func (s *Server) IngestAddr() string {
 	return s.ingestLn.Addr().String()
 }
 
-// gcLoop expires idle sessions on a fraction of the idle timeout.
+// gcLoop expires idle sessions (and over-retained parked records) on a
+// fraction of the idle timeout. The deadlines are re-read from the
+// registry's runtime knobs every tick so a control-plane mutation takes
+// effect without a restart.
 func (s *Server) gcLoop() {
 	period := s.cfg.IdleTimeout / 4
 	if period < time.Second {
@@ -213,9 +235,34 @@ func (s *Server) gcLoop() {
 	for {
 		select {
 		case <-ticker.C:
-			for _, id := range s.reg.ExpireIdle(time.Now(), s.cfg.IdleTimeout) {
+			now := time.Now()
+			for _, id := range s.reg.ExpireIdle(now, s.reg.IdleTimeout()) {
 				s.cfg.Logf("server: session %s expired idle", id)
 			}
+			for _, id := range s.reg.ExpireRetained(now, s.reg.RetainFor()) {
+				s.cfg.Logf("server: session %s retention expired, record deleted", id)
+			}
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// pressureLoopTick is the cadence of the congestion refresh and the
+// park-under-pressure relief valve.
+const pressureLoopTick = time.Second
+
+// pressureLoop keeps the congestion score fresh and, when it crosses the
+// park threshold, parks the lowest-cost durable sessions until the node
+// is back under — shedding state it can rebuild from disk instead of
+// collapsing.
+func (s *Server) pressureLoop() {
+	ticker := time.NewTicker(pressureLoopTick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.reg.ParkUnderPressure(time.Now())
 		case <-s.quit:
 			return
 		}
@@ -256,5 +303,8 @@ func newRecognizer() (*recognition.Recognizer, error) {
 // tracking engine: it must return a started engine whose OnUpdate is the
 // given callback and whose streaming sweep interval is sweep. geometry
 // names the session's antenna geometry ("" = default deployment); the
-// factory builds the steering tables for it.
-type EngineFactory func(sweep time.Duration, geometry string, onUpdate func(engine.Update)) (*engine.Engine, error)
+// factory builds the steering tables for it. search, when non-nil,
+// overrides the deployment's vote-search configuration for this
+// session's pipeline (and must configure it identically to how
+// ReplayerFactory would, or retrace equivalence breaks).
+type EngineFactory func(sweep time.Duration, geometry string, search *vote.SearchConfig, onUpdate func(engine.Update)) (*engine.Engine, error)

@@ -17,6 +17,7 @@ import (
 	"rfidraw/internal/realtime"
 	"rfidraw/internal/rfid"
 	"rfidraw/internal/sim"
+	"rfidraw/internal/vote"
 )
 
 // testScenario caches one simulated two-tag writing session for the whole
@@ -80,10 +81,24 @@ func geometrySystem(t testing.TB, geometry string) (*core.System, error) {
 	return core.NewSystem(dep, cfg)
 }
 
+// geometrySearchSystem is geometrySystem plus an optional vote-search
+// override, rebuilt with field assignment exactly like serve.go's
+// factories so live engines and replayers configure identically.
+func geometrySearchSystem(t testing.TB, geometry string, search *vote.SearchConfig) (*core.System, error) {
+	sys, err := geometrySystem(t, geometry)
+	if err != nil || search == nil {
+		return sys, err
+	}
+	cfg := sys.Config()
+	cfg.Vote.Search = *search
+	cfg.Trace.Search = *search
+	return core.NewSystem(sys.Deployment(), cfg)
+}
+
 func testFactory(t testing.TB) EngineFactory {
 	scenario(t)
-	return func(sweep time.Duration, geometry string, onUpdate func(engine.Update)) (*engine.Engine, error) {
-		sys, err := geometrySystem(t, geometry)
+	return func(sweep time.Duration, geometry string, search *vote.SearchConfig, onUpdate func(engine.Update)) (*engine.Engine, error) {
+		sys, err := geometrySearchSystem(t, geometry, search)
 		if err != nil {
 			return nil, err
 		}
@@ -141,11 +156,11 @@ func drainCount(sub *Subscriber, wg *sync.WaitGroup, out *map[string]int, mu *sy
 func TestSessionLifecycle(t *testing.T) {
 	run, _ := scenario(t)
 	reg := testRegistry(t, RegistryConfig{})
-	sess, err := reg.Open("life", perTagSweep(run))
+	sess, err := reg.Open(SessionSpec{ID: "life", Sweep: perTagSweep(run)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := reg.Open("life", perTagSweep(run)); err != ErrSessionExists {
+	if _, err := reg.Open(SessionSpec{ID: "life", Sweep: perTagSweep(run)}); err != ErrSessionExists {
 		t.Fatalf("duplicate open: %v, want ErrSessionExists", err)
 	}
 
@@ -217,7 +232,7 @@ func TestSessionLifecycle(t *testing.T) {
 func TestGlyphEvents(t *testing.T) {
 	run, _ := scenario(t)
 	reg := testRegistry(t, RegistryConfig{})
-	sess, err := reg.Open("glyph", perTagSweep(run))
+	sess, err := reg.Open(SessionSpec{ID: "glyph", Sweep: perTagSweep(run)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,14 +263,14 @@ func TestGlyphEvents(t *testing.T) {
 func TestAdmissionControl(t *testing.T) {
 	run, _ := scenario(t)
 	reg := testRegistry(t, RegistryConfig{MaxSessions: 2, MaxSubscribers: 1, NoRecognize: true})
-	if _, err := reg.Open("a", perTagSweep(run)); err != nil {
+	if _, err := reg.Open(SessionSpec{ID: "a", Sweep: perTagSweep(run)}); err != nil {
 		t.Fatal(err)
 	}
-	sb, err := reg.Open("b", perTagSweep(run))
+	sb, err := reg.Open(SessionSpec{ID: "b", Sweep: perTagSweep(run)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := reg.Open("c", perTagSweep(run)); err != ErrSessionLimit {
+	if _, err := reg.Open(SessionSpec{ID: "c", Sweep: perTagSweep(run)}); err != ErrSessionLimit {
 		t.Fatalf("third open: %v, want ErrSessionLimit", err)
 	}
 	if reg.Metrics().Shed.Load() != 1 {
@@ -263,7 +278,7 @@ func TestAdmissionControl(t *testing.T) {
 	}
 	// Removing a session frees a slot.
 	reg.Remove("a")
-	if _, err := reg.Open("c", perTagSweep(run)); err != nil {
+	if _, err := reg.Open(SessionSpec{ID: "c", Sweep: perTagSweep(run)}); err != nil {
 		t.Fatalf("open after free: %v", err)
 	}
 	sub, err := sb.Subscribe(0)
@@ -302,7 +317,7 @@ func TestServerEndToEnd(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	cl := &Client{BaseURL: "http://" + srv.HTTPAddr()}
-	id, err := cl.CreateSession(ctx, "e2e", 0)
+	id, err := cl.CreateSession(ctx, SessionSpec{ID: "e2e", Sweep: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -408,7 +423,7 @@ func TestIngestReaderReconnect(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	cl := &Client{BaseURL: "http://" + srv.HTTPAddr()}
-	id, err := cl.CreateSession(ctx, "", 0)
+	id, err := cl.CreateSession(ctx, SessionSpec{ID: "", Sweep: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -491,7 +506,7 @@ func TestCloseFastWithLiveSubscriber(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	cl := &Client{BaseURL: "http://" + srv.HTTPAddr()}
-	id, err := cl.CreateSession(ctx, "", perTagSweep(run))
+	id, err := cl.CreateSession(ctx, SessionSpec{ID: "", Sweep: perTagSweep(run)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -522,11 +537,11 @@ func TestCloseFastWithLiveSubscriber(t *testing.T) {
 func TestBadSessionID(t *testing.T) {
 	reg := testRegistry(t, RegistryConfig{NoRecognize: true})
 	for _, id := range []string{"a b", "a/b", "a\nb", strings.Repeat("x", 65)} {
-		if _, err := reg.Open(id, time.Millisecond); !errors.Is(err, ErrBadSessionID) {
+		if _, err := reg.Open(SessionSpec{ID: id, Sweep: time.Millisecond}); !errors.Is(err, ErrBadSessionID) {
 			t.Errorf("Open(%q) = %v, want ErrBadSessionID", id, err)
 		}
 	}
-	if _, err := reg.Open("ok-id_1.2", time.Millisecond); err != nil {
+	if _, err := reg.Open(SessionSpec{ID: "ok-id_1.2", Sweep: time.Millisecond}); err != nil {
 		t.Errorf("Open(ok-id_1.2): %v", err)
 	}
 }

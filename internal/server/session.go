@@ -11,6 +11,7 @@ import (
 	"rfidraw/internal/engine"
 	"rfidraw/internal/geom"
 	"rfidraw/internal/rfid"
+	"rfidraw/internal/vote"
 	"rfidraw/internal/wal"
 )
 
@@ -25,6 +26,11 @@ var (
 	// ErrNoWAL reports a durability feature (retrace, ?from catch-up) on
 	// a registry or session without a write-ahead log.
 	ErrNoWAL = errors.New("server: session has no write-ahead log")
+	// Control-plane verb errors (park/resume/drain), mapped by control.go.
+	ErrUnknownSession = errors.New("server: unknown session")
+	ErrNotLive        = errors.New("server: session is not live")
+	ErrNotParked      = errors.New("server: session is not parked")
+	ErrNotDurable     = errors.New("server: session has recorded nothing durable")
 )
 
 // Event is one item of a session's live output stream, serialized as one
@@ -146,6 +152,17 @@ type Session struct {
 	// name, "" = default), fixed at open and threaded to the engine
 	// factory, the WAL meta, and every replay.
 	geometry string
+	// search is the session's effective vote-search override (nil =
+	// deployment default), fixed at open, recorded in the WAL meta, and
+	// applied to recovery, retrace and catch-up replays alike so every
+	// rebuild runs the search the live engine ran.
+	search *vote.SearchConfig
+	// walPolicy is the session's durability policy from its spec.
+	walPolicy WALPolicy
+	// resumeFrom, when nonzero, marks this session as the resumption of
+	// a parked record: the log reopens for append and sequence numbers
+	// continue from this head.
+	resumeFrom uint64
 
 	reg *Registry
 
@@ -204,6 +221,11 @@ type Session struct {
 	// walSeq is the log's head sequence number: incremented by the pump
 	// as it appends, read by retrace and catch-up snapshots.
 	walSeq atomic.Uint64
+	// walBytes mirrors the log's on-disk size (pump refreshes it with the
+	// stats snapshot) for the cost meter's WAL-bandwidth rate.
+	walBytes atomic.Int64
+	// cost turns the session's counters into demand rates (see cost.go).
+	cost costMeter
 	// sweepNs mirrors the pump's sweep cadence for non-pump readers
 	// (retrace and catch-up need it to rebuild the pipeline).
 	sweepNs atomic.Int64
@@ -240,22 +262,39 @@ const pumpTick = 50 * time.Millisecond
 // statsEvery refreshes the engine stats snapshot every N pump ticks.
 const statsEvery = 10
 
-func newSession(reg *Registry, id string, sweep time.Duration, geometry string) *Session {
+// resumeState carries what a resumed session inherits from the parked
+// record it continues: the retained log head its sequence numbers pick
+// up after, and the original creation time.
+type resumeState struct {
+	from    uint64
+	created time.Time
+}
+
+func newSession(reg *Registry, spec SessionSpec, resume resumeState) *Session {
 	s := &Session{
-		ID:       id,
-		Created:  time.Now(),
-		geometry: geometry,
-		reg:      reg,
-		inbox:    make(chan ingestItem, reg.cfg.IngestBuffer),
-		quit:     make(chan struct{}),
-		quitOpen: true,
-		pumpDone: make(chan struct{}),
-		readers:  map[net.Conn]struct{}{},
-		subs:     map[*Subscriber]struct{}{},
-		strokes:  map[string]*stroke{},
+		ID:         spec.ID,
+		Created:    time.Now(),
+		geometry:   spec.Geometry,
+		search:     spec.Search,
+		walPolicy:  spec.WAL,
+		resumeFrom: resume.from,
+		reg:        reg,
+		inbox:      make(chan ingestItem, reg.cfg.IngestBuffer),
+		quit:       make(chan struct{}),
+		quitOpen:   true,
+		pumpDone:   make(chan struct{}),
+		readers:    map[net.Conn]struct{}{},
+		subs:       map[*Subscriber]struct{}{},
+		strokes:    map[string]*stroke{},
+	}
+	if resume.from > 0 {
+		if !resume.created.IsZero() {
+			s.Created = resume.created
+		}
+		s.walSeq.Store(resume.from)
 	}
 	s.touch()
-	go s.pump(sweep)
+	go s.pump(spec.Sweep)
 	return s
 }
 
@@ -271,6 +310,7 @@ func newRecoveredSession(reg *Registry, meta wal.Meta, stats wal.Stats) *Session
 		ID:               meta.ID,
 		Created:          meta.Created,
 		geometry:         meta.Geometry,
+		search:           searchFromMeta(meta.Search),
 		reg:              reg,
 		quit:             quit,
 		pumpDone:         pumpDone,
@@ -290,6 +330,44 @@ func newRecoveredSession(reg *Registry, meta wal.Meta, stats wal.Stats) *Session
 
 // Geometry names the session's antenna geometry ("" = default).
 func (s *Session) Geometry() string { return s.geometry }
+
+// Search returns a copy of the session's vote-search override (nil =
+// deployment default).
+func (s *Session) Search() *vote.SearchConfig {
+	if s.search == nil {
+		return nil
+	}
+	cp := *s.search
+	return &cp
+}
+
+// searchToMeta / searchFromMeta map a session's search override onto
+// the WAL meta encoding (Mode 0 = none, 1 = hierarchical, 2 = dense):
+// the record must carry the search it was traced under, or recovery and
+// retrace would rebuild a different pipeline than the live engine ran.
+func searchToMeta(sc *vote.SearchConfig) wal.SearchMeta {
+	if sc == nil {
+		return wal.SearchMeta{}
+	}
+	m := wal.SearchMeta{TopK: uint8(sc.TopK), Levels: uint8(sc.Levels)}
+	if sc.Mode == vote.SearchDense {
+		m.Mode = 2
+	} else {
+		m.Mode = 1
+	}
+	return m
+}
+
+func searchFromMeta(m wal.SearchMeta) *vote.SearchConfig {
+	if m.Mode == 0 {
+		return nil
+	}
+	sc := &vote.SearchConfig{TopK: int(m.TopK), Levels: int(m.Levels)}
+	if m.Mode == 2 {
+		sc.Mode = vote.SearchDense
+	}
+	return sc
+}
 
 // Recovered reports whether the session serves from its retained WAL
 // only (no live pump or engine).
@@ -475,6 +553,23 @@ func (s *Session) claimExpiry(now time.Time, idle time.Duration) bool {
 		return false
 	}
 	if len(s.readers) > 0 || len(s.subs) > 0 {
+		return false
+	}
+	s.closing = true
+	return true
+}
+
+// claimPark atomically claims a live session for parking. Unlike
+// claimExpiry it ignores activity, readers and subscribers — parking is
+// deliberate load shedding, so attached consumers are disconnected —
+// but like it, once the claim lands every attach path refuses, so
+// nothing binds to the session mid-teardown.
+func (s *Session) claimPark() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	if s.closed || s.closing || s.recovered {
 		return false
 	}
 	s.closing = true
@@ -675,20 +770,34 @@ func (s *Session) handleSweep(sweep time.Duration) {
 	if s.eng != nil {
 		return
 	}
-	eng, err := s.reg.cfg.NewEngine(sweep, s.geometry, s.onUpdate)
+	eng, err := s.reg.cfg.NewEngine(sweep, s.geometry, s.search, s.onUpdate)
 	if err != nil {
 		s.reg.cfg.Logf("server: session %s: engine: %v", s.ID, err)
 		return
 	}
 	s.eng, s.sweep = eng, sweep
 	s.sweepNs.Store(int64(sweep))
-	if st := s.reg.cfg.WAL; st != nil {
-		log, err := st.Create(wal.Meta{ID: s.ID, Created: s.Created, Sweep: sweep, Geometry: s.geometry})
+	if st := s.reg.cfg.WAL; st != nil && !s.walPolicy.Disable {
+		meta := wal.Meta{
+			ID: s.ID, Created: s.Created, Sweep: sweep,
+			Geometry: s.geometry, Search: searchToMeta(s.search),
+		}
+		over := wal.Overrides{SyncEvery: s.walPolicy.SyncEvery}
+		var log *wal.Log
+		if s.resumeFrom > 0 {
+			// Resuming a parked record: reopen for append — never
+			// truncate — so the retained prefix and everything the resumed
+			// session logs replay as one stream.
+			log, err = st.AppendTo(meta, over)
+		} else {
+			log, err = st.CreateWith(meta, over)
+		}
 		if err != nil {
 			s.reg.cfg.Logf("server: session %s: wal: %v", s.ID, err)
 			return
 		}
 		s.log = log
+		s.walBytes.Store(log.Bytes())
 	}
 }
 
@@ -778,6 +887,9 @@ func (s *Session) walFailed(err error) {
 // engine's Stats contract) for the HTTP info endpoint and the
 // search-evals metric.
 func (s *Session) refreshStats() {
+	if s.log != nil {
+		s.walBytes.Store(s.log.Bytes())
+	}
 	if s.eng == nil {
 		return
 	}

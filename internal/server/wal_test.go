@@ -9,10 +9,8 @@ import (
 	"testing"
 	"time"
 
-	"rfidraw/internal/core"
 	"rfidraw/internal/engine"
 	"rfidraw/internal/realtime"
-	"rfidraw/internal/tracing"
 	"rfidraw/internal/vote"
 	"rfidraw/internal/wal"
 )
@@ -21,8 +19,8 @@ import (
 // live trace can be snapshotted for disk round-trip comparison.
 func recordingFactory(t testing.TB) EngineFactory {
 	scenario(t)
-	return func(sweep time.Duration, geometry string, onUpdate func(engine.Update)) (*engine.Engine, error) {
-		sys, err := geometrySystem(t, geometry)
+	return func(sweep time.Duration, geometry string, search *vote.SearchConfig, onUpdate func(engine.Update)) (*engine.Engine, error) {
+		sys, err := geometrySearchSystem(t, geometry, search)
 		if err != nil {
 			return nil, err
 		}
@@ -38,28 +36,21 @@ func recordingFactory(t testing.TB) EngineFactory {
 }
 
 // testReplayerFactory mirrors the serve.go factory: shared system when
-// the search config is untouched, a rebuilt one under an override.
+// the search config is untouched, a rebuilt one under an override —
+// the same geometrySearchSystem the engine factories use, so a session
+// opened with a search override replays identically to its live run.
 func testReplayerFactory(t testing.TB) ReplayerFactory {
 	scenario(t)
 	return func(sweep time.Duration, geometry string, search *vote.SearchConfig, record bool) (*engine.Replayer, error) {
-		sys, err := geometrySystem(t, geometry)
+		sys, err := geometrySearchSystem(t, geometry, search)
 		if err != nil {
 			return nil, err
 		}
-		cfg := engine.Config{SweepInterval: sweep, RecordTrace: record}
-		if search == nil {
-			cfg.System = sys
-			return engine.NewReplayer(cfg)
-		}
-		coreCfg := sys.Config()
-		coreCfg.Vote = vote.Config{Search: *search}
-		coreCfg.Trace = tracing.Config{Search: *search}
-		rebuilt, err := core.NewSystem(sys.Deployment(), coreCfg)
-		if err != nil {
-			return nil, err
-		}
-		cfg.System = rebuilt
-		return engine.NewReplayer(cfg)
+		return engine.NewReplayer(engine.Config{
+			System:        sys,
+			SweepInterval: sweep,
+			RecordTrace:   record,
+		})
 	}
 }
 
@@ -136,7 +127,7 @@ func TestWALRetraceMatchesLiveTrace(t *testing.T) {
 	run, _ := scenario(t)
 	dir := t.TempDir()
 	reg := walRegistry(t, dir)
-	sess, err := reg.Open("crash", perTagSweep(run))
+	sess, err := reg.Open(SessionSpec{ID: "crash", Sweep: perTagSweep(run)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +226,7 @@ func TestRecoveredSessionLifecycle(t *testing.T) {
 	run, _ := scenario(t)
 	dir := t.TempDir()
 	reg := walRegistry(t, dir)
-	sess, err := reg.Open("keep", perTagSweep(run))
+	sess, err := reg.Open(SessionSpec{ID: "keep", Sweep: perTagSweep(run)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +247,7 @@ func TestRecoveredSessionLifecycle(t *testing.T) {
 		t.Fatalf("idle GC expired recovered sessions: %v", ids)
 	}
 	// Its ID stays reserved.
-	if _, err := reg2.Open("keep", perTagSweep(run)); err != ErrSessionExists {
+	if _, err := reg2.Open(SessionSpec{ID: "keep", Sweep: perTagSweep(run)}); err != ErrSessionExists {
 		t.Fatalf("open over recovered id: %v, want ErrSessionExists", err)
 	}
 
@@ -292,7 +283,7 @@ func TestRecoveredSessionLifecycle(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(dir, "keep")); !os.IsNotExist(err) {
 		t.Fatalf("wal dir survives delete: %v", err)
 	}
-	if _, err := reg2.Open("keep", perTagSweep(run)); err != nil {
+	if _, err := reg2.Open(SessionSpec{ID: "keep", Sweep: perTagSweep(run)}); err != nil {
 		t.Fatalf("open after delete: %v", err)
 	}
 }
@@ -304,7 +295,7 @@ func TestRecoveredSessionLifecycle(t *testing.T) {
 func TestExpiryParksDurableSessions(t *testing.T) {
 	run, _ := scenario(t)
 	reg := walRegistry(t, t.TempDir())
-	sess, err := reg.Open("park", perTagSweep(run))
+	sess, err := reg.Open(SessionSpec{ID: "park", Sweep: perTagSweep(run)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +338,7 @@ func TestFlushIdempotentSingleRecord(t *testing.T) {
 	run, _ := scenario(t)
 	dir := t.TempDir()
 	reg := walRegistry(t, dir)
-	sess, err := reg.Open("flushy", perTagSweep(run))
+	sess, err := reg.Open(SessionSpec{ID: "flushy", Sweep: perTagSweep(run)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -54,6 +54,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -122,6 +124,31 @@ type Meta struct {
 	// formerly reserved meta byte, so logs written before geometries
 	// existed decode to "".
 	Geometry string
+	// Search carries the session's per-session vote-search override, if
+	// any: a replay must rebuild the same steering tables the live
+	// session searched with, or the retrace diverges. Stored in formerly
+	// reserved meta bytes, so older logs decode to the zero value (no
+	// override).
+	Search SearchMeta
+}
+
+// SearchMeta is the wire form of a per-session search override in the
+// meta record. The zero value means "no override" (deployment default).
+type SearchMeta struct {
+	// Mode is 0 (no override), 1 (hierarchical) or 2 (dense).
+	Mode uint8
+	// TopK and Levels mirror the search configuration's fields (the
+	// registry validates they fit a byte before opening the session).
+	TopK   uint8
+	Levels uint8
+}
+
+// Overrides carries per-log option overrides — a session's WAL policy —
+// applied on top of the store's defaults.
+type Overrides struct {
+	// SyncEvery, when positive, replaces the store's report-append sync
+	// cadence for this log.
+	SyncEvery int
 }
 
 // Record is one decoded log entry.
@@ -197,12 +224,13 @@ func (st *Store) sessionDir(id string) string { return filepath.Join(st.dir, id)
 // Create starts a fresh log for a session, truncating any retained log
 // under the same ID (the registry guarantees ID uniqueness among live
 // and recovered sessions; a leftover directory is a forgotten one).
-func (st *Store) Create(meta Meta) (*Log, error) {
-	if meta.ID == "" {
-		return nil, errors.New("wal: empty session ID")
-	}
-	if len(meta.Geometry) > 255 {
-		return nil, fmt.Errorf("wal: geometry name %d bytes long", len(meta.Geometry))
+func (st *Store) Create(meta Meta) (*Log, error) { return st.CreateWith(meta, Overrides{}) }
+
+// CreateWith is Create with per-log option overrides (a session's WAL
+// policy) applied on top of the store defaults.
+func (st *Store) CreateWith(meta Meta, over Overrides) (*Log, error) {
+	if err := validateMeta(meta); err != nil {
+		return nil, err
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -213,11 +241,81 @@ func (st *Store) Create(meta Meta) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{dir: dir, meta: meta, opts: st.opts, nextSeg: 1}
+	l := &Log{dir: dir, meta: meta, opts: st.opts.apply(over), nextSeg: 1}
 	if err := l.rotate(); err != nil {
 		return nil, err
 	}
 	return l, nil
+}
+
+// AppendTo reopens a retained session log for appending — the resume
+// path: a parked (recovered) session coming back live must extend its
+// record, never truncate it. A compacted 00000000.wal (authoritative
+// when present) is renamed into the ordinary segment sequence so it is
+// no longer authoritative over the segments appended after it; then a
+// fresh segment opens with the given meta. The caller owns sequence
+// continuity: new records must carry sequence numbers past the retained
+// head, and the close record already mid-log replays as a flush (the
+// boundary the session drained at when it was parked).
+func (st *Store) AppendTo(meta Meta, over Overrides) (*Log, error) {
+	if err := validateMeta(meta); err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	dir := st.sessionDir(meta.ID)
+	matches, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("wal: session %s: no retained log to append to", meta.ID)
+	}
+	sort.Strings(matches)
+	nextSeg := 1
+	if filepath.Base(matches[0]) == compactedName {
+		// The compacted segment holds the whole session; anything else is
+		// a straggler from a crash mid-compaction and already folded in.
+		for _, m := range matches[1:] {
+			os.Remove(m)
+		}
+		if err := os.Rename(matches[0], filepath.Join(dir, fmt.Sprintf("%08d.wal", 1))); err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		nextSeg = 2
+	} else {
+		last := strings.TrimSuffix(filepath.Base(matches[len(matches)-1]), ".wal")
+		n, err := strconv.Atoi(last)
+		if err != nil {
+			return nil, fmt.Errorf("wal: session %s: segment %q: %w", meta.ID, last, err)
+		}
+		nextSeg = n + 1
+	}
+	l := &Log{dir: dir, meta: meta, opts: st.opts.apply(over), nextSeg: nextSeg}
+	if err := l.rotate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// validateMeta checks the fields Create/AppendTo encode into the meta
+// record.
+func validateMeta(meta Meta) error {
+	if meta.ID == "" {
+		return errors.New("wal: empty session ID")
+	}
+	if len(meta.Geometry) > 255 {
+		return fmt.Errorf("wal: geometry name %d bytes long", len(meta.Geometry))
+	}
+	return nil
+}
+
+// apply folds per-log overrides into a copy of the store options.
+func (o Options) apply(over Overrides) Options {
+	if over.SyncEvery > 0 {
+		o.SyncEvery = over.SyncEvery
+	}
+	return o
 }
 
 // Sessions lists the IDs with retained logs.
@@ -430,6 +528,7 @@ func decodePayload(p []byte) (Record, *Meta, error) {
 		return Record{}, &Meta{
 			Created:  time.Unix(0, int64(binary.BigEndian.Uint64(p[2:]))),
 			Sweep:    time.Duration(binary.BigEndian.Uint64(p[10:])),
+			Search:   SearchMeta{Mode: p[19], TopK: p[20], Levels: p[21]},
 			ID:       string(p[26 : 26+idLen]),
 			Geometry: string(p[26+idLen:]),
 		}, nil
@@ -508,7 +607,10 @@ func (l *Log) encodeMeta() []byte {
 	p = binary.BigEndian.AppendUint64(p, uint64(l.meta.Created.UnixNano()))
 	p = binary.BigEndian.AppendUint64(p, uint64(l.meta.Sweep))
 	p = append(p, byte(len(l.meta.Geometry)))
-	p = append(p, 0, 0, 0, 0, 0, 0) // reserved
+	// Three formerly reserved bytes carry the search override (zero = no
+	// override, which is also what pre-search logs decode to).
+	p = append(p, l.meta.Search.Mode, l.meta.Search.TopK, l.meta.Search.Levels)
+	p = append(p, 0, 0, 0) // reserved
 	p = append(p, byte(len(l.meta.ID)))
 	p = append(p, l.meta.ID...)
 	p = append(p, l.meta.Geometry...)

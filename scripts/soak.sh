@@ -172,3 +172,101 @@ if [ "$ADV_AFTER" -gt $((ADV_BEFORE + SLACK)) ]; then
 fi
 curl -sf "http://$HTTP/healthz" | grep -q '"sessions":0'
 echo "soak: adversarial corpus OK (6 profiles, reorder-late $LATE)"
+
+# ── Phase 4: overload ────────────────────────────────────────────────────
+# Drive a daemon provisioned at a fraction of the offered load (tiny
+# -eval-capacity, low shed/park thresholds) well past capacity and
+# assert the admission layer does its job: the congestion score rises on
+# /metrics, the cheapest durable sessions are parked (not dropped), new
+# sessions are refused with 429s that carry Retry-After (loadgen
+# -overload fails on a hint-less 429), a parked session resumes and
+# still retraces deterministically, and the daemon neither crashes nor
+# leaks goroutines.
+kill -9 "$DAEMON" 2>/dev/null || true
+wait "$DAEMON" 2>/dev/null || true
+rm -rf "$DATA_DIR"
+
+OVL_SESSIONS="${SOAK_OVERLOAD_SESSIONS:-12}"
+OVL_DURATION="${SOAK_OVERLOAD_DURATION:-20s}"
+OVL_PACE="${SOAK_OVERLOAD_PACE:-4}"
+DATA_DIR="$(mktemp -d)"
+bin/rfidrawd -http "$HTTP" -ingest "$INGEST" -idle 30s -data-dir "$DATA_DIR" \
+  -eval-capacity 500 -shed-at 0.5 -park-at 0.2 &
+DAEMON=$!
+for _ in $(seq 1 100); do
+  curl -sf "http://$HTTP/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+OVL_BEFORE="$(goroutines)"
+
+bin/loadgen -daemon "http://$HTTP" -sessions "$OVL_SESSIONS" \
+  -duration "$OVL_DURATION" -pace "$OVL_PACE" -overload -out SOAK_overload.json &
+LOADGEN=$!
+
+# The score decays once sessions are parked, so sample it while the
+# overload is in flight and keep the peak.
+PEAK=0
+for _ in $(seq 1 15); do
+  sleep 1
+  S="$(curl -sf "http://$HTTP/metrics" | awk '/^rfidrawd_congestion_score /{print $2}')" || S=0
+  PEAK="$(awk -v a="$PEAK" -v b="${S:-0}" 'BEGIN{print (b>a)?b:a}')"
+done
+if ! wait "$LOADGEN"; then
+  echo "soak: loadgen -overload failed (a session errored for a reason other than shed/park)" >&2
+  cat SOAK_overload.json >&2 || true
+  exit 1
+fi
+echo "soak: overload report:"
+cat SOAK_overload.json
+echo "soak: peak congestion score under overload: $PEAK"
+if awk -v p="$PEAK" 'BEGIN{exit !(p > 0)}'; then :; else
+  echo "soak: congestion score never rose under 2x+ overload" >&2
+  exit 1
+fi
+
+METRICS="$(curl -sf "http://$HTTP/metrics")"
+PARKED="$(echo "$METRICS" | awk '/^rfidrawd_sessions_parked_total /{print $2}')"
+REJECTED="$(echo "$METRICS" | awk '/^rfidrawd_admission_rejected_total /{print $2}')"
+echo "soak: parked $PARKED sessions, rejected $REJECTED creates with 429"
+if [ "${PARKED:-0}" -eq 0 ]; then
+  echo "soak: pressure loop parked nothing under overload" >&2
+  exit 1
+fi
+if [ "${REJECTED:-0}" -eq 0 ]; then
+  echo "soak: admission refused nothing under overload" >&2
+  exit 1
+fi
+
+# Resume one parked session through the control plane and prove the
+# record survived the park/resume round trip: two retraces must be
+# byte-identical and non-empty.
+PARKED_ID="$(curl -sf "http://$HTTP/v1/control" | grep -o '"id":"[^"]*","state":"recovered"' | head -1 | sed 's/"id":"\([^"]*\)".*/\1/')"
+if [ -z "$PARKED_ID" ]; then
+  echo "soak: no parked session visible on /v1/control" >&2
+  exit 1
+fi
+curl -sf -X POST "http://$HTTP/v1/sessions/$PARKED_ID/resume" >/dev/null
+curl -sf "http://$HTTP/v1/sessions/$PARKED_ID" | grep -q '"state":"live"'
+curl -sf -X POST "http://$HTTP/v1/sessions/$PARKED_ID/retrace" -d '{}' -o rt1.json
+curl -sf -X POST "http://$HTTP/v1/sessions/$PARKED_ID/retrace" -d '{}' -o rt2.json
+if ! cmp -s rt1.json rt2.json; then
+  echo "soak: retrace after park/resume is nondeterministic" >&2
+  exit 1
+fi
+if ! grep -q '"t_ns"' rt1.json; then
+  echo "soak: retrace after park/resume returned no trajectory points" >&2
+  exit 1
+fi
+rm -f rt1.json rt2.json
+RESUMED="$(curl -sf "http://$HTTP/metrics" | awk '/^rfidrawd_sessions_resumed_total /{print $2}')"
+echo "soak: resumed $PARKED_ID losslessly (resumed_total $RESUMED, retrace deterministic)"
+
+sleep 5
+OVL_AFTER="$(goroutines)"
+echo "soak: goroutines after overload phase: $OVL_AFTER (before: $OVL_BEFORE, slack: $SLACK)"
+if [ "$OVL_AFTER" -gt $((OVL_BEFORE + SLACK)) ]; then
+  echo "soak: goroutine leak under overload: $OVL_BEFORE -> $OVL_AFTER" >&2
+  exit 1
+fi
+curl -sf "http://$HTTP/healthz" >/dev/null
+echo "soak: overload OK (peak score $PEAK, parked $PARKED, rejected $REJECTED)"

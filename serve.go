@@ -47,11 +47,33 @@ type ServeConfig struct {
 	// session commits to unacquirable tags. Default 400 sweeps.
 	MaxAcquireBuffer int
 	// IdleTimeout expires sessions with no activity, readers or
-	// subscribers. Default 2 minutes.
+	// subscribers. Default 2 minutes. Mutable at runtime via the
+	// control API.
 	IdleTimeout time.Duration
+	// RetainFor bounds how long a parked session's record is kept with
+	// no retrace or catch-up activity before it is forgotten and its
+	// log deleted. 0 (the default) retains forever.
+	RetainFor time.Duration
 	// ReorderWindow is how long ingest holds reports to resequence
 	// cross-reader skew. Default 25ms.
 	ReorderWindow time.Duration
+
+	// Capacity calibrates the admission layer's congestion score: each
+	// per-session demand signal (search evaluations/s, WAL bytes/s,
+	// late-report rate, subscriber backlog) is normalized against these
+	// and the node score is the worst component. Zero fields take
+	// generous defaults sized for a single modern core.
+	Capacity CostCapacity
+	// ShedThreshold is the congestion score at or above which new
+	// sessions are refused with HTTP 429 + Retry-After. 0 takes the
+	// default 0.9; negative disables score-driven shedding (the
+	// MaxSessions hard cap still applies).
+	ShedThreshold float64
+	// ParkThreshold is the score at or above which the pressure loop
+	// parks the lowest-cost durable sessions (engine reclaimed, record
+	// kept serveable and resumable) until the score recovers. 0 takes
+	// the default 0.75; negative disables parking under pressure.
+	ParkThreshold float64
 
 	// DataDir, when set, makes sessions durable: each session's
 	// canonical resequenced report stream is recorded in a per-session
@@ -69,6 +91,21 @@ type ServeConfig struct {
 	Logf func(format string, args ...any)
 }
 
+// CostCapacity is the congestion score's normalization basis: how much
+// of each resource this node is provisioned for.
+type CostCapacity struct {
+	// SearchEvalsPerSec is the node's candidate-evaluation budget.
+	SearchEvalsPerSec float64
+	// WALBytesPerSec is the durability write budget.
+	WALBytesPerSec float64
+	// LatePerSec is the tolerable rate of reports arriving too late to
+	// resequence.
+	LatePerSec float64
+	// Backlog is the tolerable worst subscriber queue fill fraction
+	// (0, 1].
+	Backlog float64
+}
+
 func (c ServeConfig) registryConfig(factory server.EngineFactory) server.RegistryConfig {
 	return server.RegistryConfig{
 		NewEngine:       factory,
@@ -76,7 +113,17 @@ func (c ServeConfig) registryConfig(factory server.EngineFactory) server.Registr
 		MaxSubscribers:  c.MaxSubscribers,
 		SubscriberQueue: c.SubscriberQueue,
 		ReorderWindow:   c.ReorderWindow,
-		Logf:            c.Logf,
+		IdleTimeout:     c.IdleTimeout,
+		RetainFor:       c.RetainFor,
+		Capacity: server.Capacity{
+			SearchEvalsPerSec: c.Capacity.SearchEvalsPerSec,
+			WALBytesPerSec:    c.Capacity.WALBytesPerSec,
+			LatePerSec:        c.Capacity.LatePerSec,
+			Backlog:           c.Capacity.Backlog,
+		},
+		ShedThreshold: c.ShedThreshold,
+		ParkThreshold: c.ParkThreshold,
+		Logf:          c.Logf,
 	}
 }
 
@@ -129,51 +176,68 @@ func (s *System) registry(cfg ServeConfig) (*server.Registry, error) {
 	if shards <= 0 {
 		shards = 1
 	}
-	// systemFor resolves a session's named geometry to a positioning
-	// system. The default geometry shares this System's precomputed
-	// positioner and steering tables; named geometries build theirs once
-	// (steering-table construction is the expensive part) and every
-	// session on that geometry shares the result.
+	// systemFor resolves a session's (geometry, search) pair to a
+	// positioning system. The default pair shares this System's
+	// precomputed positioner and steering tables; every other
+	// combination builds its tables once (steering-table construction is
+	// the expensive part) and every session on that pair — live engine,
+	// recovery replay, retrace — shares the result, so a recorded
+	// session deterministically rebuilds the exact pipeline it ran live.
 	var (
 		geoMu  sync.Mutex
 		geoSys = map[string]*core.System{}
 	)
-	systemFor := func(geometry string) (*core.System, error) {
-		if geometry == "" || geometry == "default" {
+	systemFor := func(geometry string, search *vote.SearchConfig) (*core.System, error) {
+		if geometry == "" {
+			geometry = "default"
+		}
+		if geometry == "default" && search == nil {
 			return s.eng.System(), nil
+		}
+		key := geometry
+		if search != nil {
+			key = fmt.Sprintf("%s|%d/%d/%d", geometry, search.Mode, search.TopK, search.Levels)
 		}
 		geoMu.Lock()
 		defer geoMu.Unlock()
-		if sys, ok := geoSys[geometry]; ok {
+		if sys, ok := geoSys[key]; ok {
 			return sys, nil
 		}
-		spec, err := deploy.GeometryByName(geometry)
-		if err != nil {
-			return nil, err
-		}
 		base := s.eng.System()
-		dep, err := spec.Build(base.Deployment().Carrier, base.Deployment().Link)
-		if err != nil {
-			return nil, err
-		}
+		dep := base.Deployment()
 		coreCfg := base.Config()
-		coreCfg.Region = spec.Region()
+		if geometry != "default" {
+			spec, err := deploy.GeometryByName(geometry)
+			if err != nil {
+				return nil, err
+			}
+			dep, err = spec.Build(base.Deployment().Carrier, base.Deployment().Link)
+			if err != nil {
+				return nil, err
+			}
+			coreCfg.Region = spec.Region()
+		}
+		if search != nil {
+			coreCfg.Vote.Search = *search
+			coreCfg.Trace.Search = *search
+		}
 		sys, err := core.NewSystem(dep, coreCfg)
 		if err != nil {
 			return nil, err
 		}
-		geoSys[geometry] = sys
+		geoSys[key] = sys
 		return sys, nil
 	}
-	factory := func(sweep time.Duration, geometry string, onUpdate func(engine.Update)) (*engine.Engine, error) {
-		sys, err := systemFor(geometry)
+	factory := func(sweep time.Duration, geometry string, search *vote.SearchConfig, onUpdate func(engine.Update)) (*engine.Engine, error) {
+		sys, err := systemFor(geometry, search)
 		if err != nil {
 			return nil, err
 		}
 		return engine.New(engine.Config{
 			Shards: shards,
-			// Sessions on one geometry share a read-only positioner and
-			// steering tables; each gets its own shard group.
+			// Sessions on one (geometry, search) pair share a read-only
+			// positioner and steering tables; each gets its own shard
+			// group.
 			System:           sys,
 			SweepInterval:    sweep,
 			MaxAcquireBuffer: cfg.MaxAcquireBuffer,
@@ -191,32 +255,20 @@ func (s *System) registry(cfg ServeConfig) (*server.Registry, error) {
 		}
 		regCfg.WAL = store
 		regCfg.NewReplayer = func(sweep time.Duration, geometry string, search *vote.SearchConfig, record bool) (*engine.Replayer, error) {
-			rcfg := engine.Config{
+			// The replayer shares systemFor's cache with the live
+			// factory: the same (geometry, search) pair resolves to the
+			// same precomputed tables, so a retrace without an override
+			// is byte-equivalent to the live trace by construction.
+			sys, err := systemFor(geometry, search)
+			if err != nil {
+				return nil, err
+			}
+			return engine.NewReplayer(engine.Config{
+				System:           sys,
 				SweepInterval:    sweep,
 				MaxAcquireBuffer: cfg.MaxAcquireBuffer,
 				RecordTrace:      record,
-			}
-			base, err := systemFor(geometry)
-			if err != nil {
-				return nil, err
-			}
-			if search == nil {
-				// Same tunables as live: share the precomputed system.
-				rcfg.System = base
-				return engine.NewReplayer(rcfg)
-			}
-			// A SearchConfig override needs its own steering tables:
-			// rebuild the core system with the geometry's config, search
-			// strategy swapped.
-			coreCfg := base.Config()
-			coreCfg.Vote.Search = *search
-			coreCfg.Trace.Search = *search
-			sys, err := core.NewSystem(base.Deployment(), coreCfg)
-			if err != nil {
-				return nil, err
-			}
-			rcfg.System = sys
-			return engine.NewReplayer(rcfg)
+			})
 		}
 	}
 	reg, err := server.NewRegistry(regCfg)
@@ -319,26 +371,82 @@ type Session struct {
 	inner *server.Session
 }
 
+// SessionSpec describes one serving session to open — the single
+// creation surface OpenSession, Client.CreateSession and POST
+// /v1/sessions all accept, so a new per-session knob is one field here
+// instead of another constructor variant everywhere.
+type SessionSpec struct {
+	// ID names the session; "" assigns a random one.
+	ID string
+	// Sweep is the per-tag reader cadence (with N tags sharing reader
+	// airtime, N × the raw sweep period). Required for in-process
+	// sessions; daemon sessions may leave it 0 and let the first reader
+	// Hello announce it.
+	Sweep time.Duration
+	// Geometry names an antenna geometry from the deployment registry;
+	// "" uses the System's own. Fixed for the session's lifetime.
+	Geometry string
+	// Search overrides the vote-search configuration for this session;
+	// nil takes the serving default. Recorded durably, so recovery and
+	// retrace rebuild the same pipeline the live engine ran.
+	Search *SearchConfig
+	// WAL is the session's durability policy.
+	WAL WALPolicy
+}
+
+// WALPolicy tunes one session's write-ahead logging (systems serving
+// with ServeConfig.DataDir).
+type WALPolicy struct {
+	// Disable opts this session out of durability: no record, no
+	// retrace, no parking — an explicitly ephemeral session.
+	Disable bool
+	// SyncEvery overrides the report-append fsync cadence for this
+	// session's log (1 = every report); 0 takes the serving default.
+	SyncEvery int
+}
+
 // OpenSession creates a live session on the System's session registry.
-// sweep is the reader cadence (per tag: with N tags sharing reader
-// airtime, N × the raw sweep period). The session traces every tag it
-// hears concurrently on its own engine shard group and delivers points
-// and glyphs to subscribers; if a Server is running over the same System,
-// the session is also visible on the daemon API under the same ID.
-// id == "" assigns a random one.
-func (s *System) OpenSession(id string, sweep time.Duration) (*Session, error) {
-	if sweep <= 0 {
+// The session traces every tag it hears concurrently on its own engine
+// shard group and delivers points and glyphs to subscribers; if a
+// Server is running over the same System, the session is also visible
+// on the daemon API under the same ID.
+func (s *System) OpenSession(spec SessionSpec) (*Session, error) {
+	if spec.Sweep <= 0 {
 		return nil, fmt.Errorf("rfidraw: OpenSession needs a positive sweep interval")
 	}
 	reg, err := s.registry(ServeConfig{})
 	if err != nil {
 		return nil, err
 	}
-	sess, err := reg.Open(id, sweep)
+	var sc *vote.SearchConfig
+	if spec.Search != nil {
+		sc = &vote.SearchConfig{
+			Mode:   vote.SearchMode(spec.Search.Mode),
+			TopK:   spec.Search.TopK,
+			Levels: spec.Search.Levels,
+		}
+	}
+	sess, err := reg.Open(server.SessionSpec{
+		ID:       spec.ID,
+		Sweep:    spec.Sweep,
+		Geometry: spec.Geometry,
+		Search:   sc,
+		WAL: server.WALPolicy{
+			Disable:   spec.WAL.Disable,
+			SyncEvery: spec.WAL.SyncEvery,
+		},
+	})
 	if err != nil {
 		return nil, fmt.Errorf("rfidraw: %w", err)
 	}
 	return &Session{inner: sess}, nil
+}
+
+// OpenSessionID creates a session by ID and sweep alone.
+//
+// Deprecated: use OpenSession with a SessionSpec.
+func (s *System) OpenSessionID(id string, sweep time.Duration) (*Session, error) {
+	return s.OpenSession(SessionSpec{ID: id, Sweep: sweep})
 }
 
 // ID returns the session's registry identity.

@@ -47,7 +47,7 @@ func TestOpenSessionLive(t *testing.T) {
 	}
 	defer sys.Close()
 
-	sess, err := sys.OpenSession("live", run.SweepInterval)
+	sess, err := sys.OpenSession(SessionSpec{ID: "live", Sweep: run.SweepInterval})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestOpenSessionLive(t *testing.T) {
 	if ends != 1 {
 		t.Fatalf("end events = %d, want 1", ends)
 	}
-	if _, err := sys.OpenSession("", 0); err == nil {
+	if _, err := sys.OpenSession(SessionSpec{ID: "", Sweep: 0}); err == nil {
 		t.Fatal("OpenSession with zero sweep should fail")
 	}
 }
@@ -171,7 +171,7 @@ func TestServeSurface(t *testing.T) {
 		}
 	}
 	// An in-process session is visible on the daemon API.
-	sess, err := sys.OpenSession("visible", 25*time.Millisecond)
+	sess, err := sys.OpenSession(SessionSpec{ID: "visible", Sweep: 25 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
