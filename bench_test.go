@@ -25,6 +25,7 @@ import (
 	"rfidraw/internal/experiments"
 	"rfidraw/internal/geom"
 	"rfidraw/internal/handwriting"
+	"rfidraw/internal/obs"
 	"rfidraw/internal/phys"
 	"rfidraw/internal/readerwire"
 	"rfidraw/internal/realtime"
@@ -577,6 +578,25 @@ func BenchmarkChannelMeasure(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sc.Env.Measure(ant, tag, 0, rng)
+	}
+}
+
+// BenchmarkObsStamp measures the full per-report observability cost the
+// serving pump pays: a monotonic clock read plus one histogram
+// observation per pipeline stage and the end-to-end record. The stamps
+// are always on — every report of every session pays this at full
+// ingest rate — so CI gates allocs/op at zero growth (baseline 0).
+func BenchmarkObsStamp(b *testing.B) {
+	p := &obs.Pipeline{}
+	stages := obs.Stages()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := obs.Now()
+		for _, st := range stages {
+			p.ObserveStage(st, obs.Now()-t0, i)
+		}
+		p.ObserveE2E(obs.Now()-t0, i)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"rfidraw/internal/deploy"
 	"rfidraw/internal/faultgen"
 	"rfidraw/internal/geom"
+	"rfidraw/internal/obs"
 	"rfidraw/internal/readerwire"
 	"rfidraw/internal/rfid"
 	"rfidraw/internal/server"
@@ -53,6 +55,7 @@ func main() {
 		retrace  = flag.Bool("retrace", false, "after streaming, POST /retrace twice per session (daemon needs -data-dir) and gate on determinism")
 		overload = flag.Bool("overload", false, "overload mode: creates retry on 429 honoring Retry-After (a 429 without one fails the run), sessions the daemon sheds or parks under pressure count as outcomes instead of failures, and parked sessions are left on the daemon for post-run inspection")
 		profile  = flag.String("profile", "", "named adversarial scenario profile ("+strings.Join(corpus.ProfileNames(), ", ")+"); sets seed, geometry, propagation and injected reader faults")
+		svCheck  = flag.Float64("server-check-ms", 0, "cross-check the daemon's rfidrawd_report_latency_seconds histogram against the client-observed latency: fail if the server-side interpolated p99 exceeds the client p99 by more than this many ms, or if the histogram gained no observations (0 disables)")
 		out      = flag.String("out", "", "write the JSON report here (default stdout)")
 	)
 	flag.Parse()
@@ -61,7 +64,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	report, err := run(*daemon, *ingest, *sessions, *tags, *word, *seed, *pace, *duration, *retrace, *profile, *overload)
+	report, err := run(*daemon, *ingest, *sessions, *tags, *word, *seed, *pace, *duration, *retrace, *profile, *overload, *svCheck)
 	if report != nil {
 		b, _ := json.MarshalIndent(report, "", "  ")
 		b = append(b, '\n')
@@ -141,6 +144,13 @@ type Report struct {
 	// RetracePoints totals the trajectory points the retraces returned.
 	RetracePoints int64 `json:"retrace_points,omitempty"`
 
+	// ServerP99MS is the daemon's own view of the run: the interpolated
+	// p99 of the rfidrawd_report_latency_seconds histogram delta across
+	// the run, in milliseconds (-server-check-ms). ServerE2ECount is how
+	// many end-to-end observations the run added to that histogram.
+	ServerP99MS    float64 `json:"server_p99_ms,omitempty"`
+	ServerE2ECount uint64  `json:"server_e2e_count,omitempty"`
+
 	SessionResults []SessionResult `json:"session_results"`
 }
 
@@ -178,7 +188,7 @@ type SessionResult struct {
 	lats []float64
 }
 
-func run(daemon, ingest string, sessions, tags int, word string, seed int64, pace float64, duration time.Duration, retrace bool, profileName string, overload bool) (*Report, error) {
+func run(daemon, ingest string, sessions, tags int, word string, seed int64, pace float64, duration time.Duration, retrace bool, profileName string, overload bool, svCheckMS float64) (*Report, error) {
 	// One shared scenario, replayed into every session: sessions are
 	// isolated by the daemon, so identical content exercises the serving
 	// layer without paying scenario generation per session. A -profile
@@ -258,6 +268,21 @@ func run(daemon, ingest string, sessions, tags int, word string, seed int64, pac
 	ctx, cancel := context.WithTimeout(context.Background(), duration+90*time.Second)
 	defer cancel()
 
+	// Snapshot the daemon's end-to-end latency histogram before any load,
+	// so the post-run delta isolates this run's observations from whatever
+	// the daemon served earlier.
+	checkClient := &server.Client{BaseURL: daemon}
+	var beforeSnap obs.HistogramSnapshot
+	if svCheckMS > 0 {
+		txt, err := checkClient.FetchMetrics(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("server check: %w", err)
+		}
+		if beforeSnap, err = parseE2EHistogram(txt); err != nil {
+			return nil, fmt.Errorf("server check: %w", err)
+		}
+	}
+
 	results := make([]SessionResult, sessions)
 	var wg sync.WaitGroup
 	for i := 0; i < sessions; i++ {
@@ -327,7 +352,92 @@ func run(daemon, ingest string, sessions, tags int, word string, seed int64, pac
 	if report.Failed > 0 {
 		return report, fmt.Errorf("%d of %d sessions failed", report.Failed, sessions)
 	}
+	// Cross-check the daemon's own latency accounting against what the
+	// client measured. The server's end-to-end histogram covers ingest
+	// arrival → trace-point emit, a strict subset of the client's
+	// send → receive span, so a server-side p99 above the client's (plus
+	// the tolerance) means the stage instrumentation is broken, and a
+	// histogram that gained nothing during a run that streamed points
+	// means the stamps are not wired through at all.
+	if svCheckMS > 0 {
+		txt, err := checkClient.FetchMetrics(ctx)
+		if err != nil {
+			return report, fmt.Errorf("server check: %w", err)
+		}
+		after, err := parseE2EHistogram(txt)
+		if err != nil {
+			return report, fmt.Errorf("server check: %w", err)
+		}
+		diff := diffHistogram(after, beforeSnap)
+		report.ServerE2ECount = diff.Count
+		report.ServerP99MS = diff.Quantile(0.99) * 1000
+		if diff.Count == 0 {
+			return report, fmt.Errorf("server check: rfidrawd_report_latency_seconds gained no observations during the run")
+		}
+		if report.LatencyMS.Count > 0 && report.ServerP99MS > report.LatencyMS.P99+svCheckMS {
+			return report, fmt.Errorf("server check: server-side p99 %.1fms exceeds client-observed p99 %.1fms by more than %.1fms",
+				report.ServerP99MS, report.LatencyMS.P99, svCheckMS)
+		}
+	}
 	return report, nil
+}
+
+// parseE2EHistogram extracts the rfidrawd_report_latency_seconds
+// cumulative buckets from a /metrics exposition dump into an
+// obs.HistogramSnapshot (Count taken from the +Inf bucket). The bucket
+// bounds must be exactly the obs exponential ladder the daemon exports.
+func parseE2EHistogram(metrics string) (obs.HistogramSnapshot, error) {
+	var snap obs.HistogramSnapshot
+	const prefix = `rfidrawd_report_latency_seconds_bucket{le="`
+	found := false
+	for _, line := range strings.Split(metrics, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		rest := line[len(prefix):]
+		q := strings.Index(rest, `"`)
+		if q < 0 {
+			return snap, fmt.Errorf("malformed bucket line %q", line)
+		}
+		le := rest[:q]
+		val, err := strconv.ParseUint(strings.TrimSpace(strings.TrimPrefix(rest[q:], `"}`)), 10, 64)
+		if err != nil {
+			return snap, fmt.Errorf("malformed bucket line %q: %w", line, err)
+		}
+		found = true
+		if le == "+Inf" {
+			snap.Count = val
+			continue
+		}
+		idx := -1
+		for i := 0; i < obs.NumBuckets; i++ {
+			if le == strconv.FormatFloat(obs.BucketBound(i), 'g', -1, 64) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return snap, fmt.Errorf("unexpected bucket bound le=%q", le)
+		}
+		snap.Buckets[idx] = val
+	}
+	if !found {
+		return snap, fmt.Errorf("no rfidrawd_report_latency_seconds_bucket series in /metrics")
+	}
+	return snap, nil
+}
+
+// diffHistogram subtracts two cumulative snapshots of the same
+// histogram, yielding the observations made between them.
+func diffHistogram(after, before obs.HistogramSnapshot) obs.HistogramSnapshot {
+	d := obs.HistogramSnapshot{
+		Count:      after.Count - before.Count,
+		SumSeconds: after.SumSeconds - before.SumSeconds,
+	}
+	for i := range d.Buckets {
+		d.Buckets[i] = after.Buckets[i] - before.Buckets[i]
+	}
+	return d
 }
 
 type sessionParams struct {

@@ -7,7 +7,12 @@
 //     /v1/control/config, POST /v1/sessions/{id}/park|resume|drain),
 //   - a reader ingest gateway on -ingest (readerwire streams prefixed
 //     with a "RFIDRAWD/1 <session-id>" line),
-//   - observability on /healthz and /metrics.
+//   - observability on /healthz and /metrics: per-stage latency
+//     histograms (rfidrawd_stage_seconds), end-to-end report latency,
+//     sampled stage spans (GET /v1/sessions/{id}/trace, cadence set by
+//     the control plane's trace_sample_n knob) and per-session
+//     diagnostic timelines (GET /v1/sessions/{id}/events),
+//   - opt-in runtime profiling on -pprof-addr (net/http/pprof).
 //
 // Each session binds its writers' tags to an engine shard group sharing
 // the daemon's precomputed positioner. Admission is demand-driven: each
@@ -30,6 +35,10 @@
 // under a different search config), and GET .../stream?from=seq serves
 // late subscribers the recorded history before splicing them live.
 //
+// Logs are structured (log/slog): -log-level gates severity (mutable at
+// runtime via POST /v1/control/config {"log_level": ...}), -log-format
+// picks text or json rendering.
+//
 // Drive it with cmd/loadgen, or point examples/streaming and
 // examples/multiuser at it with their -daemon flags.
 package main
@@ -38,7 +47,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -46,6 +57,7 @@ import (
 	"time"
 
 	"rfidraw"
+	"rfidraw/internal/obs"
 )
 
 // daemonFlags is every tunable the command line exposes, validated as
@@ -71,6 +83,12 @@ type daemonFlags struct {
 	backlogCapacity float64
 	shedAt          float64
 	parkAt          float64
+
+	traceSampleN int
+	logLevel     string
+	logFormat    string
+	pprofAddr    string
+	version      bool
 }
 
 func main() {
@@ -94,7 +112,16 @@ func main() {
 	flag.Float64Var(&f.backlogCapacity, "backlog-capacity", 0, "tolerable worst subscriber queue fill fraction (0 = default)")
 	flag.Float64Var(&f.shedAt, "shed-at", 0, "congestion score refusing new sessions with 429 (0 = default 0.9, negative disables)")
 	flag.Float64Var(&f.parkAt, "park-at", 0, "congestion score parking cheapest durable sessions (0 = default 0.75, negative disables)")
+	flag.IntVar(&f.traceSampleN, "trace-sample-n", 0, "record a full stage span for 1-in-N reports per session (0 disables; mutable at runtime)")
+	flag.StringVar(&f.logLevel, "log-level", "info", "log severity gate: debug, info, warn or error (mutable at runtime via the control API)")
+	flag.StringVar(&f.logFormat, "log-format", "text", "log rendering: text or json")
+	flag.StringVar(&f.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
+	flag.BoolVar(&f.version, "version", false, "print version and exit")
 	flag.Parse()
+	if f.version {
+		fmt.Printf("rfidrawd %s (%s)\n", obs.BuildVersion(), obs.GoVersion())
+		return
+	}
 	if err := f.validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "rfidrawd: invalid flags:", err)
 		flag.Usage()
@@ -156,10 +183,77 @@ func (f daemonFlags) validate() error {
 	if f.shedAt > 0 && f.parkAt > 0 && f.parkAt >= f.shedAt {
 		return fmt.Errorf("-park-at %v should sit below -shed-at %v: parking is the relief valve before shedding", f.parkAt, f.shedAt)
 	}
+	if f.traceSampleN < 0 {
+		return fmt.Errorf("-trace-sample-n %d must be non-negative (0 disables)", f.traceSampleN)
+	}
+	switch f.logFormat {
+	case "text", "json":
+	default:
+		return fmt.Errorf("-log-format %q must be text or json", f.logFormat)
+	}
+	switch f.logLevel {
+	case "debug", "info", "warn", "warning", "error":
+	default:
+		return fmt.Errorf("-log-level %q must be debug, info, warn or error", f.logLevel)
+	}
 	return nil
 }
 
+// buildLogger assembles the daemon's structured logger: a level gate the
+// control plane can mutate at runtime, rendered as text or JSON on
+// stderr.
+func buildLogger(f daemonFlags) (*slog.Logger, *slog.LevelVar, error) {
+	level := new(slog.LevelVar)
+	switch f.logLevel {
+	case "debug":
+		level.Set(slog.LevelDebug)
+	case "info":
+		level.Set(slog.LevelInfo)
+	case "warn", "warning":
+		level.Set(slog.LevelWarn)
+	case "error":
+		level.Set(slog.LevelError)
+	default:
+		return nil, nil, fmt.Errorf("unknown log level %q", f.logLevel)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if f.logFormat == "json" {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	return slog.New(h), level, nil
+}
+
+// servePprof exposes the runtime profiling endpoints on their own
+// listener, so production profiling never shares a port with the public
+// API.
+func servePprof(ctx context.Context, addr string, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+	logger.Info("pprof listening", "addr", addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		logger.Error("pprof serve failed", "err", err)
+	}
+}
+
 func run(f daemonFlags) error {
+	logger, level, err := buildLogger(f)
+	if err != nil {
+		return err
+	}
 	sys, err := rfidraw.New(rfidraw.Config{PlaneDistanceM: f.dist})
 	if err != nil {
 		return err
@@ -167,6 +261,10 @@ func run(f daemonFlags) error {
 	defer sys.Close()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if f.pprofAddr != "" {
+		go servePprof(ctx, f.pprofAddr, logger)
+	}
+	logger.Info("rfidrawd starting", "version", obs.BuildVersion(), "go", obs.GoVersion())
 	return sys.Serve(ctx, rfidraw.ServeConfig{
 		HTTPAddr:         f.httpAddr,
 		IngestAddr:       f.ingestAddr,
@@ -188,6 +286,8 @@ func run(f daemonFlags) error {
 		},
 		ShedThreshold: f.shedAt,
 		ParkThreshold: f.parkAt,
-		Logf:          log.Printf,
+		TraceSampleN:  f.traceSampleN,
+		Logger:        logger,
+		LogLevel:      level,
 	})
 }

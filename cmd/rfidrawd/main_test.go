@@ -18,6 +18,8 @@ func okFlags() daemonFlags {
 		reorder:    25 * time.Millisecond,
 		maxAcquire: 400,
 		walSync:    64,
+		logLevel:   "info",
+		logFormat:  "text",
 	}
 }
 
@@ -47,6 +49,9 @@ func TestValidateFlags(t *testing.T) {
 		{"negative late capacity", func(f *daemonFlags) { f.lateCapacity = -1 }},
 		{"backlog over one", func(f *daemonFlags) { f.backlogCapacity = 1.5 }},
 		{"park above shed", func(f *daemonFlags) { f.shedAt = 0.5; f.parkAt = 0.9 }},
+		{"negative trace sample", func(f *daemonFlags) { f.traceSampleN = -1 }},
+		{"bad log format", func(f *daemonFlags) { f.logFormat = "xml" }},
+		{"bad log level", func(f *daemonFlags) { f.logLevel = "shouting" }},
 	}
 	for _, tc := range cases {
 		f := okFlags()

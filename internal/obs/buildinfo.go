@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Version can be overridden at link time:
+//
+//	go build -ldflags "-X rfidraw/internal/obs.Version=v1.2.3"
+//
+// When left empty, BuildVersion falls back to the module version
+// recorded by the toolchain, or "devel".
+var Version string
+
+// StartTime is the process start instant, exported as
+// rfidrawd_process_start_time_seconds.
+var StartTime = time.Now()
+
+// BuildVersion resolves the daemon's version string.
+func BuildVersion() string {
+	if Version != "" {
+		return Version
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
+}
+
+// GoVersion reports the toolchain that built the binary.
+func GoVersion() string { return runtime.Version() }

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Pipeline holds the daemon-wide stage histograms plus the end-to-end
+// report latency histogram. One Pipeline is shared by every session in a
+// registry; stampers pass a stripe hint to spread contention.
+type Pipeline struct {
+	stages [NumStages]Histogram
+	e2e    Histogram
+}
+
+// ObserveStage records one duration for a pipeline stage.
+func (p *Pipeline) ObserveStage(st Stage, ns int64, hint int) {
+	p.stages[st].Observe(ns, hint)
+}
+
+// ObserveE2E records one decode-to-emit end-to-end latency.
+func (p *Pipeline) ObserveE2E(ns int64, hint int) {
+	p.e2e.Observe(ns, hint)
+}
+
+// StageSnapshot returns the merged snapshot for one stage.
+func (p *Pipeline) StageSnapshot(st Stage) HistogramSnapshot {
+	return p.stages[st].Snapshot()
+}
+
+// E2ESnapshot returns the merged end-to-end snapshot.
+func (p *Pipeline) E2ESnapshot() HistogramSnapshot {
+	return p.e2e.Snapshot()
+}
+
+// boundLabel formats a bucket upper bound the way Prometheus clients
+// expect (shortest float that round-trips).
+func boundLabel(i int) string {
+	return strconv.FormatFloat(BucketBound(i), 'g', -1, 64)
+}
+
+// writeHistogram emits one labeled histogram series (buckets, sum,
+// count) in exposition format. extraLabel is rendered inside every
+// brace pair when non-empty, e.g. `stage="ingest"`.
+func writeHistogram(w io.Writer, name, extraLabel string, snap HistogramSnapshot) {
+	sep := ""
+	if extraLabel != "" {
+		sep = ","
+	}
+	for i := 0; i < NumBuckets; i++ {
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d\n", name, extraLabel, sep, boundLabel(i), snap.Buckets[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, extraLabel, sep, snap.Count)
+	if extraLabel == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, snap.SumSeconds)
+		fmt.Fprintf(w, "%s_count %d\n", name, snap.Count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, extraLabel, snap.SumSeconds)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, extraLabel, snap.Count)
+	}
+}
+
+// Render writes the pipeline's histogram families in Prometheus text
+// exposition format 0.0.4.
+func (p *Pipeline) Render(w io.Writer) {
+	fmt.Fprintf(w, "# HELP rfidrawd_stage_seconds Per-stage report latency inside the serving pipeline.\n")
+	fmt.Fprintf(w, "# TYPE rfidrawd_stage_seconds histogram\n")
+	for _, st := range Stages() {
+		writeHistogram(w, "rfidrawd_stage_seconds", `stage="`+st.String()+`"`, p.StageSnapshot(st))
+	}
+	fmt.Fprintf(w, "# HELP rfidrawd_report_latency_seconds End-to-end report latency from ingest decode to trace-point emit.\n")
+	fmt.Fprintf(w, "# TYPE rfidrawd_report_latency_seconds histogram\n")
+	writeHistogram(w, "rfidrawd_report_latency_seconds", "", p.E2ESnapshot())
+}

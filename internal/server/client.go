@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -13,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"rfidraw/internal/obs"
 	"rfidraw/internal/readerwire"
 	"rfidraw/internal/rfid"
 )
@@ -347,7 +349,15 @@ func (rs *ReaderStream) ReplaySkewed(ctx context.Context, reports []rfid.Report,
 	return rs.Flush()
 }
 
-// FetchMetrics grabs the raw /metrics text (soak tooling).
+// MetricsContentType is the Prometheus text exposition format version
+// the daemon serves and this client requires.
+const MetricsContentType = "text/plain; version=0.0.4"
+
+// FetchMetrics grabs the raw /metrics text (soak tooling and the
+// loadgen latency cross-check). It fails on any non-200 status and on a
+// Content-Type other than the Prometheus text exposition format, so a
+// proxy error page or a misrouted endpoint can never masquerade as an
+// empty scrape.
 func (c *Client) FetchMetrics(ctx context.Context) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
 	if err != nil {
@@ -358,8 +368,65 @@ func (c *Client) FetchMetrics(ctx context.Context) (string, error) {
 		return "", err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", readAPIError(resp)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != MetricsContentType {
+		return "", fmt.Errorf("server: /metrics served unexpected Content-Type %q (want %q)", ct, MetricsContentType)
+	}
 	b, err := io.ReadAll(resp.Body)
 	return string(b), err
+}
+
+// FetchTrace dumps a session's sampled stage spans (NDJSON from
+// GET /v1/sessions/{id}/trace), oldest first.
+func (c *Client) FetchTrace(ctx context.Context, id string) ([]obs.Span, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/sessions/"+id+"/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, readAPIError(resp)
+	}
+	var spans []obs.Span
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var sp obs.Span
+		if err := dec.Decode(&sp); err != nil {
+			if errors.Is(err, io.EOF) {
+				return spans, nil
+			}
+			return spans, err
+		}
+		spans = append(spans, sp)
+	}
+}
+
+// FetchEvents fetches a session's diagnostic timeline
+// (GET /v1/sessions/{id}/events).
+func (c *Client) FetchEvents(ctx context.Context, id string) ([]obs.TimelineEvent, uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/sessions/"+id+"/events", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, readAPIError(resp)
+	}
+	var out sessionEvents
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, 0, err
+	}
+	return out.Events, out.Total, nil
 }
 
 // Retrace replays a session's WAL through a fresh pipeline on the

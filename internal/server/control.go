@@ -37,6 +37,11 @@ type ControlState struct {
 	// Search is the default vote-search for new sessions (null =
 	// deployment default).
 	Search *SearchJSON `json:"search"`
+	// TraceSampleN is the span-sampling cadence (1-in-N reports per
+	// session record a full stage span; 0 = off).
+	TraceSampleN int `json:"trace_sample_n"`
+	// LogLevel is the structured-logging level gate.
+	LogLevel string `json:"log_level"`
 	// MaxSessions / Live / Parked are the admission head-count facts.
 	MaxSessions int `json:"max_sessions"`
 	Live        int `json:"live"`
@@ -65,6 +70,14 @@ type ControlSession struct {
 	WALSeq   uint64       `json:"wal_seq,omitempty"`
 	IdleMS   int64        `json:"idle_ms"`
 	Cost     CostSnapshot `json:"cost"`
+	// Events counts the session's diagnostic-timeline entries (including
+	// evicted ones); LastEvent summarizes the most recent as "type" or
+	// "type: detail". GET /v1/sessions/{id}/events serves the full ring.
+	Events    uint64 `json:"events,omitempty"`
+	LastEvent string `json:"last_event,omitempty"`
+	// Spans counts the session's sampled stage traces; GET
+	// /v1/sessions/{id}/trace dumps the retained ring as NDJSON.
+	Spans uint64 `json:"spans,omitempty"`
 }
 
 // ControlPatchJSON is the POST /v1/control/config body: every field
@@ -79,6 +92,11 @@ type ControlPatchJSON struct {
 	// Search replaces the default-search knob; {"mode": "default"}
 	// clears it back to the deployment default.
 	Search *SearchJSON `json:"search"`
+	// TraceSampleN sets the span-sampling cadence (0 disables).
+	TraceSampleN *int `json:"trace_sample_n"`
+	// LogLevel sets the logging level gate ("debug", "info", "warn",
+	// "error").
+	LogLevel *string `json:"log_level"`
 }
 
 // toSearchJSON renders a search configuration in the same shape
@@ -111,6 +129,8 @@ func (s *Server) controlState(now time.Time) ControlState {
 		RetainMS:     knobs.RetainFor.Milliseconds(),
 		WALSyncEvery: knobs.WALSyncEvery,
 		Search:       toSearchJSON(knobs.Search),
+		TraceSampleN: knobs.TraceSampleN,
+		LogLevel:     knobs.LogLevel,
 		MaxSessions:  s.reg.cfg.MaxSessions,
 	}
 	for _, sess := range s.reg.List() {
@@ -121,7 +141,7 @@ func (s *Server) controlState(now time.Time) ControlState {
 		case "recovered":
 			st.Parked++
 		}
-		st.Sessions = append(st.Sessions, ControlSession{
+		cs := ControlSession{
 			ID:       sess.ID,
 			State:    state,
 			Geometry: sess.geometry,
@@ -129,7 +149,16 @@ func (s *Server) controlState(now time.Time) ControlState {
 			WALSeq:   sess.WALSeq(),
 			IdleMS:   now.Sub(sess.idleSince()).Milliseconds(),
 			Cost:     sess.Cost(),
-		})
+			Events:   sess.EventTotal(),
+			Spans:    sess.SpanTotal(),
+		}
+		if last, ok := sess.LastEvent(); ok {
+			cs.LastEvent = last.Type
+			if last.Detail != "" {
+				cs.LastEvent += ": " + last.Detail
+			}
+		}
+		st.Sessions = append(st.Sessions, cs)
 	}
 	return st
 }
@@ -164,6 +193,8 @@ func (s *Server) handleControlConfig(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	patch.WALSyncEvery = req.WALSyncEvery
+	patch.TraceSampleN = req.TraceSampleN
+	patch.LogLevel = req.LogLevel
 	if req.Search != nil {
 		patch.SetSearch = true
 		if req.Search.Mode != "default" {

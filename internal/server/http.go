@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rfidraw/internal/deploy"
+	"rfidraw/internal/obs"
 	"rfidraw/internal/vote"
 )
 
@@ -99,6 +100,8 @@ func (s *Server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
 	mux.HandleFunc("GET /v1/sessions/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/sessions/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /v1/sessions/{id}/retrace", s.handleRetrace)
 	mux.HandleFunc("GET /v1/control", s.handleControl)
 	mux.HandleFunc("POST /v1/control/config", s.handleControlConfig)
@@ -183,8 +186,10 @@ func writeSessionError(w http.ResponseWriter, err error) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":       true,
-		"sessions": s.reg.Len(),
+		"ok":         true,
+		"sessions":   s.reg.Len(),
+		"version":    obs.BuildVersion(),
+		"go_version": obs.GoVersion(),
 	})
 }
 
@@ -206,6 +211,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	usage := s.reg.WALUsage()
 	live.walBytes = usage.Bytes
 	live.walSegments = int64(usage.Segments)
+	live.pipeline = s.reg.Pipeline()
 	now := time.Now()
 	total := s.metrics.Reports.Load()
 	s.rateMu.Lock()
@@ -216,7 +222,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.lastScrape, s.lastReports = now, total
 	s.rateMu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Header().Set("Content-Type", MetricsContentType)
 	s.metrics.render(w, live)
 }
 
@@ -369,12 +375,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		flusher.Flush()
 	}
 	enc := json.NewEncoder(w)
+	pipeline := s.reg.Pipeline()
 	ctx := r.Context()
 	for {
 		select {
 		case ev, ok := <-sub.Events():
 			if !ok {
 				return
+			}
+			if ev.enq > 0 {
+				pipeline.ObserveStage(obs.StageWrite, obs.Now()-ev.enq, sess.stripe)
 			}
 			if err := enc.Encode(ev); err != nil {
 				return
@@ -386,6 +396,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				case ev, ok := <-sub.Events():
 					if !ok {
 						return
+					}
+					if ev.enq > 0 {
+						pipeline.ObserveStage(obs.StageWrite, obs.Now()-ev.enq, sess.stripe)
 					}
 					if err := enc.Encode(ev); err != nil {
 						return
@@ -401,6 +414,50 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleTrace dumps a session's sampled spans as NDJSON, oldest first —
+// one line per span, each a full stage-by-stage timing of one report.
+// Sampling is off until the trace_sample_n control knob is set.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "unknown session")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for _, sp := range sess.Spans() {
+		if err := enc.Encode(sp); err != nil {
+			return
+		}
+	}
+}
+
+// sessionEvents is the GET /v1/sessions/{id}/events response shape.
+type sessionEvents struct {
+	ID string `json:"id"`
+	// Total counts every event ever recorded, including ones the bounded
+	// ring has evicted.
+	Total  uint64              `json:"total"`
+	Events []obs.TimelineEvent `json:"events"`
+}
+
+// handleEvents serves a session's diagnostic timeline: the bounded ring
+// of lifecycle and anomaly events, oldest first.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "unknown session")
+		return
+	}
+	evs := sess.Events()
+	if evs == nil {
+		evs = []obs.TimelineEvent{}
+	}
+	writeJSON(w, http.StatusOK, sessionEvents{ID: sess.ID, Total: sess.EventTotal(), Events: evs})
 }
 
 // retraceRequest is the POST /v1/sessions/{id}/retrace body; everything

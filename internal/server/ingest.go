@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"strings"
 	"time"
 
+	"rfidraw/internal/obs"
 	"rfidraw/internal/readerwire"
 )
 
@@ -49,7 +51,7 @@ func (s *Server) handleIngest(conn net.Conn) {
 	sess, r, err := s.ingestHandshake(conn)
 	if err != nil {
 		s.removePendingIngest(conn)
-		s.cfg.Logf("server: ingest %s: %v", conn.RemoteAddr(), err)
+		s.logger.Warn("ingest handshake failed", "remote", conn.RemoteAddr(), "err", err)
 		return
 	}
 	// Hand ownership to the session before leaving the pending set, so
@@ -64,6 +66,7 @@ func (s *Server) handleIngest(conn net.Conn) {
 		if n := int64(r.Resyncs()); n > 0 {
 			sess.resyncs.Add(n)
 			s.metrics.ResyncBytes.Add(n)
+			sess.timeline.Record(obs.EventResync, "bytes="+strconv.FormatInt(n, 10))
 		}
 	}()
 
@@ -77,7 +80,7 @@ func (s *Server) handleIngest(conn net.Conn) {
 		msg, err := r.Next()
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
-				s.cfg.Logf("server: ingest %s: %v", conn.RemoteAddr(), err)
+				s.logger.Warn("ingest stream error", "remote", conn.RemoteAddr(), "err", err)
 			}
 			return
 		}

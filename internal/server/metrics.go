@@ -6,6 +6,8 @@ import (
 	"math"
 	"runtime"
 	"sync/atomic"
+
+	"rfidraw/internal/obs"
 )
 
 // Metrics is the server-wide counter set, exposed in Prometheus text
@@ -118,6 +120,9 @@ type liveSums struct {
 	// score is the congestion score refreshed for this scrape, with its
 	// per-resource component breakdown.
 	score NodeScore
+	// pipeline, when non-nil, renders the stage and end-to-end latency
+	// histograms.
+	pipeline *obs.Pipeline
 }
 
 // render writes the metrics in Prometheus text exposition format.
@@ -141,4 +146,10 @@ func (m *Metrics) render(w io.Writer, live liveSums) {
 	fmt.Fprintf(w, "rfidrawd_congestion_component{resource=\"backlog\"} %.4f\n", c.Backlog)
 	fmt.Fprintf(w, "rfidrawd_congestion_component{resource=\"session_slots\"} %.4f\n", c.SessionSlots)
 	fmt.Fprintf(w, "# HELP rfidrawd_goroutines Current goroutine count (soak leak gate).\n# TYPE rfidrawd_goroutines gauge\nrfidrawd_goroutines %d\n", runtime.NumGoroutine())
+	if live.pipeline != nil {
+		live.pipeline.Render(w)
+	}
+	fmt.Fprintf(w, "# HELP rfidrawd_build_info Build identity; the value is always 1.\n# TYPE rfidrawd_build_info gauge\n")
+	fmt.Fprintf(w, "rfidrawd_build_info{version=%q,go_version=%q} 1\n", obs.BuildVersion(), obs.GoVersion())
+	fmt.Fprintf(w, "# HELP rfidrawd_process_start_time_seconds Unix time the process started.\n# TYPE rfidrawd_process_start_time_seconds gauge\nrfidrawd_process_start_time_seconds %.3f\n", float64(obs.StartTime.UnixNano())/1e9)
 }

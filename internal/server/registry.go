@@ -6,10 +6,13 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"rfidraw/internal/obs"
 	"rfidraw/internal/recognition"
 	"rfidraw/internal/vote"
 	"rfidraw/internal/wal"
@@ -80,7 +83,20 @@ type RegistryConfig struct {
 	// and its log deleted. 0 (the default) retains forever.
 	RetainFor time.Duration
 
-	// Logf receives operational log lines; nil discards them.
+	// TraceSampleN seeds the span-sampling knob: record a full
+	// stage-by-stage span for 1 in N reports per session. 0 (the
+	// default) disables sampling; mutable at runtime via the control
+	// plane (trace_sample_n).
+	TraceSampleN int
+
+	// Logger, when non-nil, receives structured operational logs and
+	// takes precedence over Logf.
+	Logger *slog.Logger
+	// LogLevel, when non-nil, is the shared level gate the control plane
+	// mutates at runtime (log_level); nil builds a private one at Info.
+	LogLevel *slog.LevelVar
+	// Logf receives operational log lines when Logger is nil; nil
+	// discards them. Retained as the legacy logging hook.
 	Logf func(format string, args ...any)
 }
 
@@ -185,6 +201,11 @@ type KnobState struct {
 	Capacity      Capacity
 	WALSyncEvery  int
 	Search        *vote.SearchConfig
+	// TraceSampleN is the span-sampling knob (1-in-N reports, 0 = off).
+	TraceSampleN int
+	// LogLevel is the structured-logging level gate ("debug", "info",
+	// "warn", "error").
+	LogLevel string
 }
 
 // KnobPatch mutates a subset of the runtime knobs; nil fields keep
@@ -201,6 +222,10 @@ type KnobPatch struct {
 	// be nil, restoring the deployment default).
 	SetSearch bool
 	Search    *vote.SearchConfig
+	// TraceSampleN sets the span-sampling knob (0 disables).
+	TraceSampleN *int
+	// LogLevel sets the structured-logging level gate.
+	LogLevel *string
 }
 
 // Knobs snapshots the runtime knobs.
@@ -220,6 +245,8 @@ func (r *Registry) Knobs() KnobState {
 		cp := *k.search
 		st.Search = &cp
 	}
+	st.TraceSampleN = int(r.traceSampleN.Load())
+	st.LogLevel = levelName(r.levelVar.Level())
 	return st
 }
 
@@ -238,6 +265,22 @@ func (r *Registry) ApplyKnobs(p KnobPatch) error {
 		if err := validateSearch(p.Search); err != nil {
 			return err
 		}
+	}
+	if p.TraceSampleN != nil && *p.TraceSampleN < 0 {
+		return fmt.Errorf("%w: trace sample cadence must be >= 0", ErrBadSpec)
+	}
+	var level slog.Level
+	if p.LogLevel != nil {
+		var err error
+		if level, err = parseLevel(*p.LogLevel); err != nil {
+			return err
+		}
+	}
+	if p.TraceSampleN != nil {
+		r.traceSampleN.Store(int64(*p.TraceSampleN))
+	}
+	if p.LogLevel != nil {
+		r.levelVar.Set(level)
 	}
 	k := &r.knobs
 	k.mu.Lock()
@@ -326,6 +369,19 @@ type Registry struct {
 	rec     *recognition.Recognizer
 	knobs   knobs
 
+	// logger is the resolved structured logger (never nil); levelVar is
+	// its runtime-mutable level gate.
+	logger   *slog.Logger
+	levelVar *slog.LevelVar
+	// pipeline aggregates every session's stage and end-to-end latency
+	// stamps into the /metrics histograms.
+	pipeline *obs.Pipeline
+	// traceSampleN is the hot-path span-sampling knob (1-in-N reports;
+	// 0 = off), atomic because the pump reads it per release.
+	traceSampleN atomic.Int64
+	// stripeSeq deals histogram stripes to new sessions round-robin.
+	stripeSeq atomic.Int64
+
 	mu       sync.Mutex
 	sessions map[string]*Session
 	// live counts non-recovered sessions for admission control:
@@ -362,6 +418,18 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 		cfg:      cfg,
 		metrics:  &Metrics{},
 		sessions: map[string]*Session{},
+		pipeline: &obs.Pipeline{},
+		levelVar: cfg.LogLevel,
+	}
+	if r.levelVar == nil {
+		r.levelVar = &slog.LevelVar{}
+	}
+	r.logger = cfg.Logger
+	if r.logger == nil {
+		r.logger = slog.New(newLogfHandler(cfg.Logf, r.levelVar))
+	}
+	if cfg.TraceSampleN > 0 {
+		r.traceSampleN.Store(int64(cfg.TraceSampleN))
 	}
 	r.knobs = knobs{
 		idle:   cfg.IdleTimeout,
@@ -396,20 +464,20 @@ func (r *Registry) recover() error {
 	for _, id := range ids {
 		meta, stats, err := r.cfg.WAL.Scan(id)
 		if err != nil {
-			r.cfg.Logf("server: wal recovery: session %s unreadable: %v", id, err)
+			r.logger.Warn("wal recovery: session unreadable", "session", id, "err", err)
 			continue
 		}
 		if stats.TornBytes > 0 {
 			r.metrics.WALTornBytes.Add(stats.TornBytes)
-			r.cfg.Logf("server: wal recovery: session %s: dropped %d torn bytes", id, stats.TornBytes)
+			r.logger.Warn("wal recovery: dropped torn bytes", "session", id, "bytes", stats.TornBytes)
 		}
 		s := newRecoveredSession(r, meta, stats)
 		r.sessions[id] = s
 		r.queueRetained(s)
 		r.metrics.SessionsRecovered.Add(1)
 		r.metrics.SessionsRetained.Add(1)
-		r.cfg.Logf("server: wal recovery: session %s rehydrated (%d reports, clean=%v)",
-			id, stats.Reports, stats.CleanClose)
+		r.logger.Info("wal recovery: session rehydrated",
+			"session", id, "reports", stats.Reports, "clean", stats.CleanClose)
 	}
 	return nil
 }
@@ -425,6 +493,18 @@ func (r *Registry) WALUsage() wal.Usage {
 
 // Metrics exposes the registry's counter set.
 func (r *Registry) Metrics() *Metrics { return r.metrics }
+
+// Pipeline exposes the registry's latency histograms.
+func (r *Registry) Pipeline() *obs.Pipeline { return r.pipeline }
+
+// Logger exposes the registry's resolved structured logger.
+func (r *Registry) Logger() *slog.Logger { return r.logger }
+
+// TraceSampleN reads the span-sampling knob (0 = off).
+func (r *Registry) TraceSampleN() int { return int(r.traceSampleN.Load()) }
+
+// nextStripe deals the next session's histogram stripe.
+func (r *Registry) nextStripe() int { return int(r.stripeSeq.Add(1)) }
 
 // Open creates a session from a spec. Opens at the MaxSessions hard cap
 // fail with ErrSessionLimit (HTTP 503); below it, a congestion score at
@@ -588,7 +668,7 @@ func (r *Registry) Remove(id string) bool {
 	}
 	if r.cfg.WAL != nil {
 		if err := r.cfg.WAL.Remove(id); err != nil {
-			r.cfg.Logf("server: session %s: wal remove: %v", id, err)
+			r.logger.Error("wal remove failed", "session", id, "err", err)
 		}
 	}
 	return true
@@ -697,9 +777,9 @@ func (r *Registry) ParkUnderPressure(now time.Time) []string {
 				break
 			}
 		}
-		if err := r.parkSession(c.s); err == nil {
+		if err := r.parkSession(c.s, "pressure"); err == nil {
 			parked = append(parked, c.s.ID)
-			r.cfg.Logf("server: session %s parked under pressure (score %.2f)", c.s.ID, sc.Score)
+			r.logger.Info("session parked under pressure", "session", c.s.ID, "score", sc.Score)
 		}
 	}
 	return parked
@@ -717,10 +797,10 @@ func (r *Registry) Park(id string) error {
 	if !ok {
 		return ErrUnknownSession
 	}
-	return r.parkSession(s)
+	return r.parkSession(s, "operator")
 }
 
-func (r *Registry) parkSession(s *Session) error {
+func (r *Registry) parkSession(s *Session, reason string) error {
 	if r.cfg.WAL == nil || s.WALSeq() == 0 {
 		return ErrNotDurable
 	}
@@ -739,6 +819,7 @@ func (r *Registry) parkSession(s *Session) error {
 	}
 	r.live--
 	r.mu.Unlock()
+	s.timeline.Record(obs.EventPark, reason)
 	s.Close()
 	r.metrics.SessionsActive.Add(-1)
 	r.metrics.SessionsParked.Add(1)
@@ -795,7 +876,7 @@ func (r *Registry) Resume(id string) (*Session, error) {
 		Search:   old.search,
 		WAL:      old.walPolicy,
 	}
-	s := newSession(r, spec, resumeState{from: old.WALSeq(), created: old.Created})
+	s := newSession(r, spec, resumeState{from: old.WALSeq(), created: old.Created, timeline: old.timeline})
 	r.sessions[id] = s
 	r.live++
 	r.queueIdle(s)
@@ -804,7 +885,7 @@ func (r *Registry) Resume(id string) (*Session, error) {
 	r.metrics.SessionsRetained.Add(-1)
 	r.metrics.SessionsResumed.Add(1)
 	r.metrics.SessionsActive.Add(1)
-	r.cfg.Logf("server: session %s resumed from seq %d", id, s.resumeFrom)
+	r.logger.Info("session resumed", "session", id, "from_seq", s.resumeFrom)
 	return s, nil
 }
 
@@ -905,6 +986,9 @@ func (r *Registry) ExpireIdle(now time.Time, idle time.Duration) []string {
 	r.mu.Unlock()
 	ids := make([]string, 0, len(expired))
 	for _, c := range expired {
+		if c.retain {
+			c.s.timeline.Record(obs.EventPark, "idle expiry")
+		}
 		c.s.Close()
 		r.metrics.SessionsActive.Add(-1)
 		r.metrics.SessionsExpired.Add(1)
@@ -920,7 +1004,7 @@ func (r *Registry) ExpireIdle(now time.Time, idle time.Duration) []string {
 			// A forgotten expiry must not leave an orphan record for the
 			// next restart to resurrect.
 			if err := r.cfg.WAL.Remove(c.s.ID); err != nil {
-				r.cfg.Logf("server: session %s: wal remove: %v", c.s.ID, err)
+				r.logger.Error("wal remove failed", "session", c.s.ID, "err", err)
 			}
 		}
 		ids = append(ids, c.s.ID)
@@ -965,7 +1049,7 @@ func (r *Registry) ExpireRetained(now time.Time, retain time.Duration) []string 
 		r.metrics.SessionsRetained.Add(-1)
 		r.metrics.SessionsExpired.Add(1)
 		if err := r.cfg.WAL.Remove(s.ID); err != nil {
-			r.cfg.Logf("server: session %s: wal remove: %v", s.ID, err)
+			r.logger.Error("wal remove failed", "session", s.ID, "err", err)
 		}
 		ids = append(ids, s.ID)
 	}

@@ -3,9 +3,11 @@ package server
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"rfidraw/internal/engine"
+	"rfidraw/internal/obs"
 	"rfidraw/internal/realtime"
 	"rfidraw/internal/vote"
 	"rfidraw/internal/wal"
@@ -100,7 +102,7 @@ func (s *Session) SubscribeFrom(from uint64, buffer int) (*Subscriber, error) {
 func (s *Session) runCatchup(sub *Subscriber, from, head uint64, recovered bool) {
 	err := s.feedCatchup(sub, from, head)
 	if err != nil {
-		s.reg.cfg.Logf("server: session %s: catch-up replay: %v", s.ID, err)
+		s.logger.Warn("catch-up replay failed", "err", err)
 	}
 	s.emitMu.Lock()
 	defer s.emitMu.Unlock()
@@ -272,6 +274,7 @@ func (s *Session) Retrace(search *vote.SearchConfig) ([]engine.TagResult, uint64
 	// clean and torn logs retrace alike.
 	rp.Flush()
 	s.reg.metrics.Retraces.Add(1)
+	s.timeline.Record(obs.EventRetrace, "head="+strconv.FormatUint(head, 10))
 	s.touch() // retention clock: the record is in active use
 	return rp.Results(), last, nil
 }

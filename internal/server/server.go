@@ -36,6 +36,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
@@ -69,7 +70,14 @@ type Config struct {
 	// mutable at runtime via the control API.
 	IdleTimeout time.Duration
 
-	// Logf receives operational log lines; nil discards them.
+	// Logger, when non-nil, receives structured operational logs and
+	// takes precedence over Logf; it is threaded into the registry
+	// (session-scoped attrs) unless SharedRegistry already has one.
+	Logger *slog.Logger
+	// LogLevel, when non-nil, is the shared runtime-mutable level gate.
+	LogLevel *slog.LevelVar
+	// Logf receives operational log lines when Logger is nil; nil
+	// discards them.
 	Logf func(format string, args ...any)
 }
 
@@ -95,6 +103,8 @@ type Server struct {
 	cfg     Config
 	reg     *Registry
 	metrics *Metrics
+	// logger is the registry's resolved structured logger.
+	logger *slog.Logger
 
 	httpLn   net.Listener
 	ingestLn net.Listener
@@ -132,6 +142,15 @@ func New(cfg Config) (*Server, error) {
 		if rcfg.IdleTimeout <= 0 {
 			rcfg.IdleTimeout = cfg.IdleTimeout
 		}
+		if rcfg.Logger == nil {
+			rcfg.Logger = cfg.Logger
+		}
+		if rcfg.LogLevel == nil {
+			rcfg.LogLevel = cfg.LogLevel
+		}
+		if rcfg.Logf == nil {
+			rcfg.Logf = cfg.Logf
+		}
 		var err error
 		reg, err = NewRegistry(rcfg)
 		if err != nil {
@@ -149,6 +168,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:           cfg,
 		reg:           reg,
 		metrics:       reg.metrics,
+		logger:        reg.logger,
 		quit:          make(chan struct{}),
 		pendingIngest: map[net.Conn]struct{}{},
 	}, nil
@@ -176,7 +196,7 @@ func (s *Server) Start() error {
 	go func() {
 		defer s.wg.Done()
 		if err := s.httpSrv.Serve(httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			s.cfg.Logf("server: http: %v", err)
+			s.logger.Error("http serve failed", "err", err)
 		}
 	}()
 	go func() {
@@ -191,7 +211,7 @@ func (s *Server) Start() error {
 		defer s.wg.Done()
 		s.pressureLoop()
 	}()
-	s.cfg.Logf("server: http on %s, ingest on %s", s.HTTPAddr(), s.IngestAddr())
+	s.logger.Info("server listening", "http", s.HTTPAddr(), "ingest", s.IngestAddr())
 	return nil
 }
 
@@ -237,10 +257,10 @@ func (s *Server) gcLoop() {
 		case <-ticker.C:
 			now := time.Now()
 			for _, id := range s.reg.ExpireIdle(now, s.reg.IdleTimeout()) {
-				s.cfg.Logf("server: session %s expired idle", id)
+				s.logger.Info("session expired idle", "session", id)
 			}
 			for _, id := range s.reg.ExpireRetained(now, s.reg.RetainFor()) {
-				s.cfg.Logf("server: session %s retention expired, record deleted", id)
+				s.logger.Info("session retention expired, record deleted", "session", id)
 			}
 		case <-s.quit:
 			return

@@ -3,13 +3,16 @@ package server
 import (
 	"container/heap"
 	"errors"
+	"log/slog"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rfidraw/internal/engine"
 	"rfidraw/internal/geom"
+	"rfidraw/internal/obs"
 	"rfidraw/internal/rfid"
 	"rfidraw/internal/vote"
 	"rfidraw/internal/wal"
@@ -67,6 +70,11 @@ type Event struct {
 	Seq uint64 `json:"seq,omitempty"`
 	// Dropped is how many events the subscriber lost (drop events).
 	Dropped int `json:"dropped,omitempty"`
+
+	// enq is the event's subscriber-enqueue stamp (obs monotonic nanos),
+	// set by the broadcast path so the stream writer can observe the
+	// queue-to-wire stage. Unexported: invisible on the wire.
+	enq int64
 }
 
 // ingestItem is one message on a session's ingest inbox; exactly one of
@@ -74,6 +82,9 @@ type Event struct {
 type ingestItem struct {
 	// rep is one phase report (the common case).
 	rep rfid.Report
+	// arr is the report's ingest-decode stamp (obs monotonic nanos): the
+	// pump observes arr→dequeue as the ingest stage.
+	arr int64
 	// sweep, when positive, announces the reader cadence (from a Hello or
 	// from session creation) and triggers lazy engine construction.
 	sweep time.Duration
@@ -253,6 +264,31 @@ type Session struct {
 	hypotheses     atomic.Int64
 	leaderSwitches atomic.Int64
 	retirements    atomic.Int64
+
+	// logger carries the session-scoped structured logger.
+	logger *slog.Logger
+	// stripe spreads this session's histogram stamps across the shared
+	// pipeline's counter stripes.
+	stripe int
+	// timeline is the session's bounded diagnostic event ring; it
+	// survives park/resume (carried through resumeState).
+	timeline *obs.Timeline
+	// spans retains sampled stage-by-stage report traces (trace_sample_n
+	// control knob; GET /v1/sessions/{id}/trace).
+	spans *obs.SpanRing
+	// openSpan is the in-flight sampled span: the pump publishes it at
+	// reorder release, the emitting shard goroutine completes it.
+	openSpan atomic.Pointer[obs.Span]
+	// lastArrival/lastRelease hand the most recently released report's
+	// stamps to onUpdate, which swaps them to zero so each release is
+	// observed once in the emit and end-to-end histograms.
+	lastArrival atomic.Int64
+	lastRelease atomic.Int64
+	// sampleCount is the pump's report counter for 1-in-N span sampling.
+	sampleCount uint64
+	// walSegs tracks the log's segment count so rotations surface on the
+	// timeline (pump-owned).
+	walSegs int
 }
 
 // pumpTick is the pump's housekeeping period: idle detection (drain +
@@ -268,6 +304,10 @@ const statsEvery = 10
 type resumeState struct {
 	from    uint64
 	created time.Time
+	// timeline, when non-nil, is the parked record's diagnostic ring: the
+	// resumed session keeps appending to it so the park/resume history
+	// reads as one timeline.
+	timeline *obs.Timeline
 }
 
 func newSession(reg *Registry, spec SessionSpec, resume resumeState) *Session {
@@ -286,12 +326,22 @@ func newSession(reg *Registry, spec SessionSpec, resume resumeState) *Session {
 		readers:    map[net.Conn]struct{}{},
 		subs:       map[*Subscriber]struct{}{},
 		strokes:    map[string]*stroke{},
+		logger:     reg.logger.With("session", spec.ID),
+		stripe:     reg.nextStripe(),
+		timeline:   resume.timeline,
+		spans:      &obs.SpanRing{},
+	}
+	if s.timeline == nil {
+		s.timeline = &obs.Timeline{}
 	}
 	if resume.from > 0 {
 		if !resume.created.IsZero() {
 			s.Created = resume.created
 		}
 		s.walSeq.Store(resume.from)
+		s.timeline.Record(obs.EventResume, "from_seq="+strconv.FormatUint(resume.from, 10))
+	} else {
+		s.timeline.Record(obs.EventCreate, "geometry="+spec.Geometry)
 	}
 	s.touch()
 	go s.pump(spec.Sweep)
@@ -320,7 +370,12 @@ func newRecoveredSession(reg *Registry, meta wal.Meta, stats wal.Stats) *Session
 		subsClosed:       true,
 		readers:          map[net.Conn]struct{}{},
 		subs:             map[*Subscriber]struct{}{},
+		logger:           reg.logger.With("session", meta.ID),
+		stripe:           reg.nextStripe(),
+		timeline:         &obs.Timeline{},
+		spans:            &obs.SpanRing{},
 	}
+	s.timeline.Record(obs.EventRecover, "last_seq="+strconv.FormatUint(stats.LastSeq, 10))
 	s.walSeq.Store(stats.LastSeq)
 	s.sweepNs.Store(int64(meta.Sweep))
 	s.reports.Store(int64(stats.Reports))
@@ -410,7 +465,7 @@ func (s *Session) idleSince() time.Time { return time.Unix(0, s.lastActive.Load(
 // Reports should be non-decreasing in time per reader; cross-reader skew
 // up to the reorder window is resequenced.
 func (s *Session) Offer(rep rfid.Report) error {
-	return s.enqueue(ingestItem{rep: rep})
+	return s.enqueue(ingestItem{rep: rep, arr: obs.Now()})
 }
 
 // enqueue pushes one ingest item, preferring the closed signal over the
@@ -471,6 +526,7 @@ func (s *Session) Subscribe(buffer int) (*Subscriber, error) {
 		return nil, ErrSessionClosed
 	}
 	if len(s.subs) >= s.reg.cfg.MaxSubscribers {
+		s.timeline.Record(obs.EventShed, "subscriber limit "+strconv.Itoa(s.reg.cfg.MaxSubscribers))
 		return nil, ErrSubscriberLimit
 	}
 	sub := &Subscriber{sess: s, ch: make(chan Event, buffer)}
@@ -708,7 +764,7 @@ func (s *Session) pump(sweep time.Duration) {
 				// Clean close marker + compaction: the session's record
 				// is retained on disk for recovery and retrace.
 				if err := s.log.Close(s.walSeq.Add(1)); err != nil {
-					s.reg.cfg.Logf("server: session %s: wal close: %v", s.ID, err)
+					s.logger.Error("wal close failed", "err", err)
 				}
 				s.log = nil
 			}
@@ -757,7 +813,7 @@ func (s *Session) handle(it ingestItem) {
 		}
 		it.results <- s.eng.TraceResults()
 	default:
-		s.handleReport(it.rep)
+		s.handleReport(it.rep, it.arr)
 	}
 }
 
@@ -772,7 +828,7 @@ func (s *Session) handleSweep(sweep time.Duration) {
 	}
 	eng, err := s.reg.cfg.NewEngine(sweep, s.geometry, s.search, s.onUpdate)
 	if err != nil {
-		s.reg.cfg.Logf("server: session %s: engine: %v", s.ID, err)
+		s.logger.Error("engine build failed", "err", err)
 		return
 	}
 	s.eng, s.sweep = eng, sweep
@@ -793,20 +849,27 @@ func (s *Session) handleSweep(sweep time.Duration) {
 			log, err = st.CreateWith(meta, over)
 		}
 		if err != nil {
-			s.reg.cfg.Logf("server: session %s: wal: %v", s.ID, err)
+			s.logger.Error("wal open failed", "err", err)
 			return
 		}
 		s.log = log
 		s.walBytes.Store(log.Bytes())
+		s.walSegs = log.Segments()
 	}
 }
 
 // handleReport resequences one report through the reorder heap and offers
 // everything older than the hold window to the engine in time order.
-func (s *Session) handleReport(rep rfid.Report) {
+// arr is the report's ingest-decode stamp (zero when the report entered
+// through a path that does not stamp, e.g. tests driving enqueue).
+func (s *Session) handleReport(rep rfid.Report, arr int64) {
 	s.touch()
 	s.reports.Add(1)
 	s.reg.metrics.Reports.Add(1)
+	now := obs.Now()
+	if arr > 0 {
+		s.reg.pipeline.ObserveStage(obs.StageIngest, now-arr, s.stripe)
+	}
 	if s.eng == nil {
 		// No cadence announced yet (defensive: the gateway always sends
 		// the Hello first). Drop rather than grow without bound.
@@ -824,12 +887,12 @@ func (s *Session) handleReport(rep rfid.Report) {
 		s.reg.metrics.ReorderLate.Add(1)
 	}
 	s.pushSeq++
-	heap.Push(&s.reorder, orderedReport{rep: rep, seq: s.pushSeq})
+	heap.Push(&s.reorder, orderedReport{rep: rep, seq: s.pushSeq, arr: arr, pushed: now})
 	if rep.Time > s.maxSeen {
 		s.maxSeen = rep.Time
 	}
 	for s.reorder.Len() > 0 && s.reorder.min().Time <= s.maxSeen-hold {
-		s.offerToEngine(heap.Pop(&s.reorder).(orderedReport).rep)
+		s.offerToEngine(heap.Pop(&s.reorder).(orderedReport))
 	}
 }
 
@@ -841,14 +904,14 @@ func (s *Session) handleReport(rep rfid.Report) {
 // in the WAL replay alike.
 func (s *Session) drain() {
 	for s.reorder.Len() > 0 {
-		s.offerToEngine(heap.Pop(&s.reorder).(orderedReport).rep)
+		s.offerToEngine(heap.Pop(&s.reorder).(orderedReport))
 	}
 	if s.eng == nil || !s.engineDirty {
 		return
 	}
 	s.engineDirty = false
 	if err := s.eng.Flush(); err != nil {
-		s.reg.cfg.Logf("server: session %s: flush: %v", s.ID, err)
+		s.logger.Warn("engine flush failed", "err", err)
 	}
 	if s.log != nil {
 		if err := s.log.AppendFlush(s.walSeq.Add(1)); err != nil {
@@ -860,16 +923,54 @@ func (s *Session) drain() {
 // offerToEngine hands one resequenced report to the engine, recording it
 // in the WAL first: the log is written after the reorder buffer, so it
 // is the canonical stream — exactly what the engine consumes, in the
-// order it consumes it.
-func (s *Session) offerToEngine(rep rfid.Report) {
+// order it consumes it. Each hand-off stamps the reorder, WAL-append and
+// engine-offer stages, and 1-in-N reports open a sampled span that the
+// emitting shard goroutine completes.
+func (s *Session) offerToEngine(or orderedReport) {
+	release := obs.Now()
+	s.reg.pipeline.ObserveStage(obs.StageReorder, release-or.pushed, s.stripe)
 	if s.log != nil {
-		if err := s.log.AppendReport(s.walSeq.Add(1), rep); err != nil {
+		if err := s.log.AppendReport(s.walSeq.Add(1), or.rep); err != nil {
 			s.walFailed(err)
 		}
 	}
+	walDone := obs.Now()
+	s.reg.pipeline.ObserveStage(obs.StageWALAppend, walDone-release, s.stripe)
 	s.engineDirty = true
-	if err := s.eng.Offer(rep); err != nil {
-		s.reg.cfg.Logf("server: session %s: offer: %v", s.ID, err)
+	if err := s.eng.Offer(or.rep); err != nil {
+		s.logger.Warn("engine offer failed", "err", err)
+	}
+	offerDone := obs.Now()
+	s.reg.pipeline.ObserveStage(obs.StageEngineOffer, offerDone-walDone, s.stripe)
+	// Hand the release to the emit path; the shard goroutine that next
+	// produces positions swaps these back to zero so the emit and
+	// end-to-end histograms see each release window once.
+	if or.arr > 0 {
+		s.lastArrival.Store(or.arr)
+	}
+	s.lastRelease.Store(offerDone)
+	s.sampleCount++
+	if n := s.reg.traceSampleN.Load(); n > 0 && s.sampleCount%uint64(n) == 0 {
+		sp := &obs.Span{
+			Seq:       s.walSeq.Load(),
+			T:         int64(or.rep.Time),
+			Wall:      time.Now().UnixNano(),
+			IngestNs:  or.pushed - or.arr,
+			ReorderNs: release - or.pushed,
+			WALNs:     walDone - release,
+			OfferNs:   offerDone - walDone,
+			Arrival:   or.arr,
+			Release:   offerDone,
+		}
+		if or.arr == 0 {
+			sp.IngestNs = 0
+			sp.Arrival = or.pushed
+		}
+		if old := s.openSpan.Swap(sp); old != nil {
+			// The previous sampled report never produced an emission
+			// (aggregated away); record it without emit/total timing.
+			s.spans.Add(*old)
+		}
 	}
 }
 
@@ -877,7 +978,7 @@ func (s *Session) offerToEngine(rep rfid.Report) {
 // continues, durability for this session stops (and is surfaced), rather
 // than spamming a failing disk on every report.
 func (s *Session) walFailed(err error) {
-	s.reg.cfg.Logf("server: session %s: wal: %v (disabling durability for this session)", s.ID, err)
+	s.logger.Error("wal append failed; disabling durability for this session", "err", err)
 	s.log.Abandon()
 	s.log = nil
 	s.reg.metrics.WALFailures.Add(1)
@@ -889,6 +990,10 @@ func (s *Session) walFailed(err error) {
 func (s *Session) refreshStats() {
 	if s.log != nil {
 		s.walBytes.Store(s.log.Bytes())
+		if segs := s.log.Segments(); segs > s.walSegs {
+			s.timeline.Record(obs.EventWALRotate, "segments="+strconv.Itoa(segs))
+			s.walSegs = segs
+		}
 	}
 	if s.eng == nil {
 		return
@@ -910,6 +1015,21 @@ func (s *Session) refreshStats() {
 	s.statsMu.Unlock()
 }
 
+// Spans returns the session's retained sampled spans, oldest first.
+func (s *Session) Spans() []obs.Span { return s.spans.Snapshot() }
+
+// SpanTotal counts every span the session ever sampled.
+func (s *Session) SpanTotal() uint64 { return s.spans.Total() }
+
+// Events returns the session's diagnostic timeline, oldest first.
+func (s *Session) Events() []obs.TimelineEvent { return s.timeline.Snapshot() }
+
+// EventTotal counts every timeline event ever recorded.
+func (s *Session) EventTotal() uint64 { return s.timeline.Total() }
+
+// LastEvent returns the most recent timeline event, if any.
+func (s *Session) LastEvent() (obs.TimelineEvent, bool) { return s.timeline.Last() }
+
 // TagStats returns the last per-tag stats snapshot.
 func (s *Session) TagStats() []engine.TagStats {
 	s.statsMu.Lock()
@@ -920,6 +1040,18 @@ func (s *Session) TagStats() []engine.TagStats {
 // onUpdate receives live positions from engine shard goroutines: it
 // advances per-tag stroke state and broadcasts point events.
 func (s *Session) onUpdate(u engine.Update) {
+	now := obs.Now()
+	if rel := s.lastRelease.Swap(0); rel > 0 {
+		s.reg.pipeline.ObserveStage(obs.StageEmit, now-rel, s.stripe)
+	}
+	if arr := s.lastArrival.Swap(0); arr > 0 {
+		s.reg.pipeline.ObserveE2E(now-arr, s.stripe)
+	}
+	if sp := s.openSpan.Swap(nil); sp != nil {
+		sp.EmitNs = now - sp.Release
+		sp.TotalNs = now - sp.Arrival
+		s.spans.Add(*sp)
+	}
 	s.emitMu.Lock()
 	defer s.emitMu.Unlock()
 	st := s.strokes[u.Tag]
@@ -932,6 +1064,9 @@ func (s *Session) onUpdate(u engine.Update) {
 		// hypothesis; the jump is not pen movement, so close the stroke.
 		if len(st.pts) > 0 && (p.Time-st.last > s.reg.cfg.GlyphGap || p.Switched) {
 			s.finalizeStrokeLocked(u.Tag, st)
+		}
+		if p.Switched {
+			s.timeline.Record(obs.EventLeaderSwitch, "tag="+u.Tag)
 		}
 		st.pts = append(st.pts, p.Pos)
 		st.last = p.Time
@@ -989,6 +1124,7 @@ func (s *Session) broadcast(ev Event) {
 // loss is surfaced to the consumer as a "drop" event once space allows.
 // Requires emitMu.
 func (s *Session) broadcastLocked(ev Event) {
+	ev.enq = obs.Now()
 	for sub := range s.subs {
 		if sub.catchingUp {
 			// The subscriber's queue belongs to its WAL replay goroutine
@@ -1044,10 +1180,13 @@ func (s *Session) sendLocked(sub *Subscriber, ev Event) {
 }
 
 // orderedReport is one reorder-buffer entry: the report plus its arrival
-// sequence within the session, the final tie-breaker.
+// sequence within the session (the final tie-breaker) and its obs stamps
+// (ingest decode, heap push) for stage timing.
 type orderedReport struct {
-	rep rfid.Report
-	seq uint64
+	rep    rfid.Report
+	seq    uint64
+	arr    int64
+	pushed int64
 }
 
 // reportHeap is a min-heap of reports by (time, reader ID, arrival

@@ -699,6 +699,10 @@ func (l *Log) Sync() error {
 // Bytes reports the total bytes this log has appended.
 func (l *Log) Bytes() int64 { return l.bytes }
 
+// Segments reports how many segment files this log has opened over its
+// lifetime; an increase between observations means a rotation happened.
+func (l *Log) Segments() int { return l.nextSeg }
+
 // syncClose flushes and closes the active segment file.
 func (l *Log) syncClose() error {
 	if err := l.Sync(); err != nil {

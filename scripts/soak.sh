@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Soak gate: drive a race-enabled rfidrawd with loadgen, fail on goroutine
-# leaks (pre-load vs post-drain /metrics scrapes), and leave the latency
-# percentile report (SOAK JSON) for the CI artifact step.
+# leaks (pre-load vs post-drain /metrics scrapes), on unpopulated stage
+# latency histograms, on a client/server latency-accounting divergence
+# (loadgen -server-check-ms), or on an empty mid-load pprof CPU profile,
+# and leave the latency percentile report (SOAK JSON) for the CI
+# artifact step.
 #
 # Env knobs: SOAK_SESSIONS (8), SOAK_DURATION (30s), SOAK_OUT
 # (SOAK_latency.json), SOAK_PACE (1).
@@ -9,6 +12,7 @@ set -euo pipefail
 
 HTTP=127.0.0.1:18090
 INGEST=127.0.0.1:17070
+PPROF=127.0.0.1:16060
 SESSIONS="${SOAK_SESSIONS:-8}"
 DURATION="${SOAK_DURATION:-30s}"
 PACE="${SOAK_PACE:-1}"
@@ -21,7 +25,7 @@ mkdir -p bin
 go build -race -o bin/rfidrawd ./cmd/rfidrawd
 go build -o bin/loadgen ./cmd/loadgen
 
-bin/rfidrawd -http "$HTTP" -ingest "$INGEST" -idle 30s &
+bin/rfidrawd -http "$HTTP" -ingest "$INGEST" -idle 30s -pprof-addr "$PPROF" &
 DAEMON=$!
 trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
 
@@ -35,7 +39,26 @@ goroutines() { curl -sf "http://$HTTP/metrics" | awk '/^rfidrawd_goroutines /{pr
 BEFORE="$(goroutines)"
 echo "soak: goroutines before load: $BEFORE"
 
-bin/loadgen -daemon "http://$HTTP" -sessions "$SESSIONS" -duration "$DURATION" -pace "$PACE" -out "$OUT"
+# loadgen cross-checks the daemon's own rfidrawd_report_latency_seconds
+# histogram against the client-observed latency (-server-check-ms): the
+# server-side interpolated p99 must not exceed the client p99 by more
+# than the tolerance, and the histogram must have gained observations.
+bin/loadgen -daemon "http://$HTTP" -sessions "$SESSIONS" -duration "$DURATION" -pace "$PACE" \
+  -server-check-ms 500 -out "$OUT" &
+LOADGEN=$!
+
+# Mid-load CPU profile: the opt-in pprof endpoint must serve a
+# non-empty profile while the daemon is actually working.
+sleep 3
+curl -sf "http://$PPROF/debug/pprof/profile?seconds=5" -o soak_cpu.pprof
+if [ ! -s soak_cpu.pprof ]; then
+  echo "soak: pprof CPU profile is empty" >&2
+  exit 1
+fi
+echo "soak: captured mid-load CPU profile ($(wc -c <soak_cpu.pprof) bytes)"
+rm -f soak_cpu.pprof
+
+wait "$LOADGEN"
 echo "soak: loadgen report:"
 cat "$OUT"
 
@@ -50,6 +73,18 @@ for m in rfidrawd_hypotheses_active rfidrawd_leader_switches_total rfidrawd_hypo
   fi
 done
 echo "soak: hypothesis metrics present"
+
+# Every pipeline stage's latency histogram must have been populated by
+# the load: a stage whose +Inf bucket stayed at zero means its stamps
+# are not wired through the serving path.
+for st in ingest reorder wal_append engine_offer emit write; do
+  C="$(echo "$METRICS" | grep -F "rfidrawd_stage_seconds_bucket{stage=\"$st\",le=\"+Inf\"}" | awk '{print $2}')"
+  if [ "${C:-0}" -eq 0 ]; then
+    echo "soak: stage histogram $st never observed anything under load" >&2
+    exit 1
+  fi
+done
+echo "soak: all stage histograms populated"
 
 # loadgen deletes its sessions; give the daemon a moment to fully drain.
 sleep 5

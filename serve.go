@@ -3,6 +3,7 @@ package rfidraw
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -87,7 +88,20 @@ type ServeConfig struct {
 	// (drain boundaries always sync). 1 syncs every append. Default 64.
 	WALSyncEvery int
 
-	// Logf receives operational log lines; nil discards them.
+	// TraceSampleN seeds the span-sampling cadence: 1-in-N resequenced
+	// reports per session record a full stage-by-stage span, served as
+	// NDJSON from GET /v1/sessions/{id}/trace. 0 (the default) disables
+	// sampling; mutable at runtime via the control API.
+	TraceSampleN int
+
+	// Logger, when non-nil, receives structured operational logs with
+	// session-scoped attributes and takes precedence over Logf.
+	Logger *slog.Logger
+	// LogLevel, when non-nil, is the shared runtime-mutable level gate
+	// the control API's "log_level" knob mutates.
+	LogLevel *slog.LevelVar
+	// Logf receives operational log lines when Logger is nil; nil
+	// discards them.
 	Logf func(format string, args ...any)
 }
 
@@ -123,6 +137,9 @@ func (c ServeConfig) registryConfig(factory server.EngineFactory) server.Registr
 		},
 		ShedThreshold: c.ShedThreshold,
 		ParkThreshold: c.ParkThreshold,
+		TraceSampleN:  c.TraceSampleN,
+		Logger:        c.Logger,
+		LogLevel:      c.LogLevel,
 		Logf:          c.Logf,
 	}
 }
@@ -293,6 +310,8 @@ func (s *System) NewServer(cfg ServeConfig) (*Server, error) {
 		IngestAddr:     cfg.IngestAddr,
 		SharedRegistry: reg,
 		IdleTimeout:    cfg.IdleTimeout,
+		Logger:         cfg.Logger,
+		LogLevel:       cfg.LogLevel,
 		Logf:           cfg.Logf,
 	})
 	if err != nil {
