@@ -11,9 +11,14 @@ package rfidraw
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -31,6 +36,7 @@ import (
 	"rfidraw/internal/realtime"
 	"rfidraw/internal/recognition"
 	"rfidraw/internal/rfid"
+	"rfidraw/internal/server"
 	"rfidraw/internal/sim"
 	"rfidraw/internal/tracing"
 	"rfidraw/internal/traj"
@@ -482,6 +488,167 @@ func BenchmarkEngineStreaming(b *testing.B) {
 			}
 			b.ReportMetric(float64(b.N)*float64(len(merged))/b.Elapsed().Seconds(), "reports/s")
 		})
+	}
+}
+
+// —— Serving dataplane benches ————————————————————————————————————————————
+
+// benchDaemon lazily starts one in-process daemon shared by every
+// BenchmarkIngestToEmit configuration. The registry's limits are fixed
+// by its first builder, so it is sized here for the largest fan-out
+// configuration; the daemon lives for the rest of the benchmark binary.
+var benchDaemon *server.Client
+
+func benchDaemonStart(b *testing.B) *server.Client {
+	b.Helper()
+	if benchDaemon != nil {
+		return benchDaemon
+	}
+	sys, err := core.NewSystem(nil, core.Config{Plane: geom.Plane{Y: 2}, Region: deploy.DefaultRegion()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory := func(sweep time.Duration, geometry string, search *vote.SearchConfig, onUpdate func(engine.Update)) (*engine.Engine, error) {
+		return engine.New(engine.Config{
+			Shards:        runtime.GOMAXPROCS(0),
+			System:        sys,
+			SweepInterval: sweep,
+			OnUpdate:      onUpdate,
+			BatchSize:     1,
+		})
+	}
+	srv, err := server.New(server.Config{
+		HTTPAddr:   "127.0.0.1:0",
+		IngestAddr: "127.0.0.1:0",
+		Registry: server.RegistryConfig{
+			NewEngine:      factory,
+			MaxSubscribers: 512,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		b.Fatal(err)
+	}
+	benchDaemon = &server.Client{BaseURL: "http://" + srv.HTTPAddr(), Ingest: srv.IngestAddr()}
+	return benchDaemon
+}
+
+// benchSessionReaders polls the session info endpoint until the ingest
+// gateway has released the session's last reader connection — the
+// barrier proving every report written to the socket has been offered
+// into the session pump.
+func benchAwaitIngestDone(b *testing.B, httpc *http.Client, url string) {
+	b.Helper()
+	for {
+		resp, err := httpc.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var info struct {
+			Readers int `json:"readers"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&info)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if info.Readers == 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// BenchmarkIngestToEmit measures the serving dataplane end to end:
+// reports enter through the readerwire ingest gateway, cross the session
+// pump (reorder buffer → WAL-less engine offer → emit) and fan out to N
+// attached HTTP stream subscribers, which drain their streams to EOF.
+// reports/s is the headline metric; the subscriber axis exposes the
+// per-event fan-out cost, which encode-once byte sharing keeps near
+// flat, and the encoding axis compares NDJSON with the binary frame
+// encoding.
+func BenchmarkIngestToEmit(b *testing.B) {
+	benchEngineJobs(b, 8) // ensure the cached run exists
+	run := benchEngineRun
+	merged := realtime.MergeStreams(run.ReportsRF...)
+	sweep := run.SweepInterval * time.Duration(len(run.Tags))
+	cl := benchDaemonStart(b)
+	httpc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 600, MaxIdleConns: 600}}
+	for _, enc := range []string{"ndjson", "binary"} {
+		for _, subs := range []int{1, 64, 512} {
+			b.Run(fmt.Sprintf("encoding=%s/subs=%d", enc, subs), func(b *testing.B) {
+				ctx := context.Background()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					id, err := cl.CreateSession(ctx, server.SessionSpec{Sweep: sweep})
+					if err != nil {
+						b.Fatal(err)
+					}
+					sessionURL := cl.BaseURL + "/v1/sessions/" + id
+					streamURL := sessionURL + "/stream"
+					if enc == "binary" {
+						streamURL += "?encoding=binary"
+					}
+					subErrs := make(chan error, subs)
+					var wg sync.WaitGroup
+					for s := 0; s < subs; s++ {
+						resp, err := httpc.Get(streamURL)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if resp.StatusCode != http.StatusOK {
+							b.Fatalf("stream attach: %s", resp.Status)
+						}
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							_, err := io.Copy(io.Discard, resp.Body)
+							resp.Body.Close()
+							if err != nil {
+								subErrs <- err
+							}
+						}()
+					}
+					rs, err := cl.DialIngest(id, readerwire.Hello{
+						Proto: readerwire.ProtoVersion, ReaderID: 1,
+						AntennaCount: 4, SweepInterval: sweep,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					for _, rep := range merged {
+						if err := rs.Send(rep); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if err := rs.Flush(); err != nil {
+						b.Fatal(err)
+					}
+					if err := rs.Close(); err != nil {
+						b.Fatal(err)
+					}
+					benchAwaitIngestDone(b, httpc, sessionURL)
+					if err := cl.DrainSession(ctx, id); err != nil {
+						b.Fatal(err)
+					}
+					if err := cl.DeleteSession(ctx, id); err != nil {
+						b.Fatal(err)
+					}
+					wg.Wait()
+					b.StopTimer()
+					select {
+					case err := <-subErrs:
+						b.Fatal(err)
+					default:
+					}
+					b.StartTimer()
+				}
+				b.ReportMetric(float64(b.N)*float64(len(merged))/b.Elapsed().Seconds(), "reports/s")
+			})
+		}
 	}
 }
 

@@ -136,8 +136,11 @@ func parseLine(m []string) (*Benchmark, error) {
 // normalised name contains match (all when match is empty) and exists in
 // the baseline is checked for ns/op regression beyond maxRegress
 // (negative disables the time gate) and, when maxAllocsRegress > 0, for
-// allocs/op growth beyond that fraction. The returned report lists every
-// comparison; failed reports whether any regressed.
+// allocs/op growth beyond that fraction. When metric is non-empty it
+// names a custom b.ReportMetric unit (e.g. "reports/s") gated as a
+// throughput: HIGHER is better, and a fractional drop beyond
+// maxMetricRegress fails. The returned report lists every comparison;
+// failed reports whether any regressed.
 //
 // Two situations downgrade the time gate to informational instead of
 // failing, because ns/op is not comparable: benchmarks present on only
@@ -147,7 +150,9 @@ func parseLine(m []string) (*Benchmark, error) {
 // escape hatch — allocs/op is a property of the code, not the machine —
 // but is informational when either side lacks allocation data (e.g. a
 // baseline recorded before b.ReportAllocs was added).
-func Compare(baseline, current *File, match string, maxRegress, maxAllocsRegress float64) (report string, failed bool) {
+// Like ns/op, the throughput gate downgrades to informational across
+// CPU classes and when either side lacks the metric.
+func Compare(baseline, current *File, match string, maxRegress, maxAllocsRegress float64, metric string, maxMetricRegress float64) (report string, failed bool) {
 	sameCPU := baseline.CPU == "" || current.CPU == "" || baseline.CPU == current.CPU
 	base := map[string]Benchmark{}
 	for _, b := range baseline.Benchmarks {
@@ -174,6 +179,31 @@ func Compare(baseline, current *File, match string, maxRegress, maxAllocsRegress
 				failed = true
 			}
 		}
+		metricTxt := ""
+		if metric != "" {
+			oldV, okOld := old.Metrics[metric]
+			curV, okCur := cur.Metrics[metric]
+			switch {
+			case !okOld || !okCur:
+				metricTxt = fmt.Sprintf(", %s (no gate: missing data)", metric)
+			default:
+				mdelta := 0.0
+				switch {
+				case oldV > 0:
+					mdelta = (curV - oldV) / oldV
+				case curV > 0:
+					mdelta = math.Inf(1)
+				}
+				metricTxt = fmt.Sprintf(", %s %.0f -> %.0f (%+.1f%%)", metric, oldV, curV, mdelta*100)
+				if mdelta < -maxMetricRegress {
+					status = "slower"
+					if sameCPU {
+						status = "REGRESSED"
+						failed = true
+					}
+				}
+			}
+		}
 		allocs := ""
 		if maxAllocsRegress > 0 {
 			switch {
@@ -198,13 +228,17 @@ func Compare(baseline, current *File, match string, maxRegress, maxAllocsRegress
 				}
 			}
 		}
-		lines = append(lines, fmt.Sprintf("  %-9s %-60s %12.0f -> %12.0f ns/op (%+.1f%%)%s",
-			status, cur.Name, old.NsPerOp, cur.NsPerOp, delta*100, allocs))
+		lines = append(lines, fmt.Sprintf("  %-9s %-60s %12.0f -> %12.0f ns/op (%+.1f%%)%s%s",
+			status, cur.Name, old.NsPerOp, cur.NsPerOp, delta*100, metricTxt, allocs))
 	}
 	sort.Strings(lines)
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "benchjson: baseline %s (%s, cpu %q) vs current %s (%s, cpu %q), gate >%.0f%% ns/op, >%.0f%% allocs/op on %q\n",
+	fmt.Fprintf(&sb, "benchjson: baseline %s (%s, cpu %q) vs current %s (%s, cpu %q), gate >%.0f%% ns/op, >%.0f%% allocs/op on %q",
 		baseline.Date, baseline.Go, baseline.CPU, current.Date, current.Go, current.CPU, maxRegress*100, maxAllocsRegress*100, match)
+	if metric != "" {
+		fmt.Fprintf(&sb, ", >-%.0f%% %s", maxMetricRegress*100, metric)
+	}
+	sb.WriteString("\n")
 	for _, l := range lines {
 		sb.WriteString(l)
 		sb.WriteString("\n")

@@ -11,6 +11,11 @@
 //
 //	benchjson -compare BENCH_baseline.json -bench 'BenchmarkEngineMultiTag/tags=8' -max-regress 0.20 BENCH_2026-07-28.json
 //
+// Gate a custom throughput metric (higher is better; -metric names the
+// b.ReportMetric unit, -max-metric-regress the allowed fractional DROP):
+//
+//	benchjson -compare BENCH_baseline.json -bench BenchmarkIngestToEmit -max-regress -1 -metric reports/s -max-metric-regress 0.25 BENCH_2026-07-28.json
+//
 // Benchmark names are normalised by stripping the trailing -<GOMAXPROCS>
 // suffix so files from machines with different core counts line up; runs
 // repeated with -count are collapsed to the repetition with the best
@@ -36,15 +41,17 @@ func main() {
 		benchMatch = flag.String("bench", "", "compare mode: substring of the benchmarks to gate (default all)")
 		maxRegress = flag.Float64("max-regress", 0.20, "compare mode: allowed fractional ns/op regression (negative disables)")
 		maxAllocs  = flag.Float64("max-allocs-regress", 0, "compare mode: allowed fractional allocs/op growth (0 disables)")
+		metric     = flag.String("metric", "", "compare mode: custom metric unit to gate as a throughput (higher is better; empty disables)")
+		maxMetric  = flag.Float64("max-metric-regress", 0.20, "compare mode: allowed fractional -metric drop")
 	)
 	flag.Parse()
-	if err := run(*in, *out, *date, *compare, *benchMatch, *maxRegress, *maxAllocs, flag.Args()); err != nil {
+	if err := run(*in, *out, *date, *compare, *benchMatch, *maxRegress, *maxAllocs, *metric, *maxMetric, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, date, compare, benchMatch string, maxRegress, maxAllocs float64, args []string) error {
+func run(in, out, date, compare, benchMatch string, maxRegress, maxAllocs float64, metric string, maxMetric float64, args []string) error {
 	if compare != "" {
 		if len(args) != 1 {
 			return fmt.Errorf("compare mode wants exactly one current JSON argument, got %d", len(args))
@@ -57,10 +64,10 @@ func run(in, out, date, compare, benchMatch string, maxRegress, maxAllocs float6
 		if err != nil {
 			return err
 		}
-		report, failed := Compare(baseline, current, benchMatch, maxRegress, maxAllocs)
+		report, failed := Compare(baseline, current, benchMatch, maxRegress, maxAllocs, metric, maxMetric)
 		fmt.Print(report)
 		if failed {
-			return fmt.Errorf("benchmark regression beyond the gate (ns/op >%.0f%%, allocs/op >%.0f%%)", maxRegress*100, maxAllocs*100)
+			return fmt.Errorf("benchmark regression beyond the gate (ns/op >%.0f%%, allocs/op >%.0f%%, %s >-%.0f%%)", maxRegress*100, maxAllocs*100, metric, maxMetric*100)
 		}
 		return nil
 	}

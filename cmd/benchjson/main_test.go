@@ -77,7 +77,7 @@ func mkFile(ns float64) *File {
 }
 
 func TestCompareWithinTolerancePasses(t *testing.T) {
-	report, failed := Compare(mkFile(100), mkFile(115), "EngineMultiTag/tags=8", 0.20, 0)
+	report, failed := Compare(mkFile(100), mkFile(115), "EngineMultiTag/tags=8", 0.20, 0, "", 0)
 	if failed {
 		t.Fatalf("15%% should pass a 20%% gate:\n%s", report)
 	}
@@ -87,7 +87,7 @@ func TestCompareWithinTolerancePasses(t *testing.T) {
 }
 
 func TestCompareRegressionFails(t *testing.T) {
-	report, failed := Compare(mkFile(100), mkFile(130), "EngineMultiTag/tags=8", 0.20, 0)
+	report, failed := Compare(mkFile(100), mkFile(130), "EngineMultiTag/tags=8", 0.20, 0, "", 0)
 	if !failed {
 		t.Fatalf("30%% regression should fail a 20%% gate:\n%s", report)
 	}
@@ -99,17 +99,17 @@ func TestCompareRegressionFails(t *testing.T) {
 func TestCompareGatesOnlyMatchingBenchmarks(t *testing.T) {
 	cur := mkFile(100)
 	cur.Benchmarks[1].NsPerOp = 500 // 10x regression on the unmatched one
-	if report, failed := Compare(mkFile(100), cur, "EngineMultiTag/tags=8", 0.20, 0); failed {
+	if report, failed := Compare(mkFile(100), cur, "EngineMultiTag/tags=8", 0.20, 0, "", 0); failed {
 		t.Fatalf("unmatched benchmark must not fail the gate:\n%s", report)
 	}
-	if _, failed := Compare(mkFile(100), cur, "", 0.20, 0); !failed {
+	if _, failed := Compare(mkFile(100), cur, "", 0.20, 0, "", 0); !failed {
 		t.Fatal("empty match should gate every benchmark")
 	}
 }
 
 func TestCompareNoOverlapWarnsButPasses(t *testing.T) {
 	other := &File{Benchmarks: []Benchmark{{Name: "BenchmarkElsewhere", NsPerOp: 1}}}
-	report, failed := Compare(mkFile(100), other, "EngineMultiTag", 0.20, 0)
+	report, failed := Compare(mkFile(100), other, "EngineMultiTag", 0.20, 0, "", 0)
 	if failed {
 		t.Fatalf("no overlap should not fail:\n%s", report)
 	}
@@ -132,10 +132,10 @@ func mkAllocFile(ns float64, allocs ...float64) *File {
 func TestCompareAllocsGate(t *testing.T) {
 	// 10% allocation growth passes a 20% gate; 50% fails it even when
 	// ns/op is fine.
-	if report, failed := Compare(mkAllocFile(100, 1000), mkAllocFile(100, 1100), "EngineStreaming", -1, 0.20); failed {
+	if report, failed := Compare(mkAllocFile(100, 1000), mkAllocFile(100, 1100), "EngineStreaming", -1, 0.20, "", 0); failed {
 		t.Fatalf("10%% allocs growth should pass a 20%% gate:\n%s", report)
 	}
-	report, failed := Compare(mkAllocFile(100, 1000), mkAllocFile(100, 1500), "EngineStreaming", -1, 0.20)
+	report, failed := Compare(mkAllocFile(100, 1000), mkAllocFile(100, 1500), "EngineStreaming", -1, 0.20, "", 0)
 	if !failed {
 		t.Fatalf("50%% allocs growth should fail a 20%% gate:\n%s", report)
 	}
@@ -143,21 +143,21 @@ func TestCompareAllocsGate(t *testing.T) {
 		t.Fatalf("report missing allocation regression detail:\n%s", report)
 	}
 	// A disabled time gate must not fail on ns/op regressions.
-	if report, failed := Compare(mkAllocFile(100, 1000), mkAllocFile(1000, 1000), "EngineStreaming", -1, 0.20); failed {
+	if report, failed := Compare(mkAllocFile(100, 1000), mkAllocFile(1000, 1000), "EngineStreaming", -1, 0.20, "", 0); failed {
 		t.Fatalf("disabled ns/op gate must not fail:\n%s", report)
 	}
 	// The allocation gate has no cross-CPU escape: allocs are a property
 	// of the code.
 	cur := mkAllocFile(100, 1500)
 	cur.CPU = "Other CPU"
-	if _, failed := Compare(mkAllocFile(100, 1000), cur, "EngineStreaming", -1, 0.20); !failed {
+	if _, failed := Compare(mkAllocFile(100, 1000), cur, "EngineStreaming", -1, 0.20, "", 0); !failed {
 		t.Fatal("cross-CPU allocation regression must still fail")
 	}
 }
 
 func TestCompareAllocsGateMissingDataIsInformational(t *testing.T) {
 	baseline := mkAllocFile(100) // recorded before ReportAllocs existed
-	report, failed := Compare(baseline, mkAllocFile(100, 900), "EngineStreaming", -1, 0.20)
+	report, failed := Compare(baseline, mkAllocFile(100, 900), "EngineStreaming", -1, 0.20, "", 0)
 	if failed {
 		t.Fatalf("missing baseline allocation data must not fail:\n%s", report)
 	}
@@ -165,7 +165,7 @@ func TestCompareAllocsGateMissingDataIsInformational(t *testing.T) {
 		t.Fatalf("report missing the no-data note:\n%s", report)
 	}
 	// Gate off entirely: no allocation text at all.
-	report, _ = Compare(mkAllocFile(100, 1000), mkAllocFile(100, 1500), "EngineStreaming", -1, 0)
+	report, _ = Compare(mkAllocFile(100, 1000), mkAllocFile(100, 1500), "EngineStreaming", -1, 0, "", 0)
 	if strings.Contains(report, "allocs 1000") {
 		t.Fatalf("disabled allocs gate should not report allocations:\n%s", report)
 	}
@@ -174,15 +174,58 @@ func TestCompareAllocsGateMissingDataIsInformational(t *testing.T) {
 func TestCompareAllocsGateZeroBaselineIsReal(t *testing.T) {
 	// A genuinely allocation-free baseline is data, not absence: any
 	// growth from 0 is an unbounded regression and must fail the gate.
-	report, failed := Compare(mkAllocFile(100, 0), mkAllocFile(100, 20000), "EngineStreaming", -1, 0.20)
+	report, failed := Compare(mkAllocFile(100, 0), mkAllocFile(100, 20000), "EngineStreaming", -1, 0.20, "", 0)
 	if !failed {
 		t.Fatalf("0 -> 20000 allocs/op must fail the gate:\n%s", report)
 	}
 	if !strings.Contains(report, "REGRESSED") {
 		t.Fatalf("report missing REGRESSED marker:\n%s", report)
 	}
-	if _, failed := Compare(mkAllocFile(100, 0), mkAllocFile(100, 0), "EngineStreaming", -1, 0.20); failed {
+	if _, failed := Compare(mkAllocFile(100, 0), mkAllocFile(100, 0), "EngineStreaming", -1, 0.20, "", 0); failed {
 		t.Fatal("0 -> 0 allocs/op must pass")
+	}
+}
+
+func mkMetricFile(ns float64, metrics map[string]float64) *File {
+	return &File{
+		Schema: 1, Date: "2026-08-08", Go: "go1.24.0", CPU: "Same CPU",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkIngestToEmit/encoding=binary/subs=512", N: 3, NsPerOp: ns, Metrics: metrics},
+		},
+	}
+}
+
+func TestCompareMetricGate(t *testing.T) {
+	base := mkMetricFile(100, map[string]float64{"reports/s": 10000})
+	// A 10% throughput drop passes a 25% gate.
+	if report, failed := Compare(base, mkMetricFile(100, map[string]float64{"reports/s": 9000}), "IngestToEmit", -1, 0, "reports/s", 0.25); failed {
+		t.Fatalf("10%% throughput drop should pass a 25%% gate:\n%s", report)
+	}
+	// A 50% drop fails it — lower is the regression direction.
+	report, failed := Compare(base, mkMetricFile(100, map[string]float64{"reports/s": 5000}), "IngestToEmit", -1, 0, "reports/s", 0.25)
+	if !failed {
+		t.Fatalf("50%% throughput drop should fail a 25%% gate:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSED") || !strings.Contains(report, "reports/s 10000 -> 5000") {
+		t.Fatalf("report missing throughput regression detail:\n%s", report)
+	}
+	// A throughput GAIN must never fail, however large.
+	if report, failed := Compare(base, mkMetricFile(100, map[string]float64{"reports/s": 40000}), "IngestToEmit", -1, 0, "reports/s", 0.25); failed {
+		t.Fatalf("throughput gain must pass:\n%s", report)
+	}
+	// Missing metric on either side downgrades to informational.
+	report, failed = Compare(base, mkMetricFile(100, nil), "IngestToEmit", -1, 0, "reports/s", 0.25)
+	if failed {
+		t.Fatalf("missing metric data must not fail:\n%s", report)
+	}
+	if !strings.Contains(report, "no gate: missing data") {
+		t.Fatalf("report missing the no-data note:\n%s", report)
+	}
+	// Cross-CPU throughput, like ns/op, is not comparable: informational.
+	cur := mkMetricFile(100, map[string]float64{"reports/s": 5000})
+	cur.CPU = "Other CPU"
+	if report, failed := Compare(base, cur, "IngestToEmit", -1, 0, "reports/s", 0.25); failed {
+		t.Fatalf("cross-CPU throughput drop must not fail the gate:\n%s", report)
 	}
 }
 
@@ -201,7 +244,7 @@ func TestCompareDifferentCPUIsInformational(t *testing.T) {
 	baseline.CPU = "Dev Workstation"
 	cur := mkFile(200) // 100% slower — would fail on same hardware
 	cur.CPU = "CI Runner"
-	report, failed := Compare(baseline, cur, "EngineMultiTag/tags=8", 0.20, 0)
+	report, failed := Compare(baseline, cur, "EngineMultiTag/tags=8", 0.20, 0, "", 0)
 	if failed {
 		t.Fatalf("cross-CPU comparison must not fail the gate:\n%s", report)
 	}
@@ -209,7 +252,7 @@ func TestCompareDifferentCPUIsInformational(t *testing.T) {
 		t.Fatalf("report missing cross-CPU downgrade:\n%s", report)
 	}
 	cur.CPU = baseline.CPU
-	if _, failed := Compare(baseline, cur, "EngineMultiTag/tags=8", 0.20, 0); !failed {
+	if _, failed := Compare(baseline, cur, "EngineMultiTag/tags=8", 0.20, 0, "", 0); !failed {
 		t.Fatal("same-CPU regression must fail the gate")
 	}
 }

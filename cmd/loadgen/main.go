@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rfidraw/internal/corpus"
@@ -55,16 +56,17 @@ func main() {
 		retrace  = flag.Bool("retrace", false, "after streaming, POST /retrace twice per session (daemon needs -data-dir) and gate on determinism")
 		overload = flag.Bool("overload", false, "overload mode: creates retry on 429 honoring Retry-After (a 429 without one fails the run), sessions the daemon sheds or parks under pressure count as outcomes instead of failures, and parked sessions are left on the daemon for post-run inspection")
 		profile  = flag.String("profile", "", "named adversarial scenario profile ("+strings.Join(corpus.ProfileNames(), ", ")+"); sets seed, geometry, propagation and injected reader faults")
+		encoding = flag.String("encoding", "ndjson", "stream wire encoding each session subscribes with: ndjson or binary (decoded events are identical)")
 		svCheck  = flag.Float64("server-check-ms", 0, "cross-check the daemon's rfidrawd_report_latency_seconds histogram against the client-observed latency: fail if the server-side interpolated p99 exceeds the client p99 by more than this many ms, or if the histogram gained no observations (0 disables)")
 		out      = flag.String("out", "", "write the JSON report here (default stdout)")
 	)
 	flag.Parse()
-	if err := validateFlags(*daemon, *sessions, *tags, *word, *pace, *duration); err != nil {
+	if err := validateFlags(*daemon, *sessions, *tags, *word, *pace, *duration, *encoding); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen: invalid flags:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
-	report, err := run(*daemon, *ingest, *sessions, *tags, *word, *seed, *pace, *duration, *retrace, *profile, *overload, *svCheck)
+	report, err := run(*daemon, *ingest, *sessions, *tags, *word, *seed, *pace, *duration, *retrace, *profile, *overload, *svCheck, *encoding)
 	if report != nil {
 		b, _ := json.MarshalIndent(report, "", "  ")
 		b = append(b, '\n')
@@ -84,7 +86,7 @@ func main() {
 }
 
 // validateFlags rejects malformed combinations before dialling anything.
-func validateFlags(daemon string, sessions, tags int, word string, pace float64, duration time.Duration) error {
+func validateFlags(daemon string, sessions, tags int, word string, pace float64, duration time.Duration, encoding string) error {
 	if !strings.HasPrefix(daemon, "http://") && !strings.HasPrefix(daemon, "https://") {
 		return fmt.Errorf("-daemon %q must be an http(s) URL", daemon)
 	}
@@ -103,6 +105,11 @@ func validateFlags(daemon string, sessions, tags int, word string, pace float64,
 	if duration <= 0 {
 		return fmt.Errorf("-duration %v must be positive", duration)
 	}
+	switch encoding {
+	case "", "ndjson", "binary":
+	default:
+		return fmt.Errorf("-encoding %q must be ndjson or binary", encoding)
+	}
 	return nil
 }
 
@@ -120,6 +127,7 @@ type Report struct {
 	Pace      float64 `json:"pace"`
 	DurationS float64 `json:"duration_s"`
 	Profile   string  `json:"profile,omitempty"`
+	Encoding  string  `json:"encoding,omitempty"`
 
 	Failed int `json:"failed"`
 	Shed   int `json:"shed"`
@@ -133,6 +141,14 @@ type Report struct {
 	Points int64 `json:"points"`
 	Glyphs int64 `json:"glyphs"`
 	Drops  int64 `json:"drops"`
+
+	// Reports is the total reader reports replayed into the ingest
+	// gateway across every session; ReportsPerSec is that volume over the
+	// run duration — the dataplane throughput the run actually pushed,
+	// reported alongside the latency percentiles so encoding comparisons
+	// have a rate to line up against.
+	Reports       int64   `json:"reports"`
+	ReportsPerSec float64 `json:"reports_per_sec"`
 
 	// LatencyMS is the sample→trace-point latency distribution in
 	// milliseconds across every point of every session.
@@ -165,13 +181,14 @@ type Percentiles struct {
 
 // SessionResult is one session's outcome.
 type SessionResult struct {
-	ID     string  `json:"id"`
-	Points int64   `json:"points"`
-	Glyphs int64   `json:"glyphs"`
-	Drops  int64   `json:"drops"`
-	P50    float64 `json:"p50_ms"`
-	P99    float64 `json:"p99_ms"`
-	Shed   bool    `json:"shed,omitempty"`
+	ID      string  `json:"id"`
+	Points  int64   `json:"points"`
+	Glyphs  int64   `json:"glyphs"`
+	Drops   int64   `json:"drops"`
+	Reports int64   `json:"reports"`
+	P50     float64 `json:"p50_ms"`
+	P99     float64 `json:"p99_ms"`
+	Shed    bool    `json:"shed,omitempty"`
 	// Parked marks a session the daemon parked under pressure mid-run;
 	// Retried429 counts this session's admission retries (overload mode).
 	Parked      bool    `json:"parked,omitempty"`
@@ -188,7 +205,7 @@ type SessionResult struct {
 	lats []float64
 }
 
-func run(daemon, ingest string, sessions, tags int, word string, seed int64, pace float64, duration time.Duration, retrace bool, profileName string, overload bool, svCheckMS float64) (*Report, error) {
+func run(daemon, ingest string, sessions, tags int, word string, seed int64, pace float64, duration time.Duration, retrace bool, profileName string, overload bool, svCheckMS float64, encoding string) (*Report, error) {
 	// One shared scenario, replayed into every session: sessions are
 	// isolated by the daemon, so identical content exercises the serving
 	// layer without paying scenario generation per session. A -profile
@@ -299,7 +316,7 @@ func run(daemon, ingest string, sessions, tags int, word string, seed int64, pac
 				time.Sleep(time.Duration(i) * 400 * time.Millisecond)
 			}
 			results[i] = runSession(ctx, sessionParams{
-				client:      &server.Client{BaseURL: daemon, Ingest: ingest},
+				client:      &server.Client{BaseURL: daemon, Ingest: ingest, Encoding: encoding},
 				id:          fmt.Sprintf("load-%d", i),
 				streams:     streams,
 				skews:       skews,
@@ -319,6 +336,7 @@ func run(daemon, ingest string, sessions, tags int, word string, seed int64, pac
 		Sessions: sessions, Tags: tags, Pace: pace,
 		DurationS:      duration.Seconds(),
 		Profile:        profileName,
+		Encoding:       encoding,
 		SessionResults: results,
 	}
 	var all, retraces []float64
@@ -326,6 +344,7 @@ func run(daemon, ingest string, sessions, tags int, word string, seed int64, pac
 		report.Points += r.Points
 		report.Glyphs += r.Glyphs
 		report.Drops += r.Drops
+		report.Reports += r.Reports
 		report.RetracePoints += r.RetracePoints
 		report.Overload429 += int64(r.Retried429)
 		report.RetryWaitMS += r.RetryWaitMS
@@ -349,6 +368,9 @@ func run(daemon, ingest string, sessions, tags int, word string, seed int64, pac
 	}
 	report.LatencyMS = percentiles(all)
 	report.RetraceMS = percentiles(retraces)
+	if duration > 0 {
+		report.ReportsPerSec = float64(report.Reports) / duration.Seconds()
+	}
 	if report.Failed > 0 {
 		return report, fmt.Errorf("%d of %d sessions failed", report.Failed, sessions)
 	}
@@ -551,6 +573,7 @@ func runSession(ctx context.Context, p sessionParams) SessionResult {
 	// up (two readers on the default geometry, four on multiroom).
 	replayCtx, stopReplay := context.WithDeadline(ctx, start.Add(p.duration))
 	var rwg sync.WaitGroup
+	var reportsSent atomic.Int64
 	errCh := make(chan error, len(p.streams))
 	for readerID := range p.streams {
 		rwg.Add(1)
@@ -568,6 +591,7 @@ func runSession(ctx context.Context, p sessionParams) SessionResult {
 				return
 			}
 			defer rs.Close()
+			defer func() { reportsSent.Add(rs.Sent()) }()
 			for loop := 0; replayCtx.Err() == nil; loop++ {
 				offset := time.Duration(loop) * (p.scenDur + loopGap)
 				err := rs.ReplaySkewed(replayCtx, p.streams[readerID], p.pace, offset, start, p.skews[readerID])
@@ -582,6 +606,7 @@ func runSession(ctx context.Context, p sessionParams) SessionResult {
 	}
 	rwg.Wait()
 	stopReplay()
+	res.Reports = reportsSent.Load()
 	select {
 	case err := <-errCh:
 		res.Err = err.Error()

@@ -6,8 +6,10 @@ import (
 )
 
 func TestValidateFlags(t *testing.T) {
-	if err := validateFlags("http://127.0.0.1:8090", 8, 2, "hi", 1, 30*time.Second); err != nil {
-		t.Fatalf("valid flags rejected: %v", err)
+	for _, enc := range []string{"", "ndjson", "binary"} {
+		if err := validateFlags("http://127.0.0.1:8090", 8, 2, "hi", 1, 30*time.Second, enc); err != nil {
+			t.Fatalf("valid flags (encoding %q) rejected: %v", enc, err)
+		}
 	}
 	cases := []struct {
 		name     string
@@ -17,17 +19,19 @@ func TestValidateFlags(t *testing.T) {
 		word     string
 		pace     float64
 		duration time.Duration
+		encoding string
 	}{
-		{"bad url", "127.0.0.1:8090", 8, 2, "hi", 1, time.Second},
-		{"zero sessions", "http://x", 0, 2, "hi", 1, time.Second},
-		{"zero tags", "http://x", 8, 0, "hi", 1, time.Second},
-		{"too many tags", "http://x", 8, 13, "hi", 1, time.Second},
-		{"empty word", "http://x", 8, 2, "  ", 1, time.Second},
-		{"zero pace", "http://x", 8, 2, "hi", 0, time.Second},
-		{"zero duration", "http://x", 8, 2, "hi", 1, 0},
+		{"bad url", "127.0.0.1:8090", 8, 2, "hi", 1, time.Second, "ndjson"},
+		{"zero sessions", "http://x", 0, 2, "hi", 1, time.Second, "ndjson"},
+		{"zero tags", "http://x", 8, 0, "hi", 1, time.Second, "ndjson"},
+		{"too many tags", "http://x", 8, 13, "hi", 1, time.Second, "ndjson"},
+		{"empty word", "http://x", 8, 2, "  ", 1, time.Second, "ndjson"},
+		{"zero pace", "http://x", 8, 2, "hi", 0, time.Second, "ndjson"},
+		{"zero duration", "http://x", 8, 2, "hi", 1, 0, "ndjson"},
+		{"bad encoding", "http://x", 8, 2, "hi", 1, time.Second, "protobuf"},
 	}
 	for _, tc := range cases {
-		if err := validateFlags(tc.daemon, tc.sessions, tc.tags, tc.word, tc.pace, tc.duration); err == nil {
+		if err := validateFlags(tc.daemon, tc.sessions, tc.tags, tc.word, tc.pace, tc.duration, tc.encoding); err == nil {
 			t.Errorf("%s: accepted", tc.name)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"sync/atomic"
 )
 
 // Pipeline holds the daemon-wide stage histograms plus the end-to-end
@@ -12,6 +13,24 @@ import (
 type Pipeline struct {
 	stages [NumStages]Histogram
 	e2e    Histogram
+	// Burst fan-in accounting: how many ingest bursts the pumps consumed
+	// and how many reports they carried, so the average burst size the
+	// gateway achieves under a given load is observable. One atomic add
+	// per burst (not per report), so no striping is needed.
+	bursts       atomic.Int64
+	burstReports atomic.Int64
+}
+
+// ObserveBurst records one consumed ingest burst of n reports.
+func (p *Pipeline) ObserveBurst(n int) {
+	p.bursts.Add(1)
+	p.burstReports.Add(int64(n))
+}
+
+// BurstSnapshot returns the cumulative burst count and the reports those
+// bursts carried.
+func (p *Pipeline) BurstSnapshot() (bursts, reports int64) {
+	return p.bursts.Load(), p.burstReports.Load()
 }
 
 // ObserveStage records one duration for a pipeline stage.
@@ -72,4 +91,11 @@ func (p *Pipeline) Render(w io.Writer) {
 	fmt.Fprintf(w, "# HELP rfidrawd_report_latency_seconds End-to-end report latency from ingest decode to trace-point emit.\n")
 	fmt.Fprintf(w, "# TYPE rfidrawd_report_latency_seconds histogram\n")
 	writeHistogram(w, "rfidrawd_report_latency_seconds", "", p.E2ESnapshot())
+	bursts, burstReports := p.BurstSnapshot()
+	fmt.Fprintf(w, "# HELP rfidrawd_ingest_bursts_total Ingest bursts consumed by session pumps.\n")
+	fmt.Fprintf(w, "# TYPE rfidrawd_ingest_bursts_total counter\n")
+	fmt.Fprintf(w, "rfidrawd_ingest_bursts_total %d\n", bursts)
+	fmt.Fprintf(w, "# HELP rfidrawd_ingest_burst_reports_total Reports carried inside ingest bursts.\n")
+	fmt.Fprintf(w, "# TYPE rfidrawd_ingest_burst_reports_total counter\n")
+	fmt.Fprintf(w, "rfidrawd_ingest_burst_reports_total %d\n", burstReports)
 }

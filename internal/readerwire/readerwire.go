@@ -177,6 +177,54 @@ func (r *Reader) Next() (Message, error) {
 	}
 }
 
+// NextBuffered decodes the next message only when a complete frame is
+// already sitting in the reader's internal buffer: it never blocks on
+// the underlying stream. ok is false when the buffer holds no complete
+// frame (the caller should fall back to the blocking Next, which fills
+// the buffer). Burst-mode ingest uses it to drain every report a single
+// socket read delivered before paying the next read syscall.
+//
+// Error behavior matches Next: in resync mode malformed buffered bytes
+// are skipped (counted by Resyncs); in strict mode they return
+// ErrBadFrame.
+func (r *Reader) NextBuffered() (Message, bool, error) {
+	for {
+		buffered := r.r.Buffered()
+		if buffered < 4 {
+			return Message{}, false, nil
+		}
+		hdr, _ := r.r.Peek(4) // cannot fail: 4 bytes are buffered
+		n := binary.BigEndian.Uint32(hdr)
+		if n == 0 || n > MaxPayload {
+			if r.resync {
+				r.r.Discard(1)
+				r.resyncs++
+				continue
+			}
+			return Message{}, false, fmt.Errorf("%w: payload length %d", ErrBadFrame, n)
+		}
+		if buffered < 4+int(n) {
+			// The frame's tail has not arrived yet; let the caller block
+			// on Next for it.
+			return Message{}, false, nil
+		}
+		frame, _ := r.r.Peek(4 + int(n)) // cannot fail: fully buffered
+		msg, err := decodePayload(frame[4:])
+		if err != nil {
+			if r.resync && errors.Is(err, ErrBadFrame) {
+				r.r.Discard(1)
+				r.resyncs++
+				continue
+			}
+			return Message{}, false, err
+		}
+		if _, err := r.r.Discard(4 + int(n)); err != nil {
+			return Message{}, false, err
+		}
+		return msg, true, nil
+	}
+}
+
 // next decodes one message without consuming any bytes until the whole
 // frame has validated, so resync mode can rescan from the next byte.
 func (r *Reader) next() (Message, error) {

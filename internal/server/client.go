@@ -109,8 +109,9 @@ func readAPIError(resp *http.Response) *APIError {
 }
 
 // Client is a minimal rfidrawd client: session lifecycle over the HTTP
-// API, report replay over the ingest gateway and NDJSON stream
-// consumption. cmd/loadgen and the daemon-mode examples share it.
+// API, report replay over the ingest gateway and event stream
+// consumption (NDJSON or binary). cmd/loadgen and the daemon-mode
+// examples share it.
 type Client struct {
 	// BaseURL is the daemon's HTTP API root, e.g. "http://127.0.0.1:8090".
 	BaseURL string
@@ -120,6 +121,14 @@ type Client struct {
 	// HTTP overrides the HTTP client; nil uses a default with no overall
 	// timeout (streams are long-lived).
 	HTTP *http.Client
+	// Encoding selects the stream wire encoding Subscribe negotiates:
+	// "" or "ndjson" for the NDJSON default, "binary" for the
+	// length-prefixed CRC-framed binary encoding. Decoded Events are
+	// identical either way.
+	Encoding string
+	// SubscribeBuffer is the event-channel depth Subscribe allocates;
+	// <= 0 takes the default 64.
+	SubscribeBuffer int
 }
 
 func (c *Client) http() *http.Client {
@@ -149,7 +158,10 @@ func (c *Client) CreateSession(ctx context.Context, spec SessionSpec) (string, e
 	if spec.WAL != (WALPolicy{}) {
 		fields["wal"] = walPolicyJSON{Disable: spec.WAL.Disable, SyncEvery: spec.WAL.SyncEvery}
 	}
-	body, _ := json.Marshal(fields)
+	body, err := json.Marshal(fields)
+	if err != nil {
+		return "", err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/sessions", bytes.NewReader(body))
 	if err != nil {
 		return "", err
@@ -201,10 +213,12 @@ func (c *Client) DeleteSession(ctx context.Context, id string) error {
 	return nil
 }
 
-// Subscribe attaches to a session's live NDJSON stream and decodes it
-// onto the returned channel until the stream ends or the context is
-// cancelled. The channel is closed at end of stream; a terminal decode or
-// transport error is delivered on the (buffered) error channel.
+// Subscribe attaches to a session's live event stream — NDJSON by
+// default, or the binary encoding when c.Encoding is "binary" — and
+// decodes it onto the returned channel until the stream ends or the
+// context is cancelled. The channel is closed at end of stream; a
+// terminal decode or transport error is delivered on the (buffered)
+// error channel.
 func (c *Client) Subscribe(ctx context.Context, id string) (<-chan Event, <-chan error, error) {
 	return c.subscribe(ctx, c.BaseURL+"/v1/sessions/"+id+"/stream")
 }
@@ -216,7 +230,27 @@ func (c *Client) SubscribeFrom(ctx context.Context, id string, from uint64) (<-c
 	return c.subscribe(ctx, fmt.Sprintf("%s/v1/sessions/%s/stream?from=%d", c.BaseURL, id, from))
 }
 
+// streamURL appends the client's encoding selection to a stream URL.
+func (c *Client) streamURL(url string) (string, bool, error) {
+	switch c.Encoding {
+	case "", "ndjson":
+		return url, false, nil
+	case "binary":
+		sep := "?"
+		if strings.Contains(url, "?") {
+			sep = "&"
+		}
+		return url + sep + "encoding=binary", true, nil
+	default:
+		return "", false, fmt.Errorf("server: unknown client encoding %q (want ndjson or binary)", c.Encoding)
+	}
+}
+
 func (c *Client) subscribe(ctx context.Context, url string) (<-chan Event, <-chan error, error) {
+	url, binary, err := c.streamURL(url)
+	if err != nil {
+		return nil, nil, err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, nil, err
@@ -233,11 +267,41 @@ func (c *Client) subscribe(ctx context.Context, url string) (<-chan Event, <-cha
 		defer resp.Body.Close()
 		return nil, nil, readAPIError(resp)
 	}
-	events := make(chan Event, 64)
+	buffer := c.SubscribeBuffer
+	if buffer <= 0 {
+		buffer = 64
+	}
+	events := make(chan Event, buffer)
 	errs := make(chan error, 1)
+	deliver := func(ev Event) bool {
+		select {
+		case events <- ev:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
 	go func() {
 		defer close(events)
 		defer resp.Body.Close()
+		if binary {
+			// Strict decode: the daemon's stream is a reliable transport,
+			// so a malformed frame is a real fault worth surfacing, not
+			// something to silently resync over.
+			er := NewEventReader(resp.Body)
+			for {
+				ev, err := er.Next()
+				if err != nil {
+					if !errors.Is(err, io.EOF) && ctx.Err() == nil {
+						errs <- err
+					}
+					return
+				}
+				if !deliver(ev) {
+					return
+				}
+			}
+		}
 		sc := bufio.NewScanner(resp.Body)
 		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 		for sc.Scan() {
@@ -246,9 +310,7 @@ func (c *Client) subscribe(ctx context.Context, url string) (<-chan Event, <-cha
 				errs <- err
 				return
 			}
-			select {
-			case events <- ev:
-			case <-ctx.Done():
+			if !deliver(ev) {
 				return
 			}
 		}
@@ -286,10 +348,22 @@ func (c *Client) DialIngest(sessionID string, hello readerwire.Hello) (*ReaderSt
 type ReaderStream struct {
 	conn net.Conn
 	w    *readerwire.Writer
+	sent int64
 }
 
 // Send writes one report (buffered; Flush pushes to the network).
-func (rs *ReaderStream) Send(rep rfid.Report) error { return rs.w.WriteReport(rep) }
+func (rs *ReaderStream) Send(rep rfid.Report) error {
+	if err := rs.w.WriteReport(rep); err != nil {
+		return err
+	}
+	rs.sent++
+	return nil
+}
+
+// Sent reports how many reports this stream has written, so a replay
+// harness can turn a run into a throughput without re-deriving which
+// loops completed. Not safe to call concurrently with Send.
+func (rs *ReaderStream) Sent() int64 { return rs.sent }
 
 // Flush pushes buffered reports.
 func (rs *ReaderStream) Flush() error { return rs.w.Flush() }
@@ -436,7 +510,10 @@ func (c *Client) FetchEvents(ctx context.Context, id string) ([]obs.TimelineEven
 func (c *Client) Retrace(ctx context.Context, id, mode string) (*RetraceSummary, []byte, error) {
 	body := []byte("{}")
 	if mode != "" {
-		body, _ = json.Marshal(map[string]any{"search": map[string]any{"mode": mode}})
+		var err error
+		if body, err = json.Marshal(map[string]any{"search": map[string]any{"mode": mode}}); err != nil {
+			return nil, nil, err
+		}
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/sessions/"+id+"/retrace", bytes.NewReader(body))
 	if err != nil {
@@ -488,7 +565,10 @@ func (c *Client) Control(ctx context.Context) (*ControlState, error) {
 // /v1/control/config body shape; absent fields keep their value) and
 // returns the post-mutation state.
 func (c *Client) UpdateControl(ctx context.Context, patch ControlPatchJSON) (*ControlState, error) {
-	body, _ := json.Marshal(patch)
+	body, err := json.Marshal(patch)
+	if err != nil {
+		return nil, err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/control/config", bytes.NewReader(body))
 	if err != nil {
 		return nil, err

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"time"
+
+	"rfidraw/internal/faultgen"
+)
+
+// fuzzEventStream is the canonical valid event stream the fuzzer
+// mutates: every event type the encoder frames, with representative
+// field values. The committed seed corpus under
+// testdata/fuzz/FuzzEventFrame holds this stream plus
+// faultgen.Corruptions variants of it (truncations, bit flips, length
+// tampering, junk insertion) so every fuzz run starts from the wire
+// damage the fault harness models.
+func fuzzEventStream(tb testing.TB, points int) []byte {
+	tb.Helper()
+	var buf []byte
+	for i := 0; i < points; i++ {
+		buf = appendEventFrame(buf, &Event{
+			Type: "point", Tag: "tag-1",
+			T: time.Duration(i) * 5 * time.Millisecond,
+			X: 0.1 * float64(i), Z: -0.2 * float64(i),
+			Confidence: 0.9, Hypotheses: 3, Switched: i%2 == 1,
+			Seq: uint64(i + 1),
+		})
+	}
+	buf = appendEventFrame(buf, &Event{
+		Type: "glyph", Tag: "tag-1", T: 250 * time.Millisecond,
+		Glyph: "A", Dist: 0.42, Margin: 0.17, Points: points,
+	})
+	buf = appendEventFrame(buf, &Event{Type: "drop", Dropped: 7})
+	buf = appendEventFrame(buf, &Event{Type: "end"})
+	return buf
+}
+
+// checkWireEvent asserts a decoded event upholds the decoder's
+// contract: a known type, and no NaN-poisoned counters smuggled into
+// integer fields (floats may be anything — the CRC vouches for them).
+func checkWireEvent(t *testing.T, ev Event) {
+	t.Helper()
+	switch ev.Type {
+	case "point", "glyph", "drop", "end":
+	default:
+		t.Fatalf("decoded event with unknown type %q", ev.Type)
+	}
+}
+
+// FuzzEventFrame drives arbitrary bytes through both event decoder
+// modes. Strict mode may reject (ErrBadEventFrame) but never panic or
+// mis-decode; resync mode must additionally terminate at io.EOF on
+// EVERY input — it exists to survive corruption, so surfacing
+// ErrBadEventFrame, looping forever, or hallucinating more events than
+// the bytes could frame are all failures.
+func FuzzEventFrame(f *testing.F) {
+	clean := fuzzEventStream(f, 6)
+	f.Add(clean)
+	for _, c := range faultgen.Corruptions(1, clean, 16) {
+		f.Add(c)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		strict := NewEventReader(bytes.NewReader(data))
+		for {
+			ev, err := strict.Next()
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, ErrBadEventFrame) {
+					t.Fatalf("strict: unexpected error class: %v", err)
+				}
+				break
+			}
+			checkWireEvent(t, ev)
+		}
+
+		rr := NewResyncEventReader(bytes.NewReader(data))
+		decoded := 0
+		for {
+			ev, err := rr.Next()
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					t.Fatalf("resync: leaked error past resync: %v", err)
+				}
+				break
+			}
+			checkWireEvent(t, ev)
+			decoded++
+		}
+		// Progress invariants: the scanner cannot skip more bytes than the
+		// input holds, and the smallest frame (end: header + type byte) is
+		// 9 bytes, bounding how many events any input can possibly contain.
+		if rr.Resyncs() > len(data) {
+			t.Fatalf("resync: skipped %d bytes of a %d-byte input", rr.Resyncs(), len(data))
+		}
+		if decoded > len(data)/9 {
+			t.Fatalf("resync: decoded %d events from %d bytes", decoded, len(data))
+		}
+	})
+}
+
+// TestEventFrameRoundTrip pins the codec: every event type survives an
+// encode/decode round trip with its serialized fields intact.
+func TestEventFrameRoundTrip(t *testing.T) {
+	events := []Event{
+		{Type: "point", Tag: "pen", T: 125 * time.Millisecond, X: 1.25, Z: -0.75,
+			Confidence: 0.875, Hypotheses: 4, Switched: true, Seq: 42},
+		{Type: "point", Tag: "pen", T: 130 * time.Millisecond, X: math.Pi, Z: 0,
+			Confidence: 1, Hypotheses: 1, Switched: false, Seq: 43},
+		{Type: "glyph", Tag: "pen", T: 300 * time.Millisecond, Glyph: "B",
+			Dist: 0.5, Margin: 0.25, Points: 17},
+		{Type: "drop", Dropped: 9},
+		{Type: "end"},
+	}
+	var buf []byte
+	for i := range events {
+		buf = appendEventFrame(buf, &events[i])
+	}
+	r := NewEventReader(bytes.NewReader(buf))
+	for i, want := range events {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("event %d round-tripped to %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want io.EOF after last event, got %v", err)
+	}
+}
+
+// TestEventResyncRecoversInterleavedJunk mirrors the readerwire gate:
+// junk between every frame of a valid stream must cost nothing but the
+// junk — every original event comes back, in order.
+func TestEventResyncRecoversInterleavedJunk(t *testing.T) {
+	clean := fuzzEventStream(t, 6)
+	var frames [][]byte
+	for rest := clean; len(rest) > 0; {
+		n := eventFrameHeader + int(uint32(rest[0])<<24|uint32(rest[1])<<16|uint32(rest[2])<<8|uint32(rest[3]))
+		frames = append(frames, rest[:n])
+		rest = rest[n:]
+	}
+	junk := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x00}
+	var damaged bytes.Buffer
+	for _, fr := range frames {
+		damaged.Write(junk)
+		damaged.Write(fr)
+	}
+	rr := NewResyncEventReader(bytes.NewReader(damaged.Bytes()))
+	var got int
+	for {
+		ev, err := rr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkWireEvent(t, ev)
+		got++
+	}
+	if got != len(frames) {
+		t.Fatalf("recovered %d events, want %d", got, len(frames))
+	}
+	if rr.Resyncs() == 0 {
+		t.Fatal("resync counter did not move over damaged stream")
+	}
+}
+
+// TestEventStrictRejectsCorruptCRC pins strict mode's whole point: a
+// flipped payload bit fails the stream with ErrBadEventFrame.
+func TestEventStrictRejectsCorruptCRC(t *testing.T) {
+	buf := appendEventFrame(nil, &Event{Type: "drop", Dropped: 3})
+	buf[len(buf)-1] ^= 0x01
+	r := NewEventReader(bytes.NewReader(buf))
+	if _, err := r.Next(); !errors.Is(err, ErrBadEventFrame) {
+		t.Fatalf("want ErrBadEventFrame on CRC damage, got %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"rfidraw/internal/deploy"
@@ -320,17 +321,46 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// handleStream is the live delivery path: a chunked NDJSON stream of the
-// session's events, one JSON object per line, flushed as they arrive.
-// The subscriber's queue is bounded; if this consumer cannot keep up it
-// loses the oldest events and sees {"type":"drop"} notices (the
+// streamEncoding resolves the stream endpoint's wire encoding: the
+// ?encoding query parameter (ndjson | binary) wins, else an Accept
+// header naming the binary media type selects binary, else NDJSON (the
+// compatibility default). An unknown ?encoding value is an error.
+func streamEncoding(r *http.Request) (binary bool, err error) {
+	switch enc := r.URL.Query().Get("encoding"); enc {
+	case "":
+		// Fall through to Accept negotiation.
+	case "ndjson":
+		return false, nil
+	case "binary":
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown encoding %q (want ndjson or binary)", enc)
+	}
+	if strings.Contains(r.Header.Get("Accept"), EventStreamContentType) {
+		return true, nil
+	}
+	return false, nil
+}
+
+// handleStream is the live delivery path: a chunked stream of the
+// session's events — NDJSON (one JSON object per line) by default, or
+// the length-prefixed CRC-framed binary encoding when negotiated via
+// ?encoding=binary or Accept (see eventwire.go) — flushed as events
+// arrive. The subscriber's queue is bounded; if this consumer cannot
+// keep up it loses the oldest events and sees drop notices (the
 // slow-consumer policy), never stalling the tracker or its peers.
+// Live events arrive group-committed: the session's emit flusher
+// coalesces them into batches, marshals each batch exactly once per
+// encoding, and every stream writer shares the resulting immutable
+// bytes — one queue item and one Write per batch, identical bytes on
+// the wire. This writer only marshals locally for events that bypass
+// that path (catch-up replays, drop notices).
 //
 // With ?from=seq (WAL-backed sessions) the subscriber first catches up
 // from the session's recorded history — points derived from log records
 // with sequence ≥ seq (0 = everything) — and is then spliced onto the
 // live stream without gap or duplicate. On a recovered session the
-// stream is the replay alone, ending with {"type":"end"}; recovered
+// stream is the replay alone, ending with an "end" event; recovered
 // sessions always serve this way, with or without the parameter.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.reg.Get(r.PathValue("id"))
@@ -338,8 +368,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "not_found", "unknown session")
 		return
 	}
+	binary, err := streamEncoding(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	opts := SubscribeOptions{Binary: binary, Batched: true}
 	var sub *Subscriber
-	var err error
 	if fromStr := r.URL.Query().Get("from"); fromStr != "" || sess.Recovered() {
 		from := uint64(0)
 		if fromStr != "" {
@@ -349,13 +384,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		sub, err = sess.SubscribeFrom(from, 0)
+		sub, err = sess.SubscribeFromOpts(from, opts)
 		if errors.Is(err, ErrNoWAL) {
 			writeError(w, http.StatusBadRequest, "no_wal", "session has no write-ahead log")
 			return
 		}
 	} else {
-		sub, err = sess.Subscribe(0)
+		sub, err = sess.SubscribeOpts(opts)
 	}
 	if errors.Is(err, ErrSubscriberLimit) {
 		s.metrics.Shed.Add(1)
@@ -368,7 +403,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	defer sub.Close()
 	flusher, _ := w.(http.Flusher)
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	if binary {
+		w.Header().Set("Content-Type", EventStreamContentType)
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	if flusher != nil {
@@ -376,6 +415,34 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	enc := json.NewEncoder(w)
 	pipeline := s.reg.Pipeline()
+	// scratch backs the marshal-locally fallback for events without
+	// shared wire bytes; reused across events, never escapes this writer.
+	var scratch []byte
+	writeEvent := func(ev Event) error {
+		if ev.enq > 0 {
+			pipeline.ObserveStage(obs.StageWrite, obs.Now()-ev.enq, sess.stripe)
+		}
+		if binary {
+			if ev.wire != nil && ev.wire.binary != nil {
+				_, err := w.Write(ev.wire.binary)
+				return err
+			}
+			if ev.batchLen > 0 {
+				return nil // carrier: only its pre-encoded bytes have meaning
+			}
+			scratch = appendEventFrame(scratch[:0], &ev)
+			_, err := w.Write(scratch)
+			return err
+		}
+		if ev.wire != nil && ev.wire.ndjson != nil {
+			_, err := w.Write(ev.wire.ndjson)
+			return err
+		}
+		if ev.batchLen > 0 {
+			return nil // carrier: only its pre-encoded bytes have meaning
+		}
+		return enc.Encode(ev)
+	}
 	ctx := r.Context()
 	for {
 		select {
@@ -383,10 +450,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			if !ok {
 				return
 			}
-			if ev.enq > 0 {
-				pipeline.ObserveStage(obs.StageWrite, obs.Now()-ev.enq, sess.stripe)
-			}
-			if err := enc.Encode(ev); err != nil {
+			if err := writeEvent(ev); err != nil {
 				return
 			}
 			// Drain whatever else is queued before paying for a flush.
@@ -397,10 +461,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 					if !ok {
 						return
 					}
-					if ev.enq > 0 {
-						pipeline.ObserveStage(obs.StageWrite, obs.Now()-ev.enq, sess.stripe)
-					}
-					if err := enc.Encode(ev); err != nil {
+					if err := writeEvent(ev); err != nil {
 						return
 					}
 				default:

@@ -11,6 +11,7 @@ import (
 
 	"rfidraw/internal/obs"
 	"rfidraw/internal/readerwire"
+	"rfidraw/internal/rfid"
 )
 
 // IngestPreamble opens every ingest connection: one ASCII line
@@ -76,6 +77,21 @@ func (s *Server) handleIngest(conn net.Conn) {
 	// job, not ours.
 	lastTime := make(map[int]time.Duration)
 	sawHello := false
+	// Burst mode: after each blocking read, drain every further message
+	// that read already buffered (NextBuffered never touches the socket)
+	// and hand the accumulated reports to the session as ONE inbox
+	// operation instead of one per report. Under load a single read
+	// delivers tens of frames, so the per-report channel hand-off — the
+	// dominant ingest cost — amortizes across the burst.
+	burst := make([]rfid.Report, 0, s.reg.cfg.IngestBurst)
+	flush := func() error {
+		if len(burst) == 0 {
+			return nil
+		}
+		err := sess.OfferBatch(burst)
+		burst = burst[:0]
+		return err
+	}
 	for {
 		msg, err := r.Next()
 		if err != nil {
@@ -84,29 +100,52 @@ func (s *Server) handleIngest(conn net.Conn) {
 			}
 			return
 		}
-		switch {
-		case msg.Hello != nil:
-			sawHello = true
-			if err := sess.announceSweep(msg.Hello.SweepInterval); err != nil {
+		for {
+			switch {
+			case msg.Hello != nil:
+				// Flush first so reports that preceded a mid-stream
+				// re-announcement reach the session before the new sweep.
+				if flush() != nil {
+					return
+				}
+				sawHello = true
+				if err := sess.announceSweep(msg.Hello.SweepInterval); err != nil {
+					return
+				}
+			case msg.Report != nil:
+				if !sawHello {
+					break // protocol requires Hello first; drop strays
+				}
+				rep := *msg.Report
+				if last, ok := lastTime[rep.ReaderID]; ok && rep.Time < last {
+					sess.outOfOrder.Add(1)
+					s.metrics.ReportsOutOfOrder.Add(1)
+					break
+				}
+				lastTime[rep.ReaderID] = rep.Time
+				burst = append(burst, rep)
+				if len(burst) == cap(burst) {
+					if flush() != nil {
+						return // session closed under us
+					}
+				}
+			case msg.Bye != nil:
+				// Clean end of this reader's stream; keep the connection open
+				// in case the reader re-announces (Hello) on the same conn.
+			}
+			var ok bool
+			msg, ok, err = r.NextBuffered()
+			if err != nil {
+				flush()
+				s.logger.Warn("ingest stream error", "remote", conn.RemoteAddr(), "err", err)
 				return
 			}
-		case msg.Report != nil:
-			if !sawHello {
-				continue // protocol requires Hello first; drop strays
+			if !ok {
+				break // buffer drained: block on the next read
 			}
-			rep := *msg.Report
-			if last, ok := lastTime[rep.ReaderID]; ok && rep.Time < last {
-				sess.outOfOrder.Add(1)
-				s.metrics.ReportsOutOfOrder.Add(1)
-				continue
-			}
-			lastTime[rep.ReaderID] = rep.Time
-			if err := sess.Offer(rep); err != nil {
-				return // session closed under us
-			}
-		case msg.Bye != nil:
-			// Clean end of this reader's stream; keep the connection open
-			// in case the reader re-announces (Hello) on the same conn.
+		}
+		if flush() != nil {
+			return
 		}
 	}
 }

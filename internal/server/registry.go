@@ -45,10 +45,16 @@ type RegistryConfig struct {
 	// SubscriberQueue is the per-subscriber bounded queue depth (events).
 	// Default 256.
 	SubscriberQueue int
-	// IngestBuffer is the per-session ingest inbox depth (reports);
+	// IngestBuffer is the per-session ingest inbox depth (bursts);
 	// beyond it, reader connections block (TCP backpressure). Default
 	// 1024.
 	IngestBuffer int
+	// IngestBurst caps how many reports one ingest connection batches
+	// into a single inbox hand-off: after a blocking read delivers a
+	// report, the gateway drains whatever further reports that socket
+	// read buffered (up to this cap) and enqueues them as one burst —
+	// one channel operation instead of one per report. Default 256.
+	IngestBurst int
 	// ReorderWindow is how long reports are held to resequence
 	// cross-reader skew. Default 25ms.
 	ReorderWindow time.Duration
@@ -112,6 +118,9 @@ func (c RegistryConfig) withDefaults() RegistryConfig {
 	}
 	if c.IngestBuffer <= 0 {
 		c.IngestBuffer = 1024
+	}
+	if c.IngestBurst <= 0 {
+		c.IngestBurst = 256
 	}
 	if c.ReorderWindow <= 0 {
 		c.ReorderWindow = 25 * time.Millisecond

@@ -34,9 +34,16 @@ type ReplayerFactory func(sweep time.Duration, geometry string, search *vote.Sea
 // been delivered. On a recovered session the replay ends with an "end"
 // event instead.
 func (s *Session) SubscribeFrom(from uint64, buffer int) (*Subscriber, error) {
+	return s.SubscribeFromOpts(from, SubscribeOptions{Buffer: buffer})
+}
+
+// SubscribeFromOpts is SubscribeFrom with the full option set (buffer
+// size, binary wire encoding).
+func (s *Session) SubscribeFromOpts(from uint64, o SubscribeOptions) (*Subscriber, error) {
 	if s.reg.cfg.WAL == nil || s.reg.cfg.NewReplayer == nil {
 		return nil, ErrNoWAL
 	}
+	buffer := o.Buffer
 	if buffer <= 0 {
 		buffer = s.reg.cfg.SubscriberQueue
 	}
@@ -44,6 +51,8 @@ func (s *Session) SubscribeFrom(from uint64, buffer int) (*Subscriber, error) {
 		sess:       s,
 		ch:         make(chan Event, buffer),
 		catchingUp: true,
+		binary:     o.Binary,
+		batched:    o.Batched,
 		cancel:     make(chan struct{}),
 	}
 	if s.Recovered() {
@@ -56,8 +65,7 @@ func (s *Session) SubscribeFrom(from uint64, buffer int) (*Subscriber, error) {
 			s.emitMu.Unlock()
 			return nil, ErrSubscriberLimit
 		}
-		s.subs[sub] = struct{}{}
-		s.reg.metrics.SubscribersActive.Add(1)
+		s.addSubLocked(sub)
 		s.emitMu.Unlock()
 		s.touch() // retention clock: the record is in active use
 		go s.runCatchup(sub, from, 0, true)
@@ -116,8 +124,7 @@ func (s *Session) runCatchup(sub *Subscriber, from, head uint64, recovered bool)
 		// A recovered session has no live stream to splice onto; a
 		// failed replay must not silently splice over a gap. Both end
 		// the stream.
-		delete(s.subs, sub)
-		s.reg.metrics.SubscribersActive.Add(-1)
+		s.removeSubLocked(sub)
 		sub.catchingUp = false
 		select {
 		case sub.ch <- Event{Type: "end"}:

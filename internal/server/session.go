@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/heap"
+	"encoding/json"
 	"errors"
 	"log/slog"
 	"net"
@@ -75,16 +76,71 @@ type Event struct {
 	// set by the broadcast path so the stream writer can observe the
 	// queue-to-wire stage. Unexported: invisible on the wire.
 	enq int64
+	// wire carries the event's pre-marshaled encodings, produced exactly
+	// once per broadcast for whichever encodings have attached
+	// subscribers; every subscriber's stream writer shares the immutable
+	// byte slices instead of re-marshaling. nil on events that bypass the
+	// broadcast path (catch-up replays, per-subscriber drop notices) —
+	// those writers fall back to marshaling locally. Unexported:
+	// invisible on the wire.
+	wire *eventWire
+	// batchLen marks a group-commit carrier: an Event whose only meaning
+	// is its wire field, holding batchLen consecutive events pre-encoded
+	// as one contiguous byte run (see emitFlusher). Carriers exist only
+	// on batched subscribers' queues — the wire bytes a stream writer
+	// forwards are identical whether events travel one per queue item or
+	// many — and weigh batchLen events in drop accounting. Zero on every
+	// real event.
+	batchLen int
 }
+
+// weight is the event's cost in drop accounting: carriers count the
+// events they carry, everything else counts one.
+func (ev *Event) weight() int {
+	if ev.batchLen > 0 {
+		return ev.batchLen
+	}
+	return 1
+}
+
+// eventWire is one event's shared pre-marshaled encodings. The slices
+// are immutable after broadcast: many subscriber writers read them
+// concurrently with no copy.
+type eventWire struct {
+	// ndjson is one newline-terminated NDJSON line (byte-identical to
+	// what json.Encoder.Encode writes).
+	ndjson []byte
+	// binary is one CRC-framed binary event frame (see eventwire.go).
+	binary []byte
+}
+
+// burstEntry is one decoded report inside an ingest burst, paired with
+// its per-report ingest-decode stamp so batching preserves per-report
+// stage latency accounting.
+type burstEntry struct {
+	rep rfid.Report
+	arr int64
+}
+
+// burstPool recycles burst slices between the ingest gateway (producer)
+// and the session pump (consumer): the gateway fills a slice with up to
+// IngestBurst decoded reports and enqueues it as ONE inbox item; the
+// pump drains it and puts the slice back. Pooling keeps the burst path
+// allocation-free in steady state.
+var burstPool = sync.Pool{New: func() any { b := make([]burstEntry, 0, 64); return &b }}
 
 // ingestItem is one message on a session's ingest inbox; exactly one of
 // the fields is meaningful.
 type ingestItem struct {
-	// rep is one phase report (the common case).
+	// rep is one phase report (the single-report case).
 	rep rfid.Report
 	// arr is the report's ingest-decode stamp (obs monotonic nanos): the
 	// pump observes arr→dequeue as the ingest stage.
 	arr int64
+	// burst is a batch of decoded reports entering as one channel
+	// operation (burst-mode ingest); the pump returns the slice to
+	// burstPool after handling every entry.
+	burst *[]burstEntry
 	// sweep, when positive, announces the reader cadence (from a Hello or
 	// from session creation) and triggers lazy engine construction.
 	sweep time.Duration
@@ -115,6 +171,14 @@ type catchupReq struct {
 type Subscriber struct {
 	sess *Session
 	ch   chan Event
+	// binary marks a subscriber consuming the CRC-framed binary event
+	// encoding; the broadcast path pre-marshals an encoding exactly once
+	// per event when at least one attached subscriber wants it.
+	binary bool
+	// batched marks a subscriber on group-commit delivery (see
+	// SubscribeOptions.Batched): its queue carries batch carriers from
+	// the emit flusher instead of one item per event.
+	batched bool
 	// pendingDrops counts events lost since the last successfully
 	// delivered drop notice; guarded by the session's emitMu.
 	pendingDrops int
@@ -215,6 +279,24 @@ type Session struct {
 	subsClosed       bool
 	replayAttachable bool
 	strokes          map[string]*stroke
+	// plainSubs / batchedSubs count the attached subscribers by delivery
+	// mode (guarded by emitMu) so the per-event broadcast path can skip a
+	// whole fan-out mode — including its O(subscribers) loop — when no
+	// subscriber uses it.
+	plainSubs   int
+	batchedSubs int
+	// Group-commit state (guarded by emitMu except the channels): events
+	// bound for batched subscribers accumulate in emitBuf; emitKick (cap
+	// 1) nudges the emitFlusher goroutine, which swaps the buffer against
+	// emitSpare, encodes the batch once per needed encoding and delivers
+	// one carrier per subscriber. emitQuit/emitDone sequence the final
+	// drain into Close, after the pump's end event and before the
+	// subscriber sweep. All nil on recovered sessions (no flusher).
+	emitBuf   []Event
+	emitSpare []Event
+	emitKick  chan struct{}
+	emitQuit  chan struct{}
+	emitDone  chan struct{}
 
 	// pump-owned state (no locking: single goroutine).
 	eng     *engine.Engine
@@ -330,6 +412,9 @@ func newSession(reg *Registry, spec SessionSpec, resume resumeState) *Session {
 		stripe:     reg.nextStripe(),
 		timeline:   resume.timeline,
 		spans:      &obs.SpanRing{},
+		emitKick:   make(chan struct{}, 1),
+		emitQuit:   make(chan struct{}),
+		emitDone:   make(chan struct{}),
 	}
 	if s.timeline == nil {
 		s.timeline = &obs.Timeline{}
@@ -345,6 +430,7 @@ func newSession(reg *Registry, spec SessionSpec, resume resumeState) *Session {
 	}
 	s.touch()
 	go s.pump(spec.Sweep)
+	go s.emitFlusher()
 	return s
 }
 
@@ -468,6 +554,30 @@ func (s *Session) Offer(rep rfid.Report) error {
 	return s.enqueue(ingestItem{rep: rep, arr: obs.Now()})
 }
 
+// OfferBatch feeds a batch of phase reports as a single inbox operation:
+// one channel hop for the whole burst instead of one per report. The
+// batch is copied into a pooled burst slice, so the caller keeps
+// ownership of reps. Ordering, reorder-window resequencing and stage
+// stamps are identical to offering each report individually.
+func (s *Session) OfferBatch(reps []rfid.Report) error {
+	if len(reps) == 0 {
+		return nil
+	}
+	bp := burstPool.Get().(*[]burstEntry)
+	buf := (*bp)[:0]
+	now := obs.Now()
+	for _, rep := range reps {
+		buf = append(buf, burstEntry{rep: rep, arr: now})
+	}
+	*bp = buf
+	if err := s.enqueue(ingestItem{burst: bp}); err != nil {
+		*bp = (*bp)[:0]
+		burstPool.Put(bp)
+		return err
+	}
+	return nil
+}
+
 // enqueue pushes one ingest item, preferring the closed signal over the
 // buffered inbox so post-close offers fail deterministically.
 func (s *Session) enqueue(it ingestItem) error {
@@ -512,11 +622,38 @@ func (s *Session) Flush() error {
 	}
 }
 
+// SubscribeOptions configures a subscriber attach.
+type SubscribeOptions struct {
+	// Buffer bounds the delivery queue; <= 0 takes the registry default.
+	Buffer int
+	// Binary subscribes to the CRC-framed binary event encoding: the
+	// broadcast path pre-marshals binary frames (exactly once per event)
+	// for this subscriber's stream writer to share.
+	Binary bool
+	// Batched opts into group-commit delivery: instead of one queue item
+	// per event, the session's emit flusher coalesces events into
+	// batches, encodes each batch exactly once per encoding and delivers
+	// one opaque carrier per batch (shared immutable bytes, one channel
+	// operation per subscriber per batch). The wire bytes are identical;
+	// only the queue framing changes. Strictly for stream writers that
+	// forward pre-encoded bytes (the HTTP stream handler): carriers have
+	// no decoded fields, so in-process consumers reading Events() must
+	// leave this unset.
+	Batched bool
+}
+
 // Subscribe attaches a bounded-queue consumer to the session's live
 // stream. buffer <= 0 takes the registry default. Subscribers beyond the
 // per-session cap are refused (load shedding, HTTP 503 upstream), as are
 // attaches to a session idle expiry has already claimed.
 func (s *Session) Subscribe(buffer int) (*Subscriber, error) {
+	return s.SubscribeOpts(SubscribeOptions{Buffer: buffer})
+}
+
+// SubscribeOpts is Subscribe with the full option set (queue bound,
+// wire encoding).
+func (s *Session) SubscribeOpts(o SubscribeOptions) (*Subscriber, error) {
+	buffer := o.Buffer
 	if buffer <= 0 {
 		buffer = s.reg.cfg.SubscriberQueue
 	}
@@ -529,11 +666,41 @@ func (s *Session) Subscribe(buffer int) (*Subscriber, error) {
 		s.timeline.Record(obs.EventShed, "subscriber limit "+strconv.Itoa(s.reg.cfg.MaxSubscribers))
 		return nil, ErrSubscriberLimit
 	}
-	sub := &Subscriber{sess: s, ch: make(chan Event, buffer)}
-	s.subs[sub] = struct{}{}
-	s.reg.metrics.SubscribersActive.Add(1)
+	sub := &Subscriber{sess: s, ch: make(chan Event, buffer), binary: o.Binary, batched: o.Batched}
+	s.addSubLocked(sub)
 	s.touch()
 	return sub, nil
+}
+
+// addSubLocked / removeSubLocked keep the subscriber table and the
+// per-delivery-mode counts in one place. Requires emitMu.
+func (s *Session) addSubLocked(sub *Subscriber) {
+	if sub.batched {
+		// Anything already buffered for group commit predates this attach
+		// — and, for a pump-mediated catch-up attach, is covered by the
+		// WAL head the subscriber will replay from. Flush it to the
+		// existing subscribers first, so the newcomer's stream starts
+		// strictly at its attach point (no pre-attach events, no
+		// replay duplicates).
+		s.flushEmitLocked()
+	}
+	s.subs[sub] = struct{}{}
+	if sub.batched {
+		s.batchedSubs++
+	} else {
+		s.plainSubs++
+	}
+	s.reg.metrics.SubscribersActive.Add(1)
+}
+
+func (s *Session) removeSubLocked(sub *Subscriber) {
+	delete(s.subs, sub)
+	if sub.batched {
+		s.batchedSubs--
+	} else {
+		s.plainSubs--
+	}
+	s.reg.metrics.SubscribersActive.Add(-1)
 }
 
 // detach removes a subscriber, closing its queue exactly once. A
@@ -545,8 +712,7 @@ func (s *Session) detach(sub *Subscriber) {
 	if _, ok := s.subs[sub]; !ok {
 		return
 	}
-	delete(s.subs, sub)
-	s.reg.metrics.SubscribersActive.Add(-1)
+	s.removeSubLocked(sub)
 	if sub.catchingUp {
 		close(sub.cancel)
 		return
@@ -653,8 +819,7 @@ func (s *Session) closeRecovered() {
 	defer s.emitMu.Unlock()
 	s.replayAttachable = false
 	for sub := range s.subs {
-		delete(s.subs, sub)
-		s.reg.metrics.SubscribersActive.Add(-1)
+		s.removeSubLocked(sub)
 		if sub.catchingUp {
 			close(sub.cancel)
 			continue
@@ -686,12 +851,19 @@ func (s *Session) Close() {
 			c.Close()
 		}
 		<-s.pumpDone
+		// The pump's final "end" event is in the group-commit buffer;
+		// retire the flusher (it drains on the way out) before sweeping
+		// the subscriber table, so batched subscribers get everything —
+		// end included — ahead of their queues closing.
+		if s.emitQuit != nil {
+			close(s.emitQuit)
+			<-s.emitDone
+		}
 		s.emitMu.Lock()
 		s.subsClosed = true
 		s.replayAttachable = false
 		for sub := range s.subs {
-			delete(s.subs, sub)
-			s.reg.metrics.SubscribersActive.Add(-1)
+			s.removeSubLocked(sub)
 			if sub.catchingUp {
 				// The catch-up replay goroutine owns the queue; tell it
 				// to stop and let it close the channel.
@@ -777,6 +949,15 @@ func (s *Session) pump(sweep time.Duration) {
 
 func (s *Session) handle(it ingestItem) {
 	switch {
+	case it.burst != nil:
+		// A whole ingest burst in one inbox item: feed the reorder buffer
+		// and engine without further channel hops, then recycle the slice.
+		for _, e := range *it.burst {
+			s.handleReport(e.rep, e.arr)
+		}
+		s.reg.pipeline.ObserveBurst(len(*it.burst))
+		*it.burst = (*it.burst)[:0]
+		burstPool.Put(it.burst)
 	case it.sweep > 0:
 		s.handleSweep(it.sweep)
 	case it.flush != nil:
@@ -800,8 +981,7 @@ func (s *Session) handle(it ingestItem) {
 			close(it.catchup.head) // session closing; caller sees 0/closed
 			return
 		}
-		s.subs[it.catchup.sub] = struct{}{}
-		s.reg.metrics.SubscribersActive.Add(1)
+		s.addSubLocked(it.catchup.sub)
 		s.emitMu.Unlock()
 		s.touch()
 		it.catchup.head <- s.walSeq.Load()
@@ -1122,26 +1302,174 @@ func (s *Session) broadcast(ev Event) {
 // slow-consumer policy: when a queue is full, the oldest event is dropped
 // to make room — freshness beats completeness for a live cursor — and the
 // loss is surfaced to the consumer as a "drop" event once space allows.
-// Requires emitMu.
+// Each encoding with at least one attached subscriber is marshaled
+// exactly once here; subscribers' stream writers fan out the shared
+// immutable bytes instead of re-marshaling per subscriber. Requires
+// emitMu.
 func (s *Session) broadcastLocked(ev Event) {
 	ev.enq = obs.Now()
-	for sub := range s.subs {
-		if sub.catchingUp {
-			// The subscriber's queue belongs to its WAL replay goroutine
-			// until the splice; park live events (bounded, drop-oldest)
-			// for delivery right after the replayed prefix.
-			if len(sub.pending) >= cap(sub.ch) {
-				sub.pending = sub.pending[1:]
-				sub.pendingDrops++
-				sub.drops++
-				s.drops.Add(1)
-				s.reg.metrics.EventsDropped.Add(1)
+	// Batched subscribers are group-committed: the event joins the emit
+	// buffer for the flusher to batch-encode and deliver as one carrier
+	// per batch, turning O(events × subscribers) channel operations into
+	// O(batches × subscribers). The emitting goroutine only flushes
+	// inline when the backlog tops emitBatchMax.
+	if s.batchedSubs > 0 {
+		s.emitBuf = append(s.emitBuf, ev)
+		if len(s.emitBuf) >= emitBatchMax {
+			s.flushEmitLocked()
+		} else {
+			select {
+			case s.emitKick <- struct{}{}:
+			default:
 			}
-			sub.pending = append(sub.pending, ev)
+		}
+	}
+	if s.plainSubs == 0 {
+		return
+	}
+	var needJSON, needBinary bool
+	for sub := range s.subs {
+		if sub.batched {
+			continue
+		}
+		if sub.binary {
+			needBinary = true
+		} else {
+			needJSON = true
+		}
+		if needJSON && needBinary {
+			break
+		}
+	}
+	if needJSON || needBinary {
+		w := &eventWire{}
+		if needJSON {
+			// json.Marshal plus the trailing newline is byte-identical to
+			// what json.Encoder.Encode writes, so NDJSON consumers cannot
+			// tell shared bytes from a per-subscriber encode. A marshal
+			// failure (impossible for Event's field types) leaves the
+			// writer's marshal-locally fallback in charge.
+			if b, err := json.Marshal(&ev); err == nil {
+				w.ndjson = append(b, '\n')
+			}
+		}
+		if needBinary {
+			w.binary = appendEventFrame(nil, &ev)
+		}
+		ev.wire = w
+	}
+	for sub := range s.subs {
+		if sub.batched {
+			continue
+		}
+		if sub.catchingUp {
+			s.parkLocked(sub, ev)
 			continue
 		}
 		s.sendLocked(sub, ev)
 	}
+}
+
+// emitBatchMax bounds the group-commit backlog: past this many buffered
+// events the emitting goroutine flushes inline rather than let the
+// buffer grow while the flusher is behind.
+const emitBatchMax = 1024
+
+// emitFlusher is the session's group-commit goroutine: kicked by
+// broadcastLocked whenever events are buffered for batched subscribers,
+// it flushes the buffer as one batch. While it encodes and delivers a
+// batch, later events pile into the next one — batch size adapts to
+// load, and an idle stream still flushes every event immediately.
+func (s *Session) emitFlusher() {
+	defer close(s.emitDone)
+	for {
+		select {
+		case <-s.emitKick:
+		case <-s.emitQuit:
+			s.emitMu.Lock()
+			s.flushEmitLocked()
+			s.emitMu.Unlock()
+			return
+		}
+		s.emitMu.Lock()
+		s.flushEmitLocked()
+		s.emitMu.Unlock()
+	}
+}
+
+// flushEmitLocked group-commits the buffered events: encodes the batch
+// exactly once per encoding in use (contiguous frames / NDJSON lines —
+// byte-identical on the wire to per-event delivery) and hands every
+// batched subscriber one carrier pointing at the shared bytes. Requires
+// emitMu; the scan, encode and delivery share the one critical section,
+// so a delivered carrier always holds the encoding of every subscriber
+// it reaches.
+func (s *Session) flushEmitLocked() {
+	batch := s.emitBuf
+	if len(batch) == 0 {
+		return
+	}
+	s.emitBuf = s.emitSpare[:0]
+	s.emitSpare = batch
+	var needJSON, needBinary bool
+	for sub := range s.subs {
+		if !sub.batched {
+			continue
+		}
+		if sub.binary {
+			needBinary = true
+		} else {
+			needJSON = true
+		}
+		if needJSON && needBinary {
+			break
+		}
+	}
+	if !needJSON && !needBinary {
+		return // every batched subscriber detached; nothing owes these bytes
+	}
+	w := &eventWire{}
+	for i := range batch {
+		if needJSON {
+			if b, err := json.Marshal(&batch[i]); err == nil {
+				w.ndjson = append(w.ndjson, b...)
+				w.ndjson = append(w.ndjson, '\n')
+			}
+		}
+		if needBinary {
+			w.binary = appendEventFrame(w.binary, &batch[i])
+		}
+	}
+	// The carrier's enqueue stamp is the batch's OLDEST event, so the
+	// write-stage histogram sees the worst queue-to-wire latency in the
+	// batch, not the friendliest.
+	carrier := Event{enq: batch[0].enq, batchLen: len(batch), wire: w}
+	for sub := range s.subs {
+		if !sub.batched {
+			continue
+		}
+		if sub.catchingUp {
+			s.parkLocked(sub, carrier)
+			continue
+		}
+		s.sendLocked(sub, carrier)
+	}
+}
+
+// parkLocked holds a live event (or carrier) for a subscriber still
+// catching up: its queue belongs to the WAL replay goroutine until the
+// splice, so live output parks in pending (bounded, drop-oldest) for
+// delivery right after the replayed prefix. Requires emitMu.
+func (s *Session) parkLocked(sub *Subscriber, ev Event) {
+	if len(sub.pending) >= cap(sub.ch) {
+		n := sub.pending[0].weight()
+		sub.pending = sub.pending[1:]
+		sub.pendingDrops += n
+		sub.drops += int64(n)
+		s.drops.Add(int64(n))
+		s.reg.metrics.EventsDropped.Add(int64(n))
+	}
+	sub.pending = append(sub.pending, ev)
 }
 
 // sendLocked delivers one event to one subscriber queue with the
@@ -1160,22 +1488,26 @@ func (s *Session) sendLocked(sub *Subscriber, ev Event) {
 		return
 	default:
 	}
-	// Queue full: evict the oldest event, then retry once.
+	// Queue full: evict the oldest item, then retry once. Items weigh
+	// their event count — evicting a batch carrier loses every event in
+	// it, and the drop notice says so.
 	select {
-	case <-sub.ch:
-		sub.pendingDrops++
-		sub.drops++
-		s.drops.Add(1)
-		s.reg.metrics.EventsDropped.Add(1)
+	case old := <-sub.ch:
+		n := int64(old.weight())
+		sub.pendingDrops += int(n)
+		sub.drops += n
+		s.drops.Add(n)
+		s.reg.metrics.EventsDropped.Add(n)
 	default:
 	}
 	select {
 	case sub.ch <- ev:
 	default:
-		sub.pendingDrops++
-		sub.drops++
-		s.drops.Add(1)
-		s.reg.metrics.EventsDropped.Add(1)
+		n := int64(ev.weight())
+		sub.pendingDrops += int(n)
+		sub.drops += n
+		s.drops.Add(n)
+		s.reg.metrics.EventsDropped.Add(n)
 	}
 }
 

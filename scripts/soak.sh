@@ -305,3 +305,56 @@ if [ "$OVL_AFTER" -gt $((OVL_BEFORE + SLACK)) ]; then
 fi
 curl -sf "http://$HTTP/healthz" >/dev/null
 echo "soak: overload OK (peak score $PEAK, parked $PARKED, rejected $REJECTED)"
+
+# ── Phase 5: binary subscriber encoding ──────────────────────────────────
+# Replay the identical scenario twice against a fresh daemon — once with
+# NDJSON subscribers, once with the length-prefixed binary encoding — and
+# gate that both decode to the same trace stream. Counts must agree
+# within the tail-sweep bound (the replay deadline cuts the final
+# scenario loop at a wall-clock boundary, so the last in-flight sweep per
+# tag can differ by a point between runs; an encoding-level decode bug
+# diverges by whole event streams, not a tail point) and neither run may
+# drop events.
+kill -9 "$DAEMON" 2>/dev/null || true
+wait "$DAEMON" 2>/dev/null || true
+rm -rf "$DATA_DIR"
+
+ENC_SESSIONS="${SOAK_ENC_SESSIONS:-2}"
+ENC_DURATION="${SOAK_ENC_DURATION:-8s}"
+ENC_PACE="${SOAK_ENC_PACE:-4}"
+bin/rfidrawd -http "$HTTP" -ingest "$INGEST" -idle 30s &
+DAEMON=$!
+trap 'kill -9 "$DAEMON" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  curl -sf "http://$HTTP/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+
+for ENC in ndjson binary; do
+  echo "soak: encoding phase: $ENC"
+  bin/loadgen -daemon "http://$HTTP" -sessions "$ENC_SESSIONS" \
+    -duration "$ENC_DURATION" -pace "$ENC_PACE" -encoding "$ENC" \
+    -out "SOAK_enc_${ENC}.json"
+done
+
+enc_field() { sed -n "s/^  \"$2\": \([0-9]*\),*/\1/p" "SOAK_enc_$1.json" | head -1; }
+ND_POINTS="$(enc_field ndjson points)"; BIN_POINTS="$(enc_field binary points)"
+ND_DROPS="$(enc_field ndjson drops)";   BIN_DROPS="$(enc_field binary drops)"
+TAGS="$(enc_field ndjson tags_per_session)"
+ENC_SLACK=$((ENC_SESSIONS * TAGS * 2))
+echo "soak: points ndjson=$ND_POINTS binary=$BIN_POINTS (slack $ENC_SLACK), drops ndjson=$ND_DROPS binary=$BIN_DROPS"
+if [ "${ND_POINTS:-0}" -eq 0 ] || [ "${BIN_POINTS:-0}" -eq 0 ]; then
+  echo "soak: an encoding phase produced no trace points" >&2
+  exit 1
+fi
+if [ "${ND_DROPS:-0}" -ne 0 ] || [ "${BIN_DROPS:-0}" -ne 0 ]; then
+  echo "soak: encoding phase dropped events (ndjson $ND_DROPS, binary $BIN_DROPS)" >&2
+  exit 1
+fi
+DIFF=$((ND_POINTS - BIN_POINTS)); [ "$DIFF" -lt 0 ] && DIFF=$((-DIFF))
+if [ "$DIFF" -gt "$ENC_SLACK" ]; then
+  echo "soak: binary subscribers decoded a different stream: $ND_POINTS ndjson vs $BIN_POINTS binary points" >&2
+  exit 1
+fi
+curl -sf "http://$HTTP/healthz" | grep -q '"sessions":0'
+echo "soak: binary encoding OK ($BIN_POINTS points, equal to ndjson within tail-sweep bound)"
