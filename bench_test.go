@@ -10,14 +10,17 @@
 package rfidraw
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -522,7 +525,14 @@ func benchDaemonStart(b *testing.B) *server.Client {
 		IngestAddr: "127.0.0.1:0",
 		Registry: server.RegistryConfig{
 			NewEngine:      factory,
-			MaxSubscribers: 512,
+			MaxSubscribers: 2048,
+			// Batched subscribers queue group-commit carriers, each a
+			// whole batch, so 32 slots is thousands of events of
+			// headroom; the deep default exists for unbatched consumers.
+			// At 1024 subscribers the default's queue buffers alone are
+			// ~50MB of always-live, pointer-bearing heap, and every GC
+			// cycle's rescan of it would drown the fan-out being measured.
+			SubscriberQueue: 32,
 		},
 	})
 	if err != nil {
@@ -649,6 +659,122 @@ func BenchmarkIngestToEmit(b *testing.B) {
 				b.ReportMetric(float64(b.N)*float64(len(merged))/b.Elapsed().Seconds(), "reports/s")
 			})
 		}
+	}
+}
+
+// benchRawStream attaches one subscriber over a bare TCP connection:
+// it sends a minimal one-shot GET (Connection: close, so EOF marks the
+// stream end) and verifies the status line, leaving the reader
+// positioned at the start of the response. Raw connections keep the
+// benchmark's 1024 in-process drain loops from paying net/http's
+// per-read client machinery, which would otherwise dwarf the server
+// cost being measured on this shared CPU.
+func benchRawStream(addr, path string) (net.Conn, *bufio.Reader, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	req := "GET " + path + " HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
+	if _, err := io.WriteString(conn, req); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	br := bufio.NewReaderSize(conn, 4096)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	if !strings.Contains(status, " 200 ") {
+		conn.Close()
+		return nil, nil, fmt.Errorf("stream attach: %s", strings.TrimSpace(status))
+	}
+	return conn, br, nil
+}
+
+// BenchmarkTieredFanout measures the tiered multicast path: one session
+// fanning out to N NDJSON subscribers spread evenly across the three
+// trace tiers (s%3), so every flush marshals each distinct tier run at
+// most once and shares the bytes across its cohort. reports/s should
+// stay near flat as subscribers grow — the per-subscriber cost is a
+// channel send of pre-encoded carriers, not a marshal — and CI gates
+// the 1024-subscriber arm against the committed baseline.
+func BenchmarkTieredFanout(b *testing.B) {
+	benchEngineJobs(b, 8) // ensure the cached run exists
+	run := benchEngineRun
+	merged := realtime.MergeStreams(run.ReportsRF...)
+	sweep := run.SweepInterval * time.Duration(len(run.Tags))
+	cl := benchDaemonStart(b)
+	addr := strings.TrimPrefix(cl.BaseURL, "http://")
+	httpc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64, MaxIdleConns: 64}}
+	for _, subs := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				id, err := cl.CreateSession(ctx, server.SessionSpec{Sweep: sweep})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sessionURL := cl.BaseURL + "/v1/sessions/" + id
+				subErrs := make(chan error, subs)
+				var wg sync.WaitGroup
+				for s := 0; s < subs; s++ {
+					conn, br, err := benchRawStream(addr, fmt.Sprintf("/v1/sessions/%s/stream?tier=%d", id, s%3))
+					if err != nil {
+						b.Fatal(err)
+					}
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						_, err := io.Copy(io.Discard, br)
+						conn.Close()
+						if err != nil {
+							subErrs <- err
+						}
+					}()
+				}
+				rs, err := cl.DialIngest(id, readerwire.Hello{
+					Proto: readerwire.ProtoVersion, ReaderID: 1,
+					AntennaCount: 4, SweepInterval: sweep,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Attaching 1024 subscribers allocates their queue buffers;
+				// settle that untimed setup debt now so the timed fan-out
+				// isn't billed for setup's garbage via GC assists.
+				runtime.GC()
+				b.StartTimer()
+				for _, rep := range merged {
+					if err := rs.Send(rep); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := rs.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				if err := rs.Close(); err != nil {
+					b.Fatal(err)
+				}
+				benchAwaitIngestDone(b, httpc, sessionURL)
+				if err := cl.DrainSession(ctx, id); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := cl.DeleteSession(ctx, id); err != nil {
+					b.Fatal(err)
+				}
+				wg.Wait()
+				select {
+				case err := <-subErrs:
+					b.Fatal(err)
+				default:
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(b.N)*float64(len(merged))/b.Elapsed().Seconds(), "reports/s")
+		})
 	}
 }
 

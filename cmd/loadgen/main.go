@@ -57,16 +57,18 @@ func main() {
 		overload = flag.Bool("overload", false, "overload mode: creates retry on 429 honoring Retry-After (a 429 without one fails the run), sessions the daemon sheds or parks under pressure count as outcomes instead of failures, and parked sessions are left on the daemon for post-run inspection")
 		profile  = flag.String("profile", "", "named adversarial scenario profile ("+strings.Join(corpus.ProfileNames(), ", ")+"); sets seed, geometry, propagation and injected reader faults")
 		encoding = flag.String("encoding", "ndjson", "stream wire encoding each session subscribes with: ndjson or binary (decoded events are identical)")
+		subs     = flag.Int("subscribers", 0, "extra stream subscribers to attach per session (fan-out load; the latency-measuring subscriber is separate)")
+		subsTier = flag.String("tier", "mixed", "trace tier the extra subscribers negotiate: 0, 1, 2 or mixed (round-robin across all three)")
 		svCheck  = flag.Float64("server-check-ms", 0, "cross-check the daemon's rfidrawd_report_latency_seconds histogram against the client-observed latency: fail if the server-side interpolated p99 exceeds the client p99 by more than this many ms, or if the histogram gained no observations (0 disables)")
 		out      = flag.String("out", "", "write the JSON report here (default stdout)")
 	)
 	flag.Parse()
-	if err := validateFlags(*daemon, *sessions, *tags, *word, *pace, *duration, *encoding); err != nil {
+	if err := validateFlags(*daemon, *sessions, *tags, *word, *pace, *duration, *encoding, *subs, *subsTier); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen: invalid flags:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
-	report, err := run(*daemon, *ingest, *sessions, *tags, *word, *seed, *pace, *duration, *retrace, *profile, *overload, *svCheck, *encoding)
+	report, err := run(*daemon, *ingest, *sessions, *tags, *word, *seed, *pace, *duration, *retrace, *profile, *overload, *svCheck, *encoding, *subs, *subsTier)
 	if report != nil {
 		b, _ := json.MarshalIndent(report, "", "  ")
 		b = append(b, '\n')
@@ -86,7 +88,7 @@ func main() {
 }
 
 // validateFlags rejects malformed combinations before dialling anything.
-func validateFlags(daemon string, sessions, tags int, word string, pace float64, duration time.Duration, encoding string) error {
+func validateFlags(daemon string, sessions, tags int, word string, pace float64, duration time.Duration, encoding string, subscribers int, tier string) error {
 	if !strings.HasPrefix(daemon, "http://") && !strings.HasPrefix(daemon, "https://") {
 		return fmt.Errorf("-daemon %q must be an http(s) URL", daemon)
 	}
@@ -109,6 +111,14 @@ func validateFlags(daemon string, sessions, tags int, word string, pace float64,
 	case "", "ndjson", "binary":
 	default:
 		return fmt.Errorf("-encoding %q must be ndjson or binary", encoding)
+	}
+	if subscribers < 0 {
+		return fmt.Errorf("-subscribers %d must not be negative", subscribers)
+	}
+	switch tier {
+	case "0", "1", "2", "mixed":
+	default:
+		return fmt.Errorf("-tier %q must be 0, 1, 2 or mixed", tier)
 	}
 	return nil
 }
@@ -141,6 +151,24 @@ type Report struct {
 	Points int64 `json:"points"`
 	Glyphs int64 `json:"glyphs"`
 	Drops  int64 `json:"drops"`
+
+	// ExtraSubscribers is -subscribers: stream consumers attached per
+	// session beyond the latency-measuring one, negotiating
+	// SubscriberTier (-tier; "mixed" round-robins 0/1/2). The tierN_*
+	// fields tally those consumers' streams by NEGOTIATED tier —
+	// tier0_drops stays 0 when the cheapest tier never loses an event —
+	// and Downgrades counts the in-stream adaptive step-down
+	// announcements they observed. Always present (not omitempty) so the
+	// soak gate can read zeros.
+	ExtraSubscribers int    `json:"extra_subscribers"`
+	SubscriberTier   string `json:"subscriber_tier,omitempty"`
+	Tier0Points      int64  `json:"tier0_points"`
+	Tier1Points      int64  `json:"tier1_points"`
+	Tier2Points      int64  `json:"tier2_points"`
+	Tier0Drops       int64  `json:"tier0_drops"`
+	Tier1Drops       int64  `json:"tier1_drops"`
+	Tier2Drops       int64  `json:"tier2_drops"`
+	Downgrades       int64  `json:"downgrades"`
 
 	// Reports is the total reader reports replayed into the ingest
 	// gateway across every session; ReportsPerSec is that volume over the
@@ -201,11 +229,17 @@ type SessionResult struct {
 	RetraceMS     float64 `json:"retrace_ms,omitempty"`
 	RetracePoints int64   `json:"retrace_points,omitempty"`
 
+	// tierPoints/tierDrops/downgrades tally the extra subscribers'
+	// streams by negotiated tier (aggregated into the Report).
+	tierPoints [3]int64
+	tierDrops  [3]int64
+	downgrades int64
+
 	// lats carries the raw samples into the global distribution.
 	lats []float64
 }
 
-func run(daemon, ingest string, sessions, tags int, word string, seed int64, pace float64, duration time.Duration, retrace bool, profileName string, overload bool, svCheckMS float64, encoding string) (*Report, error) {
+func run(daemon, ingest string, sessions, tags int, word string, seed int64, pace float64, duration time.Duration, retrace bool, profileName string, overload bool, svCheckMS float64, encoding string, subscribers int, tier string) (*Report, error) {
 	// One shared scenario, replayed into every session: sessions are
 	// isolated by the daemon, so identical content exercises the serving
 	// layer without paying scenario generation per session. A -profile
@@ -327,6 +361,8 @@ func run(daemon, ingest string, sessions, tags int, word string, seed int64, pac
 				retrace:     retrace,
 				geometry:    geometry,
 				overload:    overload,
+				subscribers: subscribers,
+				tier:        tier,
 			})
 		}(i)
 	}
@@ -334,10 +370,14 @@ func run(daemon, ingest string, sessions, tags int, word string, seed int64, pac
 
 	report := &Report{
 		Sessions: sessions, Tags: tags, Pace: pace,
-		DurationS:      duration.Seconds(),
-		Profile:        profileName,
-		Encoding:       encoding,
-		SessionResults: results,
+		DurationS:        duration.Seconds(),
+		Profile:          profileName,
+		Encoding:         encoding,
+		ExtraSubscribers: subscribers,
+		SessionResults:   results,
+	}
+	if subscribers > 0 {
+		report.SubscriberTier = tier
 	}
 	var all, retraces []float64
 	for _, r := range results {
@@ -348,6 +388,13 @@ func run(daemon, ingest string, sessions, tags int, word string, seed int64, pac
 		report.RetracePoints += r.RetracePoints
 		report.Overload429 += int64(r.Retried429)
 		report.RetryWaitMS += r.RetryWaitMS
+		report.Tier0Points += r.tierPoints[0]
+		report.Tier1Points += r.tierPoints[1]
+		report.Tier2Points += r.tierPoints[2]
+		report.Tier0Drops += r.tierDrops[0]
+		report.Tier1Drops += r.tierDrops[1]
+		report.Tier2Drops += r.tierDrops[2]
+		report.Downgrades += r.downgrades
 		if r.RetraceMS > 0 {
 			retraces = append(retraces, r.RetraceMS)
 		}
@@ -474,6 +521,8 @@ type sessionParams struct {
 	retrace     bool
 	geometry    string
 	overload    bool
+	subscribers int    // extra stream subscribers to attach
+	tier        string // their negotiated tier: "0", "1", "2" or "mixed"
 }
 
 // createSession opens the daemon session; in overload mode an HTTP 429
@@ -535,6 +584,53 @@ func runSession(ctx context.Context, p sessionParams) SessionResult {
 	if err != nil {
 		res.Err = err.Error()
 		return res
+	}
+
+	// Fan-out load: -subscribers extra consumers on the same stream, each
+	// negotiating its tier (-tier mixed round-robins 0/1/2). Each tallies
+	// its own stream — points, drop notices, and the in-stream "tier"
+	// downgrade announcements — keyed by the tier it negotiated, so the
+	// report can say e.g. "T0 subscribers lost nothing" even after some
+	// T2 subscriber was stepped down.
+	type extraSummary struct {
+		tier                      int
+		points, drops, downgrades int64
+		err                       error
+	}
+	extraCh := make(chan extraSummary, p.subscribers)
+	for i := 0; i < p.subscribers; i++ {
+		tier := p.tier
+		if tier == "mixed" {
+			tier = strconv.Itoa(i % 3)
+		}
+		go func(tier string) {
+			level, _ := strconv.Atoi(tier)
+			sum := extraSummary{tier: level}
+			defer func() { extraCh <- sum }()
+			ec := &server.Client{BaseURL: p.client.BaseURL, Encoding: p.client.Encoding, Tier: tier}
+			evs, serrs, err := ec.Subscribe(ctx, id)
+			if err != nil {
+				sum.err = err
+				return
+			}
+			for ev := range evs {
+				switch ev.Type {
+				case "point":
+					sum.points++
+				case "drop":
+					sum.drops += int64(ev.Dropped)
+				case "tier":
+					if ev.Tier < ev.FromTier {
+						sum.downgrades++
+					}
+				}
+			}
+			select {
+			case err := <-serrs:
+				sum.err = err
+			default:
+			}
+		}(tier)
 	}
 
 	// The stream consumer: latency for a point at stream time T is
@@ -671,6 +767,21 @@ func runSession(ctx context.Context, p sessionParams) SessionResult {
 	case <-time.After(10 * time.Second):
 		if res.Err == "" {
 			res.Err = "stream did not end after session delete"
+		}
+	}
+	for i := 0; i < p.subscribers; i++ {
+		select {
+		case sum := <-extraCh:
+			res.tierPoints[sum.tier] += sum.points
+			res.tierDrops[sum.tier] += sum.drops
+			res.downgrades += sum.downgrades
+			if sum.err != nil && res.Err == "" && !res.Parked {
+				res.Err = fmt.Sprintf("tier-%d subscriber: %v", sum.tier, sum.err)
+			}
+		case <-time.After(10 * time.Second):
+			if res.Err == "" {
+				res.Err = "extra subscriber stream did not end after session delete"
+			}
 		}
 	}
 	select {

@@ -7,31 +7,40 @@ import (
 
 func TestValidateFlags(t *testing.T) {
 	for _, enc := range []string{"", "ndjson", "binary"} {
-		if err := validateFlags("http://127.0.0.1:8090", 8, 2, "hi", 1, 30*time.Second, enc); err != nil {
+		if err := validateFlags("http://127.0.0.1:8090", 8, 2, "hi", 1, 30*time.Second, enc, 0, "mixed"); err != nil {
 			t.Fatalf("valid flags (encoding %q) rejected: %v", enc, err)
 		}
 	}
+	for _, tier := range []string{"0", "1", "2", "mixed"} {
+		if err := validateFlags("http://127.0.0.1:8090", 8, 2, "hi", 1, 30*time.Second, "ndjson", 64, tier); err != nil {
+			t.Fatalf("valid flags (tier %q) rejected: %v", tier, err)
+		}
+	}
 	cases := []struct {
-		name     string
-		daemon   string
-		sessions int
-		tags     int
-		word     string
-		pace     float64
-		duration time.Duration
-		encoding string
+		name        string
+		daemon      string
+		sessions    int
+		tags        int
+		word        string
+		pace        float64
+		duration    time.Duration
+		encoding    string
+		subscribers int
+		tier        string
 	}{
-		{"bad url", "127.0.0.1:8090", 8, 2, "hi", 1, time.Second, "ndjson"},
-		{"zero sessions", "http://x", 0, 2, "hi", 1, time.Second, "ndjson"},
-		{"zero tags", "http://x", 8, 0, "hi", 1, time.Second, "ndjson"},
-		{"too many tags", "http://x", 8, 13, "hi", 1, time.Second, "ndjson"},
-		{"empty word", "http://x", 8, 2, "  ", 1, time.Second, "ndjson"},
-		{"zero pace", "http://x", 8, 2, "hi", 0, time.Second, "ndjson"},
-		{"zero duration", "http://x", 8, 2, "hi", 1, 0, "ndjson"},
-		{"bad encoding", "http://x", 8, 2, "hi", 1, time.Second, "protobuf"},
+		{"bad url", "127.0.0.1:8090", 8, 2, "hi", 1, time.Second, "ndjson", 0, "mixed"},
+		{"zero sessions", "http://x", 0, 2, "hi", 1, time.Second, "ndjson", 0, "mixed"},
+		{"zero tags", "http://x", 8, 0, "hi", 1, time.Second, "ndjson", 0, "mixed"},
+		{"too many tags", "http://x", 8, 13, "hi", 1, time.Second, "ndjson", 0, "mixed"},
+		{"empty word", "http://x", 8, 2, "  ", 1, time.Second, "ndjson", 0, "mixed"},
+		{"zero pace", "http://x", 8, 2, "hi", 0, time.Second, "ndjson", 0, "mixed"},
+		{"zero duration", "http://x", 8, 2, "hi", 1, 0, "ndjson", 0, "mixed"},
+		{"bad encoding", "http://x", 8, 2, "hi", 1, time.Second, "protobuf", 0, "mixed"},
+		{"negative subscribers", "http://x", 8, 2, "hi", 1, time.Second, "ndjson", -1, "mixed"},
+		{"bad tier", "http://x", 8, 2, "hi", 1, time.Second, "ndjson", 4, "3"},
 	}
 	for _, tc := range cases {
-		if err := validateFlags(tc.daemon, tc.sessions, tc.tags, tc.word, tc.pace, tc.duration, tc.encoding); err == nil {
+		if err := validateFlags(tc.daemon, tc.sessions, tc.tags, tc.word, tc.pace, tc.duration, tc.encoding, tc.subscribers, tc.tier); err == nil {
 			t.Errorf("%s: accepted", tc.name)
 		}
 	}

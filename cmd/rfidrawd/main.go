@@ -77,12 +77,13 @@ type daemonFlags struct {
 	dataDir    string
 	walSync    int
 
-	evalCapacity    float64
-	walCapacity     float64
-	lateCapacity    float64
-	backlogCapacity float64
-	shedAt          float64
-	parkAt          float64
+	evalCapacity      float64
+	walCapacity       float64
+	lateCapacity      float64
+	backlogCapacity   float64
+	downgradeCapacity float64
+	shedAt            float64
+	parkAt            float64
 
 	traceSampleN int
 	logLevel     string
@@ -110,6 +111,7 @@ func main() {
 	flag.Float64Var(&f.walCapacity, "wal-capacity", 0, "WAL write budget in bytes per second for the congestion score (0 = default)")
 	flag.Float64Var(&f.lateCapacity, "late-capacity", 0, "tolerable late-report rate per second for the congestion score (0 = default)")
 	flag.Float64Var(&f.backlogCapacity, "backlog-capacity", 0, "tolerable worst subscriber queue fill fraction (0 = default)")
+	flag.Float64Var(&f.downgradeCapacity, "downgrade-capacity", 0, "tolerable adaptive tier-downgrade rate per second for the congestion score (0 = default)")
 	flag.Float64Var(&f.shedAt, "shed-at", 0, "congestion score refusing new sessions with 429 (0 = default 0.9, negative disables)")
 	flag.Float64Var(&f.parkAt, "park-at", 0, "congestion score parking cheapest durable sessions (0 = default 0.75, negative disables)")
 	flag.IntVar(&f.traceSampleN, "trace-sample-n", 0, "record a full stage span for 1-in-N reports per session (0 disables; mutable at runtime)")
@@ -174,7 +176,7 @@ func (f daemonFlags) validate() error {
 	if f.walSync < 1 {
 		return fmt.Errorf("-wal-sync %d must be at least 1 (sync every append)", f.walSync)
 	}
-	if f.evalCapacity < 0 || f.walCapacity < 0 || f.lateCapacity < 0 {
+	if f.evalCapacity < 0 || f.walCapacity < 0 || f.lateCapacity < 0 || f.downgradeCapacity < 0 {
 		return fmt.Errorf("capacity budgets must be non-negative (0 = default)")
 	}
 	if f.backlogCapacity < 0 || f.backlogCapacity > 1 {
@@ -283,6 +285,7 @@ func run(f daemonFlags) error {
 			WALBytesPerSec:    f.walCapacity,
 			LatePerSec:        f.lateCapacity,
 			Backlog:           f.backlogCapacity,
+			DowngradesPerSec:  f.downgradeCapacity,
 		},
 		ShedThreshold: f.shedAt,
 		ParkThreshold: f.parkAt,

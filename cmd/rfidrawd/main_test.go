@@ -47,6 +47,7 @@ func TestValidateFlags(t *testing.T) {
 		{"negative eval capacity", func(f *daemonFlags) { f.evalCapacity = -1 }},
 		{"negative wal capacity", func(f *daemonFlags) { f.walCapacity = -1 }},
 		{"negative late capacity", func(f *daemonFlags) { f.lateCapacity = -1 }},
+		{"negative downgrade capacity", func(f *daemonFlags) { f.downgradeCapacity = -1 }},
 		{"backlog over one", func(f *daemonFlags) { f.backlogCapacity = 1.5 }},
 		{"park above shed", func(f *daemonFlags) { f.shedAt = 0.5; f.parkAt = 0.9 }},
 		{"negative trace sample", func(f *daemonFlags) { f.traceSampleN = -1 }},

@@ -25,6 +25,7 @@ const (
 	EventResync       = "resync"
 	EventShed         = "shed"
 	EventLeaderSwitch = "leader_switch"
+	EventTierChange   = "tier_change"
 )
 
 // TimelineCapacity bounds each session's event ring.

@@ -126,6 +126,10 @@ type Client struct {
 	// length-prefixed CRC-framed binary encoding. Decoded Events are
 	// identical either way.
 	Encoding string
+	// Tier selects the trace tier Subscribe negotiates: "" for the T1
+	// default (today's full stream), "0" for the decimated dashboard
+	// tier, "1" explicit, or "2" for full plus diagnostic detail.
+	Tier string
 	// SubscribeBuffer is the event-channel depth Subscribe allocates;
 	// <= 0 takes the default 64.
 	SubscribeBuffer int
@@ -230,20 +234,32 @@ func (c *Client) SubscribeFrom(ctx context.Context, id string, from uint64) (<-c
 	return c.subscribe(ctx, fmt.Sprintf("%s/v1/sessions/%s/stream?from=%d", c.BaseURL, id, from))
 }
 
-// streamURL appends the client's encoding selection to a stream URL.
+// streamURL appends the client's encoding and tier selections to a
+// stream URL.
 func (c *Client) streamURL(url string) (string, bool, error) {
-	switch c.Encoding {
-	case "", "ndjson":
-		return url, false, nil
-	case "binary":
+	appendParam := func(url, param string) string {
 		sep := "?"
 		if strings.Contains(url, "?") {
 			sep = "&"
 		}
-		return url + sep + "encoding=binary", true, nil
+		return url + sep + param
+	}
+	var binary bool
+	switch c.Encoding {
+	case "", "ndjson":
+	case "binary":
+		url, binary = appendParam(url, "encoding=binary"), true
 	default:
 		return "", false, fmt.Errorf("server: unknown client encoding %q (want ndjson or binary)", c.Encoding)
 	}
+	switch c.Tier {
+	case "":
+	case "0", "1", "2":
+		url = appendParam(url, "tier="+c.Tier)
+	default:
+		return "", false, fmt.Errorf("server: unknown client tier %q (want 0, 1 or 2)", c.Tier)
+	}
+	return url, binary, nil
 }
 
 func (c *Client) subscribe(ctx context.Context, url string) (<-chan Event, <-chan error, error) {

@@ -56,6 +56,7 @@ type controlCapacity struct {
 	WALBytesPerSec    float64 `json:"wal_bytes_per_sec"`
 	LatePerSec        float64 `json:"late_per_sec"`
 	Backlog           float64 `json:"backlog"`
+	DowngradesPerSec  float64 `json:"downgrades_per_sec"`
 }
 
 // ControlSession is one session's control-plane view: lifecycle state
@@ -124,6 +125,7 @@ func (s *Server) controlState(now time.Time) ControlState {
 			WALBytesPerSec:    knobs.Capacity.WALBytesPerSec,
 			LatePerSec:        knobs.Capacity.LatePerSec,
 			Backlog:           knobs.Capacity.Backlog,
+			DowngradesPerSec:  knobs.Capacity.DowngradesPerSec,
 		},
 		IdleMS:       knobs.IdleTimeout.Milliseconds(),
 		RetainMS:     knobs.RetainFor.Milliseconds(),
@@ -190,6 +192,7 @@ func (s *Server) handleControlConfig(w http.ResponseWriter, r *http.Request) {
 			WALBytesPerSec:    req.Capacity.WALBytesPerSec,
 			LatePerSec:        req.Capacity.LatePerSec,
 			Backlog:           req.Capacity.Backlog,
+			DowngradesPerSec:  req.Capacity.DowngradesPerSec,
 		}
 	}
 	patch.WALSyncEvery = req.WALSyncEvery

@@ -77,6 +77,11 @@ type Capacity struct {
 	// Backlog is the tolerated worst-subscriber queue fill fraction in
 	// [0, 1]. Default 0.75.
 	Backlog float64
+	// DowngradesPerSec bounds tolerated adaptive tier step-downs across
+	// the node's subscribers — sustained downgrades mean fan-out demand
+	// outruns what consumers can drain even at reduced stream weight.
+	// Default 50/s.
+	DowngradesPerSec float64
 }
 
 func (c Capacity) withDefaults() Capacity {
@@ -91,6 +96,9 @@ func (c Capacity) withDefaults() Capacity {
 	}
 	if c.Backlog <= 0 {
 		c.Backlog = 0.75
+	}
+	if c.DowngradesPerSec <= 0 {
+		c.DowngradesPerSec = 50
 	}
 	return c
 }
@@ -107,7 +115,10 @@ type CostSnapshot struct {
 	// Backlog is the fill fraction of the session's fullest subscriber
 	// queue at sample time (an instantaneous gauge, not a rate).
 	Backlog float64 `json:"backlog"`
-	Cost    float64 `json:"cost"`
+	// DowngradesPerSec is the rate of adaptive tier step-downs across the
+	// session's subscribers: the fan-out pressure admission should see.
+	DowngradesPerSec float64 `json:"downgrades_per_sec"`
+	Cost             float64 `json:"cost"`
 }
 
 // costMeter turns a session's monotonic counters into rates by
@@ -115,12 +126,13 @@ type CostSnapshot struct {
 // (the registry's congestion refresh, the control API); mu serializes
 // them.
 type costMeter struct {
-	mu    sync.Mutex
-	at    time.Time
-	evals int64
-	wal   int64
-	late  int64
-	last  CostSnapshot
+	mu         sync.Mutex
+	at         time.Time
+	evals      int64
+	wal        int64
+	late       int64
+	downgrades int64
+	last       CostSnapshot
 }
 
 // sampleCost refreshes the session's cost snapshot from its counters.
@@ -131,6 +143,7 @@ func (s *Session) sampleCost(now time.Time, cap Capacity) CostSnapshot {
 	evals := s.searchEvals.Load()
 	wal := s.walBytes.Load()
 	late := s.reorderLate.Load()
+	downgrades := s.tierDowngrades.Load()
 	backlog := s.backlogFraction()
 	m := &s.cost
 	m.mu.Lock()
@@ -138,19 +151,21 @@ func (s *Session) sampleCost(now time.Time, cap Capacity) CostSnapshot {
 	if !m.at.IsZero() {
 		if dt := now.Sub(m.at).Seconds(); dt > 0 {
 			snap := CostSnapshot{
-				EvalsPerSec:    rate(evals-m.evals, dt),
-				WALBytesPerSec: rate(wal-m.wal, dt),
-				LatePerSec:     rate(late-m.late, dt),
-				Backlog:        backlog,
+				EvalsPerSec:      rate(evals-m.evals, dt),
+				WALBytesPerSec:   rate(wal-m.wal, dt),
+				LatePerSec:       rate(late-m.late, dt),
+				Backlog:          backlog,
+				DowngradesPerSec: rate(downgrades-m.downgrades, dt),
 			}
 			snap.Cost = snap.EvalsPerSec/cap.SearchEvalsPerSec +
 				snap.WALBytesPerSec/cap.WALBytesPerSec +
 				snap.LatePerSec/cap.LatePerSec +
+				snap.DowngradesPerSec/cap.DowngradesPerSec +
 				backlog
 			m.last = snap
 		}
 	}
-	m.at, m.evals, m.wal, m.late = now, evals, wal, late
+	m.at, m.evals, m.wal, m.late, m.downgrades = now, evals, wal, late, downgrades
 	return m.last
 }
 
@@ -197,6 +212,9 @@ type ScoreComponents struct {
 	// SessionSlots is live sessions over MaxSessions: the flat cap folded
 	// in as one signal among several instead of being the whole policy.
 	SessionSlots float64 `json:"session_slots"`
+	// TierPressure is the capacity-normalized adaptive-downgrade rate:
+	// fan-out demand the consumers are absorbing by stepping down tiers.
+	TierPressure float64 `json:"tier_pressure"`
 }
 
 // NodeScore is the rolled-up congestion state the admission check and
@@ -209,7 +227,7 @@ type NodeScore struct {
 
 func maxScore(parts ScoreComponents) float64 {
 	s := parts.SearchEvals
-	for _, v := range []float64{parts.WALBytes, parts.ReorderLate, parts.Backlog, parts.SessionSlots} {
+	for _, v := range []float64{parts.WALBytes, parts.ReorderLate, parts.Backlog, parts.SessionSlots, parts.TierPressure} {
 		if v > s {
 			s = v
 		}

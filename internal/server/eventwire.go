@@ -21,6 +21,8 @@ package server
 //	0x02 glyph  tag, t, glyph, dist, margin, points(u32)
 //	0x03 drop   dropped(u32)
 //	0x04 end    (no fields)
+//	0x05 tier   tier(u8), from(u8), reason
+//	0x06 stroke tag, t, points(u32)
 //
 // The encoding carries exactly the fields NDJSON serializes for each
 // event type, so a binary stream decodes to the same Event values as
@@ -53,10 +55,12 @@ const eventFrameHeader = 8
 
 // Event frame type bytes.
 const (
-	eventTypePoint = 0x01
-	eventTypeGlyph = 0x02
-	eventTypeDrop  = 0x03
-	eventTypeEnd   = 0x04
+	eventTypePoint  = 0x01
+	eventTypeGlyph  = 0x02
+	eventTypeDrop   = 0x03
+	eventTypeEnd    = 0x04
+	eventTypeTier   = 0x05
+	eventTypeStroke = 0x06
 )
 
 // ErrBadEventFrame reports malformed binary event framing: a corrupt
@@ -107,6 +111,15 @@ func appendEventFrame(dst []byte, ev *Event) []byte {
 		dst = binary.BigEndian.AppendUint32(dst, uint32(ev.Dropped))
 	case "end":
 		dst = append(dst, eventTypeEnd)
+	case "tier":
+		dst = append(dst, eventTypeTier)
+		dst = append(dst, byte(ev.Tier), byte(ev.FromTier))
+		dst = appendEventString(dst, ev.Reason)
+	case "stroke":
+		dst = append(dst, eventTypeStroke)
+		dst = appendEventString(dst, ev.Tag)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(int64(ev.T)))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(ev.Points))
 	default:
 		return dst[:start]
 	}
@@ -224,7 +237,8 @@ func plausibleEventFrame(partial []byte) bool {
 		return len(partial) == eventFrameHeader // header alone: cannot disprove
 	}
 	switch partial[eventFrameHeader] {
-	case eventTypePoint, eventTypeGlyph, eventTypeDrop, eventTypeEnd:
+	case eventTypePoint, eventTypeGlyph, eventTypeDrop, eventTypeEnd,
+		eventTypeTier, eventTypeStroke:
 		return true
 	}
 	return false
@@ -305,6 +319,16 @@ func decodeEventPayload(payload []byte) (Event, error) {
 		ev.Dropped = int(c.u32())
 	case eventTypeEnd:
 		ev.Type = "end"
+	case eventTypeTier:
+		ev.Type = "tier"
+		ev.Tier = int(c.u8())
+		ev.FromTier = int(c.u8())
+		ev.Reason = c.str()
+	case eventTypeStroke:
+		ev.Type = "stroke"
+		ev.Tag = c.str()
+		ev.T = time.Duration(int64(c.u64()))
+		ev.Points = int(c.u32())
 	default:
 		return Event{}, fmt.Errorf("%w: unknown type 0x%02x", ErrBadEventFrame, typ)
 	}

@@ -35,6 +35,12 @@ func fuzzEventStream(tb testing.TB, points int) []byte {
 		Glyph: "A", Dist: 0.42, Margin: 0.17, Points: points,
 	})
 	buf = appendEventFrame(buf, &Event{Type: "drop", Dropped: 7})
+	buf = appendEventFrame(buf, &Event{
+		Type: "stroke", Tag: "tag-1", T: 250 * time.Millisecond, Points: points,
+	})
+	buf = appendEventFrame(buf, &Event{
+		Type: "tier", Tier: 1, FromTier: 2, Reason: "backlog",
+	})
 	buf = appendEventFrame(buf, &Event{Type: "end"})
 	return buf
 }
@@ -45,7 +51,7 @@ func fuzzEventStream(tb testing.TB, points int) []byte {
 func checkWireEvent(t *testing.T, ev Event) {
 	t.Helper()
 	switch ev.Type {
-	case "point", "glyph", "drop", "end":
+	case "point", "glyph", "drop", "end", "tier", "stroke":
 	default:
 		t.Fatalf("decoded event with unknown type %q", ev.Type)
 	}
@@ -115,6 +121,9 @@ func TestEventFrameRoundTrip(t *testing.T) {
 		{Type: "glyph", Tag: "pen", T: 300 * time.Millisecond, Glyph: "B",
 			Dist: 0.5, Margin: 0.25, Points: 17},
 		{Type: "drop", Dropped: 9},
+		{Type: "tier", Tier: 0, FromTier: 1, Reason: "backlog"},
+		{Type: "tier", Tier: 2, FromTier: 1, Reason: "recovered"},
+		{Type: "stroke", Tag: "pen", T: 300 * time.Millisecond, Points: 17},
 		{Type: "end"},
 	}
 	var buf []byte

@@ -321,6 +321,25 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// streamTier resolves the stream endpoint's trace tier from the ?tier
+// query parameter: 0 (decimated dashboard grade), 1 (the full default
+// stream) or 2 (full plus diagnostic detail). Absent means T1, the
+// compatibility default; anything else is an error.
+func streamTier(r *http.Request) (SubscribeTier, error) {
+	switch t := r.URL.Query().Get("tier"); t {
+	case "":
+		return TierDefault, nil
+	case "0":
+		return Tier0, nil
+	case "1":
+		return Tier1, nil
+	case "2":
+		return Tier2, nil
+	default:
+		return TierDefault, fmt.Errorf("unknown tier %q (want 0, 1 or 2)", t)
+	}
+}
+
 // streamEncoding resolves the stream endpoint's wire encoding: the
 // ?encoding query parameter (ndjson | binary) wins, else an Accept
 // header naming the binary media type selects binary, else NDJSON (the
@@ -346,8 +365,12 @@ func streamEncoding(r *http.Request) (binary bool, err error) {
 // session's events — NDJSON (one JSON object per line) by default, or
 // the length-prefixed CRC-framed binary encoding when negotiated via
 // ?encoding=binary or Accept (see eventwire.go) — flushed as events
-// arrive. The subscriber's queue is bounded; if this consumer cannot
-// keep up it loses the oldest events and sees drop notices (the
+// arrive. ?tier=0|1|2 negotiates the trace tier (T1, today's full
+// stream, is the default); a subscriber that falls far enough behind is
+// adaptively stepped down a tier — announced in-stream with a "tier"
+// control event — and stepped back up after sustained calm. The
+// subscriber's queue is bounded; if this consumer still cannot keep up
+// it loses the oldest events and sees drop notices (the last-resort
 // slow-consumer policy), never stalling the tracker or its peers.
 // Live events arrive group-committed: the session's emit flusher
 // coalesces them into batches, marshals each batch exactly once per
@@ -373,7 +396,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 		return
 	}
-	opts := SubscribeOptions{Binary: binary, Batched: true}
+	tier, err := streamTier(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	opts := SubscribeOptions{Binary: binary, Batched: true, Tier: tier}
 	var sub *Subscriber
 	if fromStr := r.URL.Query().Get("from"); fromStr != "" || sess.Recovered() {
 		from := uint64(0)

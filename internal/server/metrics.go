@@ -60,6 +60,14 @@ type Metrics struct {
 	SessionsParked    atomic.Int64
 	SessionsResumed   atomic.Int64
 	AdmissionRejected atomic.Int64
+	// Tiered-multicast counters. TierDowngrades/TierUpgrades count
+	// adaptive tier transitions (a downgrade sheds stream weight for a
+	// backlogged subscriber instead of dropping its events);
+	// TierSubscribers (gauges) count attached subscribers by the tier
+	// they are currently served at.
+	TierDowngrades  atomic.Int64
+	TierUpgrades    atomic.Int64
+	TierSubscribers [3]atomic.Int64 // gauge per tier
 	// congestionBits is the latest congestion score's float64 bits
 	// (gauge; written by Registry.RefreshCongestion).
 	congestionBits atomic.Uint64
@@ -104,6 +112,8 @@ var counterDefs = []counterDef{
 	{"rfidrawd_sessions_parked_total", "Sessions parked under pressure or by operator verb.", "counter", func(m *Metrics) int64 { return m.SessionsParked.Load() }},
 	{"rfidrawd_sessions_resumed_total", "Parked sessions resumed live.", "counter", func(m *Metrics) int64 { return m.SessionsResumed.Load() }},
 	{"rfidrawd_admission_rejected_total", "Session opens refused by the congestion score (HTTP 429).", "counter", func(m *Metrics) int64 { return m.AdmissionRejected.Load() }},
+	{"rfidrawd_tier_downgrades_total", "Adaptive tier step-downs taken by backlogged subscribers.", "counter", func(m *Metrics) int64 { return m.TierDowngrades.Load() }},
+	{"rfidrawd_tier_upgrades_total", "Adaptive tier step-ups after sustained calm backlog.", "counter", func(m *Metrics) int64 { return m.TierUpgrades.Load() }},
 }
 
 // liveSums carries the per-scrape values summed over live sessions by
@@ -145,6 +155,11 @@ func (m *Metrics) render(w io.Writer, live liveSums) {
 	fmt.Fprintf(w, "rfidrawd_congestion_component{resource=\"reorder_late\"} %.4f\n", c.ReorderLate)
 	fmt.Fprintf(w, "rfidrawd_congestion_component{resource=\"backlog\"} %.4f\n", c.Backlog)
 	fmt.Fprintf(w, "rfidrawd_congestion_component{resource=\"session_slots\"} %.4f\n", c.SessionSlots)
+	fmt.Fprintf(w, "rfidrawd_congestion_component{resource=\"tier_pressure\"} %.4f\n", c.TierPressure)
+	fmt.Fprintf(w, "# HELP rfidrawd_tier_subscribers Attached stream subscribers by the trace tier currently served.\n# TYPE rfidrawd_tier_subscribers gauge\n")
+	for t := range m.TierSubscribers {
+		fmt.Fprintf(w, "rfidrawd_tier_subscribers{tier=\"%d\"} %d\n", t, m.TierSubscribers[t].Load())
+	}
 	fmt.Fprintf(w, "# HELP rfidrawd_goroutines Current goroutine count (soak leak gate).\n# TYPE rfidrawd_goroutines gauge\nrfidrawd_goroutines %d\n", runtime.NumGoroutine())
 	if live.pipeline != nil {
 		live.pipeline.Render(w)

@@ -706,6 +706,7 @@ func (r *Registry) RefreshCongestion(now time.Time) NodeScore {
 		parts.SearchEvals += c.EvalsPerSec
 		parts.WALBytes += c.WALBytesPerSec
 		parts.ReorderLate += c.LatePerSec
+		parts.TierPressure += c.DowngradesPerSec
 		if c.Backlog > parts.Backlog {
 			parts.Backlog = c.Backlog
 		}
@@ -714,6 +715,7 @@ func (r *Registry) RefreshCongestion(now time.Time) NodeScore {
 	parts.WALBytes /= capacity.WALBytesPerSec
 	parts.ReorderLate /= capacity.LatePerSec
 	parts.Backlog /= capacity.Backlog
+	parts.TierPressure /= capacity.DowngradesPerSec
 	parts.SessionSlots = float64(liveCount) / float64(maxSessions)
 	score := NodeScore{Score: maxScore(parts), Components: parts, SampledAt: now}
 	r.scoreMu.Lock()

@@ -47,12 +47,15 @@ func (s *Session) SubscribeFromOpts(from uint64, o SubscribeOptions) (*Subscribe
 	if buffer <= 0 {
 		buffer = s.reg.cfg.SubscriberQueue
 	}
+	tier := o.Tier.level()
 	sub := &Subscriber{
 		sess:       s,
 		ch:         make(chan Event, buffer),
 		catchingUp: true,
 		binary:     o.Binary,
 		batched:    o.Batched,
+		tier:       tier,
+		maxTier:    tier,
 		cancel:     make(chan struct{}),
 	}
 	if s.Recovered() {
@@ -158,6 +161,11 @@ func (s *Session) feedCatchup(sub *Subscriber, from, head uint64) error {
 	if err != nil {
 		return err
 	}
+	// A T0 catch-up decimates the replayed points in WAL-sequence space
+	// (deterministic for any given record) with the live tier's factor;
+	// higher tiers replay everything. The tier is fixed at attach for the
+	// whole replay — adaptive retuning starts at the live splice.
+	decimated := sub.tier == 0
 	var sendErr error
 	seq := uint64(0)
 	rp.OnUpdate = func(u engine.Update) {
@@ -166,6 +174,9 @@ func (s *Session) feedCatchup(sub *Subscriber, from, head uint64) error {
 		}
 		for _, p := range u.Positions {
 			if seq < from {
+				continue
+			}
+			if decimated && seq%t0DecimateEvery != 0 {
 				continue
 			}
 			select {

@@ -41,7 +41,9 @@ var (
 // NDJSON line per event on the streaming API.
 type Event struct {
 	// Type is "point" (a trace point), "glyph" (a recognized stroke),
-	// "drop" (the subscriber's queue overflowed and lost N events) or
+	// "drop" (the subscriber's queue overflowed and lost N events),
+	// "tier" (the subscriber's trace tier changed — adaptive downgrade
+	// or recovery), "stroke" (a T2 diagnostic: a stroke closed) or
 	// "end" (the session closed; the stream ends after it).
 	Type string `json:"type"`
 	// Tag identifies the writer (EPC hex) for points and glyphs.
@@ -71,7 +73,21 @@ type Event struct {
 	Seq uint64 `json:"seq,omitempty"`
 	// Dropped is how many events the subscriber lost (drop events).
 	Dropped int `json:"dropped,omitempty"`
+	// Tier and FromTier carry a tier transition (tier events): the
+	// subscriber now receives Tier, having received FromTier. Reason is
+	// "backlog" (adaptive downgrade) or "recovered" (hysteresis-gated
+	// upgrade back toward the negotiated tier).
+	Tier     int    `json:"tier,omitempty"`
+	FromTier int    `json:"from,omitempty"`
+	Reason   string `json:"reason,omitempty"`
 
+	// minTier is the lowest trace tier that includes this event (0 ⊆ 1 ⊆
+	// 2): 0 = dashboard-grade (decimated points, glyphs, end), 1 = the
+	// full default stream, 2 = diagnostic detail only T2 subscribers see.
+	// Classified once where the event is produced; the fan-out path
+	// delivers the event to every subscriber whose tier >= minTier.
+	// Unexported: invisible on the wire.
+	minTier uint8
 	// enq is the event's subscriber-enqueue stamp (obs monotonic nanos),
 	// set by the broadcast path so the stream writer can observe the
 	// queue-to-wire stage. Unexported: invisible on the wire.
@@ -101,6 +117,33 @@ func (ev *Event) weight() int {
 		return ev.batchLen
 	}
 	return 1
+}
+
+// MarshalJSON keeps the frozen T1 wire shape byte-for-byte for the
+// pre-tier event types (they marshal through a plain alias of the same
+// struct, tags and field order unchanged) while the new control and
+// diagnostic events use compact shadows: a "tier" or "stroke" event
+// never serializes the x/z plane coordinates a point carries, and a
+// tier event's "tier" field survives even at tier 0.
+func (ev Event) MarshalJSON() ([]byte, error) {
+	switch ev.Type {
+	case "tier":
+		return json.Marshal(struct {
+			Type   string `json:"type"`
+			Tier   int    `json:"tier"`
+			From   int    `json:"from"`
+			Reason string `json:"reason,omitempty"`
+		}{ev.Type, ev.Tier, ev.FromTier, ev.Reason})
+	case "stroke":
+		return json.Marshal(struct {
+			Type   string        `json:"type"`
+			Tag    string        `json:"tag,omitempty"`
+			T      time.Duration `json:"t_ns,omitempty"`
+			Points int           `json:"points,omitempty"`
+		}{ev.Type, ev.Tag, ev.T, ev.Points})
+	}
+	type plain Event
+	return json.Marshal(plain(ev))
 }
 
 // eventWire is one event's shared pre-marshaled encodings. The slices
@@ -184,6 +227,17 @@ type Subscriber struct {
 	pendingDrops int
 	drops        int64
 
+	// Tier state (guarded by the session's emitMu). tier is the trace
+	// tier currently served; maxTier is what the subscriber negotiated at
+	// attach — adaptive downgrade steps tier below maxTier under backlog
+	// and hysteresis steps it back up, never past maxTier. calmFlushes
+	// counts consecutive deliveries with the backlog below the upgrade
+	// threshold; downgrades counts adaptive steps down.
+	tier        uint8
+	maxTier     uint8
+	calmFlushes int
+	downgrades  int64
+
 	// Catch-up state (all guarded by the session's emitMu). While
 	// catchingUp, live events are parked in pending (bounded, drop-oldest)
 	// and the WAL replay goroutine owns ch: it delivers the replayed
@@ -206,6 +260,23 @@ func (sub *Subscriber) Drops() int64 {
 	return sub.drops
 }
 
+// Tier reports the trace tier the subscriber is currently served at
+// (0..2); it can sit below the negotiated tier while the adaptive
+// downgrade policy has it stepped down.
+func (sub *Subscriber) Tier() int {
+	sub.sess.emitMu.Lock()
+	defer sub.sess.emitMu.Unlock()
+	return int(sub.tier)
+}
+
+// Downgrades reports how many adaptive tier step-downs this subscriber
+// has taken.
+func (sub *Subscriber) Downgrades() int64 {
+	sub.sess.emitMu.Lock()
+	defer sub.sess.emitMu.Unlock()
+	return sub.downgrades
+}
+
 // Close detaches the subscriber from its session. Safe to call more than
 // once and after the session closed.
 func (sub *Subscriber) Close() { sub.sess.detach(sub) }
@@ -214,6 +285,11 @@ func (sub *Subscriber) Close() { sub.sess.detach(sub) }
 type stroke struct {
 	pts  []geom.Vec2
 	last time.Duration
+	// n counts the stroke's points for T0 decimation: every
+	// t0DecimateEvery-th point (and always the first) is classified into
+	// tier 0, so a dashboard tracing the decimated stream still renders
+	// every stroke from its first sample.
+	n int
 }
 
 // Session binds one client's tag-set to a tracking engine and fans its
@@ -297,6 +373,15 @@ type Session struct {
 	emitKick  chan struct{}
 	emitQuit  chan struct{}
 	emitDone  chan struct{}
+	// emitPace is the flusher's fan-out-aware accumulation window in
+	// nanoseconds (atomic: written under emitMu, read by the flusher
+	// before locking). Delivering a carrier costs every batched
+	// subscriber a wake and a socket write, so at wide fan-out the
+	// flusher waits this long after a kick before committing, letting
+	// the batch grow and amortizing the per-subscriber cost; at small
+	// fan-out the window rounds to zero and every event flushes
+	// immediately.
+	emitPace atomic.Int64
 
 	// pump-owned state (no locking: single goroutine).
 	eng     *engine.Engine
@@ -328,13 +413,17 @@ type Session struct {
 	lastStats []engine.TagStats
 
 	// counters (atomic: read by HTTP handlers and metrics).
-	reports     atomic.Int64
-	points      atomic.Int64
-	glyphs      atomic.Int64
-	drops       atomic.Int64
-	searchEvals atomic.Int64
-	resyncs     atomic.Int64
-	outOfOrder  atomic.Int64
+	reports atomic.Int64
+	points  atomic.Int64
+	glyphs  atomic.Int64
+	drops   atomic.Int64
+	// tierDowngrades counts adaptive tier step-downs across the session's
+	// subscribers: the fan-out pressure signal the cost meter turns into
+	// a demand rate for admission.
+	tierDowngrades atomic.Int64
+	searchEvals    atomic.Int64
+	resyncs        atomic.Int64
+	outOfOrder     atomic.Int64
 	// reorderLate counts reports that arrived after their reorder-window
 	// slot had already been released to the engine: the resequencer can
 	// no longer place them before already-delivered later reports, so
@@ -622,6 +711,47 @@ func (s *Session) Flush() error {
 	}
 }
 
+// SubscribeTier names the trace tier a subscriber negotiates at attach.
+// The zero value is the full default stream (T1), so existing callers
+// keep today's stream untouched.
+type SubscribeTier int
+
+const (
+	// TierDefault is the unnegotiated default: the full T1 stream.
+	TierDefault SubscribeTier = iota
+	// Tier0 is the dashboard-grade stream: decimated positions plus
+	// glyphs and the end marker.
+	Tier0
+	// Tier1 is the full default stream, explicitly requested.
+	Tier1
+	// Tier2 is T1 plus the diagnostic detail events (stroke closures).
+	Tier2
+)
+
+// level maps the negotiated tier onto the internal 0..2 tier space.
+func (t SubscribeTier) level() uint8 {
+	switch t {
+	case Tier0:
+		return 0
+	case Tier2:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Adaptive downgrade policy: a subscriber whose queue fill crosses
+// downgradeBacklog at a delivery steps down one tier (shedding stream
+// weight instead of dropping events); a fill at or below upgradeBacklog
+// for upgradeAfterCalm consecutive deliveries steps back up toward the
+// negotiated tier. The wide hysteresis band keeps a consumer hovering
+// near its capacity from flapping.
+const (
+	downgradeBacklog = 0.75
+	upgradeBacklog   = 0.25
+	upgradeAfterCalm = 64
+)
+
 // SubscribeOptions configures a subscriber attach.
 type SubscribeOptions struct {
 	// Buffer bounds the delivery queue; <= 0 takes the registry default.
@@ -640,6 +770,12 @@ type SubscribeOptions struct {
 	// no decoded fields, so in-process consumers reading Events() must
 	// leave this unset.
 	Batched bool
+	// Tier selects the trace tier (T0 decimated / T1 full / T2
+	// diagnostic); the zero value is T1, today's stream exactly. Slow
+	// subscribers are adaptively stepped below the negotiated tier and
+	// back (see the downgrade policy constants), each transition
+	// announced in-stream as a "tier" event.
+	Tier SubscribeTier
 }
 
 // Subscribe attaches a bounded-queue consumer to the session's live
@@ -666,7 +802,12 @@ func (s *Session) SubscribeOpts(o SubscribeOptions) (*Subscriber, error) {
 		s.timeline.Record(obs.EventShed, "subscriber limit "+strconv.Itoa(s.reg.cfg.MaxSubscribers))
 		return nil, ErrSubscriberLimit
 	}
-	sub := &Subscriber{sess: s, ch: make(chan Event, buffer), binary: o.Binary, batched: o.Batched}
+	tier := o.Tier.level()
+	sub := &Subscriber{
+		sess: s, ch: make(chan Event, buffer),
+		binary: o.Binary, batched: o.Batched,
+		tier: tier, maxTier: tier,
+	}
 	s.addSubLocked(sub)
 	s.touch()
 	return sub, nil
@@ -687,21 +828,84 @@ func (s *Session) addSubLocked(sub *Subscriber) {
 	s.subs[sub] = struct{}{}
 	if sub.batched {
 		s.batchedSubs++
+		s.updateEmitPaceLocked()
 	} else {
 		s.plainSubs++
 	}
 	s.reg.metrics.SubscribersActive.Add(1)
+	s.reg.metrics.TierSubscribers[sub.tier].Add(1)
 }
 
 func (s *Session) removeSubLocked(sub *Subscriber) {
 	delete(s.subs, sub)
 	if sub.batched {
 		s.batchedSubs--
+		s.updateEmitPaceLocked()
 	} else {
 		s.plainSubs--
 	}
 	s.reg.metrics.SubscribersActive.Add(-1)
+	s.reg.metrics.TierSubscribers[sub.tier].Add(-1)
 }
+
+// updateEmitPaceLocked re-derives the flusher's accumulation window
+// from the batched-subscriber count. Requires emitMu.
+func (s *Session) updateEmitPaceLocked() {
+	pace := time.Duration(s.batchedSubs) * emitPacePerSub
+	if pace > emitPaceMax {
+		pace = emitPaceMax
+	}
+	s.emitPace.Store(int64(pace))
+}
+
+// maybeRetuneTierLocked applies the adaptive tier policy to one
+// subscriber at a delivery: a backlog past the downgrade threshold steps
+// it down a tier immediately (the next batch is already encoded for the
+// cheaper tier), a sustained calm backlog steps it back up toward the
+// tier it negotiated. Requires emitMu.
+func (s *Session) maybeRetuneTierLocked(sub *Subscriber) {
+	fill := float64(len(sub.ch)) / float64(cap(sub.ch))
+	switch {
+	case fill >= downgradeBacklog && sub.tier > 0:
+		s.setTierLocked(sub, sub.tier-1, "backlog")
+	case fill <= upgradeBacklog && sub.tier < sub.maxTier:
+		if sub.calmFlushes++; sub.calmFlushes >= upgradeAfterCalm {
+			s.setTierLocked(sub, sub.tier+1, "recovered")
+		}
+	default:
+		sub.calmFlushes = 0
+	}
+}
+
+// setTierLocked moves a subscriber to a new tier: the transition is
+// announced in-stream as a "tier" control event (no shared wire — the
+// stream writer marshals it locally), recorded on the session timeline,
+// exported as metrics, and counted into the session's fan-out pressure
+// signal for the cost meter. Requires emitMu.
+func (s *Session) setTierLocked(sub *Subscriber, tier uint8, reason string) {
+	from := sub.tier
+	if tier == from {
+		return
+	}
+	sub.tier = tier
+	sub.calmFlushes = 0
+	s.reg.metrics.TierSubscribers[from].Add(-1)
+	s.reg.metrics.TierSubscribers[tier].Add(1)
+	if tier < from {
+		sub.downgrades++
+		s.tierDowngrades.Add(1)
+		s.reg.metrics.TierDowngrades.Add(1)
+	} else {
+		s.reg.metrics.TierUpgrades.Add(1)
+	}
+	s.timeline.Record(obs.EventTierChange,
+		"tier "+strconv.Itoa(int(from))+"->"+strconv.Itoa(int(tier))+" ("+reason+")")
+	s.sendLocked(sub, Event{Type: "tier", Tier: int(tier), FromTier: int(from), Reason: reason})
+}
+
+// TierDowngrades reports the session's cumulative adaptive tier
+// step-downs across all its subscribers.
+func (s *Session) TierDowngrades() int64 { return s.tierDowngrades.Load() }
 
 // detach removes a subscriber, closing its queue exactly once. A
 // subscriber still catching up is signalled instead: its replay
@@ -1250,11 +1454,21 @@ func (s *Session) onUpdate(u engine.Update) {
 		}
 		st.pts = append(st.pts, p.Pos)
 		st.last = p.Time
+		st.n++
 		s.points.Add(1)
 		s.reg.metrics.Points.Add(1)
+		// Classify the point's tier once, here: most points are T1-only,
+		// but every t0DecimateEvery-th point of a stroke (starting with
+		// its first) also reaches the decimated T0 stream, so a dashboard
+		// still draws every stroke's shape at ~1/8 the point weight.
+		minTier := uint8(1)
+		if st.n%t0DecimateEvery == 1 {
+			minTier = 0
+		}
 		s.broadcastLocked(Event{
 			Type: "point", Tag: u.Tag, T: p.Time, X: p.Pos.X, Z: p.Pos.Z,
 			Confidence: p.Confidence, Hypotheses: p.Hypotheses, Switched: p.Switched,
+			minTier: minTier,
 		})
 	}
 }
@@ -1270,11 +1484,19 @@ func (s *Session) finalizeStrokes() {
 }
 
 // finalizeStrokeLocked classifies one completed stroke against the glyph
-// font and emits a glyph event. Requires emitMu.
+// font and emits a glyph event, plus a T2 diagnostic "stroke" event on
+// every closure (deterministic: it fires whether or not the stroke was
+// long enough to classify). Requires emitMu.
 func (s *Session) finalizeStrokeLocked(tag string, st *stroke) {
 	pts := st.pts
 	last := st.last
-	st.pts, st.last = nil, 0
+	st.pts, st.last, st.n = nil, 0, 0
+	if len(pts) > 0 {
+		s.broadcastLocked(Event{
+			Type: "stroke", Tag: tag, T: last, Points: len(pts),
+			minTier: 2,
+		})
+	}
 	if len(pts) < s.reg.cfg.GlyphMinPoints || s.reg.rec == nil {
 		return
 	}
@@ -1327,18 +1549,26 @@ func (s *Session) broadcastLocked(ev Event) {
 	if s.plainSubs == 0 {
 		return
 	}
+	// Retune each plain subscriber's tier against its backlog, then scan
+	// for the encodings some subscriber at an including tier wants. An
+	// event's bytes are tier-independent — tiers differ only in which
+	// events they include — so one marshal per encoding still serves
+	// every tier.
 	var needJSON, needBinary bool
 	for sub := range s.subs {
 		if sub.batched {
+			continue
+		}
+		if !sub.catchingUp {
+			s.maybeRetuneTierLocked(sub)
+		}
+		if sub.tier < ev.minTier {
 			continue
 		}
 		if sub.binary {
 			needBinary = true
 		} else {
 			needJSON = true
-		}
-		if needJSON && needBinary {
-			break
 		}
 	}
 	if needJSON || needBinary {
@@ -1359,7 +1589,7 @@ func (s *Session) broadcastLocked(ev Event) {
 		ev.wire = w
 	}
 	for sub := range s.subs {
-		if sub.batched {
+		if sub.batched || sub.tier < ev.minTier {
 			continue
 		}
 		if sub.catchingUp {
@@ -1374,6 +1604,24 @@ func (s *Session) broadcastLocked(ev Event) {
 // events the emitting goroutine flushes inline rather than let the
 // buffer grow while the flusher is behind.
 const emitBatchMax = 1024
+
+// Fan-out pacing: each flush bills every batched subscriber roughly a
+// goroutine wake plus a socket write, so the flusher's accumulation
+// window scales with the subscriber count (emitPacePerSub each), capped
+// at emitPaceMax so a wide fan-out still sees fresh data, and windows
+// under emitPaceMin are skipped entirely — small fan-outs keep today's
+// flush-every-event latency.
+const (
+	emitPacePerSub = 30 * time.Microsecond
+	emitPaceMin    = 250 * time.Microsecond
+	emitPaceMax    = 30 * time.Millisecond
+)
+
+// t0DecimateEvery is T0's point decimation factor: one point in this
+// many per stroke (always including the first) reaches the decimated
+// tier. Catch-up replays decimate in WAL-sequence space with the same
+// factor.
+const t0DecimateEvery = 8
 
 // emitFlusher is the session's group-commit goroutine: kicked by
 // broadcastLocked whenever events are buffered for batched subscribers,
@@ -1391,19 +1639,38 @@ func (s *Session) emitFlusher() {
 			s.emitMu.Unlock()
 			return
 		}
+		// Fan-out pacing: let the batch accumulate for a window sized to
+		// what delivering it will cost, unless the session is closing —
+		// then commit immediately.
+		if pace := s.emitPace.Load(); pace >= int64(emitPaceMin) {
+			t := time.NewTimer(time.Duration(pace))
+			select {
+			case <-t.C:
+			case <-s.emitQuit:
+				t.Stop()
+				s.emitMu.Lock()
+				s.flushEmitLocked()
+				s.emitMu.Unlock()
+				return
+			}
+		}
 		s.emitMu.Lock()
 		s.flushEmitLocked()
 		s.emitMu.Unlock()
 	}
 }
 
-// flushEmitLocked group-commits the buffered events: encodes the batch
-// exactly once per encoding in use (contiguous frames / NDJSON lines —
-// byte-identical on the wire to per-event delivery) and hands every
-// batched subscriber one carrier pointing at the shared bytes. Requires
-// emitMu; the scan, encode and delivery share the one critical section,
-// so a delivered carrier always holds the encoding of every subscriber
-// it reaches.
+// flushEmitLocked group-commits the buffered events per tier: each
+// drained batch is marshaled at most once per (tier, encoding) some
+// batched subscriber is actually served at — unsubscribed tiers cost
+// nothing — with each event's bytes encoded once per encoding and shared
+// across every tier run that includes it (tiers differ only in which
+// events they include, never in an event's bytes, so T1's byte-run stays
+// byte-identical to the pre-tier stream). Every batched subscriber gets
+// one carrier pointing at its tier's shared immutable run. Requires
+// emitMu; the tier retune, scan, encode and delivery share the one
+// critical section, so a delivered carrier always matches the tier and
+// encoding of every subscriber it reaches.
 func (s *Session) flushEmitLocked() {
 	batch := s.emitBuf
 	if len(batch) == 0 {
@@ -1411,41 +1678,79 @@ func (s *Session) flushEmitLocked() {
 	}
 	s.emitBuf = s.emitSpare[:0]
 	s.emitSpare = batch
-	var needJSON, needBinary bool
+	// Retune tiers first, so this batch is encoded for the tier each
+	// subscriber will actually be served at, then collect per-tier
+	// encoding demand.
+	var needJSON, needBinary [3]bool
+	any := false
 	for sub := range s.subs {
 		if !sub.batched {
 			continue
 		}
+		if !sub.catchingUp {
+			s.maybeRetuneTierLocked(sub)
+		}
 		if sub.binary {
-			needBinary = true
+			needBinary[sub.tier] = true
 		} else {
-			needJSON = true
+			needJSON[sub.tier] = true
 		}
-		if needJSON && needBinary {
-			break
-		}
+		any = true
 	}
-	if !needJSON && !needBinary {
+	if !any {
 		return // every batched subscriber detached; nothing owes these bytes
 	}
-	w := &eventWire{}
-	for i := range batch {
-		if needJSON {
-			if b, err := json.Marshal(&batch[i]); err == nil {
-				w.ndjson = append(w.ndjson, b...)
-				w.ndjson = append(w.ndjson, '\n')
-			}
-		}
-		if needBinary {
-			w.binary = appendEventFrame(w.binary, &batch[i])
+	var wires [3]*eventWire
+	for t := range wires {
+		if needJSON[t] || needBinary[t] {
+			wires[t] = &eventWire{}
 		}
 	}
-	// The carrier's enqueue stamp is the batch's OLDEST event, so the
-	// write-stage histogram sees the worst queue-to-wire latency in the
-	// batch, not the friendliest.
-	carrier := Event{enq: batch[0].enq, batchLen: len(batch), wire: w}
+	var counts [3]int
+	for i := range batch {
+		ev := &batch[i]
+		var js, bin []byte
+		for t := int(ev.minTier); t < len(wires); t++ {
+			w := wires[t]
+			if w == nil {
+				continue
+			}
+			counts[t]++
+			if needJSON[t] {
+				if js == nil {
+					if b, err := json.Marshal(ev); err == nil {
+						js = append(b, '\n')
+					} else {
+						js = []byte{} // unmarshalable (impossible): skip, don't retry
+					}
+				}
+				w.ndjson = append(w.ndjson, js...)
+			}
+			if needBinary[t] {
+				if bin == nil {
+					bin = appendEventFrame(nil, ev)
+				}
+				w.binary = append(w.binary, bin...)
+			}
+		}
+	}
+	// One carrier per populated tier; its enqueue stamp is the batch's
+	// OLDEST event, so the write-stage histogram sees the worst
+	// queue-to-wire latency in the batch, not the friendliest. A tier no
+	// event in this batch reaches (e.g. T0 over a run of undecimated
+	// points) delivers nothing.
+	var carriers [3]Event
+	for t := range carriers {
+		if wires[t] != nil && counts[t] > 0 {
+			carriers[t] = Event{enq: batch[0].enq, batchLen: counts[t], wire: wires[t]}
+		}
+	}
 	for sub := range s.subs {
 		if !sub.batched {
+			continue
+		}
+		carrier := carriers[sub.tier]
+		if carrier.batchLen == 0 {
 			continue
 		}
 		if sub.catchingUp {

@@ -358,3 +358,66 @@ if [ "$DIFF" -gt "$ENC_SLACK" ]; then
 fi
 curl -sf "http://$HTTP/healthz" | grep -q '"sessions":0'
 echo "soak: binary encoding OK ($BIN_POINTS points, equal to ndjson within tail-sweep bound)"
+
+# ── Phase 6: tiered fan-out under pressure ───────────────────────────────
+# One session fanning out to many subscribers spread across all three
+# trace tiers, against a daemon with a deliberately shallow subscriber
+# queue so fan-out pressure is real: the adaptive policy must step
+# backlogged subscribers down a tier (downgrades > 0, announced
+# in-stream and counted by the report) instead of stalling anyone, and
+# the decimated T0 cohort — running at an eighth of the point rate —
+# must ride it out without losing a single event. The daemon must also
+# come back to idle without leaking any of the fan-out goroutines.
+kill -9 "$DAEMON" 2>/dev/null || true
+wait "$DAEMON" 2>/dev/null || true
+
+TIER_SUBSCRIBERS="${SOAK_TIER_SUBSCRIBERS:-256}"
+TIER_DURATION="${SOAK_TIER_DURATION:-10s}"
+TIER_PACE="${SOAK_TIER_PACE:-8}"
+bin/rfidrawd -http "$HTTP" -ingest "$INGEST" -idle 30s \
+  -max-subscribers 512 -queue 2 &
+DAEMON=$!
+trap 'kill -9 "$DAEMON" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  curl -sf "http://$HTTP/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+TIER_BEFORE="$(goroutines)"
+
+echo "soak: tiered fan-out phase: $TIER_SUBSCRIBERS subscribers, mixed tiers"
+bin/loadgen -daemon "http://$HTTP" -sessions 1 -tags 4 -duration "$TIER_DURATION" \
+  -pace "$TIER_PACE" -subscribers "$TIER_SUBSCRIBERS" -tier mixed \
+  -out SOAK_tiered.json
+
+tier_field() { sed -n "s/^  \"$1\": \([0-9]*\),*/\1/p" SOAK_tiered.json | head -1; }
+T0_POINTS="$(tier_field tier0_points)"; T1_POINTS="$(tier_field tier1_points)"
+T2_POINTS="$(tier_field tier2_points)"; T0_DROPS="$(tier_field tier0_drops)"
+DOWNGRADES="$(tier_field downgrades)"
+echo "soak: tiered points t0=$T0_POINTS t1=$T1_POINTS t2=$T2_POINTS, t0 drops=$T0_DROPS, downgrades=$DOWNGRADES"
+if [ "${T0_POINTS:-0}" -eq 0 ] || [ "${T1_POINTS:-0}" -eq 0 ] || [ "${T2_POINTS:-0}" -eq 0 ]; then
+  echo "soak: a tier cohort received no trace points" >&2
+  exit 1
+fi
+if [ "${DOWNGRADES:-0}" -eq 0 ]; then
+  echo "soak: fan-out pressure on a shallow queue triggered no adaptive downgrades" >&2
+  exit 1
+fi
+if [ "${T0_DROPS:-0}" -ne 0 ]; then
+  echo "soak: decimated T0 subscribers dropped $T0_DROPS events under fan-out pressure" >&2
+  exit 1
+fi
+DOWNGRADES_METRIC="$(curl -sf "http://$HTTP/metrics" | awk '/^rfidrawd_tier_downgrades_total /{print $2}')"
+if [ "${DOWNGRADES_METRIC:-0}" -eq 0 ]; then
+  echo "soak: rfidrawd_tier_downgrades_total never moved despite $DOWNGRADES observed downgrades" >&2
+  exit 1
+fi
+
+sleep 5
+TIER_AFTER="$(goroutines)"
+echo "soak: goroutines after tiered phase: $TIER_AFTER (before: $TIER_BEFORE, slack: $SLACK)"
+if [ "$TIER_AFTER" -gt $((TIER_BEFORE + SLACK)) ]; then
+  echo "soak: goroutine leak under tiered fan-out: $TIER_BEFORE -> $TIER_AFTER" >&2
+  exit 1
+fi
+curl -sf "http://$HTTP/healthz" | grep -q '"sessions":0'
+echo "soak: tiered fan-out OK ($TIER_SUBSCRIBERS subscribers, $DOWNGRADES downgrades, zero T0 drops)"

@@ -118,6 +118,9 @@ type CostCapacity struct {
 	// Backlog is the tolerable worst subscriber queue fill fraction
 	// (0, 1].
 	Backlog float64
+	// DowngradesPerSec is the tolerable rate of adaptive trace-tier
+	// step-downs across all subscribers.
+	DowngradesPerSec float64
 }
 
 func (c ServeConfig) registryConfig(factory server.EngineFactory) server.RegistryConfig {
@@ -134,6 +137,7 @@ func (c ServeConfig) registryConfig(factory server.EngineFactory) server.Registr
 			WALBytesPerSec:    c.Capacity.WALBytesPerSec,
 			LatePerSec:        c.Capacity.LatePerSec,
 			Backlog:           c.Capacity.Backlog,
+			DowngradesPerSec:  c.Capacity.DowngradesPerSec,
 		},
 		ShedThreshold: c.ShedThreshold,
 		ParkThreshold: c.ParkThreshold,
